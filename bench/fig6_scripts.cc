@@ -1,0 +1,67 @@
+// Reproduces the structural statistics of the paper's Figure 6: for every
+// evaluation script, the number of operators in the initial operator DAG,
+// the number of shared groups found by Algorithm 1, and the consumer count
+// of each shared group.
+
+#include <cstdio>
+#include <map>
+
+#include "api/engine.h"
+#include "workload/large_scripts.h"
+#include "workload/paper_scripts.h"
+
+namespace {
+
+void Report(const char* name, scx::Engine& engine, const std::string& text,
+            const char* paper_note) {
+  using namespace scx;
+  auto compiled = engine.Compile(text);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name, compiled.status().ToString().c_str());
+    return;
+  }
+  auto conv = engine.Optimize(*compiled, OptimizerMode::kConventional);
+  auto cse = engine.Optimize(*compiled, OptimizerMode::kCse);
+  if (!conv.ok() || !cse.ok()) {
+    std::fprintf(stderr, "%s: optimize failed\n", name);
+    return;
+  }
+  const SharedInfo* info = cse->optimizer->shared_info();
+  std::map<size_t, int> by_consumers;
+  if (info != nullptr) {
+    for (GroupId s : info->shared_groups()) {
+      ++by_consumers[info->ConsumersOf(s).size()];
+    }
+  }
+  std::string consumers;
+  for (const auto& [n, count] : by_consumers) {
+    consumers += std::to_string(count) + "x" + std::to_string(n) + "-cons ";
+  }
+  std::printf("%-5s %12d %13d   %-22s %s\n", name,
+              conv->result.diagnostics.reachable_groups,
+              cse->result.diagnostics.num_shared_groups,
+              consumers.empty() ? "-" : consumers.c_str(), paper_note);
+}
+
+}  // namespace
+
+int main() {
+  using namespace scx;
+  std::printf("Figure 6 — evaluation scripts, structural statistics\n");
+  std::printf("%-5s %12s %13s   %-22s %s\n", "name", "operators",
+              "shared groups", "consumers", "paper");
+  Engine engine(MakePaperCatalog());
+  Report("S1", engine, kScriptS1, "1 shared, 2 consumers");
+  Report("S2", engine, kScriptS2, "1 shared, 3 consumers");
+  Report("S3", engine, kScriptS3, "2 shared, different LCAs");
+  Report("S4", engine, kScriptS4, "2 non-independent shared, same LCA");
+
+  for (auto [name, spec, note] :
+       {std::tuple{"LS1", Ls1Spec(), "101 ops, 4 shared (3x2 + 1x3)"},
+        std::tuple{"LS2", Ls2Spec(), "1034 ops, 17 shared (15x2+1x4+1x5)"}}) {
+    GeneratedScript gen = GenerateLargeScript(spec);
+    Engine ls_engine(gen.catalog);
+    Report(name, ls_engine, gen.text, note);
+  }
+  return 0;
+}

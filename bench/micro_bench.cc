@@ -1,0 +1,127 @@
+// Google-benchmark microbenchmarks for the optimizer's building blocks:
+// parsing, binding, fingerprinting (paper Def. 1), Algorithm 1, shared-info
+// propagation (Algorithm 3), and full optimization runs in both modes.
+
+#include <benchmark/benchmark.h>
+
+#include "api/engine.h"
+#include "core/fingerprint.h"
+#include "core/shared_info.h"
+#include "plan/binder.h"
+#include "script/parser.h"
+#include "workload/large_scripts.h"
+#include "workload/paper_scripts.h"
+
+namespace scx {
+namespace {
+
+void BM_ParseS1(benchmark::State& state) {
+  for (auto _ : state) {
+    auto ast = ParseScript(kScriptS1);
+    benchmark::DoNotOptimize(ast);
+  }
+}
+BENCHMARK(BM_ParseS1);
+
+void BM_BindS1(benchmark::State& state) {
+  Catalog catalog = MakePaperCatalog();
+  auto ast = std::move(ParseScript(kScriptS1)).ValueOrDie();
+  for (auto _ : state) {
+    auto bound = BindScript(ast, catalog);
+    benchmark::DoNotOptimize(bound);
+  }
+}
+BENCHMARK(BM_BindS1);
+
+void BM_FingerprintMemo(benchmark::State& state) {
+  Catalog catalog = MakePaperCatalog();
+  auto ast = std::move(ParseScript(kScriptS3)).ValueOrDie();
+  auto bound = std::move(BindScript(ast, catalog)).ValueOrDie();
+  Memo memo = Memo::FromLogicalDag(bound.root);
+  for (auto _ : state) {
+    auto fp = ComputeFingerprints(memo, false);
+    benchmark::DoNotOptimize(fp);
+  }
+}
+BENCHMARK(BM_FingerprintMemo);
+
+void BM_IdentifyCommonSubexpressions(benchmark::State& state) {
+  Catalog catalog = MakePaperCatalog();
+  auto ast = std::move(ParseScript(kScriptS3)).ValueOrDie();
+  auto bound = std::move(BindScript(ast, catalog)).ValueOrDie();
+  for (auto _ : state) {
+    state.PauseTiming();
+    Memo memo = Memo::FromLogicalDag(bound.root);
+    state.ResumeTiming();
+    auto r = IdentifyCommonSubexpressions(&memo, {});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_IdentifyCommonSubexpressions);
+
+void BM_SharedInfoLs1(benchmark::State& state) {
+  GeneratedScript gen = GenerateLargeScript(Ls1Spec());
+  auto ast = std::move(ParseScript(gen.text)).ValueOrDie();
+  auto bound = std::move(BindScript(ast, gen.catalog)).ValueOrDie();
+  Memo memo = Memo::FromLogicalDag(bound.root);
+  IdentifyCommonSubexpressions(&memo, {});
+  for (auto _ : state) {
+    SharedInfo info = SharedInfo::Compute(memo);
+    benchmark::DoNotOptimize(info);
+  }
+}
+BENCHMARK(BM_SharedInfoLs1);
+
+void BM_OptimizeS1(benchmark::State& state) {
+  const bool cse = state.range(0) != 0;
+  Engine engine(MakePaperCatalog());
+  auto compiled = std::move(engine.Compile(kScriptS1)).ValueOrDie();
+  for (auto _ : state) {
+    auto plan = engine.Optimize(
+        compiled, cse ? OptimizerMode::kCse : OptimizerMode::kConventional);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_OptimizeS1)->Arg(0)->Arg(1);
+
+void BM_OptimizeLs1(benchmark::State& state) {
+  const bool cse = state.range(0) != 0;
+  GeneratedScript gen = GenerateLargeScript(Ls1Spec());
+  Engine engine(gen.catalog);
+  auto compiled = std::move(engine.Compile(gen.text)).ValueOrDie();
+  for (auto _ : state) {
+    auto plan = engine.Optimize(
+        compiled, cse ? OptimizerMode::kCse : OptimizerMode::kConventional);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_OptimizeLs1)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_SubsetExpansion(benchmark::State& state) {
+  ColumnSet cols;
+  for (int i = 0; i < state.range(0); ++i) {
+    cols.Insert(static_cast<ColumnId>(i));
+  }
+  for (auto _ : state) {
+    auto subsets = cols.NonEmptySubsets();
+    benchmark::DoNotOptimize(subsets);
+  }
+}
+BENCHMARK(BM_SubsetExpansion)->Arg(3)->Arg(6)->Arg(10);
+
+void BM_ExecuteS1(benchmark::State& state) {
+  OptimizerConfig config;
+  config.cluster.machines = 8;
+  Engine engine(MakeExecutionCatalog(5000), config);
+  auto compiled = std::move(engine.Compile(kScriptS1)).ValueOrDie();
+  auto plan =
+      std::move(engine.Optimize(compiled, OptimizerMode::kCse)).ValueOrDie();
+  for (auto _ : state) {
+    auto metrics = engine.Execute(plan);
+    benchmark::DoNotOptimize(metrics);
+  }
+}
+BENCHMARK(BM_ExecuteS1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace scx

@@ -1,0 +1,68 @@
+// Reproduces the paper's Sec. IX timing observations: optimization of
+// S1-S4 completes well under a second; LS1/LS2 run within their 30 s / 60 s
+// budgets; and the budget mechanism stops rounds early when exhausted while
+// still returning the best plan found so far.
+
+#include <cstdio>
+
+#include "api/engine.h"
+#include "workload/large_scripts.h"
+#include "workload/paper_scripts.h"
+
+namespace {
+
+void TimeRow(const char* name, const scx::Catalog& catalog,
+         const std::string& text, double budget_seconds) {
+  using namespace scx;
+  OptimizerConfig config;
+  config.budget_seconds = budget_seconds;
+  Engine engine(catalog, config);
+  auto c = engine.Compare(text);
+  if (!c.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name, c.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-5s %10.3fs %12.3fs %9ld %10s %9.0f%%\n", name,
+              c->conventional.result.diagnostics.optimize_seconds,
+              c->cse.result.diagnostics.optimize_seconds,
+              c->cse.result.diagnostics.rounds_executed,
+              c->cse.result.diagnostics.budget_exhausted ? "yes" : "no",
+              (1.0 - c->cost_ratio) * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  using namespace scx;
+  std::printf(
+      "Sec. IX — optimization time (paper: <1 s for S1-S4; budgets 30 s for "
+      "LS1, 60 s for LS2)\n");
+  std::printf("%-5s %11s %13s %9s %10s %10s\n", "name", "conv time",
+              "cse time", "rounds", "budgeted", "saving");
+  Catalog paper = MakePaperCatalog();
+  TimeRow("S1", paper, kScriptS1, 30);
+  TimeRow("S2", paper, kScriptS2, 30);
+  TimeRow("S3", paper, kScriptS3, 30);
+  TimeRow("S4", paper, kScriptS4, 30);
+  GeneratedScript ls1 = GenerateLargeScript(Ls1Spec());
+  GeneratedScript ls2 = GenerateLargeScript(Ls2Spec());
+  TimeRow("LS1", ls1.catalog, ls1.text, 30);
+  TimeRow("LS2", ls2.catalog, ls2.text, 60);
+
+  std::printf("\nbudget stress (LS2 with tiny budgets):\n");
+  std::printf("%-10s %13s %9s %10s %10s\n", "budget", "cse time", "rounds",
+              "budgeted", "saving");
+  for (double budget : {0.0, 0.01, 0.05, 60.0}) {
+    OptimizerConfig config;
+    config.budget_seconds = budget;
+    Engine engine(ls2.catalog, config);
+    auto c = engine.Compare(ls2.text);
+    if (!c.ok()) continue;
+    std::printf("%9.2fs %12.3fs %9ld %10s %9.0f%%\n", budget,
+                c->cse.result.diagnostics.optimize_seconds,
+                c->cse.result.diagnostics.rounds_executed,
+                c->cse.result.diagnostics.budget_exhausted ? "yes" : "no",
+                (1.0 - c->cost_ratio) * 100.0);
+  }
+  return 0;
+}

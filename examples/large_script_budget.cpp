@@ -1,0 +1,56 @@
+// Large-script scenario (paper Sec. VIII): generates an LS1-shaped script
+// (101 operators, 4 shared groups), then shows how the optimization budget
+// and the three large-script extensions interact — round counts, time, and
+// plan quality under tight budgets.
+
+#include <cstdio>
+
+#include "api/engine.h"
+#include "workload/large_scripts.h"
+
+int main() {
+  using namespace scx;
+
+  GeneratedScript gen = GenerateLargeScript(Ls1Spec());
+  std::printf("generated LS1-shaped script: %d operators predicted\n\n",
+              gen.predicted_ops);
+
+  struct Config {
+    const char* label;
+    bool independent;
+    bool rank;
+    long max_rounds;
+  } configs[] = {
+      {"all extensions, unlimited rounds", true, true, 1000000},
+      {"no independence (Cartesian rounds)", false, true, 1000000},
+      {"all extensions, capped at 10 rounds", true, true, 10},
+      {"no ranking, capped at 10 rounds", true, false, 10},
+  };
+
+  std::printf("%-40s %9s %8s %14s %8s\n", "configuration", "planned", "run",
+              "cse cost", "saving");
+  for (const Config& c : configs) {
+    OptimizerConfig config;
+    config.exploit_independent_groups = c.independent;
+    config.rank_shared_groups = c.rank;
+    config.rank_properties = c.rank;
+    config.max_rounds = c.max_rounds;
+    Engine engine(gen.catalog, config);
+    auto result = engine.Compare(gen.text);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const auto& d = result->cse.result.diagnostics;
+    std::printf("%-40s %9ld %8ld %14.0f %7.0f%%\n", c.label,
+                d.rounds_planned, d.rounds_executed, result->cse.cost(),
+                (1 - result->cost_ratio) * 100);
+  }
+
+  std::printf(
+      "\nreading the table: without Sec. VIII-A the Cartesian product over\n"
+      "all shared-group histories explodes; with it the same best plan is\n"
+      "found in a few dozen rounds. Under a hard cap, the Sec. VIII-B/C\n"
+      "rankings decide whether the early rounds are the promising ones.\n");
+  return 0;
+}

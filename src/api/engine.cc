@@ -1,0 +1,49 @@
+#include "api/engine.h"
+
+#include "opt/plan_validator.h"
+#include "script/parser.h"
+
+namespace scx {
+
+Result<CompiledScript> Engine::Compile(const std::string& source) const {
+  SCX_ASSIGN_OR_RETURN(AstScript ast, ParseScript(source));
+  SCX_ASSIGN_OR_RETURN(BoundScript bound, BindScript(ast, catalog_));
+  CompiledScript out;
+  out.source = source;
+  out.bound = std::move(bound);
+  return out;
+}
+
+Result<OptimizedScript> Engine::Optimize(const CompiledScript& script,
+                                         OptimizerMode mode) const {
+  Memo memo = Memo::FromLogicalDag(script.bound.root);
+  auto optimizer =
+      std::make_shared<Optimizer>(std::move(memo), script.bound.columns,
+                                  config_);
+  SCX_ASSIGN_OR_RETURN(OptimizeResult result, optimizer->Run(mode));
+  SCX_RETURN_IF_ERROR(ValidatePlan(result.plan));
+  OptimizedScript out;
+  out.mode = mode;
+  out.result = std::move(result);
+  out.optimizer = std::move(optimizer);
+  return out;
+}
+
+Result<ExecMetrics> Engine::Execute(const OptimizedScript& optimized) const {
+  Executor executor(config_.cluster);
+  return executor.Execute(optimized.plan());
+}
+
+Result<Engine::Comparison> Engine::Compare(const std::string& source) const {
+  Comparison out;
+  SCX_ASSIGN_OR_RETURN(out.compiled, Compile(source));
+  SCX_ASSIGN_OR_RETURN(out.conventional,
+                       Optimize(out.compiled, OptimizerMode::kConventional));
+  SCX_ASSIGN_OR_RETURN(out.cse, Optimize(out.compiled, OptimizerMode::kCse));
+  out.cost_ratio = out.conventional.cost() > 0
+                       ? out.cse.cost() / out.conventional.cost()
+                       : 1.0;
+  return out;
+}
+
+}  // namespace scx

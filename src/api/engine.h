@@ -1,0 +1,81 @@
+#ifndef SCX_API_ENGINE_H_
+#define SCX_API_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "core/optimizer.h"
+#include "exec/executor.h"
+#include "plan/binder.h"
+
+namespace scx {
+
+/// A parsed and bound script, ready to be optimized any number of times.
+struct CompiledScript {
+  std::string source;
+  BoundScript bound;
+};
+
+/// The result of one optimization run: the chosen plan, its cost under the
+/// mode's accounting, diagnostics, and the optimizer kept alive for
+/// introspection (memo, shared-group info, property histories).
+struct OptimizedScript {
+  OptimizerMode mode = OptimizerMode::kConventional;
+  OptimizeResult result;
+  std::shared_ptr<Optimizer> optimizer;
+
+  const PhysicalNodePtr& plan() const { return result.plan; }
+  double cost() const { return result.cost; }
+  std::string Explain() const { return PrintPhysicalPlan(result.plan); }
+};
+
+/// Top-level library entry point: compile a SCOPE-dialect script against a
+/// catalog, optimize it conventionally or with the common-subexpression
+/// framework, and execute the plan on the simulated cluster.
+///
+/// Typical use:
+///   Engine engine(catalog);
+///   auto compiled  = engine.Compile(script).ValueOrDie();
+///   auto cse       = engine.Optimize(compiled, OptimizerMode::kCse)
+///                        .ValueOrDie();
+///   auto metrics   = engine.Execute(cse).ValueOrDie();
+class Engine {
+ public:
+  explicit Engine(Catalog catalog, OptimizerConfig config = {})
+      : catalog_(std::move(catalog)), config_(std::move(config)) {}
+
+  /// Parses and binds `source`.
+  Result<CompiledScript> Compile(const std::string& source) const;
+
+  /// Builds a fresh memo from the compiled script and runs the optimizer in
+  /// the requested mode.
+  Result<OptimizedScript> Optimize(const CompiledScript& script,
+                                   OptimizerMode mode) const;
+
+  /// Executes the chosen plan on the simulated cluster.
+  Result<ExecMetrics> Execute(const OptimizedScript& optimized) const;
+
+  /// Convenience: compile + optimize in both modes, for cost comparisons.
+  struct Comparison {
+    CompiledScript compiled;
+    OptimizedScript conventional;
+    OptimizedScript cse;
+    /// cse cost / conventional cost (paper Fig. 7 reports ~0.43–0.79).
+    double cost_ratio = 1.0;
+  };
+  Result<Comparison> Compare(const std::string& source) const;
+
+  const Catalog& catalog() const { return catalog_; }
+  const OptimizerConfig& config() const { return config_; }
+  OptimizerConfig* mutable_config() { return &config_; }
+
+ private:
+  Catalog catalog_;
+  OptimizerConfig config_;
+};
+
+}  // namespace scx
+
+#endif  // SCX_API_ENGINE_H_

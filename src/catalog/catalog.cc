@@ -1,0 +1,66 @@
+#include "catalog/catalog.h"
+
+namespace scx {
+
+int64_t FileDef::RowWidth() const {
+  int64_t w = 0;
+  for (const ColumnStats& c : columns) w += c.avg_width;
+  return w;
+}
+
+int FileDef::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Catalog::RegisterFile(FileDef def) {
+  if (files_.count(def.path) != 0) {
+    return Status::AlreadyExists("file already registered: " + def.path);
+  }
+  if (def.file_id == 0) def.file_id = next_file_id_++;
+  if (def.data_seed == 0) {
+    def.data_seed = static_cast<uint64_t>(def.file_id) * 0x9e3779b9u + 1;
+  }
+  files_.emplace(def.path, std::move(def));
+  return Status::OK();
+}
+
+Result<FileDef> Catalog::GetFile(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("file not registered in catalog: " + path);
+  }
+  return it->second;
+}
+
+bool Catalog::HasFile(const std::string& path) const {
+  return files_.count(path) != 0;
+}
+
+Status Catalog::RegisterLog(const std::string& path,
+                            const std::vector<std::string>& names,
+                            int64_t row_count,
+                            const std::vector<int64_t>& distinct_counts,
+                            uint64_t data_seed) {
+  if (names.size() != distinct_counts.size()) {
+    return Status::InvalidArgument(
+        "RegisterLog: names/distinct_counts size mismatch");
+  }
+  FileDef def;
+  def.path = path;
+  def.row_count = row_count;
+  def.data_seed = data_seed;
+  for (size_t i = 0; i < names.size(); ++i) {
+    ColumnStats cs;
+    cs.name = names[i];
+    cs.type = DataType::kInt64;
+    cs.distinct_count = distinct_counts[i];
+    cs.avg_width = 8;
+    def.columns.push_back(std::move(cs));
+  }
+  return RegisterFile(std::move(def));
+}
+
+}  // namespace scx

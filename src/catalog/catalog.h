@@ -1,0 +1,72 @@
+#ifndef SCX_CATALOG_CATALOG_H_
+#define SCX_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace scx {
+
+/// Statistics for one column of an input file.
+struct ColumnStats {
+  std::string name;
+  DataType type = DataType::kInt64;
+  /// Number of distinct values. Drives group-by cardinality, partition skew
+  /// and (for the executor) the synthetic data domain size.
+  int64_t distinct_count = 1000;
+  /// Average serialized width in bytes.
+  int64_t avg_width = 8;
+};
+
+/// Metadata and statistics for a registered input file. The paper's scripts
+/// read raw logs through extractors; here a file definition doubles as a
+/// deterministic synthetic-data spec so the simulated executor can produce
+/// the same rows on every machine-set and every run.
+struct FileDef {
+  /// Unique file id; the fingerprint of an EXTRACT leaf (paper Def. 1 case 1).
+  int64_t file_id = 0;
+  std::string path;
+  std::vector<ColumnStats> columns;
+  int64_t row_count = 1000000;
+  /// Seed for deterministic synthetic row generation.
+  uint64_t data_seed = 0;
+
+  /// Average row width in bytes (sum of column widths).
+  int64_t RowWidth() const;
+  /// Index of column `name`, or -1.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// Registry of input files keyed by path. Files must be registered before a
+/// script referencing them is bound.
+class Catalog {
+ public:
+  /// Registers `def` (assigning `file_id` if zero). Fails on duplicate path.
+  Status RegisterFile(FileDef def);
+
+  /// Looks a file up by path.
+  Result<FileDef> GetFile(const std::string& path) const;
+
+  bool HasFile(const std::string& path) const;
+
+  /// Convenience: registers a log file with `columns` int64 columns named
+  /// by `names`, each with the given distinct count.
+  Status RegisterLog(const std::string& path,
+                     const std::vector<std::string>& names, int64_t row_count,
+                     const std::vector<int64_t>& distinct_counts,
+                     uint64_t data_seed = 0);
+
+  const std::map<std::string, FileDef>& files() const { return files_; }
+
+ private:
+  std::map<std::string, FileDef> files_;
+  int64_t next_file_id_ = 1;
+};
+
+}  // namespace scx
+
+#endif  // SCX_CATALOG_CATALOG_H_

@@ -1,0 +1,166 @@
+#include "common/column_set.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace scx {
+
+namespace {
+constexpr int kWordBits = 64;
+}  // namespace
+
+ColumnSet ColumnSet::Of(std::initializer_list<ColumnId> ids) {
+  ColumnSet s;
+  for (ColumnId id : ids) s.Insert(id);
+  return s;
+}
+
+ColumnSet ColumnSet::FromVector(const std::vector<ColumnId>& ids) {
+  ColumnSet s;
+  for (ColumnId id : ids) s.Insert(id);
+  return s;
+}
+
+void ColumnSet::Insert(ColumnId id) {
+  size_t word = id / kWordBits;
+  if (word >= words_.size()) words_.resize(word + 1, 0);
+  words_[word] |= (uint64_t{1} << (id % kWordBits));
+}
+
+void ColumnSet::Remove(ColumnId id) {
+  size_t word = id / kWordBits;
+  if (word < words_.size()) {
+    words_[word] &= ~(uint64_t{1} << (id % kWordBits));
+    Normalize();
+  }
+}
+
+bool ColumnSet::Contains(ColumnId id) const {
+  size_t word = id / kWordBits;
+  if (word >= words_.size()) return false;
+  return (words_[word] >> (id % kWordBits)) & 1;
+}
+
+bool ColumnSet::Empty() const { return words_.empty(); }
+
+int ColumnSet::Size() const {
+  int n = 0;
+  for (uint64_t w : words_) n += __builtin_popcountll(w);
+  return n;
+}
+
+bool ColumnSet::IsSubsetOf(const ColumnSet& other) const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    uint64_t mine = words_[i];
+    uint64_t theirs = i < other.words_.size() ? other.words_[i] : 0;
+    if ((mine & ~theirs) != 0) return false;
+  }
+  return true;
+}
+
+bool ColumnSet::Intersects(const ColumnSet& other) const {
+  size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+ColumnSet ColumnSet::Union(const ColumnSet& other) const {
+  ColumnSet out;
+  out.words_.resize(std::max(words_.size(), other.words_.size()), 0);
+  for (size_t i = 0; i < out.words_.size(); ++i) {
+    uint64_t a = i < words_.size() ? words_[i] : 0;
+    uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    out.words_[i] = a | b;
+  }
+  out.Normalize();
+  return out;
+}
+
+ColumnSet ColumnSet::Intersect(const ColumnSet& other) const {
+  ColumnSet out;
+  out.words_.resize(std::min(words_.size(), other.words_.size()), 0);
+  for (size_t i = 0; i < out.words_.size(); ++i) {
+    out.words_[i] = words_[i] & other.words_[i];
+  }
+  out.Normalize();
+  return out;
+}
+
+ColumnSet ColumnSet::Difference(const ColumnSet& other) const {
+  ColumnSet out = *this;
+  for (size_t i = 0; i < out.words_.size() && i < other.words_.size(); ++i) {
+    out.words_[i] &= ~other.words_[i];
+  }
+  out.Normalize();
+  return out;
+}
+
+std::vector<ColumnId> ColumnSet::ToVector() const {
+  std::vector<ColumnId> out;
+  out.reserve(static_cast<size_t>(Size()));
+  for (size_t i = 0; i < words_.size(); ++i) {
+    uint64_t w = words_[i];
+    while (w != 0) {
+      int bit = __builtin_ctzll(w);
+      out.push_back(static_cast<ColumnId>(i * kWordBits + bit));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+std::vector<ColumnSet> ColumnSet::NonEmptySubsets() const {
+  std::vector<ColumnId> ids = ToVector();
+  std::vector<ColumnSet> out;
+  const size_t n = ids.size();
+  if (n == 0 || n > 20) return out;  // caller caps size; hard safety net
+  out.reserve((size_t{1} << n) - 1);
+  for (uint64_t mask = 1; mask < (uint64_t{1} << n); ++mask) {
+    ColumnSet s;
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) s.Insert(ids[i]);
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), [](const ColumnSet& a, const ColumnSet& b) {
+    if (a.Size() != b.Size()) return a.Size() < b.Size();
+    return a.ToVector() < b.ToVector();
+  });
+  return out;
+}
+
+uint64_t ColumnSet::Hash() const {
+  uint64_t h = 0x9ae16a3b2f90404fULL;
+  for (uint64_t w : words_) h = HashCombine(h, w);
+  return h;
+}
+
+std::string ColumnSet::ToString(
+    const std::function<std::string(ColumnId)>& namer) const {
+  std::string out = "{";
+  bool first = true;
+  for (ColumnId id : ToVector()) {
+    if (!first) out += ",";
+    first = false;
+    out += namer(id);
+  }
+  out += "}";
+  return out;
+}
+
+std::string ColumnSet::ToString() const {
+  return ToString([](ColumnId id) { return "#" + std::to_string(id); });
+}
+
+bool operator==(const ColumnSet& a, const ColumnSet& b) {
+  return a.words_ == b.words_;
+}
+
+void ColumnSet::Normalize() {
+  while (!words_.empty() && words_.back() == 0) words_.pop_back();
+}
+
+}  // namespace scx

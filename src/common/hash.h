@@ -1,0 +1,35 @@
+#ifndef SCX_COMMON_HASH_H_
+#define SCX_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace scx {
+
+/// 64-bit FNV-1a over an arbitrary byte string.
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Strong 64-bit integer mixer (splitmix64 finalizer). Used for hashing row
+/// keys into partitions and for fingerprint payload hashing.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combination of two 64-bit hashes.
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (Mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace scx
+
+#endif  // SCX_COMMON_HASH_H_

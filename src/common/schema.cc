@@ -1,0 +1,82 @@
+#include "common/schema.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace scx {
+
+int Schema::PositionOf(ColumnId id) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].id == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<int> Schema::PositionsOf(const ColumnSet& ids) const {
+  return PositionsOf(ids.ToVector());
+}
+
+std::vector<int> Schema::PositionsOf(const std::vector<ColumnId>& ids) const {
+  std::vector<int> out;
+  out.reserve(ids.size());
+  for (ColumnId id : ids) {
+    int pos = PositionOf(id);
+    if (pos < 0) {
+      std::fprintf(stderr, "scx: fatal: column #%u not in schema %s\n", id,
+                   ToString().c_str());
+      std::abort();
+    }
+    out.push_back(pos);
+  }
+  return out;
+}
+
+Result<ColumnInfo> Schema::Resolve(const std::string& qualifier,
+                                   const std::string& name) const {
+  const ColumnInfo* found = nullptr;
+  for (const ColumnInfo& c : columns_) {
+    if (c.name != name) continue;
+    if (!qualifier.empty() && c.qualifier != qualifier) continue;
+    if (found != nullptr) {
+      return Status::BindError("ambiguous column reference: " +
+                               (qualifier.empty() ? name
+                                                  : qualifier + "." + name));
+    }
+    found = &c;
+  }
+  if (found == nullptr) {
+    return Status::BindError("unknown column: " +
+                             (qualifier.empty() ? name
+                                                : qualifier + "." + name));
+  }
+  return *found;
+}
+
+ColumnSet Schema::IdSet() const {
+  ColumnSet s;
+  for (const ColumnInfo& c : columns_) s.Insert(c.id);
+  return s;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (!columns_[i].qualifier.empty()) {
+      out += columns_[i].qualifier;
+      out += ".";
+    }
+    out += columns_[i].name;
+    out += ":";
+    out += DataTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+std::string Schema::NameOf(ColumnId id) const {
+  int pos = PositionOf(id);
+  if (pos < 0) return "#" + std::to_string(id);
+  return columns_[static_cast<size_t>(pos)].name;
+}
+
+}  // namespace scx

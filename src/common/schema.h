@@ -1,0 +1,65 @@
+#ifndef SCX_COMMON_SCHEMA_H_
+#define SCX_COMMON_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/column_set.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace scx {
+
+/// One output column of an operator: a plan-wide id plus naming metadata.
+struct ColumnInfo {
+  ColumnId id = 0;
+  std::string name;       ///< unqualified name, e.g. "B"
+  std::string qualifier;  ///< producing relation name, e.g. "R1" (may be "")
+  DataType type = DataType::kInt64;
+};
+
+/// Positional list of output columns of an operator. Rows produced by the
+/// executor are positionally aligned with the operator's schema.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnInfo> columns)
+      : columns_(std::move(columns)) {}
+
+  int NumColumns() const { return static_cast<int>(columns_.size()); }
+  const ColumnInfo& column(int i) const {
+    return columns_[static_cast<size_t>(i)];
+  }
+  const std::vector<ColumnInfo>& columns() const { return columns_; }
+
+  void AddColumn(ColumnInfo info) { columns_.push_back(std::move(info)); }
+
+  /// Position of the column with plan-wide id `id`, or -1.
+  int PositionOf(ColumnId id) const;
+
+  /// Positions of `ids` (ascending id order). Dies if an id is missing.
+  std::vector<int> PositionsOf(const ColumnSet& ids) const;
+  std::vector<int> PositionsOf(const std::vector<ColumnId>& ids) const;
+
+  /// Resolves `name` (optionally qualified). Returns the unique match or an
+  /// error when missing/ambiguous.
+  Result<ColumnInfo> Resolve(const std::string& qualifier,
+                             const std::string& name) const;
+
+  /// Set of all column ids in this schema.
+  ColumnSet IdSet() const;
+
+  /// "R.A:INT64, R.B:INT64" style rendering.
+  std::string ToString() const;
+
+  /// Human name for a column id in this schema ("B" or raw "#id" if absent).
+  std::string NameOf(ColumnId id) const;
+
+ private:
+  std::vector<ColumnInfo> columns_;
+};
+
+}  // namespace scx
+
+#endif  // SCX_COMMON_SCHEMA_H_

@@ -1,0 +1,146 @@
+#ifndef SCX_COMMON_STATUS_H_
+#define SCX_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace scx {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kBindError,
+  kOptimizeError,
+  kExecutionError,
+  kInternal,
+  kResourceExhausted,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "ParseError").
+const char* StatusCodeName(StatusCode code);
+
+/// Arrow/RocksDB-style status object. The library never throws across its
+/// public API; fallible operations return `Status` or `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status OptimizeError(std::string msg) {
+    return Status(StatusCode::kOptimizeError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error union. `ValueOrDie()` aborts on error (used in tests and
+/// examples after the error path has been checked).
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : data_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : data_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  T& value() { return std::get<T>(data_); }
+  const T& value() const { return std::get<T>(data_); }
+
+  T ValueOrDie() && {
+    if (!ok()) {
+      Abort(std::get<Status>(data_));
+    }
+    return std::move(std::get<T>(data_));
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  [[noreturn]] static void Abort(const Status& status);
+
+  std::variant<T, Status> data_;
+};
+
+namespace internal {
+[[noreturn]] void AbortWithStatus(const std::string& what);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::Abort(const Status& status) {
+  internal::AbortWithStatus(status.ToString());
+}
+
+}  // namespace scx
+
+/// Propagates a non-OK Status from the current function.
+#define SCX_RETURN_IF_ERROR(expr)             \
+  do {                                        \
+    ::scx::Status _scx_st = (expr);           \
+    if (!_scx_st.ok()) return _scx_st;        \
+  } while (false)
+
+/// Evaluates a Result<T> expression, propagating errors, else binds `lhs`.
+#define SCX_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  SCX_ASSIGN_OR_RETURN_IMPL(                      \
+      SCX_STATUS_CONCAT(_scx_result, __LINE__), lhs, rexpr)
+
+#define SCX_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                              \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result.value());
+
+#define SCX_STATUS_CONCAT_IMPL(x, y) x##y
+#define SCX_STATUS_CONCAT(x, y) SCX_STATUS_CONCAT_IMPL(x, y)
+
+#endif  // SCX_COMMON_STATUS_H_

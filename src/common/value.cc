@@ -1,0 +1,95 @@
+#include "common/value.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace scx {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+double Value::AsNumeric() const {
+  if (is_int()) return static_cast<double>(as_int());
+  if (is_double()) return as_double();
+  std::fprintf(stderr, "scx: fatal: AsNumeric on string value\n");
+  std::abort();
+}
+
+uint64_t Value::Hash() const {
+  switch (data_.index()) {
+    case 0:
+      return Mix64(static_cast<uint64_t>(as_int()));
+    case 1: {
+      double d = as_double();
+      // Normalize -0.0 so that equal doubles hash equally.
+      if (d == 0.0) d = 0.0;
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits ^ 0x5555555555555555ULL);
+    }
+    default:
+      return Fnv1a64(as_string());
+  }
+}
+
+int64_t Value::ByteWidth() const {
+  switch (data_.index()) {
+    case 0:
+    case 1:
+      return 8;
+    default:
+      return static_cast<int64_t>(as_string().size()) + 4;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (data_.index()) {
+    case 0:
+      return std::to_string(as_int());
+    case 1: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", as_double());
+      return buf;
+    }
+    default:
+      return as_string();
+  }
+}
+
+std::strong_ordering operator<=>(const Value& a, const Value& b) {
+  if (a.data_.index() != b.data_.index()) {
+    return a.data_.index() <=> b.data_.index();
+  }
+  switch (a.data_.index()) {
+    case 0:
+      return a.as_int() <=> b.as_int();
+    case 1: {
+      double x = a.as_double(), y = b.as_double();
+      if (x < y) return std::strong_ordering::less;
+      if (x > y) return std::strong_ordering::greater;
+      return std::strong_ordering::equal;
+    }
+    default:
+      return a.as_string().compare(b.as_string()) <=> 0;
+  }
+}
+
+uint64_t HashRowKey(const Row& row, const std::vector<int>& positions) {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (int p : positions) {
+    h = HashCombine(h, row[static_cast<size_t>(p)].Hash());
+  }
+  return h;
+}
+
+}  // namespace scx

@@ -1,0 +1,353 @@
+#include "core/fingerprint.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/hash.h"
+
+namespace scx {
+
+namespace {
+
+/// N in Definition 1: a prime large enough to avoid accidental collisions
+/// between FileIDs and OpID combinations (Mersenne prime 2^61-1).
+constexpr uint64_t kFingerprintModulus = (uint64_t{1} << 61) - 1;
+
+uint64_t MapId(const std::map<ColumnId, ColumnId>& m, ColumnId id) {
+  auto it = m.find(id);
+  return it == m.end() ? id : it->second;
+}
+
+/// Inserts b→a into the map; fails on a conflicting existing entry.
+bool AddMapping(std::map<ColumnId, ColumnId>* m, ColumnId b, ColumnId a) {
+  auto [it, inserted] = m->emplace(b, a);
+  return inserted || it->second == a;
+}
+
+bool PayloadEquivalent(const LogicalNode& a, const LogicalNode& b,
+                       std::map<ColumnId, ColumnId>* b_to_a) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case LogicalOpKind::kExtract: {
+      if (a.file.file_id != b.file.file_id) return false;
+      if (a.schema().NumColumns() != b.schema().NumColumns()) return false;
+      for (int i = 0; i < a.schema().NumColumns(); ++i) {
+        if (a.schema().column(i).name != b.schema().column(i).name) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case LogicalOpKind::kFilter: {
+      if (a.predicates.size() != b.predicates.size()) return false;
+      for (size_t i = 0; i < a.predicates.size(); ++i) {
+        const BoundPredicate& pa = a.predicates[i];
+        const BoundPredicate& pb = b.predicates[i];
+        if (pa.op != pb.op || pa.rhs_is_column != pb.rhs_is_column) {
+          return false;
+        }
+        if (MapId(*b_to_a, pb.lhs) != pa.lhs) return false;
+        if (pb.rhs_is_column) {
+          if (MapId(*b_to_a, pb.rhs) != pa.rhs) return false;
+        } else if (!(pa.literal == pb.literal)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case LogicalOpKind::kUnionAll:
+    case LogicalOpKind::kProject: {
+      if (a.project_map.size() != b.project_map.size()) return false;
+      for (size_t i = 0; i < a.project_map.size(); ++i) {
+        if (MapId(*b_to_a, b.project_map[i].first) !=
+            a.project_map[i].first) {
+          return false;
+        }
+        if (!AddMapping(b_to_a, b.project_map[i].second,
+                        a.project_map[i].second)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case LogicalOpKind::kCompute: {
+      if (a.compute_items.size() != b.compute_items.size()) return false;
+      for (size_t i = 0; i < a.compute_items.size(); ++i) {
+        const ComputeItem& ia = a.compute_items[i];
+        const ComputeItem& ib = b.compute_items[i];
+        if (!ia.expr->EqualsMapped(*ib.expr, *b_to_a)) return false;
+        if (!AddMapping(b_to_a, ib.out, ia.out)) return false;
+      }
+      return true;
+    }
+    case LogicalOpKind::kGbAgg:
+    case LogicalOpKind::kLocalGbAgg:
+    case LogicalOpKind::kGlobalGbAgg: {
+      if (a.group_cols.size() != b.group_cols.size()) return false;
+      for (size_t i = 0; i < a.group_cols.size(); ++i) {
+        if (MapId(*b_to_a, b.group_cols[i]) != a.group_cols[i]) return false;
+      }
+      if (a.aggregates.size() != b.aggregates.size()) return false;
+      for (size_t i = 0; i < a.aggregates.size(); ++i) {
+        const AggregateDesc& da = a.aggregates[i];
+        const AggregateDesc& db = b.aggregates[i];
+        if (da.fn != db.fn || da.count_star != db.count_star) return false;
+        if (!da.count_star && MapId(*b_to_a, db.arg) != da.arg) return false;
+        if (!AddMapping(b_to_a, db.out, da.out)) return false;
+        if (da.hidden_count != 0 && db.hidden_count != 0 &&
+            !AddMapping(b_to_a, db.hidden_count, da.hidden_count)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case LogicalOpKind::kJoin: {
+      if (a.join_keys.size() != b.join_keys.size()) return false;
+      for (size_t i = 0; i < a.join_keys.size(); ++i) {
+        if (MapId(*b_to_a, b.join_keys[i].first) != a.join_keys[i].first ||
+            MapId(*b_to_a, b.join_keys[i].second) != a.join_keys[i].second) {
+          return false;
+        }
+      }
+      if (a.predicates.size() != b.predicates.size()) return false;
+      for (size_t i = 0; i < a.predicates.size(); ++i) {
+        const BoundPredicate& pa = a.predicates[i];
+        const BoundPredicate& pb = b.predicates[i];
+        if (pa.op != pb.op || pa.rhs_is_column != pb.rhs_is_column) {
+          return false;
+        }
+        if (MapId(*b_to_a, pb.lhs) != pa.lhs) return false;
+        if (pb.rhs_is_column && MapId(*b_to_a, pb.rhs) != pa.rhs) {
+          return false;
+        }
+        if (!pb.rhs_is_column && !(pa.literal == pb.literal)) return false;
+      }
+      return true;
+    }
+    case LogicalOpKind::kSpool:
+      return true;
+    case LogicalOpKind::kOutput:
+    case LogicalOpKind::kSequence:
+      // Terminal operators are never merged (distinct side effects).
+      return false;
+  }
+  return false;
+}
+
+bool EquivalentRec(const Memo& memo, GroupId a, GroupId b,
+                   std::map<ColumnId, ColumnId>* b_to_a) {
+  if (a == b) {
+    // One shared group reached through both subexpressions: identity map.
+    for (const ColumnInfo& c : memo.group(a).schema().columns()) {
+      if (!AddMapping(b_to_a, c.id, c.id)) return false;
+    }
+    return true;
+  }
+  const GroupExpr& ea = memo.group(a).initial_expr();
+  const GroupExpr& eb = memo.group(b).initial_expr();
+  if (ea.children.size() != eb.children.size()) return false;
+  for (size_t i = 0; i < ea.children.size(); ++i) {
+    if (!EquivalentRec(memo, ea.children[i], eb.children[i], b_to_a)) {
+      return false;
+    }
+  }
+  if (!PayloadEquivalent(*ea.op, *eb.op, b_to_a)) return false;
+  // Positional schema mapping (covers Extract columns; aggregate outputs and
+  // project renames were mapped by PayloadEquivalent, which must agree).
+  const Schema& sa = memo.group(a).schema();
+  const Schema& sb = memo.group(b).schema();
+  if (sa.NumColumns() != sb.NumColumns()) return false;
+  for (int i = 0; i < sa.NumColumns(); ++i) {
+    if (sa.column(i).type != sb.column(i).type) return false;
+    if (!AddMapping(b_to_a, sb.column(i).id, sa.column(i).id)) return false;
+  }
+  return true;
+}
+
+/// Rewrites all column ids in `op` through `remap`.
+void ApplyRemapToOp(LogicalNode* op,
+                    const std::map<ColumnId, ColumnId>& remap) {
+  Schema rewritten;
+  for (const ColumnInfo& c : op->schema().columns()) {
+    ColumnInfo copy = c;
+    copy.id = static_cast<ColumnId>(MapId(remap, c.id));
+    rewritten.AddColumn(copy);
+  }
+  *op->mutable_schema() = std::move(rewritten);
+  for (BoundPredicate& p : op->predicates) {
+    p.lhs = static_cast<ColumnId>(MapId(remap, p.lhs));
+    if (p.rhs_is_column) p.rhs = static_cast<ColumnId>(MapId(remap, p.rhs));
+  }
+  for (auto& [src, out] : op->project_map) {
+    src = static_cast<ColumnId>(MapId(remap, src));
+    out = static_cast<ColumnId>(MapId(remap, out));
+  }
+  for (ComputeItem& item : op->compute_items) {
+    item.expr = item.expr->Remap(remap);
+    item.out = static_cast<ColumnId>(MapId(remap, item.out));
+  }
+  for (ColumnId& c : op->group_cols) {
+    c = static_cast<ColumnId>(MapId(remap, c));
+  }
+  for (AggregateDesc& a : op->aggregates) {
+    a.arg = static_cast<ColumnId>(MapId(remap, a.arg));
+    a.out = static_cast<ColumnId>(MapId(remap, a.out));
+    if (a.hidden_count != 0) {
+      a.hidden_count = static_cast<ColumnId>(MapId(remap, a.hidden_count));
+    }
+  }
+  for (auto& [l, r] : op->join_keys) {
+    l = static_cast<ColumnId>(MapId(remap, l));
+    r = static_cast<ColumnId>(MapId(remap, r));
+  }
+}
+
+/// Finds an existing shared SPOOL group whose only child is `g`.
+GroupId FindSpoolOver(const Memo& memo, GroupId g) {
+  for (GroupId i = 0; i < memo.num_groups(); ++i) {
+    const Group& grp = memo.group(i);
+    if (!grp.is_shared()) continue;
+    const GroupExpr& e = grp.initial_expr();
+    if (e.op->kind() == LogicalOpKind::kSpool && e.children.size() == 1 &&
+        e.children[0] == g) {
+      return i;
+    }
+  }
+  return kInvalidGroup;
+}
+
+GroupId InsertSpoolOver(Memo* memo, GroupId g) {
+  const Group& grp = memo->group(g);
+  auto proto = std::make_shared<LogicalNode>(
+      LogicalOpKind::kSpool, grp.schema(), std::vector<LogicalNodePtr>{});
+  proto->result_name = grp.initial_expr().op->result_name;
+  GroupExpr expr;
+  expr.op = std::move(proto);
+  expr.children.push_back(g);
+  GroupId spool = memo->NewGroup(std::move(expr));
+  memo->RedirectChildReferencesExcept(g, spool, spool);
+  memo->group(spool).set_shared(true);
+  return spool;
+}
+
+}  // namespace
+
+std::map<GroupId, uint64_t> ComputeFingerprints(const Memo& memo,
+                                                bool include_payload_hash) {
+  std::map<GroupId, uint64_t> fp;
+  for (GroupId g : memo.TopologicalOrder()) {
+    const GroupExpr& e = memo.group(g).initial_expr();
+    uint64_t f;
+    if (e.op->kind() == LogicalOpKind::kExtract) {
+      f = static_cast<uint64_t>(e.op->file.file_id) % kFingerprintModulus;
+    } else {
+      f = LogicalOpId(e.op->kind());
+      for (GroupId child : e.children) {
+        f ^= fp.at(child);
+      }
+      f %= kFingerprintModulus;
+    }
+    if (include_payload_hash) {
+      // Canonical (id-free) payload seasoning: operator kind plus shape
+      // counts only, so equal subexpressions with different column ids still
+      // collide while most unequal ones separate.
+      uint64_t payload =
+          HashCombine(static_cast<uint64_t>(e.op->group_cols.size()),
+                      HashCombine(e.op->aggregates.size(),
+                                  HashCombine(e.op->predicates.size(),
+                                              e.op->join_keys.size())));
+      f = HashCombine(f, payload) % kFingerprintModulus;
+    }
+    fp[g] = f;
+  }
+  return fp;
+}
+
+bool EquivalentSubexpressions(const Memo& memo, GroupId a, GroupId b,
+                              std::map<ColumnId, ColumnId>* b_to_a) {
+  std::map<ColumnId, ColumnId> local;
+  if (!EquivalentRec(memo, a, b, &local)) return false;
+  if (b_to_a != nullptr) *b_to_a = std::move(local);
+  return true;
+}
+
+CseIdentifyResult IdentifyCommonSubexpressions(Memo* memo,
+                                               const CseIdentifyOptions& opts) {
+  CseIdentifyResult result;
+
+  // Line 1: IdentifyExplicitCommSubexpr — a group directly referenced from
+  // two or more groups gets a SPOOL parent marked shared.
+  {
+    std::vector<GroupId> topo = memo->TopologicalOrder();
+    std::vector<GroupId> multi_parent;
+    for (GroupId g : topo) {
+      const GroupExpr& e = memo->group(g).initial_expr();
+      if (e.op->kind() == LogicalOpKind::kSpool ||
+          e.op->kind() == LogicalOpKind::kOutput ||
+          e.op->kind() == LogicalOpKind::kSequence) {
+        continue;
+      }
+      if (memo->ParentsOf(g).size() > 1) multi_parent.push_back(g);
+    }
+    for (GroupId g : multi_parent) {
+      InsertSpoolOver(memo, g);
+      ++result.explicit_shared;
+    }
+  }
+
+  // Lines 2-11: fingerprint all subexpressions, compare colliding buckets,
+  // merge equal ones under one shared SPOOL.
+  if (opts.fingerprint_merge) {
+    std::map<GroupId, uint64_t> fp =
+        ComputeFingerprints(*memo, opts.include_payload_hash);
+    std::map<uint64_t, std::vector<GroupId>> buckets;
+    for (GroupId g : memo->TopologicalOrder()) {
+      const LogicalOpKind kind = memo->group(g).initial_expr().op->kind();
+      if (kind == LogicalOpKind::kOutput || kind == LogicalOpKind::kSequence ||
+          kind == LogicalOpKind::kSpool) {
+        continue;
+      }
+      buckets[fp.at(g)].push_back(g);
+    }
+    std::set<GroupId> dead;
+    for (auto& [hash, bucket] : buckets) {
+      (void)hash;
+      if (bucket.size() < 2) continue;
+      for (size_t i = 0; i < bucket.size(); ++i) {
+        if (dead.count(bucket[i])) continue;
+        for (size_t j = i + 1; j < bucket.size(); ++j) {
+          if (dead.count(bucket[j])) continue;
+          std::map<ColumnId, ColumnId> remap;
+          if (!EquivalentSubexpressions(*memo, bucket[i], bucket[j],
+                                        &remap)) {
+            continue;
+          }
+          GroupId canonical = bucket[i];
+          GroupId dup = bucket[j];
+          GroupId spool = FindSpoolOver(*memo, canonical);
+          if (spool == kInvalidGroup) {
+            spool = InsertSpoolOver(memo, canonical);
+          }
+          // Point the duplicate's consumers at the spool and rewrite their
+          // (and all downstream) column references to canonical identities.
+          memo->RedirectChildReferencesExcept(dup, spool, spool);
+          for (GroupId g = 0; g < memo->num_groups(); ++g) {
+            if (g == dup) continue;
+            for (GroupExpr& e : memo->group(g).mutable_exprs()) {
+              ApplyRemapToOp(e.op.get(), remap);
+            }
+          }
+          dead.insert(dup);
+          ++result.merged;
+        }
+      }
+    }
+  }
+
+  for (GroupId g = 0; g < memo->num_groups(); ++g) {
+    if (memo->group(g).is_shared()) result.spool_groups.push_back(g);
+  }
+  return result;
+}
+
+}  // namespace scx

@@ -1,0 +1,57 @@
+#ifndef SCX_CORE_FINGERPRINT_H_
+#define SCX_CORE_FINGERPRINT_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "memo/memo.h"
+
+namespace scx {
+
+/// Options for common-subexpression identification (paper Sec. IV).
+struct CseIdentifyOptions {
+  /// Run the fingerprint-hash pass that merges structurally equal but
+  /// separately written subexpressions. Explicit (multi-parent) common
+  /// subexpressions are always spooled.
+  bool fingerprint_merge = true;
+  /// Fold a canonicalized payload hash into the Def. 1 fingerprint. The
+  /// paper's fingerprint uses only OpID/FileID and child fingerprints;
+  /// enabling this reduces hash-bucket collisions without changing results
+  /// (colliding entries are structurally compared either way).
+  bool include_payload_hash = false;
+};
+
+/// Outcome statistics of Algorithm 1.
+struct CseIdentifyResult {
+  int explicit_shared = 0;  ///< spools inserted over multi-parent groups
+  int merged = 0;           ///< duplicate subexpressions merged by fingerprint
+  std::vector<GroupId> spool_groups;  ///< all shared SPOOL groups
+};
+
+/// Paper Definition 1. Computes the fingerprint of every group reachable
+/// from the memo root, bottom-up:
+///   leaf (Extract):  F = FileID mod N
+///   otherwise:       F = (OpID ⊕ ⊕_i F_child[i]) mod N
+/// (optionally ⊕ payload hash, see CseIdentifyOptions).
+std::map<GroupId, uint64_t> ComputeFingerprints(const Memo& memo,
+                                                bool include_payload_hash);
+
+/// Structural equivalence of the subexpressions rooted at `a` and `b`,
+/// tolerant of differing column identities: on success, `*b_to_a` maps every
+/// column id visible in `b`'s output (and internals) to its counterpart in
+/// `a`. Fingerprints are only a filter; this comparison is the ground truth.
+bool EquivalentSubexpressions(const Memo& memo, GroupId a, GroupId b,
+                              std::map<ColumnId, ColumnId>* b_to_a);
+
+/// Paper Algorithm 1 (IdentifyCommonSubexpressions): inserts a shared SPOOL
+/// group over every explicitly shared group, then uses fingerprints to find
+/// structurally equal subexpressions, merges duplicates into one, and spools
+/// it. Consumers of removed duplicates are re-pointed at the spool and their
+/// column references rewritten to the canonical identities.
+CseIdentifyResult IdentifyCommonSubexpressions(Memo* memo,
+                                               const CseIdentifyOptions& opts);
+
+}  // namespace scx
+
+#endif  // SCX_CORE_FINGERPRINT_H_

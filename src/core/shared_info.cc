@@ -1,0 +1,262 @@
+#include "core/shared_info.h"
+
+#include <algorithm>
+
+namespace scx {
+
+namespace {
+
+/// Distinct child groups of `g` across all its expressions.
+std::vector<GroupId> ChildrenOf(const Memo& memo, GroupId g) {
+  std::set<GroupId> out;
+  for (const GroupExpr& e : memo.group(g).exprs()) {
+    for (GroupId c : e.children) out.insert(c);
+  }
+  return {out.begin(), out.end()};
+}
+
+/// Distinct parent groups, restricted to groups reachable from the root.
+std::map<GroupId, std::set<GroupId>> ParentMap(
+    const Memo& memo, const std::vector<GroupId>& topo) {
+  std::map<GroupId, std::set<GroupId>> parents;
+  std::set<GroupId> reachable(topo.begin(), topo.end());
+  for (GroupId g : topo) {
+    parents[g];  // ensure key
+    for (GroupId c : ChildrenOf(memo, g)) {
+      if (reachable.count(c)) parents[c].insert(g);
+    }
+  }
+  return parents;
+}
+
+/// Paper Algorithm 3 state: one ShrdGrp node per shared group known below.
+struct ShrdGrpEntry {
+  GroupId shared_group = kInvalidGroup;
+  std::set<GroupId> consumers_found;
+};
+
+}  // namespace
+
+SharedInfo SharedInfo::Compute(const Memo& memo) {
+  SharedInfo info;
+  std::vector<GroupId> topo = memo.TopologicalOrder();
+  std::set<GroupId> reachable(topo.begin(), topo.end());
+
+  for (GroupId g : topo) {
+    if (memo.group(g).is_shared()) info.shared_groups_.push_back(g);
+  }
+
+  // Consumers: distinct reachable parent groups of each shared group.
+  // Rule-generated groups (e.g. the LocalGbAgg half of an aggregate split)
+  // are implementation details of their own parent group, not consumers.
+  std::map<GroupId, std::set<GroupId>> parents = ParentMap(memo, topo);
+  for (GroupId s : info.shared_groups_) {
+    std::set<GroupId> consumers;
+    for (GroupId p : parents.at(s)) {
+      if (!memo.group(p).rule_generated()) consumers.insert(p);
+    }
+    info.consumers_[s] = std::move(consumers);
+  }
+
+  // Shared-below sets, children before parents.
+  for (GroupId g : topo) {
+    std::set<GroupId>& below = info.shared_below_[g];
+    if (memo.group(g).is_shared()) below.insert(g);
+    for (GroupId c : ChildrenOf(memo, g)) {
+      if (!reachable.count(c)) continue;
+      const std::set<GroupId>& cb = info.shared_below_[c];
+      below.insert(cb.begin(), cb.end());
+    }
+  }
+
+  // --- Paper Algorithm 3 (PropagateSharedGrpInfoAndFindLCA) ---
+  // `topo` is already a valid bottom-up visit order, so the recursive
+  // formulation is flattened into one pass.
+  std::map<GroupId, std::vector<ShrdGrpEntry>> entries;
+  for (GroupId g : topo) {
+    std::vector<ShrdGrpEntry>& mine = entries[g];
+    if (memo.group(g).is_shared()) {
+      mine.push_back(ShrdGrpEntry{g, {}});
+    }
+    for (GroupId input : ChildrenOf(memo, g)) {
+      if (!reachable.count(input)) continue;
+      for (const ShrdGrpEntry& in_entry : entries[input]) {
+        ShrdGrpEntry* found = nullptr;
+        for (ShrdGrpEntry& e : mine) {
+          if (e.shared_group == in_entry.shared_group) {
+            found = &e;
+            break;
+          }
+        }
+        GroupId s = in_entry.shared_group;
+        const std::set<GroupId>& all_consumers = info.consumers_.at(s);
+        if (found != nullptr) {
+          // Propagate information of consumer groups; G is a potential LCA
+          // when all consumers are now found (SetLCA overwrites).
+          found->consumers_found.insert(in_entry.consumers_found.begin(),
+                                        in_entry.consumers_found.end());
+          if (input == s && all_consumers.count(g)) {
+            found->consumers_found.insert(g);
+          }
+          if (found->consumers_found == all_consumers) {
+            info.alg3_lca_[s] = g;
+          }
+        } else {
+          ShrdGrpEntry copy = in_entry;
+          if (input == s && all_consumers.count(g)) {
+            copy.consumers_found.insert(g);
+          }
+          mine.push_back(std::move(copy));
+        }
+      }
+    }
+  }
+
+  // --- Authoritative LCA via post-dominators ---
+  info.lca_ = LcaByPostDominators(memo);
+  return info;
+}
+
+const std::set<GroupId>& SharedInfo::SharedBelow(GroupId g) const {
+  auto it = shared_below_.find(g);
+  if (it == shared_below_.end()) return empty_;
+  return it->second;
+}
+
+std::vector<GroupId> SharedInfo::SharedGroupsWithLca(GroupId g) const {
+  std::vector<GroupId> out;
+  for (GroupId s : shared_groups_) {
+    auto it = lca_.find(s);
+    if (it != lca_.end() && it->second == g) out.push_back(s);
+  }
+  return out;
+}
+
+std::map<GroupId, GroupId> SharedInfo::LcaByPostDominators(const Memo& memo) {
+  std::vector<GroupId> topo = memo.TopologicalOrder();
+  std::map<GroupId, std::set<GroupId>> parents = ParentMap(memo, topo);
+
+  // Post-dominators over the parent-edge DAG with the root as single exit:
+  // PD(root) = {root}; PD(g) = {g} ∪ ∩_{p ∈ parents(g)} PD(p).
+  // Processing in reverse topological order visits parents before children.
+  std::map<GroupId, std::set<GroupId>> pd;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    GroupId g = *it;
+    std::set<GroupId> acc;
+    bool first = true;
+    for (GroupId p : parents.at(g)) {
+      if (first) {
+        acc = pd.at(p);
+        first = false;
+      } else {
+        std::set<GroupId> tmp;
+        std::set_intersection(acc.begin(), acc.end(), pd.at(p).begin(),
+                              pd.at(p).end(),
+                              std::inserter(tmp, tmp.begin()));
+        acc = std::move(tmp);
+      }
+    }
+    acc.insert(g);
+    pd[g] = std::move(acc);
+  }
+
+  std::map<GroupId, GroupId> lca;
+  for (GroupId s : topo) {
+    if (!memo.group(s).is_shared()) continue;
+    const std::set<GroupId>& consumers = parents.at(s);
+    if (consumers.empty()) continue;
+    std::set<GroupId> common;
+    bool first = true;
+    for (GroupId c : consumers) {
+      if (first) {
+        common = pd.at(c);
+        first = false;
+      } else {
+        std::set<GroupId> tmp;
+        std::set_intersection(common.begin(), common.end(), pd.at(c).begin(),
+                              pd.at(c).end(),
+                              std::inserter(tmp, tmp.begin()));
+        common = std::move(tmp);
+      }
+    }
+    // The LCA is the nearest common post-dominator: the element of `common`
+    // whose own post-dominator set is exactly `common` (the sets along the
+    // post-dominator chain are nested).
+    GroupId best = memo.root();
+    for (GroupId y : common) {
+      if (pd.at(y) == common) {
+        best = y;
+        break;
+      }
+    }
+    lca[s] = best;
+  }
+  return lca;
+}
+
+std::vector<std::vector<GroupId>> SharedInfo::IndependenceClassesAt(
+    const Memo& memo, GroupId g) const {
+  std::vector<GroupId> mine = SharedGroupsWithLca(g);
+  if (mine.empty()) return {};
+  std::set<GroupId> mine_set(mine.begin(), mine.end());
+
+  // Sec. VIII-A: take the shared-group sets under each input of the LCA,
+  // keep only groups whose LCA is g, then iteratively merge sets that share
+  // an element. The final sets are the independence classes.
+  std::vector<std::set<GroupId>> sets;
+  for (GroupId input : ChildrenOf(memo, g)) {
+    std::set<GroupId> s;
+    for (GroupId shared : SharedBelow(input)) {
+      if (mine_set.count(shared)) s.insert(shared);
+    }
+    if (!s.empty()) sets.push_back(std::move(s));
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < sets.size() && !changed; ++i) {
+      for (size_t j = i + 1; j < sets.size() && !changed; ++j) {
+        bool overlap = false;
+        for (GroupId x : sets[i]) {
+          if (sets[j].count(x)) {
+            overlap = true;
+            break;
+          }
+        }
+        if (overlap) {
+          sets[i].insert(sets[j].begin(), sets[j].end());
+          sets.erase(sets.begin() + static_cast<long>(j));
+          changed = true;
+        }
+      }
+    }
+  }
+  std::vector<std::vector<GroupId>> out;
+  for (const std::set<GroupId>& s : sets) {
+    out.emplace_back(s.begin(), s.end());
+  }
+  // Deterministic order: by smallest member.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string SharedInfo::ToString(const Memo& memo) const {
+  std::string out;
+  for (GroupId s : shared_groups_) {
+    out += "shared group " + std::to_string(s) + ": consumers={";
+    bool first = true;
+    for (GroupId c : consumers_.at(s)) {
+      if (!first) out += ",";
+      first = false;
+      out += std::to_string(c);
+    }
+    out += "} LCA=" + std::to_string(lca_.count(s) ? lca_.at(s) : -1);
+    auto it = alg3_lca_.find(s);
+    out += " (Alg3: " +
+           std::to_string(it != alg3_lca_.end() ? it->second : -1) + ")\n";
+  }
+  (void)memo;
+  return out;
+}
+
+}  // namespace scx

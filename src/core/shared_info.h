@@ -1,0 +1,78 @@
+#ifndef SCX_CORE_SHARED_INFO_H_
+#define SCX_CORE_SHARED_INFO_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "memo/memo.h"
+
+namespace scx {
+
+/// Paper Sec. VI: bottom-up propagated knowledge about shared groups, the
+/// consumers of each shared group, and the least common ancestor (LCA) of
+/// those consumers (Def. 2) — the group where phase-2 re-optimization rounds
+/// are run.
+///
+/// Two implementations of LCA identification are provided:
+///  * `Compute` runs the paper's Algorithm 3 (bottom-up ShrdGrp-list
+///    propagation with SetLCA on consumer-completing merges),
+///  * `LcaByPostDominators` derives the LCA independently from the
+///    post-dominator relation of the parent-edge DAG (a group lies on every
+///    consumer→root path iff it post-dominates the consumer).
+/// Tests assert both agree on the paper's Figure 3 DAGs and on random DAGs.
+class SharedInfo {
+ public:
+  /// Computes shared-below sets, consumer sets, and LCAs for `memo`.
+  /// Considers every group whose `is_shared()` flag is set (i.e. SPOOL
+  /// groups marked by Algorithm 1).
+  static SharedInfo Compute(const Memo& memo);
+
+  /// Shared groups strictly below (reachable from) `g`, including `g`
+  /// itself when shared.
+  const std::set<GroupId>& SharedBelow(GroupId g) const;
+
+  /// All shared groups, ascending.
+  const std::vector<GroupId>& shared_groups() const { return shared_groups_; }
+
+  /// Consumer groups of shared group `s` (its distinct parent groups).
+  const std::set<GroupId>& ConsumersOf(GroupId s) const {
+    return consumers_.at(s);
+  }
+
+  /// The LCA associated with shared group `s`.
+  GroupId LcaOf(GroupId s) const { return lca_.at(s); }
+
+  /// Shared groups whose LCA is `g` (empty for non-LCA groups).
+  std::vector<GroupId> SharedGroupsWithLca(GroupId g) const;
+
+  /// Independent-shared-group classes at LCA `g` (paper Def. 3 via the
+  /// Sec. VIII-A merge procedure over the shared-group sets under each
+  /// input of `g`). Each class must be optimized jointly; distinct classes
+  /// can be optimized sequentially.
+  std::vector<std::vector<GroupId>> IndependenceClassesAt(
+      const Memo& memo, GroupId g) const;
+
+  /// Reference LCA computation from post-dominators; exposed for tests.
+  static std::map<GroupId, GroupId> LcaByPostDominators(const Memo& memo);
+
+  /// The paper's Algorithm-3 SetLCA result; exposed for tests.
+  const std::map<GroupId, GroupId>& algorithm3_lca() const {
+    return alg3_lca_;
+  }
+
+  std::string ToString(const Memo& memo) const;
+
+ private:
+  std::vector<GroupId> shared_groups_;
+  std::map<GroupId, std::set<GroupId>> shared_below_;
+  std::map<GroupId, std::set<GroupId>> consumers_;
+  std::map<GroupId, GroupId> lca_;       // authoritative (post-dominators)
+  std::map<GroupId, GroupId> alg3_lca_;  // paper Algorithm 3 result
+  std::set<GroupId> empty_;
+};
+
+}  // namespace scx
+
+#endif  // SCX_CORE_SHARED_INFO_H_

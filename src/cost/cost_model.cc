@@ -1,0 +1,292 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scx {
+
+void CardinalityEstimator::EstimateMemo(const Memo& memo) {
+  for (GroupId id : memo.TopologicalOrder()) {
+    const GroupExpr& expr = memo.group(id).initial_expr();
+    std::vector<GroupStats> child_stats;
+    child_stats.reserve(expr.children.size());
+    for (GroupId child : expr.children) {
+      child_stats.push_back(stats_.at(child));
+    }
+    stats_[id] = EstimateExpr(*expr.op, child_stats);
+  }
+}
+
+double CardinalityEstimator::Ndv(ColumnId id) const {
+  auto it = derived_ndv_.find(id);
+  if (it != derived_ndv_.end()) return it->second;
+  const ColumnMeta& meta = columns_->Get(id);
+  if (meta.base_ndv > 0) return static_cast<double>(meta.base_ndv);
+  return 1000.0;  // fallback for underived columns
+}
+
+double CardinalityEstimator::NdvOf(const ColumnSet& cols) const {
+  double d = 1.0;
+  for (ColumnId c : cols.ToVector()) d *= Ndv(c);
+  return d;
+}
+
+double CardinalityEstimator::DistinctSeen(double d, double n) {
+  if (d <= 0) return 0;
+  if (n <= 0) return 0;
+  return d * (1.0 - std::exp(-n / d));
+}
+
+double CardinalityEstimator::Selectivity(
+    const std::vector<BoundPredicate>& preds) const {
+  double sel = 1.0;
+  for (const BoundPredicate& p : preds) {
+    switch (p.op) {
+      case CompareOp::kEq:
+        if (p.rhs_is_column) {
+          sel *= 1.0 / std::max(1.0, std::max(Ndv(p.lhs), Ndv(p.rhs)));
+        } else {
+          sel *= 1.0 / std::max(1.0, Ndv(p.lhs));
+        }
+        break;
+      case CompareOp::kNe:
+        sel *= 1.0 - 1.0 / std::max(1.0, Ndv(p.lhs));
+        break;
+      default:
+        sel *= 1.0 / 3.0;
+        break;
+    }
+  }
+  return sel;
+}
+
+GroupStats CardinalityEstimator::EstimateExpr(
+    const LogicalNode& op, const std::vector<GroupStats>& child_stats) {
+  GroupStats out;
+  auto schema_width = [this](const Schema& schema) {
+    double w = 0;
+    for (const ColumnInfo& c : schema.columns()) {
+      w += static_cast<double>(columns_->Get(c.id).avg_width);
+    }
+    return std::max(8.0, w);
+  };
+
+  switch (op.kind()) {
+    case LogicalOpKind::kExtract: {
+      out.rows = static_cast<double>(op.file.row_count);
+      out.row_width = schema_width(op.schema());
+      break;
+    }
+    case LogicalOpKind::kFilter: {
+      out.rows = child_stats[0].rows * Selectivity(op.predicates);
+      out.row_width = child_stats[0].row_width;
+      break;
+    }
+    case LogicalOpKind::kProject: {
+      out.rows = child_stats[0].rows;
+      out.row_width = schema_width(op.schema());
+      // Renamed outputs inherit the source column's distinct count.
+      for (const auto& [src, dst] : op.project_map) {
+        if (src != dst) derived_ndv_[dst] = Ndv(src);
+      }
+      break;
+    }
+    case LogicalOpKind::kCompute: {
+      out.rows = child_stats[0].rows;
+      out.row_width = schema_width(op.schema());
+      // A computed column has at most as many distinct values as the
+      // product of its inputs' (capped by the row count).
+      for (const ComputeItem& item : op.compute_items) {
+        if (item.IsPassthrough()) continue;
+        double d = NdvOf(item.expr->ReferencedColumns());
+        derived_ndv_[item.out] = std::min(out.rows, std::max(1.0, d));
+      }
+      break;
+    }
+    case LogicalOpKind::kGbAgg:
+    case LogicalOpKind::kGlobalGbAgg: {
+      double d = NdvOf(ColumnSet::FromVector(op.group_cols));
+      if (op.group_cols.empty()) d = 1;
+      // GlobalGbAgg consumes partial rows; distinct groups are the same as
+      // for the full aggregate over the original input, so use the child's
+      // row count as the draw count — an upper bound that stays consistent.
+      out.rows = std::max(1.0, DistinctSeen(d, child_stats[0].rows));
+      out.row_width = schema_width(op.schema());
+      for (const AggregateDesc& agg : op.aggregates) {
+        derived_ndv_[agg.out] = out.rows;
+        if (agg.hidden_count != 0) derived_ndv_[agg.hidden_count] = out.rows;
+      }
+      break;
+    }
+    case LogicalOpKind::kLocalGbAgg: {
+      double d = NdvOf(ColumnSet::FromVector(op.group_cols));
+      if (op.group_cols.empty()) d = 1;
+      double m = static_cast<double>(cluster_.machines);
+      double per_machine = child_stats[0].rows / std::max(1.0, m);
+      out.rows = std::max(1.0, m * DistinctSeen(d, per_machine));
+      out.rows = std::min(out.rows, child_stats[0].rows);
+      out.row_width = schema_width(op.schema());
+      for (const AggregateDesc& agg : op.aggregates) {
+        derived_ndv_[agg.out] = out.rows;
+        if (agg.hidden_count != 0) derived_ndv_[agg.hidden_count] = out.rows;
+      }
+      break;
+    }
+    case LogicalOpKind::kJoin: {
+      ColumnSet lkeys, rkeys;
+      for (const auto& [l, r] : op.join_keys) {
+        lkeys.Insert(l);
+        rkeys.Insert(r);
+      }
+      double d = std::max(NdvOf(lkeys), NdvOf(rkeys));
+      out.rows = child_stats[0].rows * child_stats[1].rows / std::max(1.0, d);
+      out.rows *= Selectivity(op.predicates);
+      out.rows = std::max(1.0, out.rows);
+      out.row_width = schema_width(op.schema());
+      break;
+    }
+    case LogicalOpKind::kUnionAll: {
+      for (const GroupStats& cs : child_stats) out.rows += cs.rows;
+      out.row_width = schema_width(op.schema());
+      // Output columns inherit the first source's distinct counts, scaled
+      // by the number of sources (capped by the row count).
+      double scale = static_cast<double>(child_stats.size());
+      for (const auto& [src, dst] : op.project_map) {
+        derived_ndv_[dst] = std::min(out.rows, Ndv(src) * scale);
+      }
+      break;
+    }
+    case LogicalOpKind::kSpool:
+    case LogicalOpKind::kOutput: {
+      out = child_stats[0];
+      break;
+    }
+    case LogicalOpKind::kSequence: {
+      out.rows = 0;
+      out.row_width = 8;
+      break;
+    }
+  }
+  return out;
+}
+
+double CostModel::EffectiveParallelism(const Partitioning& part) const {
+  double m = static_cast<double>(cluster_.machines);
+  switch (part.kind) {
+    case PartitioningKind::kSerial:
+      return 1.0;
+    case PartitioningKind::kRandom:
+      return m;
+    case PartitioningKind::kRange:
+    case PartitioningKind::kHash: {
+      // Balls-into-bins occupancy: with d distinct key values hashed onto m
+      // machines, the expected number of non-empty machines is
+      // m * (1 - (1-1/m)^d) ≈ m * (1 - e^{-d/m}). Low-NDV partitioning
+      // columns therefore limit parallelism — the skew penalty that makes a
+      // covering subset like {B} locally sub-optimal (paper Sec. I).
+      double d = est_->NdvOf(part.cols);
+      return std::max(1.0, m * (1.0 - std::exp(-d / m)));
+    }
+  }
+  return 1.0;
+}
+
+double CostModel::Extract(const GroupStats& out) const {
+  double m = static_cast<double>(cluster_.machines);
+  return out.Bytes() * c_.read_per_byte / m;
+}
+
+double CostModel::Filter(const GroupStats& in,
+                         const Partitioning& in_part) const {
+  return in.Bytes() * c_.filter_per_byte / EffectiveParallelism(in_part);
+}
+
+double CostModel::Project(const GroupStats& in,
+                          const Partitioning& in_part) const {
+  return in.Bytes() * c_.project_per_byte / EffectiveParallelism(in_part);
+}
+
+double CostModel::Sort(const GroupStats& in,
+                       const Partitioning& in_part) const {
+  double eff = EffectiveParallelism(in_part);
+  double rows_per_part = std::max(2.0, in.rows / eff);
+  return in.Bytes() * c_.sort_per_byte_level * std::log2(rows_per_part) / eff;
+}
+
+double CostModel::StreamAgg(const GroupStats& in,
+                            const Partitioning& in_part) const {
+  return in.Bytes() * c_.stream_agg_per_byte / EffectiveParallelism(in_part);
+}
+
+double CostModel::HashAgg(const GroupStats& in,
+                          const Partitioning& in_part) const {
+  return in.Bytes() * c_.hash_agg_per_byte / EffectiveParallelism(in_part);
+}
+
+double CostModel::HashJoin(const GroupStats& left, const GroupStats& right,
+                           const Partitioning& part) const {
+  return (left.Bytes() + right.Bytes()) * c_.hash_join_per_byte /
+         EffectiveParallelism(part);
+}
+
+double CostModel::MergeJoin(const GroupStats& left, const GroupStats& right,
+                            const Partitioning& part) const {
+  return (left.Bytes() + right.Bytes()) * c_.merge_join_per_byte /
+         EffectiveParallelism(part);
+}
+
+double CostModel::HashExchange(const GroupStats& in,
+                               const Partitioning& in_part,
+                               const ColumnSet& to_cols) const {
+  double send_eff = EffectiveParallelism(in_part);
+  double recv_eff = EffectiveParallelism(Partitioning::Hash(to_cols));
+  double eff = std::min(send_eff, recv_eff);
+  return in.Bytes() * c_.net_per_byte / std::max(1.0, eff);
+}
+
+double CostModel::MergeExchange(const GroupStats& in,
+                                const Partitioning& in_part,
+                                const ColumnSet& to_cols) const {
+  return HashExchange(in, in_part, to_cols) +
+         in.Bytes() * c_.merge_exchange_extra /
+             EffectiveParallelism(Partitioning::Hash(to_cols));
+}
+
+double CostModel::RangeExchange(const GroupStats& in,
+                                const Partitioning& in_part,
+                                const ColumnSet& to_cols) const {
+  return HashExchange(in, in_part, to_cols) +
+         in.Bytes() * c_.range_sample_extra /
+             EffectiveParallelism(in_part);
+}
+
+double CostModel::Broadcast(const GroupStats& in) const {
+  return in.Bytes() * c_.net_per_byte;
+}
+
+double CostModel::Gather(const GroupStats& in) const {
+  return in.Bytes() * c_.gather_per_byte;
+}
+
+double CostModel::SpoolWrite(const GroupStats& in,
+                             const Partitioning& in_part) const {
+  return in.Bytes() * c_.spool_write_per_byte /
+         EffectiveParallelism(in_part);
+}
+
+double CostModel::SpoolRead(const GroupStats& in,
+                            const Partitioning& in_part) const {
+  return in.Bytes() * c_.spool_read_per_byte / EffectiveParallelism(in_part);
+}
+
+double CostModel::Output(const GroupStats& in,
+                         const Partitioning& in_part) const {
+  return in.Bytes() * c_.output_per_byte / EffectiveParallelism(in_part);
+}
+
+double CostModel::RepartCostOf(const GroupStats& g) const {
+  double m = static_cast<double>(cluster_.machines);
+  return g.Bytes() * c_.net_per_byte / m;
+}
+
+}  // namespace scx

@@ -1,0 +1,150 @@
+#ifndef SCX_COST_COST_MODEL_H_
+#define SCX_COST_COST_MODEL_H_
+
+#include <map>
+#include <vector>
+
+#include "memo/memo.h"
+#include "plan/column_registry.h"
+#include "props/physical_props.h"
+
+namespace scx {
+
+/// Static cluster description used by the cost model and the simulator.
+struct ClusterConfig {
+  /// Number of (virtual) machines; the default mirrors a modest SCOPE pod.
+  int machines = 100;
+};
+
+/// Per-byte cost constants. Units are abstract "cost units" (the paper also
+/// reports unitless estimated costs); only ratios matter. Network shuffle
+/// dominates, matching shuffle-bound cloud jobs.
+struct CostConstants {
+  double read_per_byte = 0.5;          ///< extract from distributed storage
+  double net_per_byte = 2.0;           ///< hash repartition shuffle
+  double merge_exchange_extra = 0.4;   ///< extra for order-preserving merge
+  double range_sample_extra = 0.15;    ///< extra for range-boundary sampling
+  double gather_per_byte = 1.5;        ///< merge to a single partition
+  double sort_per_byte_level = 0.03;   ///< x log2(rows per partition)
+  double stream_agg_per_byte = 0.15;
+  double hash_agg_per_byte = 0.40;
+  double filter_per_byte = 0.05;
+  double project_per_byte = 0.02;
+  double hash_join_per_byte = 0.45;
+  double merge_join_per_byte = 0.20;
+  double spool_write_per_byte = 0.5;
+  double spool_read_per_byte = 0.1;    ///< per consumer
+  double output_per_byte = 0.4;
+};
+
+/// Estimated logical properties of one memo group.
+struct GroupStats {
+  double rows = 0;
+  double row_width = 8;  ///< bytes
+
+  double Bytes() const { return rows * row_width; }
+};
+
+/// Derives row-count/width estimates for every memo group, and
+/// distinct-value counts for every column (base columns from the catalog via
+/// the column registry; aggregate outputs derived from group cardinality).
+class CardinalityEstimator {
+ public:
+  CardinalityEstimator(const ClusterConfig& cluster,
+                       ColumnRegistryPtr columns)
+      : cluster_(cluster), columns_(std::move(columns)) {}
+
+  /// Computes stats for all groups reachable from the memo root. Must be
+  /// re-run after Algorithm 1 restructures the memo (it is cheap).
+  void EstimateMemo(const Memo& memo);
+
+  const GroupStats& StatsOf(GroupId id) const { return stats_.at(id); }
+  bool HasStats(GroupId id) const { return stats_.count(id) != 0; }
+
+  /// Registers stats for a rule-created group (e.g. the LocalGbAgg group
+  /// introduced by the aggregate-split transformation).
+  void SetStats(GroupId id, GroupStats stats) { stats_[id] = stats; }
+
+  /// Distinct-value count of one column.
+  double Ndv(ColumnId id) const;
+
+  /// Distinct-value count of a combination of columns: the product of the
+  /// per-column counts (independence assumption), uncapped.
+  double NdvOf(const ColumnSet& cols) const;
+
+  /// Expected number of distinct values observed among `n` draws from a
+  /// domain of `d` values: d * (1 - e^{-n/d}).
+  static double DistinctSeen(double d, double n);
+
+  /// Estimates output stats of the operator `expr` given child stats.
+  GroupStats EstimateExpr(const LogicalNode& op,
+                          const std::vector<GroupStats>& child_stats);
+
+  /// Selectivity of a conjunction of predicates.
+  double Selectivity(const std::vector<BoundPredicate>& preds) const;
+
+  const ClusterConfig& cluster() const { return cluster_; }
+
+ private:
+  ClusterConfig cluster_;
+  ColumnRegistryPtr columns_;
+  std::map<GroupId, GroupStats> stats_;
+  std::map<ColumnId, double> derived_ndv_;
+};
+
+/// Per-operator cost functions. Costs model per-stage makespan: the work of
+/// an operator divided by its effective parallelism, which is capped by the
+/// distinct-value count of the partitioning columns (the skew term: hash
+/// partitioning on a low-NDV column set leaves machines idle).
+class CostModel {
+ public:
+  CostModel(const CostConstants& constants, const ClusterConfig& cluster,
+            const CardinalityEstimator* estimator)
+      : c_(constants), cluster_(cluster), est_(estimator) {}
+
+  /// Effective parallelism of a delivered partitioning.
+  double EffectiveParallelism(const Partitioning& part) const;
+
+  double Extract(const GroupStats& out) const;
+  double Filter(const GroupStats& in, const Partitioning& in_part) const;
+  double Project(const GroupStats& in, const Partitioning& in_part) const;
+  double Sort(const GroupStats& in, const Partitioning& in_part) const;
+  double StreamAgg(const GroupStats& in, const Partitioning& in_part) const;
+  double HashAgg(const GroupStats& in, const Partitioning& in_part) const;
+  double HashJoin(const GroupStats& left, const GroupStats& right,
+                  const Partitioning& part) const;
+  double MergeJoin(const GroupStats& left, const GroupStats& right,
+                   const Partitioning& part) const;
+  /// Hash repartition of `in` to hash partitioning on `to_cols`.
+  double HashExchange(const GroupStats& in, const Partitioning& in_part,
+                      const ColumnSet& to_cols) const;
+  /// Order-preserving (merge) repartition.
+  double MergeExchange(const GroupStats& in, const Partitioning& in_part,
+                       const ColumnSet& to_cols) const;
+  /// Range repartition (hash-exchange cost plus a boundary-sampling pass).
+  double RangeExchange(const GroupStats& in, const Partitioning& in_part,
+                       const ColumnSet& to_cols) const;
+  /// Replicate the input to every machine (each machine receives a full
+  /// copy, so the makespan is the full byte volume over the network).
+  double Broadcast(const GroupStats& in) const;
+  /// Merge all partitions into one (serial requirement).
+  double Gather(const GroupStats& in) const;
+  double SpoolWrite(const GroupStats& in, const Partitioning& in_part) const;
+  double SpoolRead(const GroupStats& in, const Partitioning& in_part) const;
+  double Output(const GroupStats& in, const Partitioning& in_part) const;
+
+  /// Cost of one hash repartition of group `g`'s full output — the paper's
+  /// RepartCost(G) used by the Sec. VIII-B shared-group ranking.
+  double RepartCostOf(const GroupStats& g) const;
+
+  const CostConstants& constants() const { return c_; }
+
+ private:
+  CostConstants c_;
+  ClusterConfig cluster_;
+  const CardinalityEstimator* est_;
+};
+
+}  // namespace scx
+
+#endif  // SCX_COST_COST_MODEL_H_

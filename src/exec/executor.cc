@@ -1,0 +1,607 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace scx {
+
+int64_t PartitionedData::TotalRows() const {
+  int64_t n = 0;
+  for (const auto& p : partitions) n += static_cast<int64_t>(p.size());
+  return n;
+}
+
+int64_t PartitionedData::TotalBytes() const {
+  int64_t n = 0;
+  for (const auto& p : partitions) {
+    for (const Row& r : p) {
+      for (const Value& v : r) n += v.ByteWidth();
+    }
+  }
+  return n;
+}
+
+std::vector<Row> PartitionedData::Gathered() const {
+  std::vector<Row> out;
+  for (const auto& p : partitions) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+std::vector<Row> CanonicalRows(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+bool SameOutputs(const ExecMetrics& a, const ExecMetrics& b) {
+  if (a.outputs.size() != b.outputs.size()) return false;
+  for (const auto& [path, rows] : a.outputs) {
+    auto it = b.outputs.find(path);
+    if (it == b.outputs.end()) return false;
+    if (CanonicalRows(rows) != CanonicalRows(it->second)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Sorts rows in place by the given column positions (all ascending).
+void SortRows(std::vector<Row>* rows, const std::vector<int>& positions) {
+  std::sort(rows->begin(), rows->end(), [&](const Row& a, const Row& b) {
+    for (int p : positions) {
+      auto c = a[static_cast<size_t>(p)] <=> b[static_cast<size_t>(p)];
+      if (c != 0) return c < 0;
+    }
+    return false;
+  });
+}
+
+/// Deterministic synthetic cell value for (file, column, row).
+Value SyntheticValue(const FileDef& file, int col_index, int64_t row_index) {
+  const ColumnStats& cs = file.columns[static_cast<size_t>(col_index)];
+  uint64_t h = Mix64(file.data_seed ^
+                     (static_cast<uint64_t>(col_index) + 1) *
+                         0x9e3779b97f4a7c15ULL ^
+                     static_cast<uint64_t>(row_index));
+  uint64_t domain = static_cast<uint64_t>(std::max<int64_t>(1, cs.distinct_count));
+  uint64_t k = h % domain;
+  switch (cs.type) {
+    case DataType::kInt64:
+      return Value::Int(static_cast<int64_t>(k) + 1);
+    case DataType::kDouble:
+      return Value::Real(static_cast<double>(k) * 0.5);
+    case DataType::kString:
+      return Value::Str("v" + std::to_string(k));
+  }
+  return Value::Int(0);
+}
+
+/// Running state for one aggregate over one group.
+struct AggState {
+  double dsum = 0;
+  int64_t isum = 0;
+  int64_t count = 0;
+  Value minv;
+  Value maxv;
+  bool seen = false;
+};
+
+}  // namespace
+
+Result<ExecMetrics> Executor::Execute(const PhysicalNodePtr& plan) {
+  ExecMetrics metrics;
+  spool_cache_.clear();
+  SCX_ASSIGN_OR_RETURN(PartitionedData ignored, Eval(plan, &metrics));
+  (void)ignored;
+  return metrics;
+}
+
+Result<PartitionedData> Executor::Eval(const PhysicalNodePtr& node,
+                                       ExecMetrics* metrics) {
+  ++metrics->operator_invocations;
+  switch (node->kind) {
+    case PhysicalOpKind::kExtract:
+      return EvalExtract(*node, metrics);
+
+    case PhysicalOpKind::kFilter: {
+      SCX_ASSIGN_OR_RETURN(PartitionedData in, Eval(node->children[0], metrics));
+      PartitionedData out;
+      out.schema = in.schema;
+      out.partitions.resize(in.partitions.size());
+      for (size_t p = 0; p < in.partitions.size(); ++p) {
+        for (Row& r : in.partitions[p]) {
+          bool pass = true;
+          for (const BoundPredicate& pred : node->proto->predicates) {
+            if (!pred.Evaluate(r, in.schema)) {
+              pass = false;
+              break;
+            }
+          }
+          if (pass) out.partitions[p].push_back(std::move(r));
+        }
+      }
+      return out;
+    }
+
+    case PhysicalOpKind::kProject: {
+      SCX_ASSIGN_OR_RETURN(PartitionedData in, Eval(node->children[0], metrics));
+      PartitionedData out;
+      out.schema = node->proto->schema();
+      out.partitions.resize(in.partitions.size());
+      std::vector<int> positions;
+      for (const auto& [src, dst] : node->proto->project_map) {
+        (void)dst;
+        positions.push_back(in.schema.PositionOf(src));
+      }
+      for (size_t p = 0; p < in.partitions.size(); ++p) {
+        out.partitions[p].reserve(in.partitions[p].size());
+        for (const Row& r : in.partitions[p]) {
+          Row projected;
+          projected.reserve(positions.size());
+          for (int pos : positions) {
+            projected.push_back(r[static_cast<size_t>(pos)]);
+          }
+          out.partitions[p].push_back(std::move(projected));
+        }
+      }
+      return out;
+    }
+
+    case PhysicalOpKind::kCompute: {
+      SCX_ASSIGN_OR_RETURN(PartitionedData in, Eval(node->children[0], metrics));
+      PartitionedData out;
+      out.schema = node->proto->schema();
+      out.partitions.resize(in.partitions.size());
+      const auto& items = node->proto->compute_items;
+      for (size_t p = 0; p < in.partitions.size(); ++p) {
+        out.partitions[p].reserve(in.partitions[p].size());
+        for (const Row& r : in.partitions[p]) {
+          Row computed;
+          computed.reserve(items.size());
+          for (const ComputeItem& item : items) {
+            computed.push_back(item.expr->Evaluate(r, in.schema));
+          }
+          out.partitions[p].push_back(std::move(computed));
+        }
+      }
+      return out;
+    }
+
+    case PhysicalOpKind::kHashAgg:
+    case PhysicalOpKind::kStreamAgg: {
+      SCX_ASSIGN_OR_RETURN(PartitionedData in, Eval(node->children[0], metrics));
+      return EvalAggregate(*node, std::move(in));
+    }
+
+    case PhysicalOpKind::kHashJoin:
+    case PhysicalOpKind::kMergeJoin: {
+      SCX_ASSIGN_OR_RETURN(PartitionedData l, Eval(node->children[0], metrics));
+      SCX_ASSIGN_OR_RETURN(PartitionedData r, Eval(node->children[1], metrics));
+      return EvalJoin(*node, std::move(l), std::move(r));
+    }
+
+    case PhysicalOpKind::kUnionAll: {
+      PartitionedData out;
+      out.schema = node->proto->schema();
+      out.partitions.resize(static_cast<size_t>(cluster_.machines));
+      for (const PhysicalNodePtr& child : node->children) {
+        SCX_ASSIGN_OR_RETURN(PartitionedData in, Eval(child, metrics));
+        for (size_t p = 0; p < in.partitions.size(); ++p) {
+          size_t dest = p % out.partitions.size();
+          auto& sink = out.partitions[dest];
+          sink.insert(sink.end(),
+                      std::make_move_iterator(in.partitions[p].begin()),
+                      std::make_move_iterator(in.partitions[p].end()));
+        }
+      }
+      return out;
+    }
+
+    case PhysicalOpKind::kSpool: {
+      auto it = spool_cache_.find(node.get());
+      if (it != spool_cache_.end()) {
+        ++metrics->spool_reads;
+        return it->second;
+      }
+      SCX_ASSIGN_OR_RETURN(PartitionedData in, Eval(node->children[0], metrics));
+      metrics->bytes_spooled += in.TotalBytes();
+      ++metrics->spool_executions;
+      ++metrics->spool_reads;
+      spool_cache_[node.get()] = in;
+      return in;
+    }
+
+    case PhysicalOpKind::kSpoolScan: {
+      return Status::Internal("SpoolScan nodes are not produced");
+    }
+
+    case PhysicalOpKind::kOutput: {
+      SCX_ASSIGN_OR_RETURN(PartitionedData in, Eval(node->children[0], metrics));
+      std::vector<Row> rows = in.Gathered();
+      metrics->rows_output += static_cast<int64_t>(rows.size());
+      auto& sink = metrics->outputs[node->proto->output_path];
+      sink.insert(sink.end(), rows.begin(), rows.end());
+      return in;
+    }
+
+    case PhysicalOpKind::kSequence: {
+      for (const PhysicalNodePtr& c : node->children) {
+        SCX_ASSIGN_OR_RETURN(PartitionedData ignored, Eval(c, metrics));
+        (void)ignored;
+      }
+      PartitionedData out;
+      out.partitions.resize(static_cast<size_t>(cluster_.machines));
+      return out;
+    }
+
+    case PhysicalOpKind::kHashExchange: {
+      SCX_ASSIGN_OR_RETURN(PartitionedData in, Eval(node->children[0], metrics));
+      return Exchange(*node, std::move(in), metrics, /*preserve_order=*/false);
+    }
+    case PhysicalOpKind::kMergeExchange: {
+      SCX_ASSIGN_OR_RETURN(PartitionedData in, Eval(node->children[0], metrics));
+      return Exchange(*node, std::move(in), metrics, /*preserve_order=*/true);
+    }
+
+    case PhysicalOpKind::kRangeExchange: {
+      SCX_ASSIGN_OR_RETURN(PartitionedData in, Eval(node->children[0], metrics));
+      size_t machines = static_cast<size_t>(cluster_.machines);
+      std::vector<int> positions = in.schema.PositionsOf(
+          node->delivered.partitioning.range_cols);
+      // Boundary computation by exact quantiles over the key multiset —
+      // the simulation stand-in for SCOPE's sampling pass.
+      std::vector<std::vector<Value>> keys;
+      keys.reserve(static_cast<size_t>(in.TotalRows()));
+      for (const auto& p : in.partitions) {
+        for (const Row& r : p) {
+          std::vector<Value> key;
+          key.reserve(positions.size());
+          for (int pos : positions) key.push_back(r[static_cast<size_t>(pos)]);
+          keys.push_back(std::move(key));
+        }
+      }
+      std::sort(keys.begin(), keys.end());
+      std::vector<std::vector<Value>> boundaries;
+      for (size_t i = 1; i < machines && !keys.empty(); ++i) {
+        boundaries.push_back(keys[i * keys.size() / machines]);
+      }
+      metrics->bytes_shuffled += in.TotalBytes();
+      metrics->rows_shuffled += in.TotalRows();
+      PartitionedData out;
+      out.schema = in.schema;
+      out.partitions.resize(machines);
+      for (auto& p : in.partitions) {
+        for (Row& r : p) {
+          std::vector<Value> key;
+          key.reserve(positions.size());
+          for (int pos : positions) key.push_back(r[static_cast<size_t>(pos)]);
+          size_t dest = static_cast<size_t>(
+              std::upper_bound(boundaries.begin(), boundaries.end(), key) -
+              boundaries.begin());
+          out.partitions[dest].push_back(std::move(r));
+        }
+      }
+      return out;
+    }
+
+    case PhysicalOpKind::kBroadcastExchange: {
+      SCX_ASSIGN_OR_RETURN(PartitionedData in, Eval(node->children[0], metrics));
+      size_t machines = static_cast<size_t>(cluster_.machines);
+      std::vector<Row> all = in.Gathered();
+      metrics->bytes_shuffled +=
+          in.TotalBytes() * static_cast<int64_t>(machines);
+      metrics->rows_shuffled +=
+          in.TotalRows() * static_cast<int64_t>(machines);
+      PartitionedData out;
+      out.schema = in.schema;
+      out.partitions.assign(machines, all);
+      return out;
+    }
+
+    case PhysicalOpKind::kGather: {
+      SCX_ASSIGN_OR_RETURN(PartitionedData in, Eval(node->children[0], metrics));
+      metrics->bytes_shuffled += in.TotalBytes();
+      metrics->rows_shuffled += in.TotalRows();
+      PartitionedData out;
+      out.schema = in.schema;
+      out.partitions.resize(1);
+      out.partitions[0] = in.Gathered();
+      if (!node->delivered.sort.Empty()) {
+        SortRows(&out.partitions[0],
+                 out.schema.PositionsOf(node->delivered.sort.cols));
+      }
+      return out;
+    }
+
+    case PhysicalOpKind::kSort: {
+      SCX_ASSIGN_OR_RETURN(PartitionedData in, Eval(node->children[0], metrics));
+      std::vector<int> positions =
+          in.schema.PositionsOf(node->sort_spec.cols);
+      for (auto& p : in.partitions) SortRows(&p, positions);
+      return in;
+    }
+  }
+  return Status::Internal("unhandled physical operator");
+}
+
+Result<PartitionedData> Executor::EvalExtract(const PhysicalNode& node,
+                                              ExecMetrics* metrics) {
+  const FileDef& file = node.proto->file;
+  PartitionedData out;
+  out.schema = node.proto->schema();
+  size_t machines = static_cast<size_t>(cluster_.machines);
+  out.partitions.resize(machines);
+
+  std::vector<int> file_cols;
+  for (const ColumnInfo& c : out.schema.columns()) {
+    int idx = file.ColumnIndex(c.name);
+    if (idx < 0) {
+      return Status::ExecutionError("extract column " + c.name +
+                                    " missing from file " + file.path);
+    }
+    file_cols.push_back(idx);
+  }
+  for (int64_t i = 0; i < file.row_count; ++i) {
+    Row row;
+    row.reserve(file_cols.size());
+    for (int idx : file_cols) {
+      row.push_back(SyntheticValue(file, idx, i));
+    }
+    out.partitions[static_cast<size_t>(i) % machines].push_back(
+        std::move(row));
+  }
+  metrics->rows_extracted += file.row_count;
+  return out;
+}
+
+Result<PartitionedData> Executor::EvalAggregate(const PhysicalNode& node,
+                                                PartitionedData in) {
+  const LogicalNode& proto = *node.proto;
+  const bool local = proto.kind() == LogicalOpKind::kLocalGbAgg;
+  const bool global = proto.kind() == LogicalOpKind::kGlobalGbAgg;
+
+  std::vector<int> group_pos = in.schema.PositionsOf(proto.group_cols);
+  struct AggIo {
+    int arg_pos = -1;
+    int hidden_pos = -1;  // global-Avg partial-count input
+  };
+  std::vector<AggIo> io(proto.aggregates.size());
+  for (size_t i = 0; i < proto.aggregates.size(); ++i) {
+    const AggregateDesc& a = proto.aggregates[i];
+    if (!a.count_star) io[i].arg_pos = in.schema.PositionOf(a.arg);
+    if (global && a.fn == AggFn::kAvg && a.hidden_count != 0) {
+      io[i].hidden_pos = in.schema.PositionOf(a.hidden_count);
+    }
+  }
+
+  PartitionedData out;
+  out.schema = proto.schema();
+  out.partitions.resize(in.partitions.size());
+
+  for (size_t p = 0; p < in.partitions.size(); ++p) {
+    std::map<std::vector<Value>, std::vector<AggState>> groups;
+    for (const Row& r : in.partitions[p]) {
+      std::vector<Value> key;
+      key.reserve(group_pos.size());
+      for (int gp : group_pos) key.push_back(r[static_cast<size_t>(gp)]);
+      auto [it, inserted] =
+          groups.try_emplace(std::move(key), proto.aggregates.size());
+      std::vector<AggState>& states = it->second;
+      for (size_t i = 0; i < proto.aggregates.size(); ++i) {
+        const AggregateDesc& a = proto.aggregates[i];
+        AggState& s = states[i];
+        if (global) {
+          // Merge partial states: Sum/Count partials are summed (fn was
+          // rewritten to kSum by the split rule); Min/Max fold; Avg sums
+          // the partial sums and the partial counts.
+          const Value& v = r[static_cast<size_t>(io[i].arg_pos)];
+          switch (a.fn) {
+            case AggFn::kSum:
+              if (v.is_int()) {
+                s.isum += v.as_int();
+              } else {
+                s.dsum += v.AsNumeric();
+              }
+              break;
+            case AggFn::kMin:
+              if (!s.seen || v < s.minv) s.minv = v;
+              break;
+            case AggFn::kMax:
+              if (!s.seen || v > s.maxv) s.maxv = v;
+              break;
+            case AggFn::kAvg: {
+              s.dsum += v.AsNumeric();
+              s.count +=
+                  r[static_cast<size_t>(io[i].hidden_pos)].as_int();
+              break;
+            }
+            case AggFn::kCount:
+              s.isum += v.as_int();
+              break;
+          }
+          s.seen = true;
+          continue;
+        }
+        // Full or local aggregation over raw rows.
+        switch (a.fn) {
+          case AggFn::kSum: {
+            const Value& v = r[static_cast<size_t>(io[i].arg_pos)];
+            if (v.is_int()) {
+              s.isum += v.as_int();
+            } else {
+              s.dsum += v.AsNumeric();
+            }
+            break;
+          }
+          case AggFn::kCount:
+            ++s.count;
+            break;
+          case AggFn::kMin: {
+            const Value& v = r[static_cast<size_t>(io[i].arg_pos)];
+            if (!s.seen || v < s.minv) s.minv = v;
+            break;
+          }
+          case AggFn::kMax: {
+            const Value& v = r[static_cast<size_t>(io[i].arg_pos)];
+            if (!s.seen || v > s.maxv) s.maxv = v;
+            break;
+          }
+          case AggFn::kAvg: {
+            const Value& v = r[static_cast<size_t>(io[i].arg_pos)];
+            s.dsum += v.AsNumeric();
+            ++s.count;
+            break;
+          }
+        }
+        s.seen = true;
+      }
+    }
+
+    for (auto& [key, states] : groups) {
+      Row row = key;
+      for (size_t i = 0; i < proto.aggregates.size(); ++i) {
+        const AggregateDesc& a = proto.aggregates[i];
+        const AggState& s = states[i];
+        if (global) {
+          switch (a.fn) {
+            case AggFn::kSum:
+            case AggFn::kCount:
+              if (a.out_type == DataType::kDouble) {
+                row.push_back(Value::Real(s.dsum));
+              } else {
+                row.push_back(Value::Int(s.isum));
+              }
+              break;
+            case AggFn::kMin:
+              row.push_back(s.minv);
+              break;
+            case AggFn::kMax:
+              row.push_back(s.maxv);
+              break;
+            case AggFn::kAvg:
+              row.push_back(Value::Real(
+                  s.count > 0 ? s.dsum / static_cast<double>(s.count) : 0));
+              break;
+          }
+          continue;
+        }
+        switch (a.fn) {
+          case AggFn::kSum:
+            if (a.out_type == DataType::kDouble) {
+              row.push_back(Value::Real(s.dsum));
+            } else {
+              row.push_back(Value::Int(s.isum));
+            }
+            break;
+          case AggFn::kCount:
+            row.push_back(Value::Int(s.count));
+            break;
+          case AggFn::kMin:
+            row.push_back(s.minv);
+            break;
+          case AggFn::kMax:
+            row.push_back(s.maxv);
+            break;
+          case AggFn::kAvg:
+            if (local) {
+              row.push_back(Value::Real(s.dsum));  // partial sum (out)
+            } else {
+              row.push_back(Value::Real(
+                  s.count > 0 ? s.dsum / static_cast<double>(s.count) : 0));
+            }
+            break;
+        }
+        if (local && a.hidden_count != 0) {
+          row.push_back(Value::Int(s.count));  // partial count (hidden)
+        }
+      }
+      out.partitions[p].push_back(std::move(row));
+    }
+  }
+
+  // Stream aggregates deliver rows ordered on their chosen sort order.
+  if (node.kind == PhysicalOpKind::kStreamAgg && !node.sort_spec.Empty()) {
+    std::vector<int> positions = out.schema.PositionsOf(node.sort_spec.cols);
+    for (auto& p : out.partitions) SortRows(&p, positions);
+  }
+  return out;
+}
+
+Result<PartitionedData> Executor::EvalJoin(const PhysicalNode& node,
+                                           PartitionedData left,
+                                           PartitionedData right) {
+  const LogicalNode& proto = *node.proto;
+  if (left.partitions.size() != right.partitions.size()) {
+    return Status::ExecutionError(
+        "join inputs have different partition counts (" +
+        std::to_string(left.partitions.size()) + " vs " +
+        std::to_string(right.partitions.size()) + ")");
+  }
+  std::vector<int> lpos, rpos;
+  for (const auto& [l, r] : proto.join_keys) {
+    lpos.push_back(left.schema.PositionOf(l));
+    rpos.push_back(right.schema.PositionOf(r));
+  }
+  PartitionedData out;
+  out.schema = proto.schema();
+  out.partitions.resize(left.partitions.size());
+
+  for (size_t p = 0; p < left.partitions.size(); ++p) {
+    std::map<std::vector<Value>, std::vector<const Row*>> table;
+    for (const Row& r : right.partitions[p]) {
+      std::vector<Value> key;
+      key.reserve(rpos.size());
+      for (int pos : rpos) key.push_back(r[static_cast<size_t>(pos)]);
+      table[std::move(key)].push_back(&r);
+    }
+    for (const Row& l : left.partitions[p]) {
+      std::vector<Value> key;
+      key.reserve(lpos.size());
+      for (int pos : lpos) key.push_back(l[static_cast<size_t>(pos)]);
+      auto it = table.find(key);
+      if (it == table.end()) continue;
+      for (const Row* r : it->second) {
+        Row joined = l;
+        joined.insert(joined.end(), r->begin(), r->end());
+        bool pass = true;
+        for (const BoundPredicate& pred : proto.predicates) {
+          if (!pred.Evaluate(joined, out.schema)) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) out.partitions[p].push_back(std::move(joined));
+      }
+    }
+  }
+  return out;
+}
+
+PartitionedData Executor::Exchange(const PhysicalNode& node,
+                                   PartitionedData in, ExecMetrics* metrics,
+                                   bool preserve_order) {
+  size_t machines = static_cast<size_t>(cluster_.machines);
+  PartitionedData out;
+  out.schema = in.schema;
+  out.partitions.resize(machines);
+  std::vector<int> positions =
+      in.schema.PositionsOf(node.exchange_cols.ToVector());
+  metrics->bytes_shuffled += in.TotalBytes();
+  metrics->rows_shuffled += in.TotalRows();
+  for (auto& p : in.partitions) {
+    for (Row& r : p) {
+      size_t dest = static_cast<size_t>(HashRowKey(r, positions) % machines);
+      out.partitions[dest].push_back(std::move(r));
+    }
+  }
+  if (preserve_order && !node.delivered.sort.Empty()) {
+    std::vector<int> sort_pos =
+        out.schema.PositionsOf(node.delivered.sort.cols);
+    for (auto& p : out.partitions) SortRows(&p, sort_pos);
+  }
+  return out;
+}
+
+}  // namespace scx

@@ -1,0 +1,87 @@
+#ifndef SCX_EXEC_EXECUTOR_H_
+#define SCX_EXEC_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "opt/physical_plan.h"
+
+namespace scx {
+
+/// Rows of one operator's output, split across the simulated cluster's
+/// machines. Row vectors are positionally aligned with the producing
+/// operator's schema.
+struct PartitionedData {
+  Schema schema;
+  std::vector<std::vector<Row>> partitions;
+
+  int64_t TotalRows() const;
+  int64_t TotalBytes() const;
+  /// All rows concatenated (partition order).
+  std::vector<Row> Gathered() const;
+};
+
+/// Counters accumulated while executing a plan on the simulated cluster.
+struct ExecMetrics {
+  int64_t rows_extracted = 0;
+  int64_t rows_shuffled = 0;
+  int64_t bytes_shuffled = 0;   ///< exchanged over the simulated network
+  int64_t bytes_spooled = 0;    ///< materialized by Spool operators
+  int64_t spool_executions = 0; ///< distinct spool materializations
+  int64_t spool_reads = 0;      ///< total consumer reads of spools
+  int64_t operator_invocations = 0;
+  int64_t rows_output = 0;
+  /// Output rows per OUTPUT path.
+  std::map<std::string, std::vector<Row>> outputs;
+};
+
+/// Canonical (sorted) form of an output row set, for comparing the results
+/// of two plans.
+std::vector<Row> CanonicalRows(std::vector<Row> rows);
+
+/// True iff both executions produced identical rows for identical paths.
+bool SameOutputs(const ExecMetrics& a, const ExecMetrics& b);
+
+/// Executes physical plans on a deterministic simulated cluster: extract
+/// synthesizes rows from the catalog's data specs, exchanges re-bucket rows
+/// by key hash across machines (with byte accounting), and spools
+/// materialize once per plan-DAG node regardless of consumer count.
+///
+/// The executor validates the optimizer's property reasoning at runtime:
+/// aggregations and joins assume their inputs are co-located the way the
+/// delivered properties claim, so a property bug surfaces as a result
+/// mismatch against the conventional plan.
+class Executor {
+ public:
+  explicit Executor(ClusterConfig cluster) : cluster_(cluster) {}
+
+  /// Runs the plan; returns counters and the produced outputs.
+  Result<ExecMetrics> Execute(const PhysicalNodePtr& plan);
+
+ private:
+  Result<PartitionedData> Eval(const PhysicalNodePtr& node,
+                               ExecMetrics* metrics);
+
+  Result<PartitionedData> EvalExtract(const PhysicalNode& node,
+                                      ExecMetrics* metrics);
+  Result<PartitionedData> EvalAggregate(const PhysicalNode& node,
+                                        PartitionedData in);
+  Result<PartitionedData> EvalJoin(const PhysicalNode& node,
+                                   PartitionedData left,
+                                   PartitionedData right);
+  PartitionedData Exchange(const PhysicalNode& node, PartitionedData in,
+                           ExecMetrics* metrics, bool preserve_order);
+
+  ClusterConfig cluster_;
+  /// Spool materializations, keyed by plan node identity so a shared spool
+  /// executes once per plan DAG.
+  std::map<const PhysicalNode*, PartitionedData> spool_cache_;
+};
+
+}  // namespace scx
+
+#endif  // SCX_EXEC_EXECUTOR_H_

@@ -1,0 +1,218 @@
+#include "memo/memo.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/hash.h"
+
+namespace scx {
+
+uint64_t OperatorPayloadHash(const LogicalNode& op) {
+  uint64_t h = LogicalOpId(op.kind());
+  switch (op.kind()) {
+    case LogicalOpKind::kExtract:
+      h = HashCombine(h, static_cast<uint64_t>(op.file.file_id));
+      for (const ColumnInfo& c : op.schema().columns()) {
+        h = HashCombine(h, Fnv1a64(c.name));
+      }
+      break;
+    case LogicalOpKind::kFilter:
+      for (const BoundPredicate& p : op.predicates) {
+        h = HashCombine(h, p.Hash());
+      }
+      break;
+    case LogicalOpKind::kProject:
+    case LogicalOpKind::kUnionAll:
+      for (const auto& [src, out] : op.project_map) {
+        h = HashCombine(h, HashCombine(src, out));
+      }
+      break;
+    case LogicalOpKind::kCompute:
+      for (const ComputeItem& item : op.compute_items) {
+        h = HashCombine(h, HashCombine(item.expr->Hash(), item.out));
+      }
+      break;
+    case LogicalOpKind::kGbAgg:
+    case LogicalOpKind::kLocalGbAgg:
+    case LogicalOpKind::kGlobalGbAgg:
+      for (ColumnId c : op.group_cols) h = HashCombine(h, c);
+      for (const AggregateDesc& a : op.aggregates) {
+        h = HashCombine(h, a.Hash());
+      }
+      break;
+    case LogicalOpKind::kJoin:
+      for (const auto& [l, r] : op.join_keys) {
+        h = HashCombine(h, HashCombine(l, r));
+      }
+      for (const BoundPredicate& p : op.predicates) {
+        h = HashCombine(h, p.Hash());
+      }
+      break;
+    case LogicalOpKind::kOutput:
+      h = HashCombine(h, Fnv1a64(op.output_path));
+      break;
+    case LogicalOpKind::kSpool:
+    case LogicalOpKind::kSequence:
+      break;
+  }
+  return h;
+}
+
+bool OperatorPayloadEquals(const LogicalNode& a, const LogicalNode& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case LogicalOpKind::kExtract: {
+      if (a.file.file_id != b.file.file_id) return false;
+      if (a.schema().NumColumns() != b.schema().NumColumns()) return false;
+      for (int i = 0; i < a.schema().NumColumns(); ++i) {
+        if (a.schema().column(i).name != b.schema().column(i).name) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case LogicalOpKind::kFilter:
+      return a.predicates == b.predicates;
+    case LogicalOpKind::kProject:
+    case LogicalOpKind::kUnionAll:
+      return a.project_map == b.project_map;
+    case LogicalOpKind::kCompute: {
+      if (a.compute_items.size() != b.compute_items.size()) return false;
+      for (size_t i = 0; i < a.compute_items.size(); ++i) {
+        const ComputeItem& x = a.compute_items[i];
+        const ComputeItem& y = b.compute_items[i];
+        if (x.out != y.out || !x.expr->EqualsMapped(*y.expr, {})) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case LogicalOpKind::kGbAgg:
+    case LogicalOpKind::kLocalGbAgg:
+    case LogicalOpKind::kGlobalGbAgg:
+      return a.group_cols == b.group_cols && a.aggregates == b.aggregates;
+    case LogicalOpKind::kJoin:
+      return a.join_keys == b.join_keys && a.predicates == b.predicates;
+    case LogicalOpKind::kOutput:
+      return a.output_path == b.output_path;
+    case LogicalOpKind::kSpool:
+    case LogicalOpKind::kSequence:
+      return true;
+  }
+  return false;
+}
+
+bool Group::AddExpr(GroupExpr expr) {
+  for (const GroupExpr& existing : exprs_) {
+    if (existing.children == expr.children &&
+        OperatorPayloadEquals(*existing.op, *expr.op)) {
+      return false;
+    }
+  }
+  exprs_.push_back(std::move(expr));
+  return true;
+}
+
+Memo Memo::FromLogicalDag(const LogicalNodePtr& root) {
+  Memo memo;
+  std::map<const LogicalNode*, GroupId> group_of;
+  for (const LogicalNodePtr& node : TopologicalNodes(root)) {
+    GroupExpr expr;
+    expr.op = node->Clone();
+    for (const LogicalNodePtr& child : node->children()) {
+      expr.children.push_back(group_of.at(child.get()));
+    }
+    GroupId id = memo.NewGroup(std::move(expr));
+    group_of[node.get()] = id;
+  }
+  memo.root_ = group_of.at(root.get());
+  return memo;
+}
+
+GroupId Memo::NewGroup(GroupExpr expr) {
+  GroupId id = static_cast<GroupId>(groups_.size());
+  groups_.emplace_back(id, std::move(expr));
+  return id;
+}
+
+std::vector<GroupId> Memo::ParentsOf(GroupId id) const {
+  std::set<GroupId> parents;
+  for (const Group& g : groups_) {
+    for (const GroupExpr& e : g.exprs()) {
+      for (GroupId child : e.children) {
+        if (child == id) parents.insert(g.id());
+      }
+    }
+  }
+  return {parents.begin(), parents.end()};
+}
+
+std::vector<GroupId> Memo::TopologicalOrder() const {
+  std::vector<GroupId> order;
+  std::set<GroupId> seen;
+  // Iterative DFS from the root, emitting children before parents.
+  struct Frame {
+    GroupId id;
+    size_t next_child = 0;
+  };
+  std::vector<Frame> stack;
+  if (root_ == kInvalidGroup) return order;
+  stack.push_back({root_});
+  seen.insert(root_);
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    // Children across all expressions of the group.
+    std::vector<GroupId> children;
+    for (const GroupExpr& e : group(top.id).exprs()) {
+      for (GroupId c : e.children) children.push_back(c);
+    }
+    if (top.next_child < children.size()) {
+      GroupId c = children[top.next_child++];
+      if (seen.insert(c).second) {
+        stack.push_back({c});
+      }
+    } else {
+      order.push_back(top.id);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+void Memo::RedirectChildReferences(GroupId from, GroupId to) {
+  RedirectChildReferencesExcept(from, to, kInvalidGroup);
+}
+
+void Memo::RedirectChildReferencesExcept(GroupId from, GroupId to,
+                                         GroupId except) {
+  for (Group& g : groups_) {
+    if (g.id() == except) continue;
+    for (GroupExpr& e : g.mutable_exprs()) {
+      for (GroupId& c : e.children) {
+        if (c == from) c = to;
+      }
+    }
+  }
+}
+
+std::string Memo::ToString() const {
+  std::string out;
+  for (const Group& g : groups_) {
+    out += "group " + std::to_string(g.id());
+    if (g.is_shared()) out += " [shared]";
+    out += ":\n";
+    for (const GroupExpr& e : g.exprs()) {
+      out += "  " + e.op->Describe() + " children=[";
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(e.children[i]);
+      }
+      out += "]\n";
+    }
+  }
+  out += "root: " + std::to_string(root_) + "\n";
+  return out;
+}
+
+}  // namespace scx

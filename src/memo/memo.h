@@ -1,0 +1,117 @@
+#ifndef SCX_MEMO_MEMO_H_
+#define SCX_MEMO_MEMO_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "plan/binder.h"
+#include "plan/logical_op.h"
+
+namespace scx {
+
+/// Index of a group within a Memo.
+using GroupId = int;
+
+inline constexpr GroupId kInvalidGroup = -1;
+
+/// One logically-equivalent expression inside a group: an operator
+/// descriptor plus child group references. The operator payload is carried
+/// by a LogicalNode whose own child pointers are ignored in memo context.
+struct GroupExpr {
+  LogicalNodePtr op;
+  std::vector<GroupId> children;
+};
+
+/// Payload-only structural hash of an operator (children excluded).
+uint64_t OperatorPayloadHash(const LogicalNode& op);
+
+/// Payload-only structural equality of two operators (children excluded).
+bool OperatorPayloadEquals(const LogicalNode& a, const LogicalNode& b);
+
+/// A memo group: the set of logically equivalent expressions that produce
+/// the same result (paper Sec. III). Exactly one expression exists right
+/// after construction; transformation rules add more.
+class Group {
+ public:
+  Group(GroupId id, GroupExpr initial) : id_(id) {
+    exprs_.push_back(std::move(initial));
+  }
+
+  GroupId id() const { return id_; }
+  const std::vector<GroupExpr>& exprs() const { return exprs_; }
+  std::vector<GroupExpr>& mutable_exprs() { return exprs_; }
+  const GroupExpr& initial_expr() const { return exprs_.front(); }
+  const Schema& schema() const { return exprs_.front().op->schema(); }
+
+  /// Adds `expr` unless an identical (payload + children) one is present.
+  /// Returns true when added.
+  bool AddExpr(GroupExpr expr);
+
+  /// True when Algorithm 1 marked this group as the root of a shared
+  /// subexpression (always a SPOOL group).
+  bool is_shared() const { return is_shared_; }
+  void set_shared(bool shared) { is_shared_ = shared; }
+
+  /// True when the group was introduced by a transformation rule (e.g. the
+  /// LocalGbAgg group of the aggregate split). Such groups are plan
+  /// implementation details and are not counted as consumers of shared
+  /// groups.
+  bool rule_generated() const { return rule_generated_; }
+  void set_rule_generated(bool v) { rule_generated_ = v; }
+
+ private:
+  GroupId id_;
+  std::vector<GroupExpr> exprs_;
+  bool is_shared_ = false;
+  bool rule_generated_ = false;
+};
+
+/// The memo: a DAG of groups. Group 1:1 with logical DAG node at
+/// construction time; rules may add derived groups.
+class Memo {
+ public:
+  /// Builds a memo isomorphic to the logical DAG rooted at `root`.
+  /// Shared logical nodes (multiple parents) become multi-referenced groups.
+  static Memo FromLogicalDag(const LogicalNodePtr& root);
+
+  GroupId root() const { return root_; }
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+
+  Group& group(GroupId id) { return groups_[static_cast<size_t>(id)]; }
+  const Group& group(GroupId id) const {
+    return groups_[static_cast<size_t>(id)];
+  }
+
+  /// Creates a new group seeded with `expr`; returns its id.
+  GroupId NewGroup(GroupExpr expr);
+
+  /// Distinct parent groups of `id` (groups having an expression that
+  /// references `id` as a child), ascending.
+  std::vector<GroupId> ParentsOf(GroupId id) const;
+
+  /// Groups reachable from the root, children before parents.
+  std::vector<GroupId> TopologicalOrder() const;
+
+  /// Rewrites every child reference `from` → `to` in all group expressions.
+  /// Used by Algorithm 1 when merging duplicate subexpressions and when
+  /// splicing SPOOL groups in.
+  void RedirectChildReferences(GroupId from, GroupId to);
+
+  /// Like RedirectChildReferences but leaves group `except` untouched
+  /// (the SPOOL group itself must keep pointing at the original).
+  void RedirectChildReferencesExcept(GroupId from, GroupId to, GroupId except);
+
+  void set_root(GroupId id) { root_ = id; }
+
+  /// Multi-line dump of all groups and expressions.
+  std::string ToString() const;
+
+ private:
+  std::deque<Group> groups_;  // deque: stable references across NewGroup
+  GroupId root_ = kInvalidGroup;
+};
+
+}  // namespace scx
+
+#endif  // SCX_MEMO_MEMO_H_

@@ -1,0 +1,214 @@
+#include "opt/physical_plan.h"
+
+#include <map>
+#include <set>
+
+namespace scx {
+
+const char* PhysicalOpKindName(PhysicalOpKind kind) {
+  switch (kind) {
+    case PhysicalOpKind::kExtract:
+      return "Extract";
+    case PhysicalOpKind::kFilter:
+      return "Filter";
+    case PhysicalOpKind::kProject:
+      return "Project";
+    case PhysicalOpKind::kCompute:
+      return "Compute";
+    case PhysicalOpKind::kHashAgg:
+      return "HashAgg";
+    case PhysicalOpKind::kStreamAgg:
+      return "StreamAgg";
+    case PhysicalOpKind::kHashJoin:
+      return "HashJoin";
+    case PhysicalOpKind::kMergeJoin:
+      return "MergeJoin";
+    case PhysicalOpKind::kUnionAll:
+      return "UnionAll";
+    case PhysicalOpKind::kSpool:
+      return "Spool";
+    case PhysicalOpKind::kSpoolScan:
+      return "SpoolScan";
+    case PhysicalOpKind::kOutput:
+      return "Output";
+    case PhysicalOpKind::kSequence:
+      return "Sequence";
+    case PhysicalOpKind::kHashExchange:
+      return "Repartition";
+    case PhysicalOpKind::kMergeExchange:
+      return "MergeRepartition";
+    case PhysicalOpKind::kRangeExchange:
+      return "RangeRepartition";
+    case PhysicalOpKind::kBroadcastExchange:
+      return "Broadcast";
+    case PhysicalOpKind::kGather:
+      return "Gather";
+    case PhysicalOpKind::kSort:
+      return "Sort";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+std::string AggModeSuffix(const LogicalNodePtr& proto) {
+  if (proto == nullptr) return "";
+  switch (proto->kind()) {
+    case LogicalOpKind::kLocalGbAgg:
+      return "(Local)";
+    case LogicalOpKind::kGlobalGbAgg:
+      return "(Global)";
+    default:
+      return "";
+  }
+}
+
+}  // namespace
+
+std::string PhysicalNode::Describe() const {
+  std::string out = PhysicalOpKindName(kind);
+  auto namer = [this](ColumnId id) {
+    if (proto != nullptr) {
+      std::string name = proto->schema().NameOf(id);
+      if (name[0] != '#') return name;
+      // Fall back to child proto schemas (enforcer columns usually name
+      // child outputs).
+    }
+    for (const PhysicalNodePtr& c : children) {
+      if (c->proto != nullptr) {
+        std::string name = c->proto->schema().NameOf(id);
+        if (name[0] != '#') return name;
+      }
+    }
+    return "#" + std::to_string(id);
+  };
+  switch (kind) {
+    case PhysicalOpKind::kHashAgg:
+    case PhysicalOpKind::kStreamAgg: {
+      out += AggModeSuffix(proto);
+      out += "[" +
+             ColumnSet::FromVector(proto->group_cols).ToString(namer) + "]";
+      break;
+    }
+    case PhysicalOpKind::kExtract:
+      out += "[" + proto->file.path + "]";
+      break;
+    case PhysicalOpKind::kOutput:
+      out += "[" + proto->output_path + "]";
+      break;
+    case PhysicalOpKind::kHashExchange:
+    case PhysicalOpKind::kMergeExchange:
+    case PhysicalOpKind::kRangeExchange:
+      out += "[" + exchange_cols.ToString(namer) + "]";
+      break;
+    case PhysicalOpKind::kSort:
+      out += sort_spec.ToString(namer);
+      break;
+    case PhysicalOpKind::kHashJoin:
+    case PhysicalOpKind::kMergeJoin: {
+      out += "[";
+      for (size_t i = 0; i < proto->join_keys.size(); ++i) {
+        if (i > 0) out += ",";
+        out += namer(proto->join_keys[i].first);
+        out += "=";
+        out += namer(proto->join_keys[i].second);
+      }
+      out += "]";
+      break;
+    }
+    default:
+      break;
+  }
+  out += "  {" + delivered.ToString(namer) + "}";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "  cost=%.0f", own_cost);
+  out += buf;
+  return out;
+}
+
+PhysicalNodePtr MakePhysicalNode(PhysicalOpKind kind, LogicalNodePtr proto,
+                                 GroupId group,
+                                 std::vector<PhysicalNodePtr> children,
+                                 DeliveredProps delivered, double own_cost) {
+  auto node = std::make_shared<PhysicalNode>();
+  node->kind = kind;
+  node->proto = std::move(proto);
+  node->group = group;
+  node->children = std::move(children);
+  node->delivered = std::move(delivered);
+  node->own_cost = own_cost;
+  node->tree_cost = own_cost;
+  for (const PhysicalNodePtr& c : node->children) {
+    node->tree_cost += c->tree_cost;
+  }
+  return node;
+}
+
+namespace {
+
+void CollectDag(const PhysicalNodePtr& node,
+                std::map<const PhysicalNode*, int>* refs,
+                std::vector<const PhysicalNode*>* order) {
+  auto [it, inserted] = refs->emplace(node.get(), 0);
+  ++it->second;
+  if (!inserted) return;
+  for (const PhysicalNodePtr& c : node->children) {
+    CollectDag(c, refs, order);
+  }
+  order->push_back(node.get());
+}
+
+}  // namespace
+
+double DagCost(const PhysicalNodePtr& root) {
+  std::map<const PhysicalNode*, int> refs;
+  std::vector<const PhysicalNode*> order;
+  CollectDag(root, &refs, &order);
+  double total = 0;
+  for (const PhysicalNode* n : order) {
+    total += n->own_cost;
+    int extra = refs.at(n) - 1;
+    if (extra > 0) total += extra * n->extra_consumer_cost;
+  }
+  return total;
+}
+
+double TreeCost(const PhysicalNodePtr& root) { return root->tree_cost; }
+
+int CountDagNodes(const PhysicalNodePtr& root) {
+  std::map<const PhysicalNode*, int> refs;
+  std::vector<const PhysicalNode*> order;
+  CollectDag(root, &refs, &order);
+  return static_cast<int>(order.size());
+}
+
+namespace {
+
+void PrintNode(const PhysicalNodePtr& node, int indent,
+               std::map<const PhysicalNode*, int>* ids, int* next,
+               std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  auto it = ids->find(node.get());
+  if (it != ids->end()) {
+    *out += "@" + std::to_string(it->second) + " (shared, see above)\n";
+    return;
+  }
+  int id = (*next)++;
+  (*ids)[node.get()] = id;
+  *out += "@" + std::to_string(id) + " " + node->Describe() + "\n";
+  for (const PhysicalNodePtr& c : node->children) {
+    PrintNode(c, indent + 1, ids, next, out);
+  }
+}
+
+}  // namespace
+
+std::string PrintPhysicalPlan(const PhysicalNodePtr& root) {
+  std::string out;
+  std::map<const PhysicalNode*, int> ids;
+  int next = 1;
+  PrintNode(root, 0, &ids, &next, &out);
+  return out;
+}
+
+}  // namespace scx

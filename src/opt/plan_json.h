@@ -1,0 +1,27 @@
+#ifndef SCX_OPT_PLAN_JSON_H_
+#define SCX_OPT_PLAN_JSON_H_
+
+#include <string>
+
+#include "opt/physical_plan.h"
+
+namespace scx {
+
+struct OptimizeDiagnostics;
+
+/// Serializes a physical plan DAG to JSON. Shared nodes (spools referenced
+/// by several consumers) are emitted once in a flat `nodes` array and
+/// referenced by id from `children`, so the sharing structure survives:
+///
+///   {"root": 0,
+///    "nodes": [{"id":0,"kind":"Sequence","cost":0,"children":[1,7],...},
+///              ...]}
+std::string PlanToJson(const PhysicalNodePtr& root);
+
+/// Serializes optimizer diagnostics (costs, shared groups, LCAs, rounds,
+/// trace) to JSON.
+std::string DiagnosticsToJson(const OptimizeDiagnostics& diagnostics);
+
+}  // namespace scx
+
+#endif  // SCX_OPT_PLAN_JSON_H_

@@ -1,0 +1,297 @@
+#include "opt/plan_validator.h"
+
+#include <set>
+
+namespace scx {
+
+namespace {
+
+Status Violation(const PhysicalNode& node, const std::string& what) {
+  return Status::Internal("plan invariant violated at [" + node.Describe() +
+                          "]: " + what);
+}
+
+Status CheckArity(const PhysicalNode& node) {
+  size_t want;
+  switch (node.kind) {
+    case PhysicalOpKind::kExtract:
+      want = 0;
+      break;
+    case PhysicalOpKind::kHashJoin:
+    case PhysicalOpKind::kMergeJoin:
+      want = 2;
+      break;
+    case PhysicalOpKind::kSequence:
+      if (node.children.empty()) {
+        return Violation(node, "Sequence must have children");
+      }
+      return Status::OK();
+    case PhysicalOpKind::kUnionAll: {
+      if (node.children.size() < 2) {
+        return Violation(node, "UnionAll needs at least two children");
+      }
+      int width = node.proto->schema().NumColumns();
+      for (const PhysicalNodePtr& c : node.children) {
+        if (c->proto->schema().NumColumns() != width) {
+          return Violation(node, "UnionAll child width mismatch");
+        }
+      }
+      return Status::OK();
+    }
+    default:
+      want = 1;
+      break;
+  }
+  if (node.children.size() != want) {
+    return Violation(node, "expected " + std::to_string(want) +
+                               " children, has " +
+                               std::to_string(node.children.size()));
+  }
+  return Status::OK();
+}
+
+const Schema& InputSchema(const PhysicalNode& node, int i = 0) {
+  const PhysicalNode* child = node.children[static_cast<size_t>(i)].get();
+  // Enforcers reuse their child's proto; walk down to a payload-bearing
+  // node. Every node has a proto in practice.
+  return child->proto->schema();
+}
+
+Status CheckSchemaWiring(const PhysicalNode& node) {
+  switch (node.kind) {
+    case PhysicalOpKind::kFilter: {
+      const Schema& in = InputSchema(node);
+      for (const BoundPredicate& p : node.proto->predicates) {
+        if (in.PositionOf(p.lhs) < 0) {
+          return Violation(node, "filter lhs column missing from input");
+        }
+        if (p.rhs_is_column && in.PositionOf(p.rhs) < 0) {
+          return Violation(node, "filter rhs column missing from input");
+        }
+      }
+      return Status::OK();
+    }
+    case PhysicalOpKind::kProject: {
+      const Schema& in = InputSchema(node);
+      for (const auto& [src, out] : node.proto->project_map) {
+        (void)out;
+        if (in.PositionOf(src) < 0) {
+          return Violation(node, "project source column missing from input");
+        }
+      }
+      return Status::OK();
+    }
+    case PhysicalOpKind::kCompute: {
+      const Schema& in = InputSchema(node);
+      for (const ComputeItem& item : node.proto->compute_items) {
+        for (ColumnId c : item.expr->ReferencedColumns().ToVector()) {
+          if (in.PositionOf(c) < 0) {
+            return Violation(node,
+                             "compute input column missing from input");
+          }
+        }
+      }
+      return Status::OK();
+    }
+    case PhysicalOpKind::kHashAgg:
+    case PhysicalOpKind::kStreamAgg: {
+      const Schema& in = InputSchema(node);
+      for (ColumnId c : node.proto->group_cols) {
+        if (in.PositionOf(c) < 0) {
+          return Violation(node, "grouping column missing from input");
+        }
+      }
+      for (const AggregateDesc& a : node.proto->aggregates) {
+        if (!a.count_star && in.PositionOf(a.arg) < 0) {
+          return Violation(node, "aggregate argument missing from input");
+        }
+      }
+      return Status::OK();
+    }
+    case PhysicalOpKind::kHashJoin:
+    case PhysicalOpKind::kMergeJoin: {
+      const Schema& l = InputSchema(node, 0);
+      const Schema& r = InputSchema(node, 1);
+      for (const auto& [lk, rk] : node.proto->join_keys) {
+        if (l.PositionOf(lk) < 0) {
+          return Violation(node, "left join key missing from left input");
+        }
+        if (r.PositionOf(rk) < 0) {
+          return Violation(node, "right join key missing from right input");
+        }
+      }
+      return Status::OK();
+    }
+    case PhysicalOpKind::kSort: {
+      const Schema& in = InputSchema(node);
+      for (ColumnId c : node.sort_spec.cols) {
+        if (in.PositionOf(c) < 0) {
+          return Violation(node, "sort column missing from input");
+        }
+      }
+      if (node.sort_spec.Empty()) {
+        return Violation(node, "Sort enforcer without a sort spec");
+      }
+      return Status::OK();
+    }
+    case PhysicalOpKind::kHashExchange:
+    case PhysicalOpKind::kMergeExchange:
+    case PhysicalOpKind::kRangeExchange: {
+      const Schema& in = InputSchema(node);
+      if (node.exchange_cols.Empty()) {
+        return Violation(node, "exchange without partitioning columns");
+      }
+      for (ColumnId c : node.exchange_cols.ToVector()) {
+        if (in.PositionOf(c) < 0) {
+          return Violation(node, "exchange column missing from input");
+        }
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::OK();
+  }
+}
+
+Status CheckAggregatePlacement(const PhysicalNode& node) {
+  if (node.kind != PhysicalOpKind::kHashAgg &&
+      node.kind != PhysicalOpKind::kStreamAgg) {
+    return Status::OK();
+  }
+  // Local (partial) aggregates are placement-agnostic.
+  if (node.proto->kind() == LogicalOpKind::kLocalGbAgg) return Status::OK();
+  const Partitioning& in = node.children[0]->delivered.partitioning;
+  if (node.proto->group_cols.empty()) {
+    if (in.kind != PartitioningKind::kSerial) {
+      return Violation(node, "grand-total aggregate over non-serial input");
+    }
+    return Status::OK();
+  }
+  PartitioningReq req = PartitioningReq::SubsetOf(
+      ColumnSet::FromVector(node.proto->group_cols));
+  if (!req.SatisfiedBy(in)) {
+    return Violation(node,
+                     "input not partitioned within the grouping columns");
+  }
+  return Status::OK();
+}
+
+Status CheckSortPlacement(const PhysicalNode& node) {
+  if (node.kind == PhysicalOpKind::kStreamAgg) {
+    if (!node.children[0]->delivered.sort.SatisfiesPrefix(node.sort_spec)) {
+      return Violation(node, "stream aggregate input not sorted on order");
+    }
+  }
+  if (node.kind == PhysicalOpKind::kMergeJoin) {
+    // Left input sorted on this node's delivered order; right on the
+    // aligned key order of the same length.
+    const SortSpec& lsort = node.children[0]->delivered.sort;
+    if (!lsort.SatisfiesPrefix(node.delivered.sort)) {
+      return Violation(node, "merge join left input not sorted");
+    }
+    if (node.children[1]->delivered.sort.cols.size() <
+        node.proto->join_keys.size()) {
+      return Violation(node, "merge join right input not sorted on keys");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckJoinCoPartitioning(const PhysicalNode& node) {
+  if (node.kind != PhysicalOpKind::kHashJoin &&
+      node.kind != PhysicalOpKind::kMergeJoin) {
+    return Status::OK();
+  }
+  // A replicated build side co-locates with any probe placement.
+  if (node.children[1]->kind == PhysicalOpKind::kBroadcastExchange) {
+    return Status::OK();
+  }
+  const Partitioning& l = node.children[0]->delivered.partitioning;
+  const Partitioning& r = node.children[1]->delivered.partitioning;
+  if (l.kind == PartitioningKind::kSerial &&
+      r.kind == PartitioningKind::kSerial) {
+    return Status::OK();
+  }
+  if (l.kind != PartitioningKind::kHash ||
+      r.kind != PartitioningKind::kHash) {
+    return Violation(node, "join inputs not co-partitioned");
+  }
+  ColumnSet lkeys, rkeys;
+  for (const auto& [lk, rk] : node.proto->join_keys) {
+    lkeys.Insert(lk);
+    rkeys.Insert(rk);
+  }
+  if (!l.cols.IsSubsetOf(lkeys) || !r.cols.IsSubsetOf(rkeys) ||
+      l.cols.Size() != r.cols.Size()) {
+    return Violation(node, "join partitionings not aligned key subsets");
+  }
+  // Positional alignment: the partitioned-on key positions must match.
+  for (const auto& [lk, rk] : node.proto->join_keys) {
+    if (l.cols.Contains(lk) != r.cols.Contains(rk)) {
+      return Violation(node, "join partitionings use misaligned positions");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckOrderedOutput(const PhysicalNode& node) {
+  if (node.kind != PhysicalOpKind::kOutput) return Status::OK();
+  if (node.proto->order_by.empty()) return Status::OK();
+  const DeliveredProps& in = node.children[0]->delivered;
+  if (!in.sort.SatisfiesPrefix(SortSpec{node.proto->order_by})) {
+    return Violation(node, "ordered output over unsorted input");
+  }
+  // Globally ordered: either one partition, or range partitioning whose
+  // key order is a prefix of the sort order.
+  if (in.partitioning.kind == PartitioningKind::kSerial) return Status::OK();
+  if (in.partitioning.kind == PartitioningKind::kRange) {
+    const auto& rc = in.partitioning.range_cols;
+    if (rc.size() <= in.sort.cols.size() &&
+        std::equal(rc.begin(), rc.end(), in.sort.cols.begin())) {
+      return Status::OK();
+    }
+  }
+  return Violation(node, "ordered output not globally ordered");
+}
+
+Status CheckSpool(const PhysicalNode& node) {
+  if (node.kind != PhysicalOpKind::kSpool) return Status::OK();
+  if (!(node.delivered == node.children[0]->delivered)) {
+    return Violation(node, "spool must pass its child's properties through");
+  }
+  return Status::OK();
+}
+
+Status ValidateNode(const PhysicalNode& node) {
+  SCX_RETURN_IF_ERROR(CheckArity(node));
+  if (node.kind != PhysicalOpKind::kSequence &&
+      node.kind != PhysicalOpKind::kExtract && node.proto == nullptr) {
+    return Violation(node, "missing operator payload");
+  }
+  SCX_RETURN_IF_ERROR(CheckSchemaWiring(node));
+  SCX_RETURN_IF_ERROR(CheckAggregatePlacement(node));
+  SCX_RETURN_IF_ERROR(CheckSortPlacement(node));
+  SCX_RETURN_IF_ERROR(CheckJoinCoPartitioning(node));
+  SCX_RETURN_IF_ERROR(CheckOrderedOutput(node));
+  SCX_RETURN_IF_ERROR(CheckSpool(node));
+  return Status::OK();
+}
+
+Status ValidateRec(const PhysicalNodePtr& node,
+                   std::set<const PhysicalNode*>* seen) {
+  if (!seen->insert(node.get()).second) return Status::OK();
+  for (const PhysicalNodePtr& c : node->children) {
+    SCX_RETURN_IF_ERROR(ValidateRec(c, seen));
+  }
+  return ValidateNode(*node);
+}
+
+}  // namespace
+
+Status ValidatePlan(const PhysicalNodePtr& root) {
+  if (root == nullptr) return Status::Internal("null plan");
+  std::set<const PhysicalNode*> seen;
+  return ValidateRec(root, &seen);
+}
+
+}  // namespace scx

@@ -1,0 +1,33 @@
+#ifndef SCX_OPT_PLAN_VALIDATOR_H_
+#define SCX_OPT_PLAN_VALIDATOR_H_
+
+#include "common/status.h"
+#include "opt/physical_plan.h"
+
+namespace scx {
+
+/// Structural and physical-property invariants every plan the optimizer
+/// emits must satisfy. Used by tests and (optionally) by the Engine as a
+/// safety net before execution. A violation indicates an optimizer bug —
+/// exactly the class of bug (mis-reasoned partitioning) that silently
+/// produces wrong distributed results.
+///
+/// Checked invariants:
+///  * operator arity (children count per kind);
+///  * schema wiring: columns an operator references exist in its children's
+///    schemas; project sources exist; join keys resolve left/right;
+///  * aggregation inputs are partitioned within the grouping columns
+///    (serial for grand totals); local aggregates are exempt;
+///  * stream aggregates' inputs deliver the aggregate's chosen order;
+///  * merge joins' inputs are sorted on the aligned key order;
+///  * joins' inputs are co-partitioned (aligned subsets, equal sizes, or
+///    both serial);
+///  * every node's delivered sort is consistent with what its operator can
+///    actually guarantee given its children;
+///  * spools have exactly one child and pass its properties through;
+///  * enforcers carry their payloads (exchange columns / sort specs).
+Status ValidatePlan(const PhysicalNodePtr& root);
+
+}  // namespace scx
+
+#endif  // SCX_OPT_PLAN_VALIDATOR_H_

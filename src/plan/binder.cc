@@ -1,0 +1,869 @@
+#include "plan/binder.h"
+
+#include <set>
+
+namespace scx {
+
+namespace {
+
+/// Returns a copy of `node`'s schema with every qualifier replaced by
+/// `source_name` — the name the consumer uses in FROM, which is how columns
+/// are addressed in the consuming SELECT.
+Schema ResolutionSchema(const LogicalNodePtr& node,
+                        const std::string& source_name) {
+  Schema out;
+  for (const ColumnInfo& c : node->schema().columns()) {
+    ColumnInfo copy = c;
+    copy.qualifier = source_name;
+    out.AddColumn(copy);
+  }
+  return out;
+}
+
+DataType AggOutputType(AggFn fn, DataType arg_type) {
+  switch (fn) {
+    case AggFn::kSum:
+      return arg_type == DataType::kDouble ? DataType::kDouble
+                                           : DataType::kInt64;
+    case AggFn::kCount:
+      return DataType::kInt64;
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return arg_type;
+    case AggFn::kAvg:
+      return DataType::kDouble;
+  }
+  return DataType::kInt64;
+}
+
+class Binder {
+ public:
+  explicit Binder(const Catalog& catalog) : catalog_(catalog) {}
+
+  Result<BoundScript> Bind(const AstScript& ast) {
+    std::vector<LogicalNodePtr> outputs;
+    for (const AstStatement& stmt : ast.statements) {
+      if (stmt.kind == AstStatement::Kind::kAssign) {
+        if (results_.count(stmt.target) != 0) {
+          return Status::BindError("result redefined: " + stmt.target);
+        }
+        LogicalNodePtr node;
+        if (stmt.query.kind == AstQuery::Kind::kExtract) {
+          SCX_ASSIGN_OR_RETURN(node,
+                               BindExtract(stmt.query.extract, stmt.target));
+        } else if (stmt.query.kind == AstQuery::Kind::kUnion) {
+          SCX_ASSIGN_OR_RETURN(
+              node, BindUnion(stmt.query.union_all, stmt.target));
+        } else {
+          SCX_ASSIGN_OR_RETURN(node,
+                               BindSelect(stmt.query.select, stmt.target));
+        }
+        node->result_name = stmt.target;
+        results_[stmt.target] = node;
+      } else {
+        auto it = results_.find(stmt.output_rel);
+        if (it == results_.end()) {
+          return Status::BindError("OUTPUT of undefined result: " +
+                                   stmt.output_rel);
+        }
+        auto out = std::make_shared<LogicalNode>(
+            LogicalOpKind::kOutput, it->second->schema(),
+            std::vector<LogicalNodePtr>{it->second});
+        out->output_path = stmt.output_path;
+        out->order_by = it->second->order_by;
+        outputs.push_back(std::move(out));
+      }
+    }
+    if (outputs.empty()) {
+      return Status::BindError("script has no OUTPUT statement");
+    }
+    BoundScript bound;
+    if (outputs.size() == 1) {
+      bound.root = outputs[0];
+    } else {
+      bound.root = std::make_shared<LogicalNode>(LogicalOpKind::kSequence,
+                                                 Schema(), std::move(outputs));
+    }
+    bound.results = std::move(results_);
+    bound.columns = columns_;
+    return bound;
+  }
+
+ private:
+  Result<LogicalNodePtr> BindExtract(const AstExtract& extract,
+                                     const std::string& target) {
+    SCX_ASSIGN_OR_RETURN(FileDef file, catalog_.GetFile(extract.path));
+    Schema schema;
+    for (const std::string& name : extract.columns) {
+      int idx = file.ColumnIndex(name);
+      if (idx < 0) {
+        return Status::BindError("file " + extract.path + " has no column " +
+                                 name);
+      }
+      const ColumnStats& cs = file.columns[static_cast<size_t>(idx)];
+      ColumnMeta meta;
+      meta.name = name;
+      meta.type = cs.type;
+      meta.base_ndv = cs.distinct_count;
+      meta.avg_width = cs.avg_width;
+      ColumnId id = columns_->Create(meta);
+      schema.AddColumn(ColumnInfo{id, name, target, cs.type});
+    }
+    auto node = std::make_shared<LogicalNode>(
+        LogicalOpKind::kExtract, std::move(schema),
+        std::vector<LogicalNodePtr>{});
+    node->file = std::move(file);
+    return node;
+  }
+
+  Result<LogicalNodePtr> BindSelect(const AstSelect& select,
+                                    const std::string& target) {
+    // Resolve sources.
+    std::vector<LogicalNodePtr> sources;
+    std::vector<Schema> res_schemas;
+    for (const std::string& name : select.sources) {
+      auto it = results_.find(name);
+      if (it == results_.end()) {
+        return Status::BindError("unknown relation in FROM: " + name);
+      }
+      sources.push_back(it->second);
+      res_schemas.push_back(ResolutionSchema(it->second, name));
+    }
+    if (sources.size() == 2 && select.sources[0] == select.sources[1]) {
+      return Status::BindError(
+          "self-join of one result name is not supported; alias via an "
+          "intermediate SELECT");
+    }
+
+    LogicalNodePtr current;
+    Schema combined;  // schema used to resolve select items / group by
+    if (sources.size() == 1) {
+      SCX_ASSIGN_OR_RETURN(
+          current, ApplyLocalFilter(sources[0], res_schemas[0], select.where,
+                                    /*check_all=*/true));
+      combined = res_schemas[0];
+    } else {
+      SCX_ASSIGN_OR_RETURN(current, BindJoin(select, sources, res_schemas,
+                                             &combined));
+    }
+
+    // Group-by / aggregation.
+    bool has_aggregate = false;
+    for (const AstSelectItem& item : select.items) {
+      if (item.is_aggregate) has_aggregate = true;
+    }
+    if (!select.group_by.empty() && !has_aggregate) {
+      return Status::BindError("GROUP BY without aggregates is not supported");
+    }
+    if (select.distinct && has_aggregate) {
+      return Status::BindError(
+          "DISTINCT with aggregates is redundant and not supported");
+    }
+    if (!select.having.empty() && !has_aggregate) {
+      return Status::BindError("HAVING requires GROUP BY aggregation");
+    }
+
+    std::vector<std::pair<ColumnId, std::string>> desired;  // (id, out name)
+    if (has_aggregate) {
+      // Computed plain items over the grouping columns are evaluated after
+      // the aggregation (and after HAVING), via a Compute node.
+      std::vector<ComputeItem> post_compute;
+      SCX_ASSIGN_OR_RETURN(
+          current, BindAggregate(select, current, combined, target, &desired,
+                                 &post_compute));
+      if (!select.having.empty()) {
+        SCX_ASSIGN_OR_RETURN(
+            current, ApplyLocalFilter(current, current->schema(),
+                                      select.having, /*check_all=*/true));
+      }
+      if (!post_compute.empty()) {
+        // Forward every aggregate-output column and append the computed
+        // ones; the final projection below orders and prunes.
+        std::vector<ComputeItem> items;
+        for (const ColumnInfo& c : current->schema().columns()) {
+          ComputeItem pass;
+          pass.expr = ScalarExpr::Column(c.id);
+          pass.out = c.id;
+          pass.out_name = c.name;
+          items.push_back(std::move(pass));
+        }
+        for (ComputeItem& item : post_compute) {
+          items.push_back(std::move(item));
+        }
+        current = MakeComputeNode(current, std::move(items), target);
+      }
+    } else if (select.distinct) {
+      for (const AstSelectItem& item : select.items) {
+        if (item.scalar != nullptr) {
+          return Status::BindError(
+              "DISTINCT over computed expressions is not supported");
+        }
+      }
+      SCX_ASSIGN_OR_RETURN(
+          current, BindDistinct(select, current, combined, target, &desired));
+    } else {
+      bool any_scalar = false;
+      for (const AstSelectItem& item : select.items) {
+        if (item.scalar != nullptr) any_scalar = true;
+      }
+      if (any_scalar) {
+        std::vector<ComputeItem> items;
+        for (const AstSelectItem& item : select.items) {
+          if (item.scalar != nullptr) {
+            SCX_ASSIGN_OR_RETURN(ScalarExprPtr expr,
+                                 BindScalar(*item.scalar, combined));
+            std::string name = item.alias.empty()
+                                   ? "expr_" + std::to_string(items.size())
+                                   : item.alias;
+            SCX_ASSIGN_OR_RETURN(ComputeItem ci,
+                                 MakeComputedItem(std::move(expr), name));
+            desired.emplace_back(ci.out, name);
+            items.push_back(std::move(ci));
+          } else {
+            SCX_ASSIGN_OR_RETURN(
+                ColumnInfo info,
+                combined.Resolve(item.column.qualifier, item.column.name));
+            ComputeItem pass;
+            pass.expr = ScalarExpr::Column(info.id);
+            pass.out = info.id;
+            pass.out_name =
+                item.alias.empty() ? info.name : item.alias;
+            desired.emplace_back(info.id, pass.out_name);
+            items.push_back(std::move(pass));
+          }
+        }
+        current = MakeComputeNode(current, std::move(items), target);
+      } else {
+        for (const AstSelectItem& item : select.items) {
+          SCX_ASSIGN_OR_RETURN(
+              ColumnInfo info,
+              combined.Resolve(item.column.qualifier, item.column.name));
+          desired.emplace_back(info.id,
+                               item.alias.empty() ? info.name : item.alias);
+        }
+      }
+    }
+
+    // Final projection if the select list deviates from the node's schema.
+    bool identical =
+        static_cast<int>(desired.size()) == current->schema().NumColumns();
+    if (identical) {
+      for (size_t i = 0; i < desired.size(); ++i) {
+        const ColumnInfo& c = current->schema().column(static_cast<int>(i));
+        if (c.id != desired[i].first || c.name != desired[i].second) {
+          identical = false;
+          break;
+        }
+      }
+    }
+    if (!identical) {
+      Schema proj_schema;
+      std::vector<std::pair<ColumnId, ColumnId>> project_map;
+      for (const auto& [id, name] : desired) {
+        int pos = current->schema().PositionOf(id);
+        if (pos < 0) {
+          return Status::BindError("projected column lost: " + name);
+        }
+        proj_schema.AddColumn(
+            ColumnInfo{id, name, target, current->schema().column(pos).type});
+        project_map.emplace_back(id, id);
+      }
+      auto project = std::make_shared<LogicalNode>(
+          LogicalOpKind::kProject, std::move(proj_schema),
+          std::vector<LogicalNodePtr>{current});
+      project->project_map = std::move(project_map);
+      current = std::move(project);
+    }
+
+    // ORDER BY: recorded on the defining node; it takes effect when the
+    // result is OUTPUT (a globally ordered file), and is ignored — as in
+    // SQL — when the result is consumed by further operators.
+    for (const AstColumnRef& ref : select.order_by) {
+      SCX_ASSIGN_OR_RETURN(ColumnInfo info,
+                           current->schema().Resolve(ref.qualifier, ref.name));
+      current->order_by.push_back(info.id);
+    }
+    return current;
+  }
+
+  /// Binds the WHERE predicates that resolve entirely in `schema` and wraps
+  /// `node` in a Filter when any exist. When `check_all`, every predicate
+  /// must resolve (single-source SELECT).
+  Result<LogicalNodePtr> ApplyLocalFilter(
+      const LogicalNodePtr& node, const Schema& schema,
+      const std::vector<AstPredicate>& preds, bool check_all) {
+    std::vector<BoundPredicate> bound;
+    // Composite predicate sides (e.g. `WHERE Amount-Fee > 0`) are desugared
+    // through a Compute producing a temporary column below the filter; the
+    // temporaries are projected away again above it.
+    std::vector<ComputeItem> temps;
+
+    auto bind_scalar_side =
+        [&](const AstScalarPtr& scalar) -> Result<ColumnId> {
+      SCX_ASSIGN_OR_RETURN(ScalarExprPtr expr, BindScalar(*scalar, schema));
+      SCX_ASSIGN_OR_RETURN(
+          ComputeItem item,
+          MakeComputedItem(std::move(expr),
+                           "cmp_" + std::to_string(temps.size())));
+      ColumnId id = item.out;
+      temps.push_back(std::move(item));
+      return id;
+    };
+
+    for (const AstPredicate& pred : preds) {
+      BoundPredicate bp;
+      bp.op = pred.op;
+      if (pred.lhs_scalar != nullptr) {
+        auto lhs = bind_scalar_side(pred.lhs_scalar);
+        if (!lhs.ok()) {
+          if (check_all) return lhs.status();
+          continue;
+        }
+        bp.lhs = lhs.value();
+      } else {
+        auto lhs = schema.Resolve(pred.lhs.qualifier, pred.lhs.name);
+        if (!lhs.ok()) {
+          if (check_all) return lhs.status();
+          continue;
+        }
+        bp.lhs = lhs.value().id;
+      }
+      if (pred.rhs_scalar != nullptr) {
+        auto rhs = bind_scalar_side(pred.rhs_scalar);
+        if (!rhs.ok()) {
+          if (check_all) return rhs.status();
+          continue;
+        }
+        bp.rhs_is_column = true;
+        bp.rhs = rhs.value();
+      } else if (pred.rhs_is_column) {
+        auto rhs = schema.Resolve(pred.rhs_column.qualifier,
+                                  pred.rhs_column.name);
+        if (!rhs.ok()) {
+          if (check_all) return rhs.status();
+          continue;
+        }
+        bp.rhs_is_column = true;
+        bp.rhs = rhs.value().id;
+      } else {
+        bp.literal = pred.rhs_literal;
+      }
+      bound.push_back(std::move(bp));
+    }
+    if (bound.empty()) return node;
+
+    LogicalNodePtr input = node;
+    if (!temps.empty()) {
+      std::vector<ComputeItem> items;
+      for (const ColumnInfo& c : node->schema().columns()) {
+        ComputeItem pass;
+        pass.expr = ScalarExpr::Column(c.id);
+        pass.out = c.id;
+        pass.out_name = c.name;
+        items.push_back(std::move(pass));
+      }
+      for (ComputeItem& t : temps) items.push_back(std::move(t));
+      input = MakeComputeNode(node, std::move(items), "");
+    }
+
+    Schema filter_schema = temps.empty() ? schema : input->schema();
+    auto filter = std::make_shared<LogicalNode>(
+        LogicalOpKind::kFilter, std::move(filter_schema),
+        std::vector<LogicalNodePtr>{input});
+    filter->predicates = std::move(bound);
+    if (temps.empty()) return filter;
+
+    // Drop the comparison temporaries, restoring the original schema.
+    Schema restored = schema;
+    auto project = std::make_shared<LogicalNode>(
+        LogicalOpKind::kProject, std::move(restored),
+        std::vector<LogicalNodePtr>{filter});
+    for (const ColumnInfo& c : schema.columns()) {
+      project->project_map.emplace_back(c.id, c.id);
+    }
+    return project;
+  }
+
+  Result<LogicalNodePtr> BindJoin(const AstSelect& select,
+                                  std::vector<LogicalNodePtr>& sources,
+                                  std::vector<Schema>& res_schemas,
+                                  Schema* combined) {
+    // Classify predicates into per-side filters, equi-join keys, and
+    // cross-side residual predicates.
+    std::vector<AstPredicate> side_preds[2];
+    struct CrossPred {
+      AstPredicate pred;
+      ColumnId left_id;
+      ColumnId right_id;
+    };
+    std::vector<CrossPred> cross;
+
+    for (const AstPredicate& pred : select.where) {
+      if (pred.lhs_scalar != nullptr || pred.rhs_scalar != nullptr) {
+        // Composite predicates must resolve entirely within one join side
+        // (cross-side arithmetic would have to run post-join; unsupported).
+        bool on[2];
+        for (int side = 0; side < 2; ++side) {
+          on[side] = PredicateBindsIn(pred, res_schemas[static_cast<size_t>(
+                                                side)]);
+        }
+        if (on[0] == on[1]) {
+          return Status::BindError(
+              "composite predicate " + pred.ToString() +
+              (on[0] ? " is ambiguous between the join sides"
+                     : " must resolve within one join side"));
+        }
+        side_preds[on[0] ? 0 : 1].push_back(pred);
+        continue;
+      }
+      SCX_ASSIGN_OR_RETURN(auto lhs_side,
+                           ResolveSide(res_schemas, pred.lhs));
+      if (!pred.rhs_is_column) {
+        side_preds[lhs_side.first].push_back(pred);
+        continue;
+      }
+      SCX_ASSIGN_OR_RETURN(auto rhs_side,
+                           ResolveSide(res_schemas, pred.rhs_column));
+      if (lhs_side.first == rhs_side.first) {
+        side_preds[lhs_side.first].push_back(pred);
+        continue;
+      }
+      CrossPred cp;
+      cp.pred = pred;
+      if (lhs_side.first == 0) {
+        cp.left_id = lhs_side.second.id;
+        cp.right_id = rhs_side.second.id;
+      } else {
+        cp.left_id = rhs_side.second.id;
+        cp.right_id = lhs_side.second.id;
+        // Mirror the comparison so that lhs refers to the left side.
+        switch (cp.pred.op) {
+          case CompareOp::kLt:
+            cp.pred.op = CompareOp::kGt;
+            break;
+          case CompareOp::kLe:
+            cp.pred.op = CompareOp::kGe;
+            break;
+          case CompareOp::kGt:
+            cp.pred.op = CompareOp::kLt;
+            break;
+          case CompareOp::kGe:
+            cp.pred.op = CompareOp::kLe;
+            break;
+          default:
+            break;
+        }
+      }
+      cross.push_back(std::move(cp));
+    }
+
+    LogicalNodePtr left, right;
+    SCX_ASSIGN_OR_RETURN(
+        left, ApplyLocalFilter(sources[0], res_schemas[0], side_preds[0],
+                               /*check_all=*/true));
+    SCX_ASSIGN_OR_RETURN(
+        right, ApplyLocalFilter(sources[1], res_schemas[1], side_preds[1],
+                                /*check_all=*/true));
+
+    // Disambiguate column identities when both sides share ids (both derived
+    // from one shared subexpression): rename the right side's colliding ids.
+    ColumnSet left_ids = res_schemas[0].IdSet();
+    ColumnSet right_ids = res_schemas[1].IdSet();
+    std::map<ColumnId, ColumnId> right_remap;
+    if (left_ids.Intersects(right_ids)) {
+      Schema renamed;
+      std::vector<std::pair<ColumnId, ColumnId>> project_map;
+      for (const ColumnInfo& c : res_schemas[1].columns()) {
+        ColumnId out_id = c.id;
+        if (left_ids.Contains(c.id)) {
+          ColumnMeta meta = columns_->Get(c.id);
+          out_id = columns_->Create(meta);
+          right_remap[c.id] = out_id;
+        }
+        renamed.AddColumn(ColumnInfo{out_id, c.name, c.qualifier, c.type});
+        project_map.emplace_back(c.id, out_id);
+      }
+      auto rename = std::make_shared<LogicalNode>(
+          LogicalOpKind::kProject, renamed, std::vector<LogicalNodePtr>{right});
+      rename->project_map = std::move(project_map);
+      right = std::move(rename);
+      res_schemas[1] = std::move(renamed);
+    }
+
+    // Build join keys / residual predicates.
+    std::vector<std::pair<ColumnId, ColumnId>> keys;
+    std::vector<BoundPredicate> residual;
+    for (CrossPred& cp : cross) {
+      auto it = right_remap.find(cp.right_id);
+      if (it != right_remap.end()) cp.right_id = it->second;
+      if (cp.pred.op == CompareOp::kEq) {
+        keys.emplace_back(cp.left_id, cp.right_id);
+      } else {
+        BoundPredicate bp;
+        bp.lhs = cp.left_id;
+        bp.op = cp.pred.op;
+        bp.rhs_is_column = true;
+        bp.rhs = cp.right_id;
+        residual.push_back(std::move(bp));
+      }
+    }
+    if (keys.empty()) {
+      return Status::BindError(
+          "join requires at least one cross-relation equality predicate");
+    }
+
+    Schema join_schema = res_schemas[0];
+    for (const ColumnInfo& c : res_schemas[1].columns()) {
+      join_schema.AddColumn(c);
+    }
+    auto join = std::make_shared<LogicalNode>(
+        LogicalOpKind::kJoin, join_schema,
+        std::vector<LogicalNodePtr>{left, right});
+    join->join_keys = std::move(keys);
+    join->predicates = std::move(residual);
+    *combined = std::move(join_schema);
+    return join;
+  }
+
+  /// True iff every column reference in `pred` (both sides) resolves in
+  /// `schema`.
+  bool PredicateBindsIn(const AstPredicate& pred, const Schema& schema) {
+    auto scalar_ok = [&](const AstScalarPtr& s) {
+      return BindScalar(*s, schema).ok();
+    };
+    bool lhs_ok = pred.lhs_scalar != nullptr
+                      ? scalar_ok(pred.lhs_scalar)
+                      : schema.Resolve(pred.lhs.qualifier, pred.lhs.name).ok();
+    if (!lhs_ok) return false;
+    if (pred.rhs_scalar != nullptr) return scalar_ok(pred.rhs_scalar);
+    if (pred.rhs_is_column) {
+      return schema.Resolve(pred.rhs_column.qualifier, pred.rhs_column.name)
+          .ok();
+    }
+    return true;
+  }
+
+  /// Resolves `ref` in exactly one of the two sides; errors when absent from
+  /// both or ambiguous.
+  Result<std::pair<int, ColumnInfo>> ResolveSide(
+      const std::vector<Schema>& res_schemas, const AstColumnRef& ref) {
+    auto in_left = res_schemas[0].Resolve(ref.qualifier, ref.name);
+    auto in_right = res_schemas[1].Resolve(ref.qualifier, ref.name);
+    if (in_left.ok() && in_right.ok()) {
+      return Status::BindError("ambiguous column reference: " +
+                               ref.ToString());
+    }
+    if (in_left.ok()) return std::make_pair(0, in_left.value());
+    if (in_right.ok()) return std::make_pair(1, in_right.value());
+    return Status::BindError("unknown column: " + ref.ToString());
+  }
+
+  /// UNION ALL: positional concatenation of results with identical column
+  /// counts and types. Output columns get fresh ids (the inputs' identities
+  /// differ); `project_map` records the (first-source id → output id)
+  /// correspondence for statistics inheritance.
+  Result<LogicalNodePtr> BindUnion(const AstUnion& ast,
+                                   const std::string& target) {
+    std::vector<LogicalNodePtr> children;
+    for (const std::string& name : ast.sources) {
+      auto it = results_.find(name);
+      if (it == results_.end()) {
+        return Status::BindError("unknown relation in UNION ALL: " + name);
+      }
+      children.push_back(it->second);
+    }
+    const Schema& first = children[0]->schema();
+    for (size_t i = 1; i < children.size(); ++i) {
+      const Schema& other = children[i]->schema();
+      if (other.NumColumns() != first.NumColumns()) {
+        return Status::BindError("UNION ALL sources have different widths");
+      }
+      for (int c = 0; c < first.NumColumns(); ++c) {
+        if (other.column(c).type != first.column(c).type) {
+          return Status::BindError(
+              "UNION ALL sources differ in type at column " +
+              std::to_string(c) + " (" + first.column(c).name + ")");
+        }
+      }
+    }
+    Schema schema;
+    std::vector<std::pair<ColumnId, ColumnId>> mapping;
+    for (const ColumnInfo& c : first.columns()) {
+      ColumnMeta meta = columns_->Get(c.id);
+      meta.base_ndv = 0;  // derived by the estimator
+      ColumnId out = columns_->Create(meta);
+      schema.AddColumn(ColumnInfo{out, c.name, target, c.type});
+      mapping.emplace_back(c.id, out);
+    }
+    auto node = std::make_shared<LogicalNode>(
+        LogicalOpKind::kUnionAll, std::move(schema), std::move(children));
+    node->project_map = std::move(mapping);
+    return node;
+  }
+
+  /// Binds an unbound scalar expression against `schema`, type-checking
+  /// that arithmetic is applied to numeric operands only.
+  Result<ScalarExprPtr> BindScalar(const AstScalar& ast,
+                                   const Schema& schema) {
+    switch (ast.kind) {
+      case AstScalar::Kind::kColumn: {
+        SCX_ASSIGN_OR_RETURN(
+            ColumnInfo info,
+            schema.Resolve(ast.column.qualifier, ast.column.name));
+        return ScalarExpr::Column(info.id);
+      }
+      case AstScalar::Kind::kLiteral:
+        return ScalarExpr::Literal(ast.literal);
+      case AstScalar::Kind::kBinary: {
+        SCX_ASSIGN_OR_RETURN(ScalarExprPtr lhs, BindScalar(*ast.lhs, schema));
+        SCX_ASSIGN_OR_RETURN(ScalarExprPtr rhs, BindScalar(*ast.rhs, schema));
+        auto type_of = [this](ColumnId id) { return columns_->Get(id).type; };
+        if (lhs->ResultType(type_of) == DataType::kString ||
+            rhs->ResultType(type_of) == DataType::kString) {
+          return Status::BindError("arithmetic on STRING operand in " +
+                                   ast.ToString());
+        }
+        ScalarExpr::BinOp op;
+        switch (ast.op) {
+          case '+':
+            op = ScalarExpr::BinOp::kAdd;
+            break;
+          case '-':
+            op = ScalarExpr::BinOp::kSub;
+            break;
+          case '*':
+            op = ScalarExpr::BinOp::kMul;
+            break;
+          default:
+            op = ScalarExpr::BinOp::kDiv;
+            break;
+        }
+        return ScalarExpr::Binary(op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return Status::Internal("unhandled scalar kind");
+  }
+
+  /// Creates a ComputeItem computing `expr` into a fresh column.
+  Result<ComputeItem> MakeComputedItem(ScalarExprPtr expr,
+                                       const std::string& name) {
+    auto type_of = [this](ColumnId id) { return columns_->Get(id).type; };
+    ColumnMeta meta;
+    meta.name = name;
+    meta.type = expr->ResultType(type_of);
+    ComputeItem item;
+    item.out = columns_->Create(meta);
+    item.out_name = name;
+    item.expr = std::move(expr);
+    return item;
+  }
+
+  /// Wraps `input` in a Compute node producing `items` (schema follows the
+  /// item order; qualifiers set to `target`).
+  LogicalNodePtr MakeComputeNode(const LogicalNodePtr& input,
+                                 std::vector<ComputeItem> items,
+                                 const std::string& target) {
+    Schema schema;
+    for (const ComputeItem& item : items) {
+      DataType type;
+      std::string name = item.out_name;
+      if (item.IsPassthrough()) {
+        int pos = input->schema().PositionOf(item.out);
+        type = input->schema().column(pos).type;
+        if (name.empty()) name = input->schema().column(pos).name;
+      } else {
+        type = columns_->Get(item.out).type;
+      }
+      schema.AddColumn(ColumnInfo{item.out, name, target, type});
+    }
+    auto node = std::make_shared<LogicalNode>(
+        LogicalOpKind::kCompute, std::move(schema),
+        std::vector<LogicalNodePtr>{input});
+    node->compute_items = std::move(items);
+    return node;
+  }
+
+  /// SELECT DISTINCT a,b FROM x — a group-by on the selected columns with
+  /// no aggregate computations.
+  Result<LogicalNodePtr> BindDistinct(
+      const AstSelect& select, const LogicalNodePtr& input,
+      const Schema& combined, const std::string& target,
+      std::vector<std::pair<ColumnId, std::string>>* desired) {
+    std::vector<ColumnId> group_cols;
+    ColumnSet seen;
+    Schema schema;
+    for (const AstSelectItem& item : select.items) {
+      SCX_ASSIGN_OR_RETURN(
+          ColumnInfo info,
+          combined.Resolve(item.column.qualifier, item.column.name));
+      if (seen.Contains(info.id)) {
+        return Status::BindError("duplicate column in SELECT DISTINCT: " +
+                                 item.column.ToString());
+      }
+      seen.Insert(info.id);
+      group_cols.push_back(info.id);
+      std::string name = item.alias.empty() ? info.name : item.alias;
+      schema.AddColumn(ColumnInfo{info.id, name, target, info.type});
+      desired->emplace_back(info.id, name);
+    }
+    auto node = std::make_shared<LogicalNode>(
+        LogicalOpKind::kGbAgg, std::move(schema),
+        std::vector<LogicalNodePtr>{input});
+    node->group_cols = std::move(group_cols);
+    return node;
+  }
+
+  Result<LogicalNodePtr> BindAggregate(
+      const AstSelect& select, const LogicalNodePtr& input,
+      const Schema& combined, const std::string& target,
+      std::vector<std::pair<ColumnId, std::string>>* desired,
+      std::vector<ComputeItem>* post_compute) {
+    std::vector<ColumnId> group_cols;
+    ColumnSet group_set;
+    for (const AstColumnRef& ref : select.group_by) {
+      SCX_ASSIGN_OR_RETURN(ColumnInfo info,
+                           combined.Resolve(ref.qualifier, ref.name));
+      if (group_set.Contains(info.id)) {
+        return Status::BindError("duplicate GROUP BY column: " +
+                                 ref.ToString());
+      }
+      group_cols.push_back(info.id);
+      group_set.Insert(info.id);
+    }
+
+    // Composite aggregate arguments (e.g. Sum(A*B)) are computed BELOW the
+    // aggregation: one Compute node forwarding every input column and
+    // appending one temporary per composite argument.
+    LogicalNodePtr agg_input = input;
+    Schema arg_schema = combined;
+    std::map<const AstSelectItem*, ColumnId> arg_temp;
+    {
+      std::vector<ComputeItem> pre_items;
+      for (const AstSelectItem& item : select.items) {
+        if (!item.is_aggregate || item.scalar == nullptr) continue;
+        SCX_ASSIGN_OR_RETURN(ScalarExprPtr expr,
+                             BindScalar(*item.scalar, combined));
+        std::string name = "arg_" + std::to_string(pre_items.size());
+        SCX_ASSIGN_OR_RETURN(ComputeItem ci,
+                             MakeComputedItem(std::move(expr), name));
+        arg_temp[&item] = ci.out;
+        pre_items.push_back(std::move(ci));
+      }
+      if (!pre_items.empty()) {
+        std::vector<ComputeItem> items;
+        for (const ColumnInfo& c : input->schema().columns()) {
+          ComputeItem pass;
+          pass.expr = ScalarExpr::Column(c.id);
+          pass.out = c.id;
+          pass.out_name = c.name;
+          items.push_back(std::move(pass));
+        }
+        for (ComputeItem& item : pre_items) items.push_back(std::move(item));
+        agg_input = MakeComputeNode(input, std::move(items), target);
+        arg_schema = agg_input->schema();
+      }
+    }
+
+    std::vector<AggregateDesc> aggs;
+    Schema agg_schema;
+    // Group columns first, in GROUP BY order.
+    for (ColumnId id : group_cols) {
+      int pos = combined.PositionOf(id);
+      const ColumnInfo& c = combined.column(pos);
+      agg_schema.AddColumn(ColumnInfo{id, c.name, target, c.type});
+    }
+    // Then aggregate outputs, in SELECT order.
+    for (const AstSelectItem& item : select.items) {
+      if (!item.is_aggregate) {
+        if (item.scalar != nullptr) {
+          // Computed plain item: must depend only on grouping columns;
+          // evaluated above the aggregation by the caller.
+          SCX_ASSIGN_OR_RETURN(ScalarExprPtr expr,
+                               BindScalar(*item.scalar, combined));
+          if (!expr->ReferencedColumns().IsSubsetOf(group_set)) {
+            return Status::BindError(
+                "computed item " + item.scalar->ToString() +
+                " must reference GROUP BY columns only");
+          }
+          std::string name = item.alias.empty()
+                                 ? "expr_" +
+                                       std::to_string(post_compute->size())
+                                 : item.alias;
+          SCX_ASSIGN_OR_RETURN(ComputeItem ci,
+                               MakeComputedItem(std::move(expr), name));
+          desired->emplace_back(ci.out, name);
+          post_compute->push_back(std::move(ci));
+          continue;
+        }
+        SCX_ASSIGN_OR_RETURN(
+            ColumnInfo info,
+            combined.Resolve(item.column.qualifier, item.column.name));
+        if (!group_set.Contains(info.id)) {
+          return Status::BindError("column " + item.column.ToString() +
+                                   " must appear in GROUP BY");
+        }
+        desired->emplace_back(info.id,
+                              item.alias.empty() ? info.name : item.alias);
+        continue;
+      }
+      AggregateDesc desc;
+      desc.fn = item.fn;
+      DataType arg_type = DataType::kInt64;
+      std::string arg_name = "star";
+      if (item.count_star) {
+        desc.count_star = true;
+      } else if (item.scalar != nullptr) {
+        desc.arg = arg_temp.at(&item);
+        arg_type = columns_->Get(desc.arg).type;
+        arg_name = columns_->Get(desc.arg).name;
+      } else {
+        SCX_ASSIGN_OR_RETURN(
+            ColumnInfo info,
+            combined.Resolve(item.column.qualifier, item.column.name));
+        desc.arg = info.id;
+        arg_type = info.type;
+        arg_name = info.name;
+      }
+      if ((item.fn == AggFn::kSum || item.fn == AggFn::kAvg) &&
+          arg_type == DataType::kString) {
+        return Status::BindError(std::string(AggFnName(item.fn)) +
+                                 " requires a numeric argument, got STRING "
+                                 "column " +
+                                 arg_name);
+      }
+      desc.out_type = AggOutputType(item.fn, arg_type);
+      desc.out_name = item.alias.empty()
+                          ? std::string(AggFnName(item.fn)) + "_" + arg_name
+                          : item.alias;
+      ColumnMeta meta;
+      meta.name = desc.out_name;
+      meta.type = desc.out_type;
+      desc.out = columns_->Create(meta);
+      agg_schema.AddColumn(
+          ColumnInfo{desc.out, desc.out_name, target, desc.out_type});
+      desired->emplace_back(desc.out, desc.out_name);
+      aggs.push_back(std::move(desc));
+    }
+
+    auto node = std::make_shared<LogicalNode>(
+        LogicalOpKind::kGbAgg, std::move(agg_schema),
+        std::vector<LogicalNodePtr>{agg_input});
+    node->group_cols = std::move(group_cols);
+    node->aggregates = std::move(aggs);
+    (void)arg_schema;
+    return node;
+  }
+
+  const Catalog& catalog_;
+  ColumnRegistryPtr columns_ = std::make_shared<ColumnRegistry>();
+  std::map<std::string, LogicalNodePtr> results_;
+};
+
+}  // namespace
+
+Result<BoundScript> BindScript(const AstScript& ast, const Catalog& catalog) {
+  Binder binder(catalog);
+  return binder.Bind(ast);
+}
+
+}  // namespace scx

@@ -1,0 +1,33 @@
+#ifndef SCX_PLAN_BINDER_H_
+#define SCX_PLAN_BINDER_H_
+
+#include <map>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "plan/column_registry.h"
+#include "plan/logical_op.h"
+#include "script/ast.h"
+
+namespace scx {
+
+/// A fully bound script: a rooted logical operator DAG plus the column
+/// registry describing every column id minted during binding.
+struct BoundScript {
+  LogicalNodePtr root;
+  /// Named intermediate results, in definition order.
+  std::map<std::string, LogicalNodePtr> results;
+  ColumnRegistryPtr columns;
+};
+
+/// Binds a parsed script against `catalog`, producing the logical operator
+/// DAG. A named result referenced by several consumers becomes a single node
+/// with multiple parents — the paper's "explicitly given" common
+/// subexpressions. Multiple OUTPUT statements are connected by a Sequence
+/// node (one OUTPUT needs none).
+Result<BoundScript> BindScript(const AstScript& ast, const Catalog& catalog);
+
+}  // namespace scx
+
+#endif  // SCX_PLAN_BINDER_H_

@@ -1,0 +1,108 @@
+#include "plan/expr.h"
+
+#include "common/hash.h"
+
+namespace scx {
+
+ColumnSet BoundPredicate::ReferencedColumns() const {
+  ColumnSet s;
+  s.Insert(lhs);
+  if (rhs_is_column) s.Insert(rhs);
+  return s;
+}
+
+bool BoundPredicate::Evaluate(const Row& row, const Schema& schema) const {
+  int lpos = schema.PositionOf(lhs);
+  const Value& lv = row[static_cast<size_t>(lpos)];
+  const Value* rv;
+  Value tmp;
+  if (rhs_is_column) {
+    int rpos = schema.PositionOf(rhs);
+    rv = &row[static_cast<size_t>(rpos)];
+  } else {
+    rv = &literal;
+  }
+  // Mixed int/double comparisons compare numerically (the canonical Value
+  // ordering ranks by type first, which is right for sorting heterogeneous
+  // sets but wrong for predicates like `Sum(X)/Count(*) > 240`).
+  std::strong_ordering cmp = std::strong_ordering::equal;
+  if (lv.type() != rv->type() && !lv.is_string() && !rv->is_string()) {
+    double a = lv.AsNumeric(), b = rv->AsNumeric();
+    cmp = a < b ? std::strong_ordering::less
+                : (a > b ? std::strong_ordering::greater
+                         : std::strong_ordering::equal);
+  } else {
+    cmp = lv <=> *rv;
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  (void)tmp;
+  return false;
+}
+
+uint64_t BoundPredicate::Hash() const {
+  uint64_t h = 0x1f3a5c7e9b2d4f60ULL;
+  h = HashCombine(h, lhs);
+  h = HashCombine(h, static_cast<uint64_t>(op));
+  h = HashCombine(h, rhs_is_column ? 1 : 0);
+  if (rhs_is_column) {
+    h = HashCombine(h, rhs);
+  } else {
+    h = HashCombine(h, literal.Hash());
+  }
+  return h;
+}
+
+std::string BoundPredicate::ToString(const Schema& schema) const {
+  std::string out = schema.NameOf(lhs);
+  out += CompareOpName(op);
+  out += rhs_is_column ? schema.NameOf(rhs) : literal.ToString();
+  return out;
+}
+
+bool operator==(const BoundPredicate& a, const BoundPredicate& b) {
+  if (a.lhs != b.lhs || a.op != b.op || a.rhs_is_column != b.rhs_is_column) {
+    return false;
+  }
+  return a.rhs_is_column ? a.rhs == b.rhs : a.literal == b.literal;
+}
+
+uint64_t AggregateDesc::Hash() const {
+  uint64_t h = 0x7b2e4d6f8a9c0e12ULL;
+  h = HashCombine(h, static_cast<uint64_t>(fn));
+  h = HashCombine(h, count_star ? 1 : 0);
+  h = HashCombine(h, arg);
+  return h;
+}
+
+std::string AggregateDesc::ToString() const {
+  std::string text = AggFnName(fn);
+  text += "(";
+  text += count_star ? "*" : "#" + std::to_string(arg);
+  text += ")->";
+  if (out_name.empty()) {
+    text += "#" + std::to_string(out);
+  } else {
+    text += out_name;
+  }
+  return text;
+}
+
+bool operator==(const AggregateDesc& a, const AggregateDesc& b) {
+  return a.fn == b.fn && a.count_star == b.count_star && a.arg == b.arg &&
+         a.out == b.out && a.hidden_count == b.hidden_count;
+}
+
+}  // namespace scx

@@ -1,0 +1,57 @@
+#ifndef SCX_PLAN_EXPR_H_
+#define SCX_PLAN_EXPR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/column_set.h"
+#include "common/schema.h"
+#include "common/value.h"
+#include "script/ast.h"
+
+namespace scx {
+
+/// A bound atomic predicate over plan-wide column ids:
+/// `#lhs op (#rhs | literal)`.
+struct BoundPredicate {
+  ColumnId lhs = 0;
+  CompareOp op = CompareOp::kEq;
+  bool rhs_is_column = false;
+  ColumnId rhs = 0;
+  Value literal;
+
+  /// Columns referenced by the predicate.
+  ColumnSet ReferencedColumns() const;
+
+  /// Evaluates the predicate on `row` positionally aligned with `schema`.
+  bool Evaluate(const Row& row, const Schema& schema) const;
+
+  /// Stable structural hash (used by expression fingerprints).
+  uint64_t Hash() const;
+
+  std::string ToString(const Schema& schema) const;
+
+  friend bool operator==(const BoundPredicate& a, const BoundPredicate& b);
+};
+
+/// A bound aggregate computation inside a group-by.
+struct AggregateDesc {
+  AggFn fn = AggFn::kSum;
+  bool count_star = false;
+  ColumnId arg = 0;   ///< input column (unused when count_star)
+  ColumnId out = 0;   ///< output column id (fresh)
+  /// For AVG split into local/global phases: id of the hidden partial-count
+  /// column emitted by the local phase. 0 when unused.
+  ColumnId hidden_count = 0;
+  DataType out_type = DataType::kInt64;
+  std::string out_name;
+
+  uint64_t Hash() const;
+  std::string ToString() const;
+
+  friend bool operator==(const AggregateDesc& a, const AggregateDesc& b);
+};
+
+}  // namespace scx
+
+#endif  // SCX_PLAN_EXPR_H_

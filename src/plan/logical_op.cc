@@ -1,0 +1,165 @@
+#include "plan/logical_op.h"
+
+#include <map>
+#include <set>
+
+namespace scx {
+
+const char* LogicalOpKindName(LogicalOpKind kind) {
+  switch (kind) {
+    case LogicalOpKind::kExtract:
+      return "Extract";
+    case LogicalOpKind::kFilter:
+      return "Filter";
+    case LogicalOpKind::kProject:
+      return "Project";
+    case LogicalOpKind::kCompute:
+      return "Compute";
+    case LogicalOpKind::kGbAgg:
+      return "GbAgg";
+    case LogicalOpKind::kLocalGbAgg:
+      return "LocalGbAgg";
+    case LogicalOpKind::kGlobalGbAgg:
+      return "GlobalGbAgg";
+    case LogicalOpKind::kJoin:
+      return "Join";
+    case LogicalOpKind::kUnionAll:
+      return "UnionAll";
+    case LogicalOpKind::kSpool:
+      return "Spool";
+    case LogicalOpKind::kOutput:
+      return "Output";
+    case LogicalOpKind::kSequence:
+      return "Sequence";
+  }
+  return "Unknown";
+}
+
+uint64_t LogicalOpId(LogicalOpKind kind) {
+  // Arbitrary fixed identifiers; must be stable across runs, distinct per
+  // operator kind, and shared by all instances of a kind (paper Def. 1).
+  return 0xA100 + static_cast<uint64_t>(kind) * 0x9137;
+}
+
+std::string LogicalNode::Describe() const {
+  std::string out = LogicalOpKindName(kind_);
+  auto namer = [this](ColumnId id) { return schema_.NameOf(id); };
+  switch (kind_) {
+    case LogicalOpKind::kExtract:
+      out += "[" + file.path + "]";
+      break;
+    case LogicalOpKind::kFilter: {
+      out += "[";
+      for (size_t i = 0; i < predicates.size(); ++i) {
+        if (i > 0) out += " AND ";
+        out += predicates[i].ToString(child(0)->schema());
+      }
+      out += "]";
+      break;
+    }
+    case LogicalOpKind::kProject: {
+      out += "[";
+      for (size_t i = 0; i < project_map.size(); ++i) {
+        if (i > 0) out += ",";
+        out += namer(project_map[i].second);
+      }
+      out += "]";
+      break;
+    }
+    case LogicalOpKind::kCompute: {
+      out += "[";
+      for (size_t i = 0; i < compute_items.size(); ++i) {
+        if (i > 0) out += ",";
+        const ComputeItem& item = compute_items[i];
+        if (item.IsPassthrough()) {
+          out += namer(item.out);
+        } else {
+          out += item.expr->ToString(namer) + "->" + item.out_name;
+        }
+      }
+      out += "]";
+      break;
+    }
+    case LogicalOpKind::kGbAgg:
+    case LogicalOpKind::kLocalGbAgg:
+    case LogicalOpKind::kGlobalGbAgg: {
+      out += "[" + ColumnSet::FromVector(group_cols).ToString(namer) + "; ";
+      for (size_t i = 0; i < aggregates.size(); ++i) {
+        if (i > 0) out += ",";
+        out += aggregates[i].ToString();
+      }
+      out += "]";
+      break;
+    }
+    case LogicalOpKind::kJoin: {
+      out += "[";
+      for (size_t i = 0; i < join_keys.size(); ++i) {
+        if (i > 0) out += " AND ";
+        out += child(0)->schema().NameOf(join_keys[i].first);
+        out += "=";
+        out += child(1)->schema().NameOf(join_keys[i].second);
+      }
+      out += "]";
+      break;
+    }
+    case LogicalOpKind::kOutput:
+      out += "[" + output_path + "]";
+      break;
+    case LogicalOpKind::kUnionAll:
+    case LogicalOpKind::kSpool:
+    case LogicalOpKind::kSequence:
+      break;
+  }
+  if (!result_name.empty()) {
+    out += " (" + result_name + ")";
+  }
+  return out;
+}
+
+namespace {
+
+void CollectTopological(const LogicalNodePtr& node,
+                        std::set<const LogicalNode*>* seen,
+                        std::vector<LogicalNodePtr>* out) {
+  if (!seen->insert(node.get()).second) return;
+  for (const LogicalNodePtr& child : node->children()) {
+    CollectTopological(child, seen, out);
+  }
+  out->push_back(node);
+}
+
+void PrintNode(const LogicalNodePtr& node, int indent,
+               std::map<const LogicalNode*, int>* ids, int* next_id,
+               std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  auto it = ids->find(node.get());
+  if (it != ids->end()) {
+    *out += "@" + std::to_string(it->second) + " (shared, see above)\n";
+    return;
+  }
+  int id = (*next_id)++;
+  (*ids)[node.get()] = id;
+  *out += "@" + std::to_string(id) + " " + node->Describe() + "\n";
+  for (const LogicalNodePtr& child : node->children()) {
+    PrintNode(child, indent + 1, ids, next_id, out);
+  }
+}
+
+}  // namespace
+
+std::vector<LogicalNodePtr> TopologicalNodes(const LogicalNodePtr& root) {
+  std::vector<LogicalNodePtr> out;
+  std::set<const LogicalNode*> seen;
+  CollectTopological(root, &seen, &out);
+  return out;
+}
+
+std::string PrintLogicalDag(const LogicalNodePtr& root) {
+  std::string out;
+  std::map<const LogicalNode*, int> ids;
+  int next_id = 1;
+  PrintNode(root, 0, &ids, &next_id, &out);
+  return out;
+}
+
+}  // namespace scx

@@ -1,0 +1,133 @@
+#ifndef SCX_PLAN_LOGICAL_OP_H_
+#define SCX_PLAN_LOGICAL_OP_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/schema.h"
+#include "plan/expr.h"
+#include "plan/scalar.h"
+
+namespace scx {
+
+/// Logical operator kinds. kLocalGbAgg/kGlobalGbAgg only appear after the
+/// optimizer's aggregate-split transformation; the binder emits kGbAgg.
+enum class LogicalOpKind {
+  kExtract,
+  kFilter,
+  kProject,
+  kCompute,
+  kGbAgg,
+  kLocalGbAgg,
+  kGlobalGbAgg,
+  kJoin,
+  kUnionAll,
+  kSpool,
+  kOutput,
+  kSequence,
+};
+
+const char* LogicalOpKindName(LogicalOpKind kind);
+
+/// Stable operator-kind identifier used in expression fingerprints (paper
+/// Def. 1: "all group-by operations have the same OpID").
+uint64_t LogicalOpId(LogicalOpKind kind);
+
+class LogicalNode;
+using LogicalNodePtr = std::shared_ptr<LogicalNode>;
+
+/// A node of the bound logical operator DAG. Shared subexpressions written
+/// via named intermediate results appear as one node with multiple parents.
+class LogicalNode {
+ public:
+  LogicalNode(LogicalOpKind kind, Schema schema,
+              std::vector<LogicalNodePtr> children)
+      : kind_(kind), schema_(std::move(schema)), children_(std::move(children)) {}
+
+  LogicalOpKind kind() const { return kind_; }
+  const Schema& schema() const { return schema_; }
+  /// Mutable schema access, used when Algorithm 1 rewrites column identities
+  /// while merging duplicate subexpressions.
+  Schema* mutable_schema() { return &schema_; }
+
+  /// Copies this node's payload (and child pointers, used only for
+  /// description in memo context). The memo clones payloads so that
+  /// optimizer-side rewrites never mutate the caller's bound DAG.
+  LogicalNodePtr Clone() const {
+    auto copy = std::make_shared<LogicalNode>(kind_, schema_, children_);
+    copy->file = file;
+    copy->predicates = predicates;
+    copy->project_map = project_map;
+    copy->compute_items = compute_items;
+    copy->group_cols = group_cols;
+    copy->aggregates = aggregates;
+    copy->join_keys = join_keys;
+    copy->output_path = output_path;
+    copy->order_by = order_by;
+    copy->result_name = result_name;
+    return copy;
+  }
+  const std::vector<LogicalNodePtr>& children() const { return children_; }
+  LogicalNodePtr child(int i) const {
+    return children_[static_cast<size_t>(i)];
+  }
+  int num_children() const { return static_cast<int>(children_.size()); }
+
+  // --- per-kind payload (public by design: this is a passive data DAG) ---
+
+  /// kExtract
+  FileDef file;
+
+  /// kFilter (conjunction) and kJoin residual predicates.
+  std::vector<BoundPredicate> predicates;
+
+  /// kProject: (source id, output id) pairs in output order. Usually
+  /// source == output (pure prune/reorder/rename via `schema_`); output ids
+  /// differ when the binder must disambiguate column identities, e.g. on the
+  /// right side of a join between two results derived from one shared
+  /// subexpression.
+  std::vector<std::pair<ColumnId, ColumnId>> project_map;
+
+  /// kCompute: computed outputs in order (passthrough items forward a
+  /// column under its original id; computed items mint fresh ids).
+  std::vector<ComputeItem> compute_items;
+
+  /// kGbAgg / kLocalGbAgg / kGlobalGbAgg
+  std::vector<ColumnId> group_cols;
+  std::vector<AggregateDesc> aggregates;
+
+  /// kJoin: equi-join key pairs (left column, right column).
+  std::vector<std::pair<ColumnId, ColumnId>> join_keys;
+
+  /// kOutput
+  std::string output_path;
+  /// kOutput: requested global output order (from the defining SELECT's
+  /// ORDER BY). Empty = unordered parallel output.
+  std::vector<ColumnId> order_by;
+
+  /// Name of the script result this node defines ("" for internal nodes).
+  std::string result_name;
+
+  /// One-line description, e.g. "GbAgg[{A,B}; Sum(S)->S1]".
+  std::string Describe() const;
+
+ private:
+  LogicalOpKind kind_;
+  Schema schema_;
+  std::vector<LogicalNodePtr> children_;
+};
+
+/// Pretty-prints the DAG rooted at `root`; shared nodes are expanded once and
+/// referenced by `@<id>` afterwards.
+std::string PrintLogicalDag(const LogicalNodePtr& root);
+
+/// All nodes reachable from `root` in a stable bottom-up (children before
+/// parents) order; each shared node appears once.
+std::vector<LogicalNodePtr> TopologicalNodes(const LogicalNodePtr& root);
+
+}  // namespace scx
+
+#endif  // SCX_PLAN_LOGICAL_OP_H_

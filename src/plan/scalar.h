@@ -1,0 +1,95 @@
+#ifndef SCX_PLAN_SCALAR_H_
+#define SCX_PLAN_SCALAR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/column_set.h"
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace scx {
+
+class ScalarExpr;
+using ScalarExprPtr = std::shared_ptr<const ScalarExpr>;
+
+/// An immutable bound scalar expression tree: column references, literals,
+/// and arithmetic. Used by Compute operators (computed SELECT items) and as
+/// pre-computed aggregate arguments.
+class ScalarExpr {
+ public:
+  enum class Kind { kColumn, kLiteral, kBinary };
+  enum class BinOp { kAdd, kSub, kMul, kDiv };
+
+  static ScalarExprPtr Column(ColumnId id);
+  static ScalarExprPtr Literal(Value value);
+  static ScalarExprPtr Binary(BinOp op, ScalarExprPtr lhs, ScalarExprPtr rhs);
+
+  Kind kind() const { return kind_; }
+  ColumnId column() const { return column_; }
+  const Value& literal() const { return literal_; }
+  BinOp op() const { return op_; }
+  const ScalarExprPtr& lhs() const { return lhs_; }
+  const ScalarExprPtr& rhs() const { return rhs_; }
+
+  /// True iff the expression is a bare column reference.
+  bool IsBareColumn() const { return kind_ == Kind::kColumn; }
+
+  /// Evaluates on a row positionally aligned with `schema`. Division always
+  /// produces a double; other operators produce int64 when both operands
+  /// are int64, double otherwise.
+  Value Evaluate(const Row& row, const Schema& schema) const;
+
+  /// Static result type given a column-type resolver.
+  DataType ResultType(
+      const std::function<DataType(ColumnId)>& type_of) const;
+
+  /// All referenced columns.
+  ColumnSet ReferencedColumns() const;
+
+  /// Structural hash (column ids included).
+  uint64_t Hash() const;
+
+  /// Structural equality with `other`, translating other's column ids
+  /// through `other_to_this` (identity for missing entries). Used by the
+  /// CSE equivalence comparison.
+  bool EqualsMapped(const ScalarExpr& other,
+                    const std::map<ColumnId, ColumnId>& other_to_this) const;
+
+  /// Returns this expression with column ids rewritten through `remap`
+  /// (shares unaffected subtrees).
+  ScalarExprPtr Remap(const std::map<ColumnId, ColumnId>& remap) const;
+
+  std::string ToString(
+      const std::function<std::string(ColumnId)>& namer) const;
+
+ private:
+  ScalarExpr() = default;
+
+  Kind kind_ = Kind::kLiteral;
+  ColumnId column_ = 0;
+  Value literal_;
+  BinOp op_ = BinOp::kAdd;
+  ScalarExprPtr lhs_;
+  ScalarExprPtr rhs_;
+};
+
+const char* BinOpName(ScalarExpr::BinOp op);
+
+/// One output of a Compute operator.
+struct ComputeItem {
+  ScalarExprPtr expr;
+  ColumnId out = 0;
+  std::string out_name;
+
+  /// True when the item just forwards a column (expr is that bare column
+  /// and keeps its id) — such items preserve physical properties.
+  bool IsPassthrough() const {
+    return expr != nullptr && expr->IsBareColumn() && expr->column() == out;
+  }
+};
+
+}  // namespace scx
+
+#endif  // SCX_PLAN_SCALAR_H_

@@ -1,0 +1,145 @@
+#include "props/physical_props.h"
+
+#include "common/hash.h"
+
+namespace scx {
+
+namespace {
+
+std::string DefaultName(ColumnId id) { return "#" + std::to_string(id); }
+
+}  // namespace
+
+uint64_t Partitioning::HashValue() const {
+  uint64_t h = HashCombine(static_cast<uint64_t>(kind) + 0x51, cols.Hash());
+  for (ColumnId c : range_cols) h = HashCombine(h, c);
+  return h;
+}
+
+std::string Partitioning::ToString(
+    const std::function<std::string(ColumnId)>& namer) const {
+  switch (kind) {
+    case PartitioningKind::kRandom:
+      return "random";
+    case PartitioningKind::kSerial:
+      return "serial";
+    case PartitioningKind::kHash:
+      return "hash" + cols.ToString(namer);
+    case PartitioningKind::kRange: {
+      std::string out = "range(";
+      for (size_t i = 0; i < range_cols.size(); ++i) {
+        if (i > 0) out += ",";
+        out += namer(range_cols[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+bool PartitioningReq::SatisfiedBy(const Partitioning& delivered) const {
+  switch (kind) {
+    case PartReqKind::kNone:
+      return true;
+    case PartReqKind::kSerial:
+      return delivered.kind == PartitioningKind::kSerial;
+    case PartReqKind::kHashSubset:
+      // Co-location requirement: any scheme that puts rows equal on a
+      // non-empty subset of `cols` into one partition qualifies — hash or
+      // range on such a subset, or everything on one machine.
+      if (delivered.kind == PartitioningKind::kSerial) return true;
+      return (delivered.kind == PartitioningKind::kHash ||
+              delivered.kind == PartitioningKind::kRange) &&
+             !delivered.cols.Empty() && delivered.cols.IsSubsetOf(cols);
+    case PartReqKind::kHashExact:
+      return delivered.kind == PartitioningKind::kHash &&
+             delivered.cols == cols;
+    case PartReqKind::kRangeExact:
+      return delivered.kind == PartitioningKind::kRange &&
+             delivered.range_cols == range_cols;
+  }
+  return false;
+}
+
+uint64_t PartitioningReq::HashValue() const {
+  uint64_t h = HashCombine(static_cast<uint64_t>(kind) + 0x97, cols.Hash());
+  for (ColumnId c : range_cols) h = HashCombine(h, c);
+  return h;
+}
+
+std::string PartitioningReq::ToString(
+    const std::function<std::string(ColumnId)>& namer) const {
+  switch (kind) {
+    case PartReqKind::kNone:
+      return "any";
+    case PartReqKind::kSerial:
+      return "serial";
+    case PartReqKind::kHashSubset:
+      return "[∅," + cols.ToString(namer) + "]";
+    case PartReqKind::kHashExact:
+      return "[" + cols.ToString(namer) + "," + cols.ToString(namer) + "]";
+    case PartReqKind::kRangeExact: {
+      std::string out = "range(";
+      for (size_t i = 0; i < range_cols.size(); ++i) {
+        if (i > 0) out += ",";
+        out += namer(range_cols[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+bool SortSpec::SatisfiesPrefix(const SortSpec& required) const {
+  if (required.cols.size() > cols.size()) return false;
+  for (size_t i = 0; i < required.cols.size(); ++i) {
+    if (cols[i] != required.cols[i]) return false;
+  }
+  return true;
+}
+
+uint64_t SortSpec::HashValue() const {
+  uint64_t h = 0x3c6ef372fe94f82bULL;
+  for (ColumnId c : cols) h = HashCombine(h, c);
+  return h;
+}
+
+std::string SortSpec::ToString(
+    const std::function<std::string(ColumnId)>& namer) const {
+  if (cols.empty()) return "-";
+  std::string out = "(";
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (i > 0) out += ",";
+    out += namer(cols[i]);
+  }
+  out += ")";
+  return out;
+}
+
+uint64_t RequiredProps::HashValue() const {
+  return HashCombine(partitioning.HashValue(), sort.HashValue());
+}
+
+std::string RequiredProps::ToString(
+    const std::function<std::string(ColumnId)>& namer) const {
+  return "part=" + partitioning.ToString(namer) +
+         " sort=" + sort.ToString(namer);
+}
+
+std::string RequiredProps::ToString() const { return ToString(DefaultName); }
+
+std::string DeliveredProps::ToString(
+    const std::function<std::string(ColumnId)>& namer) const {
+  return "part=" + partitioning.ToString(namer) +
+         " sort=" + sort.ToString(namer);
+}
+
+std::string DeliveredProps::ToString() const { return ToString(DefaultName); }
+
+bool PropertySatisfied(const RequiredProps& required,
+                       const DeliveredProps& delivered) {
+  return required.partitioning.SatisfiedBy(delivered.partitioning) &&
+         delivered.sort.SatisfiesPrefix(required.sort);
+}
+
+}  // namespace scx

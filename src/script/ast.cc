@@ -1,0 +1,83 @@
+#include "script/ast.h"
+
+namespace scx {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum:
+      return "Sum";
+    case AggFn::kCount:
+      return "Count";
+    case AggFn::kMin:
+      return "Min";
+    case AggFn::kMax:
+      return "Max";
+    case AggFn::kAvg:
+      return "Avg";
+  }
+  return "?";
+}
+
+std::string AstPredicate::ToString() const {
+  std::string out =
+      lhs_scalar != nullptr ? lhs_scalar->ToString() : lhs.ToString();
+  out += CompareOpName(op);
+  if (rhs_scalar != nullptr) {
+    out += rhs_scalar->ToString();
+  } else {
+    out += rhs_is_column ? rhs_column.ToString() : rhs_literal.ToString();
+  }
+  return out;
+}
+
+std::string AstScalar::ToString() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return column.ToString();
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kBinary:
+      return "(" + lhs->ToString() + std::string(1, op) + rhs->ToString() +
+             ")";
+  }
+  return "?";
+}
+
+std::string AstSelectItem::ToString() const {
+  std::string out;
+  std::string arg = scalar != nullptr ? scalar->ToString()
+                                      : column.ToString();
+  if (is_aggregate) {
+    out = AggFnName(fn);
+    out += "(";
+    out += count_star ? "*" : arg;
+    out += ")";
+  } else {
+    out = arg;
+  }
+  if (!alias.empty()) {
+    out += " AS ";
+    out += alias;
+  }
+  return out;
+}
+
+}  // namespace scx

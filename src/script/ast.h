@@ -1,0 +1,136 @@
+#ifndef SCX_SCRIPT_AST_H_
+#define SCX_SCRIPT_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace scx {
+
+/// Reference to a column, optionally qualified with a relation name: `R1.B`.
+struct AstColumnRef {
+  std::string qualifier;  ///< empty when unqualified
+  std::string name;
+
+  std::string ToString() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+/// Comparison operators usable in WHERE clauses.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+struct AstScalar;
+using AstScalarPtr = std::shared_ptr<AstScalar>;
+
+/// One atomic WHERE/HAVING predicate: `<scalar> op <scalar|col|literal>`.
+/// Conjunctions are represented as a list of these (the dialect supports
+/// AND only, which covers all scripts in the paper plus simple filters).
+/// The bare-column/literal fields are filled for simple sides; composite
+/// sides set the corresponding `*_scalar` (the binder desugars those
+/// through a Compute operator).
+struct AstPredicate {
+  AstColumnRef lhs;
+  AstScalarPtr lhs_scalar;  ///< non-null when lhs is a composite expression
+  CompareOp op = CompareOp::kEq;
+  bool rhs_is_column = false;
+  AstColumnRef rhs_column;
+  AstScalarPtr rhs_scalar;  ///< non-null when rhs is a composite expression
+  Value rhs_literal;
+
+  std::string ToString() const;
+};
+
+/// An unbound scalar expression: column refs, literals, and + - * /.
+struct AstScalar {
+  enum class Kind { kColumn, kLiteral, kBinary } kind = Kind::kColumn;
+  AstColumnRef column;
+  Value literal;
+  char op = '+';
+  std::shared_ptr<AstScalar> lhs;
+  std::shared_ptr<AstScalar> rhs;
+
+  bool IsBareColumn() const { return kind == Kind::kColumn; }
+  std::string ToString() const;
+};
+
+using AstScalarPtr = std::shared_ptr<AstScalar>;
+
+/// Aggregate functions supported in SELECT items.
+enum class AggFn { kSum, kCount, kMin, kMax, kAvg };
+
+const char* AggFnName(AggFn fn);
+
+/// One SELECT-list item: a plain column reference, a scalar expression
+/// (`A+B AS X`), or an aggregate call `Fn(expr)` / `COUNT(*)`, optionally
+/// aliased with AS.
+struct AstSelectItem {
+  bool is_aggregate = false;
+  AstColumnRef column;  ///< plain column, or the bare-column aggregate arg
+  /// Non-null when the item (or the aggregate argument) is a composite
+  /// scalar expression rather than a bare column.
+  AstScalarPtr scalar;
+  AggFn fn = AggFn::kSum;
+  bool count_star = false;  ///< COUNT(*)
+  std::string alias;        ///< empty when no AS clause
+
+  std::string ToString() const;
+};
+
+/// `EXTRACT cols FROM "path" USING Extractor`.
+struct AstExtract {
+  std::vector<std::string> columns;
+  std::string path;
+  std::string extractor;
+};
+
+/// `SELECT [DISTINCT] items FROM rel[, rel] [WHERE preds]
+///  [GROUP BY cols [HAVING preds]] [ORDER BY cols]`.
+struct AstSelect {
+  bool distinct = false;
+  std::vector<AstSelectItem> items;
+  std::vector<std::string> sources;  ///< referenced result names (1 or 2)
+  std::vector<AstPredicate> where;
+  std::vector<AstColumnRef> group_by;
+  std::vector<AstPredicate> having;
+  std::vector<AstColumnRef> order_by;
+};
+
+/// `UNION ALL a,b[,c...]`: positional concatenation of named results with
+/// compatible schemas.
+struct AstUnion {
+  std::vector<std::string> sources;
+};
+
+/// A named statement body: an extract, a select, or a union.
+struct AstQuery {
+  enum class Kind { kExtract, kSelect, kUnion } kind = Kind::kSelect;
+  AstExtract extract;
+  AstSelect select;
+  AstUnion union_all;
+};
+
+/// One script statement.
+struct AstStatement {
+  enum class Kind { kAssign, kOutput } kind = Kind::kAssign;
+  // kAssign:
+  std::string target;  ///< result name being defined
+  AstQuery query;
+  // kOutput:
+  std::string output_rel;
+  std::string output_path;
+};
+
+/// A whole script: an ordered list of statements.
+struct AstScript {
+  std::vector<AstStatement> statements;
+};
+
+}  // namespace scx
+
+#endif  // SCX_SCRIPT_AST_H_

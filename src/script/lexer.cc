@@ -1,0 +1,225 @@
+#include "script/lexer.h"
+
+#include <cctype>
+
+namespace scx {
+
+namespace {
+
+bool EqualsIgnoreCase(const std::string& a, const char* b) {
+  size_t i = 0;
+  for (; i < a.size() && b[i] != '\0'; ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return i == a.size() && b[i] == '\0';
+}
+
+}  // namespace
+
+bool Token::IsKeyword(const char* kw) const {
+  return kind == TokenKind::kIdent && EqualsIgnoreCase(text, kw);
+}
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "end of script";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kInt:
+      return "integer literal";
+    case TokenKind::kReal:
+      return "numeric literal";
+    case TokenKind::kString:
+      return "string literal";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+  }
+  return "token";
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') advance(1);
+      continue;
+    }
+
+    Token tok;
+    tok.line = line;
+    tok.column = column;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        advance(1);
+      }
+      tok.kind = TokenKind::kIdent;
+      tok.text = source.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_real = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+        advance(1);
+      }
+      if (i < n && source[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(source[i + 1]))) {
+        is_real = true;
+        advance(1);
+        while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+          advance(1);
+        }
+      }
+      tok.kind = is_real ? TokenKind::kReal : TokenKind::kInt;
+      tok.text = source.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (c == '"') {
+      advance(1);
+      size_t start = i;
+      while (i < n && source[i] != '"' && source[i] != '\n') advance(1);
+      if (i >= n || source[i] != '"') {
+        return Status::ParseError("unterminated string literal at line " +
+                                  std::to_string(tok.line));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = source.substr(start, i - start);
+      advance(1);  // closing quote
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && source[i + 1] == b;
+    };
+
+    if (two('=', '=')) {
+      tok.kind = TokenKind::kEq;
+      advance(2);
+    } else if (two('!', '=') || two('<', '>')) {
+      tok.kind = TokenKind::kNe;
+      advance(2);
+    } else if (two('<', '=')) {
+      tok.kind = TokenKind::kLe;
+      advance(2);
+    } else if (two('>', '=')) {
+      tok.kind = TokenKind::kGe;
+      advance(2);
+    } else {
+      switch (c) {
+        case ',':
+          tok.kind = TokenKind::kComma;
+          break;
+        case ';':
+          tok.kind = TokenKind::kSemicolon;
+          break;
+        case '.':
+          tok.kind = TokenKind::kDot;
+          break;
+        case '*':
+          tok.kind = TokenKind::kStar;
+          break;
+        case '+':
+          tok.kind = TokenKind::kPlus;
+          break;
+        case '-':
+          tok.kind = TokenKind::kMinus;
+          break;
+        case '/':
+          tok.kind = TokenKind::kSlash;
+          break;
+        case '(':
+          tok.kind = TokenKind::kLParen;
+          break;
+        case ')':
+          tok.kind = TokenKind::kRParen;
+          break;
+        case '=':
+          tok.kind = TokenKind::kEq;
+          break;
+        case '<':
+          tok.kind = TokenKind::kLt;
+          break;
+        case '>':
+          tok.kind = TokenKind::kGt;
+          break;
+        default:
+          return Status::ParseError("unexpected character '" +
+                                    std::string(1, c) + "' at line " +
+                                    std::to_string(line) + ", column " +
+                                    std::to_string(column));
+      }
+      advance(1);
+    }
+    tokens.push_back(std::move(tok));
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  end.column = column;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace scx

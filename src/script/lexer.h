@@ -1,0 +1,18 @@
+#ifndef SCX_SCRIPT_LEXER_H_
+#define SCX_SCRIPT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "script/token.h"
+
+namespace scx {
+
+/// Tokenizes a full script. `//`-to-end-of-line comments are skipped.
+/// The returned vector always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace scx
+
+#endif  // SCX_SCRIPT_LEXER_H_

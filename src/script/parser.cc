@@ -1,0 +1,389 @@
+#include "script/parser.h"
+
+#include <cctype>
+
+#include "script/lexer.h"
+
+namespace scx {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<AstScript> Parse() {
+    AstScript script;
+    while (!AtEnd()) {
+      SCX_ASSIGN_OR_RETURN(AstStatement stmt, ParseStatement());
+      script.statements.push_back(std::move(stmt));
+    }
+    if (script.statements.empty()) {
+      return Status::ParseError("empty script");
+    }
+    return script;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  Token Next() {
+    Token t = Peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+
+  Status ErrorHere(const std::string& what) const {
+    const Token& t = Peek();
+    return Status::ParseError(what + " at line " + std::to_string(t.line) +
+                              ", column " + std::to_string(t.column) +
+                              " (got " + TokenKindName(t.kind) +
+                              (t.text.empty() ? "" : " '" + t.text + "'") +
+                              ")");
+  }
+
+  Result<Token> Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return ErrorHere(std::string("expected ") + TokenKindName(kind));
+    }
+    return Next();
+  }
+
+  Result<Token> ExpectKeyword(const char* kw) {
+    if (!Peek().IsKeyword(kw)) {
+      return ErrorHere(std::string("expected keyword ") + kw);
+    }
+    return Next();
+  }
+
+  bool ConsumeKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+
+  Result<AstStatement> ParseStatement() {
+    AstStatement stmt;
+    if (Peek().IsKeyword("OUTPUT")) {
+      Next();
+      stmt.kind = AstStatement::Kind::kOutput;
+      SCX_ASSIGN_OR_RETURN(Token rel, Expect(TokenKind::kIdent));
+      stmt.output_rel = rel.text;
+      SCX_ASSIGN_OR_RETURN(Token to, Expect(TokenKind::kIdent));
+      if (!to.IsKeyword("TO")) {
+        return ErrorHere("expected TO in OUTPUT statement");
+      }
+      SCX_ASSIGN_OR_RETURN(Token path, Expect(TokenKind::kString));
+      stmt.output_path = path.text;
+      SCX_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon).status());
+      return stmt;
+    }
+
+    stmt.kind = AstStatement::Kind::kAssign;
+    SCX_ASSIGN_OR_RETURN(Token name, Expect(TokenKind::kIdent));
+    stmt.target = name.text;
+    SCX_RETURN_IF_ERROR(Expect(TokenKind::kEq).status());
+    if (Peek().IsKeyword("EXTRACT")) {
+      SCX_ASSIGN_OR_RETURN(stmt.query.extract, ParseExtract());
+      stmt.query.kind = AstQuery::Kind::kExtract;
+    } else if (Peek().IsKeyword("SELECT")) {
+      SCX_ASSIGN_OR_RETURN(stmt.query.select, ParseSelect());
+      stmt.query.kind = AstQuery::Kind::kSelect;
+    } else if (Peek().IsKeyword("UNION")) {
+      Next();
+      SCX_RETURN_IF_ERROR(ExpectKeyword("ALL").status());
+      stmt.query.kind = AstQuery::Kind::kUnion;
+      do {
+        SCX_ASSIGN_OR_RETURN(Token src, Expect(TokenKind::kIdent));
+        stmt.query.union_all.sources.push_back(src.text);
+      } while (Consume(TokenKind::kComma));
+      if (stmt.query.union_all.sources.size() < 2) {
+        return Status::ParseError("UNION ALL needs at least two sources");
+      }
+    } else {
+      return ErrorHere("expected EXTRACT, SELECT, or UNION ALL");
+    }
+    SCX_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon).status());
+    return stmt;
+  }
+
+  Result<AstExtract> ParseExtract() {
+    SCX_RETURN_IF_ERROR(ExpectKeyword("EXTRACT").status());
+    AstExtract extract;
+    do {
+      SCX_ASSIGN_OR_RETURN(Token col, Expect(TokenKind::kIdent));
+      extract.columns.push_back(col.text);
+    } while (Consume(TokenKind::kComma));
+    SCX_RETURN_IF_ERROR(ExpectKeyword("FROM").status());
+    SCX_ASSIGN_OR_RETURN(Token path, Expect(TokenKind::kString));
+    extract.path = path.text;
+    SCX_RETURN_IF_ERROR(ExpectKeyword("USING").status());
+    SCX_ASSIGN_OR_RETURN(Token ext, Expect(TokenKind::kIdent));
+    extract.extractor = ext.text;
+    return extract;
+  }
+
+  Result<AstSelect> ParseSelect() {
+    SCX_RETURN_IF_ERROR(ExpectKeyword("SELECT").status());
+    AstSelect select;
+    if (ConsumeKeyword("DISTINCT")) select.distinct = true;
+    do {
+      SCX_ASSIGN_OR_RETURN(AstSelectItem item, ParseSelectItem());
+      select.items.push_back(std::move(item));
+    } while (Consume(TokenKind::kComma));
+
+    SCX_RETURN_IF_ERROR(ExpectKeyword("FROM").status());
+    do {
+      SCX_ASSIGN_OR_RETURN(Token src, Expect(TokenKind::kIdent));
+      select.sources.push_back(src.text);
+    } while (Consume(TokenKind::kComma));
+    if (select.sources.size() > 2) {
+      return Status::ParseError(
+          "at most two relations per SELECT are supported; chain SELECTs for "
+          "larger joins");
+    }
+
+    if (ConsumeKeyword("WHERE")) {
+      do {
+        SCX_ASSIGN_OR_RETURN(AstPredicate pred, ParsePredicate());
+        select.where.push_back(std::move(pred));
+      } while (ConsumeKeyword("AND"));
+    }
+
+    if (Peek().IsKeyword("GROUP")) {
+      Next();
+      SCX_RETURN_IF_ERROR(ExpectKeyword("BY").status());
+      do {
+        SCX_ASSIGN_OR_RETURN(AstColumnRef col, ParseColumnRef());
+        select.group_by.push_back(std::move(col));
+      } while (Consume(TokenKind::kComma));
+      if (ConsumeKeyword("HAVING")) {
+        do {
+          SCX_ASSIGN_OR_RETURN(AstPredicate pred, ParsePredicate());
+          select.having.push_back(std::move(pred));
+        } while (ConsumeKeyword("AND"));
+      }
+    }
+    if (Peek().IsKeyword("ORDER")) {
+      Next();
+      SCX_RETURN_IF_ERROR(ExpectKeyword("BY").status());
+      do {
+        SCX_ASSIGN_OR_RETURN(AstColumnRef col, ParseColumnRef());
+        select.order_by.push_back(std::move(col));
+      } while (Consume(TokenKind::kComma));
+    }
+    return select;
+  }
+
+  Result<AstSelectItem> ParseSelectItem() {
+    AstSelectItem item;
+    // Aggregate call: ident '(' ... ')'
+    if (Peek().kind == TokenKind::kIdent &&
+        Peek(1).kind == TokenKind::kLParen) {
+      Token fn = Next();
+      Next();  // '('
+      SCX_ASSIGN_OR_RETURN(AggFn agg, ResolveAggFn(fn));
+      item.is_aggregate = true;
+      item.fn = agg;
+      if (Peek().kind == TokenKind::kStar) {
+        Next();
+        if (agg != AggFn::kCount) {
+          return Status::ParseError("'*' argument is only valid for Count");
+        }
+        item.count_star = true;
+      } else {
+        SCX_ASSIGN_OR_RETURN(AstScalarPtr arg, ParseScalar());
+        if (arg->IsBareColumn()) {
+          item.column = arg->column;
+        } else {
+          item.scalar = std::move(arg);
+        }
+      }
+      SCX_RETURN_IF_ERROR(Expect(TokenKind::kRParen).status());
+    } else {
+      SCX_ASSIGN_OR_RETURN(AstScalarPtr expr, ParseScalar());
+      if (expr->IsBareColumn()) {
+        item.column = expr->column;
+      } else {
+        item.scalar = std::move(expr);
+      }
+    }
+    if (ConsumeKeyword("AS")) {
+      SCX_ASSIGN_OR_RETURN(Token alias, Expect(TokenKind::kIdent));
+      item.alias = alias.text;
+    }
+    return item;
+  }
+
+  /// scalar := term (('+'|'-') term)*
+  Result<AstScalarPtr> ParseScalar() {
+    SCX_ASSIGN_OR_RETURN(AstScalarPtr lhs, ParseScalarTerm());
+    while (Peek().kind == TokenKind::kPlus ||
+           Peek().kind == TokenKind::kMinus) {
+      char op = Peek().kind == TokenKind::kPlus ? '+' : '-';
+      Next();
+      SCX_ASSIGN_OR_RETURN(AstScalarPtr rhs, ParseScalarTerm());
+      auto node = std::make_shared<AstScalar>();
+      node->kind = AstScalar::Kind::kBinary;
+      node->op = op;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  /// term := factor (('*'|'/') factor)*
+  Result<AstScalarPtr> ParseScalarTerm() {
+    SCX_ASSIGN_OR_RETURN(AstScalarPtr lhs, ParseScalarFactor());
+    while (Peek().kind == TokenKind::kStar ||
+           Peek().kind == TokenKind::kSlash) {
+      char op = Peek().kind == TokenKind::kStar ? '*' : '/';
+      Next();
+      SCX_ASSIGN_OR_RETURN(AstScalarPtr rhs, ParseScalarFactor());
+      auto node = std::make_shared<AstScalar>();
+      node->kind = AstScalar::Kind::kBinary;
+      node->op = op;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  /// factor := number | string | colref | '(' scalar ')'
+  Result<AstScalarPtr> ParseScalarFactor() {
+    auto node = std::make_shared<AstScalar>();
+    switch (Peek().kind) {
+      case TokenKind::kInt: {
+        node->kind = AstScalar::Kind::kLiteral;
+        node->literal = Value::Int(std::stoll(Next().text));
+        return node;
+      }
+      case TokenKind::kReal: {
+        node->kind = AstScalar::Kind::kLiteral;
+        node->literal = Value::Real(std::stod(Next().text));
+        return node;
+      }
+      case TokenKind::kString: {
+        node->kind = AstScalar::Kind::kLiteral;
+        node->literal = Value::Str(Next().text);
+        return node;
+      }
+      case TokenKind::kIdent: {
+        node->kind = AstScalar::Kind::kColumn;
+        SCX_ASSIGN_OR_RETURN(node->column, ParseColumnRef());
+        return node;
+      }
+      case TokenKind::kLParen: {
+        Next();
+        SCX_ASSIGN_OR_RETURN(AstScalarPtr inner, ParseScalar());
+        SCX_RETURN_IF_ERROR(Expect(TokenKind::kRParen).status());
+        return inner;
+      }
+      default:
+        return ErrorHere("expected scalar expression");
+    }
+  }
+
+  Result<AggFn> ResolveAggFn(const Token& tok) const {
+    if (tok.IsKeyword("SUM")) return AggFn::kSum;
+    if (tok.IsKeyword("COUNT")) return AggFn::kCount;
+    if (tok.IsKeyword("MIN")) return AggFn::kMin;
+    if (tok.IsKeyword("MAX")) return AggFn::kMax;
+    if (tok.IsKeyword("AVG")) return AggFn::kAvg;
+    return Status::ParseError("unknown aggregate function '" + tok.text +
+                              "' at line " + std::to_string(tok.line));
+  }
+
+  Result<AstPredicate> ParsePredicate() {
+    AstPredicate pred;
+    {
+      SCX_ASSIGN_OR_RETURN(AstScalarPtr lhs, ParseScalar());
+      if (lhs->IsBareColumn()) {
+        pred.lhs = lhs->column;
+      } else {
+        pred.lhs_scalar = std::move(lhs);
+      }
+    }
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        pred.op = CompareOp::kEq;
+        break;
+      case TokenKind::kNe:
+        pred.op = CompareOp::kNe;
+        break;
+      case TokenKind::kLt:
+        pred.op = CompareOp::kLt;
+        break;
+      case TokenKind::kLe:
+        pred.op = CompareOp::kLe;
+        break;
+      case TokenKind::kGt:
+        pred.op = CompareOp::kGt;
+        break;
+      case TokenKind::kGe:
+        pred.op = CompareOp::kGe;
+        break;
+      default:
+        return ErrorHere("expected comparison operator");
+    }
+    Next();
+    {
+      SCX_ASSIGN_OR_RETURN(AstScalarPtr rhs, ParseScalar());
+      if (rhs->IsBareColumn()) {
+        pred.rhs_is_column = true;
+        pred.rhs_column = rhs->column;
+      } else if (rhs->kind == AstScalar::Kind::kLiteral) {
+        pred.rhs_literal = rhs->literal;
+      } else {
+        pred.rhs_scalar = std::move(rhs);
+      }
+    }
+    return pred;
+  }
+
+  Result<AstColumnRef> ParseColumnRef() {
+    AstColumnRef ref;
+    SCX_ASSIGN_OR_RETURN(Token first, Expect(TokenKind::kIdent));
+    if (Peek().kind == TokenKind::kDot) {
+      Next();
+      SCX_ASSIGN_OR_RETURN(Token second, Expect(TokenKind::kIdent));
+      ref.qualifier = first.text;
+      ref.name = second.text;
+    } else {
+      ref.name = first.text;
+    }
+    return ref;
+  }
+
+  bool Consume(TokenKind kind) {
+    if (Peek().kind == kind) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<AstScript> ParseScript(const std::string& source) {
+  SCX_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace scx

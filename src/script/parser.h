@@ -1,0 +1,31 @@
+#ifndef SCX_SCRIPT_PARSER_H_
+#define SCX_SCRIPT_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "script/ast.h"
+
+namespace scx {
+
+/// Parses a SCOPE-dialect script into an AST. The grammar covers the paper's
+/// scripts:
+///
+///   stmt    := ident '=' (extract | select) ';'
+///            | 'OUTPUT' ident 'TO' string ';'
+///   extract := 'EXTRACT' ident (',' ident)* 'FROM' string 'USING' ident
+///   select  := 'SELECT' item (',' item)* 'FROM' ident (',' ident)?
+///              ('WHERE' pred ('AND' pred)*)?
+///              ('GROUP' 'BY' colref (',' colref)*)?
+///   item    := aggfn '(' (colref | '*') ')' ('AS' ident)?
+///            | colref ('AS' ident)?
+///   pred    := scalar cmpop scalar
+///   scalar  := term (('+'|'-') term)*
+///   term    := factor (('*'|'/') factor)*
+///   factor  := number | string | colref | '(' scalar ')'
+///   colref  := ident ('.' ident)?
+Result<AstScript> ParseScript(const std::string& source);
+
+}  // namespace scx
+
+#endif  // SCX_SCRIPT_PARSER_H_

@@ -1,0 +1,48 @@
+#ifndef SCX_SCRIPT_TOKEN_H_
+#define SCX_SCRIPT_TOKEN_H_
+
+#include <string>
+
+namespace scx {
+
+/// Lexical token kinds of the SCOPE-dialect script language.
+enum class TokenKind {
+  kEnd,
+  kIdent,    ///< bare identifier (also keywords; keyword check is by text)
+  kInt,      ///< integer literal
+  kReal,     ///< floating literal
+  kString,   ///< double-quoted string literal (value has quotes stripped)
+  kComma,
+  kSemicolon,
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kLParen,
+  kRParen,
+  kEq,       ///< '=' or '=='
+  kNe,       ///< '!=' or '<>'
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// One lexical token with its source location (1-based line/column).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  ///< identifier text / literal spelling (unquoted)
+  int line = 1;
+  int column = 1;
+
+  /// Case-insensitive keyword match for identifier tokens.
+  bool IsKeyword(const char* kw) const;
+};
+
+/// Returns a printable name for a token kind ("identifier", "','", ...).
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace scx
+
+#endif  // SCX_SCRIPT_TOKEN_H_

@@ -1,0 +1,113 @@
+#include "workload/large_scripts.h"
+
+#include <algorithm>
+
+namespace scx {
+
+namespace {
+
+/// Rotating grouping sets for the consumers of a shared {A,B,C} aggregate.
+const char* const kConsumerGroupSets[] = {"A,B", "B,C", "A,C", "B", "A,B,C"};
+/// Second-level grouping: a subset of the consumer's grouping columns.
+const char* const kSecondLevelSets[] = {"A", "B", "A", "B", "B"};
+
+std::string ModuleScript(int j, int consumers) {
+  std::string file = "ls_m" + std::to_string(j) + ".log";
+  std::string e = "E" + std::to_string(j);
+  std::string f = "F" + std::to_string(j);
+  std::string s = "S" + std::to_string(j);
+  std::string out;
+  out += e + " = EXTRACT A,B,C,D FROM \"" + file + "\" USING LogExtractor;\n";
+  out += f + " = SELECT A,B,C,D FROM " + e + " WHERE D > 3;\n";
+  out += s + " = SELECT A,B,C,Sum(D) AS S FROM " + f + " GROUP BY A,B,C;\n";
+  for (int c = 0; c < consumers; ++c) {
+    std::string base = "C" + std::to_string(j) + "_" + std::to_string(c);
+    std::string deep = "D" + std::to_string(j) + "_" + std::to_string(c);
+    const char* groups = kConsumerGroupSets[c % 5];
+    const char* second = kSecondLevelSets[c % 5];
+    out += base + " = SELECT " + groups + ",Sum(S) AS T FROM " + s +
+           " GROUP BY " + groups + ";\n";
+    out += deep + " = SELECT " + second + ",Sum(T) AS U FROM " + base +
+           " GROUP BY " + second + ";\n";
+    out += "OUTPUT " + deep + " TO \"out_m" + std::to_string(j) + "_" +
+           std::to_string(c) + ".out\";\n";
+  }
+  return out;
+}
+
+std::string FillerScript(int i, int extra_filters) {
+  std::string file = "ls_f" + std::to_string(i) + ".log";
+  std::string e = "X" + std::to_string(i);
+  std::string f = "Y" + std::to_string(i);
+  std::string a = "Z" + std::to_string(i);
+  std::string b = "W" + std::to_string(i);
+  std::string out;
+  out += e + " = EXTRACT A,B,C,D FROM \"" + file + "\" USING LogExtractor;\n";
+  out += f + " = SELECT A,B,C,D FROM " + e + " WHERE C > 1;\n";
+  out += a + " = SELECT A,B,Sum(D) AS S FROM " + f + " GROUP BY A,B;\n";
+  std::string prev = a;
+  for (int k = 0; k < extra_filters; ++k) {
+    std::string p = "P" + std::to_string(i) + "_" + std::to_string(k);
+    out += p + " = SELECT A,B,S FROM " + prev + " WHERE A > 0;\n";
+    prev = p;
+  }
+  out += b + " = SELECT A,Sum(S) AS V FROM " + prev + " GROUP BY A;\n";
+  out += "OUTPUT " + b + " TO \"out_f" + std::to_string(i) + ".out\";\n";
+  return out;
+}
+
+}  // namespace
+
+GeneratedScript GenerateLargeScript(const LargeScriptSpec& spec) {
+  GeneratedScript out;
+
+  // Operator accounting (matches the binder's group production):
+  // module with k consumers: extract + filter + shared agg + k*(agg, agg,
+  // output) = 3 + 3k; filler: extract + filter + agg + agg + output = 5
+  // (+1 per padding filter); sequence root: 1.
+  int module_ops = 0;
+  for (int k : spec.shared_consumers) module_ops += 3 + 3 * k;
+  int remaining = spec.target_ops - module_ops - 1;  // -1 for Sequence
+  int fillers = std::max(0, remaining / 5);
+  int pad = std::max(0, remaining - fillers * 5);
+  out.predicted_ops = module_ops + fillers * 5 + pad + 1;
+
+  for (size_t j = 0; j < spec.shared_consumers.size(); ++j) {
+    out.text += ModuleScript(static_cast<int>(j),
+                             spec.shared_consumers[j]);
+    Status s = out.catalog.RegisterLog(
+        "ls_m" + std::to_string(j) + ".log", {"A", "B", "C", "D"},
+        spec.rows_per_file, {40, 400, 40, 10000},
+        spec.seed + 100 + static_cast<uint64_t>(j));
+    (void)s;
+  }
+  for (int i = 0; i < fillers; ++i) {
+    out.text += FillerScript(i, i == fillers - 1 ? pad : 0);
+    Status s = out.catalog.RegisterLog(
+        "ls_f" + std::to_string(i) + ".log", {"A", "B", "C", "D"},
+        spec.rows_per_file / 4, {40, 400, 40, 10000},
+        spec.seed + 10000 + static_cast<uint64_t>(i));
+    (void)s;
+  }
+  return out;
+}
+
+LargeScriptSpec Ls1Spec() {
+  LargeScriptSpec spec;
+  spec.shared_consumers = {2, 2, 2, 3};
+  spec.target_ops = 101;
+  spec.seed = 42;
+  return spec;
+}
+
+LargeScriptSpec Ls2Spec() {
+  LargeScriptSpec spec;
+  spec.shared_consumers.assign(15, 2);
+  spec.shared_consumers.push_back(4);
+  spec.shared_consumers.push_back(5);
+  spec.target_ops = 1034;
+  spec.seed = 77;
+  return spec;
+}
+
+}  // namespace scx

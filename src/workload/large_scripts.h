@@ -1,0 +1,50 @@
+#ifndef SCX_WORKLOAD_LARGE_SCRIPTS_H_
+#define SCX_WORKLOAD_LARGE_SCRIPTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace scx {
+
+/// Generator spec for LS-style synthetic scripts. The paper's LS1/LS2 are
+/// proprietary production scripts; only their structural statistics are
+/// published (operator count, shared-group count, consumers per shared
+/// group). The generator reproduces exactly those statistics — the
+/// substitution documented in DESIGN.md.
+struct LargeScriptSpec {
+  /// Consumers per shared group, e.g. {2,2,2,3} for LS1.
+  std::vector<int> shared_consumers;
+  /// Total operators in the initial (conventional) operator DAG to target;
+  /// reached by adding independent filler pipelines and filter padding.
+  int target_ops = 101;
+  int64_t rows_per_file = 1000000;
+  uint64_t seed = 42;
+};
+
+struct GeneratedScript {
+  std::string text;
+  Catalog catalog;
+  /// Operators the generator predicts for the initial DAG (== target_ops
+  /// unless target_ops is too small to hold the shared modules).
+  int predicted_ops = 0;
+};
+
+/// Emits a SCOPE-dialect script with the requested structure: one module per
+/// shared group (extract → filter → shared aggregate → one sub-aggregation
+/// chain per consumer → outputs) plus independent filler pipelines.
+GeneratedScript GenerateLargeScript(const LargeScriptSpec& spec);
+
+/// LS1 (paper Fig. 6): 101 operators, 4 shared groups — 3 with 2 consumers,
+/// 1 with 3 consumers.
+LargeScriptSpec Ls1Spec();
+
+/// LS2 (paper Fig. 6): 1034 operators, 17 shared groups — 15 with 2
+/// consumers, 1 with 4, 1 with 5.
+LargeScriptSpec Ls2Spec();
+
+}  // namespace scx
+
+#endif  // SCX_WORKLOAD_LARGE_SCRIPTS_H_

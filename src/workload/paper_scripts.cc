@@ -1,0 +1,100 @@
+#include "workload/paper_scripts.h"
+
+namespace scx {
+
+const char kScriptS1[] = R"(
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R  = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;
+R1 = SELECT A,B,Sum(S) AS S1 FROM R GROUP BY A,B;
+R2 = SELECT B,C,Sum(S) AS S2 FROM R GROUP BY B,C;
+OUTPUT R1 TO "result1.out";
+OUTPUT R2 TO "result2.out";
+)";
+
+const char kScriptS2[] = R"(
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R  = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;
+R1 = SELECT B,A,Sum(S) AS S1 FROM R GROUP BY B,A;
+R2 = SELECT A,C,Sum(S) AS S2 FROM R GROUP BY A,C;
+R3 = SELECT A,Sum(S) AS S3 FROM R GROUP BY A;
+OUTPUT R1 TO "result1.out";
+OUTPUT R2 TO "result2.out";
+OUTPUT R3 TO "result3.out";
+)";
+
+const char kScriptS3[] = R"(
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R  = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;
+R1 = SELECT B,C,Sum(S) AS S1 FROM R GROUP BY B,C;
+R2 = SELECT B,A,Sum(S) AS S2 FROM R GROUP BY B,A;
+RR = SELECT R1.B,A,C,S1,S2 FROM R1,R2 WHERE R1.B=R2.B;
+T0 = EXTRACT A,B,C,D FROM "test2.log" USING LogExtractor;
+T  = SELECT A,B,C,Sum(D) AS S FROM T0 GROUP BY A,B,C;
+T1 = SELECT B,C,Sum(S) AS S1 FROM T GROUP BY B,C;
+T2 = SELECT B,A,Sum(S) AS S2 FROM T GROUP BY B,A;
+TT = SELECT T1.B,A,C,S1,S2 FROM T1,T2 WHERE T1.B=T2.B;
+OUTPUT RR TO "result1.out";
+OUTPUT TT TO "result2.out";
+)";
+
+const char kScriptS4[] = R"(
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R  = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;
+R1 = SELECT B,C,Sum(S) AS S1 FROM R GROUP BY B,C;
+R2 = SELECT B,A,Sum(S) AS S2 FROM R GROUP BY B,A;
+RR = SELECT R1.B,A,C FROM R1,R2 WHERE R1.B=R2.B;
+OUTPUT R1 TO "result1.out";
+OUTPUT R2 TO "result2.out";
+OUTPUT RR TO "result3.out";
+)";
+
+const char kScriptFig3a[] = R"(
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R  = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;
+R1 = SELECT A,B,Sum(S) AS S1 FROM R GROUP BY A,B;
+R2 = SELECT B,C,Sum(S) AS S2 FROM R GROUP BY B,C;
+OUTPUT R1 TO "result1.out";
+OUTPUT R2 TO "result2.out";
+)";
+
+const char kScriptFig3c[] = R"(
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R  = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;
+R1 = SELECT B,C,Sum(S) AS S1 FROM R GROUP BY B,C;
+R2 = SELECT B,A,Sum(S) AS S2 FROM R GROUP BY B,A;
+RR = SELECT R1.B,A,C FROM R1,R2 WHERE R1.B=R2.B;
+OUTPUT R1 TO "result1.out";
+OUTPUT R2 TO "result2.out";
+OUTPUT RR TO "result3.out";
+)";
+
+namespace {
+
+Catalog MakeCatalog(int64_t rows, int64_t ndv_a, int64_t ndv_b, int64_t ndv_c,
+                    int64_t ndv_d) {
+  Catalog catalog;
+  Status s1 = catalog.RegisterLog("test.log", {"A", "B", "C", "D"}, rows,
+                                  {ndv_a, ndv_b, ndv_c, ndv_d},
+                                  /*data_seed=*/11);
+  Status s2 = catalog.RegisterLog("test2.log", {"A", "B", "C", "D"}, rows,
+                                  {ndv_a, ndv_b, ndv_c, ndv_d},
+                                  /*data_seed=*/23);
+  (void)s1;
+  (void)s2;
+  return catalog;
+}
+
+}  // namespace
+
+Catalog MakePaperCatalog(int64_t rows) {
+  // NDVs chosen so that: ndv(B)=400 >= machines (no skew penalty on {B}),
+  // ndv(A,B,C) ~ rows/3 (the shared aggregate stays large), ndv(A)=40 < 100
+  // (partitioning on {A} alone is visibly skewed).
+  return MakeCatalog(rows, /*A=*/40, /*B=*/400, /*C=*/40, /*D=*/10000);
+}
+
+Catalog MakeExecutionCatalog(int64_t rows) {
+  return MakeCatalog(rows, /*A=*/8, /*B=*/50, /*C=*/8, /*D=*/500);
+}
+
+}  // namespace scx

@@ -1,0 +1,46 @@
+#ifndef SCX_WORKLOAD_PAPER_SCRIPTS_H_
+#define SCX_WORKLOAD_PAPER_SCRIPTS_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+
+namespace scx {
+
+/// The four evaluation scripts of the paper's Figure 6, verbatim (modulo the
+/// dialect's string-literal path syntax).
+
+/// S1: single shared group with two consumers (the paper's motivating
+/// script, Sec. I / Fig. 1 / Fig. 8).
+extern const char kScriptS1[];
+
+/// S2: single shared group with three consumers.
+extern const char kScriptS2[];
+
+/// S3: two shared groups with different LCAs.
+extern const char kScriptS3[];
+
+/// S4: two non-independent shared groups with the same LCA.
+extern const char kScriptS4[];
+
+/// The DAG-shape scripts of the paper's Figure 3 (used to validate
+/// shared-group propagation and LCA identification).
+extern const char kScriptFig3a[];  ///< single shared group, LCA = Sequence
+extern const char kScriptFig3c[];  ///< LCA above the lowest common ancestor
+
+/// Registers test.log / test2.log with statistics calibrated so that the
+/// paper's plan shapes emerge: B has enough distinct values that hash
+/// partitioning on {B} keeps the cluster busy, and aggregating on {A,B,C}
+/// reduces rows only ~3x so repartitioning the shared result is expensive
+/// (which is what makes a covering subset worthwhile).
+///
+/// `rows` scales the input size: use the default for optimizer experiments
+/// and something small (e.g. 20'000) for executor-backed tests.
+Catalog MakePaperCatalog(int64_t rows = 2000000);
+
+/// Matching small-cluster / small-data catalog for execution tests.
+Catalog MakeExecutionCatalog(int64_t rows = 20000);
+
+}  // namespace scx
+
+#endif  // SCX_WORKLOAD_PAPER_SCRIPTS_H_

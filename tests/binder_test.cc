@@ -1,0 +1,262 @@
+// Binder tests: schema derivation, explicit sharing of named results,
+// join binding with column-identity disambiguation, error reporting.
+
+#include <gtest/gtest.h>
+
+#include "plan/binder.h"
+#include "script/parser.h"
+#include "workload/paper_scripts.h"
+
+namespace scx {
+namespace {
+
+BoundScript Bind(const std::string& script) {
+  Catalog catalog = MakePaperCatalog();
+  auto ast = ParseScript(script);
+  EXPECT_TRUE(ast.ok()) << ast.status().ToString();
+  auto bound = BindScript(*ast, catalog);
+  EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+  return std::move(bound.value());
+}
+
+Status BindError(const std::string& script) {
+  Catalog catalog = MakePaperCatalog();
+  auto ast = ParseScript(script);
+  EXPECT_TRUE(ast.ok()) << ast.status().ToString();
+  auto bound = BindScript(*ast, catalog);
+  EXPECT_FALSE(bound.ok());
+  return bound.status();
+}
+
+TEST(BinderTest, ExtractSchemaFromCatalog) {
+  BoundScript b = Bind(
+      "R0 = EXTRACT A,B FROM \"test.log\" USING X;\n"
+      "OUTPUT R0 TO \"o\";");
+  const LogicalNodePtr& r0 = b.results.at("R0");
+  EXPECT_EQ(r0->kind(), LogicalOpKind::kExtract);
+  ASSERT_EQ(r0->schema().NumColumns(), 2);
+  EXPECT_EQ(r0->schema().column(0).name, "A");
+  EXPECT_EQ(r0->schema().column(0).qualifier, "R0");
+  // Column metadata carries the catalog's distinct counts.
+  EXPECT_EQ(b.columns->Get(r0->schema().column(0).id).base_ndv, 40);
+}
+
+TEST(BinderTest, SharedResultIsOneNode) {
+  BoundScript b = Bind(kScriptS1);
+  // R is consumed by R1 and R2: one logical node, two parents.
+  const LogicalNode* r = b.results.at("R").get();
+  int refs = 0;
+  for (const LogicalNodePtr& node : TopologicalNodes(b.root)) {
+    for (const LogicalNodePtr& child : node->children()) {
+      if (child.get() == r) ++refs;
+    }
+  }
+  EXPECT_EQ(refs, 2);
+}
+
+TEST(BinderTest, GroupByPreservesColumnIds) {
+  BoundScript b = Bind(kScriptS1);
+  const LogicalNodePtr& r = b.results.at("R");
+  const LogicalNodePtr& r1 = b.results.at("R1");
+  ASSERT_EQ(r->kind(), LogicalOpKind::kGbAgg);
+  ASSERT_EQ(r1->kind(), LogicalOpKind::kGbAgg);
+  // R1 groups on A,B — the same plan-wide ids R produced.
+  EXPECT_EQ(r1->group_cols[0], r->schema().column(0).id);  // A
+  EXPECT_EQ(r1->group_cols[1], r->schema().column(1).id);  // B
+}
+
+TEST(BinderTest, AggregateOutputsGetFreshIds) {
+  BoundScript b = Bind(kScriptS1);
+  const LogicalNodePtr& r = b.results.at("R");
+  ASSERT_EQ(r->aggregates.size(), 1u);
+  EXPECT_EQ(r->aggregates[0].out_name, "S");
+  EXPECT_EQ(r->schema().column(3).id, r->aggregates[0].out);
+  EXPECT_NE(r->aggregates[0].out, r->aggregates[0].arg);
+}
+
+TEST(BinderTest, NoProjectWhenSelectMatchesAggSchema) {
+  BoundScript b = Bind(kScriptS1);
+  // R1 = SELECT A,B,Sum(S) AS S1 ... GROUP BY A,B — select list equals the
+  // aggregate's natural schema, so no Project node is added.
+  EXPECT_EQ(b.results.at("R1")->kind(), LogicalOpKind::kGbAgg);
+}
+
+TEST(BinderTest, ProjectAddedWhenReordering) {
+  BoundScript b = Bind(
+      "R0 = EXTRACT A,B,C,D FROM \"test.log\" USING X;\n"
+      "R  = SELECT B,A FROM R0;\n"
+      "OUTPUT R TO \"o\";");
+  const LogicalNodePtr& r = b.results.at("R");
+  ASSERT_EQ(r->kind(), LogicalOpKind::kProject);
+  EXPECT_EQ(r->schema().column(0).name, "B");
+  EXPECT_EQ(r->schema().column(1).name, "A");
+  // Pure reorder: ids preserved.
+  EXPECT_EQ(r->project_map[0].first, r->project_map[0].second);
+}
+
+TEST(BinderTest, FilterBinding) {
+  BoundScript b = Bind(
+      "R0 = EXTRACT A,B,C,D FROM \"test.log\" USING X;\n"
+      "R  = SELECT A,B,C,D FROM R0 WHERE D > 3 AND A = 1;\n"
+      "OUTPUT R TO \"o\";");
+  const LogicalNodePtr& r = b.results.at("R");
+  ASSERT_EQ(r->kind(), LogicalOpKind::kFilter);
+  ASSERT_EQ(r->predicates.size(), 2u);
+  EXPECT_EQ(r->predicates[0].op, CompareOp::kGt);
+  EXPECT_FALSE(r->predicates[0].rhs_is_column);
+}
+
+TEST(BinderTest, JoinOnSharedAncestorRenamesRightIds) {
+  BoundScript b = Bind(kScriptS4);
+  const LogicalNodePtr& rr = b.results.at("RR");
+  ASSERT_EQ(rr->kind(), LogicalOpKind::kProject);  // output column selection
+  const LogicalNodePtr& join = rr->child(0);
+  ASSERT_EQ(join->kind(), LogicalOpKind::kJoin);
+  ASSERT_EQ(join->join_keys.size(), 1u);
+  // R1.B and R2.B both descend from R's B; the right side must have been
+  // renamed so the join's key ids differ.
+  EXPECT_NE(join->join_keys[0].first, join->join_keys[0].second);
+  // And no duplicate ids in the join output schema.
+  ColumnSet seen;
+  for (const ColumnInfo& c : join->schema().columns()) {
+    EXPECT_FALSE(seen.Contains(c.id)) << "duplicate id " << c.id;
+    seen.Insert(c.id);
+  }
+}
+
+TEST(BinderTest, JoinOnDistinctSourcesKeepsIds) {
+  BoundScript b = Bind(kScriptS3);
+  // RR joins R1,R2 (both from R, same file) -> renamed; but check the
+  // independent T-branch exists and binds.
+  EXPECT_TRUE(b.results.count("TT"));
+  EXPECT_EQ(b.results.at("TT")->kind(), LogicalOpKind::kProject);
+}
+
+TEST(BinderTest, SequenceRootForMultipleOutputs) {
+  BoundScript b = Bind(kScriptS1);
+  EXPECT_EQ(b.root->kind(), LogicalOpKind::kSequence);
+  EXPECT_EQ(b.root->num_children(), 2);
+  EXPECT_EQ(b.root->child(0)->kind(), LogicalOpKind::kOutput);
+}
+
+TEST(BinderTest, SingleOutputHasNoSequence) {
+  BoundScript b = Bind(
+      "R0 = EXTRACT A,B FROM \"test.log\" USING X;\n"
+      "OUTPUT R0 TO \"o\";");
+  EXPECT_EQ(b.root->kind(), LogicalOpKind::kOutput);
+}
+
+TEST(BinderTest, GrandTotalAggregation) {
+  BoundScript b = Bind(
+      "R0 = EXTRACT A,B,C,D FROM \"test.log\" USING X;\n"
+      "R  = SELECT Sum(D) AS S FROM R0;\n"
+      "OUTPUT R TO \"o\";");
+  const LogicalNodePtr& r = b.results.at("R");
+  EXPECT_EQ(r->kind(), LogicalOpKind::kGbAgg);
+  EXPECT_TRUE(r->group_cols.empty());
+}
+
+TEST(BinderTest, AvgGetsDoubleType) {
+  BoundScript b = Bind(
+      "R0 = EXTRACT A,D FROM \"test.log\" USING X;\n"
+      "R  = SELECT A,Avg(D) AS M FROM R0 GROUP BY A;\n"
+      "OUTPUT R TO \"o\";");
+  EXPECT_EQ(b.results.at("R")->aggregates[0].out_type, DataType::kDouble);
+}
+
+// --- error cases ---
+
+TEST(BinderTest, ErrorUnknownFile) {
+  Status s = BindError(
+      "R0 = EXTRACT A FROM \"nope.log\" USING X; OUTPUT R0 TO \"o\";");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(BinderTest, ErrorUnknownColumnInFile) {
+  Status s = BindError(
+      "R0 = EXTRACT A,Z FROM \"test.log\" USING X; OUTPUT R0 TO \"o\";");
+  EXPECT_EQ(s.code(), StatusCode::kBindError);
+}
+
+TEST(BinderTest, ErrorUnknownRelation) {
+  Status s = BindError("R = SELECT A FROM NOPE; OUTPUT R TO \"o\";");
+  EXPECT_EQ(s.code(), StatusCode::kBindError);
+}
+
+TEST(BinderTest, ErrorRedefinition) {
+  Status s = BindError(
+      "R = EXTRACT A FROM \"test.log\" USING X;\n"
+      "R = EXTRACT B FROM \"test.log\" USING X;\n"
+      "OUTPUT R TO \"o\";");
+  EXPECT_NE(s.message().find("redefined"), std::string::npos);
+}
+
+TEST(BinderTest, ErrorNonGroupedColumn) {
+  Status s = BindError(
+      "R0 = EXTRACT A,B,D FROM \"test.log\" USING X;\n"
+      "R = SELECT A,B,Sum(D) AS S FROM R0 GROUP BY A;\n"
+      "OUTPUT R TO \"o\";");
+  EXPECT_NE(s.message().find("GROUP BY"), std::string::npos);
+}
+
+TEST(BinderTest, ErrorJoinWithoutEquality) {
+  Status s = BindError(
+      "R0 = EXTRACT A,B FROM \"test.log\" USING X;\n"
+      "T0 = EXTRACT A,B FROM \"test2.log\" USING X;\n"
+      "J = SELECT R0.A FROM R0,T0 WHERE R0.A > T0.A;\n"
+      "OUTPUT J TO \"o\";");
+  EXPECT_NE(s.message().find("equality"), std::string::npos);
+}
+
+TEST(BinderTest, ErrorSelfJoin) {
+  Status s = BindError(
+      "R0 = EXTRACT A,B FROM \"test.log\" USING X;\n"
+      "J = SELECT A FROM R0,R0;\n"
+      "OUTPUT J TO \"o\";");
+  EXPECT_NE(s.message().find("self-join"), std::string::npos);
+}
+
+TEST(BinderTest, ErrorAmbiguousJoinColumn) {
+  Status s = BindError(
+      "R0 = EXTRACT A,B FROM \"test.log\" USING X;\n"
+      "T0 = EXTRACT A,B FROM \"test2.log\" USING X;\n"
+      "J = SELECT A FROM R0,T0 WHERE R0.B=T0.B;\n"
+      "OUTPUT J TO \"o\";");
+  EXPECT_NE(s.message().find("ambiguous"), std::string::npos);
+}
+
+TEST(BinderTest, ErrorOutputOfUndefined) {
+  Status s = BindError("OUTPUT Z TO \"o\";");
+  EXPECT_NE(s.message().find("undefined"), std::string::npos);
+}
+
+TEST(BinderTest, ErrorNoOutput) {
+  Status s = BindError("R0 = EXTRACT A FROM \"test.log\" USING X;");
+  EXPECT_NE(s.message().find("OUTPUT"), std::string::npos);
+}
+
+TEST(BinderTest, ErrorGroupByWithoutAggregate) {
+  Status s = BindError(
+      "R0 = EXTRACT A,B FROM \"test.log\" USING X;\n"
+      "R = SELECT A FROM R0 GROUP BY A;\n"
+      "OUTPUT R TO \"o\";");
+  EXPECT_EQ(s.code(), StatusCode::kBindError);
+}
+
+TEST(BinderTest, ErrorDuplicateGroupByColumn) {
+  Status s = BindError(
+      "R0 = EXTRACT A,D FROM \"test.log\" USING X;\n"
+      "R = SELECT A,Sum(D) AS S FROM R0 GROUP BY A,A;\n"
+      "OUTPUT R TO \"o\";");
+  EXPECT_NE(s.message().find("duplicate"), std::string::npos);
+}
+
+TEST(BinderTest, DagPrinterMarksSharedNodes) {
+  BoundScript b = Bind(kScriptS1);
+  std::string dump = PrintLogicalDag(b.root);
+  EXPECT_NE(dump.find("shared, see above"), std::string::npos);
+  EXPECT_NE(dump.find("GbAgg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scx

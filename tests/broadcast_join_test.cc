@@ -1,0 +1,114 @@
+// Broadcast hash join tests: the optimizer picks replication when one side
+// is tiny relative to the cost of exchanging the big side; the executor
+// produces identical results either way.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "api/engine.h"
+#include "opt/plan_validator.h"
+#include "workload/paper_scripts.h"
+
+namespace scx {
+namespace {
+
+bool HasKind(const PhysicalNodePtr& root, PhysicalOpKind kind) {
+  std::vector<PhysicalNodePtr> stack = {root};
+  std::set<const PhysicalNode*> seen;
+  while (!stack.empty()) {
+    PhysicalNodePtr n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n.get()).second) continue;
+    if (n->kind == kind) return true;
+    for (const auto& c : n->children) stack.push_back(c);
+  }
+  return false;
+}
+
+// A big raw stream joined with a tiny dimension-like aggregate: exchanging
+// the raw stream on the join key would dwarf replicating the aggregate.
+const char kBigSmallJoin[] = R"(
+Big   = EXTRACT A,B,C,D FROM "test.log" USING X;
+Small0 = EXTRACT A,B,C,D FROM "test2.log" USING X;
+Dim   = SELECT A,Max(D) AS Cap FROM Small0 GROUP BY A;
+J     = SELECT Big.A,B,D,Cap FROM Big,Dim WHERE Big.A=Dim.A;
+Agg   = SELECT B,Sum(D) AS S FROM J GROUP BY B;
+OUTPUT Agg TO "o";
+)";
+
+TEST(BroadcastJoinTest, PickedForBigSmallJoins) {
+  Engine engine(MakePaperCatalog());
+  auto compiled = engine.Compile(kBigSmallJoin);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto plan = engine.Optimize(*compiled, OptimizerMode::kConventional);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // The 40-row Dim side is broadcast; the 2M-row Big side is not exchanged
+  // before the join (ndv(A)=40 would also cripple parallelism).
+  EXPECT_TRUE(HasKind(plan->plan(), PhysicalOpKind::kBroadcastExchange))
+      << plan->Explain();
+  EXPECT_TRUE(ValidatePlan(plan->plan()).ok());
+}
+
+TEST(BroadcastJoinTest, NotPickedForComparableSides) {
+  // S3's joins are between two similar-size aggregates that the CSE plan
+  // already co-partitions for free — broadcasting would add network cost.
+  Engine engine(MakePaperCatalog());
+  auto compiled = engine.Compile(kScriptS3);
+  ASSERT_TRUE(compiled.ok());
+  auto plan = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(HasKind(plan->plan(), PhysicalOpKind::kBroadcastExchange))
+      << plan->Explain();
+}
+
+TEST(BroadcastJoinTest, ExecutesCorrectly) {
+  OptimizerConfig config;
+  config.cluster.machines = 8;
+  Engine engine(MakeExecutionCatalog(4000), config);
+  auto compiled = engine.Compile(kBigSmallJoin);
+  ASSERT_TRUE(compiled.ok());
+  auto plan = engine.Optimize(*compiled, OptimizerMode::kConventional);
+  ASSERT_TRUE(plan.ok());
+  auto m = engine.Execute(*plan);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+
+  // Reference: force a no-broadcast plan by turning the net cost of
+  // broadcast prohibitive is intrusive; instead cross-check against a
+  // single-machine run where every strategy degenerates to the same join.
+  OptimizerConfig serial_cfg;
+  serial_cfg.cluster.machines = 1;
+  Engine serial(MakeExecutionCatalog(4000), serial_cfg);
+  auto sc = serial.Compile(kBigSmallJoin);
+  ASSERT_TRUE(sc.ok());
+  auto sp = serial.Optimize(*sc, OptimizerMode::kConventional);
+  ASSERT_TRUE(sp.ok());
+  auto sm = serial.Execute(*sp);
+  ASSERT_TRUE(sm.ok());
+  EXPECT_TRUE(SameOutputs(*m, *sm));
+}
+
+TEST(BroadcastJoinTest, WorksUnderCseSharing) {
+  // The broadcast side reading a shared spool must not break sharing.
+  OptimizerConfig config;
+  config.cluster.machines = 8;
+  Engine engine(MakeExecutionCatalog(4000), config);
+  const char* script =
+      "Big  = EXTRACT A,B,C,D FROM \"test.log\" USING X;\n"
+      "Dim  = SELECT A,Max(D) AS Cap FROM Big GROUP BY A;\n"
+      "J    = SELECT Big.A,B,Cap FROM Big,Dim WHERE Big.A=Dim.A;\n"
+      "Agg  = SELECT B,Count(*) AS N FROM J GROUP BY B;\n"
+      "OUTPUT Agg TO \"o1\";\nOUTPUT Dim TO \"o2\";";
+  auto compiled = engine.Compile(script);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto conv = engine.Optimize(*compiled, OptimizerMode::kConventional);
+  auto cse = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(conv.ok() && cse.ok());
+  auto conv_m = engine.Execute(*conv);
+  auto cse_m = engine.Execute(*cse);
+  ASSERT_TRUE(conv_m.ok() && cse_m.ok());
+  EXPECT_TRUE(SameOutputs(*conv_m, *cse_m));
+}
+
+}  // namespace
+}  // namespace scx

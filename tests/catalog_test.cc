@@ -1,0 +1,75 @@
+// Catalog and file-definition tests.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace scx {
+namespace {
+
+TEST(CatalogTest, RegisterAndLookup) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterLog("a.log", {"X", "Y"}, 100, {10, 20}).ok());
+  EXPECT_TRUE(catalog.HasFile("a.log"));
+  EXPECT_FALSE(catalog.HasFile("b.log"));
+  auto file = catalog.GetFile("a.log");
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->row_count, 100);
+  EXPECT_EQ(file->columns.size(), 2u);
+  EXPECT_EQ(file->columns[1].distinct_count, 20);
+}
+
+TEST(CatalogTest, FileIdsAreUniqueAndStable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterLog("a.log", {"X"}, 1, {1}).ok());
+  ASSERT_TRUE(catalog.RegisterLog("b.log", {"X"}, 1, {1}).ok());
+  auto a = catalog.GetFile("a.log");
+  auto b = catalog.GetFile("b.log");
+  EXPECT_NE(a->file_id, b->file_id);
+  EXPECT_NE(a->data_seed, 0u);  // auto-assigned
+}
+
+TEST(CatalogTest, DuplicateRegistrationFails) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterLog("a.log", {"X"}, 1, {1}).ok());
+  Status s = catalog.RegisterLog("a.log", {"X"}, 1, {1});
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, MismatchedStatsVectorFails) {
+  Catalog catalog;
+  Status s = catalog.RegisterLog("a.log", {"X", "Y"}, 1, {1});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, MissingFileLookupFails) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.GetFile("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, RowWidthAndColumnIndex) {
+  FileDef def;
+  def.columns = {{"X", DataType::kInt64, 10, 8},
+                 {"Y", DataType::kString, 5, 20}};
+  EXPECT_EQ(def.RowWidth(), 28);
+  EXPECT_EQ(def.ColumnIndex("Y"), 1);
+  EXPECT_EQ(def.ColumnIndex("Z"), -1);
+}
+
+TEST(CatalogTest, MixedColumnTypes) {
+  Catalog catalog;
+  FileDef def;
+  def.path = "typed.log";
+  def.row_count = 50;
+  def.columns = {{"K", DataType::kInt64, 10, 8},
+                 {"V", DataType::kDouble, 100, 8},
+                 {"S", DataType::kString, 5, 12}};
+  ASSERT_TRUE(catalog.RegisterFile(def).ok());
+  auto f = catalog.GetFile("typed.log");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->columns[1].type, DataType::kDouble);
+  EXPECT_EQ(f->columns[2].type, DataType::kString);
+}
+
+}  // namespace
+}  // namespace scx

@@ -1,0 +1,213 @@
+// Unit tests for the common layer: Status/Result, Value, ColumnSet, Schema,
+// hashing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/column_set.h"
+#include "common/hash.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace scx {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kParseError,
+        StatusCode::kBindError, StatusCode::kOptimizeError,
+        StatusCode::kExecutionError, StatusCode::kInternal,
+        StatusCode::kResourceExhausted}) {
+    EXPECT_STRNE(StatusCodeName(c), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SCX_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2=3 is odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Int(3).is_int());
+  EXPECT_TRUE(Value::Real(1.5).is_double());
+  EXPECT_TRUE(Value::Str("x").is_string());
+  EXPECT_EQ(Value::Int(3).as_int(), 3);
+  EXPECT_DOUBLE_EQ(Value::Real(1.5).as_double(), 1.5);
+  EXPECT_EQ(Value::Str("x").as_string(), "x");
+}
+
+TEST(ValueTest, OrderingWithinType) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Real(1.0), Value::Real(1.5));
+  EXPECT_LT(Value::Str("a"), Value::Str("b"));
+  EXPECT_EQ(Value::Int(7), Value::Int(7));
+}
+
+TEST(ValueTest, CrossTypeOrderingIsDeterministic) {
+  // ints < doubles < strings (by variant index) — a canonical total order.
+  EXPECT_LT(Value::Int(999), Value::Real(0.0));
+  EXPECT_LT(Value::Real(999.0), Value::Str(""));
+}
+
+TEST(ValueTest, HashEqualForEqualValues) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Int(5).Hash());
+  EXPECT_EQ(Value::Str("abc").Hash(), Value::Str("abc").Hash());
+  EXPECT_NE(Value::Int(5).Hash(), Value::Int(6).Hash());
+}
+
+TEST(ValueTest, ByteWidth) {
+  EXPECT_EQ(Value::Int(1).ByteWidth(), 8);
+  EXPECT_EQ(Value::Real(1.0).ByteWidth(), 8);
+  EXPECT_EQ(Value::Str("abcd").ByteWidth(), 8);  // 4 chars + 4 overhead
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Str("hi").ToString(), "hi");
+}
+
+TEST(HashRowKeyTest, DependsOnSelectedPositionsOnly) {
+  Row a = {Value::Int(1), Value::Int(2), Value::Int(3)};
+  Row b = {Value::Int(1), Value::Int(99), Value::Int(3)};
+  EXPECT_EQ(HashRowKey(a, {0, 2}), HashRowKey(b, {0, 2}));
+  EXPECT_NE(HashRowKey(a, {0, 1}), HashRowKey(b, {0, 1}));
+}
+
+TEST(ColumnSetTest, InsertContainsRemove) {
+  ColumnSet s;
+  EXPECT_TRUE(s.Empty());
+  s.Insert(3);
+  s.Insert(70);  // beyond one word
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(70));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Size(), 2);
+  s.Remove(70);
+  EXPECT_FALSE(s.Contains(70));
+  EXPECT_EQ(s.Size(), 1);
+}
+
+TEST(ColumnSetTest, SetAlgebra) {
+  ColumnSet a = ColumnSet::Of({1, 2, 3});
+  ColumnSet b = ColumnSet::Of({2, 3, 4});
+  EXPECT_EQ(a.Union(b), ColumnSet::Of({1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b), ColumnSet::Of({2, 3}));
+  EXPECT_EQ(a.Difference(b), ColumnSet::Of({1}));
+  EXPECT_TRUE(ColumnSet::Of({2}).IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(ColumnSet::Of({9})));
+}
+
+TEST(ColumnSetTest, EmptySetIsSubsetOfEverything) {
+  ColumnSet empty;
+  EXPECT_TRUE(empty.IsSubsetOf(ColumnSet::Of({1})));
+  EXPECT_TRUE(empty.IsSubsetOf(empty));
+}
+
+TEST(ColumnSetTest, EqualityNormalizesTrailingZeros) {
+  ColumnSet a = ColumnSet::Of({1});
+  ColumnSet b = ColumnSet::Of({1, 100});
+  b.Remove(100);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ColumnSetTest, NonEmptySubsetsEnumeration) {
+  ColumnSet s = ColumnSet::Of({1, 2, 3});
+  std::vector<ColumnSet> subsets = s.NonEmptySubsets();
+  EXPECT_EQ(subsets.size(), 7u);  // 2^3 - 1
+  // Sorted by size: three singletons first, full set last.
+  EXPECT_EQ(subsets[0].Size(), 1);
+  EXPECT_EQ(subsets[6], s);
+  std::set<std::vector<ColumnId>> distinct;
+  for (const ColumnSet& sub : subsets) {
+    EXPECT_TRUE(sub.IsSubsetOf(s));
+    EXPECT_FALSE(sub.Empty());
+    distinct.insert(sub.ToVector());
+  }
+  EXPECT_EQ(distinct.size(), 7u);
+}
+
+TEST(ColumnSetTest, ToVectorAscending) {
+  ColumnSet s = ColumnSet::Of({65, 3, 127});
+  EXPECT_EQ(s.ToVector(), (std::vector<ColumnId>{3, 65, 127}));
+}
+
+TEST(SchemaTest, ResolveQualifiedAndUnqualified) {
+  Schema schema({{0, "A", "R", DataType::kInt64},
+                 {1, "B", "R", DataType::kInt64},
+                 {2, "B", "T", DataType::kInt64}});
+  EXPECT_EQ(schema.Resolve("", "A")->id, 0u);
+  EXPECT_EQ(schema.Resolve("R", "B")->id, 1u);
+  EXPECT_EQ(schema.Resolve("T", "B")->id, 2u);
+  EXPECT_FALSE(schema.Resolve("", "B").ok());   // ambiguous
+  EXPECT_FALSE(schema.Resolve("", "Z").ok());   // unknown
+  EXPECT_FALSE(schema.Resolve("X", "A").ok());  // wrong qualifier
+}
+
+TEST(SchemaTest, PositionsAndIdSet) {
+  Schema schema({{5, "A", "", DataType::kInt64},
+                 {9, "B", "", DataType::kInt64}});
+  EXPECT_EQ(schema.PositionOf(9), 1);
+  EXPECT_EQ(schema.PositionOf(42), -1);
+  EXPECT_EQ(schema.IdSet(), ColumnSet::Of({5, 9}));
+  EXPECT_EQ(schema.PositionsOf(ColumnSet::Of({5, 9})),
+            (std::vector<int>{0, 1}));
+  EXPECT_EQ(schema.NameOf(5), "A");
+  EXPECT_EQ(schema.NameOf(1234), "#1234");
+}
+
+TEST(HashTest, Mix64AvoidsTrivialCollisions) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 1000; ++i) seen.insert(Mix64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(HashTest, Fnv1aMatchesKnownVector) {
+  // FNV-1a 64-bit of empty string is the offset basis.
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ULL);
+}
+
+}  // namespace
+}  // namespace scx

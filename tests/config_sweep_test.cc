@@ -1,0 +1,101 @@
+// Configuration sweeps (TEST_P): the subset-expansion cap, cluster size,
+// and rule toggles must never produce invalid plans, and more search freedom
+// must never produce a worse plan.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "opt/plan_validator.h"
+#include "workload/paper_scripts.h"
+
+namespace scx {
+namespace {
+
+class ExpandCapSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExpandCapSweep, ValidPlansAtEveryCap) {
+  OptimizerConfig config;
+  config.max_expand_cols = GetParam();
+  Engine engine(MakePaperCatalog(), config);
+  for (const char* script : {kScriptS1, kScriptS2, kScriptS4}) {
+    auto c = engine.Compare(script);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    EXPECT_TRUE(ValidatePlan(c->cse.plan()).ok());
+    EXPECT_LE(c->cse.cost(), c->conventional.cost() * 1.0001);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, ExpandCapSweep, ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(ExpandCapSweepTest, LargerCapNeverWorse) {
+  // A larger expansion cap strictly enlarges the phase-2 search space, so
+  // the best plan can only improve (with an unlimited budget).
+  double prev = -1;
+  for (int cap : {1, 2, 3, 4}) {
+    OptimizerConfig config;
+    config.max_expand_cols = cap;
+    Engine engine(MakePaperCatalog(), config);
+    auto c = engine.Compare(kScriptS1);
+    ASSERT_TRUE(c.ok());
+    if (prev >= 0) {
+      EXPECT_LE(c->cse.cost(), prev * 1.0001) << "cap=" << cap;
+    }
+    prev = c->cse.cost();
+  }
+}
+
+class MachineSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MachineSweep, OptimizerScalesAcrossClusterSizes) {
+  OptimizerConfig config;
+  config.cluster.machines = GetParam();
+  Engine engine(MakePaperCatalog(), config);
+  auto c = engine.Compare(kScriptS1);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_TRUE(ValidatePlan(c->cse.plan()).ok());
+  EXPECT_TRUE(ValidatePlan(c->conventional.plan()).ok());
+  // Sharing pays off at every cluster size on S1.
+  EXPECT_LT(c->cse.cost(), c->conventional.cost());
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, MachineSweep,
+                         ::testing::Values(1, 4, 16, 100, 400));
+
+TEST(RuleToggleTest, EveryCombinationProducesValidPlans) {
+  for (bool agg_split : {false, true}) {
+    for (bool commute : {false, true}) {
+      OptimizerConfig config;
+      config.enable_agg_split = agg_split;
+      config.enable_join_commute = commute;
+      Engine engine(MakePaperCatalog(), config);
+      for (const char* script : {kScriptS1, kScriptS3}) {
+        auto c = engine.Compare(script);
+        ASSERT_TRUE(c.ok()) << c.status().ToString();
+        EXPECT_TRUE(ValidatePlan(c->cse.plan()).ok())
+            << "agg_split=" << agg_split << " commute=" << commute;
+        EXPECT_LE(c->cse.cost(), c->conventional.cost() * 1.0001);
+      }
+    }
+  }
+}
+
+TEST(RuleToggleTest, MoreRulesNeverHurtCost) {
+  OptimizerConfig all_on;
+  OptimizerConfig all_off;
+  all_off.enable_agg_split = false;
+  all_off.enable_join_commute = false;
+  Engine e_on(MakePaperCatalog(), all_on);
+  Engine e_off(MakePaperCatalog(), all_off);
+  for (const char* script : {kScriptS1, kScriptS2, kScriptS3, kScriptS4}) {
+    auto c_on = e_on.Compare(script);
+    auto c_off = e_off.Compare(script);
+    ASSERT_TRUE(c_on.ok() && c_off.ok());
+    EXPECT_LE(c_on->cse.cost(), c_off->cse.cost() * 1.0001) << script;
+    EXPECT_LE(c_on->conventional.cost(),
+              c_off->conventional.cost() * 1.0001)
+        << script;
+  }
+}
+
+}  // namespace
+}  // namespace scx

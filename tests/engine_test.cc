@@ -1,0 +1,89 @@
+// Engine facade tests: compile/optimize/execute lifecycle and error paths.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "workload/paper_scripts.h"
+
+namespace scx {
+namespace {
+
+TEST(EngineTest, CompileOptimizeExecute) {
+  OptimizerConfig config;
+  config.cluster.machines = 8;
+  Engine engine(MakeExecutionCatalog(2000), config);
+  auto compiled = engine.Compile(kScriptS1);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto optimized = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  EXPECT_GT(optimized->cost(), 0);
+  EXPECT_FALSE(optimized->Explain().empty());
+  auto metrics = engine.Execute(*optimized);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->outputs.size(), 2u);
+}
+
+TEST(EngineTest, CompileReportsParseErrors) {
+  Engine engine(MakePaperCatalog());
+  auto r = engine.Compile("THIS IS NOT A SCRIPT");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(EngineTest, CompileReportsBindErrors) {
+  Engine engine(MakePaperCatalog());
+  auto r = engine.Compile(
+      "R = SELECT A FROM MISSING; OUTPUT R TO \"o\";");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST(EngineTest, CompiledScriptIsReusableAcrossModes) {
+  Engine engine(MakePaperCatalog());
+  auto compiled = engine.Compile(kScriptS1);
+  ASSERT_TRUE(compiled.ok());
+  // Optimize the SAME compiled script in both modes, twice each: the memo
+  // clones payloads, so runs must not interfere.
+  auto c1 = engine.Optimize(*compiled, OptimizerMode::kCse);
+  auto v1 = engine.Optimize(*compiled, OptimizerMode::kConventional);
+  auto c2 = engine.Optimize(*compiled, OptimizerMode::kCse);
+  auto v2 = engine.Optimize(*compiled, OptimizerMode::kConventional);
+  ASSERT_TRUE(c1.ok() && v1.ok() && c2.ok() && v2.ok());
+  EXPECT_DOUBLE_EQ(c1->cost(), c2->cost());
+  EXPECT_DOUBLE_EQ(v1->cost(), v2->cost());
+}
+
+TEST(EngineTest, CompareComputesRatio) {
+  Engine engine(MakePaperCatalog());
+  auto c = engine.Compare(kScriptS1);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(c->cost_ratio, c->cse.cost() / c->conventional.cost(), 1e-12);
+}
+
+TEST(EngineTest, DiagnosticsExposed) {
+  Engine engine(MakePaperCatalog());
+  auto c = engine.Compare(kScriptS1);
+  ASSERT_TRUE(c.ok());
+  const OptimizeDiagnostics& d = c->cse.result.diagnostics;
+  EXPECT_EQ(d.num_shared_groups, 1);
+  EXPECT_EQ(d.explicit_shared, 1);
+  EXPECT_EQ(d.merged_subexpressions, 0);
+  EXPECT_GT(d.rounds_planned, 0);
+  EXPECT_GT(d.optimize_seconds, 0);
+  EXPECT_EQ(d.lca_of.size(), 1u);
+  EXPECT_GE(d.history_sizes.begin()->second, 3);
+  EXPECT_DOUBLE_EQ(d.final_cost, c->cse.cost());
+}
+
+TEST(EngineTest, OptimizerIntrospectionAvailable) {
+  Engine engine(MakePaperCatalog());
+  auto compiled = engine.Compile(kScriptS1);
+  ASSERT_TRUE(compiled.ok());
+  auto cse = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(cse.ok());
+  EXPECT_NE(cse->optimizer->shared_info(), nullptr);
+  EXPECT_GT(cse->optimizer->memo().num_groups(), 0);
+}
+
+}  // namespace
+}  // namespace scx

@@ -1,0 +1,110 @@
+// Robustness "fuzz-lite" tests: mutated and truncated scripts must produce
+// a clean Status (never crash, never return an unvalidated plan).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "api/engine.h"
+#include "opt/plan_validator.h"
+#include "workload/paper_scripts.h"
+
+namespace scx {
+namespace {
+
+class MutatedScriptFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutatedScriptFuzz, MutationsNeverCrash) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 48271u + 7);
+  Engine engine(MakePaperCatalog());
+  std::string base = kScriptS3;  // largest of the paper scripts
+  const char kNoise[] = "(),;=<>+-*/.\"ABXZ019 ";
+
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string script = base;
+    std::uniform_int_distribution<int> mutation_dist(0, 3);
+    std::uniform_int_distribution<size_t> noise_dist(0, sizeof(kNoise) - 2);
+    int mutations = 1 + trial % 4;
+    for (int k = 0; k < mutations; ++k) {
+      std::uniform_int_distribution<size_t> pos_dist(0, script.size() - 1);
+      size_t pos = pos_dist(rng);
+      switch (mutation_dist(rng)) {
+        case 0:  // replace a character
+          script[pos] = kNoise[noise_dist(rng)];
+          break;
+        case 1:  // delete a character
+          script.erase(pos, 1);
+          break;
+        case 2:  // insert noise
+          script.insert(pos, 1, kNoise[noise_dist(rng)]);
+          break;
+        case 3:  // truncate
+          script.resize(pos);
+          break;
+      }
+      if (script.empty()) script = "x";
+    }
+
+    auto compiled = engine.Compile(script);
+    if (!compiled.ok()) continue;  // clean rejection is the expected path
+    // A mutated script that still compiles must optimize to a valid plan
+    // in every mode.
+    for (OptimizerMode mode :
+         {OptimizerMode::kConventional, OptimizerMode::kCse}) {
+      auto plan = engine.Optimize(*compiled, mode);
+      ASSERT_TRUE(plan.ok()) << script << "\n" << plan.status().ToString();
+      EXPECT_TRUE(ValidatePlan(plan->plan()).ok()) << script;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutatedScriptFuzz, ::testing::Range(1, 9));
+
+TEST(FuzzTest, DeeplyNestedParenthesesParse) {
+  std::string expr(200, '(');
+  expr += "A";
+  expr += std::string(200, ')');
+  Engine engine(MakePaperCatalog());
+  auto r = engine.Compile("R0 = EXTRACT A FROM \"test.log\" USING X;\n"
+                          "R = SELECT " + expr + " AS X FROM R0;\n"
+                          "OUTPUT R TO \"o\";");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(FuzzTest, VeryLongSelectList) {
+  std::string items = "A";
+  for (int i = 0; i < 300; ++i) {
+    items += ",A+" + std::to_string(i) + " AS X" + std::to_string(i);
+  }
+  Engine engine(MakePaperCatalog());
+  auto r = engine.Compile("R0 = EXTRACT A FROM \"test.log\" USING X;\n"
+                          "R = SELECT " + items + " FROM R0;\n"
+                          "OUTPUT R TO \"o\";");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto plan = engine.Optimize(*r, OptimizerMode::kConventional);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ValidatePlan(plan->plan()).ok());
+}
+
+TEST(FuzzTest, GarbageBytesRejectedCleanly) {
+  Engine engine(MakePaperCatalog());
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string garbage;
+    std::uniform_int_distribution<int> len(1, 200);
+    std::uniform_int_distribution<int> byte(1, 126);
+    int n = len(rng);
+    for (int i = 0; i < n; ++i) {
+      garbage.push_back(static_cast<char>(byte(rng)));
+    }
+    auto r = engine.Compile(garbage);
+    // Either a clean error or (rarely) a valid parse; never a crash.
+    if (r.ok()) {
+      auto plan = engine.Optimize(*r, OptimizerMode::kCse);
+      if (plan.ok()) EXPECT_TRUE(ValidatePlan(plan->plan()).ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scx

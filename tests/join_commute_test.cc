@@ -1,0 +1,105 @@
+// Join-commutativity rule tests: the commuted alternative exists, enables
+// broadcasting the (small) LEFT side, never changes results, and can be
+// disabled.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "api/engine.h"
+#include "opt/plan_validator.h"
+#include "workload/paper_scripts.h"
+
+namespace scx {
+namespace {
+
+int CountKind(const PhysicalNodePtr& root, PhysicalOpKind kind) {
+  int n = 0;
+  std::vector<PhysicalNodePtr> stack = {root};
+  std::set<const PhysicalNode*> seen;
+  while (!stack.empty()) {
+    PhysicalNodePtr node = stack.back();
+    stack.pop_back();
+    if (!seen.insert(node.get()).second) continue;
+    if (node->kind == kind) ++n;
+    for (const auto& c : node->children) stack.push_back(c);
+  }
+  return n;
+}
+
+// The SMALL side is on the LEFT: only a commuted join can broadcast it
+// (the broadcast variant replicates the right/build side).
+const char kSmallLeftJoin[] = R"(
+Small0 = EXTRACT A,B,C,D FROM "test2.log" USING X;
+Dim    = SELECT A,Max(D) AS Cap FROM Small0 GROUP BY A;
+Big    = EXTRACT A,B,C,D FROM "test.log" USING X;
+J      = SELECT Big.A,B,D,Cap FROM Dim,Big WHERE Dim.A=Big.A;
+Agg    = SELECT B,Sum(D) AS S FROM J GROUP BY B;
+OUTPUT Agg TO "o";
+)";
+
+TEST(JoinCommuteTest, EnablesLeftSideBroadcast) {
+  OptimizerConfig with;
+  OptimizerConfig without;
+  without.enable_join_commute = false;
+  Engine e_with(MakePaperCatalog(), with);
+  Engine e_without(MakePaperCatalog(), without);
+  auto c_with = e_with.Compile(kSmallLeftJoin);
+  auto c_without = e_without.Compile(kSmallLeftJoin);
+  ASSERT_TRUE(c_with.ok() && c_without.ok());
+  auto p_with = e_with.Optimize(*c_with, OptimizerMode::kConventional);
+  auto p_without =
+      e_without.Optimize(*c_without, OptimizerMode::kConventional);
+  ASSERT_TRUE(p_with.ok() && p_without.ok());
+  // With commutativity the tiny Dim side is broadcast; commuting must not
+  // cost more than the best uncommuted plan.
+  EXPECT_GE(CountKind(p_with->plan(), PhysicalOpKind::kBroadcastExchange), 1)
+      << p_with->Explain();
+  EXPECT_LE(p_with->cost(), p_without->cost() * 1.0001);
+  EXPECT_TRUE(ValidatePlan(p_with->plan()).ok());
+}
+
+TEST(JoinCommuteTest, ResultsUnchangedAcrossRuleToggle) {
+  OptimizerConfig base;
+  base.cluster.machines = 8;
+  OptimizerConfig no_commute = base;
+  no_commute.enable_join_commute = false;
+  Engine e1(MakeExecutionCatalog(3000), base);
+  Engine e2(MakeExecutionCatalog(3000), no_commute);
+  for (const char* script : {kSmallLeftJoin, kScriptS3, kScriptS4}) {
+    auto c1 = e1.Compile(script);
+    auto c2 = e2.Compile(script);
+    ASSERT_TRUE(c1.ok() && c2.ok());
+    auto p1 = e1.Optimize(*c1, OptimizerMode::kCse);
+    auto p2 = e2.Optimize(*c2, OptimizerMode::kCse);
+    ASSERT_TRUE(p1.ok() && p2.ok());
+    auto m1 = e1.Execute(*p1);
+    auto m2 = e2.Execute(*p2);
+    ASSERT_TRUE(m1.ok()) << m1.status().ToString();
+    ASSERT_TRUE(m2.ok()) << m2.status().ToString();
+    EXPECT_TRUE(SameOutputs(*m1, *m2)) << script;
+  }
+}
+
+TEST(JoinCommuteTest, CommutedPlanRestoresColumnOrder) {
+  // Whatever join orientation wins, the output schema (and therefore row
+  // layout) must match the script's declared column order.
+  OptimizerConfig config;
+  config.cluster.machines = 4;
+  Engine engine(MakeExecutionCatalog(2000), config);
+  auto compiled = engine.Compile(kSmallLeftJoin);
+  ASSERT_TRUE(compiled.ok());
+  auto plan = engine.Optimize(*compiled, OptimizerMode::kConventional);
+  ASSERT_TRUE(plan.ok());
+  auto m = engine.Execute(*plan);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  // Output is (B, S): both int64, with B drawn from the catalog's B domain.
+  for (const Row& r : m->outputs.at("o")) {
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_LE(r[0].as_int(), 50);  // ndv(B)=50 domain values start at 1
+    EXPECT_GE(r[0].as_int(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace scx

@@ -1,0 +1,150 @@
+// Tests for the LS1/LS2 structural reproduction (paper Fig. 6) and the
+// Sec. VIII large-script machinery end to end.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "workload/large_scripts.h"
+
+namespace scx {
+namespace {
+
+TEST(LargeScriptTest, Ls1MatchesPublishedStructure) {
+  GeneratedScript gen = GenerateLargeScript(Ls1Spec());
+  EXPECT_EQ(gen.predicted_ops, 101);
+  Engine engine(gen.catalog);
+  auto compiled = engine.Compile(gen.text);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto conv = engine.Optimize(*compiled, OptimizerMode::kConventional);
+  ASSERT_TRUE(conv.ok());
+  // Paper Fig. 6: LS1 has 101 operators in the initial operator DAG...
+  EXPECT_EQ(conv->result.diagnostics.reachable_groups, 101);
+  // ...and 4 shared groups: 3 with 2 consumers, 1 with 3.
+  auto cse = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(cse.ok());
+  EXPECT_EQ(cse->result.diagnostics.num_shared_groups, 4);
+  const SharedInfo* info = cse->optimizer->shared_info();
+  ASSERT_NE(info, nullptr);
+  std::multiset<size_t> consumer_counts;
+  for (GroupId s : info->shared_groups()) {
+    consumer_counts.insert(info->ConsumersOf(s).size());
+  }
+  EXPECT_EQ(consumer_counts, (std::multiset<size_t>{2, 2, 2, 3}));
+}
+
+TEST(LargeScriptTest, Ls2MatchesPublishedStructure) {
+  GeneratedScript gen = GenerateLargeScript(Ls2Spec());
+  EXPECT_EQ(gen.predicted_ops, 1034);
+  OptimizerConfig config;
+  config.budget_seconds = 60;
+  Engine engine(gen.catalog, config);
+  auto compiled = engine.Compile(gen.text);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto conv = engine.Optimize(*compiled, OptimizerMode::kConventional);
+  ASSERT_TRUE(conv.ok());
+  EXPECT_EQ(conv->result.diagnostics.reachable_groups, 1034);
+  auto cse = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(cse.ok());
+  EXPECT_EQ(cse->result.diagnostics.num_shared_groups, 17);
+  const SharedInfo* info = cse->optimizer->shared_info();
+  std::multiset<size_t> counts;
+  for (GroupId s : info->shared_groups()) {
+    counts.insert(info->ConsumersOf(s).size());
+  }
+  std::multiset<size_t> expected;
+  for (int i = 0; i < 15; ++i) expected.insert(2);
+  expected.insert(4);
+  expected.insert(5);
+  EXPECT_EQ(counts, expected);
+}
+
+TEST(LargeScriptTest, CseSavesOnBothLargeScripts) {
+  for (LargeScriptSpec spec : {Ls1Spec(), Ls2Spec()}) {
+    GeneratedScript gen = GenerateLargeScript(spec);
+    OptimizerConfig config;
+    config.budget_seconds = spec.target_ops > 500 ? 60.0 : 30.0;
+    Engine engine(gen.catalog, config);
+    auto c = engine.Compare(gen.text);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    // Paper Fig. 7: 21% (LS1) and 45% (LS2) savings. The exact figure
+    // depends on the proprietary scripts; assert the band's direction.
+    EXPECT_LT(c->cost_ratio, 0.95) << "target_ops=" << spec.target_ops;
+    EXPECT_FALSE(c->cse.result.diagnostics.budget_exhausted);
+  }
+}
+
+TEST(LargeScriptTest, RankedRoundsFindGoodPlanUnderTightRoundCap) {
+  // With a hard cap well under the full round count, the VIII-B/C rankings
+  // should still land within a few percent of the unbounded best.
+  GeneratedScript gen = GenerateLargeScript(Ls1Spec());
+  OptimizerConfig unlimited;
+  OptimizerConfig capped;
+  capped.max_rounds = 12;
+  Engine e1(gen.catalog, unlimited);
+  Engine e2(gen.catalog, capped);
+  auto full = e1.Compare(gen.text);
+  auto cut = e2.Compare(gen.text);
+  ASSERT_TRUE(full.ok() && cut.ok());
+  EXPECT_TRUE(cut->cse.result.diagnostics.budget_exhausted);
+  EXPECT_LE(cut->cse.result.diagnostics.rounds_executed, 12);
+  // Never worse than conventional, and within 25% of the unbounded best.
+  EXPECT_LE(cut->cse.cost(), cut->conventional.cost());
+  EXPECT_LE(cut->cse.cost(), full->cse.cost() * 1.25);
+}
+
+TEST(LargeScriptTest, SmallScaleLs1ExecutesIdenticallyAcrossModes) {
+  // Run the full LS1-shaped DAG on the simulated cluster at reduced data
+  // scale and verify all three optimizer modes produce the same outputs.
+  LargeScriptSpec spec = Ls1Spec();
+  spec.rows_per_file = 1500;
+  GeneratedScript gen = GenerateLargeScript(spec);
+  OptimizerConfig config;
+  config.cluster.machines = 4;
+  Engine engine(gen.catalog, config);
+  auto compiled = engine.Compile(gen.text);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  std::vector<ExecMetrics> runs;
+  for (OptimizerMode mode :
+       {OptimizerMode::kConventional, OptimizerMode::kNaiveSharing,
+        OptimizerMode::kCse}) {
+    auto plan = engine.Optimize(*compiled, mode);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    auto m = engine.Execute(*plan);
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+    runs.push_back(std::move(m.value()));
+  }
+  EXPECT_TRUE(SameOutputs(runs[0], runs[1]));
+  EXPECT_TRUE(SameOutputs(runs[0], runs[2]));
+  // CSE scans each shared module's input once instead of per consumer.
+  EXPECT_LT(runs[2].rows_extracted, runs[0].rows_extracted);
+  EXPECT_LE(runs[2].bytes_shuffled, runs[0].bytes_shuffled);
+}
+
+TEST(LargeScriptTest, GeneratorHonorsCustomSpecs) {
+  LargeScriptSpec spec;
+  spec.shared_consumers = {2, 5};
+  spec.target_ops = 60;
+  GeneratedScript gen = GenerateLargeScript(spec);
+  Engine engine(gen.catalog);
+  auto compiled = engine.Compile(gen.text);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto conv = engine.Optimize(*compiled, OptimizerMode::kConventional);
+  ASSERT_TRUE(conv.ok());
+  EXPECT_EQ(conv->result.diagnostics.reachable_groups, gen.predicted_ops);
+}
+
+TEST(LargeScriptTest, TooSmallTargetStillProducesModules) {
+  LargeScriptSpec spec;
+  spec.shared_consumers = {2, 2};
+  spec.target_ops = 5;  // far below the module footprint
+  GeneratedScript gen = GenerateLargeScript(spec);
+  Engine engine(gen.catalog);
+  auto compiled = engine.Compile(gen.text);
+  ASSERT_TRUE(compiled.ok());
+  auto cse = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(cse.ok());
+  EXPECT_EQ(cse->result.diagnostics.num_shared_groups, 2);
+}
+
+}  // namespace
+}  // namespace scx

@@ -1,0 +1,125 @@
+// Memo substrate tests: construction from a logical DAG, parent queries,
+// topological order, reference redirection, expression dedup.
+
+#include <gtest/gtest.h>
+
+#include "memo/memo.h"
+#include "plan/binder.h"
+#include "script/parser.h"
+#include "workload/paper_scripts.h"
+
+namespace scx {
+namespace {
+
+Memo MemoOf(const std::string& script) {
+  Catalog catalog = MakePaperCatalog();
+  auto ast = ParseScript(script);
+  EXPECT_TRUE(ast.ok()) << ast.status().ToString();
+  auto bound = BindScript(*ast, catalog);
+  EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+  return Memo::FromLogicalDag(bound->root);
+}
+
+GroupId FindGroup(const Memo& memo, LogicalOpKind kind,
+                  const std::string& result_name = "") {
+  for (GroupId g = 0; g < memo.num_groups(); ++g) {
+    const GroupExpr& e = memo.group(g).initial_expr();
+    if (e.op->kind() == kind &&
+        (result_name.empty() || e.op->result_name == result_name)) {
+      return g;
+    }
+  }
+  return kInvalidGroup;
+}
+
+TEST(MemoTest, OneGroupPerDagNode) {
+  Memo memo = MemoOf(kScriptS1);
+  // S1 DAG: Extract, GbAgg(R), GbAgg(R1), GbAgg(R2), 2 Outputs, Sequence.
+  EXPECT_EQ(memo.num_groups(), 7);
+  EXPECT_EQ(memo.TopologicalOrder().size(), 7u);
+}
+
+TEST(MemoTest, SharedNodeHasTwoParents) {
+  Memo memo = MemoOf(kScriptS1);
+  GroupId r = FindGroup(memo, LogicalOpKind::kGbAgg, "R");
+  ASSERT_NE(r, kInvalidGroup);
+  EXPECT_EQ(memo.ParentsOf(r).size(), 2u);
+}
+
+TEST(MemoTest, TopologicalOrderChildrenFirst) {
+  Memo memo = MemoOf(kScriptS1);
+  std::vector<GroupId> order = memo.TopologicalOrder();
+  std::map<GroupId, size_t> pos;
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (GroupId g : order) {
+    for (const GroupExpr& e : memo.group(g).exprs()) {
+      for (GroupId c : e.children) {
+        EXPECT_LT(pos.at(c), pos.at(g));
+      }
+    }
+  }
+  EXPECT_EQ(order.back(), memo.root());
+}
+
+TEST(MemoTest, RedirectChildReferences) {
+  Memo memo = MemoOf(kScriptS1);
+  GroupId r = FindGroup(memo, LogicalOpKind::kGbAgg, "R");
+  GroupExpr spool;
+  spool.op = std::make_shared<LogicalNode>(
+      LogicalOpKind::kSpool, memo.group(r).schema(),
+      std::vector<LogicalNodePtr>{});
+  spool.children = {r};
+  GroupId spool_id = memo.NewGroup(std::move(spool));
+  memo.RedirectChildReferencesExcept(r, spool_id, spool_id);
+  EXPECT_EQ(memo.ParentsOf(spool_id).size(), 2u);
+  EXPECT_EQ(memo.ParentsOf(r), std::vector<GroupId>{spool_id});
+}
+
+TEST(MemoTest, AddExprDeduplicates) {
+  Memo memo = MemoOf(kScriptS1);
+  GroupId r = FindGroup(memo, LogicalOpKind::kGbAgg, "R");
+  Group& group = memo.group(r);
+  GroupExpr copy = group.initial_expr();
+  copy.op = copy.op->Clone();
+  EXPECT_FALSE(group.AddExpr(copy));  // structurally identical
+  EXPECT_EQ(group.exprs().size(), 1u);
+  // A different child makes it distinct.
+  copy.children = {r};
+  EXPECT_TRUE(group.AddExpr(copy));
+  EXPECT_EQ(group.exprs().size(), 2u);
+}
+
+TEST(MemoTest, PayloadHashDistinguishesOperators) {
+  Memo memo = MemoOf(kScriptS1);
+  GroupId r = FindGroup(memo, LogicalOpKind::kGbAgg, "R");
+  GroupId r1 = FindGroup(memo, LogicalOpKind::kGbAgg, "R1");
+  const LogicalNode& a = *memo.group(r).initial_expr().op;
+  const LogicalNode& b = *memo.group(r1).initial_expr().op;
+  EXPECT_NE(OperatorPayloadHash(a), OperatorPayloadHash(b));
+  EXPECT_FALSE(OperatorPayloadEquals(a, b));
+  EXPECT_TRUE(OperatorPayloadEquals(a, a));
+  EXPECT_EQ(OperatorPayloadHash(a), OperatorPayloadHash(*a.Clone()));
+}
+
+TEST(MemoTest, ClonedPayloadIsolation) {
+  // Memo construction clones payloads so optimizer-side rewrites never leak
+  // into the caller's bound DAG.
+  Catalog catalog = MakePaperCatalog();
+  auto ast = ParseScript(kScriptS1);
+  auto bound = BindScript(*ast, catalog);
+  ASSERT_TRUE(bound.ok());
+  Memo memo = Memo::FromLogicalDag(bound->root);
+  GroupId r = FindGroup(memo, LogicalOpKind::kGbAgg, "R");
+  memo.group(r).initial_expr().op->group_cols.clear();
+  EXPECT_EQ(bound->results.at("R")->group_cols.size(), 3u);
+}
+
+TEST(MemoTest, ToStringListsGroups) {
+  Memo memo = MemoOf(kScriptS1);
+  std::string dump = memo.ToString();
+  EXPECT_NE(dump.find("group 0"), std::string::npos);
+  EXPECT_NE(dump.find("root:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scx

@@ -1,0 +1,89 @@
+// Tests for the kNaiveSharing baseline (the related-work strategy of the
+// paper's Secs. I-II): shared subexpressions execute once but with the
+// locally optimal plan, so consumers pay compensation above the spool.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "exec/executor.h"
+#include "workload/paper_scripts.h"
+
+namespace scx {
+namespace {
+
+TEST(NaiveSharingTest, OrderedBetweenConventionalAndCse) {
+  Engine engine(MakePaperCatalog());
+  for (const char* script : {kScriptS1, kScriptS2, kScriptS3, kScriptS4}) {
+    auto compiled = engine.Compile(script);
+    ASSERT_TRUE(compiled.ok());
+    auto conv = engine.Optimize(*compiled, OptimizerMode::kConventional);
+    auto naive = engine.Optimize(*compiled, OptimizerMode::kNaiveSharing);
+    auto cse = engine.Optimize(*compiled, OptimizerMode::kCse);
+    ASSERT_TRUE(conv.ok() && naive.ok() && cse.ok());
+    // Sharing helps; cost-based enforcement helps at least as much.
+    EXPECT_LT(naive->cost(), conv->cost());
+    EXPECT_LE(cse->cost(), naive->cost() + 1e-9);
+  }
+}
+
+TEST(NaiveSharingTest, CostBasedStrictlyBeatsNaiveOnConflicts) {
+  // S1's consumers have conflicting partitioning requirements ({A,B} vs
+  // {B,C}); the locally optimal shared plan serves neither for free.
+  Engine engine(MakePaperCatalog());
+  auto compiled = engine.Compile(kScriptS1);
+  ASSERT_TRUE(compiled.ok());
+  auto naive = engine.Optimize(*compiled, OptimizerMode::kNaiveSharing);
+  auto cse = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(naive.ok() && cse.ok());
+  EXPECT_LT(cse->cost(), naive->cost() * 0.98);
+}
+
+TEST(NaiveSharingTest, OneRoundPerLca) {
+  Engine engine(MakePaperCatalog());
+  auto compiled = engine.Compile(kScriptS3);  // two LCAs
+  ASSERT_TRUE(compiled.ok());
+  auto naive = engine.Optimize(*compiled, OptimizerMode::kNaiveSharing);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(naive->result.diagnostics.rounds_executed, 2);
+}
+
+TEST(NaiveSharingTest, SharesTheSpool) {
+  Engine engine(MakePaperCatalog());
+  auto compiled = engine.Compile(kScriptS1);
+  ASSERT_TRUE(compiled.ok());
+  auto naive = engine.Optimize(*compiled, OptimizerMode::kNaiveSharing);
+  ASSERT_TRUE(naive.ok());
+  // The plan contains exactly one extract and one spool (single execution).
+  int extracts = 0, spools = 0;
+  std::vector<PhysicalNodePtr> stack = {naive->plan()};
+  std::set<const PhysicalNode*> seen;
+  while (!stack.empty()) {
+    PhysicalNodePtr n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n.get()).second) continue;
+    if (n->kind == PhysicalOpKind::kExtract) ++extracts;
+    if (n->kind == PhysicalOpKind::kSpool) ++spools;
+    for (const auto& c : n->children) stack.push_back(c);
+  }
+  EXPECT_EQ(extracts, 1);
+  EXPECT_EQ(spools, 1);
+}
+
+TEST(NaiveSharingTest, ExecutesCorrectly) {
+  OptimizerConfig config;
+  config.cluster.machines = 8;
+  Engine engine(MakeExecutionCatalog(4000), config);
+  auto compiled = engine.Compile(kScriptS1);
+  ASSERT_TRUE(compiled.ok());
+  auto conv = engine.Optimize(*compiled, OptimizerMode::kConventional);
+  auto naive = engine.Optimize(*compiled, OptimizerMode::kNaiveSharing);
+  ASSERT_TRUE(conv.ok() && naive.ok());
+  auto conv_m = engine.Execute(*conv);
+  auto naive_m = engine.Execute(*naive);
+  ASSERT_TRUE(conv_m.ok() && naive_m.ok());
+  EXPECT_TRUE(SameOutputs(*conv_m, *naive_m));
+  EXPECT_EQ(naive_m->spool_executions, 1);
+}
+
+}  // namespace
+}  // namespace scx

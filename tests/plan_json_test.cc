@@ -1,0 +1,129 @@
+// JSON serialization tests for plans and diagnostics.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "opt/plan_json.h"
+#include "workload/paper_scripts.h"
+
+namespace scx {
+namespace {
+
+/// Minimal structural JSON check: balanced braces/brackets outside strings.
+bool BalancedJson(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t n = 0, pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++n;
+    pos += needle.size();
+  }
+  return n;
+}
+
+TEST(PlanJsonTest, S1CsePlanSerializes) {
+  Engine engine(MakePaperCatalog());
+  auto compiled = engine.Compile(kScriptS1);
+  ASSERT_TRUE(compiled.ok());
+  auto cse = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(cse.ok());
+  std::string json = PlanToJson(cse->plan());
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"root\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"dag_cost\":"), std::string::npos);
+  // The shared spool appears exactly once in the node array even though it
+  // has two consumers.
+  EXPECT_EQ(CountOccurrences(json, "\"kind\":\"Spool\""), 1u);
+  // Its id appears in two children lists plus its own node definition.
+}
+
+TEST(PlanJsonTest, SharingIsVisibleThroughChildIds) {
+  Engine engine(MakePaperCatalog());
+  auto compiled = engine.Compile(kScriptS1);
+  ASSERT_TRUE(compiled.ok());
+  auto cse = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(cse.ok());
+  std::string json = PlanToJson(cse->plan());
+  // Find the spool's id.
+  size_t spool_pos = json.find("\"kind\":\"Spool\"");
+  ASSERT_NE(spool_pos, std::string::npos);
+  size_t id_pos = json.rfind("\"id\":", spool_pos);
+  ASSERT_NE(id_pos, std::string::npos);
+  size_t comma = json.find(',', id_pos);
+  std::string id = json.substr(id_pos + 5, comma - id_pos - 5);
+  // Two consumers reference it by id.
+  size_t refs = 0, pos = 0;
+  std::string needle_a = "[" + id + "]";
+  std::string needle_b = "," + id + "]";
+  std::string needle_c = "[" + id + ",";
+  while ((pos = json.find("\"children\":", pos)) != std::string::npos) {
+    size_t end = json.find(']', pos);
+    std::string kids = json.substr(pos, end - pos + 1);
+    if (kids.find(needle_a) != std::string::npos ||
+        kids.find(needle_b) != std::string::npos ||
+        kids.find(needle_c) != std::string::npos) {
+      ++refs;
+    }
+    pos = end;
+  }
+  EXPECT_EQ(refs, 2u) << json;
+}
+
+TEST(PlanJsonTest, DiagnosticsSerialize) {
+  Engine engine(MakePaperCatalog());
+  auto compiled = engine.Compile(kScriptS4);
+  ASSERT_TRUE(compiled.ok());
+  auto cse = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(cse.ok());
+  std::string json = DiagnosticsToJson(cse->result.diagnostics);
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"num_shared_groups\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"round_trace\":["), std::string::npos);
+  EXPECT_NE(json.find("\"assignment\":{"), std::string::npos);
+}
+
+TEST(PlanJsonTest, NullPlan) {
+  EXPECT_EQ(PlanToJson(nullptr), "{\"root\":null,\"nodes\":[]}");
+}
+
+TEST(PlanJsonTest, EscapingHandlesSpecialCharacters) {
+  // Output paths flow into JSON; quotes and backslashes must be escaped.
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterLog("f.log", {"A"}, 10, {5}).ok());
+  Engine engine(std::move(catalog));
+  auto compiled = engine.Compile(
+      "R = EXTRACT A FROM \"f.log\" USING X;\n"
+      "OUTPUT R TO \"dir\\sub.out\";");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto plan = engine.Optimize(*compiled, OptimizerMode::kConventional);
+  ASSERT_TRUE(plan.ok());
+  std::string json = PlanToJson(plan->plan());
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("dir\\\\sub.out"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace scx

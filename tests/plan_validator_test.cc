@@ -1,0 +1,105 @@
+// Plan-validator tests: every optimizer-produced plan passes; hand-broken
+// plans are rejected with the right diagnostics.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "opt/plan_validator.h"
+#include "workload/large_scripts.h"
+#include "workload/paper_scripts.h"
+
+namespace scx {
+namespace {
+
+OptimizedScript OptimizeScript(const char* script, OptimizerMode mode) {
+  Engine engine(MakePaperCatalog());
+  auto compiled = engine.Compile(script);
+  EXPECT_TRUE(compiled.ok());
+  auto plan = engine.Optimize(*compiled, mode);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return std::move(plan.value());
+}
+
+TEST(PlanValidatorTest, AllPaperScriptsAllModesValidate) {
+  for (const char* script : {kScriptS1, kScriptS2, kScriptS3, kScriptS4}) {
+    for (OptimizerMode mode :
+         {OptimizerMode::kConventional, OptimizerMode::kNaiveSharing,
+          OptimizerMode::kCse}) {
+      OptimizedScript plan = OptimizeScript(script, mode);
+      EXPECT_TRUE(ValidatePlan(plan.plan()).ok());
+    }
+  }
+}
+
+TEST(PlanValidatorTest, LargeScriptValidates) {
+  GeneratedScript gen = GenerateLargeScript(Ls1Spec());
+  Engine engine(gen.catalog);
+  auto compiled = engine.Compile(gen.text);
+  ASSERT_TRUE(compiled.ok());
+  auto plan = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ValidatePlan(plan->plan()).ok());
+}
+
+TEST(PlanValidatorTest, RejectsNullPlan) {
+  EXPECT_FALSE(ValidatePlan(nullptr).ok());
+}
+
+PhysicalNodePtr FindNode(const PhysicalNodePtr& root, PhysicalOpKind kind) {
+  if (root->kind == kind) return root;
+  for (const PhysicalNodePtr& c : root->children) {
+    PhysicalNodePtr found = FindNode(c, kind);
+    if (found != nullptr) return found;
+  }
+  return nullptr;
+}
+
+TEST(PlanValidatorTest, DetectsMispartitionedAggregate) {
+  OptimizedScript plan =
+      OptimizeScript(kScriptS1, OptimizerMode::kConventional);
+  // Break the plan: claim the input of some full aggregate is random.
+  PhysicalNodePtr agg = FindNode(plan.plan(), PhysicalOpKind::kHashAgg);
+  ASSERT_NE(agg, nullptr);
+  agg->children[0]->delivered.partitioning = Partitioning::Random();
+  Status s = ValidatePlan(plan.plan());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("not partitioned within"), std::string::npos);
+}
+
+TEST(PlanValidatorTest, DetectsMissingExchangeColumns) {
+  OptimizedScript plan =
+      OptimizeScript(kScriptS1, OptimizerMode::kConventional);
+  PhysicalNodePtr ex = FindNode(plan.plan(), PhysicalOpKind::kHashExchange);
+  ASSERT_NE(ex, nullptr);
+  ex->exchange_cols = ColumnSet();
+  Status s = ValidatePlan(plan.plan());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("exchange"), std::string::npos);
+}
+
+TEST(PlanValidatorTest, DetectsSpoolPropertyMismatch) {
+  OptimizedScript plan = OptimizeScript(kScriptS1, OptimizerMode::kCse);
+  PhysicalNodePtr spool = FindNode(plan.plan(), PhysicalOpKind::kSpool);
+  ASSERT_NE(spool, nullptr);
+  spool->delivered.partitioning = Partitioning::Serial();
+  Status s = ValidatePlan(plan.plan());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("spool"), std::string::npos);
+}
+
+TEST(PlanValidatorTest, DetectsForeignColumnInFilter) {
+  OptimizedScript plan = OptimizeScript(
+      "R0 = EXTRACT A,B,C,D FROM \"test.log\" USING X;\n"
+      "F  = SELECT A,B,C,D FROM R0 WHERE A > 1;\n"
+      "OUTPUT F TO \"o\";",
+      OptimizerMode::kConventional);
+  PhysicalNodePtr filter = FindNode(plan.plan(), PhysicalOpKind::kFilter);
+  ASSERT_NE(filter, nullptr);
+  filter->proto->predicates[0].lhs = 4242;
+  Status s = ValidatePlan(plan.plan());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("filter"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scx

@@ -1,0 +1,144 @@
+// Randomized end-to-end property tests: for generated scripts, the
+// CSE-optimized plan must (1) produce exactly the same outputs as the
+// conventional plan on the simulated cluster, (2) never cost more, and
+// (3) never shuffle more bytes.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "api/engine.h"
+#include "workload/paper_scripts.h"
+
+namespace scx {
+namespace {
+
+/// Generates a random multi-output script over test.log / test2.log:
+/// a few base aggregates, consumers with varied grouping sets, optional
+/// filters, optional joins between consumers.
+std::string RandomScript(std::mt19937* rng) {
+  std::uniform_int_distribution<int> consumers_dist(2, 4);
+  std::uniform_int_distribution<int> coin(0, 1);
+  const char* group_sets[] = {"A,B", "B,C", "A,C", "B", "A", "C", "A,B,C"};
+  const char* agg_fns[] = {"Sum", "Min", "Max", "Count"};
+
+  std::string script =
+      "R0 = EXTRACT A,B,C,D FROM \"test.log\" USING X;\n";
+  if (coin(*rng)) {
+    script += "F0 = SELECT A,B,C,D FROM R0 WHERE D > 50;\n";
+  } else {
+    script += "F0 = SELECT A,B,C,D FROM R0 WHERE A > 2;\n";
+  }
+  script += "R = SELECT A,B,C,Sum(D) AS S FROM F0 GROUP BY A,B,C;\n";
+
+  int consumers = consumers_dist(*rng);
+  std::vector<std::string> names;
+  for (int i = 0; i < consumers; ++i) {
+    std::string name = "C" + std::to_string(i);
+    const char* groups = group_sets[(*rng)() % 7];
+    const char* fn = agg_fns[(*rng)() % 4];
+    std::string arg = std::string(fn) == "Count" ? "*" : "S";
+    script += name + " = SELECT " + groups + "," + fn + "(" + arg +
+              ") AS T FROM R GROUP BY " + groups + ";\n";
+    names.push_back(name);
+  }
+  // Maybe join the first two consumers on B when both group on it.
+  bool joined = false;
+  if (consumers >= 2 && coin(*rng)) {
+    script +=
+        "J = SELECT C0.B,C0.T AS T0,C1.T AS T1 FROM C0,C1 "
+        "WHERE C0.B=C1.B;\n";
+    // Only valid when both C0 and C1 have a B column; group sets 0,1,3,6
+    // contain B. Regenerate deterministically instead of validating: use a
+    // bind check below (invalid scripts are skipped by the caller).
+    script += "OUTPUT J TO \"j.out\";\n";
+    joined = true;
+  }
+  for (int i = 0; i < consumers; ++i) {
+    if (!joined || i >= 2 || coin(*rng)) {
+      script += "OUTPUT " + names[static_cast<size_t>(i)] + " TO \"" +
+                names[static_cast<size_t>(i)] + ".out\";\n";
+    }
+  }
+  if (script.find("OUTPUT") == std::string::npos) {
+    script += "OUTPUT C0 TO \"C0.out\";\n";
+  }
+  return script;
+}
+
+class RandomScriptEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomScriptEquivalence, CsePlanIsCorrectAndCheaper) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 2654435761u + 1);
+  OptimizerConfig config;
+  config.cluster.machines = 8;
+  Engine engine(MakeExecutionCatalog(4000), config);
+
+  int valid_scripts = 0;
+  for (int attempt = 0; attempt < 6 && valid_scripts < 2; ++attempt) {
+    std::string script = RandomScript(&rng);
+    auto compiled = engine.Compile(script);
+    if (!compiled.ok()) continue;  // e.g. join side lacks B
+    ++valid_scripts;
+
+    auto conv = engine.Optimize(*compiled, OptimizerMode::kConventional);
+    auto naive = engine.Optimize(*compiled, OptimizerMode::kNaiveSharing);
+    auto cse = engine.Optimize(*compiled, OptimizerMode::kCse);
+    ASSERT_TRUE(conv.ok()) << script << conv.status().ToString();
+    ASSERT_TRUE(naive.ok()) << script << naive.status().ToString();
+    ASSERT_TRUE(cse.ok()) << script << cse.status().ToString();
+
+    // Cost: exploiting common subexpressions never hurts (the optimizer
+    // keeps the phase-1 plan when sharing does not pay off), and the
+    // cost-based strategy never loses to naive local-optimum sharing.
+    EXPECT_LE(cse->cost(), conv->cost() * 1.0001) << script;
+    EXPECT_LE(cse->cost(), naive->cost() * 1.0001) << script;
+
+    auto conv_m = engine.Execute(*conv);
+    auto naive_m = engine.Execute(*naive);
+    auto cse_m = engine.Execute(*cse);
+    ASSERT_TRUE(conv_m.ok()) << script << conv_m.status().ToString();
+    ASSERT_TRUE(naive_m.ok()) << script << naive_m.status().ToString();
+    ASSERT_TRUE(cse_m.ok()) << script << cse_m.status().ToString();
+    EXPECT_TRUE(SameOutputs(*conv_m, *cse_m)) << script;
+    EXPECT_TRUE(SameOutputs(*conv_m, *naive_m)) << script;
+    EXPECT_LE(cse_m->bytes_shuffled, conv_m->bytes_shuffled) << script;
+  }
+  EXPECT_GT(valid_scripts, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomScriptEquivalence,
+                         ::testing::Range(1, 13));
+
+// Sweeping cluster sizes: plan choice changes, results must not.
+class ClusterSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterSizeSweep, ResultsInvariantUnderClusterSize) {
+  OptimizerConfig config;
+  config.cluster.machines = GetParam();
+  Engine engine(MakeExecutionCatalog(3000), config);
+  auto compiled = engine.Compile(kScriptS2);
+  ASSERT_TRUE(compiled.ok());
+  auto cse = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(cse.ok());
+  auto m = engine.Execute(*cse);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+
+  // Reference: one machine, conventional plan.
+  OptimizerConfig serial_cfg;
+  serial_cfg.cluster.machines = 1;
+  Engine serial(MakeExecutionCatalog(3000), serial_cfg);
+  auto sc = serial.Compile(kScriptS2);
+  ASSERT_TRUE(sc.ok());
+  auto sp = serial.Optimize(*sc, OptimizerMode::kConventional);
+  ASSERT_TRUE(sp.ok());
+  auto sm = serial.Execute(*sp);
+  ASSERT_TRUE(sm.ok()) << sm.status().ToString();
+  EXPECT_TRUE(SameOutputs(*m, *sm)) << "machines=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, ClusterSizeSweep,
+                         ::testing::Values(1, 2, 3, 8, 16, 31));
+
+}  // namespace
+}  // namespace scx

@@ -1,0 +1,145 @@
+// Physical-property tests, including the paper's key satisfaction rule:
+// hash partitioning on any non-empty subset S of C satisfies a partitioning
+// requirement on C (rows equal on C are equal on S, hence co-located).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "props/physical_props.h"
+
+namespace scx {
+namespace {
+
+TEST(PartitioningReqTest, NoneIsSatisfiedByAnything) {
+  PartitioningReq req = PartitioningReq::None();
+  EXPECT_TRUE(req.SatisfiedBy(Partitioning::Random()));
+  EXPECT_TRUE(req.SatisfiedBy(Partitioning::Serial()));
+  EXPECT_TRUE(req.SatisfiedBy(Partitioning::Hash(ColumnSet::Of({1}))));
+}
+
+TEST(PartitioningReqTest, SerialRequiresSerial) {
+  PartitioningReq req = PartitioningReq::Serial();
+  EXPECT_TRUE(req.SatisfiedBy(Partitioning::Serial()));
+  EXPECT_FALSE(req.SatisfiedBy(Partitioning::Random()));
+  EXPECT_FALSE(req.SatisfiedBy(Partitioning::Hash(ColumnSet::Of({1}))));
+}
+
+TEST(PartitioningReqTest, SubsetRuleFromThePaper) {
+  // Paper Sec. I: "if the data is partitioned on {B}, or any subset of
+  // {A,B,C}, it is also partitioned on {A,B,C}".
+  PartitioningReq req = PartitioningReq::SubsetOf(ColumnSet::Of({1, 2, 3}));
+  EXPECT_TRUE(req.SatisfiedBy(Partitioning::Hash(ColumnSet::Of({2}))));
+  EXPECT_TRUE(req.SatisfiedBy(Partitioning::Hash(ColumnSet::Of({1, 3}))));
+  EXPECT_TRUE(req.SatisfiedBy(Partitioning::Hash(ColumnSet::Of({1, 2, 3}))));
+  EXPECT_FALSE(req.SatisfiedBy(Partitioning::Hash(ColumnSet::Of({4}))));
+  EXPECT_FALSE(req.SatisfiedBy(Partitioning::Hash(ColumnSet::Of({1, 4}))));
+  EXPECT_FALSE(req.SatisfiedBy(Partitioning::Random()));
+  // A single partition trivially co-locates everything.
+  EXPECT_TRUE(req.SatisfiedBy(Partitioning::Serial()));
+  // Hash on the empty set is not a valid partitioning scheme.
+  EXPECT_FALSE(req.SatisfiedBy(Partitioning::Hash(ColumnSet())));
+}
+
+TEST(PartitioningReqTest, ExactRequiresExact) {
+  PartitioningReq req = PartitioningReq::Exactly(ColumnSet::Of({2}));
+  EXPECT_TRUE(req.SatisfiedBy(Partitioning::Hash(ColumnSet::Of({2}))));
+  EXPECT_FALSE(req.SatisfiedBy(Partitioning::Hash(ColumnSet::Of({1, 2}))));
+  EXPECT_FALSE(req.SatisfiedBy(Partitioning::Serial()));
+}
+
+TEST(SortSpecTest, PrefixSatisfaction) {
+  SortSpec delivered{{1, 2, 3}};
+  EXPECT_TRUE(delivered.SatisfiesPrefix(SortSpec{}));
+  EXPECT_TRUE(delivered.SatisfiesPrefix(SortSpec{{1}}));
+  EXPECT_TRUE(delivered.SatisfiesPrefix(SortSpec{{1, 2}}));
+  EXPECT_TRUE(delivered.SatisfiesPrefix(SortSpec{{1, 2, 3}}));
+  EXPECT_FALSE(delivered.SatisfiesPrefix(SortSpec{{2}}));
+  EXPECT_FALSE(delivered.SatisfiesPrefix(SortSpec{{1, 3}}));
+  EXPECT_FALSE(delivered.SatisfiesPrefix(SortSpec{{1, 2, 3, 4}}));
+}
+
+TEST(PropertySatisfiedTest, BothDimensionsMustHold) {
+  RequiredProps req{PartitioningReq::SubsetOf(ColumnSet::Of({1, 2})),
+                    SortSpec{{1}}};
+  DeliveredProps good{Partitioning::Hash(ColumnSet::Of({1})),
+                      SortSpec{{1, 2}}};
+  DeliveredProps bad_sort{Partitioning::Hash(ColumnSet::Of({1})),
+                          SortSpec{{2}}};
+  DeliveredProps bad_part{Partitioning::Random(), SortSpec{{1, 2}}};
+  EXPECT_TRUE(PropertySatisfied(req, good));
+  EXPECT_FALSE(PropertySatisfied(req, bad_sort));
+  EXPECT_FALSE(PropertySatisfied(req, bad_part));
+}
+
+TEST(PropsTest, HashAndEqualityConsistent) {
+  RequiredProps a{PartitioningReq::SubsetOf(ColumnSet::Of({1, 2})),
+                  SortSpec{{3}}};
+  RequiredProps b{PartitioningReq::SubsetOf(ColumnSet::Of({1, 2})),
+                  SortSpec{{3}}};
+  RequiredProps c{PartitioningReq::Exactly(ColumnSet::Of({1, 2})),
+                  SortSpec{{3}}};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.HashValue(), b.HashValue());
+  EXPECT_FALSE(a == c);
+  EXPECT_NE(a.ToString(), c.ToString());
+}
+
+TEST(PropsTest, ToStringRendersRangeNotation) {
+  RequiredProps req{PartitioningReq::SubsetOf(ColumnSet::Of({0, 1})), {}};
+  // Matches the paper's [∅,{...}] range notation for subset requirements.
+  EXPECT_NE(req.ToString().find("[∅,"), std::string::npos);
+}
+
+// Property-style sweep: subset satisfaction is exactly set inclusion.
+class SubsetSatisfactionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubsetSatisfactionSweep, HashSatisfiesSubsetIffIncluded) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::uniform_int_distribution<int> coin(0, 1);
+  for (int trial = 0; trial < 50; ++trial) {
+    ColumnSet required, delivered;
+    for (ColumnId c = 0; c < 8; ++c) {
+      if (coin(rng)) required.Insert(c);
+      if (coin(rng)) delivered.Insert(c);
+    }
+    if (required.Empty() || delivered.Empty()) continue;
+    PartitioningReq req = PartitioningReq::SubsetOf(required);
+    bool satisfied = req.SatisfiedBy(Partitioning::Hash(delivered));
+    EXPECT_EQ(satisfied, delivered.IsSubsetOf(required))
+        << "delivered=" << delivered.ToString()
+        << " required=" << required.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubsetSatisfactionSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Property: transitivity — if S satisfies req(C) and C ⊆ D then S
+// satisfies req(D).
+class SubsetTransitivitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubsetTransitivitySweep, SatisfactionIsMonotoneInRequirement) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 977);
+  std::uniform_int_distribution<int> coin(0, 1);
+  for (int trial = 0; trial < 50; ++trial) {
+    ColumnSet s, c, extra;
+    for (ColumnId i = 0; i < 8; ++i) {
+      if (coin(rng)) s.Insert(i);
+      if (coin(rng)) c.Insert(i);
+      if (coin(rng)) extra.Insert(i);
+    }
+    if (s.Empty() || c.Empty()) continue;
+    ColumnSet d = c.Union(extra);
+    Partitioning hash_s = Partitioning::Hash(s);
+    if (PartitioningReq::SubsetOf(c).SatisfiedBy(hash_s)) {
+      EXPECT_TRUE(PartitioningReq::SubsetOf(d).SatisfiedBy(hash_s));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubsetTransitivitySweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace scx

@@ -1,0 +1,141 @@
+// Range-partitioning tests: property satisfaction, optimizer choice between
+// gather-to-serial and parallel range-partitioned ordered output, and
+// runtime global ordering.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "opt/plan_validator.h"
+#include "workload/paper_scripts.h"
+
+namespace scx {
+namespace {
+
+TEST(RangePropsTest, RangeSatisfiesColocationSubsetRule) {
+  // Range partitioning co-locates equal rows just like hash partitioning,
+  // so it satisfies grouping requirements via the same subset rule.
+  PartitioningReq req = PartitioningReq::SubsetOf(ColumnSet::Of({1, 2, 3}));
+  EXPECT_TRUE(req.SatisfiedBy(Partitioning::Range({2})));
+  EXPECT_TRUE(req.SatisfiedBy(Partitioning::Range({3, 1})));
+  EXPECT_FALSE(req.SatisfiedBy(Partitioning::Range({4})));
+}
+
+TEST(RangePropsTest, RangeExactRequiresOrderedMatch) {
+  PartitioningReq req = PartitioningReq::RangeExactly({1, 2});
+  EXPECT_TRUE(req.SatisfiedBy(Partitioning::Range({1, 2})));
+  EXPECT_FALSE(req.SatisfiedBy(Partitioning::Range({2, 1})));  // order matters
+  EXPECT_FALSE(req.SatisfiedBy(Partitioning::Hash(ColumnSet::Of({1, 2}))));
+  EXPECT_FALSE(req.SatisfiedBy(Partitioning::Serial()));
+}
+
+TEST(RangePropsTest, HashExactNotSatisfiedByRange) {
+  PartitioningReq req = PartitioningReq::Exactly(ColumnSet::Of({1}));
+  EXPECT_FALSE(req.SatisfiedBy(Partitioning::Range({1})));
+}
+
+TEST(RangeOptimizerTest, LargeOrderedOutputUsesRangePartitioning) {
+  // A big ordered output: gathering everything to one machine is costed
+  // against range partitioning + per-partition sort; the parallel plan wins.
+  Engine engine(MakePaperCatalog());
+  auto compiled = engine.Compile(
+      "R0 = EXTRACT A,B,C,D FROM \"test.log\" USING X;\n"
+      "R  = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C ORDER BY B;\n"
+      "OUTPUT R TO \"sorted.out\";");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto plan = engine.Optimize(*compiled, OptimizerMode::kConventional);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  bool has_range = false, has_gather = false;
+  std::vector<PhysicalNodePtr> stack = {plan->plan()};
+  std::set<const PhysicalNode*> seen;
+  while (!stack.empty()) {
+    PhysicalNodePtr n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n.get()).second) continue;
+    if (n->kind == PhysicalOpKind::kRangeExchange) has_range = true;
+    if (n->kind == PhysicalOpKind::kGather) has_gather = true;
+    for (const auto& c : n->children) stack.push_back(c);
+  }
+  EXPECT_TRUE(has_range);
+  EXPECT_FALSE(has_gather);
+  EXPECT_TRUE(ValidatePlan(plan->plan()).ok());
+}
+
+TEST(RangeExecutorTest, RangePartitionedOutputIsGloballySorted) {
+  OptimizerConfig config;
+  config.cluster.machines = 8;
+  // Large enough that the range plan wins over gather.
+  Engine engine(MakeExecutionCatalog(20000), config);
+  auto compiled = engine.Compile(
+      "R0 = EXTRACT A,B,C,D FROM \"test.log\" USING X;\n"
+      "R  = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C ORDER BY B,C;\n"
+      "OUTPUT R TO \"o\";");
+  ASSERT_TRUE(compiled.ok());
+  auto plan = engine.Optimize(*compiled, OptimizerMode::kConventional);
+  ASSERT_TRUE(plan.ok());
+  auto m = engine.Execute(*plan);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  const std::vector<Row>& rows = m->outputs.at("o");
+  ASSERT_GT(rows.size(), 10u);
+  // Globally sorted on (B, C) — positions 1, 2 of the output schema.
+  for (size_t i = 1; i < rows.size(); ++i) {
+    auto prev = std::make_pair(rows[i - 1][1], rows[i - 1][2]);
+    auto cur = std::make_pair(rows[i][1], rows[i][2]);
+    EXPECT_LE(prev, cur) << "row " << i;
+  }
+}
+
+TEST(RangeExecutorTest, EqualKeysStayTogether) {
+  // Aggregating over range-partitioned data must be exact: grouping on B
+  // downstream of a range exchange on B relies on co-location.
+  OptimizerConfig config;
+  config.cluster.machines = 8;
+  Engine engine(MakeExecutionCatalog(5000), config);
+  const char* script =
+      "R0 = EXTRACT A,B,D FROM \"test.log\" USING X;\n"
+      "R  = SELECT B,Sum(D) AS S FROM R0 GROUP BY B ORDER BY B;\n"
+      "OUTPUT R TO \"o\";";
+  auto compiled = engine.Compile(script);
+  ASSERT_TRUE(compiled.ok());
+  auto plan = engine.Optimize(*compiled, OptimizerMode::kConventional);
+  ASSERT_TRUE(plan.ok());
+  auto m = engine.Execute(*plan);
+  ASSERT_TRUE(m.ok());
+  // One row per distinct B (ndv(B)=50 in the execution catalog).
+  std::set<int64_t> bs;
+  for (const Row& r : m->outputs.at("o")) {
+    EXPECT_TRUE(bs.insert(r[0].as_int()).second)
+        << "duplicate group " << r[0].as_int();
+  }
+  EXPECT_EQ(bs.size(), 50u);
+}
+
+TEST(RangeExecutorTest, OrderedSharedOutputAcrossModes) {
+  OptimizerConfig config;
+  config.cluster.machines = 8;
+  Engine engine(MakeExecutionCatalog(8000), config);
+  const char* script =
+      "R0 = EXTRACT A,B,C,D FROM \"test.log\" USING X;\n"
+      "R  = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;\n"
+      "R1 = SELECT A,B,Sum(S) AS S1 FROM R GROUP BY A,B ORDER BY B,A;\n"
+      "R2 = SELECT B,C,Sum(S) AS S2 FROM R GROUP BY B,C;\n"
+      "OUTPUT R1 TO \"o1\";\nOUTPUT R2 TO \"o2\";";
+  auto compiled = engine.Compile(script);
+  ASSERT_TRUE(compiled.ok());
+  for (OptimizerMode mode :
+       {OptimizerMode::kConventional, OptimizerMode::kNaiveSharing,
+        OptimizerMode::kCse}) {
+    auto plan = engine.Optimize(*compiled, mode);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    auto m = engine.Execute(*plan);
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+    const std::vector<Row>& rows = m->outputs.at("o1");
+    for (size_t i = 1; i < rows.size(); ++i) {
+      auto prev = std::make_pair(rows[i - 1][1], rows[i - 1][0]);
+      auto cur = std::make_pair(rows[i][1], rows[i][0]);
+      EXPECT_LE(prev, cur);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scx

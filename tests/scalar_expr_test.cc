@@ -1,0 +1,235 @@
+// Scalar-expression tests: parsing precedence, binding/type checks, the
+// Compute operator through the optimizer and executor, expressions as
+// aggregate arguments, and CSE interaction (equal computed subexpressions
+// merge; properties pass through passthrough columns).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "api/engine.h"
+#include "plan/scalar.h"
+#include "script/parser.h"
+#include "workload/paper_scripts.h"
+
+namespace scx {
+namespace {
+
+ExecMetrics RunScript(const std::string& script, OptimizerMode mode,
+                      int64_t rows = 2000) {
+  OptimizerConfig config;
+  config.cluster.machines = 4;
+  Engine engine(MakeExecutionCatalog(rows), config);
+  auto compiled = engine.Compile(script);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto optimized = engine.Optimize(*compiled, mode);
+  EXPECT_TRUE(optimized.ok()) << optimized.status().ToString();
+  auto metrics = engine.Execute(*optimized);
+  EXPECT_TRUE(metrics.ok()) << metrics.status().ToString();
+  return std::move(metrics.value());
+}
+
+TEST(ScalarExprTest, EvaluateArithmetic) {
+  Schema schema({{0, "A", "", DataType::kInt64},
+                 {1, "B", "", DataType::kInt64}});
+  Row row = {Value::Int(7), Value::Int(3)};
+  auto a = ScalarExpr::Column(0);
+  auto b = ScalarExpr::Column(1);
+  auto sum = ScalarExpr::Binary(ScalarExpr::BinOp::kAdd, a, b);
+  auto prod = ScalarExpr::Binary(ScalarExpr::BinOp::kMul, a, b);
+  auto diff = ScalarExpr::Binary(ScalarExpr::BinOp::kSub, a, b);
+  auto quot = ScalarExpr::Binary(ScalarExpr::BinOp::kDiv, a, b);
+  EXPECT_EQ(sum->Evaluate(row, schema), Value::Int(10));
+  EXPECT_EQ(prod->Evaluate(row, schema), Value::Int(21));
+  EXPECT_EQ(diff->Evaluate(row, schema), Value::Int(4));
+  EXPECT_TRUE(quot->Evaluate(row, schema).is_double());
+  EXPECT_NEAR(quot->Evaluate(row, schema).as_double(), 7.0 / 3.0, 1e-12);
+}
+
+TEST(ScalarExprTest, DivisionByZeroYieldsZero) {
+  Schema schema({{0, "A", "", DataType::kInt64}});
+  Row row = {Value::Int(5)};
+  auto quot = ScalarExpr::Binary(ScalarExpr::BinOp::kDiv,
+                                 ScalarExpr::Column(0),
+                                 ScalarExpr::Literal(Value::Int(0)));
+  EXPECT_DOUBLE_EQ(quot->Evaluate(row, schema).as_double(), 0.0);
+}
+
+TEST(ScalarExprTest, HashRemapAndEquality) {
+  auto e1 = ScalarExpr::Binary(ScalarExpr::BinOp::kAdd,
+                               ScalarExpr::Column(1), ScalarExpr::Column(2));
+  auto e2 = ScalarExpr::Binary(ScalarExpr::BinOp::kAdd,
+                               ScalarExpr::Column(11), ScalarExpr::Column(12));
+  EXPECT_NE(e1->Hash(), e2->Hash());
+  std::map<ColumnId, ColumnId> remap = {{11, 1}, {12, 2}};
+  EXPECT_TRUE(e1->EqualsMapped(*e2, remap));
+  EXPECT_FALSE(e1->EqualsMapped(*e2, {}));
+  auto e3 = e2->Remap(remap);
+  EXPECT_EQ(e1->Hash(), e3->Hash());
+  EXPECT_TRUE(e1->EqualsMapped(*e3, {}));
+}
+
+TEST(ScalarParserTest, PrecedenceAndParens) {
+  auto ast = ParseScript(
+      "R = SELECT A+B*C AS X,(A+B)*C AS Y FROM R0;\nOUTPUT R TO \"o\";");
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  const auto& items = ast->statements[0].query.select.items;
+  ASSERT_NE(items[0].scalar, nullptr);
+  // A + (B*C): top op is '+'.
+  EXPECT_EQ(items[0].scalar->op, '+');
+  EXPECT_EQ(items[0].scalar->rhs->op, '*');
+  // (A+B) * C: top op is '*'.
+  EXPECT_EQ(items[1].scalar->op, '*');
+  EXPECT_EQ(items[1].scalar->lhs->op, '+');
+}
+
+TEST(ScalarParserTest, BareColumnStaysPlain) {
+  auto ast = ParseScript("R = SELECT A FROM R0;\nOUTPUT R TO \"o\";");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ(ast->statements[0].query.select.items[0].scalar, nullptr);
+}
+
+TEST(ScalarBindTest, StringArithmeticRejected) {
+  Catalog catalog;
+  FileDef def;
+  def.path = "s.log";
+  def.row_count = 10;
+  def.columns = {{"S", DataType::kString, 5, 8},
+                 {"N", DataType::kInt64, 5, 8}};
+  ASSERT_TRUE(catalog.RegisterFile(def).ok());
+  Engine engine(std::move(catalog));
+  auto r = engine.Compile(
+      "E = EXTRACT S,N FROM \"s.log\" USING X;\n"
+      "R = SELECT S+N AS X FROM E;\nOUTPUT R TO \"o\";");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("STRING"), std::string::npos);
+}
+
+TEST(ScalarExecTest, ComputedSelectItem) {
+  ExecMetrics m = RunScript(
+      "R0 = EXTRACT A,D FROM \"test.log\" USING X;\n"
+      "R  = SELECT A,D,A*1000+D AS K,D/2 AS H FROM R0;\n"
+      "OUTPUT R TO \"o\";",
+      OptimizerMode::kConventional, 500);
+  ASSERT_EQ(m.outputs.at("o").size(), 500u);
+  for (const Row& r : m.outputs.at("o")) {
+    EXPECT_EQ(r[2].as_int(), r[0].as_int() * 1000 + r[1].as_int());
+    EXPECT_NEAR(r[3].as_double(), static_cast<double>(r[1].as_int()) / 2.0,
+                1e-12);
+  }
+}
+
+TEST(ScalarExecTest, ExpressionAsAggregateArgument) {
+  // Sum(D*2) must equal 2*Sum(D).
+  ExecMetrics m = RunScript(
+      "R0 = EXTRACT A,D FROM \"test.log\" USING X;\n"
+      "R  = SELECT A,Sum(D*2) AS S2,Sum(D) AS S FROM R0 GROUP BY A;\n"
+      "OUTPUT R TO \"o\";",
+      OptimizerMode::kConventional);
+  ASSERT_FALSE(m.outputs.at("o").empty());
+  for (const Row& r : m.outputs.at("o")) {
+    EXPECT_EQ(r[1].as_int(), 2 * r[2].as_int());
+  }
+}
+
+TEST(ScalarExecTest, ComputedItemOverGroupColumns) {
+  ExecMetrics m = RunScript(
+      "R0 = EXTRACT A,B,D FROM \"test.log\" USING X;\n"
+      "R  = SELECT A,B,A*100+B AS Key,Sum(D) AS S FROM R0 GROUP BY A,B;\n"
+      "OUTPUT R TO \"o\";",
+      OptimizerMode::kConventional);
+  ASSERT_FALSE(m.outputs.at("o").empty());
+  for (const Row& r : m.outputs.at("o")) {
+    EXPECT_EQ(r[2].as_int(), r[0].as_int() * 100 + r[1].as_int());
+  }
+}
+
+TEST(ScalarBindTest, ComputedItemOutsideGroupColumnsRejected) {
+  Engine engine(MakePaperCatalog());
+  auto r = engine.Compile(
+      "R0 = EXTRACT A,B,D FROM \"test.log\" USING X;\n"
+      "R  = SELECT A,A+D AS X,Sum(D) AS S FROM R0 GROUP BY A;\n"
+      "OUTPUT R TO \"o\";");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("GROUP BY"), std::string::npos);
+}
+
+TEST(ScalarCseTest, SharedComputedSubexpressionAcrossModes) {
+  const char* script =
+      "R0 = EXTRACT A,B,C,D FROM \"test.log\" USING X;\n"
+      "R  = SELECT A,B,Sum(D*D) AS S FROM R0 GROUP BY A,B;\n"
+      "R1 = SELECT A,Sum(S) AS T FROM R GROUP BY A;\n"
+      "R2 = SELECT B,Max(S) AS T FROM R GROUP BY B;\n"
+      "OUTPUT R1 TO \"o1\";\nOUTPUT R2 TO \"o2\";";
+  ExecMetrics conv = RunScript(script, OptimizerMode::kConventional);
+  ExecMetrics cse = RunScript(script, OptimizerMode::kCse);
+  EXPECT_TRUE(SameOutputs(conv, cse));
+}
+
+TEST(ScalarCseTest, IdenticalComputedExpressionsMerge) {
+  // Two separately written identical computed pipelines merge by
+  // fingerprint, including the ScalarExpr payload comparison.
+  const char* script =
+      "A0 = EXTRACT A,B,C,D FROM \"test.log\" USING X;\n"
+      "A1 = SELECT A,A*10+B AS K,D FROM A0;\n"
+      "B0 = EXTRACT A,B,C,D FROM \"test.log\" USING X;\n"
+      "B1 = SELECT A,A*10+B AS K,D FROM B0;\n"
+      "A2 = SELECT K,Sum(D) AS S FROM A1 GROUP BY K;\n"
+      "B2 = SELECT A,Max(D) AS M FROM B1 GROUP BY A;\n"
+      "OUTPUT A2 TO \"a\";\nOUTPUT B2 TO \"b\";";
+  Engine engine(MakePaperCatalog());
+  auto compiled = engine.Compile(script);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto cse = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(cse.ok()) << cse.status().ToString();
+  EXPECT_GE(cse->result.diagnostics.merged_subexpressions, 1);
+}
+
+TEST(ScalarCseTest, DifferentComputedExpressionsDoNotMerge) {
+  const char* script =
+      "A0 = EXTRACT A,B,D FROM \"test.log\" USING X;\n"
+      "A1 = SELECT A,A*10+B AS K FROM A0;\n"
+      "B1 = SELECT A,A*11+B AS K FROM A0;\n"
+      "OUTPUT A1 TO \"a\";\nOUTPUT B1 TO \"b\";";
+  Engine engine(MakePaperCatalog());
+  auto compiled = engine.Compile(script);
+  ASSERT_TRUE(compiled.ok());
+  auto cse = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(cse.ok());
+  EXPECT_EQ(cse->result.diagnostics.merged_subexpressions, 0);
+  // A0 itself is explicitly shared.
+  EXPECT_EQ(cse->result.diagnostics.explicit_shared, 1);
+}
+
+TEST(ScalarOptimizerTest, PropertiesPassThroughPassthroughColumns) {
+  // Grouping above a Compute on passthrough columns should not force an
+  // extra exchange above the Compute.
+  Engine engine(MakePaperCatalog());
+  auto compiled = engine.Compile(
+      "R0 = EXTRACT A,B,D FROM \"test.log\" USING X;\n"
+      "C  = SELECT A,B,D,D*2 AS DD FROM R0;\n"
+      "R  = SELECT A,B,Sum(DD) AS S FROM C GROUP BY A,B;\n"
+      "OUTPUT R TO \"o\";");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto plan = engine.Optimize(*compiled, OptimizerMode::kConventional);
+  ASSERT_TRUE(plan.ok());
+  // Exactly one exchange in the whole plan (below or above the compute, but
+  // not both).
+  int exchanges = 0;
+  std::vector<PhysicalNodePtr> stack = {plan->plan()};
+  std::set<const PhysicalNode*> seen;
+  while (!stack.empty()) {
+    auto n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n.get()).second) continue;
+    if (n->kind == PhysicalOpKind::kHashExchange ||
+        n->kind == PhysicalOpKind::kMergeExchange) {
+      ++exchanges;
+    }
+    for (const auto& c : n->children) stack.push_back(c);
+  }
+  EXPECT_EQ(exchanges, 1) << plan->Explain();
+}
+
+}  // namespace
+}  // namespace scx

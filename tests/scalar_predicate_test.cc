@@ -1,0 +1,152 @@
+// Scalar expressions inside WHERE / HAVING: parsing, desugaring through a
+// Compute with temporary columns, schema restoration, join-side
+// classification, and runtime semantics.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "opt/plan_validator.h"
+#include "workload/paper_scripts.h"
+
+namespace scx {
+namespace {
+
+ExecMetrics RunScript(const std::string& script,
+                      OptimizerMode mode = OptimizerMode::kConventional,
+                      int64_t rows = 2000) {
+  OptimizerConfig config;
+  config.cluster.machines = 4;
+  Engine engine(MakeExecutionCatalog(rows), config);
+  auto compiled = engine.Compile(script);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto optimized = engine.Optimize(*compiled, mode);
+  EXPECT_TRUE(optimized.ok()) << optimized.status().ToString();
+  EXPECT_TRUE(ValidatePlan(optimized->plan()).ok());
+  auto metrics = engine.Execute(*optimized);
+  EXPECT_TRUE(metrics.ok()) << metrics.status().ToString();
+  return std::move(metrics.value());
+}
+
+TEST(ScalarPredicateTest, WhereExpressionFilters) {
+  ExecMetrics m = RunScript(
+      "R0 = EXTRACT A,B,D FROM \"test.log\" USING X;\n"
+      "F  = SELECT A,B,D FROM R0 WHERE A+B > 40;\n"
+      "OUTPUT F TO \"o\";");
+  ASSERT_FALSE(m.outputs.at("o").empty());
+  for (const Row& r : m.outputs.at("o")) {
+    EXPECT_GT(r[0].as_int() + r[1].as_int(), 40);
+  }
+}
+
+TEST(ScalarPredicateTest, BothSidesComposite) {
+  ExecMetrics m = RunScript(
+      "R0 = EXTRACT A,B,D FROM \"test.log\" USING X;\n"
+      "F  = SELECT A,B,D FROM R0 WHERE A*10 < B+D;\n"
+      "OUTPUT F TO \"o\";");
+  for (const Row& r : m.outputs.at("o")) {
+    EXPECT_LT(r[0].as_int() * 10, r[1].as_int() + r[2].as_int());
+  }
+}
+
+TEST(ScalarPredicateTest, SchemaRestoredAboveDesugaredFilter) {
+  // The comparison temporaries must not leak into the result schema.
+  Engine engine(MakePaperCatalog());
+  auto compiled = engine.Compile(
+      "R0 = EXTRACT A,B,D FROM \"test.log\" USING X;\n"
+      "F  = SELECT A,B,D FROM R0 WHERE A+B > 40;\n"
+      "OUTPUT F TO \"o\";");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const LogicalNodePtr& f = compiled->bound.results.at("F");
+  EXPECT_EQ(f->schema().NumColumns(), 3);
+  for (const ColumnInfo& c : f->schema().columns()) {
+    EXPECT_NE(c.name.rfind("cmp_", 0), 0u) << c.name;
+  }
+}
+
+TEST(ScalarPredicateTest, HavingExpression) {
+  ExecMetrics m = RunScript(
+      "R0 = EXTRACT A,B,D FROM \"test.log\" USING X;\n"
+      "R  = SELECT A,Sum(D) AS S,Count(*) AS N FROM R0 GROUP BY A "
+      "HAVING S/N > 240;\n"
+      "OUTPUT R TO \"o\";");
+  for (const Row& r : m.outputs.at("o")) {
+    double mean = static_cast<double>(r[1].as_int()) /
+                  static_cast<double>(r[2].as_int());
+    EXPECT_GT(mean, 240.0);
+  }
+}
+
+TEST(ScalarPredicateTest, JoinSideClassification) {
+  // A composite predicate resolving only on one side becomes a pre-join
+  // filter on that side.
+  ExecMetrics m = RunScript(
+      "R0 = EXTRACT A,B,D FROM \"test.log\" USING X;\n"
+      "T0 = EXTRACT A,B,D FROM \"test2.log\" USING X;\n"
+      "RA = SELECT A,Sum(D) AS S FROM R0 GROUP BY A;\n"
+      "TA = SELECT A,Sum(D) AS T FROM T0 GROUP BY A;\n"
+      "J  = SELECT RA.A,S,T FROM RA,TA WHERE RA.A=TA.A AND S*2 > 120000;\n"
+      "OUTPUT J TO \"j\";");
+  for (const Row& r : m.outputs.at("j")) {
+    EXPECT_GT(r[1].as_int() * 2, 120000);
+  }
+}
+
+TEST(ScalarPredicateTest, CompositeAgainstOtherSideColumnRejected) {
+  // `S*2 > T` mixes a left-side expression with a right-side column; that
+  // would require post-join computation, which the dialect rejects.
+  Engine engine(MakePaperCatalog());
+  auto r = engine.Compile(
+      "R0 = EXTRACT A,B,D FROM \"test.log\" USING X;\n"
+      "T0 = EXTRACT A,B,D FROM \"test2.log\" USING X;\n"
+      "RA = SELECT A,Sum(D) AS S FROM R0 GROUP BY A;\n"
+      "TA = SELECT A,Sum(D) AS T FROM T0 GROUP BY A;\n"
+      "J  = SELECT RA.A,S,T FROM RA,TA WHERE RA.A=TA.A AND S*2 > T;\n"
+      "OUTPUT J TO \"j\";");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("one join side"), std::string::npos);
+}
+
+TEST(ScalarPredicateTest, CrossSideCompositeRejected) {
+  Engine engine(MakePaperCatalog());
+  auto r = engine.Compile(
+      "R0 = EXTRACT A,B,D FROM \"test.log\" USING X;\n"
+      "T0 = EXTRACT A,B,D FROM \"test2.log\" USING X;\n"
+      "RA = SELECT A,Sum(D) AS S FROM R0 GROUP BY A;\n"
+      "TA = SELECT A,Sum(D) AS T FROM T0 GROUP BY A;\n"
+      "J  = SELECT RA.A,S,T FROM RA,TA WHERE RA.A=TA.A AND S+T > 10;\n"
+      "OUTPUT J TO \"j\";");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("one join side"), std::string::npos);
+}
+
+TEST(ScalarPredicateTest, MatchesManualFilterSemantics) {
+  // `WHERE D-100 > 50` ≡ `WHERE D > 150`.
+  ExecMetrics a = RunScript(
+      "R0 = EXTRACT A,D FROM \"test.log\" USING X;\n"
+      "F  = SELECT A,D FROM R0 WHERE D-100 > 50;\nOUTPUT F TO \"o\";");
+  ExecMetrics b = RunScript(
+      "R0 = EXTRACT A,D FROM \"test.log\" USING X;\n"
+      "F  = SELECT A,D FROM R0 WHERE D > 150;\nOUTPUT F TO \"o\";");
+  EXPECT_TRUE(SameOutputs(a, b));
+}
+
+TEST(ScalarPredicateTest, SharedSubexpressionStillExploited) {
+  const char* script =
+      "R0 = EXTRACT A,B,C,D FROM \"test.log\" USING X;\n"
+      "R  = SELECT A,B,C,Sum(D) AS S FROM R0 WHERE A+B > 10 "
+      "GROUP BY A,B,C;\n"
+      "R1 = SELECT A,B,Sum(S) AS S1 FROM R GROUP BY A,B;\n"
+      "R2 = SELECT B,C,Sum(S) AS S2 FROM R GROUP BY B,C;\n"
+      "OUTPUT R1 TO \"o1\";\nOUTPUT R2 TO \"o2\";";
+  Engine engine(MakePaperCatalog());
+  auto c = engine.Compare(script);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c->cse.result.diagnostics.num_shared_groups, 1);
+  EXPECT_LT(c->cse.cost(), c->conventional.cost());
+  ExecMetrics conv = RunScript(script, OptimizerMode::kConventional);
+  ExecMetrics cse = RunScript(script, OptimizerMode::kCse);
+  EXPECT_TRUE(SameOutputs(conv, cse));
+}
+
+}  // namespace
+}  // namespace scx

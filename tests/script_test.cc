@@ -1,0 +1,205 @@
+// Lexer and parser tests for the SCOPE-dialect script language.
+
+#include <gtest/gtest.h>
+
+#include "script/lexer.h"
+#include "script/parser.h"
+
+namespace scx {
+namespace {
+
+TEST(LexerTest, TokenizesSymbolsAndIdentifiers) {
+  auto tokens = Tokenize("R1 = SELECT a.b, Sum(c) FROM x;");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kIdent, TokenKind::kEq, TokenKind::kIdent,
+                       TokenKind::kIdent, TokenKind::kDot, TokenKind::kIdent,
+                       TokenKind::kComma, TokenKind::kIdent,
+                       TokenKind::kLParen, TokenKind::kIdent,
+                       TokenKind::kRParen, TokenKind::kIdent,
+                       TokenKind::kIdent, TokenKind::kSemicolon,
+                       TokenKind::kEnd}));
+}
+
+TEST(LexerTest, StringLiteralsStripQuotes) {
+  auto tokens = Tokenize("OUTPUT R TO \"a/b.out\";");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[3].text, "a/b.out");
+}
+
+TEST(LexerTest, NumbersIntAndReal) {
+  auto tokens = Tokenize("WHERE A > 42 AND B < 3.25");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kInt);
+  EXPECT_EQ((*tokens)[3].text, "42");
+  EXPECT_EQ((*tokens)[7].kind, TokenKind::kReal);
+  EXPECT_EQ((*tokens)[7].text, "3.25");
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = Tokenize("= == != <> < <= > >=");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kEq, TokenKind::kEq, TokenKind::kNe,
+                       TokenKind::kNe, TokenKind::kLt, TokenKind::kLe,
+                       TokenKind::kGt, TokenKind::kGe, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = Tokenize("A // comment to end of line\n= 1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->size(), 4u);  // A, =, 1, end
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  auto tokens = Tokenize("A\nB\n  C");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[2].line, 3);
+  EXPECT_EQ((*tokens)[2].column, 3);
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_FALSE(Tokenize("OUTPUT R TO \"oops").ok());
+}
+
+TEST(LexerTest, UnknownCharacterIsError) {
+  auto r = Tokenize("A ? B");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, KeywordMatchIsCaseInsensitive) {
+  auto tokens = Tokenize("select Select SELECT");
+  ASSERT_TRUE(tokens.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE((*tokens)[i].IsKeyword("SELECT"));
+  }
+  EXPECT_FALSE((*tokens)[0].IsKeyword("SELECTX"));
+  EXPECT_FALSE((*tokens)[0].IsKeyword("SEL"));
+}
+
+// --- parser ---
+
+TEST(ParserTest, ParsesExtract) {
+  auto script = ParseScript(
+      "R0 = EXTRACT A,B,C,D FROM \"test.log\" USING LogExtractor;\n"
+      "OUTPUT R0 TO \"o.out\";");
+  ASSERT_TRUE(script.ok());
+  ASSERT_EQ(script->statements.size(), 2u);
+  const AstStatement& s = script->statements[0];
+  EXPECT_EQ(s.kind, AstStatement::Kind::kAssign);
+  EXPECT_EQ(s.target, "R0");
+  ASSERT_EQ(s.query.kind, AstQuery::Kind::kExtract);
+  EXPECT_EQ(s.query.extract.columns,
+            (std::vector<std::string>{"A", "B", "C", "D"}));
+  EXPECT_EQ(s.query.extract.path, "test.log");
+  EXPECT_EQ(s.query.extract.extractor, "LogExtractor");
+}
+
+TEST(ParserTest, ParsesSelectWithGroupByAndAlias) {
+  auto script = ParseScript(
+      "R = SELECT A,B,Sum(D) AS S FROM R0 GROUP BY A,B;\n"
+      "OUTPUT R TO \"o.out\";");
+  ASSERT_TRUE(script.ok());
+  const AstSelect& sel = script->statements[0].query.select;
+  ASSERT_EQ(sel.items.size(), 3u);
+  EXPECT_FALSE(sel.items[0].is_aggregate);
+  EXPECT_EQ(sel.items[0].column.name, "A");
+  EXPECT_TRUE(sel.items[2].is_aggregate);
+  EXPECT_EQ(sel.items[2].fn, AggFn::kSum);
+  EXPECT_EQ(sel.items[2].column.name, "D");
+  EXPECT_EQ(sel.items[2].alias, "S");
+  ASSERT_EQ(sel.group_by.size(), 2u);
+  EXPECT_EQ(sel.group_by[1].name, "B");
+}
+
+TEST(ParserTest, ParsesJoinWithQualifiedPredicate) {
+  auto script = ParseScript(
+      "RR = SELECT R1.B,A,C FROM R1,R2 WHERE R1.B=R2.B AND A > 3;\n"
+      "OUTPUT RR TO \"o.out\";");
+  ASSERT_TRUE(script.ok());
+  const AstSelect& sel = script->statements[0].query.select;
+  EXPECT_EQ(sel.sources, (std::vector<std::string>{"R1", "R2"}));
+  ASSERT_EQ(sel.where.size(), 2u);
+  EXPECT_EQ(sel.where[0].lhs.qualifier, "R1");
+  EXPECT_EQ(sel.where[0].lhs.name, "B");
+  EXPECT_TRUE(sel.where[0].rhs_is_column);
+  EXPECT_EQ(sel.where[0].rhs_column.qualifier, "R2");
+  EXPECT_FALSE(sel.where[1].rhs_is_column);
+  EXPECT_EQ(sel.where[1].op, CompareOp::kGt);
+  EXPECT_EQ(sel.where[1].rhs_literal, Value::Int(3));
+  EXPECT_EQ(sel.items[0].column.ToString(), "R1.B");
+}
+
+TEST(ParserTest, CountStarAndAllAggregates) {
+  auto script = ParseScript(
+      "R = SELECT A,Count(*) AS N,Min(D) AS LO,Max(D) AS HI,Avg(D) AS M,"
+      "Count(D) AS ND FROM R0 GROUP BY A;\nOUTPUT R TO \"o\";");
+  ASSERT_TRUE(script.ok());
+  const AstSelect& sel = script->statements[0].query.select;
+  EXPECT_TRUE(sel.items[1].count_star);
+  EXPECT_EQ(sel.items[1].fn, AggFn::kCount);
+  EXPECT_EQ(sel.items[2].fn, AggFn::kMin);
+  EXPECT_EQ(sel.items[3].fn, AggFn::kMax);
+  EXPECT_EQ(sel.items[4].fn, AggFn::kAvg);
+  EXPECT_FALSE(sel.items[5].count_star);
+}
+
+TEST(ParserTest, OutputStatement) {
+  auto script = ParseScript("OUTPUT R1 TO \"result1.out\";");
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->statements[0].kind, AstStatement::Kind::kOutput);
+  EXPECT_EQ(script->statements[0].output_rel, "R1");
+  EXPECT_EQ(script->statements[0].output_path, "result1.out");
+}
+
+TEST(ParserTest, ErrorsAreDescriptive) {
+  auto r = ParseScript("R = SELECT FROM x;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsMissingSemicolon) {
+  EXPECT_FALSE(ParseScript("OUTPUT R TO \"x\"").ok());
+}
+
+TEST(ParserTest, RejectsStarOutsideCount) {
+  EXPECT_FALSE(
+      ParseScript("R = SELECT Sum(*) FROM X; OUTPUT R TO \"o\";").ok());
+}
+
+TEST(ParserTest, RejectsUnknownAggregate) {
+  EXPECT_FALSE(
+      ParseScript("R = SELECT Median(D) FROM X; OUTPUT R TO \"o\";").ok());
+}
+
+TEST(ParserTest, RejectsThreeWayFrom) {
+  EXPECT_FALSE(
+      ParseScript("R = SELECT A FROM X,Y,Z; OUTPUT R TO \"o\";").ok());
+}
+
+TEST(ParserTest, RejectsEmptyScript) {
+  EXPECT_FALSE(ParseScript("").ok());
+  EXPECT_FALSE(ParseScript("// nothing but a comment").ok());
+}
+
+TEST(ParserTest, PredicateLiteralKinds) {
+  auto script = ParseScript(
+      "R = SELECT A FROM X WHERE A = 1 AND A < 2.5 AND A != \"s\";\n"
+      "OUTPUT R TO \"o\";");
+  ASSERT_TRUE(script.ok());
+  const auto& where = script->statements[0].query.select.where;
+  EXPECT_TRUE(where[0].rhs_literal.is_int());
+  EXPECT_TRUE(where[1].rhs_literal.is_double());
+  EXPECT_TRUE(where[2].rhs_literal.is_string());
+}
+
+}  // namespace
+}  // namespace scx

@@ -1,0 +1,256 @@
+// Tests for paper Sec. VI: shared-group propagation, consumer sets, and LCA
+// identification — including the paper's Fig. 3(c) case where the LCA is
+// NOT the lowest common ancestor, and the agreement between the paper's
+// Algorithm 3 and the independent post-dominator construction.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/fingerprint.h"
+#include "core/shared_info.h"
+#include "plan/binder.h"
+#include "script/parser.h"
+#include "workload/large_scripts.h"
+#include "workload/paper_scripts.h"
+
+namespace scx {
+namespace {
+
+struct Prepared {
+  Memo memo;
+  SharedInfo info;
+};
+
+Prepared Prepare(const std::string& script) {
+  Catalog catalog = MakePaperCatalog();
+  auto ast = ParseScript(script);
+  EXPECT_TRUE(ast.ok()) << ast.status().ToString();
+  auto bound = BindScript(*ast, catalog);
+  EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+  Memo memo = Memo::FromLogicalDag(bound->root);
+  IdentifyCommonSubexpressions(&memo, {});
+  SharedInfo info = SharedInfo::Compute(memo);
+  return {std::move(memo), std::move(info)};
+}
+
+LogicalOpKind KindOf(const Memo& memo, GroupId g) {
+  return memo.group(g).initial_expr().op->kind();
+}
+
+TEST(SharedInfoTest, Fig3aLcaIsSequenceRoot) {
+  Prepared p = Prepare(kScriptFig3a);
+  ASSERT_EQ(p.info.shared_groups().size(), 1u);
+  GroupId spool = p.info.shared_groups()[0];
+  EXPECT_EQ(p.info.ConsumersOf(spool).size(), 2u);
+  // Paper Fig. 3(a): the consumers' paths only meet at the Sequence root.
+  GroupId lca = p.info.LcaOf(spool);
+  EXPECT_EQ(lca, p.memo.root());
+  EXPECT_EQ(KindOf(p.memo, lca), LogicalOpKind::kSequence);
+}
+
+TEST(SharedInfoTest, Fig3cLcaIsNotLowestCommonAncestor) {
+  // Fig. 3(c): consumers R1, R2 feed both a Join and their own Outputs.
+  // The Join is their lowest common ancestor but some consumer→root paths
+  // (through the direct outputs) bypass it, so the LCA is the root.
+  Prepared p = Prepare(kScriptFig3c);
+  // Shared groups: R, R1, R2. Find R's spool: the one whose consumers are
+  // both GbAgg groups.
+  GroupId r_spool = kInvalidGroup;
+  for (GroupId s : p.info.shared_groups()) {
+    bool all_aggs = true;
+    for (GroupId c : p.info.ConsumersOf(s)) {
+      if (KindOf(p.memo, c) != LogicalOpKind::kGbAgg) all_aggs = false;
+    }
+    if (all_aggs && p.info.ConsumersOf(s).size() == 2) r_spool = s;
+  }
+  ASSERT_NE(r_spool, kInvalidGroup);
+  GroupId lca = p.info.LcaOf(r_spool);
+  EXPECT_EQ(lca, p.memo.root());
+  EXPECT_EQ(KindOf(p.memo, lca), LogicalOpKind::kSequence);
+  // The join IS a common ancestor of both consumers but must not be chosen.
+  for (GroupId g : p.memo.TopologicalOrder()) {
+    if (KindOf(p.memo, g) == LogicalOpKind::kJoin) {
+      EXPECT_NE(lca, g);
+    }
+  }
+}
+
+TEST(SharedInfoTest, S3HasTwoSharedGroupsWithDifferentLcas) {
+  Prepared p = Prepare(kScriptS3);
+  ASSERT_EQ(p.info.shared_groups().size(), 2u);
+  GroupId s0 = p.info.shared_groups()[0];
+  GroupId s1 = p.info.shared_groups()[1];
+  // Each branch's consumers meet at that branch's Join (all consumer paths
+  // pass through it before the root).
+  EXPECT_NE(p.info.LcaOf(s0), p.info.LcaOf(s1));
+  EXPECT_EQ(KindOf(p.memo, p.info.LcaOf(s0)), LogicalOpKind::kJoin);
+  EXPECT_EQ(KindOf(p.memo, p.info.LcaOf(s1)), LogicalOpKind::kJoin);
+}
+
+TEST(SharedInfoTest, Algorithm3AgreesWithPostDominators) {
+  for (const char* script :
+       {kScriptS1, kScriptS2, kScriptS3, kScriptS4, kScriptFig3c}) {
+    Prepared p = Prepare(script);
+    for (GroupId s : p.info.shared_groups()) {
+      ASSERT_TRUE(p.info.algorithm3_lca().count(s))
+          << "Algorithm 3 found no LCA for shared group " << s;
+      EXPECT_EQ(p.info.algorithm3_lca().at(s), p.info.LcaOf(s))
+          << "script disagreement at shared group " << s;
+    }
+  }
+}
+
+TEST(SharedInfoTest, Algorithm3AgreesOnLs1Dag) {
+  GeneratedScript gen = GenerateLargeScript(Ls1Spec());
+  auto ast = ParseScript(gen.text);
+  ASSERT_TRUE(ast.ok());
+  auto bound = BindScript(*ast, gen.catalog);
+  ASSERT_TRUE(bound.ok());
+  Memo memo = Memo::FromLogicalDag(bound->root);
+  IdentifyCommonSubexpressions(&memo, {});
+  SharedInfo info = SharedInfo::Compute(memo);
+  ASSERT_EQ(info.shared_groups().size(), 4u);
+  for (GroupId s : info.shared_groups()) {
+    ASSERT_TRUE(info.algorithm3_lca().count(s));
+    EXPECT_EQ(info.algorithm3_lca().at(s), info.LcaOf(s));
+  }
+}
+
+TEST(SharedInfoTest, SharedBelowPropagatesToRoot) {
+  Prepared p = Prepare(kScriptS1);
+  GroupId spool = p.info.shared_groups()[0];
+  // Root knows about the shared group below it.
+  EXPECT_TRUE(p.info.SharedBelow(p.memo.root()).count(spool));
+  // The spool knows about itself.
+  EXPECT_TRUE(p.info.SharedBelow(spool).count(spool));
+  // The extract below the spool does not.
+  for (GroupId g : p.memo.TopologicalOrder()) {
+    if (KindOf(p.memo, g) == LogicalOpKind::kExtract) {
+      EXPECT_TRUE(p.info.SharedBelow(g).empty());
+    }
+  }
+}
+
+TEST(SharedInfoTest, SharedGroupsWithLcaInverse) {
+  Prepared p = Prepare(kScriptS3);
+  for (GroupId s : p.info.shared_groups()) {
+    auto at_lca = p.info.SharedGroupsWithLca(p.info.LcaOf(s));
+    EXPECT_NE(std::find(at_lca.begin(), at_lca.end(), s), at_lca.end());
+  }
+}
+
+TEST(SharedInfoTest, IndependenceS3BranchesAreSeparate) {
+  // S3's two shared groups have different LCAs — each LCA sees exactly one
+  // class with one group.
+  Prepared p = Prepare(kScriptS3);
+  for (GroupId s : p.info.shared_groups()) {
+    auto classes = p.info.IndependenceClassesAt(p.memo, p.info.LcaOf(s));
+    ASSERT_EQ(classes.size(), 1u);
+    EXPECT_EQ(classes[0], std::vector<GroupId>{s});
+  }
+}
+
+TEST(SharedInfoTest, IndependenceS4GroupsAreJoint) {
+  // S4: R1-spool and R2-spool share the same LCA and their consuming paths
+  // share the Join — non-independent (paper Fig. 6, S4).
+  Prepared p = Prepare(kScriptS4);
+  std::map<GroupId, std::vector<GroupId>> by_lca;
+  for (GroupId s : p.info.shared_groups()) {
+    by_lca[p.info.LcaOf(s)].push_back(s);
+  }
+  bool found_joint_class = false;
+  for (const auto& [lca, groups] : by_lca) {
+    if (groups.size() < 2) continue;
+    auto classes = p.info.IndependenceClassesAt(p.memo, lca);
+    for (const auto& cls : classes) {
+      if (cls.size() >= 2) found_joint_class = true;
+    }
+  }
+  EXPECT_TRUE(found_joint_class);
+}
+
+// Independent shared groups: two disjoint modules whose outputs meet only
+// at the Sequence root (paper Fig. 5 shape).
+TEST(SharedInfoTest, IndependenceDisjointModules) {
+  const char kTwoModules[] = R"(
+A0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+A  = SELECT A,B,C,Sum(D) AS S FROM A0 GROUP BY A,B,C;
+A1 = SELECT A,B,Sum(S) AS T FROM A GROUP BY A,B;
+A2 = SELECT B,C,Sum(S) AS T FROM A GROUP BY B,C;
+B0 = EXTRACT A,B,C,D FROM "test2.log" USING LogExtractor;
+B  = SELECT A,B,C,Sum(D) AS S FROM B0 GROUP BY A,B,C;
+B1 = SELECT A,B,Sum(S) AS T FROM B GROUP BY A,B;
+B2 = SELECT B,C,Sum(S) AS T FROM B GROUP BY B,C;
+OUTPUT A1 TO "a1.out";
+OUTPUT A2 TO "a2.out";
+OUTPUT B1 TO "b1.out";
+OUTPUT B2 TO "b2.out";
+)";
+  Prepared p = Prepare(kTwoModules);
+  ASSERT_EQ(p.info.shared_groups().size(), 2u);
+  GroupId root = p.memo.root();
+  EXPECT_EQ(p.info.LcaOf(p.info.shared_groups()[0]), root);
+  EXPECT_EQ(p.info.LcaOf(p.info.shared_groups()[1]), root);
+  auto classes = p.info.IndependenceClassesAt(p.memo, root);
+  ASSERT_EQ(classes.size(), 2u);  // independent: sequential optimization
+  EXPECT_EQ(classes[0].size(), 1u);
+  EXPECT_EQ(classes[1].size(), 1u);
+}
+
+// Randomized check: Algorithm 3 and the post-dominator LCA agree on
+// generated multi-output scripts.
+class RandomDagAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDagAgreement, Alg3MatchesPostDominators) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 7919);
+  // Generate a random script: one shared aggregate, 2-4 consumers, random
+  // subset of consumers joined pairwise, all terminals output.
+  std::uniform_int_distribution<int> consumers_dist(2, 4);
+  int consumers = consumers_dist(rng);
+  const char* group_sets[] = {"A,B", "B,C", "A,C", "B"};
+  std::string script =
+      "R0 = EXTRACT A,B,C,D FROM \"test.log\" USING X;\n"
+      "R = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;\n";
+  for (int i = 0; i < consumers; ++i) {
+    script += "C" + std::to_string(i) + " = SELECT " +
+              group_sets[i % 4] + ",Sum(S) AS T FROM R GROUP BY " +
+              group_sets[i % 4] + ";\n";
+  }
+  std::uniform_int_distribution<int> coin(0, 1);
+  bool join_first_two = consumers >= 2 && coin(rng) == 1;
+  if (join_first_two) {
+    script += "J = SELECT C0.B,C0.T AS T0,C1.T AS T1 FROM C0,C1 "
+              "WHERE C0.B=C1.B;\n";
+    script += "OUTPUT J TO \"j.out\";\n";
+  }
+  for (int i = 0; i < consumers; ++i) {
+    if (coin(rng) == 1 || !join_first_two || i >= 2) {
+      script += "OUTPUT C" + std::to_string(i) + " TO \"c" +
+                std::to_string(i) + ".out\";\n";
+    }
+  }
+  // Ensure at least one output exists.
+  if (script.find("OUTPUT") == std::string::npos) {
+    script += "OUTPUT C0 TO \"c0.out\";\n";
+  }
+  Catalog catalog = MakePaperCatalog();
+  auto ast = ParseScript(script);
+  ASSERT_TRUE(ast.ok()) << script;
+  auto bound = BindScript(*ast, catalog);
+  if (!bound.ok()) GTEST_SKIP() << bound.status().ToString();
+  Memo memo = Memo::FromLogicalDag(bound->root);
+  IdentifyCommonSubexpressions(&memo, {});
+  SharedInfo info = SharedInfo::Compute(memo);
+  for (GroupId s : info.shared_groups()) {
+    if (info.ConsumersOf(s).empty()) continue;
+    ASSERT_TRUE(info.algorithm3_lca().count(s)) << script;
+    EXPECT_EQ(info.algorithm3_lca().at(s), info.LcaOf(s)) << script;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagAgreement,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace scx

@@ -1,0 +1,237 @@
+// scx command-line driver: compile a SCOPE-dialect script against a catalog
+// description, optimize it (conventional / naive-sharing / cse), print the
+// plan and diagnostics, and optionally execute it on the simulated cluster.
+//
+// Usage:
+//   scx_cli --catalog CATFILE --script SCRIPTFILE
+//           [--mode conv|naive|cse] [--machines N] [--budget SECONDS]
+//           [--compare] [--execute] [--quiet]
+//
+// Catalog file format (one file per line, '#' comments):
+//   file <path> rows=<n> <col>:<ndv>[:int64|double|string] ...
+// Example:
+//   file test.log rows=2000000 A:40 B:400 C:40 D:10000
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "api/engine.h"
+#include "opt/plan_json.h"
+
+namespace scx {
+namespace {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Result<Catalog> ParseCatalogFile(const std::string& path) {
+  SCX_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  Catalog catalog;
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    std::istringstream words(line);
+    std::string word;
+    if (!(words >> word) || word[0] == '#') continue;
+    if (word != "file") {
+      return Status::ParseError("catalog line " + std::to_string(lineno) +
+                                ": expected 'file', got '" + word + "'");
+    }
+    FileDef def;
+    if (!(words >> def.path)) {
+      return Status::ParseError("catalog line " + std::to_string(lineno) +
+                                ": missing path");
+    }
+    std::string rows_spec;
+    if (!(words >> rows_spec) || rows_spec.rfind("rows=", 0) != 0) {
+      return Status::ParseError("catalog line " + std::to_string(lineno) +
+                                ": expected rows=<n>");
+    }
+    def.row_count = std::stoll(rows_spec.substr(5));
+    while (words >> word) {
+      // <name>:<ndv>[:<type>]
+      size_t c1 = word.find(':');
+      if (c1 == std::string::npos) {
+        return Status::ParseError("catalog line " + std::to_string(lineno) +
+                                  ": column spec '" + word +
+                                  "' needs <name>:<ndv>");
+      }
+      ColumnStats cs;
+      cs.name = word.substr(0, c1);
+      size_t c2 = word.find(':', c1 + 1);
+      std::string ndv = word.substr(
+          c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+      cs.distinct_count = std::stoll(ndv);
+      cs.type = DataType::kInt64;
+      cs.avg_width = 8;
+      if (c2 != std::string::npos) {
+        std::string type = word.substr(c2 + 1);
+        if (type == "double") {
+          cs.type = DataType::kDouble;
+        } else if (type == "string") {
+          cs.type = DataType::kString;
+          cs.avg_width = 12;
+        } else if (type != "int64") {
+          return Status::ParseError("catalog line " +
+                                    std::to_string(lineno) +
+                                    ": unknown type '" + type + "'");
+        }
+      }
+      def.columns.push_back(std::move(cs));
+    }
+    if (def.columns.empty()) {
+      return Status::ParseError("catalog line " + std::to_string(lineno) +
+                                ": file has no columns");
+    }
+    SCX_RETURN_IF_ERROR(catalog.RegisterFile(std::move(def)));
+  }
+  if (catalog.files().empty()) {
+    return Status::InvalidArgument("catalog " + path + " defines no files");
+  }
+  return catalog;
+}
+
+void PrintDiagnostics(const OptimizeDiagnostics& d) {
+  std::printf("  operators (reachable groups) : %d\n", d.reachable_groups);
+  std::printf("  shared groups                : %d (%d explicit, %d merged)\n",
+              d.num_shared_groups, d.explicit_shared,
+              d.merged_subexpressions);
+  std::printf("  phase-2 rounds               : %ld of %ld planned%s\n",
+              d.rounds_executed, d.rounds_planned,
+              d.budget_exhausted ? " (budget exhausted)" : "");
+  std::printf("  optimization time            : %.3f s\n",
+              d.optimize_seconds);
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "scx: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  std::string catalog_path, script_path, mode_name = "cse";
+  OptimizerConfig config;
+  bool compare = false, execute = false, quiet = false, json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--catalog") {
+      catalog_path = next();
+    } else if (arg == "--script") {
+      script_path = next();
+    } else if (arg == "--mode") {
+      mode_name = next();
+    } else if (arg == "--machines") {
+      config.cluster.machines = std::atoi(next());
+    } else if (arg == "--budget") {
+      config.budget_seconds = std::atof(next());
+    } else if (arg == "--compare") {
+      compare = true;
+    } else if (arg == "--execute") {
+      execute = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help") {
+      std::printf(
+          "usage: scx_cli --catalog FILE --script FILE [--mode conv|naive|"
+          "cse]\n              [--machines N] [--budget S] [--compare] "
+          "[--execute] [--quiet] [--json]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "scx: unknown flag %s (try --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (catalog_path.empty() || script_path.empty()) {
+    std::fprintf(stderr,
+                 "scx: --catalog and --script are required (try --help)\n");
+    return 2;
+  }
+
+  OptimizerMode mode;
+  if (mode_name == "conv" || mode_name == "conventional") {
+    mode = OptimizerMode::kConventional;
+  } else if (mode_name == "naive") {
+    mode = OptimizerMode::kNaiveSharing;
+  } else if (mode_name == "cse") {
+    mode = OptimizerMode::kCse;
+  } else {
+    std::fprintf(stderr, "scx: unknown mode '%s'\n", mode_name.c_str());
+    return 2;
+  }
+
+  auto catalog = ParseCatalogFile(catalog_path);
+  if (!catalog.ok()) return Fail(catalog.status());
+  auto source = ReadFileToString(script_path);
+  if (!source.ok()) return Fail(source.status());
+
+  Engine engine(std::move(catalog.value()), config);
+  auto compiled = engine.Compile(*source);
+  if (!compiled.ok()) return Fail(compiled.status());
+
+  if (compare) {
+    auto conv = engine.Optimize(*compiled, OptimizerMode::kConventional);
+    auto cse = engine.Optimize(*compiled, OptimizerMode::kCse);
+    if (!conv.ok()) return Fail(conv.status());
+    if (!cse.ok()) return Fail(cse.status());
+    std::printf("conventional cost : %.0f\n", conv->cost());
+    std::printf("cse cost          : %.0f  (%.0f%% saving)\n", cse->cost(),
+                100.0 * (1.0 - cse->cost() / conv->cost()));
+    if (!quiet) {
+      std::printf("\nCSE plan:\n%s", cse->Explain().c_str());
+    }
+    return 0;
+  }
+
+  auto optimized = engine.Optimize(*compiled, mode);
+  if (!optimized.ok()) return Fail(optimized.status());
+  if (json) {
+    std::printf("{\"plan\":%s,\"diagnostics\":%s}\n",
+                PlanToJson(optimized->plan()).c_str(),
+                DiagnosticsToJson(optimized->result.diagnostics).c_str());
+    return 0;
+  }
+  std::printf("mode            : %s\n", mode_name.c_str());
+  std::printf("estimated cost  : %.0f\n", optimized->cost());
+  PrintDiagnostics(optimized->result.diagnostics);
+  if (!quiet) {
+    std::printf("\nplan:\n%s", optimized->Explain().c_str());
+  }
+  if (execute) {
+    auto metrics = engine.Execute(*optimized);
+    if (!metrics.ok()) return Fail(metrics.status());
+    std::printf("\nexecution (simulated, %d machines):\n",
+                config.cluster.machines);
+    std::printf("  rows extracted : %lld\n",
+                static_cast<long long>(metrics->rows_extracted));
+    std::printf("  bytes shuffled : %lld\n",
+                static_cast<long long>(metrics->bytes_shuffled));
+    std::printf("  bytes spooled  : %lld\n",
+                static_cast<long long>(metrics->bytes_spooled));
+    for (const auto& [path, rows] : metrics->outputs) {
+      std::printf("  %-14s : %zu rows\n", path.c_str(), rows.size());
+    }
+  }
+  return 0;
+}
+
+}  // namespace scx
+
+int main(int argc, char** argv) { return scx::Main(argc, argv); }
