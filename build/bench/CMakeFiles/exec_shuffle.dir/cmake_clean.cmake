@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_shuffle.dir/exec_shuffle.cc.o"
+  "CMakeFiles/exec_shuffle.dir/exec_shuffle.cc.o.d"
+  "exec_shuffle"
+  "exec_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_lca.dir/fig3_lca.cc.o"
+  "CMakeFiles/fig3_lca.dir/fig3_lca.cc.o.d"
+  "fig3_lca"
+  "fig3_lca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_lca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

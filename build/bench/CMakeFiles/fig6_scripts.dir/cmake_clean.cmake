@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_scripts.dir/fig6_scripts.cc.o"
+  "CMakeFiles/fig6_scripts.dir/fig6_scripts.cc.o.d"
+  "fig6_scripts"
+  "fig6_scripts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_scripts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

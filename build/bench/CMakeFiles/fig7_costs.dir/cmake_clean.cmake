@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_costs.dir/fig7_costs.cc.o"
+  "CMakeFiles/fig7_costs.dir/fig7_costs.cc.o.d"
+  "fig7_costs"
+  "fig7_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_plans.dir/fig8_plans.cc.o"
+  "CMakeFiles/fig8_plans.dir/fig8_plans.cc.o.d"
+  "fig8_plans"
+  "fig8_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

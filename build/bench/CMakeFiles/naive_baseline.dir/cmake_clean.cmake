@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_baseline.dir/naive_baseline.cc.o"
+  "CMakeFiles/naive_baseline.dir/naive_baseline.cc.o.d"
+  "naive_baseline"
+  "naive_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

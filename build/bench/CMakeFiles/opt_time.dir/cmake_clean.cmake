@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_time.dir/opt_time.cc.o"
+  "CMakeFiles/opt_time.dir/opt_time.cc.o.d"
+  "opt_time"
+  "opt_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

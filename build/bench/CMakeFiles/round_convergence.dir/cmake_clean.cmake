@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/round_convergence.dir/round_convergence.cc.o"
+  "CMakeFiles/round_convergence.dir/round_convergence.cc.o.d"
+  "round_convergence"
+  "round_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/round_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rounds_viii.dir/rounds_viii.cc.o"
+  "CMakeFiles/rounds_viii.dir/rounds_viii.cc.o.d"
+  "rounds_viii"
+  "rounds_viii.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rounds_viii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

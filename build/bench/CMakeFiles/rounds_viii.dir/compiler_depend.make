@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rounds_viii.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for rounds_viii.
+# This may be replaced when dependencies are built.

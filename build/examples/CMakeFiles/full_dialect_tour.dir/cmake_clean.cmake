@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_dialect_tour.dir/full_dialect_tour.cpp.o"
+  "CMakeFiles/full_dialect_tour.dir/full_dialect_tour.cpp.o.d"
+  "full_dialect_tour"
+  "full_dialect_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_dialect_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_script_budget.dir/large_script_budget.cpp.o"
+  "CMakeFiles/large_script_budget.dir/large_script_budget.cpp.o.d"
+  "large_script_budget"
+  "large_script_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_script_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

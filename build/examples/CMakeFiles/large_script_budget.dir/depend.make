@@ -1,0 +1,2 @@
+# Empty dependencies file for large_script_budget.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_output_reporting.dir/multi_output_reporting.cpp.o"
+  "CMakeFiles/multi_output_reporting.dir/multi_output_reporting.cpp.o.d"
+  "multi_output_reporting"
+  "multi_output_reporting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_output_reporting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

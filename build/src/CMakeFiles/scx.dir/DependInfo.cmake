@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/engine.cc" "src/CMakeFiles/scx.dir/api/engine.cc.o" "gcc" "src/CMakeFiles/scx.dir/api/engine.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/scx.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/scx.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/common/column_set.cc" "src/CMakeFiles/scx.dir/common/column_set.cc.o" "gcc" "src/CMakeFiles/scx.dir/common/column_set.cc.o.d"
+  "/root/repo/src/common/schema.cc" "src/CMakeFiles/scx.dir/common/schema.cc.o" "gcc" "src/CMakeFiles/scx.dir/common/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/scx.dir/common/status.cc.o" "gcc" "src/CMakeFiles/scx.dir/common/status.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/scx.dir/common/value.cc.o" "gcc" "src/CMakeFiles/scx.dir/common/value.cc.o.d"
+  "/root/repo/src/core/fingerprint.cc" "src/CMakeFiles/scx.dir/core/fingerprint.cc.o" "gcc" "src/CMakeFiles/scx.dir/core/fingerprint.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/CMakeFiles/scx.dir/core/optimizer.cc.o" "gcc" "src/CMakeFiles/scx.dir/core/optimizer.cc.o.d"
+  "/root/repo/src/core/rounds.cc" "src/CMakeFiles/scx.dir/core/rounds.cc.o" "gcc" "src/CMakeFiles/scx.dir/core/rounds.cc.o.d"
+  "/root/repo/src/core/shared_info.cc" "src/CMakeFiles/scx.dir/core/shared_info.cc.o" "gcc" "src/CMakeFiles/scx.dir/core/shared_info.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/scx.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/scx.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/scx.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/scx.dir/exec/executor.cc.o.d"
+  "/root/repo/src/memo/memo.cc" "src/CMakeFiles/scx.dir/memo/memo.cc.o" "gcc" "src/CMakeFiles/scx.dir/memo/memo.cc.o.d"
+  "/root/repo/src/opt/physical_plan.cc" "src/CMakeFiles/scx.dir/opt/physical_plan.cc.o" "gcc" "src/CMakeFiles/scx.dir/opt/physical_plan.cc.o.d"
+  "/root/repo/src/opt/plan_json.cc" "src/CMakeFiles/scx.dir/opt/plan_json.cc.o" "gcc" "src/CMakeFiles/scx.dir/opt/plan_json.cc.o.d"
+  "/root/repo/src/opt/plan_validator.cc" "src/CMakeFiles/scx.dir/opt/plan_validator.cc.o" "gcc" "src/CMakeFiles/scx.dir/opt/plan_validator.cc.o.d"
+  "/root/repo/src/plan/binder.cc" "src/CMakeFiles/scx.dir/plan/binder.cc.o" "gcc" "src/CMakeFiles/scx.dir/plan/binder.cc.o.d"
+  "/root/repo/src/plan/expr.cc" "src/CMakeFiles/scx.dir/plan/expr.cc.o" "gcc" "src/CMakeFiles/scx.dir/plan/expr.cc.o.d"
+  "/root/repo/src/plan/logical_op.cc" "src/CMakeFiles/scx.dir/plan/logical_op.cc.o" "gcc" "src/CMakeFiles/scx.dir/plan/logical_op.cc.o.d"
+  "/root/repo/src/plan/scalar.cc" "src/CMakeFiles/scx.dir/plan/scalar.cc.o" "gcc" "src/CMakeFiles/scx.dir/plan/scalar.cc.o.d"
+  "/root/repo/src/props/physical_props.cc" "src/CMakeFiles/scx.dir/props/physical_props.cc.o" "gcc" "src/CMakeFiles/scx.dir/props/physical_props.cc.o.d"
+  "/root/repo/src/script/ast.cc" "src/CMakeFiles/scx.dir/script/ast.cc.o" "gcc" "src/CMakeFiles/scx.dir/script/ast.cc.o.d"
+  "/root/repo/src/script/lexer.cc" "src/CMakeFiles/scx.dir/script/lexer.cc.o" "gcc" "src/CMakeFiles/scx.dir/script/lexer.cc.o.d"
+  "/root/repo/src/script/parser.cc" "src/CMakeFiles/scx.dir/script/parser.cc.o" "gcc" "src/CMakeFiles/scx.dir/script/parser.cc.o.d"
+  "/root/repo/src/workload/large_scripts.cc" "src/CMakeFiles/scx.dir/workload/large_scripts.cc.o" "gcc" "src/CMakeFiles/scx.dir/workload/large_scripts.cc.o.d"
+  "/root/repo/src/workload/paper_scripts.cc" "src/CMakeFiles/scx.dir/workload/paper_scripts.cc.o" "gcc" "src/CMakeFiles/scx.dir/workload/paper_scripts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

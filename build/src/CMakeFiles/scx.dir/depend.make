@@ -1,0 +1,2 @@
+# Empty dependencies file for scx.
+# This may be replaced when dependencies are built.

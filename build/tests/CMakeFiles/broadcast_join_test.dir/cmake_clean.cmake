@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_join_test.dir/broadcast_join_test.cc.o"
+  "CMakeFiles/broadcast_join_test.dir/broadcast_join_test.cc.o.d"
+  "broadcast_join_test"
+  "broadcast_join_test.pdb"
+  "broadcast_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_commute_test.dir/join_commute_test.cc.o"
+  "CMakeFiles/join_commute_test.dir/join_commute_test.cc.o.d"
+  "join_commute_test"
+  "join_commute_test.pdb"
+  "join_commute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_commute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/language_features_test.dir/language_features_test.cc.o"
+  "CMakeFiles/language_features_test.dir/language_features_test.cc.o.d"
+  "language_features_test"
+  "language_features_test.pdb"
+  "language_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/language_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

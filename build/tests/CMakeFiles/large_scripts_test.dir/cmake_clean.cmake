@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_scripts_test.dir/large_scripts_test.cc.o"
+  "CMakeFiles/large_scripts_test.dir/large_scripts_test.cc.o.d"
+  "large_scripts_test"
+  "large_scripts_test.pdb"
+  "large_scripts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_scripts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_json_test.dir/plan_json_test.cc.o"
+  "CMakeFiles/plan_json_test.dir/plan_json_test.cc.o.d"
+  "plan_json_test"
+  "plan_json_test.pdb"
+  "plan_json_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalar_predicate_test.dir/scalar_predicate_test.cc.o"
+  "CMakeFiles/scalar_predicate_test.dir/scalar_predicate_test.cc.o.d"
+  "scalar_predicate_test"
+  "scalar_predicate_test.pdb"
+  "scalar_predicate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalar_predicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

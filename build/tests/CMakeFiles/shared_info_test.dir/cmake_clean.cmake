@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_info_test.dir/shared_info_test.cc.o"
+  "CMakeFiles/shared_info_test.dir/shared_info_test.cc.o.d"
+  "shared_info_test"
+  "shared_info_test.pdb"
+  "shared_info_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_info_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scx_cli.dir/scx_cli.cc.o"
+  "CMakeFiles/scx_cli.dir/scx_cli.cc.o.d"
+  "scx_cli"
+  "scx_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

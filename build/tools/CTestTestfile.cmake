@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(scx_cli_compare "/root/repo/build/tools/scx_cli" "--catalog" "/root/repo/testdata/paper_catalog.txt" "--script" "/root/repo/testdata/s1.scope" "--compare" "--quiet")
+set_tests_properties(scx_cli_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(scx_cli_execute "/root/repo/build/tools/scx_cli" "--catalog" "/root/repo/testdata/small_catalog.txt" "--script" "/root/repo/testdata/s1.scope" "--mode" "cse" "--machines" "8" "--execute" "--quiet")
+set_tests_properties(scx_cli_execute PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(scx_cli_naive "/root/repo/build/tools/scx_cli" "--catalog" "/root/repo/testdata/paper_catalog.txt" "--script" "/root/repo/testdata/s1.scope" "--mode" "naive" "--quiet")
+set_tests_properties(scx_cli_naive PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(scx_cli_missing_args "/root/repo/build/tools/scx_cli")
+set_tests_properties(scx_cli_missing_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(scx_cli_bad_catalog "/root/repo/build/tools/scx_cli" "--catalog" "/nonexistent.txt" "--script" "/root/repo/testdata/s1.scope")
+set_tests_properties(scx_cli_bad_catalog PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(scx_cli_json "/root/repo/build/tools/scx_cli" "--catalog" "/root/repo/testdata/paper_catalog.txt" "--script" "/root/repo/testdata/s1.scope" "--mode" "cse" "--json")
+set_tests_properties(scx_cli_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
