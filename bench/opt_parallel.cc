@@ -1,0 +1,141 @@
+// Serial vs parallel phase-2 round evaluation (OptimizerConfig::num_threads).
+// For each script, runs the CSE optimizer at 1 and 4 threads, checks the
+// results are bit-identical, and reports wall-clock, rounds/sec and speedup.
+// Writes BENCH_opt_time.json next to the working directory so future changes
+// have a perf trajectory to compare against.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "workload/large_scripts.h"
+#include "workload/paper_scripts.h"
+
+namespace {
+
+using namespace scx;
+
+struct Measurement {
+  std::string name;
+  double serial_seconds = 0;
+  double parallel_seconds = 0;
+  long rounds = 0;
+  double serial_cost = 0;
+  double parallel_cost = 0;
+  bool identical = false;
+
+  double serial_rounds_per_sec() const {
+    return serial_seconds > 0 ? rounds / serial_seconds : 0;
+  }
+  double parallel_rounds_per_sec() const {
+    return parallel_seconds > 0 ? rounds / parallel_seconds : 0;
+  }
+  double speedup() const {
+    return parallel_seconds > 0 ? serial_seconds / parallel_seconds : 0;
+  }
+};
+
+Result<OptimizedScript> RunOnce(const Catalog& catalog,
+                                const std::string& text, int threads,
+                                double* seconds) {
+  OptimizerConfig config;
+  config.num_threads = threads;
+  config.budget_seconds = 1e9;  // identical results require no budget stop
+  Engine engine(catalog, config);
+  SCX_ASSIGN_OR_RETURN(CompiledScript compiled, engine.Compile(text));
+  SCX_ASSIGN_OR_RETURN(OptimizedScript optimized,
+                       engine.Optimize(compiled, OptimizerMode::kCse));
+  *seconds = optimized.result.diagnostics.optimize_seconds;
+  return optimized;
+}
+
+bool Measure(const char* name, const Catalog& catalog,
+             const std::string& text, int threads,
+             std::vector<Measurement>* out) {
+  Measurement m;
+  m.name = name;
+  double s1 = 0, sn = 0;
+  auto serial = RunOnce(catalog, text, 1, &s1);
+  auto parallel = RunOnce(catalog, text, threads, &sn);
+  if (!serial.ok() || !parallel.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name,
+                 (!serial.ok() ? serial.status() : parallel.status())
+                     .ToString()
+                     .c_str());
+    return false;
+  }
+  m.serial_seconds = s1;
+  m.parallel_seconds = sn;
+  m.rounds = serial->result.diagnostics.rounds_executed;
+  m.serial_cost = serial->cost();
+  m.parallel_cost = parallel->cost();
+  m.identical =
+      serial->cost() == parallel->cost() &&
+      serial->Explain() == parallel->Explain() &&
+      serial->result.diagnostics.rounds_executed ==
+          parallel->result.diagnostics.rounds_executed;
+  std::printf("%-5s %9ld %11.3fs %12.3fs %10.0f %12.0f %8.2fx %10s\n", name,
+              m.rounds, m.serial_seconds, m.parallel_seconds,
+              m.serial_rounds_per_sec(), m.parallel_rounds_per_sec(),
+              m.speedup(), m.identical ? "yes" : "NO");
+  out->push_back(std::move(m));
+  return true;
+}
+
+void WriteJson(const std::vector<Measurement>& rows, int threads) {
+  FILE* f = std::fopen("BENCH_opt_time.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_opt_time.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"opt_parallel\",\n");
+  std::fprintf(f, "  \"threads\": %d,\n  \"scripts\": [\n", threads);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Measurement& m = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"rounds\": %ld, "
+                 "\"serial_seconds\": %.6f, \"parallel_seconds\": %.6f, "
+                 "\"serial_rounds_per_sec\": %.1f, "
+                 "\"parallel_rounds_per_sec\": %.1f, "
+                 "\"speedup\": %.3f, \"identical\": %s}%s\n",
+                 m.name.c_str(), m.rounds, m.serial_seconds,
+                 m.parallel_seconds, m.serial_rounds_per_sec(),
+                 m.parallel_rounds_per_sec(), m.speedup(),
+                 m.identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_opt_time.json\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = 4;
+  if (argc > 1) threads = std::atoi(argv[1]);
+  if (threads < 2) threads = 2;
+
+  std::printf("phase-2 round evaluation, serial vs %d threads\n", threads);
+  std::printf("%-5s %9s %12s %13s %10s %12s %9s %10s\n", "name", "rounds",
+              "serial", "parallel", "ser r/s", "par r/s", "speedup",
+              "identical");
+
+  std::vector<Measurement> rows;
+  Catalog paper = MakePaperCatalog();
+  Measure("S1", paper, kScriptS1, threads, &rows);
+  Measure("S2", paper, kScriptS2, threads, &rows);
+  Measure("S3", paper, kScriptS3, threads, &rows);
+  Measure("S4", paper, kScriptS4, threads, &rows);
+  GeneratedScript ls1 = GenerateLargeScript(Ls1Spec());
+  GeneratedScript ls2 = GenerateLargeScript(Ls2Spec());
+  Measure("LS1", ls1.catalog, ls1.text, threads, &rows);
+  Measure("LS2", ls2.catalog, ls2.text, threads, &rows);
+
+  WriteJson(rows, threads);
+
+  bool all_identical = true;
+  for (const Measurement& m : rows) all_identical &= m.identical;
+  return all_identical ? 0 : 1;
+}

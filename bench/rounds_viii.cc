@@ -62,8 +62,8 @@ int main() {
       "Sec. VIII-A scheduler example: two independent shared groups with 8 "
       "property sets each\n");
   {
-    RoundScheduler cartesian({{5, 6}}, {{5, 8}, {6, 8}});
-    RoundScheduler sequential({{5}, {6}}, {{5, 8}, {6, 8}});
+    RoundEnumerator cartesian({{5, 6}}, {{5, 8}, {6, 8}});
+    RoundEnumerator sequential({{5}, {6}}, {{5, 8}, {6, 8}});
     std::printf("  joint (Cartesian) rounds: %ld (paper: 64)\n",
                 cartesian.TotalRounds());
     std::printf("  independent rounds:       %ld (paper: 15)\n\n",

@@ -1,5 +1,9 @@
 #include "api/engine.h"
 
+#include <optional>
+#include <thread>
+#include <utility>
+
 #include "opt/plan_validator.h"
 #include "script/parser.h"
 
@@ -17,8 +21,12 @@ Result<CompiledScript> Engine::Compile(const std::string& source) const {
 Result<OptimizedScript> Engine::Optimize(const CompiledScript& script,
                                          OptimizerMode mode) const {
   Memo memo = Memo::FromLogicalDag(script.bound.root);
+  // Each run gets a private copy of the registry: exploration rules mint
+  // columns (aggregate split), and one CompiledScript may be optimized from
+  // several threads at once.
+  auto columns = std::make_shared<ColumnRegistry>(*script.bound.columns);
   auto optimizer =
-      std::make_shared<Optimizer>(std::move(memo), script.bound.columns,
+      std::make_shared<Optimizer>(std::move(memo), std::move(columns),
                                   config_);
   SCX_ASSIGN_OR_RETURN(OptimizeResult result, optimizer->Run(mode));
   SCX_RETURN_IF_ERROR(ValidatePlan(result.plan));
@@ -29,21 +37,34 @@ Result<OptimizedScript> Engine::Optimize(const CompiledScript& script,
   return out;
 }
 
-Result<ExecMetrics> Engine::Execute(const OptimizedScript& optimized) const {
-  Executor executor(config_.cluster);
-  return executor.Execute(optimized.plan());
-}
-
 Result<Engine::Comparison> Engine::Compare(const std::string& source) const {
   Comparison out;
   SCX_ASSIGN_OR_RETURN(out.compiled, Compile(source));
-  SCX_ASSIGN_OR_RETURN(out.conventional,
-                       Optimize(out.compiled, OptimizerMode::kConventional));
-  SCX_ASSIGN_OR_RETURN(out.cse, Optimize(out.compiled, OptimizerMode::kCse));
+  if (config_.num_threads > 1) {
+    // The two optimizer runs are fully independent (fresh memo and registry
+    // each); overlap them.
+    std::optional<Result<OptimizedScript>> conv;
+    std::thread conv_thread([&] {
+      conv.emplace(Optimize(out.compiled, OptimizerMode::kConventional));
+    });
+    Result<OptimizedScript> cse = Optimize(out.compiled, OptimizerMode::kCse);
+    conv_thread.join();
+    SCX_ASSIGN_OR_RETURN(out.conventional, std::move(*conv));
+    SCX_ASSIGN_OR_RETURN(out.cse, std::move(cse));
+  } else {
+    SCX_ASSIGN_OR_RETURN(out.conventional,
+                         Optimize(out.compiled, OptimizerMode::kConventional));
+    SCX_ASSIGN_OR_RETURN(out.cse, Optimize(out.compiled, OptimizerMode::kCse));
+  }
   out.cost_ratio = out.conventional.cost() > 0
                        ? out.cse.cost() / out.conventional.cost()
                        : 1.0;
   return out;
+}
+
+Result<ExecMetrics> Engine::Execute(const OptimizedScript& optimized) const {
+  Executor executor(config_.cluster);
+  return executor.Execute(optimized.plan());
 }
 
 }  // namespace scx

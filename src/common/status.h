@@ -20,6 +20,7 @@ enum class StatusCode {
   kExecutionError,
   kInternal,
   kResourceExhausted,
+  kFailedPrecondition,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "ParseError").
@@ -61,6 +62,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,177 @@
+#ifndef SCX_CORE_OPTIMIZATION_CONTEXT_H_
+#define SCX_CORE_OPTIMIZATION_CONTEXT_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/fingerprint.h"
+#include "core/property_history.h"
+#include "core/shared_info.h"
+#include "cost/cost_model.h"
+#include "memo/memo.h"
+#include "opt/physical_plan.h"
+
+namespace scx {
+
+/// Which optimizer to run.
+///  * kConventional reproduces the baseline SCOPE optimizer: no spools,
+///    each consumer re-executes shared subexpressions, tree-cost
+///    accounting (paper Fig. 8(a)).
+///  * kNaiveSharing reproduces the earlier multi-query-optimization
+///    techniques the paper argues against ([10]-[12] in its Sec. II):
+///    shared subexpressions are identified and executed once, but the
+///    shared plan is the LOCALLY optimal one — consumers compensate above
+///    the spool with their own enforcers instead of the spool's properties
+///    being chosen cost-based across consumers.
+///  * kCse runs the paper's full framework of Secs. IV–VIII.
+enum class OptimizerMode { kConventional, kNaiveSharing, kCse };
+
+/// Default phase-2 parallelism: the SCX_NUM_THREADS environment variable
+/// when set to a positive integer, otherwise the hardware concurrency.
+int DefaultNumThreads();
+
+/// Tunables for optimization. The Sec. VIII large-script extensions can be
+/// toggled individually for ablation benchmarks.
+struct OptimizerConfig {
+  ClusterConfig cluster;
+  CostConstants costs;
+  /// Max column-set size for full subset expansion (history recording and
+  /// exchange-enforcer candidates). Larger sets use singletons + full set.
+  int max_expand_cols = 4;
+  /// Enable the local/global aggregate-split transformation rule.
+  bool enable_agg_split = true;
+  /// Enable the join-commutativity transformation rule.
+  bool enable_join_commute = true;
+  /// Phase-2 optimization budget (paper: 30 s for LS1, 60 s for LS2).
+  double budget_seconds = 30.0;
+  /// Hard cap on phase-2 rounds across all LCAs.
+  long max_rounds = 1000000;
+  bool exploit_independent_groups = true;  ///< Sec. VIII-A
+  bool rank_shared_groups = true;          ///< Sec. VIII-B
+  bool rank_properties = true;             ///< Sec. VIII-C
+  /// Record a RoundTraceEntry per phase-2 round in the diagnostics.
+  bool trace_rounds = true;
+  /// Worker threads for phase-2 round evaluation. 1 = the exact legacy
+  /// serial path; >1 evaluates the rounds of an independence class
+  /// concurrently with bit-identical results (see docs/architecture.md).
+  int num_threads = DefaultNumThreads();
+  CseIdentifyOptions cse;
+};
+
+/// One phase-2 re-optimization round, as recorded in the optimization
+/// trace: which LCA ran it, which history entries were enforced, and what
+/// the resulting plan cost.
+struct RoundTraceEntry {
+  GroupId lca = kInvalidGroup;
+  long round_index = 0;  ///< global, across all LCAs
+  std::map<GroupId, int> assignment;
+  double cost = 0;
+  double best_so_far = 0;  ///< best cost at this LCA after this round
+};
+
+/// Measurements and derived facts exposed alongside the chosen plan.
+struct OptimizeDiagnostics {
+  double phase1_cost = 0;  ///< best cost after phase 1 (mode accounting)
+  double final_cost = 0;
+  long rounds_planned = 0;
+  long rounds_executed = 0;
+  int num_shared_groups = 0;
+  int explicit_shared = 0;
+  int merged_subexpressions = 0;
+  int reachable_groups = 0;
+  double optimize_seconds = 0;
+  bool budget_exhausted = false;
+  /// shared group -> its LCA.
+  std::map<GroupId, GroupId> lca_of;
+  /// shared group -> history size after phase 1.
+  std::map<GroupId, int> history_sizes;
+  /// Per-round trace (populated when OptimizerConfig::trace_rounds).
+  std::vector<RoundTraceEntry> round_trace;
+};
+
+struct OptimizeResult {
+  PhysicalNodePtr plan;
+  double cost = 0;
+  OptimizeDiagnostics diagnostics;
+};
+
+/// Everything an optimization run reads that is not specific to one round:
+/// the memo, the column registry, the estimator/cost model, the shared-group
+/// info, and the phase-1 property histories.
+///
+/// Lifecycle: during phase 1 the context is under construction — exploration
+/// rules append memo expressions, requirements are recorded into histories,
+/// the estimator derives NDVs. Freeze() then (a) ranks histories
+/// (Sec. VIII-C), (b) explores every reachable group to fixpoint so phase 2
+/// never mutates the memo, and (c) precomputes which LCAs contain another
+/// LCA strictly below them. After Freeze() the context is immutable and may
+/// be read concurrently from any number of RoundTask threads.
+class OptimizationContext {
+ public:
+  OptimizationContext(Memo memo, ColumnRegistryPtr columns,
+                      OptimizerConfig config);
+
+  // --- build phase (single-threaded, before Freeze) ---
+
+  Memo& mutable_memo() { return memo_; }
+  void set_mode(OptimizerMode mode) { mode_ = mode; }
+  /// (Re-)estimates stats of all groups reachable from the root.
+  void EstimateMemo() { estimator_.EstimateMemo(memo_); }
+  /// Applies transformation rules (join commutativity, aggregate split) to
+  /// a group, once.
+  void EnsureExplored(GroupId g);
+  /// Records the requirement `req` in `g`'s property history (paper Sec. V;
+  /// subset-range requirements expand into exact entries).
+  void RecordHistory(GroupId g, const RequiredProps& req);
+  /// Credits the history entry matching a phase-1 winner's delivered
+  /// properties (Sec. VIII-C ranking input).
+  void CreditDelivered(GroupId g, const DeliveredProps& delivered);
+  /// Runs SharedInfo::Compute over the (restructured) memo.
+  void ComputeSharedInfo();
+  /// Rank histories, explore all groups to fixpoint, precompute nested-LCA
+  /// reachability, and make the context immutable.
+  void Freeze();
+
+  // --- read-only API (safe from any thread once frozen) ---
+
+  const Memo& memo() const { return memo_; }
+  OptimizerMode mode() const { return mode_; }
+  const OptimizerConfig& config() const { return config_; }
+  const CardinalityEstimator& estimator() const { return estimator_; }
+  const CostModel& cost_model() const { return cost_model_; }
+  const GroupStats& StatsOf(GroupId g) const { return estimator_.StatsOf(g); }
+  const SharedInfo* shared_info() const {
+    return shared_.has_value() ? &*shared_ : nullptr;
+  }
+  const PropertyHistory* HistoryOf(GroupId g) const;
+  /// Candidate partitioning column sets an exchange enforcer may produce
+  /// for a requirement.
+  std::vector<ColumnSet> EnforceCandidates(const PartitioningReq& req) const;
+  /// Mode-appropriate plan objective (tree cost conventionally, DAG cost
+  /// with CSE).
+  double PlanCost(const PhysicalNodePtr& plan) const;
+  bool frozen() const { return frozen_; }
+  /// True when LCA `g` has another LCA reachable strictly below it — its
+  /// rounds recursively trigger inner rounds and must run serially.
+  bool HasNestedLca(GroupId g) const { return nested_lcas_.count(g) != 0; }
+
+ private:
+  Memo memo_;
+  ColumnRegistryPtr columns_;
+  OptimizerConfig config_;
+  OptimizerMode mode_ = OptimizerMode::kConventional;
+  CardinalityEstimator estimator_;
+  CostModel cost_model_;
+  std::map<GroupId, PropertyHistory> history_;
+  std::optional<SharedInfo> shared_;
+  std::set<GroupId> explored_;
+  std::set<GroupId> nested_lcas_;
+  bool frozen_ = false;
+};
+
+}  // namespace scx
+
+#endif  // SCX_CORE_OPTIMIZATION_CONTEXT_H_

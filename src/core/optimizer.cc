@@ -1,214 +1,67 @@
 #include "core/optimizer.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-
-#include "core/rounds.h"
+#include <chrono>
+#include <utility>
+#include <vector>
 
 namespace scx {
 
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Sentinel history index used by OptimizerMode::kNaiveSharing: enforce no
-/// requirement at the shared group (locally cheapest shared plan).
-constexpr int kNaiveEntryIndex = -1;
-
-/// Chooses the sort order a stream aggregate will produce: the required
-/// output order extended by the remaining grouping columns. Fails when the
-/// required order cannot be embedded in the grouping columns.
-std::optional<SortSpec> ExtendSort(const SortSpec& required,
-                                   const std::vector<ColumnId>& group_cols) {
-  ColumnSet gc = ColumnSet::FromVector(group_cols);
-  SortSpec out;
-  ColumnSet used;
-  for (ColumnId c : required.cols) {
-    if (!gc.Contains(c) || used.Contains(c)) return std::nullopt;
-    out.cols.push_back(c);
-    used.Insert(c);
-  }
-  for (ColumnId c : group_cols) {
-    if (!used.Contains(c)) {
-      out.cols.push_back(c);
-      used.Insert(c);
-    }
-  }
-  return out;
-}
-
-/// Maps a delivered property set through a projection (source → output).
-DeliveredProps MapDeliveredThroughProject(
-    const DeliveredProps& in,
-    const std::vector<std::pair<ColumnId, ColumnId>>& project_map) {
-  std::map<ColumnId, ColumnId> fwd;
-  for (const auto& [src, out] : project_map) {
-    fwd.emplace(src, out);  // first wins on duplicate sources
-  }
-  DeliveredProps out;
-  switch (in.partitioning.kind) {
-    case PartitioningKind::kSerial:
-    case PartitioningKind::kRandom:
-      out.partitioning = in.partitioning;
-      break;
-    case PartitioningKind::kHash: {
-      ColumnSet mapped;
-      bool complete = true;
-      for (ColumnId c : in.partitioning.cols.ToVector()) {
-        auto it = fwd.find(c);
-        if (it == fwd.end()) {
-          complete = false;
-          break;
-        }
-        mapped.Insert(it->second);
-      }
-      out.partitioning =
-          complete ? Partitioning::Hash(mapped) : Partitioning::Random();
-      break;
-    }
-    case PartitioningKind::kRange: {
-      std::vector<ColumnId> mapped;
-      bool complete = true;
-      for (ColumnId c : in.partitioning.range_cols) {
-        auto it = fwd.find(c);
-        if (it == fwd.end()) {
-          complete = false;
-          break;
-        }
-        mapped.push_back(it->second);
-      }
-      out.partitioning = complete ? Partitioning::Range(std::move(mapped))
-                                  : Partitioning::Random();
-      break;
-    }
-  }
-  for (ColumnId c : in.sort.cols) {
-    auto it = fwd.find(c);
-    if (it == fwd.end()) break;
-    out.sort.cols.push_back(it->second);
-  }
-  return out;
-}
-
-/// Maps a requirement through a projection (output → source). Every output
-/// column has a source, so this always succeeds.
-RequiredProps MapRequiredThroughProject(
-    const RequiredProps& req,
-    const std::vector<std::pair<ColumnId, ColumnId>>& project_map) {
-  std::map<ColumnId, ColumnId> back;
-  for (const auto& [src, out] : project_map) back.emplace(out, src);
-  RequiredProps creq;
-  creq.partitioning.kind = req.partitioning.kind;
-  for (ColumnId c : req.partitioning.cols.ToVector()) {
-    auto it = back.find(c);
-    creq.partitioning.cols.Insert(it != back.end() ? it->second : c);
-  }
-  for (ColumnId c : req.sort.cols) {
-    auto it = back.find(c);
-    creq.sort.cols.push_back(it != back.end() ? it->second : c);
-  }
-  return creq;
-}
-
-/// Combines the parent's partitioning requirement with an operator's own
-/// constraint "input must be partitioned within `own`" (grouping columns for
-/// aggregates, join keys for joins). Returns nullopt when no partitioning
-/// can satisfy both natively — the enforcer framework then compensates above
-/// the operator. This push-down is what lets phase 2 enforce e.g. {B} at a
-/// shared aggregate and have the exchange happen below the aggregation
-/// (paper Fig. 8(b)) instead of reshuffling its output.
-std::optional<PartitioningReq> CombinePartReq(const PartitioningReq& parent,
-                                              const ColumnSet& own) {
-  switch (parent.kind) {
-    case PartReqKind::kNone:
-      return PartitioningReq::SubsetOf(own);
-    case PartReqKind::kSerial:
-      return PartitioningReq::Serial();
-    case PartReqKind::kHashExact:
-    case PartReqKind::kRangeExact:
-      if (parent.cols.IsSubsetOf(own)) return parent;
-      return std::nullopt;
-    case PartReqKind::kHashSubset: {
-      ColumnSet inter = parent.cols.Intersect(own);
-      if (inter.Empty()) return std::nullopt;
-      return PartitioningReq::SubsetOf(std::move(inter));
-    }
-  }
-  return std::nullopt;
-}
-
-PhysicalNodePtr Cheapest(const std::vector<PhysicalNodePtr>& valid,
-                         OptimizerMode mode) {
-  PhysicalNodePtr best;
-  double best_cost = kInf;
-  for (const PhysicalNodePtr& p : valid) {
-    if (p == nullptr) continue;
-    double c =
-        mode == OptimizerMode::kConventional ? TreeCost(p) : DagCost(p);
-    if (c < best_cost) {
-      best_cost = c;
-      best = p;
-    }
-  }
-  return best;
-}
-
-}  // namespace
-
 Optimizer::Optimizer(Memo memo, ColumnRegistryPtr columns,
                      OptimizerConfig config)
-    : memo_(std::move(memo)),
-      columns_(std::move(columns)),
-      config_(config),
-      estimator_(config.cluster, columns_),
-      cost_model_(config.costs, config.cluster, &estimator_) {}
-
-const PropertyHistory* Optimizer::HistoryOf(GroupId g) const {
-  auto it = history_.find(g);
-  return it == history_.end() ? nullptr : &it->second;
-}
+    : ctx_(std::make_unique<OptimizationContext>(
+          std::move(memo), std::move(columns), std::move(config))) {}
 
 Result<OptimizeResult> Optimizer::Run(OptimizerMode mode) {
+  if (ran_) {
+    return Status::FailedPrecondition(
+        "Optimizer::Run is single-shot: the optimization context is frozen "
+        "and the memo restructured; build a fresh Optimizer to re-optimize");
+  }
+  ran_ = true;
+
   auto t0 = std::chrono::steady_clock::now();
-  mode_ = mode;
+  ctx_->set_mode(mode);
 
   if (mode != OptimizerMode::kConventional) {
-    CseIdentifyResult id = IdentifyCommonSubexpressions(&memo_, config_.cse);
+    CseIdentifyResult id = IdentifyCommonSubexpressions(
+        &ctx_->mutable_memo(), ctx_->config().cse);
     diag_.explicit_shared = id.explicit_shared;
     diag_.merged_subexpressions = id.merged;
   }
-  estimator_.EstimateMemo(memo_);
+  ctx_->EstimateMemo();
   {
-    std::vector<GroupId> topo = memo_.TopologicalOrder();
+    std::vector<GroupId> topo = ctx_->memo().TopologicalOrder();
     diag_.reachable_groups = static_cast<int>(topo.size());
     for (GroupId g : topo) {
-      if (memo_.group(g).is_shared()) ++diag_.num_shared_groups;
+      if (ctx_->memo().group(g).is_shared()) ++diag_.num_shared_groups;
     }
   }
 
-  phase_ = 1;
+  scheduler_ = std::make_unique<RoundScheduler>(ctx_.get(), &diag_);
+  master_ = std::make_unique<RoundTask>(ctx_.get(), scheduler_.get());
+
   RequiredProps trivial;
-  PhysicalNodePtr p1 = OptimizeGroup(memo_.root(), trivial);
+  PhysicalNodePtr p1 = master_->OptimizeGroup(ctx_->memo().root(), trivial);
   if (p1 == nullptr) {
     return Status::OptimizeError("phase 1 found no valid plan");
   }
-  diag_.phase1_cost = PlanCost(p1);
+  diag_.phase1_cost = ctx_->PlanCost(p1);
   PhysicalNodePtr best = p1;
   double best_cost = diag_.phase1_cost;
 
   if (mode != OptimizerMode::kConventional) {
-    shared_ = SharedInfo::Compute(memo_);
-    for (GroupId s : shared_->shared_groups()) {
-      diag_.lca_of[s] = shared_->LcaOf(s);
-      diag_.history_sizes[s] = history_[s].size();
-      if (config_.rank_properties) history_[s].RankByWins();
+    ctx_->ComputeSharedInfo();
+    for (GroupId s : ctx_->shared_info()->shared_groups()) {
+      diag_.lca_of[s] = ctx_->shared_info()->LcaOf(s);
+      const PropertyHistory* h = ctx_->HistoryOf(s);
+      diag_.history_sizes[s] = h != nullptr ? h->size() : 0;
     }
-    phase_ = 2;
-    phase2_start_ = std::chrono::steady_clock::now();
-    PhysicalNodePtr p2 = OptimizeGroup(memo_.root(), trivial);
+    ctx_->Freeze();  // ranks histories, explores to fixpoint, immutable now
+    master_->BeginPhase2();
+    scheduler_->StartPhase2();
+    PhysicalNodePtr p2 = master_->OptimizeGroup(ctx_->memo().root(), trivial);
     if (p2 != nullptr) {
-      double c2 = PlanCost(p2);
+      double c2 = ctx_->PlanCost(p2);
       if (c2 < best_cost) {
         best = p2;
         best_cost = c2;
@@ -226,966 +79,6 @@ Result<OptimizeResult> Optimizer::Run(OptimizerMode mode) {
   result.cost = best_cost;
   result.diagnostics = diag_;
   return result;
-}
-
-double Optimizer::PlanCost(const PhysicalNodePtr& plan) const {
-  return mode_ == OptimizerMode::kConventional ? TreeCost(plan)
-                                               : DagCost(plan);
-}
-
-bool Optimizer::BudgetExceeded() const {
-  if (budget_exhausted_) return true;
-  double elapsed = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - phase2_start_)
-                       .count();
-  return elapsed > config_.budget_seconds;
-}
-
-std::string Optimizer::WinnerKeySuffix(GroupId g) const {
-  if (phase_ == 1 || !shared_.has_value()) return "";
-  const std::set<GroupId>& below = shared_->SharedBelow(g);
-  if (below.empty()) return "";
-  std::string s = "p2|";
-  for (GroupId sg : below) {
-    auto it = enforced_.find(sg);
-    if (it != enforced_.end()) {
-      s += std::to_string(sg) + ":" + std::to_string(it->second) + ";";
-    }
-  }
-  return s;
-}
-
-void Optimizer::RecordHistory(GroupId g, const RequiredProps& req) {
-  PropertyHistory& h = history_[g];
-  if (req.partitioning.kind == PartReqKind::kHashSubset) {
-    // Sec. V: store one exact entry per partitioning scheme satisfying the
-    // range requirement, i.e. per non-empty subset (capped for wide sets).
-    std::vector<ColumnSet> candidates = EnforceCandidates(req.partitioning);
-    for (ColumnSet& s : candidates) {
-      RequiredProps entry;
-      entry.partitioning = PartitioningReq::Exactly(std::move(s));
-      entry.sort = req.sort;
-      h.Add(entry);
-    }
-  } else {
-    h.Add(req);
-  }
-}
-
-std::vector<ColumnSet> Optimizer::EnforceCandidates(
-    const PartitioningReq& req) const {
-  std::vector<ColumnSet> out;
-  switch (req.kind) {
-    case PartReqKind::kHashExact:
-      out.push_back(req.cols);
-      break;
-    case PartReqKind::kHashSubset: {
-      if (req.cols.Size() <= config_.max_expand_cols) {
-        out = req.cols.NonEmptySubsets();
-      } else {
-        for (ColumnId c : req.cols.ToVector()) {
-          out.push_back(ColumnSet::Of({c}));
-        }
-        out.push_back(req.cols);
-      }
-      break;
-    }
-    case PartReqKind::kRangeExact:  // handled by the range-exchange path
-    case PartReqKind::kNone:
-    case PartReqKind::kSerial:
-      break;
-  }
-  return out;
-}
-
-void Optimizer::EnsureExplored(GroupId g) {
-  if (!explored_.insert(g).second) return;
-  std::vector<GroupExpr> snapshot = memo_.group(g).exprs();
-
-  // Join commutativity: Join(L,R) ≡ Project(Join(R,L)) — the commuted join
-  // lives in a fresh (rule-generated) group delivering right++left columns;
-  // an id-preserving Project restores this group's schema order. Not
-  // applied to rule-generated groups (would ping-pong forever).
-  if (config_.enable_join_commute && !memo_.group(g).rule_generated()) {
-    for (const GroupExpr& expr : snapshot) {
-      if (expr.op->kind() != LogicalOpKind::kJoin) continue;
-      const LogicalNode& join = *expr.op;
-      Schema swapped;
-      int left_width =
-          memo_.group(expr.children[0]).schema().NumColumns();
-      for (int i = left_width; i < join.schema().NumColumns(); ++i) {
-        swapped.AddColumn(join.schema().column(i));
-      }
-      for (int i = 0; i < left_width; ++i) {
-        swapped.AddColumn(join.schema().column(i));
-      }
-      auto commuted = std::make_shared<LogicalNode>(
-          LogicalOpKind::kJoin, std::move(swapped),
-          std::vector<LogicalNodePtr>{});
-      for (const auto& [l, r] : join.join_keys) {
-        commuted->join_keys.emplace_back(r, l);
-      }
-      commuted->predicates = join.predicates;
-      GroupExpr cexpr;
-      cexpr.op = std::move(commuted);
-      cexpr.children = {expr.children[1], expr.children[0]};
-      GroupId cgroup = memo_.NewGroup(std::move(cexpr));
-      memo_.group(cgroup).set_rule_generated(true);
-      estimator_.SetStats(cgroup, StatsOf(g));
-
-      auto restore = std::make_shared<LogicalNode>(
-          LogicalOpKind::kProject, join.schema(),
-          std::vector<LogicalNodePtr>{});
-      for (const ColumnInfo& c : join.schema().columns()) {
-        restore->project_map.emplace_back(c.id, c.id);
-      }
-      GroupExpr pexpr;
-      pexpr.op = std::move(restore);
-      pexpr.children = {cgroup};
-      memo_.group(g).AddExpr(std::move(pexpr));
-    }
-  }
-
-  if (!config_.enable_agg_split) return;
-  for (const GroupExpr& expr : snapshot) {
-    if (expr.op->kind() != LogicalOpKind::kGbAgg) continue;
-    if (expr.op->group_cols.empty()) continue;  // grand totals stay serial
-    const LogicalNode& agg = *expr.op;
-    GroupId child = expr.children[0];
-
-    // Build LocalGbAgg: same grouping, partial aggregate outputs.
-    Schema local_schema;
-    for (ColumnId c : agg.group_cols) {
-      int pos = agg.schema().PositionOf(c);
-      local_schema.AddColumn(agg.schema().column(pos));
-    }
-    std::vector<AggregateDesc> local_aggs;
-    std::vector<AggregateDesc> global_aggs;
-    for (const AggregateDesc& a : agg.aggregates) {
-      AggregateDesc local = a;
-      ColumnMeta meta;
-      meta.name = "partial_" + a.out_name;
-      meta.type = a.fn == AggFn::kCount ? DataType::kInt64 : a.out_type;
-      if (a.fn == AggFn::kAvg) meta.type = DataType::kDouble;
-      local.out = columns_->Create(meta);
-      local.out_name = meta.name;
-      local.out_type = meta.type;
-      local.hidden_count = 0;
-      if (a.fn == AggFn::kAvg) {
-        ColumnMeta cnt;
-        cnt.name = "partialcnt_" + a.out_name;
-        cnt.type = DataType::kInt64;
-        local.hidden_count = columns_->Create(cnt);
-      }
-      local_schema.AddColumn(ColumnInfo{local.out, local.out_name, "",
-                                        local.out_type});
-      if (local.hidden_count != 0) {
-        local_schema.AddColumn(ColumnInfo{local.hidden_count,
-                                          "partialcnt_" + a.out_name, "",
-                                          DataType::kInt64});
-      }
-
-      // Global side merges partials: Sum for Sum/Count partials, Min/Max
-      // pass through, Avg divides summed partial sums by summed counts
-      // (the partial-count column travels in hidden_count).
-      AggregateDesc global = a;
-      global.arg = local.out;
-      global.count_star = false;
-      switch (a.fn) {
-        case AggFn::kSum:
-        case AggFn::kCount:
-          global.fn = AggFn::kSum;
-          break;
-        case AggFn::kMin:
-        case AggFn::kMax:
-          break;
-        case AggFn::kAvg:
-          global.hidden_count = local.hidden_count;
-          break;
-      }
-      local_aggs.push_back(std::move(local));
-      global_aggs.push_back(std::move(global));
-    }
-
-    auto local_proto = std::make_shared<LogicalNode>(
-        LogicalOpKind::kLocalGbAgg, std::move(local_schema),
-        std::vector<LogicalNodePtr>{});
-    local_proto->group_cols = agg.group_cols;
-    local_proto->aggregates = std::move(local_aggs);
-
-    GroupExpr local_expr;
-    local_expr.op = local_proto;
-    local_expr.children = expr.children;
-    GroupId local_group = memo_.NewGroup(std::move(local_expr));
-    memo_.group(local_group).set_rule_generated(true);
-    estimator_.SetStats(
-        local_group,
-        estimator_.EstimateExpr(*local_proto, {StatsOf(child)}));
-
-    auto global_proto = std::make_shared<LogicalNode>(
-        LogicalOpKind::kGlobalGbAgg, agg.schema(),
-        std::vector<LogicalNodePtr>{});
-    global_proto->group_cols = agg.group_cols;
-    global_proto->aggregates = std::move(global_aggs);
-    global_proto->result_name = agg.result_name;
-    GroupExpr global_expr;
-    global_expr.op = std::move(global_proto);
-    global_expr.children = {local_group};
-    memo_.group(g).AddExpr(std::move(global_expr));
-  }
-}
-
-PhysicalNodePtr Optimizer::OptimizeGroup(GroupId g, const RequiredProps& req) {
-  auto key = std::make_tuple(g, req.ToString(), WinnerKeySuffix(g));
-  auto it = winners_.find(key);
-  if (it != winners_.end()) {
-    return it->second.has_value() ? *it->second : nullptr;
-  }
-
-  if (phase_ == 1 && mode_ == OptimizerMode::kCse &&
-      memo_.group(g).is_shared()) {
-    RecordHistory(g, req);
-  }
-
-  PhysicalNodePtr plan;
-  if (phase_ == 2 && enforced_.count(g) != 0) {
-    plan = OptimizeSharedEnforced(g, req);
-  } else if (phase_ == 2 && shared_.has_value() &&
-             in_rounds_.count(g) == 0 && !budget_exhausted_ &&
-             !shared_->SharedGroupsWithLca(g).empty()) {
-    plan = RunRounds(g, req);
-  } else {
-    plan = LogPhysOpt(g, req);
-  }
-
-  if (phase_ == 1 && mode_ == OptimizerMode::kCse &&
-      memo_.group(g).is_shared() && plan != nullptr) {
-    history_[g].CreditDelivered(plan->delivered);
-  }
-
-  winners_[key] = plan;
-  return plan;
-}
-
-PhysicalNodePtr Optimizer::RunRounds(GroupId g, const RequiredProps& req) {
-  in_rounds_.insert(g);
-  std::vector<GroupId> here = shared_->SharedGroupsWithLca(g);
-
-  if (mode_ == OptimizerMode::kNaiveSharing) {
-    // Related-work baseline: exactly one round per LCA, every shared group
-    // enforced with NO requirement — i.e. the locally cheapest shared plan,
-    // which all consumers must then compensate above (paper Secs. I-II).
-    diag_.rounds_planned += 1;
-    ++diag_.rounds_executed;
-    for (GroupId s : here) enforced_[s] = kNaiveEntryIndex;
-    PhysicalNodePtr plan = LogPhysOpt(g, req);
-    for (GroupId s : here) enforced_.erase(s);
-    in_rounds_.erase(g);
-    return plan;
-  }
-
-  // Sec. VIII-B: rank shared groups by potential repartitioning savings
-  // RepartSav(G) = (NoConsumers(G)-1) * RepartCost(G).
-  std::map<GroupId, double> savings;
-  for (GroupId s : here) {
-    double consumers =
-        static_cast<double>(shared_->ConsumersOf(s).size());
-    savings[s] = (consumers - 1.0) * cost_model_.RepartCostOf(StatsOf(s));
-  }
-
-  std::vector<std::vector<GroupId>> classes;
-  if (config_.exploit_independent_groups) {
-    classes = shared_->IndependenceClassesAt(memo_, g);
-  } else {
-    classes.push_back(here);
-  }
-  if (config_.rank_shared_groups) {
-    for (auto& cls : classes) {
-      std::stable_sort(cls.begin(), cls.end(), [&](GroupId a, GroupId b) {
-        return savings[a] > savings[b];
-      });
-    }
-    std::stable_sort(classes.begin(), classes.end(),
-                     [&](const std::vector<GroupId>& a,
-                         const std::vector<GroupId>& b) {
-                       double ma = 0, mb = 0;
-                       for (GroupId s : a) ma = std::max(ma, savings[s]);
-                       for (GroupId s : b) mb = std::max(mb, savings[s]);
-                       return ma > mb;
-                     });
-  }
-
-  std::map<GroupId, int> sizes;
-  for (GroupId s : here) sizes[s] = history_[s].size();
-
-  RoundScheduler scheduler(classes, sizes);
-  diag_.rounds_planned += scheduler.TotalRounds();
-
-  PhysicalNodePtr best;
-  double best_cost = kInf;
-  RoundAssignment assignment;
-  while (scheduler.Next(&assignment)) {
-    if (BudgetExceeded() || diag_.rounds_executed >= config_.max_rounds) {
-      budget_exhausted_ = true;
-      diag_.budget_exhausted = true;
-      break;
-    }
-    ++diag_.rounds_executed;
-    for (const auto& [s, idx] : assignment) enforced_[s] = idx;
-    PhysicalNodePtr plan = LogPhysOpt(g, req);
-    double cost = plan != nullptr ? PlanCost(plan) : kInf;
-    scheduler.ReportCost(cost);
-    for (const auto& [s, idx] : assignment) enforced_.erase(s);
-    if (plan != nullptr && cost < best_cost) {
-      best = plan;
-      best_cost = cost;
-    }
-    if (config_.trace_rounds) {
-      RoundTraceEntry entry;
-      entry.lca = g;
-      entry.round_index = diag_.rounds_executed;
-      entry.assignment = assignment;
-      entry.cost = cost;
-      entry.best_so_far = best_cost;
-      diag_.round_trace.push_back(std::move(entry));
-    }
-  }
-  in_rounds_.erase(g);
-  if (best == nullptr) {
-    best = LogPhysOpt(g, req);  // budget exhausted before the first round
-  }
-  return best;
-}
-
-PhysicalNodePtr Optimizer::SpoolBase(GroupId g, int entry_index) {
-  GroupId child = memo_.group(g).initial_expr().children[0];
-  // Nested enforcement below the spool can change the base across outer
-  // rounds; include the child's enforcement signature in the key.
-  auto full_key = std::make_tuple(g, entry_index, WinnerKeySuffix(child));
-  auto it = spool_bases_.find(full_key);
-  if (it != spool_bases_.end()) return it->second;
-
-  RequiredProps eprops;  // trivial for the naive-sharing sentinel entry
-  if (entry_index != kNaiveEntryIndex) {
-    eprops = history_[g].entry(entry_index).props;
-  }
-  PhysicalNodePtr cp = OptimizeGroup(child, eprops);
-  PhysicalNodePtr spool;
-  if (cp != nullptr) {
-    double write = cost_model_.SpoolWrite(StatsOf(child),
-                                          cp->delivered.partitioning);
-    spool = MakePhysicalNode(PhysicalOpKind::kSpool,
-                             memo_.group(g).initial_expr().op, g, {cp},
-                             cp->delivered, write);
-    spool->extra_consumer_cost = cost_model_.SpoolRead(
-        StatsOf(child), cp->delivered.partitioning);
-  }
-  spool_bases_[full_key] = spool;
-  return spool;
-}
-
-PhysicalNodePtr Optimizer::OptimizeSharedEnforced(GroupId g,
-                                                  const RequiredProps& req) {
-  PhysicalNodePtr base = SpoolBase(g, enforced_.at(g));
-  if (base == nullptr) return nullptr;
-  std::vector<PhysicalNodePtr> valid;
-  WrapEnforcersOverBase(g, base, req, &valid);
-  return Cheapest(valid, mode_);
-}
-
-void Optimizer::WrapEnforcersOverBase(GroupId g, const PhysicalNodePtr& base,
-                                      const RequiredProps& req,
-                                      std::vector<PhysicalNodePtr>* valid) {
-  const GroupStats& stats = StatsOf(g);
-  if (PropertySatisfied(req, base->delivered)) {
-    valid->push_back(base);
-    return;
-  }
-  bool part_ok = req.partitioning.SatisfiedBy(base->delivered.partitioning);
-  if (part_ok) {
-    // Only the sort is missing: sort each partition above the spool.
-    DeliveredProps d{base->delivered.partitioning, req.sort};
-    PhysicalNodePtr sort = MakePhysicalNode(
-        PhysicalOpKind::kSort, base->proto, g, {base}, d,
-        cost_model_.Sort(stats, base->delivered.partitioning));
-    sort->sort_spec = req.sort;
-    valid->push_back(std::move(sort));
-    return;
-  }
-  if (req.partitioning.kind == PartReqKind::kSerial) {
-    DeliveredProps d{Partitioning::Serial(), base->delivered.sort};
-    PhysicalNodePtr gather =
-        MakePhysicalNode(PhysicalOpKind::kGather, base->proto, g, {base}, d,
-                         cost_model_.Gather(stats));
-    if (PropertySatisfied(req, gather->delivered)) {
-      valid->push_back(gather);
-    } else {
-      DeliveredProps ds{Partitioning::Serial(), req.sort};
-      PhysicalNodePtr sort = MakePhysicalNode(
-          PhysicalOpKind::kSort, base->proto, g, {gather}, ds,
-          cost_model_.Sort(stats, Partitioning::Serial()));
-      sort->sort_spec = req.sort;
-      valid->push_back(std::move(sort));
-    }
-    return;
-  }
-  if (req.partitioning.kind == PartReqKind::kRangeExact) {
-    Partitioning range = Partitioning::Range(req.partitioning.range_cols);
-    DeliveredProps d{range, {}};
-    PhysicalNodePtr ex = MakePhysicalNode(
-        PhysicalOpKind::kRangeExchange, base->proto, g, {base}, d,
-        cost_model_.RangeExchange(stats, base->delivered.partitioning,
-                                  req.partitioning.cols));
-    ex->exchange_cols = req.partitioning.cols;
-    if (req.sort.Empty()) {
-      valid->push_back(std::move(ex));
-    } else {
-      DeliveredProps ds{range, req.sort};
-      PhysicalNodePtr sort =
-          MakePhysicalNode(PhysicalOpKind::kSort, base->proto, g, {ex}, ds,
-                           cost_model_.Sort(stats, range));
-      sort->sort_spec = req.sort;
-      valid->push_back(std::move(sort));
-    }
-    return;
-  }
-
-  for (ColumnSet& cols : EnforceCandidates(req.partitioning)) {
-    // Order-preserving exchange when the spool already delivers the order.
-    if (!req.sort.Empty() &&
-        base->delivered.sort.SatisfiesPrefix(req.sort)) {
-      DeliveredProps d{Partitioning::Hash(cols), base->delivered.sort};
-      PhysicalNodePtr ex = MakePhysicalNode(
-          PhysicalOpKind::kMergeExchange, base->proto, g, {base}, d,
-          cost_model_.MergeExchange(stats, base->delivered.partitioning,
-                                    cols));
-      ex->exchange_cols = cols;
-      valid->push_back(std::move(ex));
-      continue;
-    }
-    DeliveredProps d{Partitioning::Hash(cols), {}};
-    PhysicalNodePtr ex = MakePhysicalNode(
-        PhysicalOpKind::kHashExchange, base->proto, g, {base}, d,
-        cost_model_.HashExchange(stats, base->delivered.partitioning, cols));
-    ex->exchange_cols = cols;
-    if (req.sort.Empty()) {
-      valid->push_back(std::move(ex));
-    } else {
-      DeliveredProps ds{Partitioning::Hash(cols), req.sort};
-      PhysicalNodePtr sort = MakePhysicalNode(
-          PhysicalOpKind::kSort, base->proto, g, {ex}, ds,
-          cost_model_.Sort(stats, Partitioning::Hash(cols)));
-      sort->sort_spec = req.sort;
-      valid->push_back(std::move(sort));
-    }
-  }
-}
-
-PhysicalNodePtr Optimizer::LogPhysOpt(GroupId g, const RequiredProps& req) {
-  EnsureExplored(g);
-  std::vector<PhysicalNodePtr> valid;
-  // Copy: nested OptimizeGroup calls may add expressions to other groups
-  // (and rules could add to this one) while we iterate.
-  std::vector<GroupExpr> exprs = memo_.group(g).exprs();
-  for (const GroupExpr& expr : exprs) {
-    ImplementExpr(g, expr, req, &valid);
-  }
-  EnforceAlternatives(g, req, &valid);
-  return Cheapest(valid, mode_);
-}
-
-void Optimizer::ImplementExpr(GroupId g, const GroupExpr& expr,
-                              const RequiredProps& req,
-                              std::vector<PhysicalNodePtr>* valid) {
-  const LogicalNode& op = *expr.op;
-  auto push_if_valid = [&](PhysicalNodePtr node) {
-    if (node != nullptr && PropertySatisfied(req, node->delivered)) {
-      valid->push_back(std::move(node));
-    }
-  };
-
-  switch (op.kind()) {
-    case LogicalOpKind::kExtract: {
-      DeliveredProps d{Partitioning::Random(), {}};
-      push_if_valid(MakePhysicalNode(PhysicalOpKind::kExtract, expr.op, g, {},
-                                     d, cost_model_.Extract(StatsOf(g))));
-      break;
-    }
-    case LogicalOpKind::kFilter: {
-      PhysicalNodePtr cp = OptimizeGroup(expr.children[0], req);
-      if (cp == nullptr) break;
-      push_if_valid(MakePhysicalNode(
-          PhysicalOpKind::kFilter, expr.op, g, {cp}, cp->delivered,
-          cost_model_.Filter(StatsOf(expr.children[0]),
-                             cp->delivered.partitioning)));
-      break;
-    }
-    case LogicalOpKind::kProject: {
-      RequiredProps creq = MapRequiredThroughProject(req, op.project_map);
-      PhysicalNodePtr cp = OptimizeGroup(expr.children[0], creq);
-      if (cp == nullptr) break;
-      DeliveredProps d =
-          MapDeliveredThroughProject(cp->delivered, op.project_map);
-      push_if_valid(MakePhysicalNode(
-          PhysicalOpKind::kProject, expr.op, g, {cp}, d,
-          cost_model_.Project(StatsOf(expr.children[0]),
-                              cp->delivered.partitioning)));
-      break;
-    }
-    case LogicalOpKind::kCompute: {
-      // Passthrough items keep their column ids, so requirements on them
-      // push straight through; requirements touching computed outputs
-      // cannot (the enforcer framework compensates above this node).
-      ColumnSet pass;
-      for (const ComputeItem& item : op.compute_items) {
-        if (item.IsPassthrough()) pass.Insert(item.out);
-      }
-      RequiredProps creq;
-      if (req.partitioning.kind == PartReqKind::kNone ||
-          req.partitioning.kind == PartReqKind::kSerial ||
-          req.partitioning.cols.IsSubsetOf(pass)) {
-        creq.partitioning = req.partitioning;
-      }
-      for (ColumnId c : req.sort.cols) {
-        if (!pass.Contains(c)) break;
-        creq.sort.cols.push_back(c);
-      }
-      PhysicalNodePtr cp = OptimizeGroup(expr.children[0], creq);
-      if (cp == nullptr) break;
-      DeliveredProps d;
-      const Partitioning& cpart = cp->delivered.partitioning;
-      if (cpart.kind != PartitioningKind::kHash &&
-          cpart.kind != PartitioningKind::kRange) {
-        d.partitioning = cpart;
-      } else if (cpart.cols.IsSubsetOf(pass)) {
-        d.partitioning = cpart;
-      } else {
-        d.partitioning = Partitioning::Random();
-      }
-      for (ColumnId c : cp->delivered.sort.cols) {
-        if (!pass.Contains(c)) break;
-        d.sort.cols.push_back(c);
-      }
-      push_if_valid(MakePhysicalNode(
-          PhysicalOpKind::kCompute, expr.op, g, {cp}, d,
-          cost_model_.Project(StatsOf(expr.children[0]),
-                              cp->delivered.partitioning)));
-      break;
-    }
-    case LogicalOpKind::kSpool: {
-      // Un-enforced spool (phase 1, or phase 2 after budget exhaustion):
-      // pass the consumer's requirement through to the producer.
-      PhysicalNodePtr cp = OptimizeGroup(expr.children[0], req);
-      if (cp == nullptr) break;
-      PhysicalNodePtr spool = MakePhysicalNode(
-          PhysicalOpKind::kSpool, expr.op, g, {cp}, cp->delivered,
-          cost_model_.SpoolWrite(StatsOf(expr.children[0]),
-                                 cp->delivered.partitioning));
-      spool->extra_consumer_cost = cost_model_.SpoolRead(
-          StatsOf(expr.children[0]), cp->delivered.partitioning);
-      push_if_valid(std::move(spool));
-      break;
-    }
-    case LogicalOpKind::kOutput: {
-      // ORDER BY output: a globally ordered file can be produced either by
-      // gathering everything into one sorted partition (Gather + Sort
-      // enforcers) or, in parallel, by range-partitioning on the order
-      // columns and sorting each partition — partition order then follows
-      // key order. Both alternatives are costed.
-      std::vector<RequiredProps> creqs;
-      if (op.order_by.empty()) {
-        creqs.push_back(RequiredProps{});
-      } else {
-        creqs.push_back(RequiredProps{PartitioningReq::Serial(),
-                                      SortSpec{op.order_by}});
-        creqs.push_back(RequiredProps{
-            PartitioningReq::RangeExactly(op.order_by),
-            SortSpec{op.order_by}});
-      }
-      for (const RequiredProps& creq : creqs) {
-        PhysicalNodePtr cp = OptimizeGroup(expr.children[0], creq);
-        if (cp == nullptr) continue;
-        push_if_valid(MakePhysicalNode(
-            PhysicalOpKind::kOutput, expr.op, g, {cp}, cp->delivered,
-            cost_model_.Output(StatsOf(expr.children[0]),
-                               cp->delivered.partitioning)));
-      }
-      break;
-    }
-    case LogicalOpKind::kSequence: {
-      std::vector<PhysicalNodePtr> children;
-      bool ok = true;
-      for (GroupId c : expr.children) {
-        PhysicalNodePtr cp = OptimizeGroup(c, RequiredProps{});
-        if (cp == nullptr) {
-          ok = false;
-          break;
-        }
-        children.push_back(std::move(cp));
-      }
-      if (!ok) break;
-      DeliveredProps d{Partitioning::Random(), {}};
-      push_if_valid(MakePhysicalNode(PhysicalOpKind::kSequence, expr.op, g,
-                                     std::move(children), d, 0));
-      break;
-    }
-    case LogicalOpKind::kGbAgg:
-    case LogicalOpKind::kGlobalGbAgg: {
-      GroupId child = expr.children[0];
-      std::optional<PartitioningReq> combined =
-          op.group_cols.empty()
-              ? std::optional<PartitioningReq>(PartitioningReq::Serial())
-              : CombinePartReq(req.partitioning,
-                               ColumnSet::FromVector(op.group_cols));
-      if (!combined.has_value()) break;  // enforcers compensate above
-      PartitioningReq part_req = *combined;
-      // Stream aggregate: input sorted on a grouping-column order chosen to
-      // also serve the required output order.
-      std::optional<SortSpec> order = ExtendSort(req.sort, op.group_cols);
-      if (order.has_value()) {
-        RequiredProps creq{part_req, *order};
-        PhysicalNodePtr cp = OptimizeGroup(child, creq);
-        if (cp != nullptr) {
-          DeliveredProps d{cp->delivered.partitioning, *order};
-          PhysicalNodePtr agg = MakePhysicalNode(
-              PhysicalOpKind::kStreamAgg, expr.op, g, {cp}, d,
-              cost_model_.StreamAgg(StatsOf(child),
-                                    cp->delivered.partitioning));
-          agg->sort_spec = *order;
-          push_if_valid(std::move(agg));
-        }
-      }
-      // Hash aggregate: no input order needed, no output order delivered.
-      {
-        RequiredProps creq{part_req, {}};
-        PhysicalNodePtr cp = OptimizeGroup(child, creq);
-        if (cp != nullptr) {
-          DeliveredProps d{cp->delivered.partitioning, {}};
-          push_if_valid(MakePhysicalNode(
-              PhysicalOpKind::kHashAgg, expr.op, g, {cp}, d,
-              cost_model_.HashAgg(StatsOf(child),
-                                  cp->delivered.partitioning)));
-        }
-      }
-      break;
-    }
-    case LogicalOpKind::kLocalGbAgg: {
-      // A local (partial) aggregate works on any placement and preserves it,
-      // so the parent's partitioning requirement passes straight through.
-      GroupId child = expr.children[0];
-      std::optional<SortSpec> order = ExtendSort(req.sort, op.group_cols);
-      if (order.has_value()) {
-        RequiredProps creq{req.partitioning, *order};
-        PhysicalNodePtr cp = OptimizeGroup(child, creq);
-        if (cp != nullptr) {
-          DeliveredProps d{cp->delivered.partitioning, *order};
-          PhysicalNodePtr agg = MakePhysicalNode(
-              PhysicalOpKind::kStreamAgg, expr.op, g, {cp}, d,
-              cost_model_.StreamAgg(StatsOf(child),
-                                    cp->delivered.partitioning));
-          agg->sort_spec = *order;
-          push_if_valid(std::move(agg));
-        }
-      }
-      {
-        RequiredProps creq{req.partitioning, {}};
-        PhysicalNodePtr cp = OptimizeGroup(child, creq);
-        if (cp != nullptr) {
-          DeliveredProps d{cp->delivered.partitioning, {}};
-          push_if_valid(MakePhysicalNode(
-              PhysicalOpKind::kHashAgg, expr.op, g, {cp}, d,
-              cost_model_.HashAgg(StatsOf(child),
-                                  cp->delivered.partitioning)));
-        }
-      }
-      break;
-    }
-    case LogicalOpKind::kJoin: {
-      ImplementJoin(g, expr, req, valid);
-      break;
-    }
-    case LogicalOpKind::kUnionAll: {
-      std::vector<PhysicalNodePtr> children;
-      bool ok = true;
-      for (GroupId c : expr.children) {
-        PhysicalNodePtr cp = OptimizeGroup(c, RequiredProps{});
-        if (cp == nullptr) {
-          ok = false;
-          break;
-        }
-        children.push_back(std::move(cp));
-      }
-      if (!ok) break;
-      // Concatenation gives no placement or order guarantee (the sources'
-      // column identities differ, so even matching schemes are
-      // inexpressible on the output ids).
-      DeliveredProps d{Partitioning::Random(), {}};
-      push_if_valid(MakePhysicalNode(
-          PhysicalOpKind::kUnionAll, expr.op, g, std::move(children), d,
-          cost_model_.Project(StatsOf(g), Partitioning::Random())));
-      break;
-    }
-  }
-}
-
-void Optimizer::ImplementJoin(GroupId g, const GroupExpr& expr,
-                              const RequiredProps& req,
-                              std::vector<PhysicalNodePtr>* valid) {
-  const LogicalNode& op = *expr.op;
-  GroupId left = expr.children[0];
-  GroupId right = expr.children[1];
-  std::vector<ColumnId> lkeys, rkeys;
-  for (const auto& [l, r] : op.join_keys) {
-    lkeys.push_back(l);
-    rkeys.push_back(r);
-  }
-  auto push_if_valid = [&](PhysicalNodePtr node) {
-    if (node != nullptr && PropertySatisfied(req, node->delivered)) {
-      valid->push_back(std::move(node));
-    }
-  };
-
-  // Aligns the follower side's required columns with the positions the
-  // driver side actually delivered.
-  auto aligned_cols = [&](const ColumnSet& driver_cols,
-                          const std::vector<ColumnId>& driver_keys,
-                          const std::vector<ColumnId>& other_keys) {
-    ColumnSet out;
-    for (size_t i = 0; i < driver_keys.size(); ++i) {
-      if (driver_cols.Contains(driver_keys[i])) out.Insert(other_keys[i]);
-    }
-    return out;
-  };
-  // Mirror of aligned_cols, mapping follower columns back to the left side
-  // so delivered partitioning is always expressed in left-side columns.
-  auto left_side_cols = [&](const ColumnSet& driver_cols, bool driver_left) {
-    if (driver_left) return driver_cols;
-    return aligned_cols(driver_cols, rkeys, lkeys);
-  };
-
-  // Hash join, driver side optimized first with a free subset requirement;
-  // the other side is then pinned to the aligned exact scheme.
-  for (bool driver_left : {true, false}) {
-    GroupId driver = driver_left ? left : right;
-    GroupId other = driver_left ? right : left;
-    const std::vector<ColumnId>& dkeys = driver_left ? lkeys : rkeys;
-    const std::vector<ColumnId>& okeys = driver_left ? rkeys : lkeys;
-
-    // Fold the parent's partitioning requirement into the driver's when it
-    // speaks of this side's key columns (delivered partitioning is always
-    // expressed in left-side columns, so only fold for the left driver).
-    std::optional<PartitioningReq> dpart =
-        driver_left
-            ? CombinePartReq(req.partitioning, ColumnSet::FromVector(dkeys))
-            : std::optional<PartitioningReq>(
-                  PartitioningReq::SubsetOf(ColumnSet::FromVector(dkeys)));
-    if (!dpart.has_value()) continue;
-    RequiredProps dreq{*dpart, {}};
-    PhysicalNodePtr dp = OptimizeGroup(driver, dreq);
-    if (dp == nullptr) continue;
-    RequiredProps oreq;
-    Partitioning delivered_part;
-    if (dp->delivered.partitioning.kind == PartitioningKind::kSerial) {
-      oreq.partitioning = PartitioningReq::Serial();
-      delivered_part = Partitioning::Serial();
-    } else {
-      ColumnSet o =
-          aligned_cols(dp->delivered.partitioning.cols, dkeys, okeys);
-      oreq.partitioning = PartitioningReq::Exactly(o);
-      delivered_part = Partitioning::Hash(
-          left_side_cols(dp->delivered.partitioning.cols, driver_left));
-    }
-    PhysicalNodePtr opn = OptimizeGroup(other, oreq);
-    if (opn == nullptr) continue;
-    PhysicalNodePtr lp = driver_left ? dp : opn;
-    PhysicalNodePtr rp = driver_left ? opn : dp;
-    DeliveredProps d{delivered_part, {}};
-    push_if_valid(MakePhysicalNode(
-        PhysicalOpKind::kHashJoin, expr.op, g, {lp, rp}, d,
-        cost_model_.HashJoin(StatsOf(left), StatsOf(right),
-                             delivered_part)));
-  }
-
-  // Broadcast hash join: the (presumably small) right side is replicated to
-  // every machine, so the left side needs NO particular partitioning — the
-  // parent requirement passes straight through and no exchange of the big
-  // side is ever needed.
-  {
-    // Pass the parent's requirement to the left side only where it speaks
-    // of left-side columns (the probe stream flows through unchanged).
-    // The replicated build side spans the whole cluster, so this variant
-    // does not produce serial plans (Gather-based alternatives cover that).
-    if (req.partitioning.kind != PartReqKind::kSerial) {
-      ColumnSet left_schema_cols = memo_.group(left).schema().IdSet();
-      RequiredProps lreq;
-      if (req.partitioning.cols.IsSubsetOf(left_schema_cols)) {
-        lreq.partitioning = req.partitioning;
-      }
-      if (SortSpec{req.sort}.AsSet().IsSubsetOf(left_schema_cols)) {
-        lreq.sort = req.sort;
-      }
-      PhysicalNodePtr lp = OptimizeGroup(left, lreq);
-      PhysicalNodePtr rp = OptimizeGroup(right, RequiredProps{});
-      if (lp != nullptr && rp != nullptr &&
-          lp->delivered.partitioning.kind != PartitioningKind::kSerial) {
-        PhysicalNodePtr bcast = MakePhysicalNode(
-            PhysicalOpKind::kBroadcastExchange, rp->proto, right, {rp},
-            DeliveredProps{Partitioning::Random(), {}},
-            cost_model_.Broadcast(StatsOf(right)));
-        // The probe stream flows through unchanged: placement and order
-        // of the left side are preserved.
-        DeliveredProps d = lp->delivered;
-        push_if_valid(MakePhysicalNode(
-            PhysicalOpKind::kHashJoin, expr.op, g, {lp, std::move(bcast)}, d,
-            cost_model_.HashJoin(StatsOf(left), StatsOf(right),
-                                 lp->delivered.partitioning)));
-      }
-    }
-  }
-
-  // Merge join (left-driven): both sides sorted on the aligned full key
-  // order; preserves the left order downstream.
-  {
-    SortSpec lorder;
-    std::optional<SortSpec> ext = ExtendSort(req.sort, lkeys);
-    lorder = ext.has_value() ? *ext : SortSpec{lkeys};
-    std::optional<PartitioningReq> lpart =
-        CombinePartReq(req.partitioning, ColumnSet::FromVector(lkeys));
-    if (!lpart.has_value()) return;
-    RequiredProps lreq{*lpart, lorder};
-    PhysicalNodePtr lp = OptimizeGroup(left, lreq);
-    if (lp != nullptr) {
-      // Right order aligned with the left key permutation.
-      SortSpec rorder;
-      for (ColumnId lc : lorder.cols) {
-        for (size_t i = 0; i < lkeys.size(); ++i) {
-          if (lkeys[i] == lc) {
-            rorder.cols.push_back(rkeys[i]);
-            break;
-          }
-        }
-      }
-      RequiredProps rreq;
-      Partitioning delivered_part;
-      if (lp->delivered.partitioning.kind == PartitioningKind::kSerial) {
-        rreq.partitioning = PartitioningReq::Serial();
-        delivered_part = Partitioning::Serial();
-      } else {
-        ColumnSet o =
-            aligned_cols(lp->delivered.partitioning.cols, lkeys, rkeys);
-        rreq.partitioning = PartitioningReq::Exactly(o);
-        delivered_part = lp->delivered.partitioning;
-      }
-      rreq.sort = rorder;
-      PhysicalNodePtr rp = OptimizeGroup(right, rreq);
-      if (rp != nullptr) {
-        DeliveredProps d{delivered_part, lorder};
-        push_if_valid(MakePhysicalNode(
-            PhysicalOpKind::kMergeJoin, expr.op, g, {lp, rp}, d,
-            cost_model_.MergeJoin(StatsOf(left), StatsOf(right),
-                                  delivered_part)));
-      }
-    }
-  }
-}
-
-void Optimizer::EnforceAlternatives(GroupId g, const RequiredProps& req,
-                                    std::vector<PhysicalNodePtr>* valid) {
-  const GroupStats& stats = StatsOf(g);
-
-  // Sort enforcer: satisfy the partitioning first, then sort in place.
-  if (!req.sort.Empty()) {
-    RequiredProps relaxed{req.partitioning, {}};
-    PhysicalNodePtr inner = OptimizeGroup(g, relaxed);
-    if (inner != nullptr) {
-      DeliveredProps d{inner->delivered.partitioning, req.sort};
-      PhysicalNodePtr sort = MakePhysicalNode(
-          PhysicalOpKind::kSort, inner->proto, g, {inner}, d,
-          cost_model_.Sort(stats, inner->delivered.partitioning));
-      sort->sort_spec = req.sort;
-      valid->push_back(std::move(sort));
-    }
-  }
-
-  if (req.partitioning.kind == PartReqKind::kSerial) {
-    RequiredProps relaxed{PartitioningReq::None(), req.sort};
-    PhysicalNodePtr inner = OptimizeGroup(g, relaxed);
-    if (inner != nullptr) {
-      DeliveredProps d{Partitioning::Serial(), inner->delivered.sort};
-      valid->push_back(MakePhysicalNode(PhysicalOpKind::kGather, inner->proto,
-                                        g, {inner}, d,
-                                        cost_model_.Gather(stats)));
-    }
-    return;
-  }
-
-  if (req.partitioning.kind == PartReqKind::kRangeExact) {
-    RequiredProps relaxed{PartitioningReq::None(), {}};
-    PhysicalNodePtr inner = OptimizeGroup(g, relaxed);
-    if (inner != nullptr) {
-      Partitioning range = Partitioning::Range(req.partitioning.range_cols);
-      DeliveredProps d{range, {}};
-      PhysicalNodePtr ex = MakePhysicalNode(
-          PhysicalOpKind::kRangeExchange, inner->proto, g, {inner}, d,
-          cost_model_.RangeExchange(stats, inner->delivered.partitioning,
-                                    req.partitioning.cols));
-      ex->exchange_cols = req.partitioning.cols;
-      if (req.sort.Empty()) {
-        valid->push_back(std::move(ex));
-      } else {
-        DeliveredProps ds{range, req.sort};
-        PhysicalNodePtr sort =
-            MakePhysicalNode(PhysicalOpKind::kSort, inner->proto, g, {ex}, ds,
-                             cost_model_.Sort(stats, range));
-        sort->sort_spec = req.sort;
-        valid->push_back(std::move(sort));
-      }
-    }
-    return;
-  }
-
-  if (req.partitioning.kind != PartReqKind::kHashSubset &&
-      req.partitioning.kind != PartReqKind::kHashExact) {
-    return;
-  }
-
-  for (ColumnSet& cols : EnforceCandidates(req.partitioning)) {
-    // Plain hash repartition (destroys order) + optional sort above.
-    RequiredProps relaxed{PartitioningReq::None(), {}};
-    PhysicalNodePtr inner = OptimizeGroup(g, relaxed);
-    if (inner != nullptr) {
-      DeliveredProps d{Partitioning::Hash(cols), {}};
-      PhysicalNodePtr ex = MakePhysicalNode(
-          PhysicalOpKind::kHashExchange, inner->proto, g, {inner}, d,
-          cost_model_.HashExchange(stats, inner->delivered.partitioning,
-                                   cols));
-      ex->exchange_cols = cols;
-      if (req.sort.Empty()) {
-        valid->push_back(std::move(ex));
-      } else {
-        DeliveredProps ds{Partitioning::Hash(cols), req.sort};
-        PhysicalNodePtr sort =
-            MakePhysicalNode(PhysicalOpKind::kSort, inner->proto, g, {ex}, ds,
-                             cost_model_.Sort(stats, Partitioning::Hash(cols)));
-        sort->sort_spec = req.sort;
-        valid->push_back(std::move(sort));
-      }
-    }
-    // Order-preserving merge repartition over a locally sorted input.
-    if (!req.sort.Empty()) {
-      RequiredProps sorted_relax{PartitioningReq::None(), req.sort};
-      PhysicalNodePtr inner2 = OptimizeGroup(g, sorted_relax);
-      if (inner2 != nullptr) {
-        DeliveredProps d{Partitioning::Hash(cols), inner2->delivered.sort};
-        PhysicalNodePtr ex = MakePhysicalNode(
-            PhysicalOpKind::kMergeExchange, inner2->proto, g, {inner2}, d,
-            cost_model_.MergeExchange(stats, inner2->delivered.partitioning,
-                                      cols));
-        ex->exchange_cols = cols;
-        valid->push_back(std::move(ex));
-      }
-    }
-  }
 }
 
 }  // namespace scx

@@ -1,195 +1,58 @@
 #ifndef SCX_CORE_OPTIMIZER_H_
 #define SCX_CORE_OPTIMIZER_H_
 
-#include <chrono>
-#include <map>
 #include <memory>
-#include <optional>
-#include <set>
-#include <string>
-#include <vector>
 
-#include "core/fingerprint.h"
-#include "core/property_history.h"
-#include "core/shared_info.h"
-#include "cost/cost_model.h"
-#include "memo/memo.h"
-#include "opt/physical_plan.h"
+#include "core/optimization_context.h"
+#include "core/round_scheduler.h"
+#include "core/round_task.h"
 
 namespace scx {
 
-/// Which optimizer to run.
-///  * kConventional reproduces the baseline SCOPE optimizer: no spools,
-///    each consumer re-executes shared subexpressions, tree-cost
-///    accounting (paper Fig. 8(a)).
-///  * kNaiveSharing reproduces the earlier multi-query-optimization
-///    techniques the paper argues against ([10]-[12] in its Sec. II):
-///    shared subexpressions are identified and executed once, but the
-///    shared plan is the LOCALLY optimal one — consumers compensate above
-///    the spool with their own enforcers instead of the spool's properties
-///    being chosen cost-based across consumers.
-///  * kCse runs the paper's full framework of Secs. IV–VIII.
-enum class OptimizerMode { kConventional, kNaiveSharing, kCse };
-
-/// Tunables for optimization. The Sec. VIII large-script extensions can be
-/// toggled individually for ablation benchmarks.
-struct OptimizerConfig {
-  ClusterConfig cluster;
-  CostConstants costs;
-  /// Max column-set size for full subset expansion (history recording and
-  /// exchange-enforcer candidates). Larger sets use singletons + full set.
-  int max_expand_cols = 4;
-  /// Enable the local/global aggregate-split transformation rule.
-  bool enable_agg_split = true;
-  /// Enable the join-commutativity transformation rule.
-  bool enable_join_commute = true;
-  /// Phase-2 optimization budget (paper: 30 s for LS1, 60 s for LS2).
-  double budget_seconds = 30.0;
-  /// Hard cap on phase-2 rounds across all LCAs.
-  long max_rounds = 1000000;
-  bool exploit_independent_groups = true;  ///< Sec. VIII-A
-  bool rank_shared_groups = true;          ///< Sec. VIII-B
-  bool rank_properties = true;             ///< Sec. VIII-C
-  /// Record a RoundTraceEntry per phase-2 round in the diagnostics.
-  bool trace_rounds = true;
-  CseIdentifyOptions cse;
-};
-
-/// One phase-2 re-optimization round, as recorded in the optimization
-/// trace: which LCA ran it, which history entries were enforced, and what
-/// the resulting plan cost.
-struct RoundTraceEntry {
-  GroupId lca = kInvalidGroup;
-  long round_index = 0;  ///< global, across all LCAs
-  std::map<GroupId, int> assignment;
-  double cost = 0;
-  double best_so_far = 0;  ///< best cost at this LCA after this round
-};
-
-/// Measurements and derived facts exposed alongside the chosen plan.
-struct OptimizeDiagnostics {
-  double phase1_cost = 0;  ///< best cost after phase 1 (mode accounting)
-  double final_cost = 0;
-  long rounds_planned = 0;
-  long rounds_executed = 0;
-  int num_shared_groups = 0;
-  int explicit_shared = 0;
-  int merged_subexpressions = 0;
-  int reachable_groups = 0;
-  double optimize_seconds = 0;
-  bool budget_exhausted = false;
-  /// shared group -> its LCA.
-  std::map<GroupId, GroupId> lca_of;
-  /// shared group -> history size after phase 1.
-  std::map<GroupId, int> history_sizes;
-  /// Per-round trace (populated when OptimizerConfig::trace_rounds).
-  std::vector<RoundTraceEntry> round_trace;
-};
-
-struct OptimizeResult {
-  PhysicalNodePtr plan;
-  double cost = 0;
-  OptimizeDiagnostics diagnostics;
-};
-
 /// The SCOPE-style Cascades optimizer extended with the paper's
-/// common-subexpression framework.
+/// common-subexpression framework, split into three layers:
 ///
-/// Phase 1 (paper Algorithm 2): bottom-up required-properties optimization
-/// with enforcer rules (hash/merge repartition, gather, per-partition sort),
-/// recording the history of property sets requested at shared groups.
-/// Between phases: shared-group propagation and LCA identification
-/// (Algorithm 3 / SharedInfo). Phase 2 (Algorithms 4 and 5): at each LCA,
-/// one re-optimization round per combination of history entries, enforcing
-/// the chosen property set at the shared groups so every consumer reads one
-/// materialized spool.
+///  * OptimizationContext — everything a run reads that is not specific to
+///    one round (memo, stats, cost model, shared info, phase-1 property
+///    histories). Built during phase 1, frozen immutable before phase 2.
+///  * RoundTask — the group-optimization recursion (Algorithms 2, 4, 5)
+///    plus the state one pass mutates: winner cache, spool-base cache, the
+///    active enforcement assignment. Forkable for parallel rounds.
+///  * RoundScheduler — executes the phase-2 rounds of each LCA, serially or
+///    on a thread pool (OptimizerConfig::num_threads), with deterministic,
+///    bit-identical-to-serial results.
+///
+/// This class only orchestrates: phase 1 (bottom-up required-properties
+/// optimization with history recording), shared-group propagation and LCA
+/// identification between phases (Algorithm 3 / SharedInfo), then phase 2
+/// (one re-optimization round per combination of history entries at each
+/// LCA, enforcing the chosen property set so every consumer reads one
+/// materialized spool).
 class Optimizer {
  public:
   Optimizer(Memo memo, ColumnRegistryPtr columns, OptimizerConfig config);
 
-  /// Runs the optimizer. Not reusable across calls (build one per run).
+  /// Runs the optimizer. Single-shot: a second call returns
+  /// FailedPrecondition (the context is frozen and the memo restructured by
+  /// then — build a fresh Optimizer to re-optimize).
   Result<OptimizeResult> Run(OptimizerMode mode);
 
-  const Memo& memo() const { return memo_; }
-  const SharedInfo* shared_info() const {
-    return shared_.has_value() ? &*shared_ : nullptr;
+  const Memo& memo() const { return ctx_->memo(); }
+  const SharedInfo* shared_info() const { return ctx_->shared_info(); }
+  const CardinalityEstimator& estimator() const { return ctx_->estimator(); }
+  const PropertyHistory* HistoryOf(GroupId g) const {
+    return ctx_->HistoryOf(g);
   }
-  const CardinalityEstimator& estimator() const { return estimator_; }
-  const PropertyHistory* HistoryOf(GroupId g) const;
 
  private:
-  // --- Algorithm 2 / 4: group optimization with winner memoization ---
-  PhysicalNodePtr OptimizeGroup(GroupId g, const RequiredProps& req);
-  // --- Algorithm 5: logical exploration + physical optimization ---
-  PhysicalNodePtr LogPhysOpt(GroupId g, const RequiredProps& req);
-  // Phase 2: rounds at an LCA (Algorithm 4 lines 4-12 + Sec. VIII).
-  PhysicalNodePtr RunRounds(GroupId g, const RequiredProps& req);
-  // Phase 2: optimize a shared group under the enforced property set and
-  // compensate above the fixed spool for the consumer's requirement.
-  PhysicalNodePtr OptimizeSharedEnforced(GroupId g, const RequiredProps& req);
-  // The materialized spool for (shared group, history entry) — one instance
-  // shared by every consumer in the round.
-  PhysicalNodePtr SpoolBase(GroupId g, int entry_index);
-
-  // Native (non-enforcer) implementation alternatives for one expression.
-  void ImplementExpr(GroupId g, const GroupExpr& expr,
-                     const RequiredProps& req,
-                     std::vector<PhysicalNodePtr>* valid);
-  void ImplementJoin(GroupId g, const GroupExpr& expr,
-                     const RequiredProps& req,
-                     std::vector<PhysicalNodePtr>* valid);
-  // Enforcer alternatives wrapping re-optimizations with relaxed
-  // requirements.
-  void EnforceAlternatives(GroupId g, const RequiredProps& req,
-                           std::vector<PhysicalNodePtr>* valid);
-  // Wraps enforcers over a fixed base plan to satisfy `req` (used above
-  // enforced spools).
-  void WrapEnforcersOverBase(GroupId g, const PhysicalNodePtr& base,
-                             const RequiredProps& req,
-                             std::vector<PhysicalNodePtr>* valid);
-
-  // Applies transformation rules (aggregate split) to a group, once.
-  void EnsureExplored(GroupId g);
-
-  void RecordHistory(GroupId g, const RequiredProps& req);
-
-  // Mode-appropriate plan objective (tree cost conventionally, DAG cost
-  // with CSE).
-  double PlanCost(const PhysicalNodePtr& plan) const;
-
-  // Candidate partitioning column sets an exchange enforcer may produce for
-  // a requirement.
-  std::vector<ColumnSet> EnforceCandidates(const PartitioningReq& req) const;
-
-  std::string WinnerKeySuffix(GroupId g) const;
-  bool BudgetExceeded() const;
-
-  const GroupStats& StatsOf(GroupId g) const {
-    return estimator_.StatsOf(g);
-  }
-
-  Memo memo_;
-  ColumnRegistryPtr columns_;
-  OptimizerConfig config_;
-  CardinalityEstimator estimator_;
-  CostModel cost_model_;
-
-  OptimizerMode mode_ = OptimizerMode::kConventional;
-  int phase_ = 1;
-  std::map<std::tuple<GroupId, std::string, std::string>,
-           std::optional<PhysicalNodePtr>>
-      winners_;
-  std::map<GroupId, PropertyHistory> history_;
-  std::optional<SharedInfo> shared_;
-  std::map<GroupId, int> enforced_;  ///< active round assignment
-  std::set<GroupId> in_rounds_;
-  std::map<std::tuple<GroupId, int, std::string>, PhysicalNodePtr>
-      spool_bases_;
-  std::set<GroupId> explored_;
-
+  // Declaration order is destruction-critical: the scheduler's pool threads
+  // and the master task both reference the context, so they are destroyed
+  // first (members are destroyed in reverse order).
+  std::unique_ptr<OptimizationContext> ctx_;
+  std::unique_ptr<RoundScheduler> scheduler_;
+  std::unique_ptr<RoundTask> master_;
+  bool ran_ = false;
   OptimizeDiagnostics diag_;
-  std::chrono::steady_clock::time_point phase2_start_;
-  bool budget_exhausted_ = false;
 };
 
 }  // namespace scx

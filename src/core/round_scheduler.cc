@@ -1,0 +1,278 @@
+#include "core/round_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <utility>
+
+namespace scx {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+RoundScheduler::RoundScheduler(const OptimizationContext* ctx,
+                               OptimizeDiagnostics* diag)
+    : ctx_(ctx),
+      diag_(diag),
+      phase2_start_(std::chrono::steady_clock::now()),
+      best_cost_seen_(kInf) {}
+
+RoundScheduler::~RoundScheduler() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : pool_) t.join();
+}
+
+void RoundScheduler::StartPhase2() {
+  phase2_start_ = std::chrono::steady_clock::now();
+}
+
+bool RoundScheduler::BudgetExceeded() const {
+  if (budget_exhausted_.load(std::memory_order_relaxed)) return true;
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - phase2_start_)
+                       .count();
+  return elapsed > ctx_->config().budget_seconds;
+}
+
+void RoundScheduler::NoteBestCost(double cost) {
+  double cur = best_cost_seen_.load(std::memory_order_relaxed);
+  while (cost < cur && !best_cost_seen_.compare_exchange_weak(
+                           cur, cost, std::memory_order_relaxed)) {
+  }
+}
+
+PhysicalNodePtr RoundScheduler::RunRoundsAt(RoundTask* task, GroupId g,
+                                            const RequiredProps& req) {
+  task->in_rounds_.insert(g);
+  const SharedInfo& shared = *ctx_->shared_info();
+  std::vector<GroupId> here = shared.SharedGroupsWithLca(g);
+
+  // Diagnostics are written single-threaded by the master walk. Workers
+  // never reach rounds (parallelism is restricted to LCAs without nested
+  // LCAs), but if that invariant ever broke, their counts go to a scratch
+  // sink rather than racing the shared one.
+  OptimizeDiagnostics scratch;
+  OptimizeDiagnostics* sink = task->worker() ? &scratch : diag_;
+
+  if (ctx_->mode() == OptimizerMode::kNaiveSharing) {
+    // Related-work baseline: exactly one round per LCA, every shared group
+    // enforced with NO requirement — i.e. the locally cheapest shared plan,
+    // which all consumers must then compensate above (paper Secs. I-II).
+    sink->rounds_planned += 1;
+    ++sink->rounds_executed;
+    for (GroupId s : here) task->enforced_[s] = kNaiveEntryIndex;
+    PhysicalNodePtr plan = task->LogPhysOpt(g, req);
+    for (GroupId s : here) task->enforced_.erase(s);
+    task->in_rounds_.erase(g);
+    return plan;
+  }
+
+  const OptimizerConfig& config = ctx_->config();
+
+  // Sec. VIII-B: rank shared groups by potential repartitioning savings
+  // RepartSav(G) = (NoConsumers(G)-1) * RepartCost(G).
+  std::map<GroupId, double> savings;
+  for (GroupId s : here) {
+    double consumers = static_cast<double>(shared.ConsumersOf(s).size());
+    savings[s] =
+        (consumers - 1.0) * ctx_->cost_model().RepartCostOf(ctx_->StatsOf(s));
+  }
+
+  std::vector<std::vector<GroupId>> classes;
+  if (config.exploit_independent_groups) {
+    classes = shared.IndependenceClassesAt(ctx_->memo(), g);
+  } else {
+    classes.push_back(here);
+  }
+  if (config.rank_shared_groups) {
+    for (auto& cls : classes) {
+      std::stable_sort(cls.begin(), cls.end(), [&](GroupId a, GroupId b) {
+        return savings[a] > savings[b];
+      });
+    }
+    std::stable_sort(classes.begin(), classes.end(),
+                     [&](const std::vector<GroupId>& a,
+                         const std::vector<GroupId>& b) {
+                       double ma = 0, mb = 0;
+                       for (GroupId s : a) ma = std::max(ma, savings[s]);
+                       for (GroupId s : b) mb = std::max(mb, savings[s]);
+                       return ma > mb;
+                     });
+  }
+
+  std::map<GroupId, int> sizes;
+  for (GroupId s : here) {
+    const PropertyHistory* h = ctx_->HistoryOf(s);
+    sizes[s] = h != nullptr ? h->size() : 0;
+  }
+
+  RoundEnumerator enumerator(classes, sizes);
+  sink->rounds_planned += enumerator.TotalRounds();
+
+  // Rounds of one class are mutually independent, so they can be evaluated
+  // concurrently; the enumerator only makes pinning decisions at class
+  // boundaries. Nested-LCA rounds stay serial: a worker must never spawn
+  // its own parallel batch.
+  bool parallel = !task->worker() && config.num_threads > 1 &&
+                  ctx_->mode() == OptimizerMode::kCse && !ctx_->HasNestedLca(g);
+
+  PhysicalNodePtr best;
+  double best_cost = kInf;
+
+  if (!parallel) {
+    RoundAssignment assignment;
+    while (enumerator.Next(&assignment)) {
+      if (BudgetExceeded() || sink->rounds_executed >= config.max_rounds) {
+        budget_exhausted_.store(true, std::memory_order_relaxed);
+        sink->budget_exhausted = true;
+        break;
+      }
+      ++sink->rounds_executed;
+      for (const auto& [s, idx] : assignment) task->enforced_[s] = idx;
+      PhysicalNodePtr plan = task->LogPhysOpt(g, req);
+      double cost = plan != nullptr ? ctx_->PlanCost(plan) : kInf;
+      enumerator.ReportCost(cost);
+      for (const auto& [s, idx] : assignment) task->enforced_.erase(s);
+      if (plan != nullptr && cost < best_cost) {
+        best = plan;
+        best_cost = cost;
+        NoteBestCost(cost);
+      }
+      if (config.trace_rounds) {
+        RoundTraceEntry entry;
+        entry.lca = g;
+        entry.round_index = sink->rounds_executed;
+        entry.assignment = assignment;
+        entry.cost = cost;
+        entry.best_so_far = best_cost;
+        sink->round_trace.push_back(std::move(entry));
+      }
+    }
+  } else {
+    EnsurePool();
+    std::vector<RoundAssignment> batch;
+    bool stopped = false;
+    while (!stopped && enumerator.NextBatch(&batch)) {
+      // One forked task per round: each reads the master's caches through
+      // an immutable base pointer and records into its own overlay. The
+      // master thread participates in evaluation, so its caches are not
+      // touched until the batch is applied below.
+      std::vector<RoundTask> workers;
+      workers.reserve(batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) workers.push_back(task->Fork());
+      std::vector<RoundResult> results(batch.size());
+      RunJobs(batch.size(), [&](size_t i) {
+        results[i] = workers[i].EvaluateRound(g, req, batch[i]);
+      });
+
+      // Apply in enumeration order — this replays the serial loop exactly:
+      // same round numbering, same strict-< winner updates, same cache
+      // contents (insert-if-absent absorption; every entry is a pure
+      // function of its key and the frozen context).
+      std::vector<double> costs;
+      costs.reserve(batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (BudgetExceeded() || sink->rounds_executed >= config.max_rounds ||
+            results[i].budget_skipped) {
+          budget_exhausted_.store(true, std::memory_order_relaxed);
+          sink->budget_exhausted = true;
+          stopped = true;
+          break;
+        }
+        ++sink->rounds_executed;
+        if (results[i].plan != nullptr && results[i].cost < best_cost) {
+          best = results[i].plan;
+          best_cost = results[i].cost;
+          NoteBestCost(best_cost);
+        }
+        if (config.trace_rounds) {
+          RoundTraceEntry entry;
+          entry.lca = g;
+          entry.round_index = sink->rounds_executed;
+          entry.assignment = batch[i];
+          entry.cost = results[i].cost;
+          entry.best_so_far = best_cost;
+          sink->round_trace.push_back(std::move(entry));
+        }
+        task->AbsorbCaches(&workers[i]);
+        costs.push_back(results[i].cost);
+      }
+      if (!stopped) enumerator.ReportBatch(costs);
+    }
+  }
+
+  task->in_rounds_.erase(g);
+  if (best == nullptr) {
+    best = task->LogPhysOpt(g, req);  // budget exhausted before the 1st round
+  }
+  return best;
+}
+
+void RoundScheduler::EnsurePool() {
+  if (pool_started_) return;
+  pool_started_ = true;
+  int extra = ctx_->config().num_threads - 1;  // master is a worker too
+  pool_.reserve(static_cast<size_t>(extra));
+  for (int i = 0; i < extra; ++i) {
+    pool_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void RoundScheduler::RunJobs(size_t n, const std::function<void(size_t)>& fn) {
+  if (pool_.empty() || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_fn_ = &fn;
+    job_count_ = n;
+    next_job_ = 0;
+    jobs_done_ = 0;
+  }
+  cv_work_.notify_all();
+  // The master thread pulls jobs alongside the pool.
+  for (;;) {
+    size_t i;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (next_job_ >= job_count_) break;
+      i = next_job_++;
+    }
+    fn(i);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++jobs_done_;
+      if (jobs_done_ == job_count_) cv_done_.notify_all();
+    }
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return jobs_done_ == job_count_; });
+  job_fn_ = nullptr;
+}
+
+void RoundScheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_work_.wait(lk, [&] {
+      return stop_ || (job_fn_ != nullptr && next_job_ < job_count_);
+    });
+    if (stop_) return;
+    while (job_fn_ != nullptr && next_job_ < job_count_) {
+      size_t i = next_job_++;
+      const std::function<void(size_t)>* fn = job_fn_;
+      lk.unlock();
+      (*fn)(i);
+      lk.lock();
+      ++jobs_done_;
+      if (jobs_done_ == job_count_) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace scx

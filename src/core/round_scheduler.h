@@ -1,0 +1,99 @@
+#ifndef SCX_CORE_ROUND_SCHEDULER_H_
+#define SCX_CORE_ROUND_SCHEDULER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/optimization_context.h"
+#include "core/round_task.h"
+#include "core/rounds.h"
+
+namespace scx {
+
+/// Owns phase-2 round execution: partitions the round space of each LCA by
+/// independence-class structure (RoundEnumerator), evaluates the rounds of a
+/// class either serially or concurrently on a fixed-size thread pool, and
+/// tracks the global round budget.
+///
+/// Determinism contract (see docs/architecture.md): for a fixed script and
+/// config, the chosen plan, its cost, rounds_planned/rounds_executed and the
+/// round trace are bit-identical for every num_threads value as long as the
+/// time budget does not expire. Guarantees making this hold:
+///  * only rounds within one independence class run concurrently — they are
+///    mutually independent by construction, and the enumerator's pinning
+///    decisions only happen at class boundaries;
+///  * only LCAs without another LCA strictly below them are parallelized
+///    (OptimizationContext::HasNestedLca), so a worker never runs nested
+///    rounds;
+///  * each worker evaluates its round on a forked RoundTask whose caches
+///    overlay the master's read-only snapshot; results are applied in
+///    enumeration order, and winner selection uses strict less-than, ties
+///    broken by round index — exactly the serial rule;
+///  * the atomic best-so-far bound is maintained for reporting only and
+///    never prunes work.
+class RoundScheduler {
+ public:
+  RoundScheduler(const OptimizationContext* ctx, OptimizeDiagnostics* diag);
+  ~RoundScheduler();
+  RoundScheduler(const RoundScheduler&) = delete;
+  RoundScheduler& operator=(const RoundScheduler&) = delete;
+
+  /// Starts the phase-2 budget clock.
+  void StartPhase2();
+
+  /// True when the time budget expired or the round cap was hit.
+  bool BudgetExceeded() const;
+  /// Sticky flag: a budget stop happened somewhere; remaining LCAs fall
+  /// back to phase-1-style optimization.
+  bool budget_exhausted() const {
+    return budget_exhausted_.load(std::memory_order_relaxed);
+  }
+
+  /// Cheapest round cost observed anywhere so far (reporting only; +inf
+  /// until a round produced a plan).
+  double best_cost_seen() const {
+    return best_cost_seen_.load(std::memory_order_relaxed);
+  }
+
+  /// Runs the phase-2 rounds at LCA `g` for `task` (paper Algorithm 4
+  /// lines 4-12 + Sec. VIII) and returns the winning plan.
+  PhysicalNodePtr RunRoundsAt(RoundTask* task, GroupId g,
+                              const RequiredProps& req);
+
+ private:
+  void EnsurePool();
+  /// Runs fn(0..n-1) across the pool; the calling (master) thread
+  /// participates. Returns when all jobs finished.
+  void RunJobs(size_t n, const std::function<void(size_t)>& fn);
+  void WorkerLoop();
+  void NoteBestCost(double cost);
+
+  const OptimizationContext* ctx_;
+  OptimizeDiagnostics* diag_;
+
+  std::chrono::steady_clock::time_point phase2_start_;
+  std::atomic<bool> budget_exhausted_{false};
+  std::atomic<double> best_cost_seen_;
+
+  // Fixed-size pool of config.num_threads - 1 workers, created lazily at
+  // the first parallel batch.
+  bool pool_started_ = false;
+  std::vector<std::thread> pool_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(size_t)>* job_fn_ = nullptr;
+  size_t job_count_ = 0;
+  size_t next_job_ = 0;
+  size_t jobs_done_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace scx
+
+#endif  // SCX_CORE_ROUND_SCHEDULER_H_

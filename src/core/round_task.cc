@@ -1,0 +1,908 @@
+#include "core/round_task.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "core/round_scheduler.h"
+
+namespace scx {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Chooses the sort order a stream aggregate will produce: the required
+/// output order extended by the remaining grouping columns. Fails when the
+/// required order cannot be embedded in the grouping columns.
+std::optional<SortSpec> ExtendSort(const SortSpec& required,
+                                   const std::vector<ColumnId>& group_cols) {
+  ColumnSet gc = ColumnSet::FromVector(group_cols);
+  SortSpec out;
+  ColumnSet used;
+  for (ColumnId c : required.cols) {
+    if (!gc.Contains(c) || used.Contains(c)) return std::nullopt;
+    out.cols.push_back(c);
+    used.Insert(c);
+  }
+  for (ColumnId c : group_cols) {
+    if (!used.Contains(c)) {
+      out.cols.push_back(c);
+      used.Insert(c);
+    }
+  }
+  return out;
+}
+
+/// Maps a delivered property set through a projection (source → output).
+DeliveredProps MapDeliveredThroughProject(
+    const DeliveredProps& in,
+    const std::vector<std::pair<ColumnId, ColumnId>>& project_map) {
+  std::map<ColumnId, ColumnId> fwd;
+  for (const auto& [src, out] : project_map) {
+    fwd.emplace(src, out);  // first wins on duplicate sources
+  }
+  DeliveredProps out;
+  switch (in.partitioning.kind) {
+    case PartitioningKind::kSerial:
+    case PartitioningKind::kRandom:
+      out.partitioning = in.partitioning;
+      break;
+    case PartitioningKind::kHash: {
+      ColumnSet mapped;
+      bool complete = true;
+      for (ColumnId c : in.partitioning.cols.ToVector()) {
+        auto it = fwd.find(c);
+        if (it == fwd.end()) {
+          complete = false;
+          break;
+        }
+        mapped.Insert(it->second);
+      }
+      out.partitioning =
+          complete ? Partitioning::Hash(mapped) : Partitioning::Random();
+      break;
+    }
+    case PartitioningKind::kRange: {
+      std::vector<ColumnId> mapped;
+      bool complete = true;
+      for (ColumnId c : in.partitioning.range_cols) {
+        auto it = fwd.find(c);
+        if (it == fwd.end()) {
+          complete = false;
+          break;
+        }
+        mapped.push_back(it->second);
+      }
+      out.partitioning = complete ? Partitioning::Range(std::move(mapped))
+                                  : Partitioning::Random();
+      break;
+    }
+  }
+  for (ColumnId c : in.sort.cols) {
+    auto it = fwd.find(c);
+    if (it == fwd.end()) break;
+    out.sort.cols.push_back(it->second);
+  }
+  return out;
+}
+
+/// Maps a requirement through a projection (output → source). Every output
+/// column has a source, so this always succeeds.
+RequiredProps MapRequiredThroughProject(
+    const RequiredProps& req,
+    const std::vector<std::pair<ColumnId, ColumnId>>& project_map) {
+  std::map<ColumnId, ColumnId> back;
+  for (const auto& [src, out] : project_map) back.emplace(out, src);
+  RequiredProps creq;
+  creq.partitioning.kind = req.partitioning.kind;
+  for (ColumnId c : req.partitioning.cols.ToVector()) {
+    auto it = back.find(c);
+    creq.partitioning.cols.Insert(it != back.end() ? it->second : c);
+  }
+  for (ColumnId c : req.sort.cols) {
+    auto it = back.find(c);
+    creq.sort.cols.push_back(it != back.end() ? it->second : c);
+  }
+  return creq;
+}
+
+/// Combines the parent's partitioning requirement with an operator's own
+/// constraint "input must be partitioned within `own`" (grouping columns for
+/// aggregates, join keys for joins). Returns nullopt when no partitioning
+/// can satisfy both natively — the enforcer framework then compensates above
+/// the operator. This push-down is what lets phase 2 enforce e.g. {B} at a
+/// shared aggregate and have the exchange happen below the aggregation
+/// (paper Fig. 8(b)) instead of reshuffling its output.
+std::optional<PartitioningReq> CombinePartReq(const PartitioningReq& parent,
+                                              const ColumnSet& own) {
+  switch (parent.kind) {
+    case PartReqKind::kNone:
+      return PartitioningReq::SubsetOf(own);
+    case PartReqKind::kSerial:
+      return PartitioningReq::Serial();
+    case PartReqKind::kHashExact:
+    case PartReqKind::kRangeExact:
+      if (parent.cols.IsSubsetOf(own)) return parent;
+      return std::nullopt;
+    case PartReqKind::kHashSubset: {
+      ColumnSet inter = parent.cols.Intersect(own);
+      if (inter.Empty()) return std::nullopt;
+      return PartitioningReq::SubsetOf(std::move(inter));
+    }
+  }
+  return std::nullopt;
+}
+
+PhysicalNodePtr Cheapest(const std::vector<PhysicalNodePtr>& valid,
+                         OptimizerMode mode) {
+  PhysicalNodePtr best;
+  double best_cost = kInf;
+  for (const PhysicalNodePtr& p : valid) {
+    if (p == nullptr) continue;
+    double c =
+        mode == OptimizerMode::kConventional ? TreeCost(p) : DagCost(p);
+    if (c < best_cost) {
+      best_cost = c;
+      best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+RoundTask::RoundTask(OptimizationContext* ctx, RoundScheduler* scheduler)
+    : ctx_(ctx), build_ctx_(ctx), scheduler_(scheduler) {}
+
+void RoundTask::BeginPhase2() {
+  phase_ = 2;
+  build_ctx_ = nullptr;  // the context is frozen; only const reads from here
+}
+
+RoundTask RoundTask::Fork() const {
+  RoundTask t;
+  t.ctx_ = ctx_;
+  t.scheduler_ = scheduler_;
+  t.phase_ = phase_;
+  t.worker_ = true;
+  t.base_winners_ = &winners_;
+  t.base_spools_ = &spool_bases_;
+  t.enforced_ = enforced_;
+  t.in_rounds_ = in_rounds_;
+  return t;
+}
+
+void RoundTask::AbsorbCaches(RoundTask* other) {
+  // std::map::merge keeps existing entries — exactly insert-if-absent.
+  winners_.merge(other->winners_);
+  spool_bases_.merge(other->spool_bases_);
+}
+
+const std::optional<PhysicalNodePtr>* RoundTask::FindWinner(
+    const WinnerKey& key) const {
+  auto it = winners_.find(key);
+  if (it != winners_.end()) return &it->second;
+  if (base_winners_ != nullptr) {
+    auto bit = base_winners_->find(key);
+    if (bit != base_winners_->end()) return &bit->second;
+  }
+  return nullptr;
+}
+
+const PhysicalNodePtr* RoundTask::FindSpool(const SpoolKey& key) const {
+  auto it = spool_bases_.find(key);
+  if (it != spool_bases_.end()) return &it->second;
+  if (base_spools_ != nullptr) {
+    auto bit = base_spools_->find(key);
+    if (bit != base_spools_->end()) return &bit->second;
+  }
+  return nullptr;
+}
+
+std::string RoundTask::WinnerKeySuffix(GroupId g) const {
+  if (phase_ == 1 || ctx_->shared_info() == nullptr) return "";
+  const std::set<GroupId>& below = ctx_->shared_info()->SharedBelow(g);
+  if (below.empty()) return "";
+  std::string s = "p2|";
+  for (GroupId sg : below) {
+    auto it = enforced_.find(sg);
+    if (it != enforced_.end()) {
+      s += std::to_string(sg) + ":" + std::to_string(it->second) + ";";
+    }
+  }
+  return s;
+}
+
+RoundResult RoundTask::EvaluateRound(GroupId lca, const RequiredProps& req,
+                                     const RoundAssignment& assignment) {
+  RoundResult out;
+  if (scheduler_ != nullptr && scheduler_->BudgetExceeded()) {
+    out.budget_skipped = true;
+    return out;
+  }
+  for (const auto& [s, idx] : assignment) enforced_[s] = idx;
+  out.plan = LogPhysOpt(lca, req);
+  for (const auto& [s, idx] : assignment) enforced_.erase(s);
+  out.cost = out.plan != nullptr ? ctx_->PlanCost(out.plan) : kInf;
+  return out;
+}
+
+PhysicalNodePtr RoundTask::OptimizeGroup(GroupId g, const RequiredProps& req) {
+  auto key = std::make_tuple(g, req.ToString(), WinnerKeySuffix(g));
+  if (const std::optional<PhysicalNodePtr>* hit = FindWinner(key)) {
+    return hit->has_value() ? **hit : nullptr;
+  }
+
+  if (phase_ == 1 && ctx_->mode() == OptimizerMode::kCse &&
+      ctx_->memo().group(g).is_shared() && build_ctx_ != nullptr) {
+    build_ctx_->RecordHistory(g, req);
+  }
+
+  PhysicalNodePtr plan;
+  if (phase_ == 2 && enforced_.count(g) != 0) {
+    plan = OptimizeSharedEnforced(g, req);
+  } else if (phase_ == 2 && ctx_->shared_info() != nullptr &&
+             in_rounds_.count(g) == 0 && !scheduler_->budget_exhausted() &&
+             !ctx_->shared_info()->SharedGroupsWithLca(g).empty()) {
+    plan = scheduler_->RunRoundsAt(this, g, req);
+  } else {
+    plan = LogPhysOpt(g, req);
+  }
+
+  if (phase_ == 1 && ctx_->mode() == OptimizerMode::kCse &&
+      ctx_->memo().group(g).is_shared() && plan != nullptr &&
+      build_ctx_ != nullptr) {
+    build_ctx_->CreditDelivered(g, plan->delivered);
+  }
+
+  winners_[key] = plan;
+  return plan;
+}
+
+PhysicalNodePtr RoundTask::SpoolBase(GroupId g, int entry_index) {
+  GroupId child = ctx_->memo().group(g).initial_expr().children[0];
+  // Nested enforcement below the spool can change the base across outer
+  // rounds; include the child's enforcement signature in the key.
+  auto full_key = std::make_tuple(g, entry_index, WinnerKeySuffix(child));
+  if (const PhysicalNodePtr* hit = FindSpool(full_key)) return *hit;
+
+  RequiredProps eprops;  // trivial for the naive-sharing sentinel entry
+  if (entry_index != kNaiveEntryIndex) {
+    const PropertyHistory* h = ctx_->HistoryOf(g);
+    if (h != nullptr && entry_index < h->size()) {
+      eprops = h->entry(entry_index).props;
+    }
+  }
+  PhysicalNodePtr cp = OptimizeGroup(child, eprops);
+  PhysicalNodePtr spool;
+  if (cp != nullptr) {
+    double write = ctx_->cost_model().SpoolWrite(StatsOf(child),
+                                                 cp->delivered.partitioning);
+    spool = MakePhysicalNode(PhysicalOpKind::kSpool,
+                             ctx_->memo().group(g).initial_expr().op, g, {cp},
+                             cp->delivered, write);
+    spool->extra_consumer_cost = ctx_->cost_model().SpoolRead(
+        StatsOf(child), cp->delivered.partitioning);
+  }
+  spool_bases_[full_key] = spool;
+  return spool;
+}
+
+PhysicalNodePtr RoundTask::OptimizeSharedEnforced(GroupId g,
+                                                  const RequiredProps& req) {
+  PhysicalNodePtr base = SpoolBase(g, enforced_.at(g));
+  if (base == nullptr) return nullptr;
+  std::vector<PhysicalNodePtr> valid;
+  WrapEnforcersOverBase(g, base, req, &valid);
+  return Cheapest(valid, ctx_->mode());
+}
+
+void RoundTask::WrapEnforcersOverBase(GroupId g, const PhysicalNodePtr& base,
+                                      const RequiredProps& req,
+                                      std::vector<PhysicalNodePtr>* valid) {
+  const CostModel& cost_model = ctx_->cost_model();
+  const GroupStats& stats = StatsOf(g);
+  if (PropertySatisfied(req, base->delivered)) {
+    valid->push_back(base);
+    return;
+  }
+  bool part_ok = req.partitioning.SatisfiedBy(base->delivered.partitioning);
+  if (part_ok) {
+    // Only the sort is missing: sort each partition above the spool.
+    DeliveredProps d{base->delivered.partitioning, req.sort};
+    PhysicalNodePtr sort = MakePhysicalNode(
+        PhysicalOpKind::kSort, base->proto, g, {base}, d,
+        cost_model.Sort(stats, base->delivered.partitioning));
+    sort->sort_spec = req.sort;
+    valid->push_back(std::move(sort));
+    return;
+  }
+  if (req.partitioning.kind == PartReqKind::kSerial) {
+    DeliveredProps d{Partitioning::Serial(), base->delivered.sort};
+    PhysicalNodePtr gather =
+        MakePhysicalNode(PhysicalOpKind::kGather, base->proto, g, {base}, d,
+                         cost_model.Gather(stats));
+    if (PropertySatisfied(req, gather->delivered)) {
+      valid->push_back(gather);
+    } else {
+      DeliveredProps ds{Partitioning::Serial(), req.sort};
+      PhysicalNodePtr sort = MakePhysicalNode(
+          PhysicalOpKind::kSort, base->proto, g, {gather}, ds,
+          cost_model.Sort(stats, Partitioning::Serial()));
+      sort->sort_spec = req.sort;
+      valid->push_back(std::move(sort));
+    }
+    return;
+  }
+  if (req.partitioning.kind == PartReqKind::kRangeExact) {
+    Partitioning range = Partitioning::Range(req.partitioning.range_cols);
+    DeliveredProps d{range, {}};
+    PhysicalNodePtr ex = MakePhysicalNode(
+        PhysicalOpKind::kRangeExchange, base->proto, g, {base}, d,
+        cost_model.RangeExchange(stats, base->delivered.partitioning,
+                                 req.partitioning.cols));
+    ex->exchange_cols = req.partitioning.cols;
+    if (req.sort.Empty()) {
+      valid->push_back(std::move(ex));
+    } else {
+      DeliveredProps ds{range, req.sort};
+      PhysicalNodePtr sort =
+          MakePhysicalNode(PhysicalOpKind::kSort, base->proto, g, {ex}, ds,
+                           cost_model.Sort(stats, range));
+      sort->sort_spec = req.sort;
+      valid->push_back(std::move(sort));
+    }
+    return;
+  }
+
+  for (ColumnSet& cols : ctx_->EnforceCandidates(req.partitioning)) {
+    // Order-preserving exchange when the spool already delivers the order.
+    if (!req.sort.Empty() &&
+        base->delivered.sort.SatisfiesPrefix(req.sort)) {
+      DeliveredProps d{Partitioning::Hash(cols), base->delivered.sort};
+      PhysicalNodePtr ex = MakePhysicalNode(
+          PhysicalOpKind::kMergeExchange, base->proto, g, {base}, d,
+          cost_model.MergeExchange(stats, base->delivered.partitioning,
+                                   cols));
+      ex->exchange_cols = cols;
+      valid->push_back(std::move(ex));
+      continue;
+    }
+    DeliveredProps d{Partitioning::Hash(cols), {}};
+    PhysicalNodePtr ex = MakePhysicalNode(
+        PhysicalOpKind::kHashExchange, base->proto, g, {base}, d,
+        cost_model.HashExchange(stats, base->delivered.partitioning, cols));
+    ex->exchange_cols = cols;
+    if (req.sort.Empty()) {
+      valid->push_back(std::move(ex));
+    } else {
+      DeliveredProps ds{Partitioning::Hash(cols), req.sort};
+      PhysicalNodePtr sort = MakePhysicalNode(
+          PhysicalOpKind::kSort, base->proto, g, {ex}, ds,
+          cost_model.Sort(stats, Partitioning::Hash(cols)));
+      sort->sort_spec = req.sort;
+      valid->push_back(std::move(sort));
+    }
+  }
+}
+
+PhysicalNodePtr RoundTask::LogPhysOpt(GroupId g, const RequiredProps& req) {
+  if (build_ctx_ != nullptr) build_ctx_->EnsureExplored(g);
+  std::vector<PhysicalNodePtr> valid;
+  if (ctx_->frozen()) {
+    // Frozen memo: iterate in place, no rule can append.
+    for (const GroupExpr& expr : ctx_->memo().group(g).exprs()) {
+      ImplementExpr(g, expr, req, &valid);
+    }
+  } else {
+    // Copy: nested OptimizeGroup calls may add expressions to other groups
+    // (and rules could add to this one) while we iterate.
+    std::vector<GroupExpr> exprs = ctx_->memo().group(g).exprs();
+    for (const GroupExpr& expr : exprs) {
+      ImplementExpr(g, expr, req, &valid);
+    }
+  }
+  EnforceAlternatives(g, req, &valid);
+  return Cheapest(valid, ctx_->mode());
+}
+
+void RoundTask::ImplementExpr(GroupId g, const GroupExpr& expr,
+                              const RequiredProps& req,
+                              std::vector<PhysicalNodePtr>* valid) {
+  const CostModel& cost_model = ctx_->cost_model();
+  const LogicalNode& op = *expr.op;
+  auto push_if_valid = [&](PhysicalNodePtr node) {
+    if (node != nullptr && PropertySatisfied(req, node->delivered)) {
+      valid->push_back(std::move(node));
+    }
+  };
+
+  switch (op.kind()) {
+    case LogicalOpKind::kExtract: {
+      DeliveredProps d{Partitioning::Random(), {}};
+      push_if_valid(MakePhysicalNode(PhysicalOpKind::kExtract, expr.op, g, {},
+                                     d, cost_model.Extract(StatsOf(g))));
+      break;
+    }
+    case LogicalOpKind::kFilter: {
+      PhysicalNodePtr cp = OptimizeGroup(expr.children[0], req);
+      if (cp == nullptr) break;
+      push_if_valid(MakePhysicalNode(
+          PhysicalOpKind::kFilter, expr.op, g, {cp}, cp->delivered,
+          cost_model.Filter(StatsOf(expr.children[0]),
+                            cp->delivered.partitioning)));
+      break;
+    }
+    case LogicalOpKind::kProject: {
+      RequiredProps creq = MapRequiredThroughProject(req, op.project_map);
+      PhysicalNodePtr cp = OptimizeGroup(expr.children[0], creq);
+      if (cp == nullptr) break;
+      DeliveredProps d =
+          MapDeliveredThroughProject(cp->delivered, op.project_map);
+      push_if_valid(MakePhysicalNode(
+          PhysicalOpKind::kProject, expr.op, g, {cp}, d,
+          cost_model.Project(StatsOf(expr.children[0]),
+                             cp->delivered.partitioning)));
+      break;
+    }
+    case LogicalOpKind::kCompute: {
+      // Passthrough items keep their column ids, so requirements on them
+      // push straight through; requirements touching computed outputs
+      // cannot (the enforcer framework compensates above this node).
+      ColumnSet pass;
+      for (const ComputeItem& item : op.compute_items) {
+        if (item.IsPassthrough()) pass.Insert(item.out);
+      }
+      RequiredProps creq;
+      if (req.partitioning.kind == PartReqKind::kNone ||
+          req.partitioning.kind == PartReqKind::kSerial ||
+          req.partitioning.cols.IsSubsetOf(pass)) {
+        creq.partitioning = req.partitioning;
+      }
+      for (ColumnId c : req.sort.cols) {
+        if (!pass.Contains(c)) break;
+        creq.sort.cols.push_back(c);
+      }
+      PhysicalNodePtr cp = OptimizeGroup(expr.children[0], creq);
+      if (cp == nullptr) break;
+      DeliveredProps d;
+      const Partitioning& cpart = cp->delivered.partitioning;
+      if (cpart.kind != PartitioningKind::kHash &&
+          cpart.kind != PartitioningKind::kRange) {
+        d.partitioning = cpart;
+      } else if (cpart.cols.IsSubsetOf(pass)) {
+        d.partitioning = cpart;
+      } else {
+        d.partitioning = Partitioning::Random();
+      }
+      for (ColumnId c : cp->delivered.sort.cols) {
+        if (!pass.Contains(c)) break;
+        d.sort.cols.push_back(c);
+      }
+      push_if_valid(MakePhysicalNode(
+          PhysicalOpKind::kCompute, expr.op, g, {cp}, d,
+          cost_model.Project(StatsOf(expr.children[0]),
+                             cp->delivered.partitioning)));
+      break;
+    }
+    case LogicalOpKind::kSpool: {
+      // Un-enforced spool (phase 1, or phase 2 after budget exhaustion):
+      // pass the consumer's requirement through to the producer.
+      PhysicalNodePtr cp = OptimizeGroup(expr.children[0], req);
+      if (cp == nullptr) break;
+      PhysicalNodePtr spool = MakePhysicalNode(
+          PhysicalOpKind::kSpool, expr.op, g, {cp}, cp->delivered,
+          cost_model.SpoolWrite(StatsOf(expr.children[0]),
+                                cp->delivered.partitioning));
+      spool->extra_consumer_cost = cost_model.SpoolRead(
+          StatsOf(expr.children[0]), cp->delivered.partitioning);
+      push_if_valid(std::move(spool));
+      break;
+    }
+    case LogicalOpKind::kOutput: {
+      // ORDER BY output: a globally ordered file can be produced either by
+      // gathering everything into one sorted partition (Gather + Sort
+      // enforcers) or, in parallel, by range-partitioning on the order
+      // columns and sorting each partition — partition order then follows
+      // key order. Both alternatives are costed.
+      std::vector<RequiredProps> creqs;
+      if (op.order_by.empty()) {
+        creqs.push_back(RequiredProps{});
+      } else {
+        creqs.push_back(RequiredProps{PartitioningReq::Serial(),
+                                      SortSpec{op.order_by}});
+        creqs.push_back(RequiredProps{
+            PartitioningReq::RangeExactly(op.order_by),
+            SortSpec{op.order_by}});
+      }
+      for (const RequiredProps& creq : creqs) {
+        PhysicalNodePtr cp = OptimizeGroup(expr.children[0], creq);
+        if (cp == nullptr) continue;
+        push_if_valid(MakePhysicalNode(
+            PhysicalOpKind::kOutput, expr.op, g, {cp}, cp->delivered,
+            cost_model.Output(StatsOf(expr.children[0]),
+                              cp->delivered.partitioning)));
+      }
+      break;
+    }
+    case LogicalOpKind::kSequence: {
+      std::vector<PhysicalNodePtr> children;
+      bool ok = true;
+      for (GroupId c : expr.children) {
+        PhysicalNodePtr cp = OptimizeGroup(c, RequiredProps{});
+        if (cp == nullptr) {
+          ok = false;
+          break;
+        }
+        children.push_back(std::move(cp));
+      }
+      if (!ok) break;
+      DeliveredProps d{Partitioning::Random(), {}};
+      push_if_valid(MakePhysicalNode(PhysicalOpKind::kSequence, expr.op, g,
+                                     std::move(children), d, 0));
+      break;
+    }
+    case LogicalOpKind::kGbAgg:
+    case LogicalOpKind::kGlobalGbAgg: {
+      GroupId child = expr.children[0];
+      std::optional<PartitioningReq> combined =
+          op.group_cols.empty()
+              ? std::optional<PartitioningReq>(PartitioningReq::Serial())
+              : CombinePartReq(req.partitioning,
+                               ColumnSet::FromVector(op.group_cols));
+      if (!combined.has_value()) break;  // enforcers compensate above
+      PartitioningReq part_req = *combined;
+      // Stream aggregate: input sorted on a grouping-column order chosen to
+      // also serve the required output order.
+      std::optional<SortSpec> order = ExtendSort(req.sort, op.group_cols);
+      if (order.has_value()) {
+        RequiredProps creq{part_req, *order};
+        PhysicalNodePtr cp = OptimizeGroup(child, creq);
+        if (cp != nullptr) {
+          DeliveredProps d{cp->delivered.partitioning, *order};
+          PhysicalNodePtr agg = MakePhysicalNode(
+              PhysicalOpKind::kStreamAgg, expr.op, g, {cp}, d,
+              cost_model.StreamAgg(StatsOf(child),
+                                   cp->delivered.partitioning));
+          agg->sort_spec = *order;
+          push_if_valid(std::move(agg));
+        }
+      }
+      // Hash aggregate: no input order needed, no output order delivered.
+      {
+        RequiredProps creq{part_req, {}};
+        PhysicalNodePtr cp = OptimizeGroup(child, creq);
+        if (cp != nullptr) {
+          DeliveredProps d{cp->delivered.partitioning, {}};
+          push_if_valid(MakePhysicalNode(
+              PhysicalOpKind::kHashAgg, expr.op, g, {cp}, d,
+              cost_model.HashAgg(StatsOf(child),
+                                 cp->delivered.partitioning)));
+        }
+      }
+      break;
+    }
+    case LogicalOpKind::kLocalGbAgg: {
+      // A local (partial) aggregate works on any placement and preserves it,
+      // so the parent's partitioning requirement passes straight through.
+      GroupId child = expr.children[0];
+      std::optional<SortSpec> order = ExtendSort(req.sort, op.group_cols);
+      if (order.has_value()) {
+        RequiredProps creq{req.partitioning, *order};
+        PhysicalNodePtr cp = OptimizeGroup(child, creq);
+        if (cp != nullptr) {
+          DeliveredProps d{cp->delivered.partitioning, *order};
+          PhysicalNodePtr agg = MakePhysicalNode(
+              PhysicalOpKind::kStreamAgg, expr.op, g, {cp}, d,
+              cost_model.StreamAgg(StatsOf(child),
+                                   cp->delivered.partitioning));
+          agg->sort_spec = *order;
+          push_if_valid(std::move(agg));
+        }
+      }
+      {
+        RequiredProps creq{req.partitioning, {}};
+        PhysicalNodePtr cp = OptimizeGroup(child, creq);
+        if (cp != nullptr) {
+          DeliveredProps d{cp->delivered.partitioning, {}};
+          push_if_valid(MakePhysicalNode(
+              PhysicalOpKind::kHashAgg, expr.op, g, {cp}, d,
+              cost_model.HashAgg(StatsOf(child),
+                                 cp->delivered.partitioning)));
+        }
+      }
+      break;
+    }
+    case LogicalOpKind::kJoin: {
+      ImplementJoin(g, expr, req, valid);
+      break;
+    }
+    case LogicalOpKind::kUnionAll: {
+      std::vector<PhysicalNodePtr> children;
+      bool ok = true;
+      for (GroupId c : expr.children) {
+        PhysicalNodePtr cp = OptimizeGroup(c, RequiredProps{});
+        if (cp == nullptr) {
+          ok = false;
+          break;
+        }
+        children.push_back(std::move(cp));
+      }
+      if (!ok) break;
+      // Concatenation gives no placement or order guarantee (the sources'
+      // column identities differ, so even matching schemes are
+      // inexpressible on the output ids).
+      DeliveredProps d{Partitioning::Random(), {}};
+      push_if_valid(MakePhysicalNode(
+          PhysicalOpKind::kUnionAll, expr.op, g, std::move(children), d,
+          cost_model.Project(StatsOf(g), Partitioning::Random())));
+      break;
+    }
+  }
+}
+
+void RoundTask::ImplementJoin(GroupId g, const GroupExpr& expr,
+                              const RequiredProps& req,
+                              std::vector<PhysicalNodePtr>* valid) {
+  const CostModel& cost_model = ctx_->cost_model();
+  const LogicalNode& op = *expr.op;
+  GroupId left = expr.children[0];
+  GroupId right = expr.children[1];
+  std::vector<ColumnId> lkeys, rkeys;
+  for (const auto& [l, r] : op.join_keys) {
+    lkeys.push_back(l);
+    rkeys.push_back(r);
+  }
+  auto push_if_valid = [&](PhysicalNodePtr node) {
+    if (node != nullptr && PropertySatisfied(req, node->delivered)) {
+      valid->push_back(std::move(node));
+    }
+  };
+
+  // Aligns the follower side's required columns with the positions the
+  // driver side actually delivered.
+  auto aligned_cols = [&](const ColumnSet& driver_cols,
+                          const std::vector<ColumnId>& driver_keys,
+                          const std::vector<ColumnId>& other_keys) {
+    ColumnSet out;
+    for (size_t i = 0; i < driver_keys.size(); ++i) {
+      if (driver_cols.Contains(driver_keys[i])) out.Insert(other_keys[i]);
+    }
+    return out;
+  };
+  // Mirror of aligned_cols, mapping follower columns back to the left side
+  // so delivered partitioning is always expressed in left-side columns.
+  auto left_side_cols = [&](const ColumnSet& driver_cols, bool driver_left) {
+    if (driver_left) return driver_cols;
+    return aligned_cols(driver_cols, rkeys, lkeys);
+  };
+
+  // Hash join, driver side optimized first with a free subset requirement;
+  // the other side is then pinned to the aligned exact scheme.
+  for (bool driver_left : {true, false}) {
+    GroupId driver = driver_left ? left : right;
+    GroupId other = driver_left ? right : left;
+    const std::vector<ColumnId>& dkeys = driver_left ? lkeys : rkeys;
+    const std::vector<ColumnId>& okeys = driver_left ? rkeys : lkeys;
+
+    // Fold the parent's partitioning requirement into the driver's when it
+    // speaks of this side's key columns (delivered partitioning is always
+    // expressed in left-side columns, so only fold for the left driver).
+    std::optional<PartitioningReq> dpart =
+        driver_left
+            ? CombinePartReq(req.partitioning, ColumnSet::FromVector(dkeys))
+            : std::optional<PartitioningReq>(
+                  PartitioningReq::SubsetOf(ColumnSet::FromVector(dkeys)));
+    if (!dpart.has_value()) continue;
+    RequiredProps dreq{*dpart, {}};
+    PhysicalNodePtr dp = OptimizeGroup(driver, dreq);
+    if (dp == nullptr) continue;
+    RequiredProps oreq;
+    Partitioning delivered_part;
+    if (dp->delivered.partitioning.kind == PartitioningKind::kSerial) {
+      oreq.partitioning = PartitioningReq::Serial();
+      delivered_part = Partitioning::Serial();
+    } else {
+      ColumnSet o =
+          aligned_cols(dp->delivered.partitioning.cols, dkeys, okeys);
+      oreq.partitioning = PartitioningReq::Exactly(o);
+      delivered_part = Partitioning::Hash(
+          left_side_cols(dp->delivered.partitioning.cols, driver_left));
+    }
+    PhysicalNodePtr opn = OptimizeGroup(other, oreq);
+    if (opn == nullptr) continue;
+    PhysicalNodePtr lp = driver_left ? dp : opn;
+    PhysicalNodePtr rp = driver_left ? opn : dp;
+    DeliveredProps d{delivered_part, {}};
+    push_if_valid(MakePhysicalNode(
+        PhysicalOpKind::kHashJoin, expr.op, g, {lp, rp}, d,
+        cost_model.HashJoin(StatsOf(left), StatsOf(right),
+                            delivered_part)));
+  }
+
+  // Broadcast hash join: the (presumably small) right side is replicated to
+  // every machine, so the left side needs NO particular partitioning — the
+  // parent requirement passes straight through and no exchange of the big
+  // side is ever needed.
+  {
+    // Pass the parent's requirement to the left side only where it speaks
+    // of left-side columns (the probe stream flows through unchanged).
+    // The replicated build side spans the whole cluster, so this variant
+    // does not produce serial plans (Gather-based alternatives cover that).
+    if (req.partitioning.kind != PartReqKind::kSerial) {
+      ColumnSet left_schema_cols = ctx_->memo().group(left).schema().IdSet();
+      RequiredProps lreq;
+      if (req.partitioning.cols.IsSubsetOf(left_schema_cols)) {
+        lreq.partitioning = req.partitioning;
+      }
+      if (SortSpec{req.sort}.AsSet().IsSubsetOf(left_schema_cols)) {
+        lreq.sort = req.sort;
+      }
+      PhysicalNodePtr lp = OptimizeGroup(left, lreq);
+      PhysicalNodePtr rp = OptimizeGroup(right, RequiredProps{});
+      if (lp != nullptr && rp != nullptr &&
+          lp->delivered.partitioning.kind != PartitioningKind::kSerial) {
+        PhysicalNodePtr bcast = MakePhysicalNode(
+            PhysicalOpKind::kBroadcastExchange, rp->proto, right, {rp},
+            DeliveredProps{Partitioning::Random(), {}},
+            cost_model.Broadcast(StatsOf(right)));
+        // The probe stream flows through unchanged: placement and order
+        // of the left side are preserved.
+        DeliveredProps d = lp->delivered;
+        push_if_valid(MakePhysicalNode(
+            PhysicalOpKind::kHashJoin, expr.op, g, {lp, std::move(bcast)}, d,
+            cost_model.HashJoin(StatsOf(left), StatsOf(right),
+                                lp->delivered.partitioning)));
+      }
+    }
+  }
+
+  // Merge join (left-driven): both sides sorted on the aligned full key
+  // order; preserves the left order downstream.
+  {
+    SortSpec lorder;
+    std::optional<SortSpec> ext = ExtendSort(req.sort, lkeys);
+    lorder = ext.has_value() ? *ext : SortSpec{lkeys};
+    std::optional<PartitioningReq> lpart =
+        CombinePartReq(req.partitioning, ColumnSet::FromVector(lkeys));
+    if (!lpart.has_value()) return;
+    RequiredProps lreq{*lpart, lorder};
+    PhysicalNodePtr lp = OptimizeGroup(left, lreq);
+    if (lp != nullptr) {
+      // Right order aligned with the left key permutation.
+      SortSpec rorder;
+      for (ColumnId lc : lorder.cols) {
+        for (size_t i = 0; i < lkeys.size(); ++i) {
+          if (lkeys[i] == lc) {
+            rorder.cols.push_back(rkeys[i]);
+            break;
+          }
+        }
+      }
+      RequiredProps rreq;
+      Partitioning delivered_part;
+      if (lp->delivered.partitioning.kind == PartitioningKind::kSerial) {
+        rreq.partitioning = PartitioningReq::Serial();
+        delivered_part = Partitioning::Serial();
+      } else {
+        ColumnSet o =
+            aligned_cols(lp->delivered.partitioning.cols, lkeys, rkeys);
+        rreq.partitioning = PartitioningReq::Exactly(o);
+        delivered_part = lp->delivered.partitioning;
+      }
+      rreq.sort = rorder;
+      PhysicalNodePtr rp = OptimizeGroup(right, rreq);
+      if (rp != nullptr) {
+        DeliveredProps d{delivered_part, lorder};
+        push_if_valid(MakePhysicalNode(
+            PhysicalOpKind::kMergeJoin, expr.op, g, {lp, rp}, d,
+            cost_model.MergeJoin(StatsOf(left), StatsOf(right),
+                                 delivered_part)));
+      }
+    }
+  }
+}
+
+void RoundTask::EnforceAlternatives(GroupId g, const RequiredProps& req,
+                                    std::vector<PhysicalNodePtr>* valid) {
+  const CostModel& cost_model = ctx_->cost_model();
+  const GroupStats& stats = StatsOf(g);
+
+  // Sort enforcer: satisfy the partitioning first, then sort in place.
+  if (!req.sort.Empty()) {
+    RequiredProps relaxed{req.partitioning, {}};
+    PhysicalNodePtr inner = OptimizeGroup(g, relaxed);
+    if (inner != nullptr) {
+      DeliveredProps d{inner->delivered.partitioning, req.sort};
+      PhysicalNodePtr sort = MakePhysicalNode(
+          PhysicalOpKind::kSort, inner->proto, g, {inner}, d,
+          cost_model.Sort(stats, inner->delivered.partitioning));
+      sort->sort_spec = req.sort;
+      valid->push_back(std::move(sort));
+    }
+  }
+
+  if (req.partitioning.kind == PartReqKind::kSerial) {
+    RequiredProps relaxed{PartitioningReq::None(), req.sort};
+    PhysicalNodePtr inner = OptimizeGroup(g, relaxed);
+    if (inner != nullptr) {
+      DeliveredProps d{Partitioning::Serial(), inner->delivered.sort};
+      valid->push_back(MakePhysicalNode(PhysicalOpKind::kGather, inner->proto,
+                                        g, {inner}, d,
+                                        cost_model.Gather(stats)));
+    }
+    return;
+  }
+
+  if (req.partitioning.kind == PartReqKind::kRangeExact) {
+    RequiredProps relaxed{PartitioningReq::None(), {}};
+    PhysicalNodePtr inner = OptimizeGroup(g, relaxed);
+    if (inner != nullptr) {
+      Partitioning range = Partitioning::Range(req.partitioning.range_cols);
+      DeliveredProps d{range, {}};
+      PhysicalNodePtr ex = MakePhysicalNode(
+          PhysicalOpKind::kRangeExchange, inner->proto, g, {inner}, d,
+          cost_model.RangeExchange(stats, inner->delivered.partitioning,
+                                   req.partitioning.cols));
+      ex->exchange_cols = req.partitioning.cols;
+      if (req.sort.Empty()) {
+        valid->push_back(std::move(ex));
+      } else {
+        DeliveredProps ds{range, req.sort};
+        PhysicalNodePtr sort =
+            MakePhysicalNode(PhysicalOpKind::kSort, inner->proto, g, {ex}, ds,
+                             cost_model.Sort(stats, range));
+        sort->sort_spec = req.sort;
+        valid->push_back(std::move(sort));
+      }
+    }
+    return;
+  }
+
+  if (req.partitioning.kind != PartReqKind::kHashSubset &&
+      req.partitioning.kind != PartReqKind::kHashExact) {
+    return;
+  }
+
+  for (ColumnSet& cols : ctx_->EnforceCandidates(req.partitioning)) {
+    // Plain hash repartition (destroys order) + optional sort above.
+    RequiredProps relaxed{PartitioningReq::None(), {}};
+    PhysicalNodePtr inner = OptimizeGroup(g, relaxed);
+    if (inner != nullptr) {
+      DeliveredProps d{Partitioning::Hash(cols), {}};
+      PhysicalNodePtr ex = MakePhysicalNode(
+          PhysicalOpKind::kHashExchange, inner->proto, g, {inner}, d,
+          cost_model.HashExchange(stats, inner->delivered.partitioning,
+                                  cols));
+      ex->exchange_cols = cols;
+      if (req.sort.Empty()) {
+        valid->push_back(std::move(ex));
+      } else {
+        DeliveredProps ds{Partitioning::Hash(cols), req.sort};
+        PhysicalNodePtr sort =
+            MakePhysicalNode(PhysicalOpKind::kSort, inner->proto, g, {ex}, ds,
+                             cost_model.Sort(stats, Partitioning::Hash(cols)));
+        sort->sort_spec = req.sort;
+        valid->push_back(std::move(sort));
+      }
+    }
+    // Order-preserving merge repartition over a locally sorted input.
+    if (!req.sort.Empty()) {
+      RequiredProps sorted_relax{PartitioningReq::None(), req.sort};
+      PhysicalNodePtr inner2 = OptimizeGroup(g, sorted_relax);
+      if (inner2 != nullptr) {
+        DeliveredProps d{Partitioning::Hash(cols), inner2->delivered.sort};
+        PhysicalNodePtr ex = MakePhysicalNode(
+            PhysicalOpKind::kMergeExchange, inner2->proto, g, {inner2}, d,
+            cost_model.MergeExchange(stats, inner2->delivered.partitioning,
+                                     cols));
+        ex->exchange_cols = cols;
+        valid->push_back(std::move(ex));
+      }
+    }
+  }
+}
+
+}  // namespace scx

@@ -1,0 +1,137 @@
+#ifndef SCX_CORE_ROUND_TASK_H_
+#define SCX_CORE_ROUND_TASK_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/optimization_context.h"
+#include "core/rounds.h"
+
+namespace scx {
+
+class RoundScheduler;
+
+/// Sentinel history index used by OptimizerMode::kNaiveSharing: enforce no
+/// requirement at the shared group (locally cheapest shared plan).
+inline constexpr int kNaiveEntryIndex = -1;
+
+/// Result of evaluating one phase-2 round.
+struct RoundResult {
+  PhysicalNodePtr plan;
+  double cost = 0;
+  /// The budget expired before the round started; the round was not
+  /// evaluated and must not be counted.
+  bool budget_skipped = false;
+};
+
+/// The group-optimization recursion (paper Algorithms 2, 4 and 5) plus the
+/// state one optimization pass — or one phase-2 round — mutates: the winner
+/// cache, the spool-base cache, and the active enforcement assignment.
+///
+/// The master task drives phase 1 (where it is also allowed to mutate the
+/// context: exploration rules, history recording) and the phase-2 walk.
+/// Fork() produces a worker task for one round of a parallel batch: it reads
+/// the master's caches through an immutable base pointer, records its own
+/// results in an overlay, and never mutates the context (which is frozen by
+/// then). After a batch, the scheduler folds each applied worker's overlay
+/// back into the master insert-if-absent — every cache entry is a
+/// deterministic function of its key and the frozen context, so the merged
+/// cache is identical to what the serial loop would have built.
+class RoundTask {
+ public:
+  /// Master task. `ctx` may still be under construction (phase 1).
+  RoundTask(OptimizationContext* ctx, RoundScheduler* scheduler);
+
+  /// Enters phase 2: the context must be frozen; the task stops invoking
+  /// build-phase context hooks but keeps its phase-1 winner cache (subtrees
+  /// without shared groups below keep their phase-1 winners).
+  void BeginPhase2();
+  int phase() const { return phase_; }
+  bool worker() const { return worker_; }
+
+  /// Algorithm 2 / 4: optimize `g` under `req` with winner memoization.
+  PhysicalNodePtr OptimizeGroup(GroupId g, const RequiredProps& req);
+
+  /// Evaluates one phase-2 round at `lca`: enforce `assignment`, re-optimize
+  /// the sub-DAG, undo the enforcement.
+  RoundResult EvaluateRound(GroupId lca, const RequiredProps& req,
+                            const RoundAssignment& assignment);
+
+  /// Worker copy for one parallel round: shares this task's caches as a
+  /// read-only base, starts with an empty overlay.
+  RoundTask Fork() const;
+
+  /// Folds `other`'s overlay caches into this task's caches, keeping
+  /// existing entries (insert-if-absent).
+  void AbsorbCaches(RoundTask* other);
+
+ private:
+  friend class RoundScheduler;
+
+  using WinnerKey = std::tuple<GroupId, std::string, std::string>;
+  using WinnerMap = std::map<WinnerKey, std::optional<PhysicalNodePtr>>;
+  using SpoolKey = std::tuple<GroupId, int, std::string>;
+  using SpoolMap = std::map<SpoolKey, PhysicalNodePtr>;
+
+  RoundTask() = default;
+
+  // --- Algorithm 5: logical exploration + physical optimization ---
+  PhysicalNodePtr LogPhysOpt(GroupId g, const RequiredProps& req);
+  // Phase 2: optimize a shared group under the enforced property set and
+  // compensate above the fixed spool for the consumer's requirement.
+  PhysicalNodePtr OptimizeSharedEnforced(GroupId g, const RequiredProps& req);
+  // The materialized spool for (shared group, history entry) — one instance
+  // shared by every consumer in the round.
+  PhysicalNodePtr SpoolBase(GroupId g, int entry_index);
+
+  // Native (non-enforcer) implementation alternatives for one expression.
+  void ImplementExpr(GroupId g, const GroupExpr& expr,
+                     const RequiredProps& req,
+                     std::vector<PhysicalNodePtr>* valid);
+  void ImplementJoin(GroupId g, const GroupExpr& expr,
+                     const RequiredProps& req,
+                     std::vector<PhysicalNodePtr>* valid);
+  // Enforcer alternatives wrapping re-optimizations with relaxed
+  // requirements.
+  void EnforceAlternatives(GroupId g, const RequiredProps& req,
+                           std::vector<PhysicalNodePtr>* valid);
+  // Wraps enforcers over a fixed base plan to satisfy `req` (used above
+  // enforced spools).
+  void WrapEnforcersOverBase(GroupId g, const PhysicalNodePtr& base,
+                             const RequiredProps& req,
+                             std::vector<PhysicalNodePtr>* valid);
+
+  std::string WinnerKeySuffix(GroupId g) const;
+
+  const std::optional<PhysicalNodePtr>* FindWinner(const WinnerKey& key) const;
+  const PhysicalNodePtr* FindSpool(const SpoolKey& key) const;
+
+  const GroupStats& StatsOf(GroupId g) const { return ctx_->StatsOf(g); }
+
+  const OptimizationContext* ctx_ = nullptr;
+  /// Non-null only while the master task runs phase 1 (the context is still
+  /// being built: exploration, histories, derived stats).
+  OptimizationContext* build_ctx_ = nullptr;
+  RoundScheduler* scheduler_ = nullptr;
+  int phase_ = 1;
+  bool worker_ = false;
+
+  WinnerMap winners_;
+  SpoolMap spool_bases_;
+  /// Read-only snapshot of the forking master's caches (workers only).
+  /// Valid for the duration of one batch: the master is blocked and does not
+  /// touch its caches while workers run.
+  const WinnerMap* base_winners_ = nullptr;
+  const SpoolMap* base_spools_ = nullptr;
+
+  std::map<GroupId, int> enforced_;  ///< active round assignment
+  std::set<GroupId> in_rounds_;
+};
+
+}  // namespace scx
+
+#endif  // SCX_CORE_ROUND_TASK_H_

@@ -2,8 +2,8 @@
 
 namespace scx {
 
-RoundScheduler::RoundScheduler(std::vector<std::vector<GroupId>> classes,
-                               std::map<GroupId, int> history_sizes)
+RoundEnumerator::RoundEnumerator(std::vector<std::vector<GroupId>> classes,
+                                 std::map<GroupId, int> history_sizes)
     : classes_(std::move(classes)), history_sizes_(std::move(history_sizes)) {
   // Drop classes whose groups all have empty histories.
   std::vector<std::vector<GroupId>> kept;
@@ -30,7 +30,7 @@ RoundScheduler::RoundScheduler(std::vector<std::vector<GroupId>> classes,
   counter_fresh_ = true;
 }
 
-RoundAssignment RoundScheduler::CurrentAssignment() const {
+RoundAssignment RoundEnumerator::CurrentAssignment() const {
   RoundAssignment out = fixed_;
   // Current class: counter values.
   const std::vector<GroupId>& cls = classes_[current_class_];
@@ -44,7 +44,7 @@ RoundAssignment RoundScheduler::CurrentAssignment() const {
   return out;
 }
 
-bool RoundScheduler::AdvanceCounter() {
+bool RoundEnumerator::AdvanceCounter() {
   const std::vector<GroupId>& cls = classes_[current_class_];
   // The paper varies the FIRST shared group fastest.
   for (size_t i = 0; i < counter_.size(); ++i) {
@@ -55,27 +55,37 @@ bool RoundScheduler::AdvanceCounter() {
   return false;
 }
 
-bool RoundScheduler::Next(RoundAssignment* out) {
+bool RoundEnumerator::BeginNextClass(const std::vector<int>& pin) {
+  const std::vector<GroupId>& cls = classes_[current_class_];
+  for (size_t i = 0; i < cls.size(); ++i) {
+    fixed_[cls[i]] = i < pin.size() ? pin[i] : 0;
+  }
+  ++current_class_;
+  if (current_class_ >= classes_.size()) {
+    done_ = true;
+    return false;
+  }
+  counter_.assign(classes_[current_class_].size(), 0);
+  have_best_in_class_ = false;
+  // The all-zero combination of a later class was already evaluated while
+  // the previous class enumerated (later classes are pinned at 0 there).
+  counter_fresh_ = false;
+  return true;
+}
+
+bool RoundEnumerator::Next(RoundAssignment* out) {
   if (done_ || pending_report_) return false;
   if (!counter_fresh_) {
     if (!AdvanceCounter()) {
       // Class exhausted: pin its best assignment, move to the next class.
-      const std::vector<GroupId>& cls = classes_[current_class_];
-      for (size_t i = 0; i < cls.size(); ++i) {
-        fixed_[cls[i]] = have_best_in_class_ ? best_counter_[i] : 0;
-      }
-      ++current_class_;
-      if (current_class_ >= classes_.size()) {
-        done_ = true;
+      if (!BeginNextClass(have_best_in_class_
+                              ? best_counter_
+                              : std::vector<int>(counter_.size(), 0))) {
         return false;
       }
-      counter_.assign(classes_[current_class_].size(), 0);
-      have_best_in_class_ = false;
-      // Skip the all-zero combination — it was evaluated while the previous
-      // class enumerated (later classes are pinned at 0 there).
+      // Skip the all-zero combination.
       if (!AdvanceCounter()) {
         // Single-combination class: nothing new to evaluate; recurse.
-        counter_fresh_ = false;
         return Next(out);
       }
     }
@@ -87,7 +97,7 @@ bool RoundScheduler::Next(RoundAssignment* out) {
   return true;
 }
 
-void RoundScheduler::ReportCost(double cost) {
+void RoundEnumerator::ReportCost(double cost) {
   if (!pending_report_) return;
   pending_report_ = false;
   if (!have_best_in_class_ || cost < best_cost_in_class_) {
@@ -95,6 +105,49 @@ void RoundScheduler::ReportCost(double cost) {
     best_cost_in_class_ = cost;
     best_counter_ = counter_;
   }
+}
+
+bool RoundEnumerator::NextBatch(std::vector<RoundAssignment>* out) {
+  out->clear();
+  batch_counters_.clear();
+  if (done_ || pending_report_) return false;
+  for (;;) {
+    if (counter_fresh_) {  // start of the first class only
+      counter_fresh_ = false;
+      out->push_back(CurrentAssignment());
+      batch_counters_.push_back(counter_);
+    }
+    while (AdvanceCounter()) {
+      out->push_back(CurrentAssignment());
+      batch_counters_.push_back(counter_);
+    }
+    if (!out->empty()) {
+      pending_report_ = true;
+      return true;
+    }
+    // Single-combination class: nothing new to evaluate; pin entry 0 and
+    // move on.
+    if (!BeginNextClass(std::vector<int>(counter_.size(), 0))) return false;
+  }
+}
+
+void RoundEnumerator::ReportBatch(const std::vector<double>& costs) {
+  if (!pending_report_) return;
+  pending_report_ = false;
+  // Lowest cost wins; ties broken by batch index (same rule as serial
+  // ReportCost's strict `<`).
+  size_t best = 0;
+  double best_cost = 0;
+  bool have = false;
+  for (size_t i = 0; i < costs.size() && i < batch_counters_.size(); ++i) {
+    if (!have || costs[i] < best_cost) {
+      have = true;
+      best_cost = costs[i];
+      best = i;
+    }
+  }
+  BeginNextClass(have ? batch_counters_[best]
+                      : std::vector<int>(counter_.size(), 0));
 }
 
 }  // namespace scx

@@ -12,7 +12,7 @@ namespace scx {
 /// every shared group associated with the LCA being optimized.
 using RoundAssignment = std::map<GroupId, int>;
 
-/// Generates the phase-2 rounds for one LCA (paper Sec. VII with the
+/// Enumerates the phase-2 rounds for one LCA (paper Sec. VII with the
 /// Sec. VIII-A extension).
 ///
 /// Input: independence classes of shared groups (each class is a list of
@@ -21,7 +21,7 @@ using RoundAssignment = std::map<GroupId, int>;
 /// promising entry).
 ///
 /// Without the independence extension callers pass a single class holding
-/// all groups; the scheduler then enumerates the full Cartesian product,
+/// all groups; the enumerator then produces the full Cartesian product,
 /// varying the first group fastest (paper Sec. VII example ordering).
 ///
 /// With independent classes, classes are processed sequentially: while a
@@ -29,12 +29,20 @@ using RoundAssignment = std::map<GroupId, int>;
 /// observed assignment and later classes to entry 0. Subsequent classes skip
 /// their all-zero combination (it was already evaluated during the previous
 /// class), reproducing the paper's 8+8 → 8+7 = 15 rounds example.
-class RoundScheduler {
+///
+/// Two driving protocols are supported (do not mix them on one instance):
+///  * serial: Next() / ReportCost() per round;
+///  * batch: NextBatch() returns every round of the current class at once
+///    (rounds within one class are mutually independent, so they may be
+///    evaluated concurrently), then ReportBatch() with one cost per round
+///    picks the pin for the finished class. The concatenation of all batches
+///    is exactly the serial Next() sequence.
+class RoundEnumerator {
  public:
-  RoundScheduler(std::vector<std::vector<GroupId>> classes,
-                 std::map<GroupId, int> history_sizes);
+  RoundEnumerator(std::vector<std::vector<GroupId>> classes,
+                  std::map<GroupId, int> history_sizes);
 
-  /// Total number of rounds this scheduler will produce.
+  /// Total number of rounds this enumerator will produce.
   long TotalRounds() const { return total_rounds_; }
 
   /// Produces the next assignment; false when enumeration is complete.
@@ -45,12 +53,26 @@ class RoundScheduler {
   /// Reports the cost of the assignment most recently returned by Next().
   void ReportCost(double cost);
 
+  /// Produces every remaining round of the current class; false when
+  /// enumeration is complete. The caller must call ReportBatch() before the
+  /// next NextBatch().
+  bool NextBatch(std::vector<RoundAssignment>* out);
+
+  /// Reports the costs of the batch most recently returned by NextBatch()
+  /// (costs[i] belongs to out[i]); the cheapest round — ties broken by batch
+  /// index, matching serial ReportCost — becomes the class's pinned
+  /// assignment.
+  void ReportBatch(const std::vector<double>& costs);
+
  private:
   /// Builds the assignment for the current class state.
   RoundAssignment CurrentAssignment() const;
   /// Advances the mixed-radix counter of the current class; returns false
   /// on wrap-around (class exhausted).
   bool AdvanceCounter();
+  /// Pins the finished class to `pin` and enters the next class; returns
+  /// false when no class remains (enumeration done).
+  bool BeginNextClass(const std::vector<int>& pin);
 
   std::vector<std::vector<GroupId>> classes_;
   std::map<GroupId, int> history_sizes_;
@@ -64,6 +86,7 @@ class RoundScheduler {
   double best_cost_in_class_ = 0;
   bool have_best_in_class_ = false;
   std::vector<int> best_counter_;
+  std::vector<std::vector<int>> batch_counters_;  // batch-protocol state
   RoundAssignment fixed_;              // best choices of completed classes
   bool done_ = false;
 };

@@ -1,0 +1,179 @@
+// The parallel round scheduler's determinism contract: for a fixed script
+// and config, num_threads must not change anything observable — final cost,
+// plan shape, rounds planned/executed, round trace (docs/architecture.md,
+// "Determinism"). Also covers thread-safety of concurrent Engine::Optimize
+// calls on one Engine and the single-shot Optimizer::Run guard.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "workload/large_scripts.h"
+#include "workload/paper_scripts.h"
+
+namespace scx {
+namespace {
+
+struct RunOutcome {
+  double cost = 0;
+  std::string plan;
+  long rounds_planned = 0;
+  long rounds_executed = 0;
+  std::vector<RoundTraceEntry> trace;
+};
+
+RunOutcome RunWithThreads(const Catalog& catalog, const std::string& text,
+                          int num_threads) {
+  OptimizerConfig config;
+  config.num_threads = num_threads;
+  // Determinism is only promised while the budget never expires; disable it.
+  config.budget_seconds = 1e9;
+  Engine engine(catalog, config);
+  auto compiled = engine.Compile(text);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto optimized = engine.Optimize(*compiled, OptimizerMode::kCse);
+  EXPECT_TRUE(optimized.ok()) << optimized.status().ToString();
+  RunOutcome out;
+  out.cost = optimized->cost();
+  out.plan = optimized->Explain();
+  out.rounds_planned = optimized->result.diagnostics.rounds_planned;
+  out.rounds_executed = optimized->result.diagnostics.rounds_executed;
+  out.trace = optimized->result.diagnostics.round_trace;
+  return out;
+}
+
+void ExpectIdenticalAcrossThreadCounts(const Catalog& catalog,
+                                       const std::string& text) {
+  RunOutcome serial = RunWithThreads(catalog, text, 1);
+  for (int threads : {2, 8}) {
+    RunOutcome parallel = RunWithThreads(catalog, text, threads);
+    EXPECT_EQ(serial.cost, parallel.cost) << "threads=" << threads;
+    EXPECT_EQ(serial.plan, parallel.plan) << "threads=" << threads;
+    EXPECT_EQ(serial.rounds_planned, parallel.rounds_planned)
+        << "threads=" << threads;
+    EXPECT_EQ(serial.rounds_executed, parallel.rounds_executed)
+        << "threads=" << threads;
+    ASSERT_EQ(serial.trace.size(), parallel.trace.size())
+        << "threads=" << threads;
+    for (size_t i = 0; i < serial.trace.size(); ++i) {
+      EXPECT_EQ(serial.trace[i].lca, parallel.trace[i].lca);
+      EXPECT_EQ(serial.trace[i].round_index, parallel.trace[i].round_index);
+      EXPECT_EQ(serial.trace[i].assignment, parallel.trace[i].assignment);
+      EXPECT_EQ(serial.trace[i].cost, parallel.trace[i].cost);
+      EXPECT_EQ(serial.trace[i].best_so_far, parallel.trace[i].best_so_far);
+    }
+  }
+}
+
+TEST(ParallelOptTest, S1BitIdenticalAcrossThreadCounts) {
+  ExpectIdenticalAcrossThreadCounts(MakePaperCatalog(), kScriptS1);
+}
+
+TEST(ParallelOptTest, S2BitIdenticalAcrossThreadCounts) {
+  ExpectIdenticalAcrossThreadCounts(MakePaperCatalog(), kScriptS2);
+}
+
+TEST(ParallelOptTest, S3BitIdenticalAcrossThreadCounts) {
+  ExpectIdenticalAcrossThreadCounts(MakePaperCatalog(), kScriptS3);
+}
+
+TEST(ParallelOptTest, S4BitIdenticalAcrossThreadCounts) {
+  ExpectIdenticalAcrossThreadCounts(MakePaperCatalog(), kScriptS4);
+}
+
+TEST(ParallelOptTest, LS1BitIdenticalAcrossThreadCounts) {
+  GeneratedScript ls1 = GenerateLargeScript(Ls1Spec());
+  ExpectIdenticalAcrossThreadCounts(ls1.catalog, ls1.text);
+}
+
+TEST(ParallelOptTest, NaiveSharingUnaffectedByThreadCount) {
+  Catalog catalog = MakePaperCatalog();
+  for (int threads : {1, 4}) {
+    OptimizerConfig config;
+    config.num_threads = threads;
+    Engine engine(catalog, config);
+    auto compiled = engine.Compile(kScriptS1);
+    ASSERT_TRUE(compiled.ok());
+    auto a = engine.Optimize(*compiled, OptimizerMode::kNaiveSharing);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    auto b = engine.Optimize(*compiled, OptimizerMode::kNaiveSharing);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->cost(), b->cost());
+  }
+}
+
+TEST(ParallelOptTest, ConcurrentOptimizeOnOneEngine) {
+  // Two threads drive the same Engine and CompiledScript at once; each run
+  // builds a private memo/registry/optimizer, so results must match a quiet
+  // single-threaded run exactly.
+  Catalog catalog = MakePaperCatalog();
+  OptimizerConfig config;
+  config.num_threads = 2;
+  config.budget_seconds = 1e9;
+  Engine engine(catalog, config);
+  auto compiled = engine.Compile(kScriptS2);
+  ASSERT_TRUE(compiled.ok());
+  RunOutcome reference = RunWithThreads(catalog, kScriptS2, 1);
+
+  constexpr int kRuns = 4;
+  std::vector<double> costs(kRuns, -1.0);
+  std::vector<std::string> plans(kRuns);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kRuns; ++t) {
+    threads.emplace_back([&, t] {
+      auto optimized = engine.Optimize(*compiled, OptimizerMode::kCse);
+      if (optimized.ok()) {
+        costs[static_cast<size_t>(t)] = optimized->cost();
+        plans[static_cast<size_t>(t)] = optimized->Explain();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kRuns; ++t) {
+    EXPECT_EQ(costs[static_cast<size_t>(t)], reference.cost);
+    EXPECT_EQ(plans[static_cast<size_t>(t)], reference.plan);
+  }
+}
+
+TEST(ParallelOptTest, CompareMatchesSeparateOptimizeCalls) {
+  Catalog catalog = MakePaperCatalog();
+  OptimizerConfig config;
+  config.num_threads = 4;  // Compare overlaps its two runs on two threads
+  Engine engine(catalog, config);
+  auto c = engine.Compare(kScriptS1);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  auto compiled = engine.Compile(kScriptS1);
+  ASSERT_TRUE(compiled.ok());
+  auto conv = engine.Optimize(*compiled, OptimizerMode::kConventional);
+  auto cse = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(conv.ok());
+  ASSERT_TRUE(cse.ok());
+  EXPECT_EQ(c->conventional.cost(), conv->cost());
+  EXPECT_EQ(c->cse.cost(), cse->cost());
+}
+
+TEST(ParallelOptTest, SecondRunReturnsFailedPrecondition) {
+  Catalog catalog = MakePaperCatalog();
+  Engine engine(catalog);
+  auto compiled = engine.Compile(kScriptS1);
+  ASSERT_TRUE(compiled.ok());
+  Memo memo = Memo::FromLogicalDag(compiled->bound.root);
+  Optimizer optimizer(std::move(memo), compiled->bound.columns,
+                      engine.config());
+  auto first = optimizer.Run(OptimizerMode::kCse);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = optimizer.Run(OptimizerMode::kCse);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+
+  // Re-optimization goes through a fresh context instead (the Engine builds
+  // one per Optimize call).
+  auto again = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->cost(), first->cost);
+}
+
+}  // namespace
+}  // namespace scx

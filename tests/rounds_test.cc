@@ -1,6 +1,7 @@
-// Tests for the phase-2 round scheduler (paper Sec. VII ordering and the
+// Tests for the phase-2 round enumerator (paper Sec. VII ordering and the
 // Sec. VIII-A independent-shared-group extension, including the paper's
-// 8x8 = 64 → 8+7 = 15 rounds example).
+// 8x8 = 64 → 8+7 = 15 rounds example), in both the serial Next/ReportCost
+// protocol and the batch protocol used by the parallel scheduler.
 
 #include <gtest/gtest.h>
 
@@ -9,7 +10,7 @@
 namespace scx {
 namespace {
 
-std::vector<RoundAssignment> Drain(RoundScheduler* sched,
+std::vector<RoundAssignment> Drain(RoundEnumerator* sched,
                                    const std::map<RoundAssignment, double>&
                                        costs = {}) {
   std::vector<RoundAssignment> out;
@@ -22,8 +23,25 @@ std::vector<RoundAssignment> Drain(RoundScheduler* sched,
   return out;
 }
 
-TEST(RoundSchedulerTest, SingleGroupEnumeratesAllEntries) {
-  RoundScheduler sched({{7}}, {{7, 3}});
+std::vector<RoundAssignment> DrainBatches(
+    RoundEnumerator* sched,
+    const std::map<RoundAssignment, double>& costs = {}) {
+  std::vector<RoundAssignment> out;
+  std::vector<RoundAssignment> batch;
+  while (sched->NextBatch(&batch)) {
+    std::vector<double> batch_costs;
+    for (const RoundAssignment& a : batch) {
+      out.push_back(a);
+      auto it = costs.find(a);
+      batch_costs.push_back(it == costs.end() ? 100.0 : it->second);
+    }
+    sched->ReportBatch(batch_costs);
+  }
+  return out;
+}
+
+TEST(RoundEnumeratorTest, SingleGroupEnumeratesAllEntries) {
+  RoundEnumerator sched({{7}}, {{7, 3}});
   EXPECT_EQ(sched.TotalRounds(), 3);
   auto rounds = Drain(&sched);
   ASSERT_EQ(rounds.size(), 3u);
@@ -32,10 +50,10 @@ TEST(RoundSchedulerTest, SingleGroupEnumeratesAllEntries) {
   }
 }
 
-TEST(RoundSchedulerTest, JointClassIsCartesianFirstGroupFastest) {
+TEST(RoundEnumeratorTest, JointClassIsCartesianFirstGroupFastest) {
   // Paper Sec. VII: for groups 3,4 with histories {p1,p2} and {q1,q2} the
   // rounds are (p1,q1),(p2,q1),(p1,q2),(p2,q2) — first group varies first.
-  RoundScheduler sched({{3, 4}}, {{3, 2}, {4, 2}});
+  RoundEnumerator sched({{3, 4}}, {{3, 2}, {4, 2}});
   EXPECT_EQ(sched.TotalRounds(), 4);
   auto rounds = Drain(&sched);
   ASSERT_EQ(rounds.size(), 4u);
@@ -45,11 +63,11 @@ TEST(RoundSchedulerTest, JointClassIsCartesianFirstGroupFastest) {
   EXPECT_EQ(rounds[3], (RoundAssignment{{3, 1}, {4, 1}}));
 }
 
-TEST(RoundSchedulerTest, PaperSixtyFourToFifteenExample) {
+TEST(RoundEnumeratorTest, PaperSixtyFourToFifteenExample) {
   // Sec. VIII-A: two independent groups with 8 property sets each: 8 rounds
   // for the first, then 7 for the second (its all-initial combination was
   // already evaluated), 15 total instead of 64.
-  RoundScheduler sched({{5}, {6}}, {{5, 8}, {6, 8}});
+  RoundEnumerator sched({{5}, {6}}, {{5, 8}, {6, 8}});
   EXPECT_EQ(sched.TotalRounds(), 15);
   auto rounds = Drain(&sched);
   EXPECT_EQ(rounds.size(), 15u);
@@ -64,10 +82,10 @@ TEST(RoundSchedulerTest, PaperSixtyFourToFifteenExample) {
   }
 }
 
-TEST(RoundSchedulerTest, SecondClassPinsBestOfFirst) {
+TEST(RoundEnumeratorTest, SecondClassPinsBestOfFirst) {
   // Make entry 2 of group 5 the cheapest; the second class must run with
   // group 5 pinned at 2.
-  RoundScheduler sched({{5}, {6}}, {{5, 3}, {6, 2}});
+  RoundEnumerator sched({{5}, {6}}, {{5, 3}, {6, 2}});
   RoundAssignment a;
   std::vector<double> costs = {50, 20, 10};  // best is entry 2
   for (int i = 0; i < 3; ++i) {
@@ -81,17 +99,17 @@ TEST(RoundSchedulerTest, SecondClassPinsBestOfFirst) {
   EXPECT_FALSE(sched.Next(&a));
 }
 
-TEST(RoundSchedulerTest, EmptyClassesYieldNoRounds) {
-  RoundScheduler sched({}, {});
+TEST(RoundEnumeratorTest, EmptyClassesYieldNoRounds) {
+  RoundEnumerator sched({}, {});
   EXPECT_EQ(sched.TotalRounds(), 0);
   RoundAssignment a;
   EXPECT_FALSE(sched.Next(&a));
 }
 
-TEST(RoundSchedulerTest, GroupWithEmptyHistoryIsDegenerate) {
+TEST(RoundEnumeratorTest, GroupWithEmptyHistoryIsDegenerate) {
   // A shared group with no recorded properties contributes one degenerate
   // entry so joint enumeration still works.
-  RoundScheduler sched({{1, 2}}, {{1, 0}, {2, 2}});
+  RoundEnumerator sched({{1, 2}}, {{1, 0}, {2, 2}});
   EXPECT_EQ(sched.TotalRounds(), 2);
   auto rounds = Drain(&sched);
   ASSERT_EQ(rounds.size(), 2u);
@@ -99,10 +117,10 @@ TEST(RoundSchedulerTest, GroupWithEmptyHistoryIsDegenerate) {
   EXPECT_EQ(rounds[1].at(2), 1);
 }
 
-TEST(RoundSchedulerTest, SingleEntryClassesCollapse) {
+TEST(RoundEnumeratorTest, SingleEntryClassesCollapse) {
   // Three independent groups with one entry each: one round total (all at
   // entry 0), the rest skipped as already-evaluated.
-  RoundScheduler sched({{1}, {2}, {3}}, {{1, 1}, {2, 1}, {3, 1}});
+  RoundEnumerator sched({{1}, {2}, {3}}, {{1, 1}, {2, 1}, {3, 1}});
   EXPECT_EQ(sched.TotalRounds(), 1);
   auto rounds = Drain(&sched);
   ASSERT_EQ(rounds.size(), 1u);
@@ -110,12 +128,59 @@ TEST(RoundSchedulerTest, SingleEntryClassesCollapse) {
             (RoundAssignment{{1, 0}, {2, 0}, {3, 0}}));
 }
 
-TEST(RoundSchedulerTest, ThreeClassesChainBests) {
-  RoundScheduler sched({{1}, {2}, {3}}, {{1, 2}, {2, 2}, {3, 2}});
+TEST(RoundEnumeratorTest, ThreeClassesChainBests) {
+  RoundEnumerator sched({{1}, {2}, {3}}, {{1, 2}, {2, 2}, {3, 2}});
   // 2 + 1 + 1 = 4 rounds.
   EXPECT_EQ(sched.TotalRounds(), 4);
   auto rounds = Drain(&sched);
   EXPECT_EQ(rounds.size(), 4u);
+}
+
+TEST(RoundEnumeratorTest, BatchProtocolMatchesSerial) {
+  // The concatenation of all batches must be exactly the serial Next()
+  // sequence, including the class pinning decided by the reported costs.
+  std::map<RoundAssignment, double> costs;
+  costs[{{5, 1}, {6, 0}}] = 7.0;   // entry 1 of group 5 wins its class
+  costs[{{5, 1}, {6, 2}}] = 3.0;
+  RoundEnumerator serial({{5}, {6}}, {{5, 3}, {6, 3}});
+  RoundEnumerator batched({{5}, {6}}, {{5, 3}, {6, 3}});
+  EXPECT_EQ(Drain(&serial, costs), DrainBatches(&batched, costs));
+}
+
+TEST(RoundEnumeratorTest, BatchesSplitPerClass) {
+  RoundEnumerator sched({{5}, {6}}, {{5, 8}, {6, 8}});
+  std::vector<RoundAssignment> batch;
+  ASSERT_TRUE(sched.NextBatch(&batch));
+  EXPECT_EQ(batch.size(), 8u);  // whole first class at once
+  sched.ReportBatch(std::vector<double>(8, 100.0));
+  ASSERT_TRUE(sched.NextBatch(&batch));
+  EXPECT_EQ(batch.size(), 7u);  // second class minus the all-zero round
+  sched.ReportBatch(std::vector<double>(7, 100.0));
+  EXPECT_FALSE(sched.NextBatch(&batch));
+}
+
+TEST(RoundEnumeratorTest, BatchPinsLowestCostTiesByIndex) {
+  RoundEnumerator sched({{5}, {6}}, {{5, 3}, {6, 2}});
+  std::vector<RoundAssignment> batch;
+  ASSERT_TRUE(sched.NextBatch(&batch));
+  ASSERT_EQ(batch.size(), 3u);
+  sched.ReportBatch({20.0, 10.0, 10.0});  // tie between entries 1 and 2
+  ASSERT_TRUE(sched.NextBatch(&batch));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].at(5), 1);  // first of the tied rounds wins
+  EXPECT_EQ(batch[0].at(6), 1);
+  sched.ReportBatch({5.0});
+  EXPECT_FALSE(sched.NextBatch(&batch));
+}
+
+TEST(RoundEnumeratorTest, BatchProtocolCollapsesSingleEntryClasses) {
+  RoundEnumerator sched({{1}, {2}, {3}}, {{1, 1}, {2, 1}, {3, 1}});
+  std::vector<RoundAssignment> batch;
+  ASSERT_TRUE(sched.NextBatch(&batch));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], (RoundAssignment{{1, 0}, {2, 0}, {3, 0}}));
+  sched.ReportBatch({42.0});
+  EXPECT_FALSE(sched.NextBatch(&batch));
 }
 
 }  // namespace

@@ -5,7 +5,7 @@
 // Usage:
 //   scx_cli --catalog CATFILE --script SCRIPTFILE
 //           [--mode conv|naive|cse] [--machines N] [--budget SECONDS]
-//           [--compare] [--execute] [--quiet]
+//           [--threads N] [--compare] [--execute] [--quiet]
 //
 // Catalog file format (one file per line, '#' comments):
 //   file <path> rows=<n> <col>:<ndv>[:int64|double|string] ...
@@ -139,6 +139,13 @@ int Main(int argc, char** argv) {
       config.cluster.machines = std::atoi(next());
     } else if (arg == "--budget") {
       config.budget_seconds = std::atof(next());
+    } else if (arg == "--threads") {
+      int n = std::atoi(next());
+      if (n < 1) {
+        std::fprintf(stderr, "scx: --threads needs a positive integer\n");
+        return 2;
+      }
+      config.num_threads = n;
     } else if (arg == "--compare") {
       compare = true;
     } else if (arg == "--execute") {
@@ -150,8 +157,8 @@ int Main(int argc, char** argv) {
     } else if (arg == "--help") {
       std::printf(
           "usage: scx_cli --catalog FILE --script FILE [--mode conv|naive|"
-          "cse]\n              [--machines N] [--budget S] [--compare] "
-          "[--execute] [--quiet] [--json]\n");
+          "cse]\n              [--machines N] [--budget S] [--threads N] "
+          "[--compare] [--execute]\n              [--quiet] [--json]\n");
       return 0;
     } else {
       std::fprintf(stderr, "scx: unknown flag %s (try --help)\n",
