@@ -37,10 +37,10 @@ void OptimizationContext::RecordHistory(GroupId g, const RequiredProps& req) {
       RequiredProps entry;
       entry.partitioning = PartitioningReq::Exactly(std::move(s));
       entry.sort = req.sort;
-      h.Add(entry);
+      h.Add(entry, props_interner_);
     }
   } else {
-    h.Add(req);
+    h.Add(req, props_interner_);
   }
 }
 
@@ -264,6 +264,20 @@ void OptimizationContext::Freeze() {
         }
       }
       if (nested) nested_lcas_.insert(l);
+    }
+  }
+
+  // Materialize SharedBelow as dense sorted vectors so the enforcement
+  // signature can walk them without a map lookup per probe. Done after the
+  // exploration fixpoint: groups appended by rules were never seen by the
+  // shared-info pass and keep an empty vector, matching the empty-set
+  // lookup the per-probe path used.
+  if (shared_.has_value()) {
+    shared_below_sorted_.assign(static_cast<size_t>(memo_.num_groups()), {});
+    for (GroupId g = 0; g < memo_.num_groups(); ++g) {
+      const std::set<GroupId>& below = shared_->SharedBelow(g);
+      shared_below_sorted_[static_cast<size_t>(g)].assign(below.begin(),
+                                                          below.end());
     }
   }
 

@@ -9,6 +9,7 @@
 
 #include "core/fingerprint.h"
 #include "core/property_history.h"
+#include "core/props_interner.h"
 #include "core/shared_info.h"
 #include "cost/cost_model.h"
 #include "memo/memo.h"
@@ -72,6 +73,34 @@ struct RoundTraceEntry {
   double best_so_far = 0;  ///< best cost at this LCA after this round
 };
 
+/// Per-run cache/pruning instrumentation of the group-optimization
+/// recursion (winner cache, spool-base cache, interner, branch-and-bound).
+/// Counts are totals over the whole run; with num_threads > 1, worker
+/// overlays recompute some entries redundantly, so hit/miss totals depend
+/// on the thread count even though the chosen plan does not.
+struct OptCacheCounters {
+  long winner_hits = 0;
+  long winner_misses = 0;
+  long spool_hits = 0;
+  long spool_misses = 0;
+  /// Candidate plans abandoned because a cost lower bound already matched
+  /// or exceeded the running best (never changes the winner).
+  long pruned_alternatives = 0;
+  /// Phase-2 rounds abandoned whole because every alternative exceeded the
+  /// best cost already observed in the round's independence class.
+  long pruned_rounds = 0;
+  long interner_size = 0;  ///< distinct RequiredProps values interned
+
+  void MergeFrom(const OptCacheCounters& o) {
+    winner_hits += o.winner_hits;
+    winner_misses += o.winner_misses;
+    spool_hits += o.spool_hits;
+    spool_misses += o.spool_misses;
+    pruned_alternatives += o.pruned_alternatives;
+    pruned_rounds += o.pruned_rounds;
+  }
+};
+
 /// Measurements and derived facts exposed alongside the chosen plan.
 struct OptimizeDiagnostics {
   double phase1_cost = 0;  ///< best cost after phase 1 (mode accounting)
@@ -83,7 +112,9 @@ struct OptimizeDiagnostics {
   int merged_subexpressions = 0;
   int reachable_groups = 0;
   double optimize_seconds = 0;
+  double phase2_seconds = 0;  ///< wall time of the phase-2 walk alone
   bool budget_exhausted = false;
+  OptCacheCounters cache;
   /// shared group -> its LCA.
   std::map<GroupId, GroupId> lca_of;
   /// shared group -> history size after phase 1.
@@ -147,6 +178,22 @@ class OptimizationContext {
     return shared_.has_value() ? &*shared_ : nullptr;
   }
   const PropertyHistory* HistoryOf(GroupId g) const;
+  /// Interns a property set to its dense run-local id (thread-safe; the
+  /// interner is the one mutable member that stays live after Freeze —
+  /// phase-2 workers may still encounter new requirement sets).
+  PropsId InternProps(const RequiredProps& props) const {
+    return props_interner_.Intern(props);
+  }
+  const PropsInterner& props_interner() const { return props_interner_; }
+  /// Shared groups at or below `g` as a sorted vector (precomputed by
+  /// Freeze from SharedInfo::SharedBelow; empty before Freeze or for groups
+  /// the shared-info pass never saw — matching the on-demand set lookup the
+  /// string-keyed cache suffix used).
+  const std::vector<GroupId>& SharedBelowSorted(GroupId g) const {
+    static const std::vector<GroupId> kEmpty;
+    size_t i = static_cast<size_t>(g);
+    return i < shared_below_sorted_.size() ? shared_below_sorted_[i] : kEmpty;
+  }
   /// Candidate partitioning column sets an exchange enforcer may produce
   /// for a requirement.
   std::vector<ColumnSet> EnforceCandidates(const PartitioningReq& req) const;
@@ -166,6 +213,10 @@ class OptimizationContext {
   CardinalityEstimator estimator_;
   CostModel cost_model_;
   std::map<GroupId, PropertyHistory> history_;
+  /// Thread-safe by construction; mutable so interning stays available
+  /// through the const read-only API after Freeze.
+  mutable PropsInterner props_interner_;
+  std::vector<std::vector<GroupId>> shared_below_sorted_;
   std::optional<SharedInfo> shared_;
   std::set<GroupId> explored_;
   std::set<GroupId> nested_lcas_;

@@ -59,7 +59,11 @@ Result<OptimizeResult> Optimizer::Run(OptimizerMode mode) {
     ctx_->Freeze();  // ranks histories, explores to fixpoint, immutable now
     master_->BeginPhase2();
     scheduler_->StartPhase2();
+    auto p2_t0 = std::chrono::steady_clock::now();
     PhysicalNodePtr p2 = master_->OptimizeGroup(ctx_->memo().root(), trivial);
+    diag_.phase2_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - p2_t0)
+                               .count();
     if (p2 != nullptr) {
       double c2 = ctx_->PlanCost(p2);
       if (c2 < best_cost) {
@@ -68,6 +72,12 @@ Result<OptimizeResult> Optimizer::Run(OptimizerMode mode) {
       }
     }
   }
+
+  // Cache/pruning instrumentation: worker counters were absorbed into the
+  // master as batches were applied.
+  diag_.cache = master_->counters();
+  diag_.cache.interner_size =
+      static_cast<long>(ctx_->props_interner().size());
 
   diag_.final_cost = best_cost;
   diag_.optimize_seconds =

@@ -1,0 +1,84 @@
+#ifndef SCX_CORE_PROPS_INTERNER_H_
+#define SCX_CORE_PROPS_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "props/physical_props.h"
+
+namespace scx {
+
+/// Dense id for one distinct RequiredProps value within one optimization
+/// run. Ids are only meaningful inside the run that produced them (the
+/// assignment order depends on which thread interns a new set first), but
+/// the props → id mapping itself is stable: equal property sets always get
+/// equal ids, which is all the winner-cache keys need.
+using PropsId = int32_t;
+
+/// Interns RequiredProps values to dense PropsIds so the phase-2 hot path
+/// can key its caches with a 4-byte id instead of a heap-allocated
+/// `req.ToString()` string. Phase-1 requests, history entries, and enforcer
+/// relaxations all pass through here (every request enters via
+/// RoundTask::OptimizeGroup, histories via OptimizationContext::
+/// RecordHistory).
+///
+/// Thread-safe: phase-2 worker tasks may intern requirement sets that only
+/// arise under a particular round's enforcement (e.g. join follower
+/// requirements pinned to a driver's delivered scheme). Lookups take a
+/// shared lock; the rare first-time insert upgrades to an exclusive lock.
+class PropsInterner {
+ public:
+  PropsId Intern(const RequiredProps& props) {
+    uint64_t h = props.HashValue();
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = ids_.find(h);
+      if (it != ids_.end()) {
+        const PropsId* id = FindExact(it->second, props);
+        if (id != nullptr) return *id;
+      }
+    }
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    std::vector<PropsId>& bucket = ids_[h];
+    const PropsId* id = FindExact(bucket, props);
+    if (id != nullptr) return *id;
+    PropsId fresh = static_cast<PropsId>(by_id_.size());
+    by_id_.push_back(props);
+    bucket.push_back(fresh);
+    return fresh;
+  }
+
+  /// The interned value for `id` (debugging / tests).
+  RequiredProps Get(PropsId id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return by_id_[static_cast<size_t>(id)];
+  }
+
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return by_id_.size();
+  }
+
+ private:
+  /// Buckets hold every id whose props hash to the same 64-bit value; the
+  /// exact equality check below makes hash collisions harmless.
+  const PropsId* FindExact(const std::vector<PropsId>& bucket,
+                           const RequiredProps& props) const {
+    for (const PropsId& id : bucket) {
+      if (by_id_[static_cast<size_t>(id)] == props) return &id;
+    }
+    return nullptr;
+  }
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<uint64_t, std::vector<PropsId>> ids_;
+  std::deque<RequiredProps> by_id_;  // deque: stable under growth
+};
+
+}  // namespace scx
+
+#endif  // SCX_CORE_PROPS_INTERNER_H_

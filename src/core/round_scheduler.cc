@@ -65,9 +65,11 @@ PhysicalNodePtr RoundScheduler::RunRoundsAt(RoundTask* task, GroupId g,
     // which all consumers must then compensate above (paper Secs. I-II).
     sink->rounds_planned += 1;
     ++sink->rounds_executed;
-    for (GroupId s : here) task->enforced_[s] = kNaiveEntryIndex;
+    RoundAssignment naive;
+    for (GroupId s : here) naive[s] = kNaiveEntryIndex;
+    task->InstallAssignment(naive);
     PhysicalNodePtr plan = task->LogPhysOpt(g, req);
-    for (GroupId s : here) task->enforced_.erase(s);
+    task->RemoveAssignment(naive);
     task->in_rounds_.erase(g);
     return plan;
   }
@@ -124,6 +126,17 @@ PhysicalNodePtr RoundScheduler::RunRoundsAt(RoundTask* task, GroupId g,
   PhysicalNodePtr best;
   double best_cost = kInf;
 
+  // Class-local branch-and-bound across rounds (serial loop only: a batch
+  // hands out a whole class at once, so no earlier same-class cost exists).
+  // Active only while the round trace is off — a pruned round has no exact
+  // cost to record, and the determinism contract promises the traced cost
+  // stream bit-identical to the unpruned path. Pruning never changes the
+  // winner or the class pin: a finite bound was achieved by an EARLIER
+  // round of the same class, and a pruned round's true cost is >= that
+  // bound, so it loses both strict-`<` comparisons either way.
+  bool round_bound = !config.trace_rounds &&
+                     ctx_->mode() == OptimizerMode::kCse;
+
   if (!parallel) {
     RoundAssignment assignment;
     while (enumerator.Next(&assignment)) {
@@ -133,11 +146,13 @@ PhysicalNodePtr RoundScheduler::RunRoundsAt(RoundTask* task, GroupId g,
         break;
       }
       ++sink->rounds_executed;
-      for (const auto& [s, idx] : assignment) task->enforced_[s] = idx;
-      PhysicalNodePtr plan = task->LogPhysOpt(g, req);
-      double cost = plan != nullptr ? ctx_->PlanCost(plan) : kInf;
+      double bound = round_bound ? enumerator.BestCostInClass() : kInf;
+      task->InstallAssignment(assignment);
+      double cost;
+      PhysicalNodePtr plan = task->LogPhysOpt(g, req, &cost, bound);
+      task->RemoveAssignment(assignment);
+      if (plan == nullptr && bound < kInf) ++task->counters_.pruned_rounds;
       enumerator.ReportCost(cost);
-      for (const auto& [s, idx] : assignment) task->enforced_.erase(s);
       if (plan != nullptr && cost < best_cost) {
         best = plan;
         best_cost = cost;

@@ -35,7 +35,11 @@ namespace scx {
 ///    enumeration order, and winner selection uses strict less-than, ties
 ///    broken by round index — exactly the serial rule;
 ///  * the atomic best-so-far bound is maintained for reporting only and
-///    never prunes work.
+///    never prunes work;
+///  * branch-and-bound across rounds (serial loop, trace off) uses only
+///    the enumerator's class-local best — it abandons rounds that provably
+///    lose both the winner and the pin comparison, so the chosen plan and
+///    cost still match the unpruned path bit for bit (docs §11).
 class RoundScheduler {
  public:
   RoundScheduler(const OptimizationContext* ctx, OptimizeDiagnostics* diag);

@@ -135,21 +135,11 @@ std::optional<PartitioningReq> CombinePartReq(const PartitioningReq& parent,
   return std::nullopt;
 }
 
-PhysicalNodePtr Cheapest(const std::vector<PhysicalNodePtr>& valid,
-                         OptimizerMode mode) {
-  PhysicalNodePtr best;
-  double best_cost = kInf;
-  for (const PhysicalNodePtr& p : valid) {
-    if (p == nullptr) continue;
-    double c =
-        mode == OptimizerMode::kConventional ? TreeCost(p) : DagCost(p);
-    if (c < best_cost) {
-      best_cost = c;
-      best = p;
-    }
-  }
-  return best;
-}
+/// Nonzero seed of every phase-2 enforcement signature of a group with
+/// shared groups below — keeps those cache keys distinct from the phase-1
+/// signature 0 even when the current assignment touches none of them
+/// (phase-1 winners of such groups embed unenforced spools).
+constexpr uint64_t kPhase2SigSeed = 0x9e3779b97f4a7c15ULL;
 
 }  // namespace
 
@@ -175,9 +165,10 @@ RoundTask RoundTask::Fork() const {
 }
 
 void RoundTask::AbsorbCaches(RoundTask* other) {
-  // std::map::merge keeps existing entries — exactly insert-if-absent.
+  // unordered_map::merge keeps existing entries — exactly insert-if-absent.
   winners_.merge(other->winners_);
   spool_bases_.merge(other->spool_bases_);
+  counters_.MergeFrom(other->counters_);
 }
 
 const std::optional<PhysicalNodePtr>* RoundTask::FindWinner(
@@ -201,39 +192,63 @@ const PhysicalNodePtr* RoundTask::FindSpool(const SpoolKey& key) const {
   return nullptr;
 }
 
-std::string RoundTask::WinnerKeySuffix(GroupId g) const {
-  if (phase_ == 1 || ctx_->shared_info() == nullptr) return "";
-  const std::set<GroupId>& below = ctx_->shared_info()->SharedBelow(g);
-  if (below.empty()) return "";
-  std::string s = "p2|";
+void RoundTask::InstallAssignment(const RoundAssignment& assignment) {
+  for (const auto& [s, idx] : assignment) enforced_[s] = idx;
+  ++enforce_epoch_;
+}
+
+void RoundTask::RemoveAssignment(const RoundAssignment& assignment) {
+  for (const auto& [s, idx] : assignment) enforced_.erase(s);
+  ++enforce_epoch_;
+}
+
+uint64_t RoundTask::EnforcementSig(GroupId g) {
+  if (phase_ == 1 || ctx_->shared_info() == nullptr) return 0;
+  const std::vector<GroupId>& below = ctx_->SharedBelowSorted(g);
+  if (below.empty()) return 0;
+  size_t i = static_cast<size_t>(g);
+  if (sig_memo_.size() <= i) {
+    size_t n = static_cast<size_t>(ctx_->memo().num_groups());
+    sig_memo_.resize(n > i ? n : i + 1, {0, 0});
+  }
+  if (sig_memo_[i].first == enforce_epoch_) return sig_memo_[i].second;
+  uint64_t sig = kPhase2SigSeed;
   for (GroupId sg : below) {
     auto it = enforced_.find(sg);
-    if (it != enforced_.end()) {
-      s += std::to_string(sg) + ":" + std::to_string(it->second) + ";";
-    }
+    if (it == enforced_.end()) continue;
+    sig = HashCombine(
+        sig, (static_cast<uint64_t>(static_cast<uint32_t>(sg)) << 32) |
+                 static_cast<uint32_t>(it->second));
   }
-  return s;
+  sig_memo_[i] = {enforce_epoch_, sig};
+  return sig;
 }
 
 RoundResult RoundTask::EvaluateRound(GroupId lca, const RequiredProps& req,
-                                     const RoundAssignment& assignment) {
+                                     const RoundAssignment& assignment,
+                                     double bound) {
   RoundResult out;
   if (scheduler_ != nullptr && scheduler_->BudgetExceeded()) {
     out.budget_skipped = true;
     return out;
   }
-  for (const auto& [s, idx] : assignment) enforced_[s] = idx;
-  out.plan = LogPhysOpt(lca, req);
-  for (const auto& [s, idx] : assignment) enforced_.erase(s);
-  out.cost = out.plan != nullptr ? ctx_->PlanCost(out.plan) : kInf;
+  InstallAssignment(assignment);
+  // The round root is never cached (only OptimizeGroup writes winners_),
+  // so seeding the alternative comparison with the class bound cannot
+  // poison any cache entry. out.cost is the accumulator's winning cost —
+  // the same memoized DagCost the old PlanCost re-walk computed.
+  out.plan = LogPhysOpt(lca, req, &out.cost, bound);
+  RemoveAssignment(assignment);
   return out;
 }
 
 PhysicalNodePtr RoundTask::OptimizeGroup(GroupId g, const RequiredProps& req) {
-  auto key = std::make_tuple(g, req.ToString(), WinnerKeySuffix(g));
+  WinnerKey key{g, ctx_->InternProps(req), EnforcementSig(g)};
   if (const std::optional<PhysicalNodePtr>* hit = FindWinner(key)) {
+    ++counters_.winner_hits;
     return hit->has_value() ? **hit : nullptr;
   }
+  ++counters_.winner_misses;
 
   if (phase_ == 1 && ctx_->mode() == OptimizerMode::kCse &&
       ctx_->memo().group(g).is_shared() && build_ctx_ != nullptr) {
@@ -265,8 +280,12 @@ PhysicalNodePtr RoundTask::SpoolBase(GroupId g, int entry_index) {
   GroupId child = ctx_->memo().group(g).initial_expr().children[0];
   // Nested enforcement below the spool can change the base across outer
   // rounds; include the child's enforcement signature in the key.
-  auto full_key = std::make_tuple(g, entry_index, WinnerKeySuffix(child));
-  if (const PhysicalNodePtr* hit = FindSpool(full_key)) return *hit;
+  SpoolKey full_key{g, entry_index, EnforcementSig(child)};
+  if (const PhysicalNodePtr* hit = FindSpool(full_key)) {
+    ++counters_.spool_hits;
+    return *hit;
+  }
+  ++counters_.spool_misses;
 
   RequiredProps eprops;  // trivial for the naive-sharing sentinel entry
   if (entry_index != kNaiveEntryIndex) {
@@ -294,18 +313,18 @@ PhysicalNodePtr RoundTask::OptimizeSharedEnforced(GroupId g,
                                                   const RequiredProps& req) {
   PhysicalNodePtr base = SpoolBase(g, enforced_.at(g));
   if (base == nullptr) return nullptr;
-  std::vector<PhysicalNodePtr> valid;
-  WrapEnforcersOverBase(g, base, req, &valid);
-  return Cheapest(valid, ctx_->mode());
+  AltAccumulator acc(ctx_->mode(), kInf, &counters_);
+  WrapEnforcersOverBase(g, base, req, &acc);
+  return acc.TakeBest();
 }
 
 void RoundTask::WrapEnforcersOverBase(GroupId g, const PhysicalNodePtr& base,
                                       const RequiredProps& req,
-                                      std::vector<PhysicalNodePtr>* valid) {
+                                      AltAccumulator* acc) {
   const CostModel& cost_model = ctx_->cost_model();
   const GroupStats& stats = StatsOf(g);
   if (PropertySatisfied(req, base->delivered)) {
-    valid->push_back(base);
+    acc->Consider(base);
     return;
   }
   bool part_ok = req.partitioning.SatisfiedBy(base->delivered.partitioning);
@@ -316,7 +335,7 @@ void RoundTask::WrapEnforcersOverBase(GroupId g, const PhysicalNodePtr& base,
         PhysicalOpKind::kSort, base->proto, g, {base}, d,
         cost_model.Sort(stats, base->delivered.partitioning));
     sort->sort_spec = req.sort;
-    valid->push_back(std::move(sort));
+    acc->Consider(std::move(sort));
     return;
   }
   if (req.partitioning.kind == PartReqKind::kSerial) {
@@ -325,14 +344,14 @@ void RoundTask::WrapEnforcersOverBase(GroupId g, const PhysicalNodePtr& base,
         MakePhysicalNode(PhysicalOpKind::kGather, base->proto, g, {base}, d,
                          cost_model.Gather(stats));
     if (PropertySatisfied(req, gather->delivered)) {
-      valid->push_back(gather);
+      acc->Consider(gather);
     } else {
       DeliveredProps ds{Partitioning::Serial(), req.sort};
       PhysicalNodePtr sort = MakePhysicalNode(
           PhysicalOpKind::kSort, base->proto, g, {gather}, ds,
           cost_model.Sort(stats, Partitioning::Serial()));
       sort->sort_spec = req.sort;
-      valid->push_back(std::move(sort));
+      acc->Consider(std::move(sort));
     }
     return;
   }
@@ -345,14 +364,14 @@ void RoundTask::WrapEnforcersOverBase(GroupId g, const PhysicalNodePtr& base,
                                  req.partitioning.cols));
     ex->exchange_cols = req.partitioning.cols;
     if (req.sort.Empty()) {
-      valid->push_back(std::move(ex));
+      acc->Consider(std::move(ex));
     } else {
       DeliveredProps ds{range, req.sort};
       PhysicalNodePtr sort =
           MakePhysicalNode(PhysicalOpKind::kSort, base->proto, g, {ex}, ds,
                            cost_model.Sort(stats, range));
       sort->sort_spec = req.sort;
-      valid->push_back(std::move(sort));
+      acc->Consider(std::move(sort));
     }
     return;
   }
@@ -367,7 +386,7 @@ void RoundTask::WrapEnforcersOverBase(GroupId g, const PhysicalNodePtr& base,
           cost_model.MergeExchange(stats, base->delivered.partitioning,
                                    cols));
       ex->exchange_cols = cols;
-      valid->push_back(std::move(ex));
+      acc->Consider(std::move(ex));
       continue;
     }
     DeliveredProps d{Partitioning::Hash(cols), {}};
@@ -376,46 +395,47 @@ void RoundTask::WrapEnforcersOverBase(GroupId g, const PhysicalNodePtr& base,
         cost_model.HashExchange(stats, base->delivered.partitioning, cols));
     ex->exchange_cols = cols;
     if (req.sort.Empty()) {
-      valid->push_back(std::move(ex));
+      acc->Consider(std::move(ex));
     } else {
       DeliveredProps ds{Partitioning::Hash(cols), req.sort};
       PhysicalNodePtr sort = MakePhysicalNode(
           PhysicalOpKind::kSort, base->proto, g, {ex}, ds,
           cost_model.Sort(stats, Partitioning::Hash(cols)));
       sort->sort_spec = req.sort;
-      valid->push_back(std::move(sort));
+      acc->Consider(std::move(sort));
     }
   }
 }
 
-PhysicalNodePtr RoundTask::LogPhysOpt(GroupId g, const RequiredProps& req) {
+PhysicalNodePtr RoundTask::LogPhysOpt(GroupId g, const RequiredProps& req,
+                                      double* out_cost, double bound) {
   if (build_ctx_ != nullptr) build_ctx_->EnsureExplored(g);
-  std::vector<PhysicalNodePtr> valid;
+  AltAccumulator acc(ctx_->mode(), bound, &counters_);
   if (ctx_->frozen()) {
     // Frozen memo: iterate in place, no rule can append.
     for (const GroupExpr& expr : ctx_->memo().group(g).exprs()) {
-      ImplementExpr(g, expr, req, &valid);
+      ImplementExpr(g, expr, req, &acc);
     }
   } else {
     // Copy: nested OptimizeGroup calls may add expressions to other groups
     // (and rules could add to this one) while we iterate.
     std::vector<GroupExpr> exprs = ctx_->memo().group(g).exprs();
     for (const GroupExpr& expr : exprs) {
-      ImplementExpr(g, expr, req, &valid);
+      ImplementExpr(g, expr, req, &acc);
     }
   }
-  EnforceAlternatives(g, req, &valid);
-  return Cheapest(valid, ctx_->mode());
+  EnforceAlternatives(g, req, &acc);
+  if (out_cost != nullptr) *out_cost = acc.best_cost();
+  return acc.TakeBest();
 }
 
 void RoundTask::ImplementExpr(GroupId g, const GroupExpr& expr,
-                              const RequiredProps& req,
-                              std::vector<PhysicalNodePtr>* valid) {
+                              const RequiredProps& req, AltAccumulator* acc) {
   const CostModel& cost_model = ctx_->cost_model();
   const LogicalNode& op = *expr.op;
   auto push_if_valid = [&](PhysicalNodePtr node) {
     if (node != nullptr && PropertySatisfied(req, node->delivered)) {
-      valid->push_back(std::move(node));
+      acc->Consider(std::move(node));
     }
   };
 
@@ -616,7 +636,7 @@ void RoundTask::ImplementExpr(GroupId g, const GroupExpr& expr,
       break;
     }
     case LogicalOpKind::kJoin: {
-      ImplementJoin(g, expr, req, valid);
+      ImplementJoin(g, expr, req, acc);
       break;
     }
     case LogicalOpKind::kUnionAll: {
@@ -644,8 +664,7 @@ void RoundTask::ImplementExpr(GroupId g, const GroupExpr& expr,
 }
 
 void RoundTask::ImplementJoin(GroupId g, const GroupExpr& expr,
-                              const RequiredProps& req,
-                              std::vector<PhysicalNodePtr>* valid) {
+                              const RequiredProps& req, AltAccumulator* acc) {
   const CostModel& cost_model = ctx_->cost_model();
   const LogicalNode& op = *expr.op;
   GroupId left = expr.children[0];
@@ -657,7 +676,7 @@ void RoundTask::ImplementJoin(GroupId g, const GroupExpr& expr,
   }
   auto push_if_valid = [&](PhysicalNodePtr node) {
     if (node != nullptr && PropertySatisfied(req, node->delivered)) {
-      valid->push_back(std::move(node));
+      acc->Consider(std::move(node));
     }
   };
 
@@ -806,7 +825,7 @@ void RoundTask::ImplementJoin(GroupId g, const GroupExpr& expr,
 }
 
 void RoundTask::EnforceAlternatives(GroupId g, const RequiredProps& req,
-                                    std::vector<PhysicalNodePtr>* valid) {
+                                    AltAccumulator* acc) {
   const CostModel& cost_model = ctx_->cost_model();
   const GroupStats& stats = StatsOf(g);
 
@@ -820,7 +839,7 @@ void RoundTask::EnforceAlternatives(GroupId g, const RequiredProps& req,
           PhysicalOpKind::kSort, inner->proto, g, {inner}, d,
           cost_model.Sort(stats, inner->delivered.partitioning));
       sort->sort_spec = req.sort;
-      valid->push_back(std::move(sort));
+      acc->Consider(std::move(sort));
     }
   }
 
@@ -829,7 +848,7 @@ void RoundTask::EnforceAlternatives(GroupId g, const RequiredProps& req,
     PhysicalNodePtr inner = OptimizeGroup(g, relaxed);
     if (inner != nullptr) {
       DeliveredProps d{Partitioning::Serial(), inner->delivered.sort};
-      valid->push_back(MakePhysicalNode(PhysicalOpKind::kGather, inner->proto,
+      acc->Consider(MakePhysicalNode(PhysicalOpKind::kGather, inner->proto,
                                         g, {inner}, d,
                                         cost_model.Gather(stats)));
     }
@@ -848,14 +867,14 @@ void RoundTask::EnforceAlternatives(GroupId g, const RequiredProps& req,
                                    req.partitioning.cols));
       ex->exchange_cols = req.partitioning.cols;
       if (req.sort.Empty()) {
-        valid->push_back(std::move(ex));
+        acc->Consider(std::move(ex));
       } else {
         DeliveredProps ds{range, req.sort};
         PhysicalNodePtr sort =
             MakePhysicalNode(PhysicalOpKind::kSort, inner->proto, g, {ex}, ds,
                              cost_model.Sort(stats, range));
         sort->sort_spec = req.sort;
-        valid->push_back(std::move(sort));
+        acc->Consider(std::move(sort));
       }
     }
     return;
@@ -878,14 +897,14 @@ void RoundTask::EnforceAlternatives(GroupId g, const RequiredProps& req,
                                   cols));
       ex->exchange_cols = cols;
       if (req.sort.Empty()) {
-        valid->push_back(std::move(ex));
+        acc->Consider(std::move(ex));
       } else {
         DeliveredProps ds{Partitioning::Hash(cols), req.sort};
         PhysicalNodePtr sort =
             MakePhysicalNode(PhysicalOpKind::kSort, inner->proto, g, {ex}, ds,
                              cost_model.Sort(stats, Partitioning::Hash(cols)));
         sort->sort_spec = req.sort;
-        valid->push_back(std::move(sort));
+        acc->Consider(std::move(sort));
       }
     }
     // Order-preserving merge repartition over a locally sorted input.
@@ -899,7 +918,7 @@ void RoundTask::EnforceAlternatives(GroupId g, const RequiredProps& req,
             cost_model.MergeExchange(stats, inner2->delivered.partitioning,
                                      cols));
         ex->exchange_cols = cols;
-        valid->push_back(std::move(ex));
+        acc->Consider(std::move(ex));
       }
     }
   }

@@ -1,13 +1,16 @@
 #ifndef SCX_CORE_ROUND_TASK_H_
 #define SCX_CORE_ROUND_TASK_H_
 
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <optional>
 #include <set>
-#include <string>
-#include <tuple>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "core/optimization_context.h"
 #include "core/rounds.h"
 
@@ -31,6 +34,13 @@ struct RoundResult {
 /// The group-optimization recursion (paper Algorithms 2, 4 and 5) plus the
 /// state one optimization pass — or one phase-2 round — mutates: the winner
 /// cache, the spool-base cache, and the active enforcement assignment.
+///
+/// Cache keys are fully numeric: the requirement is interned to a dense
+/// PropsId by the context, and the active enforcement assignment restricted
+/// to the shared groups below the keyed group is summarized by a 64-bit
+/// signature maintained incrementally as assignments are installed/removed
+/// (see EnforcementSig below) — replacing the two heap strings the
+/// string-keyed scheme built per probe.
 ///
 /// The master task drives phase 1 (where it is also allowed to mutate the
 /// context: exploration rules, history recording) and the phase-2 walk.
@@ -57,30 +67,142 @@ class RoundTask {
   PhysicalNodePtr OptimizeGroup(GroupId g, const RequiredProps& req);
 
   /// Evaluates one phase-2 round at `lca`: enforce `assignment`, re-optimize
-  /// the sub-DAG, undo the enforcement.
-  RoundResult EvaluateRound(GroupId lca, const RequiredProps& req,
-                            const RoundAssignment& assignment);
+  /// the sub-DAG, undo the enforcement. `bound` (when finite) is the best
+  /// cost already observed in the round's independence class: alternatives
+  /// whose cost lower bound reaches it are abandoned, and a fully pruned
+  /// round reports a null plan with +inf cost (sound for winner and pin
+  /// selection — see docs/architecture.md §11).
+  RoundResult EvaluateRound(
+      GroupId lca, const RequiredProps& req, const RoundAssignment& assignment,
+      double bound = std::numeric_limits<double>::infinity());
 
   /// Worker copy for one parallel round: shares this task's caches as a
   /// read-only base, starts with an empty overlay.
   RoundTask Fork() const;
 
-  /// Folds `other`'s overlay caches into this task's caches, keeping
-  /// existing entries (insert-if-absent).
+  /// Folds `other`'s overlay caches and counters into this task's,
+  /// keeping existing cache entries (insert-if-absent).
   void AbsorbCaches(RoundTask* other);
+
+  const OptCacheCounters& counters() const { return counters_; }
 
  private:
   friend class RoundScheduler;
 
-  using WinnerKey = std::tuple<GroupId, std::string, std::string>;
-  using WinnerMap = std::map<WinnerKey, std::optional<PhysicalNodePtr>>;
-  using SpoolKey = std::tuple<GroupId, int, std::string>;
-  using SpoolMap = std::map<SpoolKey, PhysicalNodePtr>;
+  /// Winner-cache key: (group, interned requirement, enforcement
+  /// signature). Packed POD — hashing and equality never touch the heap.
+  struct WinnerKey {
+    GroupId group;
+    PropsId props;
+    uint64_t sig;
+    bool operator==(const WinnerKey& o) const {
+      return group == o.group && props == o.props && sig == o.sig;
+    }
+  };
+  struct WinnerKeyHash {
+    size_t operator()(const WinnerKey& k) const {
+      uint64_t h = Mix64((static_cast<uint64_t>(static_cast<uint32_t>(k.group))
+                          << 32) |
+                         static_cast<uint32_t>(k.props));
+      return static_cast<size_t>(HashCombine(h, k.sig));
+    }
+  };
+  /// Spool-base key: (shared group, history entry, enforcement signature of
+  /// the group below the spool).
+  struct SpoolKey {
+    GroupId group;
+    int entry;
+    uint64_t sig;
+    bool operator==(const SpoolKey& o) const {
+      return group == o.group && entry == o.entry && sig == o.sig;
+    }
+  };
+  struct SpoolKeyHash {
+    size_t operator()(const SpoolKey& k) const {
+      uint64_t h = Mix64((static_cast<uint64_t>(static_cast<uint32_t>(k.group))
+                          << 32) |
+                         static_cast<uint32_t>(k.entry));
+      return static_cast<size_t>(HashCombine(h, k.sig));
+    }
+  };
+  using WinnerMap =
+      std::unordered_map<WinnerKey, std::optional<PhysicalNodePtr>,
+                         WinnerKeyHash>;
+  using SpoolMap = std::unordered_map<SpoolKey, PhysicalNodePtr, SpoolKeyHash>;
+
+  /// Streaming replacement for the collect-then-scan candidate vector:
+  /// keeps the running cheapest alternative under the mode's objective,
+  /// with the exact tie rule of the old scan (strict `<`, first wins).
+  /// Under DAG costing it first compares a candidate's lower bound —
+  /// own cost + the largest child DagCost, each memoized so the walk is
+  /// paid once per distinct node — against the running best, and skips the
+  /// candidate's full DAG walk when the bound already rules it out
+  /// (DagCost(p) >= p->own_cost + DagCost(child) for every child, since
+  /// the child's sub-DAG is contained in p's with no smaller ref counts).
+  /// The skip only drops candidates whose true cost is >= the running
+  /// best, which the strict-`<` rule would have rejected anyway, so winner
+  /// and cost are bit-identical to the unpruned scan — and because the
+  /// bound is a pure function of the candidate, the pruned count is
+  /// deterministic too. Seeding `bound` starts the comparison cost there
+  /// with no plan: used at round roots for branch-and-bound across rounds.
+  class AltAccumulator {
+   public:
+    AltAccumulator(OptimizerMode mode, double bound, OptCacheCounters* c)
+        : mode_(mode), best_cost_(bound), counters_(c) {}
+
+    void Consider(PhysicalNodePtr p) {
+      if (p == nullptr) return;
+      if (mode_ == OptimizerMode::kConventional) {
+        double c = TreeCost(p);  // O(1): precomputed at node build
+        if (c < best_cost_) {
+          best_cost_ = c;
+          best_ = std::move(p);
+        }
+        return;
+      }
+      if (best_cost_ < std::numeric_limits<double>::infinity()) {
+        double lb = p->own_cost;
+        for (const PhysicalNodePtr& ch : p->children) {
+          double m = p->own_cost + DagCost(ch);
+          if (m > lb) lb = m;
+        }
+        if (lb >= best_cost_) {
+          ++counters_->pruned_alternatives;
+          return;
+        }
+      }
+      double c = DagCost(p);
+      if (c < best_cost_) {
+        best_cost_ = c;
+        best_ = std::move(p);
+      }
+    }
+
+    const PhysicalNodePtr& best() const { return best_; }
+    PhysicalNodePtr TakeBest() { return std::move(best_); }
+    /// Cost of best(); +inf when no candidate beat the seed bound.
+    double best_cost() const {
+      return best_ != nullptr ? best_cost_
+                              : std::numeric_limits<double>::infinity();
+    }
+
+   private:
+    OptimizerMode mode_;
+    PhysicalNodePtr best_;
+    double best_cost_;
+    OptCacheCounters* counters_;
+  };
 
   RoundTask() = default;
 
   // --- Algorithm 5: logical exploration + physical optimization ---
-  PhysicalNodePtr LogPhysOpt(GroupId g, const RequiredProps& req);
+  // `out_cost` (optional) receives the winner's cost under the mode's
+  // objective (+inf when no plan), saving the caller a re-walk. `bound`
+  // seeds the alternative comparison (see AltAccumulator); kept +inf for
+  // every nested/cached optimization so cache entries stay exact.
+  PhysicalNodePtr LogPhysOpt(
+      GroupId g, const RequiredProps& req, double* out_cost = nullptr,
+      double bound = std::numeric_limits<double>::infinity());
   // Phase 2: optimize a shared group under the enforced property set and
   // compensate above the fixed spool for the consumer's requirement.
   PhysicalNodePtr OptimizeSharedEnforced(GroupId g, const RequiredProps& req);
@@ -90,22 +212,33 @@ class RoundTask {
 
   // Native (non-enforcer) implementation alternatives for one expression.
   void ImplementExpr(GroupId g, const GroupExpr& expr,
-                     const RequiredProps& req,
-                     std::vector<PhysicalNodePtr>* valid);
+                     const RequiredProps& req, AltAccumulator* acc);
   void ImplementJoin(GroupId g, const GroupExpr& expr,
-                     const RequiredProps& req,
-                     std::vector<PhysicalNodePtr>* valid);
+                     const RequiredProps& req, AltAccumulator* acc);
   // Enforcer alternatives wrapping re-optimizations with relaxed
   // requirements.
   void EnforceAlternatives(GroupId g, const RequiredProps& req,
-                           std::vector<PhysicalNodePtr>* valid);
+                           AltAccumulator* acc);
   // Wraps enforcers over a fixed base plan to satisfy `req` (used above
   // enforced spools).
   void WrapEnforcersOverBase(GroupId g, const PhysicalNodePtr& base,
-                             const RequiredProps& req,
-                             std::vector<PhysicalNodePtr>* valid);
+                             const RequiredProps& req, AltAccumulator* acc);
 
-  std::string WinnerKeySuffix(GroupId g) const;
+  /// Installs/removes a round assignment in `enforced_` and advances the
+  /// signature epoch so cached per-group signatures are recomputed lazily.
+  void InstallAssignment(const RoundAssignment& assignment);
+  void RemoveAssignment(const RoundAssignment& assignment);
+
+  /// 64-bit signature of the active assignment restricted to the shared
+  /// groups below `g`: 0 in phase 1 / when no shared group lies below `g`
+  /// (those winners are enforcement-independent); otherwise a nonzero seed
+  /// (standing for "phase 2, enforcement-aware") combined via Mix64 /
+  /// HashCombine over the (group, entry) pairs in ascending group order.
+  /// Memoized per group and invalidated by the epoch counter, so repeated
+  /// probes between assignment changes are O(1). Two distinct restricted
+  /// assignments colliding is a ~2^-64 event per pair — accepted and
+  /// documented (docs/architecture.md §11).
+  uint64_t EnforcementSig(GroupId g);
 
   const std::optional<PhysicalNodePtr>* FindWinner(const WinnerKey& key) const;
   const PhysicalNodePtr* FindSpool(const SpoolKey& key) const;
@@ -129,7 +262,14 @@ class RoundTask {
   const SpoolMap* base_spools_ = nullptr;
 
   std::map<GroupId, int> enforced_;  ///< active round assignment
+  /// Epoch stamp of `enforced_`, bumped by Install/RemoveAssignment.
+  /// Starts at 1 so zero-initialized memo slots are never valid.
+  uint64_t enforce_epoch_ = 1;
+  /// Per-group signature memo: (epoch the value was computed at, value).
+  std::vector<std::pair<uint64_t, uint64_t>> sig_memo_;
   std::set<GroupId> in_rounds_;
+
+  OptCacheCounters counters_;
 };
 
 }  // namespace scx

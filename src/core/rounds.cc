@@ -19,8 +19,17 @@ RoundEnumerator::RoundEnumerator(std::vector<std::vector<GroupId>> classes,
 
   for (size_t k = 0; k < classes_.size(); ++k) {
     long combos = 1;
-    for (GroupId g : classes_[k]) combos *= history_sizes_[g];
-    total_rounds_ += (k == 0) ? combos : combos - 1;
+    for (GroupId g : classes_[k]) {
+      if (__builtin_mul_overflow(combos, static_cast<long>(history_sizes_[g]),
+                                 &combos)) {
+        combos = std::numeric_limits<long>::max();
+        break;  // saturated; further factors are >= 1
+      }
+    }
+    long add = (k == 0) ? combos : combos - 1;
+    if (__builtin_add_overflow(total_rounds_, add, &total_rounds_)) {
+      total_rounds_ = std::numeric_limits<long>::max();
+    }
   }
   if (classes_.empty()) {
     done_ = true;

@@ -1,7 +1,8 @@
 #include "opt/physical_plan.h"
 
+#include <cmath>
 #include <map>
-#include <set>
+#include <unordered_map>
 
 namespace scx {
 
@@ -146,8 +147,12 @@ PhysicalNodePtr MakePhysicalNode(PhysicalOpKind kind, LogicalNodePtr proto,
 
 namespace {
 
+// refs/order collection over the plan DAG. The summation below walks the
+// `order` vector, whose sequence comes from the DFS recursion alone — so
+// switching the refs container from the ordered map to a hash map keeps
+// the floating-point addition order (and thus the cost) bit-identical.
 void CollectDag(const PhysicalNodePtr& node,
-                std::map<const PhysicalNode*, int>* refs,
+                std::unordered_map<const PhysicalNode*, int>* refs,
                 std::vector<const PhysicalNode*>* order) {
   auto [it, inserted] = refs->emplace(node.get(), 0);
   ++it->second;
@@ -161,7 +166,9 @@ void CollectDag(const PhysicalNodePtr& node,
 }  // namespace
 
 double DagCost(const PhysicalNodePtr& root) {
-  std::map<const PhysicalNode*, int> refs;
+  double memo = root->dag_cost_memo.load(std::memory_order_relaxed);
+  if (!std::isnan(memo)) return memo;
+  std::unordered_map<const PhysicalNode*, int> refs;
   std::vector<const PhysicalNode*> order;
   CollectDag(root, &refs, &order);
   double total = 0;
@@ -170,13 +177,14 @@ double DagCost(const PhysicalNodePtr& root) {
     int extra = refs.at(n) - 1;
     if (extra > 0) total += extra * n->extra_consumer_cost;
   }
+  root->dag_cost_memo.store(total, std::memory_order_relaxed);
   return total;
 }
 
 double TreeCost(const PhysicalNodePtr& root) { return root->tree_cost; }
 
 int CountDagNodes(const PhysicalNodePtr& root) {
-  std::map<const PhysicalNode*, int> refs;
+  std::unordered_map<const PhysicalNode*, int> refs;
   std::vector<const PhysicalNode*> order;
   CollectDag(root, &refs, &order);
   return static_cast<int>(order.size());

@@ -1,6 +1,8 @@
 #ifndef SCX_OPT_PHYSICAL_PLAN_H_
 #define SCX_OPT_PHYSICAL_PLAN_H_
 
+#include <atomic>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,6 +66,15 @@ class PhysicalNode {
   SortSpec sort_spec;       ///< kSort, and the order chosen by stream aggs
   /// Marginal cost charged per additional consumer of a spool.
   double extra_consumer_cost = 0;
+
+  /// Memoized DagCost of the sub-DAG rooted here; NaN until the first
+  /// DagCost call. Sub-DAGs are immutable once built, so the value is a
+  /// pure function of the node: concurrent phase-2 workers may race to
+  /// store it, but every writer stores the identical double, so relaxed
+  /// ordering is enough. Also serves as an O(children) lower bound for
+  /// fresh parent candidates (DagCost(parent) >= parent->own_cost +
+  /// DagCost(child) for every child).
+  std::atomic<double> dag_cost_memo{std::numeric_limits<double>::quiet_NaN()};
 
   /// One-line description for plan printing.
   std::string Describe() const;

@@ -118,8 +118,19 @@ std::string DiagnosticsToJson(const OptimizeDiagnostics& d) {
          std::to_string(d.merged_subexpressions);
   out += ",\"reachable_groups\":" + std::to_string(d.reachable_groups);
   out += ",\"optimize_seconds\":" + Num(d.optimize_seconds);
+  out += ",\"phase2_seconds\":" + Num(d.phase2_seconds);
   out += std::string(",\"budget_exhausted\":") +
          (d.budget_exhausted ? "true" : "false");
+  out += ",\"cache\":{";
+  out += "\"winner_hits\":" + std::to_string(d.cache.winner_hits);
+  out += ",\"winner_misses\":" + std::to_string(d.cache.winner_misses);
+  out += ",\"spool_hits\":" + std::to_string(d.cache.spool_hits);
+  out += ",\"spool_misses\":" + std::to_string(d.cache.spool_misses);
+  out += ",\"pruned_alternatives\":" +
+         std::to_string(d.cache.pruned_alternatives);
+  out += ",\"pruned_rounds\":" + std::to_string(d.cache.pruned_rounds);
+  out += ",\"interner_size\":" + std::to_string(d.cache.interner_size);
+  out += "}";
   out += ",\"lca_of\":{";
   bool first = true;
   for (const auto& [s, lca] : d.lca_of) {

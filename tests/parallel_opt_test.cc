@@ -22,12 +22,25 @@ struct RunOutcome {
   long rounds_planned = 0;
   long rounds_executed = 0;
   std::vector<RoundTraceEntry> trace;
+  OptCacheCounters cache;
 };
 
+void ExpectSameCounters(const OptCacheCounters& a, const OptCacheCounters& b,
+                        const char* what) {
+  EXPECT_EQ(a.winner_hits, b.winner_hits) << what;
+  EXPECT_EQ(a.winner_misses, b.winner_misses) << what;
+  EXPECT_EQ(a.spool_hits, b.spool_hits) << what;
+  EXPECT_EQ(a.spool_misses, b.spool_misses) << what;
+  EXPECT_EQ(a.pruned_alternatives, b.pruned_alternatives) << what;
+  EXPECT_EQ(a.pruned_rounds, b.pruned_rounds) << what;
+  EXPECT_EQ(a.interner_size, b.interner_size) << what;
+}
+
 RunOutcome RunWithThreads(const Catalog& catalog, const std::string& text,
-                          int num_threads) {
+                          int num_threads, bool trace_rounds = true) {
   OptimizerConfig config;
   config.num_threads = num_threads;
+  config.trace_rounds = trace_rounds;
   // Determinism is only promised while the budget never expires; disable it.
   config.budget_seconds = 1e9;
   Engine engine(catalog, config);
@@ -41,6 +54,7 @@ RunOutcome RunWithThreads(const Catalog& catalog, const std::string& text,
   out.rounds_planned = optimized->result.diagnostics.rounds_planned;
   out.rounds_executed = optimized->result.diagnostics.rounds_executed;
   out.trace = optimized->result.diagnostics.round_trace;
+  out.cache = optimized->result.diagnostics.cache;
   return out;
 }
 
@@ -86,6 +100,44 @@ TEST(ParallelOptTest, S4BitIdenticalAcrossThreadCounts) {
 TEST(ParallelOptTest, LS1BitIdenticalAcrossThreadCounts) {
   GeneratedScript ls1 = GenerateLargeScript(Ls1Spec());
   ExpectIdenticalAcrossThreadCounts(ls1.catalog, ls1.text);
+}
+
+TEST(ParallelOptTest, CountersDeterministicPerThreadCount) {
+  // Cache hit/miss totals depend on the thread count (parallel workers
+  // recompute entries redundantly in their overlays before absorption), but
+  // for a FIXED thread count they must be reproducible run to run —
+  // including worker counters merged into the master via AbsorbCaches.
+  Catalog catalog = MakePaperCatalog();
+  for (int threads : {1, 2, 4}) {
+    RunOutcome a = RunWithThreads(catalog, kScriptS3, threads);
+    RunOutcome b = RunWithThreads(catalog, kScriptS3, threads);
+    ExpectSameCounters(a.cache, b.cache, "S3 repeated run");
+    EXPECT_GT(a.cache.winner_hits, 0);
+    EXPECT_GT(a.cache.winner_misses, 0);
+    EXPECT_GT(a.cache.interner_size, 0);
+  }
+}
+
+TEST(ParallelOptTest, RoundPruningNeverChangesWinner) {
+  // trace off enables class-local branch-and-bound across rounds; the
+  // chosen plan and cost must still match the traced (unpruned) run bit
+  // for bit, at every thread count.
+  Catalog catalog = MakePaperCatalog();
+  for (const std::string& script :
+       {std::string(kScriptS1), std::string(kScriptS3),
+        std::string(kScriptS4)}) {
+    RunOutcome traced = RunWithThreads(catalog, script, 1, true);
+    for (int threads : {1, 2, 8}) {
+      RunOutcome fast = RunWithThreads(catalog, script, threads, false);
+      EXPECT_EQ(traced.cost, fast.cost) << "threads=" << threads;
+      EXPECT_EQ(traced.plan, fast.plan) << "threads=" << threads;
+      EXPECT_EQ(traced.rounds_executed, fast.rounds_executed)
+          << "threads=" << threads;
+    }
+    // Serial untraced runs do prune rounds on these scripts.
+    RunOutcome fast1 = RunWithThreads(catalog, script, 1, false);
+    EXPECT_GT(fast1.cache.pruned_rounds, 0);
+  }
 }
 
 TEST(ParallelOptTest, NaiveSharingUnaffectedByThreadCount) {

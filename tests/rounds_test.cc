@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/rounds.h"
 
 namespace scx {
@@ -171,6 +173,50 @@ TEST(RoundEnumeratorTest, BatchPinsLowestCostTiesByIndex) {
   EXPECT_EQ(batch[0].at(6), 1);
   sched.ReportBatch({5.0});
   EXPECT_FALSE(sched.NextBatch(&batch));
+}
+
+TEST(RoundEnumeratorTest, TotalRoundsSaturatesInsteadOfOverflowing) {
+  // 2^64 joint combinations in one class: the naive product overflows a
+  // signed long. TotalRounds must saturate to LONG_MAX (a count this large
+  // only ever meets the round budget, which stops far earlier), and the
+  // enumerator must stay usable.
+  std::vector<GroupId> cls;
+  std::map<GroupId, int> sizes;
+  for (GroupId g = 1; g <= 64; ++g) {
+    cls.push_back(g);
+    sizes[g] = 2;
+  }
+  RoundEnumerator sched({cls}, sizes);
+  EXPECT_EQ(sched.TotalRounds(), std::numeric_limits<long>::max());
+  RoundAssignment a;
+  ASSERT_TRUE(sched.Next(&a));
+  EXPECT_EQ(a.size(), 64u);
+  for (const auto& [g, idx] : a) EXPECT_EQ(idx, 0) << "group " << g;
+  sched.ReportCost(1.0);
+  ASSERT_TRUE(sched.Next(&a));  // first group varies fastest
+  EXPECT_EQ(a.at(1), 1);
+}
+
+TEST(RoundEnumeratorTest, TotalRoundsSaturatesAcrossClassSums) {
+  // Each class saturates on its own; adding them must not wrap around
+  // either. Also checks a saturated count mixed with a small class.
+  std::vector<std::vector<GroupId>> classes;
+  std::map<GroupId, int> sizes;
+  for (int c = 0; c < 2; ++c) {
+    std::vector<GroupId> cls;
+    for (int i = 0; i < 64; ++i) {
+      GroupId g = static_cast<GroupId>(100 * c + i + 1);
+      cls.push_back(g);
+      sizes[g] = 2;
+    }
+    classes.push_back(std::move(cls));
+  }
+  classes.push_back({500});
+  sizes[500] = 3;
+  RoundEnumerator sched(classes, sizes);
+  EXPECT_EQ(sched.TotalRounds(), std::numeric_limits<long>::max());
+  RoundAssignment a;
+  EXPECT_TRUE(sched.Next(&a));
 }
 
 TEST(RoundEnumeratorTest, BatchProtocolCollapsesSingleEntryClasses) {

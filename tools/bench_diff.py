@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and flag throughput regressions.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 0.10]
+
+Both files must come from the same benchmark binary (bench/opt_parallel or
+bench/opt_cache). Every rate metric (keys ending in ``rounds_per_sec``) found
+in both files is compared; a drop of more than ``--threshold`` (default 10%)
+is a regression. Exits 1 when any regression is found, 0 otherwise, so the CI
+perf-smoke job can gate on it. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+RATE_SUFFIX = "rounds_per_sec"
+
+
+def collect_rates(node, prefix, out):
+    """Flatten every numeric *rounds_per_sec* leaf into out[path] = value."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            collect_rates(value, f"{prefix}.{key}" if prefix else key, out)
+    elif isinstance(node, list):
+        for item in node:
+            # Benchmark rows are keyed by their "name"/"config" field so the
+            # comparison survives reordering between runs.
+            if isinstance(item, dict):
+                label = item.get("name") or item.get("config")
+                collect_rates(
+                    item, f"{prefix}[{label}]" if label else prefix, out)
+    elif isinstance(node, (int, float)) and prefix.endswith(RATE_SUFFIX):
+        out[prefix] = float(node)
+
+
+def load_rates(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"bench_diff: cannot read {path}: {err}")
+    rates = {}
+    collect_rates(doc, "", rates)
+    if not rates:
+        sys.exit(f"bench_diff: no *_{RATE_SUFFIX} metrics in {path}")
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="flag >threshold throughput regressions between two "
+                    "bench JSONs")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="fractional drop that counts as a regression "
+                             "(default 0.10)")
+    args = parser.parse_args()
+
+    base = load_rates(args.baseline)
+    cur = load_rates(args.current)
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        sys.exit("bench_diff: the two files share no rate metrics "
+                 "(different benchmarks?)")
+
+    regressions = []
+    print(f"{'metric':<60} {'base':>10} {'cur':>10} {'delta':>8}")
+    for key in shared:
+        b, c = base[key], cur[key]
+        delta = (c - b) / b if b > 0 else 0.0
+        marker = ""
+        if b > 0 and delta < -args.threshold:
+            regressions.append((key, b, c, delta))
+            marker = "  << REGRESSION"
+        print(f"{key:<60} {b:>10.1f} {c:>10.1f} {delta:>+7.1%}{marker}")
+
+    only_base = set(base) - set(cur)
+    only_cur = set(cur) - set(base)
+    for key in sorted(only_base):
+        print(f"{key:<60} {base[key]:>10.1f} {'-':>10}   (missing in current)")
+    for key in sorted(only_cur):
+        print(f"{key:<60} {'-':>10} {cur[key]:>10.1f}   (new)")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}:")
+        for key, b, c, delta in regressions:
+            print(f"  {key}: {b:.1f} -> {c:.1f} ({delta:+.1%})")
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0%} "
+          f"across {len(shared)} shared metric(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

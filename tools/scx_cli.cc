@@ -108,8 +108,21 @@ void PrintDiagnostics(const OptimizeDiagnostics& d) {
   std::printf("  phase-2 rounds               : %ld of %ld planned%s\n",
               d.rounds_executed, d.rounds_planned,
               d.budget_exhausted ? " (budget exhausted)" : "");
-  std::printf("  optimization time            : %.3f s\n",
-              d.optimize_seconds);
+  std::printf("  optimization time            : %.3f s (phase 2 %.3f s)\n",
+              d.optimize_seconds, d.phase2_seconds);
+  const OptCacheCounters& c = d.cache;
+  long wt = c.winner_hits + c.winner_misses;
+  long st = c.spool_hits + c.spool_misses;
+  std::printf("  winner cache                 : %ld/%ld hits (%.1f%%)\n",
+              c.winner_hits, wt,
+              wt > 0 ? 100.0 * c.winner_hits / wt : 0.0);
+  std::printf("  spool cache                  : %ld/%ld hits (%.1f%%)\n",
+              c.spool_hits, st,
+              st > 0 ? 100.0 * c.spool_hits / st : 0.0);
+  std::printf("  props interned               : %ld\n", c.interner_size);
+  std::printf("  pruned                       : %ld alternatives, %ld "
+              "rounds\n",
+              c.pruned_alternatives, c.pruned_rounds);
 }
 
 int Fail(const Status& status) {
