@@ -1,0 +1,400 @@
+// Executor throughput: RowKeyTable vs the former std::map hot paths, and
+// end-to-end script execution at 1 and N worker threads.
+//
+// Two sections:
+//   * kernels — single-threaded aggregation / join / shuffle microkernels
+//     over synthetic rows, each run twice: with the tree-map structure the
+//     executor used before (std::map keyed by materialized
+//     std::vector<Value>, per-row copy scatter) and with the current
+//     open-addressed RowKeyTable / move-based scatter. Both variants must
+//     produce identical results; the speedup column is the point.
+//   * scripts — S1–S4 and the LS1/LS2 generators, optimized once in CSE
+//     mode, then the same plan executed with exec_threads = 1 and N.
+//     Counters and outputs must be bit-identical across thread counts
+//     (exit 1 otherwise), so this doubles as a determinism gate.
+//
+// Writes BENCH_exec.json (rates keyed *_rows_per_sec for tools/bench_diff.py).
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "common/hash.h"
+#include "exec/row_key_table.h"
+#include "workload/large_scripts.h"
+#include "workload/paper_scripts.h"
+
+namespace {
+
+using namespace scx;
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ---------------------------------------------------------------------------
+// Kernels.
+
+struct KernelRow {
+  std::string name;
+  int64_t rows = 0;
+  double seconds = 0;
+  double rows_per_sec = 0;
+  double speedup = 0;  // vs the matching *_map baseline (0 for baselines)
+};
+
+// Rows are {key1, key2, value}: group/join keys are composite, like the
+// paper scripts' GROUP BY {A,B,C}. Inputs are generated once, outside the
+// timed region.
+std::vector<Row> MakeKernelRows(int64_t n, int64_t ndv1, int64_t ndv2,
+                                uint64_t seed) {
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    uint64_t h = Mix64(seed ^ static_cast<uint64_t>(i));
+    rows.push_back(
+        Row{Value::Int(static_cast<int64_t>(h % static_cast<uint64_t>(ndv1))),
+            Value::Int(static_cast<int64_t>((h >> 32) %
+                                            static_cast<uint64_t>(ndv2))),
+            Value::Int(i % 1000)});
+  }
+  return rows;
+}
+
+KernelRow MeasureKernel(const char* name, int64_t rows,
+                        const std::function<double()>& body,
+                        const KernelRow* baseline) {
+  KernelRow r;
+  r.name = name;
+  r.rows = rows;
+  Clock::time_point start = Clock::now();
+  double checksum = body();
+  r.seconds = SecondsSince(start);
+  r.rows_per_sec = r.seconds > 0 ? static_cast<double>(rows) / r.seconds : 0;
+  if (baseline != nullptr && r.seconds > 0) {
+    r.speedup = baseline->seconds / r.seconds;
+  }
+  std::printf("%-14s %10lld rows %9.3fs %12.0f rows/s", name,
+              static_cast<long long>(rows), r.seconds, r.rows_per_sec);
+  if (baseline != nullptr) std::printf("  %5.2fx", r.speedup);
+  std::printf("   (checksum %.0f)\n", checksum);
+  return r;
+}
+
+constexpr int64_t kAggRows = 400000;
+constexpr int64_t kProbeRows = 400000;
+constexpr int64_t kBuildRows = 100000;
+constexpr int64_t kShuffleRows = 400000;
+constexpr int kShuffleDests = 16;
+const std::vector<int> kKeyPos = {0, 1};
+
+double AggMapBody(const std::vector<Row>& input) {
+  // The executor's former aggregation structure: a tree map keyed by the
+  // materialized key vector.
+  std::map<std::vector<Value>, std::pair<double, int64_t>> groups;
+  for (const Row& r : input) {
+    std::vector<Value> key{r[0], r[1]};
+    auto& s = groups[std::move(key)];
+    s.first += r[2].AsNumeric();
+    ++s.second;
+  }
+  double sum = 0;
+  for (const auto& [k, s] : groups) {
+    (void)k;
+    sum += s.first;
+  }
+  return sum + static_cast<double>(groups.size());
+}
+
+double AggTableBody(const std::vector<Row>& input) {
+  RowKeyTable table(input.size());
+  std::vector<std::pair<double, int64_t>> states;
+  for (const Row& r : input) {
+    auto [id, inserted] = table.FindOrInsert(r, kKeyPos);
+    if (inserted) states.emplace_back(0.0, 0);
+    states[id].first += r[2].AsNumeric();
+    ++states[id].second;
+  }
+  double sum = 0;
+  for (const auto& s : states) sum += s.first;
+  return sum + static_cast<double>(table.size());
+}
+
+double JoinMapBody(const std::vector<Row>& build,
+                   const std::vector<Row>& probe) {
+  std::map<std::vector<Value>, std::vector<const Row*>> table;
+  for (const Row& r : build) table[{r[0], r[1]}].push_back(&r);
+  int64_t matches = 0;
+  for (const Row& l : probe) {
+    auto it = table.find({l[0], l[1]});
+    if (it == table.end()) continue;
+    matches += static_cast<int64_t>(it->second.size());
+  }
+  return static_cast<double>(matches);
+}
+
+double JoinTableBody(const std::vector<Row>& build,
+                     const std::vector<Row>& probe) {
+  RowKeyTable table(build.size());
+  std::vector<std::vector<const Row*>> rows_by_key;
+  for (const Row& r : build) {
+    auto [id, inserted] = table.FindOrInsert(r, kKeyPos);
+    if (inserted) rows_by_key.emplace_back();
+    rows_by_key[id].push_back(&r);
+  }
+  int64_t matches = 0;
+  for (const Row& l : probe) {
+    size_t id = table.Find(l, kKeyPos);
+    if (id == RowKeyTable::kNotFound) continue;
+    matches += static_cast<int64_t>(rows_by_key[id].size());
+  }
+  return static_cast<double>(matches);
+}
+
+double ShuffleCopyBody(const std::vector<Row>& input) {
+  std::vector<std::vector<Row>> buckets(kShuffleDests);
+  for (const Row& r : input) {
+    buckets[HashRowKey(r, kKeyPos) % kShuffleDests].push_back(r);
+  }
+  double total = 0;
+  for (const auto& b : buckets) total += static_cast<double>(b.size());
+  return total;
+}
+
+double ShuffleMoveBody(std::vector<Row>& input) {
+  std::vector<uint32_t> dest(input.size());
+  std::vector<size_t> count(kShuffleDests, 0);
+  for (size_t i = 0; i < input.size(); ++i) {
+    dest[i] = static_cast<uint32_t>(HashRowKey(input[i], kKeyPos) %
+                                    kShuffleDests);
+    ++count[dest[i]];
+  }
+  std::vector<std::vector<Row>> buckets(kShuffleDests);
+  for (int d = 0; d < kShuffleDests; ++d) buckets[d].reserve(count[d]);
+  for (size_t i = 0; i < input.size(); ++i) {
+    buckets[dest[i]].push_back(std::move(input[i]));
+  }
+  double total = 0;
+  for (const auto& b : buckets) total += static_cast<double>(b.size());
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Scripts.
+
+struct ExecRun {
+  double seconds = 0;
+  int64_t processed_rows = 0;  // extracted + shuffled + output
+  ExecMetrics metrics;
+
+  double rows_per_sec() const {
+    return seconds > 0 ? static_cast<double>(processed_rows) / seconds : 0;
+  }
+  double rate(int64_t rows) const {
+    return seconds > 0 ? static_cast<double>(rows) / seconds : 0;
+  }
+};
+
+struct ScriptRow {
+  std::string name;
+  ExecRun t1;
+  ExecRun tn;
+  bool identical = false;
+};
+
+bool SameCounters(const ExecMetrics& a, const ExecMetrics& b) {
+  return a.rows_extracted == b.rows_extracted &&
+         a.rows_shuffled == b.rows_shuffled &&
+         a.bytes_shuffled == b.bytes_shuffled &&
+         a.bytes_spooled == b.bytes_spooled &&
+         a.rows_spooled == b.rows_spooled &&
+         a.spool_executions == b.spool_executions &&
+         a.spool_reads == b.spool_reads &&
+         a.spool_cache_hits == b.spool_cache_hits &&
+         a.operator_invocations == b.operator_invocations &&
+         a.rows_output == b.rows_output;
+}
+
+bool RunPlan(const PhysicalNodePtr& plan, int machines, int threads,
+             ExecRun* out) {
+  ClusterConfig cluster;
+  cluster.machines = machines;
+  cluster.exec_threads = threads;
+  Executor executor(cluster);
+  Clock::time_point start = Clock::now();
+  auto metrics = executor.Execute(plan);
+  out->seconds = SecondsSince(start);
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "execute: %s\n",
+                 metrics.status().ToString().c_str());
+    return false;
+  }
+  out->metrics = std::move(metrics.value());
+  out->processed_rows = out->metrics.rows_extracted +
+                        out->metrics.rows_shuffled +
+                        out->metrics.rows_output;
+  return true;
+}
+
+bool MeasureScript(const char* name, const Catalog& catalog,
+                   const std::string& text, int machines, int nthreads,
+                   std::vector<ScriptRow>* out) {
+  OptimizerConfig config;
+  config.num_threads = 1;
+  config.cluster.machines = machines;
+  Engine engine(catalog, config);
+  auto compiled = engine.Compile(text);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile %s: %s\n", name,
+                 compiled.status().ToString().c_str());
+    return false;
+  }
+  auto optimized = engine.Optimize(*compiled, OptimizerMode::kCse);
+  if (!optimized.ok()) {
+    std::fprintf(stderr, "optimize %s: %s\n", name,
+                 optimized.status().ToString().c_str());
+    return false;
+  }
+
+  ScriptRow r;
+  r.name = name;
+  if (!RunPlan(optimized->plan(), machines, 1, &r.t1)) return false;
+  if (!RunPlan(optimized->plan(), machines, nthreads, &r.tn)) return false;
+  r.identical = SameCounters(r.t1.metrics, r.tn.metrics) &&
+                r.t1.metrics.outputs == r.tn.metrics.outputs;
+  std::printf("%-5s %9.3fs %12.0f r/s | x%d %9.3fs %12.0f r/s  %9s\n", name,
+              r.t1.seconds, r.t1.rows_per_sec(), nthreads, r.tn.seconds,
+              r.tn.rows_per_sec(), r.identical ? "identical" : "DIVERGED");
+  out->push_back(std::move(r));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// JSON.
+
+void WriteExecRunJson(FILE* f, const char* key, const ExecRun& r,
+                      int threads) {
+  const ExecMetrics& m = r.metrics;
+  std::fprintf(f,
+               "     \"%s\": {\"threads\": %d, \"seconds\": %.6f, "
+               "\"rows_per_sec\": %.1f, "
+               "\"extract_rows_per_sec\": %.1f, "
+               "\"shuffle_rows_per_sec\": %.1f, "
+               "\"output_rows_per_sec\": %.1f, "
+               "\"spool_rows_per_sec\": %.1f, "
+               "\"rows_extracted\": %lld, \"rows_shuffled\": %lld, "
+               "\"rows_spooled\": %lld, \"rows_output\": %lld, "
+               "\"spool_executions\": %lld, \"spool_reads\": %lld, "
+               "\"spool_cache_hits\": %lld}",
+               key, threads, r.seconds, r.rows_per_sec(),
+               r.rate(m.rows_extracted), r.rate(m.rows_shuffled),
+               r.rate(m.rows_output), r.rate(m.rows_spooled),
+               static_cast<long long>(m.rows_extracted),
+               static_cast<long long>(m.rows_shuffled),
+               static_cast<long long>(m.rows_spooled),
+               static_cast<long long>(m.rows_output),
+               static_cast<long long>(m.spool_executions),
+               static_cast<long long>(m.spool_reads),
+               static_cast<long long>(m.spool_cache_hits));
+}
+
+void WriteJson(const std::vector<KernelRow>& kernels,
+               const std::vector<ScriptRow>& scripts, int nthreads) {
+  FILE* f = std::fopen("BENCH_exec.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_exec.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"exec_throughput\",\n");
+  std::fprintf(f, "  \"threads\": [1, %d],\n", nthreads);
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    const KernelRow& k = kernels[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"rows\": %lld, "
+                 "\"seconds\": %.6f, \"rows_per_sec\": %.1f, "
+                 "\"speedup_vs_map\": %.3f}%s\n",
+                 k.name.c_str(), static_cast<long long>(k.rows), k.seconds,
+                 k.rows_per_sec, k.speedup,
+                 i + 1 < kernels.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"scripts\": [\n");
+  for (size_t i = 0; i < scripts.size(); ++i) {
+    const ScriptRow& r = scripts[i];
+    std::fprintf(f, "    {\"name\": \"%s\",\n", r.name.c_str());
+    WriteExecRunJson(f, "serial", r.t1, 1);
+    std::fprintf(f, ",\n");
+    WriteExecRunJson(f, "parallel", r.tn, nthreads);
+    std::fprintf(f, ",\n     \"identical\": %s}%s\n",
+                 r.identical ? "true" : "false",
+                 i + 1 < scripts.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_exec.json\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("executor kernels (single-threaded; *_map = former std::map "
+              "paths, *_table/_move = current)\n");
+  const std::vector<Row> agg_input = MakeKernelRows(kAggRows, 200, 200, 1);
+  const std::vector<Row> build_input = MakeKernelRows(kBuildRows, 100, 100, 2);
+  const std::vector<Row> probe_input = MakeKernelRows(kProbeRows, 100, 100, 3);
+  const std::vector<Row> shuffle_input =
+      MakeKernelRows(kShuffleRows, 200, 200, 4);
+  std::vector<Row> shuffle_mut = shuffle_input;  // consumed by the move body
+
+  KernelRow agg_map = MeasureKernel(
+      "agg_map", kAggRows, [&] { return AggMapBody(agg_input); }, nullptr);
+  KernelRow agg_table = MeasureKernel(
+      "agg_table", kAggRows, [&] { return AggTableBody(agg_input); },
+      &agg_map);
+  KernelRow join_map = MeasureKernel(
+      "join_map", kProbeRows,
+      [&] { return JoinMapBody(build_input, probe_input); }, nullptr);
+  KernelRow join_table = MeasureKernel(
+      "join_table", kProbeRows,
+      [&] { return JoinTableBody(build_input, probe_input); }, &join_map);
+  KernelRow shuffle_copy = MeasureKernel(
+      "shuffle_copy", kShuffleRows,
+      [&] { return ShuffleCopyBody(shuffle_input); }, nullptr);
+  KernelRow shuffle_move = MeasureKernel(
+      "shuffle_move", kShuffleRows, [&] { return ShuffleMoveBody(shuffle_mut); },
+      &shuffle_copy);
+  std::vector<KernelRow> kernels = {agg_map,    agg_table,    join_map,
+                                    join_table, shuffle_copy, shuffle_move};
+
+  int nthreads = DefaultNumThreads();
+  if (nthreads < 2) nthreads = 4;  // the identity gate needs real threads
+
+  std::printf("\nscript execution (CSE plan, serial vs %d threads)\n",
+              nthreads);
+  std::vector<ScriptRow> scripts;
+  Catalog catalog = MakeExecutionCatalog(40000);
+  bool ok = true;
+  ok &= MeasureScript("S1", catalog, kScriptS1, 16, nthreads, &scripts);
+  ok &= MeasureScript("S2", catalog, kScriptS2, 16, nthreads, &scripts);
+  ok &= MeasureScript("S3", catalog, kScriptS3, 16, nthreads, &scripts);
+  ok &= MeasureScript("S4", catalog, kScriptS4, 16, nthreads, &scripts);
+  LargeScriptSpec ls1_spec = Ls1Spec();
+  ls1_spec.rows_per_file = 20000;
+  GeneratedScript ls1 = GenerateLargeScript(ls1_spec);
+  ok &= MeasureScript("LS1", ls1.catalog, ls1.text, 16, nthreads, &scripts);
+  LargeScriptSpec ls2_spec = Ls2Spec();
+  ls2_spec.rows_per_file = 4000;
+  GeneratedScript ls2 = GenerateLargeScript(ls2_spec);
+  ok &= MeasureScript("LS2", ls2.catalog, ls2.text, 16, nthreads, &scripts);
+
+  WriteJson(kernels, scripts, nthreads);
+
+  for (const ScriptRow& r : scripts) ok &= r.identical;
+  if (!ok) std::fprintf(stderr, "exec_throughput: FAILED\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+#include "common/worker_pool.h"
+
+#include <cstdlib>
+
+namespace scx {
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("SCX_NUM_THREADS")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+WorkerPool::WorkerPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+  int extra = threads_ - 1;  // the calling thread is a worker too
+  pool_.reserve(static_cast<size_t>(extra));
+  for (int i = 0; i < extra; ++i) {
+    pool_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : pool_) t.join();
+}
+
+void WorkerPool::Run(size_t n, const std::function<void(size_t)>& fn) {
+  if (pool_.empty() || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_fn_ = &fn;
+    job_count_ = n;
+    next_job_ = 0;
+    jobs_done_ = 0;
+  }
+  cv_work_.notify_all();
+  // The calling thread pulls jobs alongside the pool.
+  for (;;) {
+    size_t i;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (next_job_ >= job_count_) break;
+      i = next_job_++;
+    }
+    fn(i);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++jobs_done_;
+      if (jobs_done_ == job_count_) cv_done_.notify_all();
+    }
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return jobs_done_ == job_count_; });
+  job_fn_ = nullptr;
+}
+
+void WorkerPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_work_.wait(lk, [&] {
+      return stop_ || (job_fn_ != nullptr && next_job_ < job_count_);
+    });
+    if (stop_) return;
+    while (job_fn_ != nullptr && next_job_ < job_count_) {
+      size_t i = next_job_++;
+      const std::function<void(size_t)>* fn = job_fn_;
+      lk.unlock();
+      (*fn)(i);
+      lk.lock();
+      ++jobs_done_;
+      if (jobs_done_ == job_count_) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace scx

@@ -1,18 +1,6 @@
 #include "core/optimization_context.h"
 
-#include <cstdlib>
-#include <thread>
-
 namespace scx {
-
-int DefaultNumThreads() {
-  if (const char* env = std::getenv("SCX_NUM_THREADS")) {
-    int v = std::atoi(env);
-    if (v > 0) return v;
-  }
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
-}
 
 OptimizationContext::OptimizationContext(Memo memo, ColumnRegistryPtr columns,
                                          OptimizerConfig config)

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/worker_pool.h"
 #include "core/fingerprint.h"
 #include "core/property_history.h"
 #include "core/props_interner.h"
@@ -29,10 +30,6 @@ namespace scx {
 ///    being chosen cost-based across consumers.
 ///  * kCse runs the paper's full framework of Secs. IV–VIII.
 enum class OptimizerMode { kConventional, kNaiveSharing, kCse };
-
-/// Default phase-2 parallelism: the SCX_NUM_THREADS environment variable
-/// when set to a positive integer, otherwise the hardware concurrency.
-int DefaultNumThreads();
 
 /// Tunables for optimization. The Sec. VIII large-script extensions can be
 /// toggled individually for ablation benchmarks.

@@ -18,15 +18,6 @@ RoundScheduler::RoundScheduler(const OptimizationContext* ctx,
       phase2_start_(std::chrono::steady_clock::now()),
       best_cost_seen_(kInf) {}
 
-RoundScheduler::~RoundScheduler() {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    stop_ = true;
-  }
-  cv_work_.notify_all();
-  for (std::thread& t : pool_) t.join();
-}
-
 void RoundScheduler::StartPhase2() {
   phase2_start_ = std::chrono::steady_clock::now();
 }
@@ -181,7 +172,7 @@ PhysicalNodePtr RoundScheduler::RunRoundsAt(RoundTask* task, GroupId g,
       workers.reserve(batch.size());
       for (size_t i = 0; i < batch.size(); ++i) workers.push_back(task->Fork());
       std::vector<RoundResult> results(batch.size());
-      RunJobs(batch.size(), [&](size_t i) {
+      pool_->Run(batch.size(), [&](size_t i) {
         results[i] = workers[i].EvaluateRound(g, req, batch[i]);
       });
 
@@ -229,65 +220,8 @@ PhysicalNodePtr RoundScheduler::RunRoundsAt(RoundTask* task, GroupId g,
 }
 
 void RoundScheduler::EnsurePool() {
-  if (pool_started_) return;
-  pool_started_ = true;
-  int extra = ctx_->config().num_threads - 1;  // master is a worker too
-  pool_.reserve(static_cast<size_t>(extra));
-  for (int i = 0; i < extra; ++i) {
-    pool_.emplace_back([this] { WorkerLoop(); });
-  }
-}
-
-void RoundScheduler::RunJobs(size_t n, const std::function<void(size_t)>& fn) {
-  if (pool_.empty() || n <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    job_fn_ = &fn;
-    job_count_ = n;
-    next_job_ = 0;
-    jobs_done_ = 0;
-  }
-  cv_work_.notify_all();
-  // The master thread pulls jobs alongside the pool.
-  for (;;) {
-    size_t i;
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (next_job_ >= job_count_) break;
-      i = next_job_++;
-    }
-    fn(i);
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      ++jobs_done_;
-      if (jobs_done_ == job_count_) cv_done_.notify_all();
-    }
-  }
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_done_.wait(lk, [&] { return jobs_done_ == job_count_; });
-  job_fn_ = nullptr;
-}
-
-void RoundScheduler::WorkerLoop() {
-  std::unique_lock<std::mutex> lk(mu_);
-  for (;;) {
-    cv_work_.wait(lk, [&] {
-      return stop_ || (job_fn_ != nullptr && next_job_ < job_count_);
-    });
-    if (stop_) return;
-    while (job_fn_ != nullptr && next_job_ < job_count_) {
-      size_t i = next_job_++;
-      const std::function<void(size_t)>* fn = job_fn_;
-      lk.unlock();
-      (*fn)(i);
-      lk.lock();
-      ++jobs_done_;
-      if (jobs_done_ == job_count_) cv_done_.notify_all();
-    }
-  }
+  if (pool_ != nullptr) return;
+  pool_ = std::make_unique<WorkerPool>(ctx_->config().num_threads);
 }
 
 }  // namespace scx

@@ -3,12 +3,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
-#include <thread>
+#include <memory>
 #include <vector>
 
+#include "common/worker_pool.h"
 #include "core/optimization_context.h"
 #include "core/round_task.h"
 #include "core/rounds.h"
@@ -43,7 +42,6 @@ namespace scx {
 class RoundScheduler {
  public:
   RoundScheduler(const OptimizationContext* ctx, OptimizeDiagnostics* diag);
-  ~RoundScheduler();
   RoundScheduler(const RoundScheduler&) = delete;
   RoundScheduler& operator=(const RoundScheduler&) = delete;
 
@@ -71,10 +69,6 @@ class RoundScheduler {
 
  private:
   void EnsurePool();
-  /// Runs fn(0..n-1) across the pool; the calling (master) thread
-  /// participates. Returns when all jobs finished.
-  void RunJobs(size_t n, const std::function<void(size_t)>& fn);
-  void WorkerLoop();
   void NoteBestCost(double cost);
 
   const OptimizationContext* ctx_;
@@ -84,18 +78,9 @@ class RoundScheduler {
   std::atomic<bool> budget_exhausted_{false};
   std::atomic<double> best_cost_seen_;
 
-  // Fixed-size pool of config.num_threads - 1 workers, created lazily at
-  // the first parallel batch.
-  bool pool_started_ = false;
-  std::vector<std::thread> pool_;
-  std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  const std::function<void(size_t)>* job_fn_ = nullptr;
-  size_t job_count_ = 0;
-  size_t next_job_ = 0;
-  size_t jobs_done_ = 0;
-  bool stop_ = false;
+  // Shared pool machinery (common/worker_pool.h), sized to
+  // config.num_threads and created lazily at the first parallel batch.
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace scx

@@ -14,6 +14,11 @@ namespace scx {
 struct ClusterConfig {
   /// Number of (virtual) machines; the default mirrors a modest SCOPE pod.
   int machines = 100;
+  /// Worker threads the executor uses to evaluate per-machine partitions.
+  /// 0 = DefaultNumThreads() (SCX_NUM_THREADS or hardware concurrency);
+  /// 1 = the exact serial path. Results are bit-identical for every value
+  /// (see docs/architecture.md §12). Ignored by the cost model.
+  int exec_threads = 0;
 };
 
 /// Per-byte cost constants. Units are abstract "cost units" (the paper also

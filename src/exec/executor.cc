@@ -1,8 +1,11 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <iterator>
+#include <utility>
 
 #include "common/hash.h"
+#include "exec/row_key_table.h"
 
 namespace scx {
 
@@ -24,25 +27,48 @@ int64_t PartitionedData::TotalBytes() const {
 
 std::vector<Row> PartitionedData::Gathered() const {
   std::vector<Row> out;
+  out.reserve(static_cast<size_t>(TotalRows()));
   for (const auto& p : partitions) {
     out.insert(out.end(), p.begin(), p.end());
   }
   return out;
 }
 
-std::vector<Row> CanonicalRows(std::vector<Row> rows) {
+std::vector<Row> PartitionedData::TakeGathered() {
+  std::vector<Row> out;
+  out.reserve(static_cast<size_t>(TotalRows()));
+  for (auto& p : partitions) {
+    out.insert(out.end(), std::make_move_iterator(p.begin()),
+               std::make_move_iterator(p.end()));
+    p.clear();
+  }
+  return out;
+}
+
+std::vector<Row> CanonicalRows(const std::vector<Row>& rows) {
+  std::vector<Row> out;
+  out.reserve(rows.size());
+  out.insert(out.end(), rows.begin(), rows.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Row> CanonicalRows(std::vector<Row>&& rows) {
   std::sort(rows.begin(), rows.end());
-  return rows;
+  return std::move(rows);
+}
+
+std::map<std::string, std::vector<Row>> CanonicalOutputs(
+    const ExecMetrics& m) {
+  std::map<std::string, std::vector<Row>> out;
+  for (const auto& [path, rows] : m.outputs) {
+    out.emplace(path, CanonicalRows(rows));
+  }
+  return out;
 }
 
 bool SameOutputs(const ExecMetrics& a, const ExecMetrics& b) {
-  if (a.outputs.size() != b.outputs.size()) return false;
-  for (const auto& [path, rows] : a.outputs) {
-    auto it = b.outputs.find(path);
-    if (it == b.outputs.end()) return false;
-    if (CanonicalRows(rows) != CanonicalRows(it->second)) return false;
-  }
-  return true;
+  return CanonicalOutputs(a) == CanonicalOutputs(b);
 }
 
 namespace {
@@ -90,6 +116,55 @@ struct AggState {
 
 }  // namespace
 
+void Executor::RunPartitions(size_t n, const std::function<void(size_t)>& fn) {
+  if (threads_ <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  if (pool_ == nullptr) pool_ = std::make_unique<WorkerPool>(threads_);
+  pool_->Run(n, fn);
+}
+
+template <typename DestFn>
+PartitionedData Executor::ScatterByDest(PartitionedData in, DestFn dest_of) {
+  size_t machines = static_cast<size_t>(cluster_.machines);
+  size_t nsrc = in.partitions.size();
+  // Phase 1: each source partition moves its rows into per-destination
+  // buffers with exact reserved capacity.
+  std::vector<std::vector<std::vector<Row>>> buckets(nsrc);
+  RunPartitions(nsrc, [&](size_t s) {
+    std::vector<Row>& rows = in.partitions[s];
+    std::vector<uint32_t> dest(rows.size());
+    std::vector<size_t> count(machines, 0);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      dest[i] = static_cast<uint32_t>(dest_of(rows[i]));
+      ++count[dest[i]];
+    }
+    std::vector<std::vector<Row>>& b = buckets[s];
+    b.resize(machines);
+    for (size_t d = 0; d < machines; ++d) b[d].reserve(count[d]);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      b[dest[i]].push_back(std::move(rows[i]));
+    }
+  });
+  // Phase 2: each destination concatenates its buffers source-major —
+  // exactly the row order the serial per-row push_back loop produced.
+  PartitionedData out;
+  out.schema = std::move(in.schema);
+  out.partitions.resize(machines);
+  RunPartitions(machines, [&](size_t d) {
+    size_t total = 0;
+    for (size_t s = 0; s < nsrc; ++s) total += buckets[s][d].size();
+    std::vector<Row>& sink = out.partitions[d];
+    sink.reserve(total);
+    for (size_t s = 0; s < nsrc; ++s) {
+      sink.insert(sink.end(), std::make_move_iterator(buckets[s][d].begin()),
+                  std::make_move_iterator(buckets[s][d].end()));
+    }
+  });
+  return out;
+}
+
 Result<ExecMetrics> Executor::Execute(const PhysicalNodePtr& plan) {
   ExecMetrics metrics;
   spool_cache_.clear();
@@ -110,10 +185,11 @@ Result<PartitionedData> Executor::Eval(const PhysicalNodePtr& node,
       PartitionedData out;
       out.schema = in.schema;
       out.partitions.resize(in.partitions.size());
-      for (size_t p = 0; p < in.partitions.size(); ++p) {
+      const std::vector<BoundPredicate>& preds = node->proto->predicates;
+      RunPartitions(in.partitions.size(), [&](size_t p) {
         for (Row& r : in.partitions[p]) {
           bool pass = true;
-          for (const BoundPredicate& pred : node->proto->predicates) {
+          for (const BoundPredicate& pred : preds) {
             if (!pred.Evaluate(r, in.schema)) {
               pass = false;
               break;
@@ -121,7 +197,7 @@ Result<PartitionedData> Executor::Eval(const PhysicalNodePtr& node,
           }
           if (pass) out.partitions[p].push_back(std::move(r));
         }
-      }
+      });
       return out;
     }
 
@@ -135,7 +211,7 @@ Result<PartitionedData> Executor::Eval(const PhysicalNodePtr& node,
         (void)dst;
         positions.push_back(in.schema.PositionOf(src));
       }
-      for (size_t p = 0; p < in.partitions.size(); ++p) {
+      RunPartitions(in.partitions.size(), [&](size_t p) {
         out.partitions[p].reserve(in.partitions[p].size());
         for (const Row& r : in.partitions[p]) {
           Row projected;
@@ -145,7 +221,7 @@ Result<PartitionedData> Executor::Eval(const PhysicalNodePtr& node,
           }
           out.partitions[p].push_back(std::move(projected));
         }
-      }
+      });
       return out;
     }
 
@@ -155,7 +231,7 @@ Result<PartitionedData> Executor::Eval(const PhysicalNodePtr& node,
       out.schema = node->proto->schema();
       out.partitions.resize(in.partitions.size());
       const auto& items = node->proto->compute_items;
-      for (size_t p = 0; p < in.partitions.size(); ++p) {
+      RunPartitions(in.partitions.size(), [&](size_t p) {
         out.partitions[p].reserve(in.partitions[p].size());
         for (const Row& r : in.partitions[p]) {
           Row computed;
@@ -165,7 +241,7 @@ Result<PartitionedData> Executor::Eval(const PhysicalNodePtr& node,
           }
           out.partitions[p].push_back(std::move(computed));
         }
-      }
+      });
       return out;
     }
 
@@ -203,27 +279,37 @@ Result<PartitionedData> Executor::Eval(const PhysicalNodePtr& node,
       auto it = spool_cache_.find(node.get());
       if (it != spool_cache_.end()) {
         ++metrics->spool_reads;
+        ++metrics->spool_cache_hits;
         return it->second;
       }
       SCX_ASSIGN_OR_RETURN(PartitionedData in, Eval(node->children[0], metrics));
       metrics->bytes_spooled += in.TotalBytes();
+      metrics->rows_spooled += in.TotalRows();
       ++metrics->spool_executions;
       ++metrics->spool_reads;
       spool_cache_[node.get()] = in;
       return in;
     }
 
-    case PhysicalOpKind::kSpoolScan: {
-      return Status::Internal("SpoolScan nodes are not produced");
-    }
+    case PhysicalOpKind::kSpoolScan:
+      // Rejected by ValidatePlan before execution; kept only so the
+      // operator switch stays exhaustive.
+      break;
 
     case PhysicalOpKind::kOutput: {
       SCX_ASSIGN_OR_RETURN(PartitionedData in, Eval(node->children[0], metrics));
-      std::vector<Row> rows = in.Gathered();
+      // Output is terminal — a Sequence child or the plan root — so its
+      // data is never read again; move the rows into the sink.
+      size_t machines = in.partitions.size();
+      std::vector<Row> rows = in.TakeGathered();
       metrics->rows_output += static_cast<int64_t>(rows.size());
       auto& sink = metrics->outputs[node->proto->output_path];
-      sink.insert(sink.end(), rows.begin(), rows.end());
-      return in;
+      sink.insert(sink.end(), std::make_move_iterator(rows.begin()),
+                  std::make_move_iterator(rows.end()));
+      PartitionedData out;
+      out.schema = std::move(in.schema);
+      out.partitions.resize(machines);
+      return out;
     }
 
     case PhysicalOpKind::kSequence: {
@@ -252,15 +338,22 @@ Result<PartitionedData> Executor::Eval(const PhysicalNodePtr& node,
           node->delivered.partitioning.range_cols);
       // Boundary computation by exact quantiles over the key multiset —
       // the simulation stand-in for SCOPE's sampling pass.
-      std::vector<std::vector<Value>> keys;
-      keys.reserve(static_cast<size_t>(in.TotalRows()));
-      for (const auto& p : in.partitions) {
-        for (const Row& r : p) {
+      std::vector<std::vector<std::vector<Value>>> part_keys(
+          in.partitions.size());
+      RunPartitions(in.partitions.size(), [&](size_t p) {
+        part_keys[p].reserve(in.partitions[p].size());
+        for (const Row& r : in.partitions[p]) {
           std::vector<Value> key;
           key.reserve(positions.size());
           for (int pos : positions) key.push_back(r[static_cast<size_t>(pos)]);
-          keys.push_back(std::move(key));
+          part_keys[p].push_back(std::move(key));
         }
+      });
+      std::vector<std::vector<Value>> keys;
+      keys.reserve(static_cast<size_t>(in.TotalRows()));
+      for (auto& pk : part_keys) {
+        keys.insert(keys.end(), std::make_move_iterator(pk.begin()),
+                    std::make_move_iterator(pk.end()));
       }
       std::sort(keys.begin(), keys.end());
       std::vector<std::vector<Value>> boundaries;
@@ -269,34 +362,31 @@ Result<PartitionedData> Executor::Eval(const PhysicalNodePtr& node,
       }
       metrics->bytes_shuffled += in.TotalBytes();
       metrics->rows_shuffled += in.TotalRows();
-      PartitionedData out;
-      out.schema = in.schema;
-      out.partitions.resize(machines);
-      for (auto& p : in.partitions) {
-        for (Row& r : p) {
-          std::vector<Value> key;
-          key.reserve(positions.size());
-          for (int pos : positions) key.push_back(r[static_cast<size_t>(pos)]);
-          size_t dest = static_cast<size_t>(
-              std::upper_bound(boundaries.begin(), boundaries.end(), key) -
-              boundaries.begin());
-          out.partitions[dest].push_back(std::move(r));
-        }
-      }
-      return out;
+      return ScatterByDest(std::move(in), [&](const Row& r) {
+        std::vector<Value> key;
+        key.reserve(positions.size());
+        for (int pos : positions) key.push_back(r[static_cast<size_t>(pos)]);
+        return static_cast<size_t>(
+            std::upper_bound(boundaries.begin(), boundaries.end(), key) -
+            boundaries.begin());
+      });
     }
 
     case PhysicalOpKind::kBroadcastExchange: {
       SCX_ASSIGN_OR_RETURN(PartitionedData in, Eval(node->children[0], metrics));
       size_t machines = static_cast<size_t>(cluster_.machines);
-      std::vector<Row> all = in.Gathered();
       metrics->bytes_shuffled +=
           in.TotalBytes() * static_cast<int64_t>(machines);
       metrics->rows_shuffled +=
           in.TotalRows() * static_cast<int64_t>(machines);
+      std::vector<Row> all = in.TakeGathered();
       PartitionedData out;
-      out.schema = in.schema;
-      out.partitions.assign(machines, all);
+      out.schema = std::move(in.schema);
+      out.partitions.resize(machines);
+      RunPartitions(machines - 1, [&](size_t m) {
+        out.partitions[m] = all;
+      });
+      out.partitions[machines - 1] = std::move(all);
       return out;
     }
 
@@ -305,9 +395,9 @@ Result<PartitionedData> Executor::Eval(const PhysicalNodePtr& node,
       metrics->bytes_shuffled += in.TotalBytes();
       metrics->rows_shuffled += in.TotalRows();
       PartitionedData out;
-      out.schema = in.schema;
+      out.schema = std::move(in.schema);
       out.partitions.resize(1);
-      out.partitions[0] = in.Gathered();
+      out.partitions[0] = in.TakeGathered();
       if (!node->delivered.sort.Empty()) {
         SortRows(&out.partitions[0],
                  out.schema.PositionsOf(node->delivered.sort.cols));
@@ -319,11 +409,13 @@ Result<PartitionedData> Executor::Eval(const PhysicalNodePtr& node,
       SCX_ASSIGN_OR_RETURN(PartitionedData in, Eval(node->children[0], metrics));
       std::vector<int> positions =
           in.schema.PositionsOf(node->sort_spec.cols);
-      for (auto& p : in.partitions) SortRows(&p, positions);
+      RunPartitions(in.partitions.size(),
+                    [&](size_t p) { SortRows(&in.partitions[p], positions); });
       return in;
     }
   }
-  return Status::Internal("unhandled physical operator");
+  return Status::Internal("unhandled physical operator " +
+                          std::string(PhysicalOpKindName(node->kind)));
 }
 
 Result<PartitionedData> Executor::EvalExtract(const PhysicalNode& node,
@@ -343,16 +435,27 @@ Result<PartitionedData> Executor::EvalExtract(const PhysicalNode& node,
     }
     file_cols.push_back(idx);
   }
-  for (int64_t i = 0; i < file.row_count; ++i) {
-    Row row;
-    row.reserve(file_cols.size());
-    for (int idx : file_cols) {
-      row.push_back(SyntheticValue(file, idx, i));
+  // Row i lands on machine i % machines, so machine m independently
+  // synthesizes rows m, m + machines, ... — the same per-partition row
+  // order as the serial round-robin loop.
+  int64_t rows = file.row_count;
+  RunPartitions(machines, [&](size_t m) {
+    std::vector<Row>& part = out.partitions[m];
+    if (static_cast<int64_t>(m) >= rows) return;
+    part.reserve(static_cast<size_t>(
+        (rows - static_cast<int64_t>(m) + static_cast<int64_t>(machines) - 1) /
+        static_cast<int64_t>(machines)));
+    for (int64_t i = static_cast<int64_t>(m); i < rows;
+         i += static_cast<int64_t>(machines)) {
+      Row row;
+      row.reserve(file_cols.size());
+      for (int idx : file_cols) {
+        row.push_back(SyntheticValue(file, idx, i));
+      }
+      part.push_back(std::move(row));
     }
-    out.partitions[static_cast<size_t>(i) % machines].push_back(
-        std::move(row));
-  }
-  metrics->rows_extracted += file.row_count;
+  });
+  metrics->rows_extracted += rows;
   return out;
 }
 
@@ -367,8 +470,9 @@ Result<PartitionedData> Executor::EvalAggregate(const PhysicalNode& node,
     int arg_pos = -1;
     int hidden_pos = -1;  // global-Avg partial-count input
   };
-  std::vector<AggIo> io(proto.aggregates.size());
-  for (size_t i = 0; i < proto.aggregates.size(); ++i) {
+  const size_t naggs = proto.aggregates.size();
+  std::vector<AggIo> io(naggs);
+  for (size_t i = 0; i < naggs; ++i) {
     const AggregateDesc& a = proto.aggregates[i];
     if (!a.count_star) io[i].arg_pos = in.schema.PositionOf(a.arg);
     if (global && a.fn == AggFn::kAvg && a.hidden_count != 0) {
@@ -380,18 +484,18 @@ Result<PartitionedData> Executor::EvalAggregate(const PhysicalNode& node,
   out.schema = proto.schema();
   out.partitions.resize(in.partitions.size());
 
-  for (size_t p = 0; p < in.partitions.size(); ++p) {
-    std::map<std::vector<Value>, std::vector<AggState>> groups;
-    for (const Row& r : in.partitions[p]) {
-      std::vector<Value> key;
-      key.reserve(group_pos.size());
-      for (int gp : group_pos) key.push_back(r[static_cast<size_t>(gp)]);
-      auto [it, inserted] =
-          groups.try_emplace(std::move(key), proto.aggregates.size());
-      std::vector<AggState>& states = it->second;
-      for (size_t i = 0; i < proto.aggregates.size(); ++i) {
+  RunPartitions(in.partitions.size(), [&](size_t p) {
+    const std::vector<Row>& rows = in.partitions[p];
+    // Pre-sized for the worst case (all keys distinct): no rehash ever.
+    RowKeyTable table(rows.size());
+    std::vector<AggState> states;  // naggs states per group, group-major
+    for (const Row& r : rows) {
+      auto [id, inserted] = table.FindOrInsert(r, group_pos);
+      if (inserted) states.resize(states.size() + naggs);
+      AggState* group_states = &states[id * naggs];
+      for (size_t i = 0; i < naggs; ++i) {
         const AggregateDesc& a = proto.aggregates[i];
-        AggState& s = states[i];
+        AggState& s = group_states[i];
         if (global) {
           // Merge partial states: Sum/Count partials are summed (fn was
           // rewritten to kSum by the split rule); Min/Max fold; Avg sums
@@ -459,11 +563,13 @@ Result<PartitionedData> Executor::EvalAggregate(const PhysicalNode& node,
       }
     }
 
-    for (auto& [key, states] : groups) {
-      Row row = key;
-      for (size_t i = 0; i < proto.aggregates.size(); ++i) {
+    out.partitions[p].reserve(table.size());
+    for (size_t id = 0; id < table.size(); ++id) {
+      Row row = table.KeyAt(id);
+      const AggState* group_states = &states[id * naggs];
+      for (size_t i = 0; i < naggs; ++i) {
         const AggregateDesc& a = proto.aggregates[i];
-        const AggState& s = states[i];
+        const AggState& s = group_states[i];
         if (global) {
           switch (a.fn) {
             case AggFn::kSum:
@@ -519,12 +625,13 @@ Result<PartitionedData> Executor::EvalAggregate(const PhysicalNode& node,
       }
       out.partitions[p].push_back(std::move(row));
     }
-  }
+  });
 
   // Stream aggregates deliver rows ordered on their chosen sort order.
   if (node.kind == PhysicalOpKind::kStreamAgg && !node.sort_spec.Empty()) {
     std::vector<int> positions = out.schema.PositionsOf(node.sort_spec.cols);
-    for (auto& p : out.partitions) SortRows(&p, positions);
+    RunPartitions(out.partitions.size(),
+                  [&](size_t p) { SortRows(&out.partitions[p], positions); });
   }
   return out;
 }
@@ -548,21 +655,19 @@ Result<PartitionedData> Executor::EvalJoin(const PhysicalNode& node,
   out.schema = proto.schema();
   out.partitions.resize(left.partitions.size());
 
-  for (size_t p = 0; p < left.partitions.size(); ++p) {
-    std::map<std::vector<Value>, std::vector<const Row*>> table;
-    for (const Row& r : right.partitions[p]) {
-      std::vector<Value> key;
-      key.reserve(rpos.size());
-      for (int pos : rpos) key.push_back(r[static_cast<size_t>(pos)]);
-      table[std::move(key)].push_back(&r);
+  RunPartitions(left.partitions.size(), [&](size_t p) {
+    const std::vector<Row>& build = right.partitions[p];
+    RowKeyTable table(build.size());
+    std::vector<std::vector<const Row*>> rows_by_key;
+    for (const Row& r : build) {
+      auto [id, inserted] = table.FindOrInsert(r, rpos);
+      if (inserted) rows_by_key.emplace_back();
+      rows_by_key[id].push_back(&r);
     }
     for (const Row& l : left.partitions[p]) {
-      std::vector<Value> key;
-      key.reserve(lpos.size());
-      for (int pos : lpos) key.push_back(l[static_cast<size_t>(pos)]);
-      auto it = table.find(key);
-      if (it == table.end()) continue;
-      for (const Row* r : it->second) {
+      size_t id = table.Find(l, lpos);
+      if (id == RowKeyTable::kNotFound) continue;
+      for (const Row* r : rows_by_key[id]) {
         Row joined = l;
         joined.insert(joined.end(), r->begin(), r->end());
         bool pass = true;
@@ -575,7 +680,7 @@ Result<PartitionedData> Executor::EvalJoin(const PhysicalNode& node,
         if (pass) out.partitions[p].push_back(std::move(joined));
       }
     }
-  }
+  });
   return out;
 }
 
@@ -583,23 +688,18 @@ PartitionedData Executor::Exchange(const PhysicalNode& node,
                                    PartitionedData in, ExecMetrics* metrics,
                                    bool preserve_order) {
   size_t machines = static_cast<size_t>(cluster_.machines);
-  PartitionedData out;
-  out.schema = in.schema;
-  out.partitions.resize(machines);
   std::vector<int> positions =
       in.schema.PositionsOf(node.exchange_cols.ToVector());
   metrics->bytes_shuffled += in.TotalBytes();
   metrics->rows_shuffled += in.TotalRows();
-  for (auto& p : in.partitions) {
-    for (Row& r : p) {
-      size_t dest = static_cast<size_t>(HashRowKey(r, positions) % machines);
-      out.partitions[dest].push_back(std::move(r));
-    }
-  }
+  PartitionedData out = ScatterByDest(std::move(in), [&](const Row& r) {
+    return static_cast<size_t>(HashRowKey(r, positions) % machines);
+  });
   if (preserve_order && !node.delivered.sort.Empty()) {
     std::vector<int> sort_pos =
         out.schema.PositionsOf(node.delivered.sort.cols);
-    for (auto& p : out.partitions) SortRows(&p, sort_pos);
+    RunPartitions(out.partitions.size(),
+                  [&](size_t p) { SortRows(&out.partitions[p], sort_pos); });
   }
   return out;
 }

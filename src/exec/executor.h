@@ -1,12 +1,15 @@
 #ifndef SCX_EXEC_EXECUTOR_H_
 #define SCX_EXEC_EXECUTOR_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/worker_pool.h"
 #include "cost/cost_model.h"
 #include "opt/physical_plan.h"
 
@@ -23,6 +26,8 @@ struct PartitionedData {
   int64_t TotalBytes() const;
   /// All rows concatenated (partition order).
   std::vector<Row> Gathered() const;
+  /// Gathered(), but moving the rows out; the partitions are left empty.
+  std::vector<Row> TakeGathered();
 };
 
 /// Counters accumulated while executing a plan on the simulated cluster.
@@ -31,8 +36,10 @@ struct ExecMetrics {
   int64_t rows_shuffled = 0;
   int64_t bytes_shuffled = 0;   ///< exchanged over the simulated network
   int64_t bytes_spooled = 0;    ///< materialized by Spool operators
+  int64_t rows_spooled = 0;     ///< rows materialized by Spool operators
   int64_t spool_executions = 0; ///< distinct spool materializations
   int64_t spool_reads = 0;      ///< total consumer reads of spools
+  int64_t spool_cache_hits = 0; ///< spool_reads served from the cache
   int64_t operator_invocations = 0;
   int64_t rows_output = 0;
   /// Output rows per OUTPUT path.
@@ -41,9 +48,14 @@ struct ExecMetrics {
 
 /// Canonical (sorted) form of an output row set, for comparing the results
 /// of two plans.
-std::vector<Row> CanonicalRows(std::vector<Row> rows);
+std::vector<Row> CanonicalRows(const std::vector<Row>& rows);
+std::vector<Row> CanonicalRows(std::vector<Row>&& rows);
+
+/// All outputs of one run in canonical form (each path's rows sorted).
+std::map<std::string, std::vector<Row>> CanonicalOutputs(const ExecMetrics& m);
 
 /// True iff both executions produced identical rows for identical paths.
+/// Each side is canonicalized exactly once.
 bool SameOutputs(const ExecMetrics& a, const ExecMetrics& b);
 
 /// Executes physical plans on a deterministic simulated cluster: extract
@@ -55,9 +67,19 @@ bool SameOutputs(const ExecMetrics& a, const ExecMetrics& b);
 /// aggregations and joins assume their inputs are co-located the way the
 /// delivered properties claim, so a property bug surfaces as a result
 /// mismatch against the conventional plan.
+///
+/// Per-machine partitions are the unit of parallelism: the plan DAG is
+/// walked by one master thread, and each operator evaluates its partitions
+/// on a WorkerPool of cluster.exec_threads threads (1 = the exact serial
+/// path). Every partition job writes only its own output slot and all
+/// merge/concatenation happens in fixed partition order, so counters and
+/// output rows are bit-identical for every thread count.
 class Executor {
  public:
-  explicit Executor(ClusterConfig cluster) : cluster_(cluster) {}
+  explicit Executor(ClusterConfig cluster)
+      : cluster_(cluster),
+        threads_(cluster.exec_threads > 0 ? cluster.exec_threads
+                                          : DefaultNumThreads()) {}
 
   /// Runs the plan; returns counters and the produced outputs.
   Result<ExecMetrics> Execute(const PhysicalNodePtr& plan);
@@ -76,10 +98,24 @@ class Executor {
   PartitionedData Exchange(const PhysicalNode& node, PartitionedData in,
                            ExecMetrics* metrics, bool preserve_order);
 
+  /// Re-buckets `in` into `machines` partitions, destination chosen per row
+  /// by `dest_of(row)`. Two-phase move scatter: each source partition fills
+  /// per-destination buffers with reserved capacity, then each destination
+  /// concatenates them source-major — the exact row order of the serial
+  /// push_back loop. Defined in executor.cc (only instantiated there).
+  template <typename DestFn>
+  PartitionedData ScatterByDest(PartitionedData in, DestFn dest_of);
+
+  /// Runs fn(0..n-1), on the pool when exec_threads > 1 and n > 1, serially
+  /// otherwise. fn must write only to state owned by its index.
+  void RunPartitions(size_t n, const std::function<void(size_t)>& fn);
+
   ClusterConfig cluster_;
+  int threads_;
+  std::unique_ptr<WorkerPool> pool_;  ///< created lazily by RunPartitions
   /// Spool materializations, keyed by plan node identity so a shared spool
-  /// executes once per plan DAG.
-  std::map<const PhysicalNode*, PartitionedData> spool_cache_;
+  /// executes once per plan DAG. Pointer keys, no ordering needed.
+  std::unordered_map<const PhysicalNode*, PartitionedData> spool_cache_;
 };
 
 }  // namespace scx

@@ -1,0 +1,128 @@
+#ifndef SCX_EXEC_ROW_KEY_TABLE_H_
+#define SCX_EXEC_ROW_KEY_TABLE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+
+namespace scx {
+
+/// Open-addressed hash table mapping a row key — the values of a fixed set
+/// of column positions — to a dense id in insertion order. This is the
+/// executor's aggregation/join building block, replacing the
+/// `std::map<std::vector<Value>, ...>` tree maps: lookups cost one 64-bit
+/// key hash (HashRowKey, the same Mix64/HashCombine chain the fingerprint
+/// and shuffle paths use) plus a linear probe, and a full key comparison
+/// only on a matching hash. Keys are materialized once, on insertion —
+/// probes compare the stored key against the row's key positions in place.
+///
+/// Capacity is a power of two kept at most half full; rehashing reuses the
+/// stored hashes, so keys are never re-hashed. Pre-size with the expected
+/// key count (e.g. the input cardinality) to avoid rehashes entirely.
+class RowKeyTable {
+ public:
+  static constexpr size_t kNotFound = ~size_t{0};
+
+  explicit RowKeyTable(size_t expected_keys = 0) {
+    size_t cap = kMinSlots;
+    while (cap < 2 * expected_keys) cap *= 2;
+    slots_.assign(cap, kEmptySlot);
+    mask_ = cap - 1;
+    keys_.reserve(expected_keys);
+    hashes_.reserve(expected_keys);
+  }
+
+  size_t size() const { return keys_.size(); }
+
+  /// The id-th inserted key (ids are dense, in insertion order).
+  const Row& KeyAt(size_t id) const { return keys_[id]; }
+
+  /// Dense id of the key `row[positions[0]], row[positions[1]], ...`,
+  /// inserting it when absent. Returns {id, inserted}. An empty position
+  /// list is the grand-total case: every row maps to one empty key.
+  std::pair<size_t, bool> FindOrInsert(const Row& row,
+                                       const std::vector<int>& positions) {
+    uint64_t h = HashRowKey(row, positions);
+    size_t i = h & mask_;
+    while (slots_[i] != kEmptySlot) {
+      size_t id = slots_[i];
+      if (hashes_[id] == h && KeyEquals(id, row, positions)) {
+        return {id, false};
+      }
+      i = (i + 1) & mask_;
+    }
+    Row key;
+    key.reserve(positions.size());
+    for (int p : positions) key.push_back(row[static_cast<size_t>(p)]);
+    return {InsertAt(i, h, std::move(key)), true};
+  }
+
+  /// FindOrInsert with a caller-supplied full key and its hash (tests use
+  /// this to force hash collisions; generic callers can key on anything
+  /// they can hash consistently).
+  std::pair<size_t, bool> FindOrInsertKey(Row key, uint64_t hash) {
+    size_t i = hash & mask_;
+    while (slots_[i] != kEmptySlot) {
+      size_t id = slots_[i];
+      if (hashes_[id] == hash && keys_[id] == key) return {id, false};
+      i = (i + 1) & mask_;
+    }
+    return {InsertAt(i, hash, std::move(key)), true};
+  }
+
+  /// Dense id of the probe key, or kNotFound.
+  size_t Find(const Row& row, const std::vector<int>& positions) const {
+    uint64_t h = HashRowKey(row, positions);
+    size_t i = h & mask_;
+    while (slots_[i] != kEmptySlot) {
+      size_t id = slots_[i];
+      if (hashes_[id] == h && KeyEquals(id, row, positions)) return id;
+      i = (i + 1) & mask_;
+    }
+    return kNotFound;
+  }
+
+ private:
+  static constexpr size_t kEmptySlot = ~size_t{0};
+  static constexpr size_t kMinSlots = 16;
+
+  bool KeyEquals(size_t id, const Row& row,
+                 const std::vector<int>& positions) const {
+    const Row& key = keys_[id];
+    for (size_t j = 0; j < positions.size(); ++j) {
+      if (!(key[j] == row[static_cast<size_t>(positions[j])])) return false;
+    }
+    return true;
+  }
+
+  size_t InsertAt(size_t slot, uint64_t hash, Row key) {
+    size_t id = keys_.size();
+    keys_.push_back(std::move(key));
+    hashes_.push_back(hash);
+    slots_[slot] = id;
+    if (2 * keys_.size() > slots_.size()) Grow();
+    return id;
+  }
+
+  void Grow() {
+    size_t cap = slots_.size() * 2;
+    slots_.assign(cap, kEmptySlot);
+    mask_ = cap - 1;
+    for (size_t id = 0; id < keys_.size(); ++id) {
+      size_t i = hashes_[id] & mask_;
+      while (slots_[i] != kEmptySlot) i = (i + 1) & mask_;
+      slots_[i] = id;
+    }
+  }
+
+  std::vector<size_t> slots_;  ///< dense id per slot, or kEmptySlot
+  size_t mask_ = 0;
+  std::vector<Row> keys_;        ///< indexed by dense id
+  std::vector<uint64_t> hashes_; ///< key hash per dense id
+};
+
+}  // namespace scx
+
+#endif  // SCX_EXEC_ROW_KEY_TABLE_H_

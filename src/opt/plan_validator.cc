@@ -263,6 +263,12 @@ Status CheckSpool(const PhysicalNode& node) {
 }
 
 Status ValidateNode(const PhysicalNode& node) {
+  // SpoolScan is a legacy placeholder: shared spools appear once in the
+  // plan DAG, so a scan-side node has nothing to scan. The executor has no
+  // implementation for it; reject before execution.
+  if (node.kind == PhysicalOpKind::kSpoolScan) {
+    return Violation(node, "SpoolScan must not appear in executable plans");
+  }
   SCX_RETURN_IF_ERROR(CheckArity(node));
   if (node.kind != PhysicalOpKind::kSequence &&
       node.kind != PhysicalOpKind::kExtract && node.proto == nullptr) {

@@ -25,6 +25,8 @@ namespace scx {
 ///  * every node's delivered sort is consistent with what its operator can
 ///    actually guarantee given its children;
 ///  * spools have exactly one child and pass its properties through;
+///  * no SpoolScan nodes: shared spools appear once in the plan DAG, so the
+///    scan-side placeholder is dead and the executor rejects it up front;
 ///  * enforcers carry their payloads (exchange columns / sort specs).
 Status ValidatePlan(const PhysicalNodePtr& root);
 

@@ -1,0 +1,136 @@
+// Partition-parallel determinism: executing the SAME physical plan with a
+// worker pool must be bit-identical to the serial run — every ExecMetrics
+// counter AND the raw (uncanonicalized) output rows. This is the contract
+// documented in docs/architecture.md §12: partition jobs write only their
+// own output slot and all merges happen in fixed partition order, so thread
+// count can never change results. Runs under tsan in CI with
+// SCX_NUM_THREADS=4.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "api/engine.h"
+#include "workload/large_scripts.h"
+#include "workload/paper_scripts.h"
+
+namespace scx {
+namespace {
+
+struct PlanUnderTest {
+  std::string name;
+  PhysicalNodePtr plan;
+  int machines = 8;
+};
+
+PlanUnderTest OptimizeOnce(const std::string& name, const Catalog& catalog,
+                           const std::string& text, OptimizerMode mode,
+                           int machines) {
+  OptimizerConfig config;
+  config.cluster.machines = machines;
+  config.num_threads = 1;
+  Engine engine(catalog, config);
+  auto compiled = engine.Compile(text);
+  EXPECT_TRUE(compiled.ok()) << name << ": " << compiled.status().ToString();
+  auto optimized = engine.Optimize(*compiled, mode);
+  EXPECT_TRUE(optimized.ok()) << name << ": "
+                              << optimized.status().ToString();
+  return {name, optimized->plan(), machines};
+}
+
+ExecMetrics RunWithThreads(const PlanUnderTest& t, int threads) {
+  ClusterConfig cluster;
+  cluster.machines = t.machines;
+  cluster.exec_threads = threads;
+  Executor executor(cluster);
+  auto metrics = executor.Execute(t.plan);
+  EXPECT_TRUE(metrics.ok()) << t.name << ": "
+                            << metrics.status().ToString();
+  return std::move(metrics.value());
+}
+
+void ExpectBitIdentical(const PlanUnderTest& t, const ExecMetrics& serial,
+                        const ExecMetrics& parallel) {
+  EXPECT_EQ(serial.rows_extracted, parallel.rows_extracted) << t.name;
+  EXPECT_EQ(serial.rows_shuffled, parallel.rows_shuffled) << t.name;
+  EXPECT_EQ(serial.bytes_shuffled, parallel.bytes_shuffled) << t.name;
+  EXPECT_EQ(serial.bytes_spooled, parallel.bytes_spooled) << t.name;
+  EXPECT_EQ(serial.rows_spooled, parallel.rows_spooled) << t.name;
+  EXPECT_EQ(serial.spool_executions, parallel.spool_executions) << t.name;
+  EXPECT_EQ(serial.spool_reads, parallel.spool_reads) << t.name;
+  EXPECT_EQ(serial.spool_cache_hits, parallel.spool_cache_hits) << t.name;
+  EXPECT_EQ(serial.operator_invocations, parallel.operator_invocations)
+      << t.name;
+  EXPECT_EQ(serial.rows_output, parallel.rows_output) << t.name;
+  // Raw row-for-row equality — not just canonical equivalence. The merge
+  // order is part of the determinism contract.
+  EXPECT_EQ(serial.outputs, parallel.outputs) << t.name;
+}
+
+void CheckScript(const std::string& name, const Catalog& catalog,
+                 const std::string& text, OptimizerMode mode,
+                 int machines = 8) {
+  PlanUnderTest t = OptimizeOnce(name, catalog, text, mode, machines);
+  ASSERT_NE(t.plan, nullptr) << name;
+  ExecMetrics serial = RunWithThreads(t, 1);
+  ExecMetrics parallel = RunWithThreads(t, 4);
+  ExpectBitIdentical(t, serial, parallel);
+  ASSERT_FALSE(serial.outputs.empty()) << name;
+}
+
+class PaperScriptParallel
+    : public ::testing::TestWithParam<std::pair<const char*, const char*>> {};
+
+TEST_P(PaperScriptParallel, CseMatchesSerial) {
+  CheckScript(GetParam().first, MakeExecutionCatalog(5000), GetParam().second,
+              OptimizerMode::kCse);
+}
+
+TEST_P(PaperScriptParallel, ConventionalMatchesSerial) {
+  CheckScript(GetParam().first, MakeExecutionCatalog(5000), GetParam().second,
+              OptimizerMode::kConventional);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperScripts, PaperScriptParallel,
+    ::testing::Values(std::make_pair("S1", kScriptS1),
+                      std::make_pair("S2", kScriptS2),
+                      std::make_pair("S3", kScriptS3),
+                      std::make_pair("S4", kScriptS4)),
+    [](const auto& info) { return info.param.first; });
+
+TEST(ExecutorParallelTest, Ls1MatchesSerial) {
+  LargeScriptSpec spec = Ls1Spec();
+  spec.rows_per_file = 1500;
+  GeneratedScript ls = GenerateLargeScript(spec);
+  CheckScript("LS1", ls.catalog, ls.text, OptimizerMode::kCse);
+}
+
+TEST(ExecutorParallelTest, Ls2MatchesSerial) {
+  LargeScriptSpec spec = Ls2Spec();
+  spec.rows_per_file = 400;
+  GeneratedScript ls = GenerateLargeScript(spec);
+  CheckScript("LS2", ls.catalog, ls.text, OptimizerMode::kCse);
+}
+
+TEST(ExecutorParallelTest, ManyThreadsAndFewMachines) {
+  // More threads than partitions, and threads > machines: the pool just
+  // leaves workers idle, results unchanged.
+  PlanUnderTest t = OptimizeOnce("S1", MakeExecutionCatalog(3000), kScriptS1,
+                                 OptimizerMode::kCse, /*machines=*/3);
+  ExecMetrics serial = RunWithThreads(t, 1);
+  ExecMetrics parallel = RunWithThreads(t, 8);
+  ExpectBitIdentical(t, serial, parallel);
+}
+
+TEST(ExecutorParallelTest, ExecThreadsZeroUsesDefaultAndMatchesSerial) {
+  PlanUnderTest t = OptimizeOnce("S2", MakeExecutionCatalog(3000), kScriptS2,
+                                 OptimizerMode::kCse, /*machines=*/8);
+  ExecMetrics serial = RunWithThreads(t, 1);
+  ExecMetrics defaulted = RunWithThreads(t, 0);  // DefaultNumThreads()
+  ExpectBitIdentical(t, serial, defaulted);
+}
+
+}  // namespace
+}  // namespace scx

@@ -207,7 +207,9 @@ TEST(ExecutorTest, SpoolExecutesOncePerPlanNode) {
   ASSERT_TRUE(m.ok());
   EXPECT_EQ(m->spool_executions, 1);
   EXPECT_EQ(m->spool_reads, 2);  // two consumers
+  EXPECT_EQ(m->spool_cache_hits, 1);  // second read served from the cache
   EXPECT_GT(m->bytes_spooled, 0);
+  EXPECT_GT(m->rows_spooled, 0);
 }
 
 TEST(ExecutorTest, DeterministicAcrossRuns) {
@@ -241,6 +243,21 @@ TEST(ExecutorTest, CanonicalRowsSorts) {
   std::vector<Row> rows = {{Value::Int(2)}, {Value::Int(1)}};
   auto sorted = CanonicalRows(rows);
   EXPECT_EQ(sorted[0][0].as_int(), 1);
+  EXPECT_EQ(rows[0][0].as_int(), 2);  // copy overload leaves input alone
+}
+
+TEST(ExecutorTest, CanonicalRowsOverloadsAgree) {
+  std::vector<Row> rows = {{Value::Int(3)}, {Value::Int(1)}, {Value::Int(2)}};
+  std::vector<Row> copy = rows;
+  EXPECT_EQ(CanonicalRows(rows), CanonicalRows(std::move(copy)));
+}
+
+TEST(ExecutorTest, SameOutputsIgnoresRowOrder) {
+  ExecMetrics a, b;
+  a.outputs["x"] = {{Value::Int(1)}, {Value::Int(2)}};
+  b.outputs["x"] = {{Value::Int(2)}, {Value::Int(1)}};
+  EXPECT_TRUE(SameOutputs(a, b));
+  EXPECT_EQ(CanonicalOutputs(a), CanonicalOutputs(b));
 }
 
 TEST(ExecutorTest, SameOutputsDetectsDifferences) {

@@ -87,6 +87,19 @@ TEST(PlanValidatorTest, DetectsSpoolPropertyMismatch) {
   EXPECT_NE(s.message().find("spool"), std::string::npos);
 }
 
+TEST(PlanValidatorTest, RejectsSpoolScan) {
+  // SpoolScan is a dead operator: shared spools appear once in the plan
+  // DAG, so nothing may emit a scan-side placeholder. The executor relies
+  // on the validator rejecting it before execution.
+  OptimizedScript plan = OptimizeScript(kScriptS1, OptimizerMode::kCse);
+  PhysicalNodePtr spool = FindNode(plan.plan(), PhysicalOpKind::kSpool);
+  ASSERT_NE(spool, nullptr);
+  spool->kind = PhysicalOpKind::kSpoolScan;
+  Status s = ValidatePlan(plan.plan());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("SpoolScan"), std::string::npos);
+}
+
 TEST(PlanValidatorTest, DetectsForeignColumnInFilter) {
   OptimizedScript plan = OptimizeScript(
       "R0 = EXTRACT A,B,C,D FROM \"test.log\" USING X;\n"

@@ -1,0 +1,130 @@
+// RowKeyTable unit tests: dense insertion-order ids, collision handling,
+// rehash growth, and the empty-key (grand-total) case.
+
+#include "exec/row_key_table.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scx {
+namespace {
+
+Row IntRow(int64_t a, int64_t b) { return Row{Value::Int(a), Value::Int(b)}; }
+
+TEST(RowKeyTableTest, AssignsDenseInsertionOrderIds) {
+  RowKeyTable table;
+  const std::vector<int> key_pos = {0};
+  auto [id0, ins0] = table.FindOrInsert(IntRow(7, 100), key_pos);
+  auto [id1, ins1] = table.FindOrInsert(IntRow(3, 200), key_pos);
+  auto [id2, ins2] = table.FindOrInsert(IntRow(7, 300), key_pos);
+  EXPECT_TRUE(ins0);
+  EXPECT_TRUE(ins1);
+  EXPECT_FALSE(ins2);  // same key as the first row
+  EXPECT_EQ(id0, 0u);
+  EXPECT_EQ(id1, 1u);
+  EXPECT_EQ(id2, id0);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.KeyAt(0), (Row{Value::Int(7)}));
+  EXPECT_EQ(table.KeyAt(1), (Row{Value::Int(3)}));
+}
+
+TEST(RowKeyTableTest, FindDoesNotInsert) {
+  RowKeyTable table;
+  const std::vector<int> key_pos = {0};
+  EXPECT_EQ(table.Find(IntRow(1, 0), key_pos), RowKeyTable::kNotFound);
+  table.FindOrInsert(IntRow(1, 0), key_pos);
+  EXPECT_EQ(table.Find(IntRow(1, 99), key_pos), 0u);
+  EXPECT_EQ(table.Find(IntRow(2, 0), key_pos), RowKeyTable::kNotFound);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(RowKeyTableTest, CompositeKeysCompareAllPositions) {
+  RowKeyTable table;
+  const std::vector<int> key_pos = {0, 1};
+  auto [id0, ins0] = table.FindOrInsert(IntRow(1, 2), key_pos);
+  auto [id1, ins1] = table.FindOrInsert(IntRow(2, 1), key_pos);
+  auto [id2, ins2] = table.FindOrInsert(IntRow(1, 2), key_pos);
+  EXPECT_TRUE(ins0);
+  EXPECT_TRUE(ins1);
+  EXPECT_FALSE(ins2);
+  EXPECT_NE(id0, id1);
+  EXPECT_EQ(id2, id0);
+}
+
+TEST(RowKeyTableTest, EmptyKeyMapsEveryRowToOneGroup) {
+  // The grand-total aggregation case: no grouping columns.
+  RowKeyTable table;
+  const std::vector<int> no_cols;
+  auto [id0, ins0] = table.FindOrInsert(IntRow(1, 2), no_cols);
+  auto [id1, ins1] = table.FindOrInsert(IntRow(3, 4), no_cols);
+  EXPECT_TRUE(ins0);
+  EXPECT_FALSE(ins1);
+  EXPECT_EQ(id0, 0u);
+  EXPECT_EQ(id1, 0u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.KeyAt(0).empty());
+}
+
+TEST(RowKeyTableTest, CollidingHashesStayDistinct) {
+  // Force distinct keys onto the same hash: open addressing must probe past
+  // the collision and keep both keys findable with separate ids.
+  RowKeyTable table;
+  const uint64_t hash = 0xdeadbeefULL;
+  auto [id0, ins0] = table.FindOrInsertKey(Row{Value::Int(1)}, hash);
+  auto [id1, ins1] = table.FindOrInsertKey(Row{Value::Int(2)}, hash);
+  auto [id2, ins2] = table.FindOrInsertKey(Row{Value::Int(1)}, hash);
+  auto [id3, ins3] = table.FindOrInsertKey(Row{Value::Int(2)}, hash);
+  EXPECT_TRUE(ins0);
+  EXPECT_TRUE(ins1);
+  EXPECT_FALSE(ins2);
+  EXPECT_FALSE(ins3);
+  EXPECT_NE(id0, id1);
+  EXPECT_EQ(id2, id0);
+  EXPECT_EQ(id3, id1);
+}
+
+TEST(RowKeyTableTest, SurvivesRehash) {
+  // Default capacity is tiny; hundreds of keys force several growth steps.
+  RowKeyTable table;
+  const std::vector<int> key_pos = {0};
+  const int kKeys = 500;
+  for (int i = 0; i < kKeys; ++i) {
+    auto [id, inserted] = table.FindOrInsert(IntRow(i, 0), key_pos);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(id, static_cast<size_t>(i));  // ids stay dense across growth
+  }
+  EXPECT_EQ(table.size(), static_cast<size_t>(kKeys));
+  for (int i = 0; i < kKeys; ++i) {
+    EXPECT_EQ(table.Find(IntRow(i, 7), key_pos), static_cast<size_t>(i));
+    EXPECT_EQ(table.KeyAt(static_cast<size_t>(i)), (Row{Value::Int(i)}));
+  }
+  EXPECT_EQ(table.Find(IntRow(kKeys, 0), key_pos), RowKeyTable::kNotFound);
+}
+
+TEST(RowKeyTableTest, PreSizingAcceptsExpectedKeys) {
+  RowKeyTable table(1000);
+  const std::vector<int> key_pos = {0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(table.FindOrInsert(IntRow(i, 0), key_pos).second);
+  }
+  EXPECT_EQ(table.size(), 1000u);
+  EXPECT_EQ(table.Find(IntRow(123, 0), key_pos), 123u);
+}
+
+TEST(RowKeyTableTest, MixedTypeKeys) {
+  RowKeyTable table;
+  const std::vector<int> key_pos = {0, 1};
+  Row a{Value::Str("x"), Value::Real(1.5)};
+  Row b{Value::Str("x"), Value::Real(2.5)};
+  auto [id0, ins0] = table.FindOrInsert(a, key_pos);
+  auto [id1, ins1] = table.FindOrInsert(b, key_pos);
+  EXPECT_TRUE(ins0);
+  EXPECT_TRUE(ins1);
+  EXPECT_NE(id0, id1);
+  EXPECT_EQ(table.Find(a, key_pos), id0);
+  EXPECT_EQ(table.Find(b, key_pos), id1);
+}
+
+}  // namespace
+}  // namespace scx

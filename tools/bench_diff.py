@@ -4,22 +4,23 @@
 Usage:
     tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 0.10]
 
-Both files must come from the same benchmark binary (bench/opt_parallel or
-bench/opt_cache). Every rate metric (keys ending in ``rounds_per_sec``) found
-in both files is compared; a drop of more than ``--threshold`` (default 10%)
-is a regression. Exits 1 when any regression is found, 0 otherwise, so the CI
-perf-smoke job can gate on it. Stdlib only.
+Both files must come from the same benchmark binary (bench/opt_parallel,
+bench/opt_cache, or bench/exec_throughput). Every rate metric (keys ending in
+``rounds_per_sec`` or ``rows_per_sec``) found in both files is compared; a
+drop of more than ``--threshold`` (default 10%) is a regression. Exits 1 when
+any regression is found, 0 otherwise, so the CI perf-smoke job can gate on
+it. Stdlib only.
 """
 
 import argparse
 import json
 import sys
 
-RATE_SUFFIX = "rounds_per_sec"
+RATE_SUFFIXES = ("rounds_per_sec", "rows_per_sec")
 
 
 def collect_rates(node, prefix, out):
-    """Flatten every numeric *rounds_per_sec* leaf into out[path] = value."""
+    """Flatten every numeric rate leaf (see RATE_SUFFIXES) into out[path]."""
     if isinstance(node, dict):
         for key, value in node.items():
             collect_rates(value, f"{prefix}.{key}" if prefix else key, out)
@@ -31,7 +32,7 @@ def collect_rates(node, prefix, out):
                 label = item.get("name") or item.get("config")
                 collect_rates(
                     item, f"{prefix}[{label}]" if label else prefix, out)
-    elif isinstance(node, (int, float)) and prefix.endswith(RATE_SUFFIX):
+    elif isinstance(node, (int, float)) and prefix.endswith(RATE_SUFFIXES):
         out[prefix] = float(node)
 
 
@@ -44,7 +45,8 @@ def load_rates(path):
     rates = {}
     collect_rates(doc, "", rates)
     if not rates:
-        sys.exit(f"bench_diff: no *_{RATE_SUFFIX} metrics in {path}")
+        suffixes = " / ".join(RATE_SUFFIXES)
+        sys.exit(f"bench_diff: no {suffixes} metrics in {path}")
     return rates
 
 

@@ -159,6 +159,7 @@ int Main(int argc, char** argv) {
         return 2;
       }
       config.num_threads = n;
+      config.cluster.exec_threads = n;
     } else if (arg == "--compare") {
       compare = true;
     } else if (arg == "--execute") {
@@ -245,6 +246,11 @@ int Main(int argc, char** argv) {
                 static_cast<long long>(metrics->bytes_shuffled));
     std::printf("  bytes spooled  : %lld\n",
                 static_cast<long long>(metrics->bytes_spooled));
+    std::printf("  rows spooled   : %lld\n",
+                static_cast<long long>(metrics->rows_spooled));
+    std::printf("  spool reads    : %lld (%lld from cache)\n",
+                static_cast<long long>(metrics->spool_reads),
+                static_cast<long long>(metrics->spool_cache_hits));
     for (const auto& [path, rows] : metrics->outputs) {
       std::printf("  %-14s : %zu rows\n", path.c_str(), rows.size());
     }
