@@ -30,6 +30,31 @@ Result<OptimizedScript> Engine::Optimize(const CompiledScript& script,
                                   config_);
   SCX_ASSIGN_OR_RETURN(OptimizeResult result, optimizer->Run(mode));
   SCX_RETURN_IF_ERROR(ValidatePlan(result.plan));
+
+  // The kCse search space forces every common subexpression through a
+  // spool, so the no-sharing plan is not among its alternatives. A
+  // cost-based optimizer must never pick sharing it estimates to be worse
+  // than recomputation (degenerate case: near-empty inputs, where the
+  // spool's fixed overhead exceeds the recompute saving), so compare
+  // against the conventional plan and keep the cheaper of the two.
+  if (mode == OptimizerMode::kCse) {
+    Memo conv_memo = Memo::FromLogicalDag(script.bound.root);
+    auto conv_columns =
+        std::make_shared<ColumnRegistry>(*script.bound.columns);
+    auto conv_optimizer = std::make_shared<Optimizer>(
+        std::move(conv_memo), std::move(conv_columns), config_);
+    SCX_ASSIGN_OR_RETURN(OptimizeResult conv,
+                         conv_optimizer->Run(OptimizerMode::kConventional));
+    if (conv.cost < result.cost) {
+      SCX_RETURN_IF_ERROR(ValidatePlan(conv.plan));
+      result.plan = std::move(conv.plan);
+      result.cost = conv.cost;
+      result.diagnostics.final_cost = conv.cost;
+      result.diagnostics.fell_back_to_conventional = true;
+      optimizer = std::move(conv_optimizer);
+    }
+  }
+
   OptimizedScript out;
   out.mode = mode;
   out.result = std::move(result);

@@ -255,15 +255,25 @@ void OptimizationContext::Freeze() {
     }
   }
 
-  // Materialize SharedBelow as dense sorted vectors so the enforcement
-  // signature can walk them without a map lookup per probe. Done after the
-  // exploration fixpoint: groups appended by rules were never seen by the
-  // shared-info pass and keep an empty vector, matching the empty-set
-  // lookup the per-probe path used.
+  // Materialize shared-below as dense sorted vectors so the enforcement
+  // signature can walk them without a map lookup per probe. Recomputed
+  // bottom-up over the post-fixpoint memo rather than copied from
+  // SharedInfo: the shared-info pass ran before exploration, so groups
+  // appended by rules (e.g. a commuted join) have no entry there — yet they
+  // can sit above shared groups, and an empty set would make their cache
+  // signature claim independence from the round's enforcement assignment.
   if (shared_.has_value()) {
     shared_below_sorted_.assign(static_cast<size_t>(memo_.num_groups()), {});
-    for (GroupId g = 0; g < memo_.num_groups(); ++g) {
-      const std::set<GroupId>& below = shared_->SharedBelow(g);
+    for (GroupId g : memo_.TopologicalOrder()) {
+      std::set<GroupId> below;
+      if (memo_.group(g).is_shared()) below.insert(g);
+      for (const GroupExpr& e : memo_.group(g).exprs()) {
+        for (GroupId c : e.children) {
+          const std::vector<GroupId>& cb =
+              shared_below_sorted_[static_cast<size_t>(c)];
+          below.insert(cb.begin(), cb.end());
+        }
+      }
       shared_below_sorted_[static_cast<size_t>(g)].assign(below.begin(),
                                                           below.end());
     }

@@ -111,6 +111,9 @@ struct OptimizeDiagnostics {
   double optimize_seconds = 0;
   double phase2_seconds = 0;  ///< wall time of the phase-2 walk alone
   bool budget_exhausted = false;
+  /// kCse estimated every sharing plan worse than plain recomputation, so
+  /// the conventional plan was returned instead (degenerate inputs).
+  bool fell_back_to_conventional = false;
   OptCacheCounters cache;
   /// shared group -> its LCA.
   std::map<GroupId, GroupId> lca_of;

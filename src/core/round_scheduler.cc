@@ -177,11 +177,22 @@ PhysicalNodePtr RoundScheduler::RunRoundsAt(RoundTask* task, GroupId g,
       });
 
       // Apply in enumeration order — this replays the serial loop exactly:
-      // same round numbering, same strict-< winner updates, same cache
-      // contents (insert-if-absent absorption; every entry is a pure
-      // function of its key and the frozen context).
+      // same round numbering, same strict-< winner updates. Worker cache
+      // OVERLAYS are discarded (only their counters merge): a cache VALUE
+      // is a pure function of its key, but its pointer identities are not —
+      // two workers that each compute the same spool base embed distinct
+      // instances of the same sub-DAG into their other entries, and a later
+      // round mixing entries of different provenance would double-count
+      // that subtree under DAG costing (the serial loop never does: its
+      // single evolving cache hands every entry the same instance). The
+      // class's pinned round is instead re-evaluated serially below, which
+      // rebuilds exactly its closure in the master cache with serial-
+      // consistent sharing.
       std::vector<double> costs;
       costs.reserve(batch.size());
+      double prev_best = best_cost;
+      long pin = -1;  // batch index of the class pin (strict <, first wins)
+      double pin_cost = kInf;
       for (size_t i = 0; i < batch.size(); ++i) {
         if (BudgetExceeded() || sink->rounds_executed >= config.max_rounds ||
             results[i].budget_skipped) {
@@ -191,6 +202,10 @@ PhysicalNodePtr RoundScheduler::RunRoundsAt(RoundTask* task, GroupId g,
           break;
         }
         ++sink->rounds_executed;
+        if (results[i].plan != nullptr && results[i].cost < pin_cost) {
+          pin = static_cast<long>(i);
+          pin_cost = results[i].cost;
+        }
         if (results[i].plan != nullptr && results[i].cost < best_cost) {
           best = results[i].plan;
           best_cost = results[i].cost;
@@ -205,10 +220,25 @@ PhysicalNodePtr RoundScheduler::RunRoundsAt(RoundTask* task, GroupId g,
           entry.best_so_far = best_cost;
           sink->round_trace.push_back(std::move(entry));
         }
-        task->AbsorbCaches(&workers[i]);
+        task->MergeCounters(workers[i]);
         costs.push_back(results[i].cost);
       }
-      if (!stopped) enumerator.ReportBatch(costs);
+      if (!stopped) {
+        enumerator.ReportBatch(costs);
+        if (pin >= 0) {
+          // Serial re-evaluation of the pinned round on the master task:
+          // its winners now live in the master cache (so later batches hit
+          // them instead of recomputing the fixed part per worker), and the
+          // returned plan shares subtrees through the master's spool cache
+          // exactly as the serial loop's would. Cost purity makes the
+          // re-evaluated cost equal the worker's reported one.
+          RoundResult re = task->EvaluateRound(g, req, batch[pin]);
+          if (re.plan != nullptr && re.cost < prev_best) {
+            best = re.plan;
+            best_cost = re.cost;
+          }
+        }
+      }
     }
   }
 

@@ -164,11 +164,8 @@ RoundTask RoundTask::Fork() const {
   return t;
 }
 
-void RoundTask::AbsorbCaches(RoundTask* other) {
-  // unordered_map::merge keeps existing entries — exactly insert-if-absent.
-  winners_.merge(other->winners_);
-  spool_bases_.merge(other->spool_bases_);
-  counters_.MergeFrom(other->counters_);
+void RoundTask::MergeCounters(const RoundTask& other) {
+  counters_.MergeFrom(other.counters_);
 }
 
 const std::optional<PhysicalNodePtr>* RoundTask::FindWinner(
@@ -718,6 +715,15 @@ void RoundTask::ImplementJoin(GroupId g, const GroupExpr& expr,
     RequiredProps dreq{*dpart, {}};
     PhysicalNodePtr dp = OptimizeGroup(driver, dreq);
     if (dp == nullptr) continue;
+    // A range-partitioned driver cannot anchor a co-partitioned join: the
+    // other side would need the *same* range bounds, which independent
+    // exchanges do not share (and hash on the other side never co-locates
+    // with range). Equal-key co-location within one stream — what makes
+    // range satisfy a kHashSubset aggregate requirement — is not enough
+    // across two streams.
+    if (dp->delivered.partitioning.kind == PartitioningKind::kRange) {
+      continue;
+    }
     RequiredProps oreq;
     Partitioning delivered_part;
     if (dp->delivered.partitioning.kind == PartitioningKind::kSerial) {
@@ -789,6 +795,11 @@ void RoundTask::ImplementJoin(GroupId g, const GroupExpr& expr,
     if (!lpart.has_value()) return;
     RequiredProps lreq{*lpart, lorder};
     PhysicalNodePtr lp = OptimizeGroup(left, lreq);
+    // Same range-driver exclusion as the hash join above.
+    if (lp != nullptr &&
+        lp->delivered.partitioning.kind == PartitioningKind::kRange) {
+      lp = nullptr;
+    }
     if (lp != nullptr) {
       // Right order aligned with the left key permutation.
       SortSpec rorder;

@@ -47,10 +47,10 @@ struct RoundResult {
 /// Fork() produces a worker task for one round of a parallel batch: it reads
 /// the master's caches through an immutable base pointer, records its own
 /// results in an overlay, and never mutates the context (which is frozen by
-/// then). After a batch, the scheduler folds each applied worker's overlay
-/// back into the master insert-if-absent — every cache entry is a
-/// deterministic function of its key and the frozen context, so the merged
-/// cache is identical to what the serial loop would have built.
+/// then). After a batch the worker overlays are dropped; the master re-runs
+/// the class's pinned round itself so its cache stays a single evolving
+/// store whose entries all share sub-DAG instances the way the serial
+/// loop's would (see Fork for why overlays cannot be merged back).
 class RoundTask {
  public:
   /// Master task. `ctx` may still be under construction (phase 1).
@@ -77,12 +77,18 @@ class RoundTask {
       double bound = std::numeric_limits<double>::infinity());
 
   /// Worker copy for one parallel round: shares this task's caches as a
-  /// read-only base, starts with an empty overlay.
+  /// read-only base, starts with an empty overlay. The overlay is discarded
+  /// after the round — only counters are folded back (see MergeCounters):
+  /// overlay VALUES are pure functions of their keys, but their pointer
+  /// identities are worker-local, and mixing entries of different
+  /// provenance in the master cache would let later rounds embed duplicate
+  /// instances of the same spool sub-DAG, which DAG costing then counts
+  /// twice. The scheduler instead re-evaluates each class's pinned round on
+  /// the master task to warm the master cache serial-consistently.
   RoundTask Fork() const;
 
-  /// Folds `other`'s overlay caches and counters into this task's,
-  /// keeping existing cache entries (insert-if-absent).
-  void AbsorbCaches(RoundTask* other);
+  /// Folds `other`'s cache/pruning counters into this task's.
+  void MergeCounters(const RoundTask& other);
 
   const OptCacheCounters& counters() const { return counters_; }
 

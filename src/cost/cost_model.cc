@@ -110,6 +110,18 @@ GroupStats CardinalityEstimator::EstimateExpr(
       // GlobalGbAgg consumes partial rows; distinct groups are the same as
       // for the full aggregate over the original input, so use the child's
       // row count as the draw count — an upper bound that stays consistent.
+      // A grouped aggregate over an empty input produces no groups (only a
+      // grand total always emits one row) — don't clamp phantom rows into
+      // empty pipelines, they surface as spurious spool/exchange costs.
+      if (!op.group_cols.empty() && child_stats[0].rows <= 0) {
+        out.rows = 0;
+        out.row_width = schema_width(op.schema());
+        for (const AggregateDesc& agg : op.aggregates) {
+          derived_ndv_[agg.out] = 1;
+          if (agg.hidden_count != 0) derived_ndv_[agg.hidden_count] = 1;
+        }
+        break;
+      }
       out.rows = std::max(1.0, DistinctSeen(d, child_stats[0].rows));
       out.row_width = schema_width(op.schema());
       for (const AggregateDesc& agg : op.aggregates) {
@@ -141,7 +153,11 @@ GroupStats CardinalityEstimator::EstimateExpr(
       double d = std::max(NdvOf(lkeys), NdvOf(rkeys));
       out.rows = child_stats[0].rows * child_stats[1].rows / std::max(1.0, d);
       out.rows *= Selectivity(op.predicates);
-      out.rows = std::max(1.0, out.rows);
+      // An empty side means an empty join — same no-phantom-rows rule as
+      // for grouped aggregates above.
+      out.rows = child_stats[0].rows <= 0 || child_stats[1].rows <= 0
+                     ? 0.0
+                     : std::max(1.0, out.rows);
       out.row_width = schema_width(op.schema());
       break;
     }

@@ -1,0 +1,101 @@
+#include "testing/catalog_text.h"
+
+#include <sstream>
+
+namespace scx {
+
+Result<Catalog> ParseCatalogText(const std::string& text) {
+  Catalog catalog;
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    std::istringstream words(line);
+    std::string word;
+    if (!(words >> word) || word[0] == '#') continue;
+    if (word != "file") {
+      return Status::ParseError("catalog line " + std::to_string(lineno) +
+                                ": expected 'file', got '" + word + "'");
+    }
+    FileDef def;
+    if (!(words >> def.path)) {
+      return Status::ParseError("catalog line " + std::to_string(lineno) +
+                                ": missing path");
+    }
+    std::string rows_spec;
+    if (!(words >> rows_spec) || rows_spec.rfind("rows=", 0) != 0) {
+      return Status::ParseError("catalog line " + std::to_string(lineno) +
+                                ": expected rows=<n>");
+    }
+    def.row_count = std::stoll(rows_spec.substr(5));
+    while (words >> word) {
+      if (word.rfind("seed=", 0) == 0) {
+        def.data_seed = std::stoull(word.substr(5));
+        continue;
+      }
+      // <name>:<ndv>[:<type>]
+      size_t c1 = word.find(':');
+      if (c1 == std::string::npos) {
+        return Status::ParseError("catalog line " + std::to_string(lineno) +
+                                  ": column spec '" + word +
+                                  "' needs <name>:<ndv>");
+      }
+      ColumnStats cs;
+      cs.name = word.substr(0, c1);
+      size_t c2 = word.find(':', c1 + 1);
+      std::string ndv = word.substr(
+          c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+      cs.distinct_count = std::stoll(ndv);
+      cs.type = DataType::kInt64;
+      cs.avg_width = 8;
+      if (c2 != std::string::npos) {
+        std::string type = word.substr(c2 + 1);
+        if (type == "double") {
+          cs.type = DataType::kDouble;
+        } else if (type == "string") {
+          cs.type = DataType::kString;
+          cs.avg_width = 12;
+        } else if (type != "int64") {
+          return Status::ParseError("catalog line " + std::to_string(lineno) +
+                                    ": unknown type '" + type + "'");
+        }
+      }
+      def.columns.push_back(std::move(cs));
+    }
+    if (def.columns.empty()) {
+      return Status::ParseError("catalog line " + std::to_string(lineno) +
+                                ": file has no columns");
+    }
+    SCX_RETURN_IF_ERROR(catalog.RegisterFile(std::move(def)));
+  }
+  if (catalog.files().empty()) {
+    return Status::InvalidArgument("catalog text defines no files");
+  }
+  return catalog;
+}
+
+std::string CatalogToText(const Catalog& catalog) {
+  std::string out;
+  for (const auto& [path, def] : catalog.files()) {
+    out += "file " + path + " rows=" + std::to_string(def.row_count) +
+           " seed=" + std::to_string(def.data_seed);
+    for (const ColumnStats& cs : def.columns) {
+      out += " " + cs.name + ":" + std::to_string(cs.distinct_count);
+      switch (cs.type) {
+        case DataType::kInt64:
+          break;
+        case DataType::kDouble:
+          out += ":double";
+          break;
+        case DataType::kString:
+          out += ":string";
+          break;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace scx

@@ -1,0 +1,32 @@
+#ifndef SCX_TESTING_CATALOG_TEXT_H_
+#define SCX_TESTING_CATALOG_TEXT_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+
+namespace scx {
+
+/// Textual catalog format shared by scx_cli, scx_fuzz, and the fuzz corpus.
+/// One file per line, '#' comments:
+///
+///   file <path> rows=<n> [seed=<n>] <col>:<ndv>[:int64|double|string] ...
+///
+/// Example:
+///   file test.log rows=2000000 seed=11 A:40 B:400 C:40 D:10000
+///
+/// `seed=` is the deterministic synthetic-data seed (FileDef::data_seed);
+/// it defaults to 0 when omitted, matching FileDef's default.
+
+/// Parses catalog text. Fails on malformed lines or an empty catalog.
+Result<Catalog> ParseCatalogText(const std::string& text);
+
+/// Serializes a catalog in the same format (one `file` line per file,
+/// `seed=` always written). ParseCatalogText(CatalogToText(c)) reproduces
+/// `c` up to file-id assignment order.
+std::string CatalogToText(const Catalog& catalog);
+
+}  // namespace scx
+
+#endif  // SCX_TESTING_CATALOG_TEXT_H_

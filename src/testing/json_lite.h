@@ -1,0 +1,46 @@
+#ifndef SCX_TESTING_JSON_LITE_H_
+#define SCX_TESTING_JSON_LITE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace scx {
+
+/// Minimal JSON document model for the plan-JSON round-trip oracle. Object
+/// member order is preserved and number lexemes are kept verbatim, so a
+/// parse → serialize round-trip of any output of PlanToJson /
+/// DiagnosticsToJson must reproduce the input byte for byte — any
+/// divergence means the emitter produced malformed or ambiguous JSON.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  /// Numbers are stored as their source lexeme (never reformatted).
+  std::string number_lexeme;
+  std::string string_value;  ///< decoded
+  std::vector<JsonValue> array;
+  /// Insertion-ordered object members.
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  /// Member lookup (first match); nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  /// Convenience: numeric value of a kNumber node (0 otherwise).
+  double AsNumber() const;
+};
+
+/// Parses strict JSON (as emitted by this repo: no comments, no trailing
+/// commas). Fails with ParseError on malformed input or trailing garbage.
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Serializes with the exact conventions of plan_json.cc: no whitespace,
+/// string escaping of `"` `\` `\n` `\t` and control bytes as \u00xx,
+/// numbers re-emitted verbatim from their lexeme.
+std::string SerializeJson(const JsonValue& value);
+
+}  // namespace scx
+
+#endif  // SCX_TESTING_JSON_LITE_H_

@@ -1,0 +1,313 @@
+#include "testing/script_gen.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace scx {
+
+namespace {
+
+/// Deterministic splitmix64: identical streams on every platform, unlike
+/// std:: distributions whose mapping is implementation-defined.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int Int(int lo, int hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<int>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  int64_t Int64(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<int64_t>(Next() %
+                                     static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  bool Chance(double p) {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53 < p;
+  }
+
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Next() % v.size()];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Integer-result aggregate functions (safe in UNION arms, where both sides
+/// must agree positionally on type).
+const std::vector<std::string>& IntAggFns() {
+  static const std::vector<std::string> fns = {"Sum", "Min", "Max", "Count"};
+  return fns;
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ",";
+    out += names[i];
+  }
+  return out;
+}
+
+/// Non-empty random subset of `cols`, preserving order.
+std::vector<std::string> RandomSubset(Rng& rng,
+                                      const std::vector<std::string>& cols) {
+  std::vector<std::string> out;
+  for (const std::string& c : cols) {
+    if (rng.Chance(0.5)) out.push_back(c);
+  }
+  if (out.empty()) out.push_back(rng.Pick(cols));
+  return out;
+}
+
+/// Generator state for one script.
+class Generator {
+ public:
+  Generator(uint64_t seed, const ScriptGenOptions& opts)
+      : rng_(seed ^ 0x5cf5cf5cf5cf5cf5ull), opts_(opts) {
+    out_.seed = seed;
+  }
+
+  GeneratedCase Run() {
+    int modules = rng_.Int(opts_.min_modules, opts_.max_modules);
+    for (int j = 0; j < modules; ++j) EmitModule(j);
+    if (rng_.Chance(opts_.filler_prob)) EmitFiller(modules);
+    return std::move(out_);
+  }
+
+ private:
+  void Line(const std::string& s) { out_.script += s + "\n"; }
+
+  /// Registers a fresh log file and returns its path. NDVs are kept small
+  /// so joins and group-bys produce non-trivial row counts at a few
+  /// thousand input rows.
+  std::string NewFile(const std::string& name_hint) {
+    std::string path = name_hint + ".log";
+    int64_t rows = rng_.Int64(opts_.min_rows, opts_.max_rows);
+    if (opts_.force_empty_inputs || rng_.Chance(opts_.empty_input_prob)) {
+      rows = 0;
+    }
+    std::vector<int64_t> ndvs = {
+        rng_.Pick<int64_t>({2, 4, 8, 16}),
+        rng_.Pick<int64_t>({10, 25, 50}),
+        rng_.Pick<int64_t>({2, 4, 8}),
+        rng_.Pick<int64_t>({50, 200, 500}),
+    };
+    Status s = out_.catalog.RegisterLog(path, {"A", "B", "C", "D"}, rows,
+                                        ndvs, /*data_seed=*/rng_.Next());
+    (void)s;  // paths are unique by construction
+    return path;
+  }
+
+  void Output(const std::string& result, const std::string& path) {
+    Line("OUTPUT " + result + " TO \"" + path + "\";");
+    if (opts_.force_duplicate_outputs ||
+        rng_.Chance(opts_.duplicate_output_prob)) {
+      // Duplicate consumption of one result: either a second sink file or a
+      // double-write to the same path (the executor concatenates).
+      if (rng_.Chance(0.5)) {
+        Line("OUTPUT " + result + " TO \"" + path + ".dup\";");
+      } else {
+        Line("OUTPUT " + result + " TO \"" + path + "\";");
+      }
+    }
+  }
+
+  /// One module: extract (opt. filtered) -> shared agg or shared multi-key
+  /// join -> 2..4 consumers, each ending in OUTPUT.
+  void EmitModule(int j) {
+    std::string m = "M" + std::to_string(j);
+    std::string extract = m + "E";
+    std::string file = NewFile("g" + std::to_string(j));
+    Line(extract + " = EXTRACT A,B,C,D FROM \"" + file +
+         "\" USING LogExtractor;");
+
+    std::string src = extract;
+    if (rng_.Chance(opts_.filter_prob)) {
+      std::string f = m + "F";
+      const char* col = rng_.Chance(0.5) ? "D" : "C";
+      Line(f + " = SELECT A,B,C,D FROM " + src + " WHERE " + col + " > " +
+           std::to_string(rng_.Int(0, 3)) + ";");
+      src = f;
+    }
+
+    // The shared subexpression: its name, key columns, and value columns.
+    std::string shared = m + "S";
+    std::vector<std::string> keys;
+    std::vector<std::string> vals;
+    if (rng_.Chance(opts_.shared_join_prob)) {
+      // Shared multi-key join of two aggregated extracts.
+      std::string file2 = NewFile("g" + std::to_string(j) + "b");
+      std::string e2 = m + "E2";
+      Line(e2 + " = EXTRACT A,B,C,D FROM \"" + file2 +
+           "\" USING LogExtractor;");
+      keys = RandomSubset(rng_, {"A", "B"});
+      if (keys.size() < 2 && rng_.Chance(0.5)) keys = {"A", "B"};
+      std::string ks = JoinNames(keys);
+      std::string left = m + "L";
+      std::string right = m + "R";
+      Line(left + " = SELECT " + ks + ",Sum(D) AS S FROM " + src +
+           " GROUP BY " + ks + ";");
+      Line(right + " = SELECT " + ks + "," + rng_.Pick(IntAggFns()) +
+           "(D) AS T FROM " + e2 + " GROUP BY " + ks + ";");
+      std::string sel, where;
+      for (size_t i = 0; i < keys.size(); ++i) {
+        sel += left + "." + keys[i] + ",";
+        if (i > 0) where += " AND ";
+        where += left + "." + keys[i] + "=" + right + "." + keys[i];
+      }
+      Line(shared + " = SELECT " + sel + "S,T FROM " + left + "," + right +
+           " WHERE " + where + ";");
+      vals = {"S", "T"};
+    } else {
+      // Shared aggregate on 2–3 key columns.
+      keys = RandomSubset(rng_, {"A", "B", "C"});
+      if (keys.size() < 2) keys.push_back(keys[0] == "A" ? "B" : "A");
+      std::string ks = JoinNames(keys);
+      Line(shared + " = SELECT " + ks + "," + rng_.Pick(IntAggFns()) +
+           "(D) AS S FROM " + src + " GROUP BY " + ks + ";");
+      vals = {"S"};
+    }
+
+    int consumers = opts_.force_single_consumer
+                        ? 1
+                        : rng_.Int(opts_.min_consumers, opts_.max_consumers);
+    for (int c = 0; c < consumers; ++c) {
+      EmitConsumer(j, c, extract, shared, keys, vals);
+    }
+  }
+
+  /// One consumer of the shared node `shared` (schema: keys ++ vals, all
+  /// int64).
+  void EmitConsumer(int j, int c, const std::string& extract,
+                    const std::string& shared,
+                    const std::vector<std::string>& keys,
+                    const std::vector<std::string>& vals) {
+    std::string base =
+        "M" + std::to_string(j) + "C" + std::to_string(c);
+    std::string sink =
+        "o" + std::to_string(j) + "_" + std::to_string(c) + ".out";
+    double roll = static_cast<double>(rng_.Next() >> 11) * 0x1.0p-53;
+
+    if (roll < opts_.union_consumer_prob) {
+      // Two structurally different aggregations of the shared node with
+      // positionally identical schemas, concatenated.
+      std::vector<std::string> gb = RandomSubset(rng_, keys);
+      std::string ks = JoinNames(gb);
+      const std::string& val = rng_.Pick(vals);
+      Line(base + "A = SELECT " + ks + ",Sum(" + val + ") AS V FROM " +
+           shared + " GROUP BY " + ks + ";");
+      Line(base + "B = SELECT " + ks + "," +
+           (rng_.Chance(0.5) ? "Min" : "Max") + "(" + val + ") AS V FROM " +
+           shared + " GROUP BY " + ks + ";");
+      Line(base + " = UNION ALL " + base + "A," + base + "B;");
+      Output(base, sink);
+      return;
+    }
+    roll -= opts_.union_consumer_prob;
+
+    if (roll < opts_.join_consumer_prob) {
+      // Two aggregations of the shared node joined back together on their
+      // grouping keys (the S4 shape: non-independent sharing).
+      std::vector<std::string> gb = RandomSubset(rng_, keys);
+      std::string ks = JoinNames(gb);
+      std::string left = base + "A";
+      std::string right = base + "B";
+      const std::string& val = rng_.Pick(vals);
+      Line(left + " = SELECT " + ks + ",Sum(" + val + ") AS P FROM " +
+           shared + " GROUP BY " + ks + ";");
+      Line(right + " = SELECT " + ks + ",Max(" + val + ") AS Q FROM " +
+           shared + " GROUP BY " + ks + ";");
+      std::string sel, where;
+      for (size_t i = 0; i < gb.size(); ++i) {
+        sel += left + "." + gb[i] + ",";
+        if (i > 0) where += " AND ";
+        where += left + "." + gb[i] + "=" + right + "." + gb[i];
+      }
+      Line(base + " = SELECT " + sel + "P,Q FROM " + left + "," + right +
+           " WHERE " + where + ";");
+      Output(base, sink);
+      return;
+    }
+    roll -= opts_.join_consumer_prob;
+
+    if (roll < opts_.broadcast_consumer_prob) {
+      // Raw extract joined with a small single-key aggregate of the shared
+      // node — the big-small shape the optimizer answers with a broadcast
+      // join. Also makes the extract itself a second shared subexpression.
+      std::string key = rng_.Pick(keys);
+      std::string dim = base + "D";
+      const std::string& val = rng_.Pick(vals);
+      Line(dim + " = SELECT " + key + ",Max(" + val + ") AS Cap FROM " +
+           shared + " GROUP BY " + key + ";");
+      std::string join = base + "J";
+      Line(join + " = SELECT " + extract + "." + key + ",D,Cap FROM " +
+           extract + "," + dim + " WHERE " + extract + "." + key + "=" +
+           dim + "." + key + ";");
+      Line(base + " = SELECT " + key + ",Sum(D) AS V,Min(Cap) AS W FROM " +
+           join + " GROUP BY " + key + ";");
+      Output(base, sink);
+      return;
+    }
+
+    // Plain (optionally two-level) aggregation chain.
+    std::vector<std::string> gb = RandomSubset(rng_, keys);
+    std::string ks = JoinNames(gb);
+    const std::string& val = rng_.Pick(vals);
+    std::string fn = rng_.Pick(IntAggFns());
+    std::string order;
+    if (rng_.Chance(opts_.order_by_prob)) {
+      order = " ORDER BY " + JoinNames(RandomSubset(rng_, gb));
+    }
+    Line(base + " = SELECT " + ks + "," + fn + "(" + val + ") AS V FROM " +
+         shared + " GROUP BY " + ks + order + ";");
+    if (gb.size() > 1 && rng_.Chance(opts_.second_level_prob)) {
+      std::vector<std::string> gb2 = RandomSubset(rng_, gb);
+      if (gb2.size() == gb.size()) gb2.pop_back();
+      if (gb2.empty()) gb2.push_back(gb[0]);
+      std::string deep = base + "X";
+      Line(deep + " = SELECT " + JoinNames(gb2) + ",Sum(V) AS W FROM " +
+           base + " GROUP BY " + JoinNames(gb2) + ";");
+      Output(deep, sink);
+    } else {
+      Output(base, sink);
+    }
+  }
+
+  /// Independent unshared pipeline (extract -> filter -> agg -> output):
+  /// padding where conventional and cse must coincide.
+  void EmitFiller(int j) {
+    std::string m = "M" + std::to_string(j);
+    std::string file = NewFile("g" + std::to_string(j));
+    Line(m + "E = EXTRACT A,B,C,D FROM \"" + file +
+         "\" USING LogExtractor;");
+    Line(m + "F = SELECT A,B,C,D FROM " + m + "E WHERE A > 0;");
+    Line(m + "S = SELECT B,Sum(D) AS S FROM " + m + "F GROUP BY B;");
+    Output(m + "S", "o" + std::to_string(j) + "_f.out");
+  }
+
+  Rng rng_;
+  const ScriptGenOptions& opts_;
+  GeneratedCase out_;
+};
+
+}  // namespace
+
+GeneratedCase GenerateScript(uint64_t seed, const ScriptGenOptions& options) {
+  Generator gen(seed, options);
+  return gen.Run();
+}
+
+}  // namespace scx

@@ -1,0 +1,67 @@
+#ifndef SCX_TESTING_SCRIPT_GEN_H_
+#define SCX_TESTING_SCRIPT_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/catalog.h"
+
+namespace scx {
+
+/// Knobs of the random script generator. Probabilities are per-decision;
+/// the `force_*` switches pin a structural edge case for targeted tests
+/// (they override the matching probability).
+struct ScriptGenOptions {
+  /// Independent "modules" per script: one shared subexpression each, plus
+  /// its consumers. Distinct modules have distinct input files, so they are
+  /// independent shared groups (paper Sec. VIII-A territory).
+  int min_modules = 1;
+  int max_modules = 3;
+  /// Consumers per shared subexpression (2–4 exercises the sharing paths;
+  /// 1 means no sharing at all, the conventional == cse degenerate case).
+  int min_consumers = 2;
+  int max_consumers = 4;
+  /// Input sizes. Small enough that executor-backed oracles stay fast.
+  int64_t min_rows = 400;
+  int64_t max_rows = 3000;
+
+  double filter_prob = 0.5;        ///< WHERE below the shared aggregate
+  double order_by_prob = 0.25;     ///< ORDER BY on a consumer (range part.)
+  double second_level_prob = 0.35; ///< consumer gets a second aggregation
+  double shared_join_prob = 0.3;   ///< shared node is a multi-key join
+  double union_consumer_prob = 0.2;
+  double join_consumer_prob = 0.2;
+  double broadcast_consumer_prob = 0.15;
+  double filler_prob = 0.3;        ///< append an unshared filler pipeline
+  double empty_input_prob = 0.05;  ///< a module's file has rows=0
+  double duplicate_output_prob = 0.08;
+
+  /// Edge-case pins.
+  bool force_single_consumer = false;   ///< every shared node: 1 consumer
+  bool force_empty_inputs = false;      ///< every input file: rows=0
+  bool force_duplicate_outputs = false; ///< every consumer output duplicated
+};
+
+/// One generated differential-testing case: a SCOPE-dialect script with
+/// deliberate structural sharing and the catalog it binds against.
+struct GeneratedCase {
+  uint64_t seed = 0;
+  std::string script;
+  Catalog catalog;
+};
+
+/// Deterministically generates a valid multi-output DAG script from `seed`.
+/// The same (seed, options) pair always produces the same case, on every
+/// platform (the generator uses its own splitmix64, not std distributions).
+///
+/// Structure: 1–3 modules, each module an EXTRACT (optionally filtered)
+/// feeding a shared aggregate or a shared multi-key join, consumed by 2–4
+/// downstream group-bys / joins / unions / second-level aggregations, each
+/// ending in an OUTPUT. Generated scripts always compile: the generator
+/// tracks every intermediate result's schema and only references columns
+/// that exist.
+GeneratedCase GenerateScript(uint64_t seed, const ScriptGenOptions& options = {});
+
+}  // namespace scx
+
+#endif  // SCX_TESTING_SCRIPT_GEN_H_

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <random>
 
 #include "api/engine.h"
@@ -14,13 +15,26 @@ namespace {
 
 class MutatedScriptFuzz : public ::testing::TestWithParam<int> {};
 
+// Splitmix64-style mix so each trial gets an unrelated seed derivable from
+// just (shard, trial) — a failure is rerun with that one seed alone.
+uint64_t TrialSeed(int shard, int trial) {
+  uint64_t z = static_cast<uint64_t>(shard) * 0x9e3779b97f4a7c15ull +
+               static_cast<uint64_t>(trial) + 1;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 TEST_P(MutatedScriptFuzz, MutationsNeverCrash) {
-  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 48271u + 7);
   Engine engine(MakePaperCatalog());
   std::string base = kScriptS3;  // largest of the paper scripts
   const char kNoise[] = "(),;=<>+-*/.\"ABXZ019 ";
 
   for (int trial = 0; trial < 60; ++trial) {
+    // Fresh RNG per trial: a failing trial replays from its own seed
+    // without rerunning the 0..trial-1 prefix.
+    uint64_t seed = TrialSeed(GetParam(), trial);
+    std::mt19937_64 rng(seed);
     std::string script = base;
     std::uniform_int_distribution<int> mutation_dist(0, 3);
     std::uniform_int_distribution<size_t> noise_dist(0, sizeof(kNoise) - 2);
@@ -45,6 +59,10 @@ TEST_P(MutatedScriptFuzz, MutationsNeverCrash) {
       if (script.empty()) script = "x";
     }
 
+    SCOPED_TRACE(::testing::Message()
+                 << "shard " << GetParam() << " trial " << trial << " seed "
+                 << seed << "\nmutated script:\n"
+                 << script);
     auto compiled = engine.Compile(script);
     if (!compiled.ok()) continue;  // clean rejection is the expected path
     // A mutated script that still compiles must optimize to a valid plan
@@ -52,8 +70,9 @@ TEST_P(MutatedScriptFuzz, MutationsNeverCrash) {
     for (OptimizerMode mode :
          {OptimizerMode::kConventional, OptimizerMode::kCse}) {
       auto plan = engine.Optimize(*compiled, mode);
-      ASSERT_TRUE(plan.ok()) << script << "\n" << plan.status().ToString();
-      EXPECT_TRUE(ValidatePlan(plan->plan()).ok()) << script;
+      ASSERT_TRUE(plan.ok()) << "seed " << seed << ": "
+                             << plan.status().ToString();
+      EXPECT_TRUE(ValidatePlan(plan->plan()).ok()) << "seed " << seed;
     }
   }
 }
@@ -88,8 +107,9 @@ TEST(FuzzTest, VeryLongSelectList) {
 
 TEST(FuzzTest, GarbageBytesRejectedCleanly) {
   Engine engine(MakePaperCatalog());
-  std::mt19937 rng(99);
   for (int trial = 0; trial < 30; ++trial) {
+    uint64_t seed = TrialSeed(99, trial);
+    std::mt19937_64 rng(seed);
     std::string garbage;
     std::uniform_int_distribution<int> len(1, 200);
     std::uniform_int_distribution<int> byte(1, 126);
@@ -97,11 +117,16 @@ TEST(FuzzTest, GarbageBytesRejectedCleanly) {
     for (int i = 0; i < n; ++i) {
       garbage.push_back(static_cast<char>(byte(rng)));
     }
+    SCOPED_TRACE(::testing::Message() << "trial " << trial << " seed "
+                                      << seed << "\ninput:\n"
+                                      << garbage);
     auto r = engine.Compile(garbage);
     // Either a clean error or (rarely) a valid parse; never a crash.
     if (r.ok()) {
       auto plan = engine.Optimize(*r, OptimizerMode::kCse);
-      if (plan.ok()) EXPECT_TRUE(ValidatePlan(plan->plan()).ok());
+      if (plan.ok()) {
+        EXPECT_TRUE(ValidatePlan(plan->plan()).ok());
+      }
     }
   }
 }

@@ -1,0 +1,202 @@
+// scxcheck tier-1 smoke: the generative differential-testing harness runs
+// >= 200 seeded random scripts through all four oracles (conventional ==
+// cse outputs; cse cost <= conventional; serial == parallel optimize +
+// execute; plan validity + JSON round-trip), plus targeted generator edge
+// cases and replay of the checked-in fuzz corpus. Every failure message
+// carries the script seed, so a red run reproduces with
+//   scx_fuzz --iters 1 ... (or GenerateScript(seed) directly).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "testing/catalog_text.h"
+#include "testing/diff_harness.h"
+#include "testing/json_lite.h"
+#include "testing/script_gen.h"
+
+namespace scx {
+namespace {
+
+HarnessOptions SmokeOptions() {
+  HarnessOptions opts;
+  opts.machines = 4;
+  opts.threads = 4;
+  // The smoke must stay fast: a failing script is minimized by the fuzz CLI
+  // run, not inside the unit test.
+  opts.minimize = false;
+  return opts;
+}
+
+ScriptGenOptions SmokeGenOptions() {
+  ScriptGenOptions gen;
+  gen.max_rows = 1500;  // keep executor-backed oracles cheap
+  return gen;
+}
+
+void CheckSeeds(uint64_t base, int count, const ScriptGenOptions& gen,
+                const char* label) {
+  DiffHarness harness(SmokeOptions());
+  for (int i = 0; i < count; ++i) {
+    uint64_t seed = base + static_cast<uint64_t>(i);
+    GeneratedCase c = GenerateScript(seed, gen);
+    OracleReport report = harness.Check(c.catalog, c.script, seed);
+    ASSERT_TRUE(report.ok)
+        << label << ": oracle '" << report.oracle << "' failed for seed "
+        << seed << "\ndetail: " << report.detail << "\nscript:\n"
+        << c.script;
+  }
+}
+
+// 8 shards x 25 scripts = 200 random scripts per run, fixed seeds.
+class ScxCheckSmoke : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScxCheckSmoke, RandomScriptsPassAllOracles) {
+  CheckSeeds(static_cast<uint64_t>(GetParam()) * 1000u, 25,
+             SmokeGenOptions(), "random");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScxCheckSmoke, ::testing::Range(1, 9));
+
+// --- Generator edge cases -------------------------------------------------
+
+TEST(ScxCheckEdgeCases, SingleConsumerScriptsPass) {
+  // No sharing at all: conventional and cse must coincide everywhere.
+  ScriptGenOptions gen = SmokeGenOptions();
+  gen.force_single_consumer = true;
+  CheckSeeds(90001, 12, gen, "single-consumer");
+}
+
+TEST(ScxCheckEdgeCases, EmptyInputTablesPass) {
+  // rows=0 inputs: every operator sees empty partitions, outputs stay
+  // empty-but-present in both modes.
+  ScriptGenOptions gen = SmokeGenOptions();
+  gen.force_empty_inputs = true;
+  CheckSeeds(91001, 12, gen, "empty-input");
+}
+
+TEST(ScxCheckEdgeCases, DuplicateOutputScriptsPass) {
+  // The same result OUTPUT twice (same or different path): spool sharing
+  // must not double- or under-count rows.
+  ScriptGenOptions gen = SmokeGenOptions();
+  gen.force_duplicate_outputs = true;
+  CheckSeeds(92001, 12, gen, "duplicate-output");
+}
+
+TEST(ScxCheckEdgeCases, GeneratorIsDeterministic) {
+  ScriptGenOptions gen = SmokeGenOptions();
+  for (uint64_t seed : {1ull, 77ull, 123456789ull}) {
+    GeneratedCase a = GenerateScript(seed, gen);
+    GeneratedCase b = GenerateScript(seed, gen);
+    EXPECT_EQ(a.script, b.script) << "seed " << seed;
+    EXPECT_EQ(CatalogToText(a.catalog), CatalogToText(b.catalog))
+        << "seed " << seed;
+  }
+  // Different seeds should (essentially always) differ.
+  EXPECT_NE(GenerateScript(1, gen).script, GenerateScript(2, gen).script);
+}
+
+// --- Checked-in corpus regression ----------------------------------------
+
+// Locates the repo's testdata/ directory from the test's working directory
+// (tests run from anywhere inside the build tree).
+std::string TestdataDir() {
+  std::string prefix;
+  for (int depth = 0; depth < 6; ++depth, prefix += "../") {
+    std::ifstream probe(prefix + "testdata/s1.scope");
+    if (probe) return prefix + "testdata";
+  }
+  return "testdata";
+}
+
+TEST(ScxCheckCorpus, CheckedInReprosPass) {
+  std::vector<std::string> files =
+      ListCorpusFiles(TestdataDir() + "/fuzz_corpus");
+  ASSERT_FALSE(files.empty())
+      << "no corpus files under testdata/fuzz_corpus";
+  for (const std::string& path : files) {
+    auto corpus = LoadCorpusFile(path);
+    ASSERT_TRUE(corpus.ok()) << path << ": "
+                             << corpus.status().ToString();
+    HarnessOptions opts = SmokeOptions();
+    opts.machines = corpus->machines;
+    opts.threads = corpus->threads;
+    DiffHarness harness(opts);
+    OracleReport report =
+        harness.Check(corpus->catalog, corpus->script, corpus->seed);
+    EXPECT_TRUE(report.ok)
+        << path << ": oracle '" << report.oracle
+        << "' failed\ndetail: " << report.detail << "\nscript:\n"
+        << corpus->script;
+  }
+}
+
+TEST(ScxCheckCorpus, CorpusTextRoundTrips) {
+  ScriptGenOptions gen = SmokeGenOptions();
+  GeneratedCase c = GenerateScript(42, gen);
+  CorpusCase original;
+  original.seed = 42;
+  original.oracle = "outputs";
+  original.machines = 4;
+  original.threads = 2;
+  original.catalog = c.catalog;
+  original.script = c.script;
+  auto reparsed = ParseCorpusText(CorpusCaseToText(original));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->seed, original.seed);
+  EXPECT_EQ(reparsed->oracle, original.oracle);
+  EXPECT_EQ(reparsed->machines, original.machines);
+  EXPECT_EQ(reparsed->threads, original.threads);
+  EXPECT_EQ(reparsed->script, original.script);
+  EXPECT_EQ(CatalogToText(reparsed->catalog), CatalogToText(c.catalog));
+}
+
+// --- Minimizer ------------------------------------------------------------
+
+TEST(ScxCheckMinimizer, ShrinksToFailingCore) {
+  // An artificial "oracle" exercised via a script that cannot compile: the
+  // minimizer must keep exactly the offending statement (plus nothing
+  // else), because dropping any other line still reproduces "compile".
+  GeneratedCase c = GenerateScript(7, SmokeGenOptions());
+  std::string broken = c.script +
+                       "BAD = SELECT Nope FROM Missing;\n"
+                       "OUTPUT BAD TO \"bad.out\";\n";
+  DiffHarness harness(SmokeOptions());
+  OracleReport report = harness.Check(c.catalog, broken, 7);
+  ASSERT_FALSE(report.ok);
+  EXPECT_EQ(report.oracle, "compile");
+  std::string minimized = harness.Minimize(c.catalog, broken, "compile");
+  // All generated statements are droppable; only the broken one must stay.
+  EXPECT_NE(minimized.find("BAD = SELECT"), std::string::npos);
+  EXPECT_LT(minimized.size(), broken.size());
+  EXPECT_EQ(minimized.find("OUTPUT"), std::string::npos);
+}
+
+// --- json_lite ------------------------------------------------------------
+
+TEST(JsonLiteTest, RoundTripsPlanShapedDocuments) {
+  const std::string doc =
+      "{\"root\":0,\"dag_cost\":1.5e+06,\"nodes\":[{\"id\":0,\"kind\":"
+      "\"HashAgg\",\"children\":[1]},{\"id\":1,\"kind\":\"Extract\","
+      "\"children\":[]}],\"flag\":true,\"none\":null,\"esc\":\"a\\\"b\\\\c"
+      "\\n\\u0007\"}";
+  auto parsed = ParseJson(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(SerializeJson(*parsed), doc);
+  const JsonValue* nodes = parsed->Find("nodes");
+  ASSERT_NE(nodes, nullptr);
+  EXPECT_EQ(nodes->array.size(), 2u);
+  EXPECT_EQ(parsed->Find("dag_cost")->AsNumber(), 1.5e6);
+}
+
+TEST(JsonLiteTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("{\"a\":1,}").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("[1,2").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  EXPECT_FALSE(ParseJson("nan").ok());
+}
+
+}  // namespace
+}  // namespace scx

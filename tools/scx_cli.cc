@@ -7,8 +7,9 @@
 //           [--mode conv|naive|cse] [--machines N] [--budget SECONDS]
 //           [--threads N] [--compare] [--execute] [--quiet]
 //
-// Catalog file format (one file per line, '#' comments):
-//   file <path> rows=<n> <col>:<ndv>[:int64|double|string] ...
+// Catalog file format (one file per line, '#' comments; see
+// testing/catalog_text.h):
+//   file <path> rows=<n> [seed=<n>] <col>:<ndv>[:int64|double|string] ...
 // Example:
 //   file test.log rows=2000000 A:40 B:400 C:40 D:10000
 
@@ -19,6 +20,7 @@
 
 #include "api/engine.h"
 #include "opt/plan_json.h"
+#include "testing/catalog_text.h"
 
 namespace scx {
 namespace {
@@ -33,69 +35,10 @@ Result<std::string> ReadFileToString(const std::string& path) {
 
 Result<Catalog> ParseCatalogFile(const std::string& path) {
   SCX_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
-  Catalog catalog;
-  std::istringstream lines(text);
-  std::string line;
-  int lineno = 0;
-  while (std::getline(lines, line)) {
-    ++lineno;
-    std::istringstream words(line);
-    std::string word;
-    if (!(words >> word) || word[0] == '#') continue;
-    if (word != "file") {
-      return Status::ParseError("catalog line " + std::to_string(lineno) +
-                                ": expected 'file', got '" + word + "'");
-    }
-    FileDef def;
-    if (!(words >> def.path)) {
-      return Status::ParseError("catalog line " + std::to_string(lineno) +
-                                ": missing path");
-    }
-    std::string rows_spec;
-    if (!(words >> rows_spec) || rows_spec.rfind("rows=", 0) != 0) {
-      return Status::ParseError("catalog line " + std::to_string(lineno) +
-                                ": expected rows=<n>");
-    }
-    def.row_count = std::stoll(rows_spec.substr(5));
-    while (words >> word) {
-      // <name>:<ndv>[:<type>]
-      size_t c1 = word.find(':');
-      if (c1 == std::string::npos) {
-        return Status::ParseError("catalog line " + std::to_string(lineno) +
-                                  ": column spec '" + word +
-                                  "' needs <name>:<ndv>");
-      }
-      ColumnStats cs;
-      cs.name = word.substr(0, c1);
-      size_t c2 = word.find(':', c1 + 1);
-      std::string ndv = word.substr(
-          c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
-      cs.distinct_count = std::stoll(ndv);
-      cs.type = DataType::kInt64;
-      cs.avg_width = 8;
-      if (c2 != std::string::npos) {
-        std::string type = word.substr(c2 + 1);
-        if (type == "double") {
-          cs.type = DataType::kDouble;
-        } else if (type == "string") {
-          cs.type = DataType::kString;
-          cs.avg_width = 12;
-        } else if (type != "int64") {
-          return Status::ParseError("catalog line " +
-                                    std::to_string(lineno) +
-                                    ": unknown type '" + type + "'");
-        }
-      }
-      def.columns.push_back(std::move(cs));
-    }
-    if (def.columns.empty()) {
-      return Status::ParseError("catalog line " + std::to_string(lineno) +
-                                ": file has no columns");
-    }
-    SCX_RETURN_IF_ERROR(catalog.RegisterFile(std::move(def)));
-  }
-  if (catalog.files().empty()) {
-    return Status::InvalidArgument("catalog " + path + " defines no files");
+  auto catalog = ParseCatalogText(text);
+  if (!catalog.ok()) {
+    return Status(catalog.status().code(),
+                  path + ": " + catalog.status().message());
   }
   return catalog;
 }
