@@ -23,7 +23,10 @@
 
 #include "api/engine.h"
 #include "common/hash.h"
+#include "exec/column_batch.h"
 #include "exec/row_key_table.h"
+#include "exec/vector_kernels.h"
+#include "plan/expr_cse.h"
 #include "workload/large_scripts.h"
 #include "workload/paper_scripts.h"
 
@@ -45,7 +48,8 @@ struct KernelRow {
   int64_t rows = 0;
   double seconds = 0;
   double rows_per_sec = 0;
-  double speedup = 0;  // vs the matching *_map baseline (0 for baselines)
+  double speedup = 0;  // vs the matching baseline variant (0 for baselines)
+  double checksum = 0;
 };
 
 // Rows are {key1, key2, value}: group/join keys are composite, like the
@@ -74,6 +78,7 @@ KernelRow MeasureKernel(const char* name, int64_t rows,
   r.rows = rows;
   Clock::time_point start = Clock::now();
   double checksum = body();
+  r.checksum = checksum;
   r.seconds = SecondsSince(start);
   r.rows_per_sec = r.seconds > 0 ? static_cast<double>(rows) / r.seconds : 0;
   if (baseline != nullptr && r.seconds > 0) {
@@ -154,6 +159,209 @@ double JoinTableBody(const std::vector<Row>& build,
     matches += static_cast<int64_t>(rows_by_key[id].size());
   }
   return static_cast<double>(matches);
+}
+
+const std::vector<int> kAllPos = {0, 1, 2};
+
+/// Batched variant of AggTableBody: the executor's columnar aggregation
+/// path — whole-column key hashing, hashed table probes, column-major
+/// state updates. Checksum must equal AggTableBody's exactly.
+double AggBatchBody(const std::vector<Row>& input, size_t batch_size) {
+  RowKeyTable table(input.size());
+  std::vector<std::pair<double, int64_t>> states;
+  std::vector<uint64_t> hashes;
+  std::vector<size_t> ids;
+  for (size_t begin = 0; begin < input.size(); begin += batch_size) {
+    size_t end = std::min(input.size(), begin + batch_size);
+    ColumnBatch batch = BatchFromRows(input, begin, end, 3, kAllPos);
+    HashColumns(batch, kKeyPos, &hashes);
+    ids.resize(batch.rows);
+    for (size_t r = 0; r < batch.rows; ++r) {
+      auto [id, inserted] = table.FindOrInsertHashed(
+          hashes[r],
+          [&](const Row& key) {
+            return batch.col(0).CellEquals(r, key[0]) &&
+                   batch.col(1).CellEquals(r, key[1]);
+          },
+          [&] {
+            return Row{batch.col(0).ValueAt(r), batch.col(1).ValueAt(r)};
+          });
+      if (inserted) states.emplace_back(0.0, 0);
+      ids[r] = id;
+    }
+    const int64_t* v = batch.col(2).ints().data();
+    for (size_t r = 0; r < batch.rows; ++r) {
+      auto& s = states[ids[r]];
+      s.first += static_cast<double>(v[r]);
+      ++s.second;
+    }
+  }
+  double sum = 0;
+  for (const auto& s : states) sum += s.first;
+  return sum + static_cast<double>(table.size());
+}
+
+/// Batched variant of JoinTableBody: build and probe keys hashed per whole
+/// column chunk.
+double JoinBatchBody(const std::vector<Row>& build,
+                     const std::vector<Row>& probe, size_t batch_size) {
+  RowKeyTable table(build.size());
+  std::vector<std::vector<const Row*>> rows_by_key;
+  std::vector<uint64_t> hashes;
+  for (size_t begin = 0; begin < build.size(); begin += batch_size) {
+    size_t end = std::min(build.size(), begin + batch_size);
+    ColumnBatch batch = BatchFromRows(build, begin, end, 3, kKeyPos);
+    HashColumns(batch, kKeyPos, &hashes);
+    for (size_t r = 0; r < batch.rows; ++r) {
+      auto [id, inserted] = table.FindOrInsertHashed(
+          hashes[r],
+          [&](const Row& key) {
+            return batch.col(0).CellEquals(r, key[0]) &&
+                   batch.col(1).CellEquals(r, key[1]);
+          },
+          [&] {
+            return Row{batch.col(0).ValueAt(r), batch.col(1).ValueAt(r)};
+          });
+      if (inserted) rows_by_key.emplace_back();
+      rows_by_key[id].push_back(&build[begin + r]);
+    }
+  }
+  int64_t matches = 0;
+  for (size_t begin = 0; begin < probe.size(); begin += batch_size) {
+    size_t end = std::min(probe.size(), begin + batch_size);
+    ColumnBatch batch = BatchFromRows(probe, begin, end, 3, kKeyPos);
+    HashColumns(batch, kKeyPos, &hashes);
+    for (size_t i = 0; i < batch.rows; ++i) {
+      size_t id = table.FindHashed(hashes[i], [&](const Row& key) {
+        return batch.col(0).CellEquals(i, key[0]) &&
+               batch.col(1).CellEquals(i, key[1]);
+      });
+      if (id == RowKeyTable::kNotFound) continue;
+      matches += static_cast<int64_t>(rows_by_key[id].size());
+    }
+  }
+  return static_cast<double>(matches);
+}
+
+Schema MakeKernelSchema() {
+  return Schema({ColumnInfo{1, "k1", "", DataType::kInt64},
+                 ColumnInfo{2, "k2", "", DataType::kInt64},
+                 ColumnInfo{3, "v", "", DataType::kInt64}});
+}
+
+std::vector<BoundPredicate> MakeFilterPreds() {
+  BoundPredicate p1;
+  p1.lhs = 1;
+  p1.op = CompareOp::kLt;
+  p1.literal = Value::Int(150);
+  BoundPredicate p2;
+  p2.lhs = 2;
+  p2.op = CompareOp::kGe;
+  p2.literal = Value::Int(20);
+  return {p1, p2};
+}
+
+double FilterRowsBody(const std::vector<Row>& input, const Schema& schema,
+                      const std::vector<BoundPredicate>& preds) {
+  double sum = 0;
+  for (const Row& r : input) {
+    bool pass = true;
+    for (const BoundPredicate& pred : preds) {
+      if (!pred.Evaluate(r, schema)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) sum += static_cast<double>(r[2].as_int());
+  }
+  return sum;
+}
+
+double FilterBatchBody(const std::vector<Row>& input,
+                       const std::vector<BoundPredicate>& preds,
+                       size_t batch_size) {
+  double sum = 0;
+  SelectionVector sel;
+  for (size_t begin = 0; begin < input.size(); begin += batch_size) {
+    size_t end = std::min(input.size(), begin + batch_size);
+    // Only the predicate columns are materialized, like the executor's
+    // filter path; surviving rows are read back from the row store.
+    ColumnBatch batch = BatchFromRows(input, begin, end, 3, kKeyPos);
+    ApplyPredicate(batch, preds[0], 0, -1, /*first=*/true, &sel);
+    ApplyPredicate(batch, preds[1], 1, -1, /*first=*/false, &sel);
+    for (uint32_t i : sel) {
+      sum += static_cast<double>(input[begin + i][2].as_int());
+    }
+  }
+  return sum;
+}
+
+/// Expression-heavy compute stage with deliberate duplication: (a+b)
+/// appears in three items (once operand-swapped) and c*c in two, so the
+/// CSE schedule computes them once per batch.
+std::vector<ComputeItem> MakeExprItems() {
+  ScalarExprPtr a = ScalarExpr::Column(1);
+  ScalarExprPtr b = ScalarExpr::Column(2);
+  ScalarExprPtr c = ScalarExpr::Column(3);
+  ScalarExprPtr ab = ScalarExpr::Binary(ScalarExpr::BinOp::kAdd, a, b);
+  ScalarExprPtr ba = ScalarExpr::Binary(ScalarExpr::BinOp::kAdd, b, a);
+  ScalarExprPtr cc = ScalarExpr::Binary(ScalarExpr::BinOp::kMul, c, c);
+  std::vector<ComputeItem> items;
+  items.push_back({ScalarExpr::Binary(ScalarExpr::BinOp::kMul, ab, ab), 10,
+                   "e0"});
+  items.push_back({ScalarExpr::Binary(ScalarExpr::BinOp::kMul, ab, c), 11,
+                   "e1"});
+  items.push_back({ScalarExpr::Binary(ScalarExpr::BinOp::kAdd, cc, ba), 12,
+                   "e2"});
+  items.push_back({ScalarExpr::Binary(ScalarExpr::BinOp::kDiv, cc, ab), 13,
+                   "e3"});
+  return items;
+}
+
+double ExprRowsBody(const std::vector<Row>& input, const Schema& schema,
+                    const std::vector<ComputeItem>& items) {
+  // Per-item accumulators: both variants then add each item's values in
+  // global row order, so the float checksums are bit-identical.
+  std::vector<double> acc(items.size(), 0.0);
+  for (const Row& r : input) {
+    for (size_t k = 0; k < items.size(); ++k) {
+      acc[k] += items[k].expr->Evaluate(r, schema).AsNumeric();
+    }
+  }
+  double sum = 0;
+  for (double a : acc) sum += a;
+  return sum;
+}
+
+double ExprBatchBody(const std::vector<Row>& input,
+                     const std::vector<ComputeItem>& items,
+                     size_t batch_size) {
+  ExprSchedule sched = BuildExprSchedule(items);
+  std::vector<int> step_pos(sched.steps.size(), -1);
+  for (size_t s = 0; s < sched.steps.size(); ++s) {
+    if (sched.steps[s].kind == ScalarExpr::Kind::kColumn) {
+      step_pos[s] = static_cast<int>(sched.steps[s].column) - 1;
+    }
+  }
+  std::vector<double> acc(items.size(), 0.0);
+  EvaluatedSchedule ev;
+  for (size_t begin = 0; begin < input.size(); begin += batch_size) {
+    size_t end = std::min(input.size(), begin + batch_size);
+    ColumnBatch batch = BatchFromRows(input, begin, end, 3, kAllPos);
+    EvalExprSchedule(sched, batch, step_pos, &ev);
+    for (size_t k = 0; k < sched.item_steps.size(); ++k) {
+      const ColumnVector& col =
+          *ev.cols[static_cast<size_t>(sched.item_steps[k])];
+      if (col.rep() == ColumnRep::kInt64) {
+        for (int64_t v : col.ints()) acc[k] += static_cast<double>(v);
+      } else {
+        for (double v : col.doubles()) acc[k] += v;
+      }
+    }
+  }
+  double sum = 0;
+  for (double a : acc) sum += a;
+  return sum;
 }
 
 double ShuffleCopyBody(const std::vector<Row>& input) {
@@ -368,8 +576,56 @@ int main() {
   KernelRow shuffle_move = MeasureKernel(
       "shuffle_move", kShuffleRows, [&] { return ShuffleMoveBody(shuffle_mut); },
       &shuffle_copy);
-  std::vector<KernelRow> kernels = {agg_map,    agg_table,    join_map,
-                                    join_table, shuffle_copy, shuffle_move};
+
+  std::printf("\nbatched kernels (vs the row-at-a-time variants; "
+              "batch=%d)\n", DefaultBatchSize());
+  const size_t kBatch = static_cast<size_t>(DefaultBatchSize());
+  const Schema kernel_schema = MakeKernelSchema();
+  const std::vector<BoundPredicate> filter_preds = MakeFilterPreds();
+  const std::vector<ComputeItem> expr_items = MakeExprItems();
+  KernelRow agg_batch = MeasureKernel(
+      "agg_batch", kAggRows, [&] { return AggBatchBody(agg_input, kBatch); },
+      &agg_table);
+  KernelRow join_batch = MeasureKernel(
+      "join_batch", kProbeRows,
+      [&] { return JoinBatchBody(build_input, probe_input, kBatch); },
+      &join_table);
+  KernelRow filter_rows = MeasureKernel(
+      "filter_rows", kAggRows,
+      [&] { return FilterRowsBody(agg_input, kernel_schema, filter_preds); },
+      nullptr);
+  KernelRow filter_batch = MeasureKernel(
+      "filter_batch", kAggRows,
+      [&] { return FilterBatchBody(agg_input, filter_preds, kBatch); },
+      &filter_rows);
+  KernelRow expr_rows = MeasureKernel(
+      "expr_rows", kAggRows,
+      [&] { return ExprRowsBody(agg_input, kernel_schema, expr_items); },
+      nullptr);
+  KernelRow expr_batch = MeasureKernel(
+      "expr_batch", kAggRows,
+      [&] { return ExprBatchBody(agg_input, expr_items, kBatch); },
+      &expr_rows);
+
+  bool kernels_ok = true;
+  const std::pair<const KernelRow*, const KernelRow*> pairs[] = {
+      {&agg_table, &agg_batch},
+      {&join_table, &join_batch},
+      {&filter_rows, &filter_batch},
+      {&expr_rows, &expr_batch}};
+  for (const auto& [row_variant, batch_variant] : pairs) {
+    if (row_variant->checksum != batch_variant->checksum) {
+      std::fprintf(stderr, "%s checksum %.6f != %s checksum %.6f\n",
+                   row_variant->name.c_str(), row_variant->checksum,
+                   batch_variant->name.c_str(), batch_variant->checksum);
+      kernels_ok = false;
+    }
+  }
+
+  std::vector<KernelRow> kernels = {
+      agg_map,      agg_table,    join_map,   join_table,
+      shuffle_copy, shuffle_move, agg_batch,  join_batch,
+      filter_rows,  filter_batch, expr_rows,  expr_batch};
 
   int nthreads = DefaultNumThreads();
   if (nthreads < 2) nthreads = 4;  // the identity gate needs real threads
@@ -394,6 +650,7 @@ int main() {
 
   WriteJson(kernels, scripts, nthreads);
 
+  ok &= kernels_ok;
   for (const ScriptRow& r : scripts) ok &= r.identical;
   if (!ok) std::fprintf(stderr, "exec_throughput: FAILED\n");
   return ok ? 0 : 1;

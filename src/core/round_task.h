@@ -139,12 +139,16 @@ class RoundTask {
   /// Streaming replacement for the collect-then-scan candidate vector:
   /// keeps the running cheapest alternative under the mode's objective,
   /// with the exact tie rule of the old scan (strict `<`, first wins).
-  /// Under DAG costing it first compares a candidate's lower bound —
-  /// own cost + the largest child DagCost, each memoized so the walk is
-  /// paid once per distinct node — against the running best, and skips the
+  /// Under DAG costing it first compares the candidate's precomputed
+  /// cost_lb — own cost + the largest child cost_lb, filled in by
+  /// MakePhysicalNode, so the check is O(children) with no DAG walk ever
+  /// (an earlier version used own cost + the largest child DagCost, whose
+  /// memoized walks were cold for the fresh enforcer/spool intermediates
+  /// every round mints, making the "fast" path slower than the traced one
+  /// on join-heavy scripts) — against the running best, and skips the
   /// candidate's full DAG walk when the bound already rules it out
-  /// (DagCost(p) >= p->own_cost + DagCost(child) for every child, since
-  /// the child's sub-DAG is contained in p's with no smaller ref counts).
+  /// (DagCost(p) >= p->own_cost + DagCost(child) >= p->own_cost +
+  /// child->cost_lb for every child, by induction from the leaves).
   /// The skip only drops candidates whose true cost is >= the running
   /// best, which the strict-`<` rule would have rejected anyway, so winner
   /// and cost are bit-identical to the unpruned scan — and because the
@@ -166,16 +170,10 @@ class RoundTask {
         }
         return;
       }
-      if (best_cost_ < std::numeric_limits<double>::infinity()) {
-        double lb = p->own_cost;
-        for (const PhysicalNodePtr& ch : p->children) {
-          double m = p->own_cost + DagCost(ch);
-          if (m > lb) lb = m;
-        }
-        if (lb >= best_cost_) {
-          ++counters_->pruned_alternatives;
-          return;
-        }
+      if (best_cost_ < std::numeric_limits<double>::infinity() &&
+          p->cost_lb >= best_cost_) {
+        ++counters_->pruned_alternatives;
+        return;
       }
       double c = DagCost(p);
       if (c < best_cost_) {

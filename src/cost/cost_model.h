@@ -19,6 +19,11 @@ struct ClusterConfig {
   /// 1 = the exact serial path. Results are bit-identical for every value
   /// (see docs/architecture.md §12). Ignored by the cost model.
   int exec_threads = 0;
+  /// Rows per column batch in the vectorized executor kernels.
+  /// 0 = DefaultBatchSize() (SCX_BATCH_SIZE or 4096); 1 = the exact legacy
+  /// row-at-a-time path. Results are bit-identical for every value (see
+  /// docs/architecture.md §14). Ignored by the cost model.
+  int batch_size = 0;
 };
 
 /// Per-byte cost constants. Units are abstract "cost units" (the paper also

@@ -1,0 +1,248 @@
+#include "exec/column_batch.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/hash.h"
+
+namespace scx {
+
+int DefaultBatchSize() {
+  if (const char* env = std::getenv("SCX_BATCH_SIZE")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 4096;
+}
+
+namespace {
+
+ColumnRep RepOf(const Value& v) {
+  if (v.is_int()) return ColumnRep::kInt64;
+  if (v.is_double()) return ColumnRep::kDouble;
+  return ColumnRep::kString;
+}
+
+}  // namespace
+
+size_t ColumnVector::size() const {
+  switch (rep_) {
+    case ColumnRep::kInt64:
+      return ints_.size();
+    case ColumnRep::kDouble:
+      return doubles_.size();
+    case ColumnRep::kString:
+      return strings_.size();
+    case ColumnRep::kValue:
+      return values_.size();
+  }
+  return 0;
+}
+
+void ColumnVector::Reserve(size_t n) {
+  switch (rep_) {
+    case ColumnRep::kInt64:
+      ints_.reserve(n);
+      break;
+    case ColumnRep::kDouble:
+      doubles_.reserve(n);
+      break;
+    case ColumnRep::kString:
+      strings_.reserve(n);
+      break;
+    case ColumnRep::kValue:
+      values_.reserve(n);
+      break;
+  }
+}
+
+void ColumnVector::Clear() {
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
+  values_.clear();
+  nulls_.clear();
+}
+
+void ColumnVector::Demote() {
+  std::vector<Value> vals;
+  vals.reserve(size());
+  for (size_t i = 0; i < size(); ++i) vals.push_back(ValueAt(i));
+  values_ = std::move(vals);
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
+  rep_ = ColumnRep::kValue;
+}
+
+void ColumnVector::AppendValue(const Value& v) {
+  if (!adopted_) {
+    rep_ = RepOf(v);
+    adopted_ = true;
+  }
+  switch (rep_) {
+    case ColumnRep::kInt64:
+      if (v.is_int()) {
+        ints_.push_back(v.as_int());
+      } else {
+        Demote();
+        values_.push_back(v);
+      }
+      break;
+    case ColumnRep::kDouble:
+      if (v.is_double()) {
+        doubles_.push_back(v.as_double());
+      } else {
+        Demote();
+        values_.push_back(v);
+      }
+      break;
+    case ColumnRep::kString:
+      if (v.is_string()) {
+        strings_.push_back(v.as_string());
+      } else {
+        Demote();
+        values_.push_back(v);
+      }
+      break;
+    case ColumnRep::kValue:
+      values_.push_back(v);
+      break;
+  }
+  if (!nulls_.empty()) nulls_.push_back(0);
+}
+
+void ColumnVector::AppendNull() {
+  if (nulls_.empty()) nulls_.assign(size(), 0);
+  switch (rep_) {
+    case ColumnRep::kInt64:
+      ints_.push_back(0);
+      break;
+    case ColumnRep::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case ColumnRep::kString:
+      strings_.emplace_back();
+      break;
+    case ColumnRep::kValue:
+      values_.emplace_back();
+      break;
+  }
+  adopted_ = true;
+  nulls_.push_back(1);
+}
+
+size_t ColumnVector::null_count() const {
+  size_t n = 0;
+  for (uint8_t b : nulls_) n += b;
+  return n;
+}
+
+Value ColumnVector::ValueAt(size_t i) const {
+  switch (rep_) {
+    case ColumnRep::kInt64:
+      return Value::Int(ints_[i]);
+    case ColumnRep::kDouble:
+      return Value::Real(doubles_[i]);
+    case ColumnRep::kString:
+      return Value::Str(strings_[i]);
+    case ColumnRep::kValue:
+      return values_[i];
+  }
+  return Value::Int(0);
+}
+
+bool ColumnVector::CellEquals(size_t i, const Value& v) const {
+  switch (rep_) {
+    case ColumnRep::kInt64:
+      return v.is_int() && v.as_int() == ints_[i];
+    case ColumnRep::kDouble:
+      return v.is_double() && v.as_double() == doubles_[i];
+    case ColumnRep::kString:
+      return v.is_string() && v.as_string() == strings_[i];
+    case ColumnRep::kValue:
+      return values_[i] == v;
+  }
+  return false;
+}
+
+uint64_t ColumnVector::CellHash(size_t i) const {
+  switch (rep_) {
+    case ColumnRep::kInt64:
+      return Mix64(static_cast<uint64_t>(ints_[i]));
+    case ColumnRep::kDouble: {
+      double d = doubles_[i];
+      if (d == 0.0) d = 0.0;  // normalize -0.0, mirroring Value::Hash
+      uint64_t bits;
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits ^ 0x5555555555555555ULL);
+    }
+    case ColumnRep::kString:
+      return Fnv1a64(strings_[i]);
+    case ColumnRep::kValue:
+      return values_[i].Hash();
+  }
+  return 0;
+}
+
+ColumnBatch BatchFromRows(const std::vector<Row>& rows, size_t begin,
+                          size_t end, size_t num_columns,
+                          const std::vector<int>& wanted) {
+  ColumnBatch batch;
+  batch.rows = end - begin;
+  batch.columns.resize(num_columns);
+  for (int pos : wanted) {
+    ColumnVector& col = batch.columns[static_cast<size_t>(pos)];
+    if (!col.empty()) continue;  // duplicate request
+    col.Reserve(batch.rows);
+    for (size_t r = begin; r < end; ++r) {
+      col.AppendValue(rows[r][static_cast<size_t>(pos)]);
+    }
+  }
+  return batch;
+}
+
+void AppendBatchRows(const ColumnBatch& batch, std::vector<Row>* out) {
+  out->reserve(out->size() + batch.rows);
+  for (size_t i = 0; i < batch.rows; ++i) {
+    Row row;
+    row.reserve(batch.columns.size());
+    for (const ColumnVector& col : batch.columns) {
+      if (col.IsNull(i)) {
+        std::fprintf(stderr,
+                     "scx: fatal: null cell in row conversion (rows cannot "
+                     "represent nulls)\n");
+        std::abort();
+      }
+      row.push_back(col.ValueAt(i));
+    }
+    out->push_back(std::move(row));
+  }
+}
+
+void AppendRowsFromColumns(const std::vector<const ColumnVector*>& cols,
+                           size_t rows, std::vector<Row>* out) {
+  out->reserve(out->size() + rows);
+  for (size_t i = 0; i < rows; ++i) {
+    Row row;
+    row.reserve(cols.size());
+    for (const ColumnVector* col : cols) row.push_back(col->ValueAt(i));
+    out->push_back(std::move(row));
+  }
+}
+
+ColumnVector GatherColumn(const ColumnVector& col,
+                          const SelectionVector& sel) {
+  ColumnVector out(col.rep());
+  out.Reserve(sel.size());
+  for (uint32_t i : sel) {
+    if (col.IsNull(i)) {
+      out.AppendNull();
+    } else {
+      out.AppendValue(col.ValueAt(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace scx

@@ -1,0 +1,133 @@
+#ifndef SCX_EXEC_COLUMN_BATCH_H_
+#define SCX_EXEC_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace scx {
+
+/// Default rows-per-batch for the vectorized executor kernels: the
+/// SCX_BATCH_SIZE environment variable when set to a positive integer,
+/// otherwise 4096. A value of 1 selects the exact legacy row-at-a-time
+/// loops (the differential-testing anchor).
+int DefaultBatchSize();
+
+/// Physical representation of one column of a batch. Typed reps store the
+/// raw payloads contiguously; kValue is the mixed-type fallback that keeps
+/// the executor's dynamic-typing semantics exact when a column's cells do
+/// not all share one runtime type.
+enum class ColumnRep { kInt64, kDouble, kString, kValue };
+
+/// Indices of the batch rows that survived a filter, in row order. Kernels
+/// consume a selection instead of compacting the batch.
+using SelectionVector = std::vector<uint32_t>;
+
+/// A typed column of a few thousand cells with optional null support. The
+/// rep is adopted from the first appended cell and demoted to kValue on the
+/// first mismatching append, so `ValueAt(i)` is always bit-identical to the
+/// row cell the column was built from.
+///
+/// The row format cannot represent nulls, so converter-built columns are
+/// always fully valid; the null mask exists for kernel-level intermediates
+/// and is validated by tests (ToRows-style conversions require 0 nulls).
+class ColumnVector {
+ public:
+  ColumnVector() = default;
+  explicit ColumnVector(ColumnRep rep) : rep_(rep), adopted_(true) {}
+
+  ColumnRep rep() const { return rep_; }
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  void Reserve(size_t n);
+  void Clear();
+
+  /// Appends one cell, adopting the rep on the first append and demoting
+  /// the whole column to kValue when `v`'s runtime type does not match.
+  void AppendValue(const Value& v);
+
+  /// Appends a null cell (a typed placeholder plus a validity-mask entry).
+  void AppendNull();
+
+  bool IsNull(size_t i) const {
+    return i < nulls_.size() && nulls_[i] != 0;
+  }
+  size_t null_count() const;
+
+  /// The cell as a Value — bit-identical to the source row cell.
+  Value ValueAt(size_t i) const;
+
+  /// Value equality of cell i against `v` (exact Value::operator==
+  /// semantics: types must match, then payloads compare equal).
+  bool CellEquals(size_t i, const Value& v) const;
+
+  /// Hash of cell i, identical to ValueAt(i).Hash().
+  uint64_t CellHash(size_t i) const;
+
+  /// Typed payloads; valid only for the matching rep.
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  const std::vector<Value>& values() const { return values_; }
+  std::vector<int64_t>* mutable_ints() { return &ints_; }
+  std::vector<double>* mutable_doubles() { return &doubles_; }
+
+ private:
+  void Demote();  // rewrite the typed payload as kValue
+
+  ColumnRep rep_ = ColumnRep::kValue;
+  bool adopted_ = false;  ///< rep fixed (first append or explicit ctor)
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<Value> values_;
+  std::vector<uint8_t> nulls_;  ///< empty = no nulls; else 1 bit per cell
+};
+
+/// A horizontal slice of a partition in columnar form. Columns are aligned
+/// with the producing operator's schema positions; only the positions a
+/// kernel asked for are materialized (the rest stay empty), so converting
+/// costs one pass over the referenced cells only.
+struct ColumnBatch {
+  size_t rows = 0;
+  std::vector<ColumnVector> columns;
+
+  const ColumnVector& col(int pos) const {
+    return columns[static_cast<size_t>(pos)];
+  }
+};
+
+/// Converts rows[begin, end) into a batch of `num_columns` columns,
+/// materializing only the `wanted` schema positions (duplicates are fine).
+ColumnBatch BatchFromRows(const std::vector<Row>& rows, size_t begin,
+                          size_t end, size_t num_columns,
+                          const std::vector<int>& wanted);
+
+/// Appends the batch's rows (all columns, which must all be materialized
+/// and null-free) to `out` — the inverse of a full-width BatchFromRows.
+void AppendBatchRows(const ColumnBatch& batch, std::vector<Row>* out);
+
+/// Appends one output row per batch row, cell j taken from cols[j]. Used
+/// by the Compute operator to fold evaluated expression columns back into
+/// the row stream at the operator boundary.
+void AppendRowsFromColumns(const std::vector<const ColumnVector*>& cols,
+                           size_t rows, std::vector<Row>* out);
+
+/// Gathers sel's cells of `col` into a new column (same rep, nulls kept).
+ColumnVector GatherColumn(const ColumnVector& col,
+                          const SelectionVector& sel);
+
+/// Splits [0, n) into batches of at most `batch_size` rows and returns the
+/// number of batches (the executor's batches_evaluated accounting).
+inline int64_t NumBatches(size_t n, size_t batch_size) {
+  if (n == 0 || batch_size == 0) return 0;
+  return static_cast<int64_t>((n + batch_size - 1) / batch_size);
+}
+
+}  // namespace scx
+
+#endif  // SCX_EXEC_COLUMN_BATCH_H_

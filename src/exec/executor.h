@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/worker_pool.h"
 #include "cost/cost_model.h"
+#include "exec/column_batch.h"
 #include "opt/physical_plan.h"
 
 namespace scx {
@@ -42,9 +43,20 @@ struct ExecMetrics {
   int64_t spool_cache_hits = 0; ///< spool_reads served from the cache
   int64_t operator_invocations = 0;
   int64_t rows_output = 0;
+  /// Column batches processed by the vectorized kernels (filter, project,
+  /// compute, aggregate, join build/probe, hash-exchange key hashing).
+  /// 0 when batch_size is 1 (the legacy row path).
+  int64_t batches_evaluated = 0;
+  /// Structurally duplicate scalar subtrees eliminated by the
+  /// expression-CSE pass, summed over Compute operator invocations.
+  int64_t exprs_deduped = 0;
   /// Output rows per OUTPUT path.
   std::map<std::string, std::vector<Row>> outputs;
 };
+
+/// The metrics counters as a JSON object (outputs omitted), in declaration
+/// order; scx_cli --json embeds this under "execution".
+std::string ExecMetricsToJson(const ExecMetrics& m);
 
 /// Canonical (sorted) form of an output row set, for comparing the results
 /// of two plans.
@@ -74,12 +86,22 @@ bool SameOutputs(const ExecMetrics& a, const ExecMetrics& b);
 /// path). Every partition job writes only its own output slot and all
 /// merge/concatenation happens in fixed partition order, so counters and
 /// output rows are bit-identical for every thread count.
+///
+/// Within a partition, the relational operators evaluate columnar batches
+/// of cluster.batch_size rows (1 = the exact legacy row-at-a-time loops)
+/// through the type-specialized kernels in exec/vector_kernels.h; Compute
+/// stages additionally run their expressions through the expression-CSE
+/// shared-slot schedule (plan/expr_cse.h). Both paths are bit-identical by
+/// construction — see docs/architecture.md §14.
 class Executor {
  public:
   explicit Executor(ClusterConfig cluster)
       : cluster_(cluster),
         threads_(cluster.exec_threads > 0 ? cluster.exec_threads
-                                          : DefaultNumThreads()) {}
+                                          : DefaultNumThreads()),
+        batch_size_(cluster.batch_size > 0
+                        ? static_cast<size_t>(cluster.batch_size)
+                        : static_cast<size_t>(DefaultBatchSize())) {}
 
   /// Runs the plan; returns counters and the produced outputs.
   Result<ExecMetrics> Execute(const PhysicalNodePtr& plan);
@@ -91,20 +113,24 @@ class Executor {
   Result<PartitionedData> EvalExtract(const PhysicalNode& node,
                                       ExecMetrics* metrics);
   Result<PartitionedData> EvalAggregate(const PhysicalNode& node,
-                                        PartitionedData in);
+                                        PartitionedData in,
+                                        ExecMetrics* metrics);
   Result<PartitionedData> EvalJoin(const PhysicalNode& node,
                                    PartitionedData left,
-                                   PartitionedData right);
+                                   PartitionedData right,
+                                   ExecMetrics* metrics);
   PartitionedData Exchange(const PhysicalNode& node, PartitionedData in,
                            ExecMetrics* metrics, bool preserve_order);
 
-  /// Re-buckets `in` into `machines` partitions, destination chosen per row
-  /// by `dest_of(row)`. Two-phase move scatter: each source partition fills
-  /// per-destination buffers with reserved capacity, then each destination
-  /// concatenates them source-major — the exact row order of the serial
-  /// push_back loop. Defined in executor.cc (only instantiated there).
-  template <typename DestFn>
-  PartitionedData ScatterByDest(PartitionedData in, DestFn dest_of);
+  /// Re-buckets `in` into `machines` partitions. `dest_fill(rows, dest)`
+  /// computes every row's destination for one source partition (so the hash
+  /// exchange can vectorize the key hashing per batch). Two-phase move
+  /// scatter: each source partition fills per-destination buffers with
+  /// exact reserved capacity, then each destination concatenates them
+  /// source-major — the exact row order of the serial push_back loop.
+  /// Defined in executor.cc (only instantiated there).
+  template <typename DestFillFn>
+  PartitionedData ScatterByDest(PartitionedData in, DestFillFn dest_fill);
 
   /// Runs fn(0..n-1), on the pool when exec_threads > 1 and n > 1, serially
   /// otherwise. fn must write only to state owned by its index.
@@ -112,6 +138,8 @@ class Executor {
 
   ClusterConfig cluster_;
   int threads_;
+  /// Rows per column batch; 1 = the exact legacy row-at-a-time loops.
+  size_t batch_size_;
   std::unique_ptr<WorkerPool> pool_;  ///< created lazily by RunPartitions
   /// Spool materializations, keyed by plan node identity so a shared spool
   /// executes once per plan DAG. Pointer keys, no ordering needed.

@@ -72,6 +72,36 @@ class RowKeyTable {
     return {InsertAt(i, hash, std::move(key)), true};
   }
 
+  /// Batch-path FindOrInsert: the caller supplies the precomputed key hash
+  /// (from HashColumns over whole key columns), `eq(stored_key)` comparing
+  /// a stored key against the probe cells, and `make_key()` materializing
+  /// the key Row only when it is actually inserted. The probe sequence and
+  /// the dense-id assignment are identical to FindOrInsert's, so batch and
+  /// row paths build bit-identical tables.
+  template <typename EqFn, typename MakeKeyFn>
+  std::pair<size_t, bool> FindOrInsertHashed(uint64_t hash, EqFn eq,
+                                             MakeKeyFn make_key) {
+    size_t i = hash & mask_;
+    while (slots_[i] != kEmptySlot) {
+      size_t id = slots_[i];
+      if (hashes_[id] == hash && eq(keys_[id])) return {id, false};
+      i = (i + 1) & mask_;
+    }
+    return {InsertAt(i, hash, make_key()), true};
+  }
+
+  /// Batch-path Find: precomputed hash plus a stored-key comparator.
+  template <typename EqFn>
+  size_t FindHashed(uint64_t hash, EqFn eq) const {
+    size_t i = hash & mask_;
+    while (slots_[i] != kEmptySlot) {
+      size_t id = slots_[i];
+      if (hashes_[id] == hash && eq(keys_[id])) return id;
+      i = (i + 1) & mask_;
+    }
+    return kNotFound;
+  }
+
   /// Dense id of the probe key, or kNotFound.
   size_t Find(const Row& row, const std::vector<int>& positions) const {
     uint64_t h = HashRowKey(row, positions);

@@ -1,0 +1,323 @@
+#include "exec/vector_kernels.h"
+
+#include <utility>
+
+#include "common/hash.h"
+
+namespace scx {
+
+namespace {
+
+constexpr uint64_t kRowKeySeed = 0x2545f4914f6cdd1dULL;
+
+bool NumericRep(ColumnRep r) {
+  return r == ColumnRep::kInt64 || r == ColumnRep::kDouble;
+}
+
+/// Three-way result of BoundPredicate::Evaluate's comparison rules.
+inline int Cmp3(double a, double b) { return a < b ? -1 : (a > b ? 1 : 0); }
+
+inline int CmpPredicateValues(const Value& l, const Value& r) {
+  if (l.type() != r.type() && !l.is_string() && !r.is_string()) {
+    return Cmp3(l.AsNumeric(), r.AsNumeric());
+  }
+  auto c = l <=> r;
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+inline bool PassOp(CompareOp op, int cmp) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+/// Runs `pass(i)` over all rows (first predicate) or over the current
+/// selection, compacting it in place.
+template <typename PassFn>
+void RunSelect(size_t rows, bool first, SelectionVector* sel, PassFn pass) {
+  if (first) {
+    sel->clear();
+    sel->reserve(rows);
+    for (uint32_t i = 0; i < static_cast<uint32_t>(rows); ++i) {
+      if (pass(i)) sel->push_back(i);
+    }
+    return;
+  }
+  size_t w = 0;
+  for (uint32_t i : *sel) {
+    if (pass(i)) (*sel)[w++] = i;
+  }
+  sel->resize(w);
+}
+
+/// Cell as double; caller guarantees a numeric rep.
+inline double NumericAt(const ColumnVector& col, size_t i) {
+  return col.rep() == ColumnRep::kInt64
+             ? static_cast<double>(col.ints()[i])
+             : col.doubles()[i];
+}
+
+/// The exact binary-operator semantics of ScalarExpr::Evaluate, on cells.
+Value EvalBinaryValue(ScalarExpr::BinOp op, const Value& l, const Value& r) {
+  if (op == ScalarExpr::BinOp::kDiv) {
+    double d = r.AsNumeric();
+    return Value::Real(d == 0 ? 0.0 : l.AsNumeric() / d);
+  }
+  if (l.is_int() && r.is_int()) {
+    int64_t a = l.as_int(), b = r.as_int();
+    switch (op) {
+      case ScalarExpr::BinOp::kAdd:
+        return Value::Int(a + b);
+      case ScalarExpr::BinOp::kSub:
+        return Value::Int(a - b);
+      case ScalarExpr::BinOp::kMul:
+        return Value::Int(a * b);
+      case ScalarExpr::BinOp::kDiv:
+        break;
+    }
+  }
+  double a = l.AsNumeric(), b = r.AsNumeric();
+  switch (op) {
+    case ScalarExpr::BinOp::kAdd:
+      return Value::Real(a + b);
+    case ScalarExpr::BinOp::kSub:
+      return Value::Real(a - b);
+    case ScalarExpr::BinOp::kMul:
+      return Value::Real(a * b);
+    case ScalarExpr::BinOp::kDiv:
+      break;
+  }
+  return Value::Real(0);
+}
+
+ColumnVector Splat(const Value& v, size_t n) {
+  ColumnVector out;
+  out.Reserve(n);
+  for (size_t i = 0; i < n; ++i) out.AppendValue(v);
+  return out;
+}
+
+void EvalBinary(ScalarExpr::BinOp op, const ColumnVector& l,
+                const ColumnVector& r, size_t n, ColumnVector* out) {
+  const ColumnRep lr = l.rep(), rr = r.rep();
+  // Mixed-runtime-type columns fall back to cell-at-a-time Values — the
+  // dynamic dispatch of the row path, reproduced verbatim.
+  if (lr == ColumnRep::kValue || rr == ColumnRep::kValue ||
+      !NumericRep(lr) || !NumericRep(rr)) {
+    ColumnVector generic;
+    generic.Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      generic.AppendValue(EvalBinaryValue(op, l.ValueAt(i), r.ValueAt(i)));
+    }
+    *out = std::move(generic);
+    return;
+  }
+  if (op == ScalarExpr::BinOp::kDiv) {
+    ColumnVector res(ColumnRep::kDouble);
+    std::vector<double>* d = res.mutable_doubles();
+    d->resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      double b = NumericAt(r, i);
+      (*d)[i] = b == 0 ? 0.0 : NumericAt(l, i) / b;
+    }
+    *out = std::move(res);
+    return;
+  }
+  if (lr == ColumnRep::kInt64 && rr == ColumnRep::kInt64) {
+    const int64_t* a = l.ints().data();
+    const int64_t* b = r.ints().data();
+    ColumnVector res(ColumnRep::kInt64);
+    std::vector<int64_t>* o = res.mutable_ints();
+    o->resize(n);
+    switch (op) {
+      case ScalarExpr::BinOp::kAdd:
+        for (size_t i = 0; i < n; ++i) (*o)[i] = a[i] + b[i];
+        break;
+      case ScalarExpr::BinOp::kSub:
+        for (size_t i = 0; i < n; ++i) (*o)[i] = a[i] - b[i];
+        break;
+      case ScalarExpr::BinOp::kMul:
+        for (size_t i = 0; i < n; ++i) (*o)[i] = a[i] * b[i];
+        break;
+      case ScalarExpr::BinOp::kDiv:
+        break;  // handled above
+    }
+    *out = std::move(res);
+    return;
+  }
+  ColumnVector res(ColumnRep::kDouble);
+  std::vector<double>* o = res.mutable_doubles();
+  o->resize(n);
+  switch (op) {
+    case ScalarExpr::BinOp::kAdd:
+      for (size_t i = 0; i < n; ++i) (*o)[i] = NumericAt(l, i) + NumericAt(r, i);
+      break;
+    case ScalarExpr::BinOp::kSub:
+      for (size_t i = 0; i < n; ++i) (*o)[i] = NumericAt(l, i) - NumericAt(r, i);
+      break;
+    case ScalarExpr::BinOp::kMul:
+      for (size_t i = 0; i < n; ++i) (*o)[i] = NumericAt(l, i) * NumericAt(r, i);
+      break;
+    case ScalarExpr::BinOp::kDiv:
+      break;  // handled above
+  }
+  *out = std::move(res);
+}
+
+}  // namespace
+
+void HashColumns(const ColumnBatch& batch, const std::vector<int>& positions,
+                 std::vector<uint64_t>* hashes) {
+  hashes->assign(batch.rows, kRowKeySeed);
+  uint64_t* h = hashes->data();
+  const size_t n = batch.rows;
+  for (int pos : positions) {
+    const ColumnVector& col = batch.col(pos);
+    switch (col.rep()) {
+      case ColumnRep::kInt64: {
+        const int64_t* d = col.ints().data();
+        for (size_t i = 0; i < n; ++i) {
+          h[i] = HashCombine(h[i], Mix64(static_cast<uint64_t>(d[i])));
+        }
+        break;
+      }
+      case ColumnRep::kDouble: {
+        const double* d = col.doubles().data();
+        for (size_t i = 0; i < n; ++i) {
+          double v = d[i];
+          if (v == 0.0) v = 0.0;  // -0.0 normalization, as Value::Hash
+          uint64_t bits;
+          __builtin_memcpy(&bits, &v, sizeof(bits));
+          h[i] = HashCombine(h[i], Mix64(bits ^ 0x5555555555555555ULL));
+        }
+        break;
+      }
+      case ColumnRep::kString: {
+        const std::vector<std::string>& d = col.strings();
+        for (size_t i = 0; i < n; ++i) {
+          h[i] = HashCombine(h[i], Fnv1a64(d[i]));
+        }
+        break;
+      }
+      case ColumnRep::kValue: {
+        const std::vector<Value>& d = col.values();
+        for (size_t i = 0; i < n; ++i) {
+          h[i] = HashCombine(h[i], d[i].Hash());
+        }
+        break;
+      }
+    }
+  }
+}
+
+void ApplyPredicate(const ColumnBatch& batch, const BoundPredicate& pred,
+                    int lhs_pos, int rhs_pos, bool first,
+                    SelectionVector* sel) {
+  const ColumnVector& l = batch.col(lhs_pos);
+  const ColumnVector* rcol = rhs_pos >= 0 ? &batch.col(rhs_pos) : nullptr;
+  const Value& lit = pred.literal;
+  const CompareOp op = pred.op;
+  const ColumnRep lr = l.rep();
+  const ColumnRep rr = rcol != nullptr
+                           ? rcol->rep()
+                           : (lit.is_int() ? ColumnRep::kInt64
+                              : lit.is_double() ? ColumnRep::kDouble
+                                                : ColumnRep::kString);
+
+  // Both sides int64: the canonical integer ordering.
+  if (lr == ColumnRep::kInt64 && rr == ColumnRep::kInt64) {
+    const int64_t* a = l.ints().data();
+    if (rcol != nullptr) {
+      const int64_t* b = rcol->ints().data();
+      RunSelect(batch.rows, first, sel, [&](uint32_t i) {
+        return PassOp(op, (a[i] > b[i]) - (a[i] < b[i]));
+      });
+    } else {
+      const int64_t b = lit.as_int();
+      RunSelect(batch.rows, first, sel, [&](uint32_t i) {
+        return PassOp(op, (a[i] > b) - (a[i] < b));
+      });
+    }
+    return;
+  }
+  // Numeric pair with at least one double: numeric comparison (both the
+  // mixed-type rule and the all-double Value ordering reduce to Cmp3).
+  if (NumericRep(lr) && NumericRep(rr)) {
+    if (rcol != nullptr) {
+      RunSelect(batch.rows, first, sel, [&](uint32_t i) {
+        return PassOp(op, Cmp3(NumericAt(l, i), NumericAt(*rcol, i)));
+      });
+    } else {
+      const double b = lit.AsNumeric();
+      RunSelect(batch.rows, first, sel, [&](uint32_t i) {
+        return PassOp(op, Cmp3(NumericAt(l, i), b));
+      });
+    }
+    return;
+  }
+  // Both sides strings: plain string ordering.
+  if (lr == ColumnRep::kString && rr == ColumnRep::kString) {
+    const std::vector<std::string>& a = l.strings();
+    if (rcol != nullptr) {
+      const std::vector<std::string>& b = rcol->strings();
+      RunSelect(batch.rows, first, sel, [&](uint32_t i) {
+        int c = a[i].compare(b[i]);
+        return PassOp(op, (c > 0) - (c < 0));
+      });
+    } else {
+      const std::string& b = lit.as_string();
+      RunSelect(batch.rows, first, sel, [&](uint32_t i) {
+        int c = a[i].compare(b);
+        return PassOp(op, (c > 0) - (c < 0));
+      });
+    }
+    return;
+  }
+  // Mixed-rep columns or string/numeric pairs: the generic Value rules.
+  RunSelect(batch.rows, first, sel, [&](uint32_t i) {
+    Value lv = l.ValueAt(i);
+    Value rv = rcol != nullptr ? rcol->ValueAt(i) : lit;
+    return PassOp(op, CmpPredicateValues(lv, rv));
+  });
+}
+
+void EvalExprSchedule(const ExprSchedule& sched, const ColumnBatch& batch,
+                      const std::vector<int>& step_pos,
+                      EvaluatedSchedule* out) {
+  const size_t nsteps = sched.steps.size();
+  out->computed.clear();
+  out->computed.resize(nsteps);
+  out->cols.assign(nsteps, nullptr);
+  for (size_t s = 0; s < nsteps; ++s) {
+    const ExprStep& step = sched.steps[s];
+    switch (step.kind) {
+      case ScalarExpr::Kind::kColumn:
+        out->cols[s] = &batch.col(step_pos[s]);
+        break;
+      case ScalarExpr::Kind::kLiteral:
+        out->computed[s] = Splat(step.literal, batch.rows);
+        out->cols[s] = &out->computed[s];
+        break;
+      case ScalarExpr::Kind::kBinary:
+        EvalBinary(step.op, *out->cols[static_cast<size_t>(step.lhs)],
+                   *out->cols[static_cast<size_t>(step.rhs)], batch.rows,
+                   &out->computed[s]);
+        out->cols[s] = &out->computed[s];
+        break;
+    }
+  }
+}
+
+}  // namespace scx

@@ -1,0 +1,50 @@
+#ifndef SCX_EXEC_VECTOR_KERNELS_H_
+#define SCX_EXEC_VECTOR_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/column_batch.h"
+#include "plan/expr.h"
+#include "plan/expr_cse.h"
+
+namespace scx {
+
+/// Key hash of every batch row over the `positions` columns — bit-identical
+/// to HashRowKey(row, positions) on the source rows. Columns are hashed
+/// whole (column-major), typed loops per rep; the per-row HashCombine chain
+/// order is the positions order, exactly as the row-at-a-time path.
+void HashColumns(const ColumnBatch& batch, const std::vector<int>& positions,
+                 std::vector<uint64_t>* hashes);
+
+/// Applies `pred` over the batch, intersecting into `sel`: when `first`,
+/// fills sel with all passing row indices; otherwise keeps only the already
+/// selected rows that also pass. Positions are pre-resolved by the caller
+/// (rhs_pos < 0 means the literal side). Comparison semantics are exactly
+/// BoundPredicate::Evaluate's: mixed int/double compares numerically,
+/// otherwise the canonical Value ordering applies.
+void ApplyPredicate(const ColumnBatch& batch, const BoundPredicate& pred,
+                    int lhs_pos, int rhs_pos, bool first,
+                    SelectionVector* sel);
+
+/// Evaluated shared-slot schedule: one column per step. kColumn steps
+/// borrow the input batch's column; computed steps own their storage in
+/// `computed`. Use `cols[step]` to read any step's output.
+struct EvaluatedSchedule {
+  std::vector<ColumnVector> computed;
+  std::vector<const ColumnVector*> cols;
+};
+
+/// Runs `sched` over the batch: each step evaluated once, in order, with
+/// type-specialized binary kernels reproducing ScalarExpr::Evaluate's
+/// dynamic semantics bit-for-bit (kDiv always yields doubles with the
+/// divide-by-zero-is-zero rule; +,-,* stay int64 only when both cells are
+/// int64). `step_pos[i]` is the schema position of a kColumn step, -1
+/// otherwise.
+void EvalExprSchedule(const ExprSchedule& sched, const ColumnBatch& batch,
+                      const std::vector<int>& step_pos,
+                      EvaluatedSchedule* out);
+
+}  // namespace scx
+
+#endif  // SCX_EXEC_VECTOR_KERNELS_H_

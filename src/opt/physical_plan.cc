@@ -139,8 +139,12 @@ PhysicalNodePtr MakePhysicalNode(PhysicalOpKind kind, LogicalNodePtr proto,
   node->delivered = std::move(delivered);
   node->own_cost = own_cost;
   node->tree_cost = own_cost;
+  node->cost_lb = own_cost;
   for (const PhysicalNodePtr& c : node->children) {
     node->tree_cost += c->tree_cost;
+    if (own_cost + c->cost_lb > node->cost_lb) {
+      node->cost_lb = own_cost + c->cost_lb;
+    }
   }
   return node;
 }

@@ -60,6 +60,14 @@ class PhysicalNode {
   /// own_cost + sum of children's tree_cost (re-executes shared subtrees —
   /// the conventional optimizer's accounting, paper Fig. 8(a)).
   double tree_cost = 0;
+  /// Precomputed lower bound on DagCost: own_cost + the largest child
+  /// cost_lb. Valid by induction — DagCost(n) >= n->own_cost +
+  /// DagCost(child) >= n->own_cost + child->cost_lb for every child — and
+  /// a pure function of the node, so bound-based pruning decisions are
+  /// deterministic. Unlike dag_cost_memo it never triggers a DAG walk,
+  /// which keeps candidate screening O(children) even for fresh enforcer
+  /// and spool intermediates that are considered once and discarded.
+  double cost_lb = 0;
 
   /// Enforcer payloads.
   ColumnSet exchange_cols;  ///< kHashExchange / kMergeExchange

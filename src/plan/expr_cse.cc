@@ -1,0 +1,105 @@
+#include "plan/expr_cse.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace scx {
+
+namespace {
+
+/// Value-numbering state: hash buckets of existing step indices, verified
+/// by full structural comparison before reuse (the fingerprint idiom).
+struct ScheduleBuilder {
+  ExprSchedule* out;
+  std::unordered_map<uint64_t, std::vector<int>> buckets;
+
+  uint64_t StepHash(const ExprStep& s) const {
+    switch (s.kind) {
+      case ScalarExpr::Kind::kColumn:
+        return HashCombine(0x6c01, s.column);
+      case ScalarExpr::Kind::kLiteral:
+        return HashCombine(0x6c02, s.literal.Hash());
+      case ScalarExpr::Kind::kBinary:
+        return HashCombine(
+            HashCombine(0x6c03, static_cast<uint64_t>(s.op)),
+            HashCombine(static_cast<uint64_t>(s.lhs),
+                        static_cast<uint64_t>(s.rhs)));
+    }
+    return 0;
+  }
+
+  bool StepEquals(const ExprStep& a, const ExprStep& b) const {
+    if (a.kind != b.kind) return false;
+    switch (a.kind) {
+      case ScalarExpr::Kind::kColumn:
+        return a.column == b.column;
+      case ScalarExpr::Kind::kLiteral:
+        return a.literal == b.literal;
+      case ScalarExpr::Kind::kBinary:
+        return a.op == b.op && a.lhs == b.lhs && a.rhs == b.rhs;
+    }
+    return false;
+  }
+
+  /// Interns `step`, returning an existing step index on a structural
+  /// match. Operands are already interned, so subtree equality reduces to
+  /// operand-index equality — whole-tree dedup in O(1) per node.
+  int Intern(ExprStep step, bool count_dedup) {
+    uint64_t h = StepHash(step);
+    std::vector<int>& bucket = buckets[h];
+    for (int idx : bucket) {
+      if (StepEquals(out->steps[static_cast<size_t>(idx)], step)) {
+        if (count_dedup) ++out->duplicates_eliminated;
+        return idx;
+      }
+    }
+    int idx = static_cast<int>(out->steps.size());
+    out->steps.push_back(std::move(step));
+    bucket.push_back(idx);
+    return idx;
+  }
+
+  int Lower(const ScalarExpr& e) {
+    ExprStep step;
+    step.kind = e.kind();
+    switch (e.kind()) {
+      case ScalarExpr::Kind::kColumn:
+        step.column = e.column();
+        return Intern(std::move(step), /*count_dedup=*/false);
+      case ScalarExpr::Kind::kLiteral:
+        step.literal = e.literal();
+        return Intern(std::move(step), /*count_dedup=*/false);
+      case ScalarExpr::Kind::kBinary: {
+        step.op = e.op();
+        step.lhs = Lower(*e.lhs());
+        step.rhs = Lower(*e.rhs());
+        // Canonical operand order for the commutative operators: IEEE-754
+        // add/mul and wrapping int arithmetic are operand-order-invariant,
+        // so sorting the step indices merges A+B with B+A bit-exactly.
+        if ((e.op() == ScalarExpr::BinOp::kAdd ||
+             e.op() == ScalarExpr::BinOp::kMul) &&
+            step.rhs < step.lhs) {
+          std::swap(step.lhs, step.rhs);
+        }
+        return Intern(std::move(step), /*count_dedup=*/true);
+      }
+    }
+    return Intern(std::move(step), /*count_dedup=*/false);
+  }
+};
+
+}  // namespace
+
+ExprSchedule BuildExprSchedule(const std::vector<ComputeItem>& items) {
+  ExprSchedule sched;
+  ScheduleBuilder builder{&sched, {}};
+  sched.item_steps.reserve(items.size());
+  for (const ComputeItem& item : items) {
+    sched.item_steps.push_back(builder.Lower(*item.expr));
+  }
+  return sched;
+}
+
+}  // namespace scx

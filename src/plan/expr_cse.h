@@ -1,0 +1,50 @@
+#ifndef SCX_PLAN_EXPR_CSE_H_
+#define SCX_PLAN_EXPR_CSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "plan/scalar.h"
+
+namespace scx {
+
+/// One step of a stage's shared-slot evaluation schedule. Steps are in
+/// dependency order (operands always precede their users), so a batch
+/// evaluator runs them top to bottom, each step producing one column.
+struct ExprStep {
+  ScalarExpr::Kind kind = ScalarExpr::Kind::kLiteral;
+  ColumnId column = 0;  ///< kColumn: input column to load
+  Value literal;        ///< kLiteral: constant to splat
+  ScalarExpr::BinOp op = ScalarExpr::BinOp::kAdd;
+  int lhs = -1;  ///< kBinary: operand step indices
+  int rhs = -1;
+};
+
+/// The expression-level CSE result for one Compute stage: structurally
+/// equal ScalarExpr subtrees across all of the stage's items collapse to a
+/// single step, evaluated once per batch and referenced thereafter — the
+/// expression-granularity analogue of the optimizer's shared sub-DAG
+/// spools (and of DuckDB's CommonSubExpressionOptimizer).
+struct ExprSchedule {
+  std::vector<ExprStep> steps;
+  /// Step producing each compute item's output, aligned with the items.
+  std::vector<int> item_steps;
+  /// Structurally duplicate binary subtrees eliminated (memo hits); the
+  /// executor surfaces this as ExecMetrics::exprs_deduped.
+  int64_t duplicates_eliminated = 0;
+
+  bool HasSharing() const { return duplicates_eliminated > 0; }
+};
+
+/// Canonicalizes and deduplicates the items' expression trees into a
+/// shared-slot schedule. Value numbering uses the fingerprint hashing idiom
+/// (structural hash + full equality check per bucket, so hash collisions
+/// can never merge distinct subtrees). Commutative operators (+, *) are
+/// canonicalized by ordering their operand steps, which is bit-exact for
+/// IEEE-754 add/mul and two's-complement int wraparound, so `B*A` shares
+/// `A*B`'s step without changing a single output bit.
+ExprSchedule BuildExprSchedule(const std::vector<ComputeItem>& items);
+
+}  // namespace scx
+
+#endif  // SCX_PLAN_EXPR_CSE_H_

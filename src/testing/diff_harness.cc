@@ -17,18 +17,22 @@ namespace scx {
 namespace {
 
 Result<ExecMetrics> RunPlan(const PhysicalNodePtr& plan, int machines,
-                            int exec_threads) {
+                            int exec_threads, int batch_size = 0) {
   ClusterConfig cluster;
   cluster.machines = machines;
   cluster.exec_threads = exec_threads;
+  cluster.batch_size = batch_size;
   Executor executor(cluster);
   return executor.Execute(plan);
 }
 
 /// Full bitwise comparison of two executions (counters AND raw rows — the
-/// determinism contract of docs/architecture.md §12).
+/// determinism contract of docs/architecture.md §12). The batch-path
+/// counters are compared only when both runs used the same batch size
+/// (`same_batch_size`): they count batch-path work, so a batch_size=1 run
+/// legitimately reports 0 for both while producing identical rows.
 bool MetricsEqual(const ExecMetrics& a, const ExecMetrics& b,
-                  std::string* why) {
+                  bool same_batch_size, std::string* why) {
 #define SCX_CMP(field)                                                  \
   if (a.field != b.field) {                                             \
     *why = #field ": " + std::to_string(a.field) + " vs " +             \
@@ -45,6 +49,10 @@ bool MetricsEqual(const ExecMetrics& a, const ExecMetrics& b,
   SCX_CMP(spool_cache_hits)
   SCX_CMP(operator_invocations)
   SCX_CMP(rows_output)
+  if (same_batch_size) {
+    SCX_CMP(batches_evaluated)
+    SCX_CMP(exprs_deduped)
+  }
 #undef SCX_CMP
   if (a.outputs != b.outputs) {
     *why = "raw output rows differ";
@@ -394,10 +402,28 @@ std::optional<DiffHarness::Failure> DiffHarness::RunOracles(
                      "cse parallel: " + cse_par_run.status().ToString()};
     }
     std::string why;
-    if (!MetricsEqual(*cse_run, *cse_par_run, &why)) {
+    if (!MetricsEqual(*cse_run, *cse_par_run, /*same_batch_size=*/true,
+                      &why)) {
       return Failure{"exec-determinism",
                      std::to_string(opts_.threads) +
                          "-thread execution diverged from serial: " + why};
+    }
+  }
+
+  // Oracle 5: the columnar batch path (the default used by every run
+  // above) is bit-identical to the batch_size=1 row-at-a-time path.
+  {
+    auto row_run = RunPlan(cse->plan(), opts_.machines, /*exec_threads=*/1,
+                           /*batch_size=*/1);
+    if (!row_run.ok()) {
+      return Failure{"execute",
+                     "cse batch_size=1: " + row_run.status().ToString()};
+    }
+    std::string why;
+    if (!MetricsEqual(*cse_run, *row_run, /*same_batch_size=*/false, &why)) {
+      return Failure{"batch-identity",
+                     "batched execution diverged from the batch_size=1 row "
+                     "path: " + why};
     }
   }
   return std::nullopt;

@@ -26,14 +26,17 @@ struct HarnessOptions {
   std::string corpus_dir;
 };
 
-/// Result of checking one script against the four oracles. `oracle` is one
-/// of the failure tags below; empty when everything passed.
+/// Result of checking one script against the oracles. `oracle` is one of
+/// the failure tags below; empty when everything passed.
 ///
-/// The four paper-level invariants map onto the tags as:
+/// The paper-level invariants map onto the tags as:
 ///   (1) equivalence    -> "outputs"
 ///   (2) cost claim     -> "cost"
 ///   (3) determinism    -> "opt-determinism" / "exec-determinism"
 ///   (4) plan hygiene   -> "validate" / "roundtrip"
+///   (5) batch identity -> "batch-identity" (the vectorized executor must
+///       be bit-identical — raw rows and legacy counters — to the
+///       batch_size=1 row-at-a-time path)
 /// plus pipeline failures "compile" / "optimize" / "execute" (a generated
 /// script must never fail to compile, optimize, or run).
 struct OracleReport {
@@ -53,7 +56,11 @@ struct OracleReport {
 ///   3. serial and multi-threaded optimize + execute are bit-identical
 ///      (same plan JSON; same ExecMetrics counters and raw output rows);
 ///   4. both plans pass ValidatePlan and their JSON serialization survives a
-///      parse -> serialize round-trip byte for byte.
+///      parse -> serialize round-trip byte for byte;
+///   5. columnar-batch execution (the default) is bit-identical to the
+///      batch_size=1 legacy row path: same raw output rows and same legacy
+///      counters (batches_evaluated/exprs_deduped are excluded — they count
+///      batch-path work and are 0 by definition on the row path).
 /// On failure it greedily minimizes the script (drop outputs -> drop
 /// operators -> shrink WHERE/ORDER BY/GROUP BY clauses), re-checking the
 /// failing oracle at every step, and optionally writes the shrunken repro

@@ -199,6 +199,10 @@ class Generator {
         "M" + std::to_string(j) + "C" + std::to_string(c);
     std::string sink =
         "o" + std::to_string(j) + "_" + std::to_string(c) + ".out";
+    if (opts_.force_expr_consumers) {
+      EmitExprConsumer(base, sink, shared, keys, vals);
+      return;
+    }
     double roll = static_cast<double>(rng_.Next() >> 11) * 0x1.0p-53;
 
     if (roll < opts_.union_consumer_prob) {
@@ -261,6 +265,12 @@ class Generator {
       Output(base, sink);
       return;
     }
+    roll -= opts_.broadcast_consumer_prob;
+
+    if (roll < opts_.expr_consumer_prob) {
+      EmitExprConsumer(base, sink, shared, keys, vals);
+      return;
+    }
 
     // Plain (optionally two-level) aggregation chain.
     std::vector<std::string> gb = RandomSubset(rng_, keys);
@@ -284,6 +294,48 @@ class Generator {
     } else {
       Output(base, sink);
     }
+  }
+
+  /// Consumer with a Compute stage of deep arithmetic select items that
+  /// deliberately repeat a subterm — textually, and operand-swapped for `+`
+  /// (which the expression-CSE pass merges via commutative
+  /// canonicalization) — then aggregates the computed columns back down.
+  /// `/` results are double (0 on a zero divisor by the engine's
+  /// definition), so the batch-vs-row oracle also covers the double
+  /// kernels and float-addition ordering in aggregates.
+  void EmitExprConsumer(const std::string& base, const std::string& sink,
+                        const std::string& shared,
+                        const std::vector<std::string>& keys,
+                        const std::vector<std::string>& vals) {
+    std::vector<std::string> cols = keys;
+    cols.insert(cols.end(), vals.begin(), vals.end());
+
+    const std::string a = rng_.Pick(cols);
+    const std::string b = rng_.Pick(cols);
+    bool add = rng_.Chance(0.7);
+    std::string t = "(" + a + (add ? "+" : "-") + b + ")";
+    // Operand-swapped duplicate of `t`: structurally distinct in the
+    // script text, equal after commutative canonicalization ('+' only;
+    // for '-' we repeat the exact spelling instead).
+    std::string dup = add && rng_.Chance(0.5) ? "(" + b + "+" + a + ")" : t;
+    const std::string m = rng_.Pick(cols);
+    const std::string gk = rng_.Pick(keys);
+
+    std::string compute = base + "E";
+    std::string items = gk + "," + t + "*" + t + " AS X," + t + "*" + m +
+                        " AS Y," + m + "*" + m + "+" + dup + " AS Z";
+    bool with_div = rng_.Chance(0.4);
+    if (with_div) items += "," + m + "/" + dup + " AS Q";
+    Line(compute + " = SELECT " + items + " FROM " + shared + ";");
+    // Q is double, so it must be folded with an order-independent aggregate
+    // (Max): the conventional and cse plans may legitimately feed the final
+    // aggregation in different row orders, and a double Sum would diverge
+    // in the last bits between the two plans.
+    std::string aggs = "Sum(X) AS V,Min(Y) AS W,Max(Z) AS U";
+    if (with_div) aggs += ",Max(Q) AS R";
+    Line(base + " = SELECT " + gk + "," + aggs + " FROM " + compute +
+         " GROUP BY " + gk + ";");
+    Output(base, sink);
   }
 
   /// Independent unshared pipeline (extract -> filter -> agg -> output):

@@ -32,6 +32,10 @@ struct ScriptGenOptions {
   double union_consumer_prob = 0.2;
   double join_consumer_prob = 0.2;
   double broadcast_consumer_prob = 0.15;
+  /// Consumer computes deep arithmetic select items that deliberately repeat
+  /// a subterm (sometimes operand-swapped), so the executor's
+  /// expression-CSE pass and the batch-vs-row oracle see real duplicates.
+  double expr_consumer_prob = 0.2;
   double filler_prob = 0.3;        ///< append an unshared filler pipeline
   double empty_input_prob = 0.05;  ///< a module's file has rows=0
   double duplicate_output_prob = 0.08;
@@ -40,6 +44,7 @@ struct ScriptGenOptions {
   bool force_single_consumer = false;   ///< every shared node: 1 consumer
   bool force_empty_inputs = false;      ///< every input file: rows=0
   bool force_duplicate_outputs = false; ///< every consumer output duplicated
+  bool force_expr_consumers = false;    ///< every consumer: arithmetic shape
 };
 
 /// One generated differential-testing case: a SCOPE-dialect script with
@@ -56,8 +61,8 @@ struct GeneratedCase {
 ///
 /// Structure: 1–3 modules, each module an EXTRACT (optionally filtered)
 /// feeding a shared aggregate or a shared multi-key join, consumed by 2–4
-/// downstream group-bys / joins / unions / second-level aggregations, each
-/// ending in an OUTPUT. Generated scripts always compile: the generator
+/// downstream group-bys / joins / unions / second-level aggregations /
+/// duplicated-arithmetic computes, each ending in an OUTPUT. Generated scripts always compile: the generator
 /// tracks every intermediate result's schema and only references columns
 /// that exist.
 GeneratedCase GenerateScript(uint64_t seed, const ScriptGenOptions& options = {});

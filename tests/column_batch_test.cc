@@ -1,0 +1,192 @@
+// Unit tests for the columnar batch layer (src/exec/column_batch): the
+// row <-> batch converters must be lossless and bit-identical, selection
+// vectors must gather exactly the selected cells, rep adoption/demotion
+// must keep mixed-type columns exact, and the null mask must stay scoped
+// to kernel-level intermediates.
+
+#include "exec/column_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/value.h"
+
+namespace scx {
+namespace {
+
+std::vector<Row> MixedRows() {
+  // 3 columns: pure int, pure double, mixed (int then string).
+  return {
+      {Value::Int(1), Value::Real(1.5), Value::Int(10)},
+      {Value::Int(2), Value::Real(-0.0), Value::Str("x")},
+      {Value::Int(3), Value::Real(2.5), Value::Int(30)},
+      {Value::Int(-4), Value::Real(1e300), Value::Str("")},
+  };
+}
+
+TEST(ColumnVectorTest, AdoptsRepFromFirstAppendAndDemotesOnMismatch) {
+  ColumnVector col;
+  col.AppendValue(Value::Int(7));
+  EXPECT_EQ(col.rep(), ColumnRep::kInt64);
+  col.AppendValue(Value::Int(8));
+  ASSERT_EQ(col.ints().size(), 2u);
+
+  // A double arrives: the whole column demotes to kValue, and every cell —
+  // including the previously typed ones — reads back bit-identically.
+  col.AppendValue(Value::Real(2.25));
+  EXPECT_EQ(col.rep(), ColumnRep::kValue);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.ValueAt(0), Value::Int(7));
+  EXPECT_EQ(col.ValueAt(1), Value::Int(8));
+  EXPECT_EQ(col.ValueAt(2), Value::Real(2.25));
+}
+
+TEST(ColumnVectorTest, CellEqualsUsesExactValueSemantics) {
+  ColumnVector col;
+  col.AppendValue(Value::Int(5));
+  col.AppendValue(Value::Real(5.0));
+  // Type must match: Int(5) != Real(5.0) under Value::operator==.
+  EXPECT_TRUE(col.CellEquals(0, Value::Int(5)));
+  EXPECT_FALSE(col.CellEquals(0, Value::Real(5.0)));
+  EXPECT_TRUE(col.CellEquals(1, Value::Real(5.0)));
+  EXPECT_FALSE(col.CellEquals(1, Value::Int(5)));
+}
+
+TEST(ColumnVectorTest, CellHashMatchesValueHash) {
+  ColumnVector col;
+  std::vector<Value> cells = {Value::Int(42), Value::Real(-0.0),
+                              Value::Str("abc"), Value::Int(-1)};
+  for (const Value& v : cells) col.AppendValue(v);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(col.CellHash(i), col.ValueAt(i).Hash()) << "cell " << i;
+  }
+}
+
+TEST(ColumnVectorTest, NullMaskTracksAppendNull) {
+  ColumnVector col(ColumnRep::kInt64);
+  col.AppendValue(Value::Int(1));
+  col.AppendNull();
+  col.AppendValue(Value::Int(3));
+  EXPECT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.null_count(), 1u);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_FALSE(col.IsNull(2));
+  // Fully-valid columns never allocate a mask.
+  ColumnVector valid;
+  valid.AppendValue(Value::Int(1));
+  EXPECT_EQ(valid.null_count(), 0u);
+  EXPECT_FALSE(valid.IsNull(0));
+}
+
+TEST(ColumnBatchTest, RowBatchRoundTripIsBitIdentical) {
+  std::vector<Row> rows = MixedRows();
+  ColumnBatch batch =
+      BatchFromRows(rows, 0, rows.size(), 3, /*wanted=*/{0, 1, 2});
+  ASSERT_EQ(batch.rows, rows.size());
+  // The mixed column demoted to kValue; the typed ones adopted their rep.
+  EXPECT_EQ(batch.col(0).rep(), ColumnRep::kInt64);
+  EXPECT_EQ(batch.col(1).rep(), ColumnRep::kDouble);
+  EXPECT_EQ(batch.col(2).rep(), ColumnRep::kValue);
+
+  std::vector<Row> back;
+  AppendBatchRows(batch, &back);
+  EXPECT_EQ(back, rows);  // raw Value equality, row for row
+}
+
+TEST(ColumnBatchTest, ChunkedConversionPreservesRowOrder) {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 10; ++i) rows.push_back({Value::Int(i)});
+  std::vector<Row> back;
+  for (size_t begin = 0; begin < rows.size(); begin += 3) {
+    size_t end = std::min(begin + 3, rows.size());
+    ColumnBatch batch = BatchFromRows(rows, begin, end, 1, {0});
+    AppendBatchRows(batch, &back);
+  }
+  EXPECT_EQ(back, rows);
+}
+
+TEST(ColumnBatchTest, MaterializesOnlyWantedPositions) {
+  std::vector<Row> rows = MixedRows();
+  // Duplicate positions in `wanted` must be harmless.
+  ColumnBatch batch = BatchFromRows(rows, 1, 3, 3, {2, 2, 0, 0});
+  EXPECT_EQ(batch.rows, 2u);
+  ASSERT_EQ(batch.columns.size(), 3u);
+  EXPECT_EQ(batch.col(0).size(), 2u);
+  EXPECT_TRUE(batch.col(1).empty());  // not requested: stays empty
+  EXPECT_EQ(batch.col(2).size(), 2u);
+  EXPECT_EQ(batch.col(0).ValueAt(0), rows[1][0]);
+  EXPECT_EQ(batch.col(2).ValueAt(1), rows[2][2]);
+}
+
+TEST(ColumnBatchTest, GatherColumnFollowsSelectionVector) {
+  ColumnVector col;
+  for (int64_t i = 0; i < 6; ++i) col.AppendValue(Value::Int(i * 10));
+  SelectionVector sel = {1, 3, 4};
+  ColumnVector picked = GatherColumn(col, sel);
+  EXPECT_EQ(picked.rep(), ColumnRep::kInt64);
+  ASSERT_EQ(picked.size(), 3u);
+  EXPECT_EQ(picked.ValueAt(0), Value::Int(10));
+  EXPECT_EQ(picked.ValueAt(1), Value::Int(30));
+  EXPECT_EQ(picked.ValueAt(2), Value::Int(40));
+
+  // Empty selection: empty column, rep kept.
+  ColumnVector none = GatherColumn(col, {});
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(ColumnBatchTest, GatherColumnKeepsNullMask) {
+  ColumnVector col(ColumnRep::kInt64);
+  col.AppendValue(Value::Int(1));
+  col.AppendNull();
+  col.AppendValue(Value::Int(3));
+  ColumnVector picked = GatherColumn(col, {1, 2});
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_TRUE(picked.IsNull(0));
+  EXPECT_FALSE(picked.IsNull(1));
+  EXPECT_EQ(picked.ValueAt(1), Value::Int(3));
+}
+
+TEST(ColumnBatchTest, AppendRowsFromColumnsZipsColumns) {
+  ColumnVector a, b;
+  for (int64_t i = 0; i < 3; ++i) {
+    a.AppendValue(Value::Int(i));
+    b.AppendValue(Value::Str(std::to_string(i)));
+  }
+  std::vector<Row> out;
+  AppendRowsFromColumns({&a, &b}, 3, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2], (Row{Value::Int(2), Value::Str("2")}));
+  // The same column may back several output positions (shared CSE slot).
+  std::vector<Row> dup;
+  AppendRowsFromColumns({&a, &a}, 3, &dup);
+  EXPECT_EQ(dup[1], (Row{Value::Int(1), Value::Int(1)}));
+}
+
+TEST(NumBatchesTest, CeilDivisionAndEdgeCases) {
+  EXPECT_EQ(NumBatches(0, 4096), 0);
+  EXPECT_EQ(NumBatches(1, 4096), 1);
+  EXPECT_EQ(NumBatches(4096, 4096), 1);
+  EXPECT_EQ(NumBatches(4097, 4096), 2);
+  EXPECT_EQ(NumBatches(10, 1), 10);
+  EXPECT_EQ(NumBatches(10, 0), 0);  // guarded: batch paths never use 0
+}
+
+TEST(DefaultBatchSizeTest, EnvOverridesAndFallsBack) {
+  // The test mutates the process environment, so it restores it at the end;
+  // gtest runs tests in one process, so keep this self-contained.
+  const char* old = std::getenv("SCX_BATCH_SIZE");
+  std::string saved = old != nullptr ? old : "";
+  ::setenv("SCX_BATCH_SIZE", "128", 1);
+  EXPECT_EQ(DefaultBatchSize(), 128);
+  ::setenv("SCX_BATCH_SIZE", "0", 1);  // non-positive: fall back
+  EXPECT_EQ(DefaultBatchSize(), 4096);
+  ::unsetenv("SCX_BATCH_SIZE");
+  EXPECT_EQ(DefaultBatchSize(), 4096);
+  if (old != nullptr) ::setenv("SCX_BATCH_SIZE", saved.c_str(), 1);
+}
+
+}  // namespace
+}  // namespace scx

@@ -75,6 +75,72 @@ TEST(EngineTest, DiagnosticsExposed) {
   EXPECT_DOUBLE_EQ(d.final_cost, c->cse.cost());
 }
 
+TEST(EngineTest, ExecMetricsToJsonCarriesEveryCounter) {
+  // Regression for the scx_cli --json --execute surface: the JSON must
+  // carry every ExecMetrics counter, including the batch-path pair
+  // (batches_evaluated / exprs_deduped) next to the spool counters.
+  OptimizerConfig config;
+  config.cluster.machines = 4;
+  config.cluster.batch_size = 256;  // pinned: SCX_BATCH_SIZE must not leak in
+  Engine engine(MakeExecutionCatalog(2000), config);
+  auto compiled = engine.Compile(kScriptS1);
+  ASSERT_TRUE(compiled.ok());
+  auto optimized = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(optimized.ok());
+  auto metrics = engine.Execute(*optimized);
+  ASSERT_TRUE(metrics.ok());
+
+  std::string json = ExecMetricsToJson(*metrics);
+  for (const char* key :
+       {"\"rows_extracted\":", "\"rows_shuffled\":", "\"bytes_shuffled\":",
+        "\"bytes_spooled\":", "\"rows_spooled\":", "\"spool_executions\":",
+        "\"spool_reads\":", "\"spool_cache_hits\":",
+        "\"operator_invocations\":", "\"rows_output\":",
+        "\"batches_evaluated\":", "\"exprs_deduped\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  // Counter values round-trip: spot-check the two batch counters against
+  // the struct (S1 runs with batch_size 256, so batches > 0).
+  EXPECT_NE(json.find("\"batches_evaluated\":" +
+                      std::to_string(metrics->batches_evaluated)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"exprs_deduped\":" +
+                      std::to_string(metrics->exprs_deduped)),
+            std::string::npos);
+  EXPECT_GT(metrics->batches_evaluated, 0);
+}
+
+TEST(EngineTest, BatchSizeConfigSelectsRowPath) {
+  // ClusterConfig.batch_size = 1 is the legacy row path: identical outputs,
+  // zero batch counters.
+  OptimizerConfig batched_cfg;
+  batched_cfg.cluster.machines = 4;
+  batched_cfg.cluster.batch_size = 256;  // pinned against SCX_BATCH_SIZE
+  Engine batched(MakeExecutionCatalog(2000), batched_cfg);
+  OptimizerConfig row_cfg = batched_cfg;
+  row_cfg.cluster.batch_size = 1;
+  Engine rowwise(MakeExecutionCatalog(2000), row_cfg);
+
+  auto run = [](Engine& e) {
+    auto compiled = e.Compile(kScriptS1);
+    EXPECT_TRUE(compiled.ok());
+    auto optimized = e.Optimize(*compiled, OptimizerMode::kCse);
+    EXPECT_TRUE(optimized.ok());
+    auto metrics = e.Execute(*optimized);
+    EXPECT_TRUE(metrics.ok());
+    return std::move(metrics.value());
+  };
+  ExecMetrics b = run(batched);
+  ExecMetrics r = run(rowwise);
+  EXPECT_GT(b.batches_evaluated, 0);
+  EXPECT_EQ(r.batches_evaluated, 0);
+  EXPECT_EQ(r.exprs_deduped, 0);
+  EXPECT_EQ(b.outputs, r.outputs);
+  EXPECT_EQ(b.rows_output, r.rows_output);
+}
+
 TEST(EngineTest, OptimizerIntrospectionAvailable) {
   Engine engine(MakePaperCatalog());
   auto compiled = engine.Compile(kScriptS1);

@@ -39,10 +39,12 @@ PlanUnderTest OptimizeOnce(const std::string& name, const Catalog& catalog,
   return {name, optimized->plan(), machines};
 }
 
-ExecMetrics RunWithThreads(const PlanUnderTest& t, int threads) {
+ExecMetrics RunWithThreads(const PlanUnderTest& t, int threads,
+                           int batch_size = 0) {
   ClusterConfig cluster;
   cluster.machines = t.machines;
   cluster.exec_threads = threads;
+  cluster.batch_size = batch_size;
   Executor executor(cluster);
   auto metrics = executor.Execute(t.plan);
   EXPECT_TRUE(metrics.ok()) << t.name << ": "
@@ -63,6 +65,10 @@ void ExpectBitIdentical(const PlanUnderTest& t, const ExecMetrics& serial,
   EXPECT_EQ(serial.operator_invocations, parallel.operator_invocations)
       << t.name;
   EXPECT_EQ(serial.rows_output, parallel.rows_output) << t.name;
+  // The batch-path counters are accounted on the master from partition
+  // sizes alone, so they too are thread-count invariant.
+  EXPECT_EQ(serial.batches_evaluated, parallel.batches_evaluated) << t.name;
+  EXPECT_EQ(serial.exprs_deduped, parallel.exprs_deduped) << t.name;
   // Raw row-for-row equality — not just canonical equivalence. The merge
   // order is part of the determinism contract.
   EXPECT_EQ(serial.outputs, parallel.outputs) << t.name;
@@ -122,6 +128,36 @@ TEST(ExecutorParallelTest, ManyThreadsAndFewMachines) {
   ExecMetrics serial = RunWithThreads(t, 1);
   ExecMetrics parallel = RunWithThreads(t, 8);
   ExpectBitIdentical(t, serial, parallel);
+}
+
+TEST(ExecutorParallelTest, BatchSizeSweepBitIdenticalToRowPath) {
+  // Any batch size must produce the exact rows and legacy counters of the
+  // batch_size=1 row-at-a-time path, at any thread count. (batch_size=1 is
+  // the differential anchor: it runs the verbatim legacy loops.)
+  for (auto [name, script] :
+       {std::make_pair("S2", kScriptS2), std::make_pair("S4", kScriptS4)}) {
+    PlanUnderTest t = OptimizeOnce(name, MakeExecutionCatalog(4000), script,
+                                   OptimizerMode::kCse, /*machines=*/4);
+    ASSERT_NE(t.plan, nullptr) << name;
+    ExecMetrics rows = RunWithThreads(t, /*threads=*/1, /*batch_size=*/1);
+    EXPECT_EQ(rows.batches_evaluated, 0) << name;
+    EXPECT_EQ(rows.exprs_deduped, 0) << name;
+    for (int batch_size : {2, 3, 7, 1024, 4096}) {
+      ExecMetrics serial = RunWithThreads(t, 1, batch_size);
+      ExecMetrics parallel = RunWithThreads(t, 4, batch_size);
+      ExpectBitIdentical(t, serial, parallel);
+      // Cross-batch-size: everything but the batch counters matches the
+      // row path bit for bit.
+      EXPECT_EQ(serial.outputs, rows.outputs)
+          << name << " batch " << batch_size;
+      EXPECT_EQ(serial.rows_shuffled, rows.rows_shuffled) << batch_size;
+      EXPECT_EQ(serial.rows_output, rows.rows_output) << batch_size;
+      EXPECT_EQ(serial.spool_cache_hits, rows.spool_cache_hits)
+          << batch_size;
+      EXPECT_GT(serial.batches_evaluated, 0)
+          << name << " batch " << batch_size;
+    }
+  }
 }
 
 TEST(ExecutorParallelTest, ExecThreadsZeroUsesDefaultAndMatchesSerial) {

@@ -1,0 +1,216 @@
+// Expression-level CSE (src/plan/expr_cse): structurally duplicate
+// ScalarExpr subtrees across one Compute stage's items must collapse to a
+// single shared-slot step — including operand-swapped '+'/'*' forms via
+// commutative canonicalization — while end-to-end execution stays
+// bit-identical to the legacy row path (the pass may only change how often
+// a subtree is evaluated, never any produced value).
+
+#include "plan/expr_cse.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "catalog/catalog.h"
+#include "exec/executor.h"
+#include "plan/scalar.h"
+
+namespace scx {
+namespace {
+
+using BinOp = ScalarExpr::BinOp;
+
+ComputeItem Item(ScalarExprPtr expr, ColumnId out) {
+  ComputeItem item;
+  item.expr = std::move(expr);
+  item.out = out;
+  item.out_name = "c" + std::to_string(out);
+  return item;
+}
+
+int CountBinarySteps(const ExprSchedule& sched) {
+  int n = 0;
+  for (const ExprStep& s : sched.steps) {
+    if (s.kind == ScalarExpr::Kind::kBinary) ++n;
+  }
+  return n;
+}
+
+TEST(ExprCseTest, PassthroughItemsShareColumnSteps) {
+  // Two items forwarding the same column: one kColumn step, no duplicates
+  // counted (only binary memo hits count as eliminations).
+  auto a = ScalarExpr::Column(1);
+  ExprSchedule sched = BuildExprSchedule({Item(a, 10), Item(a, 11)});
+  ASSERT_EQ(sched.item_steps.size(), 2u);
+  EXPECT_EQ(sched.item_steps[0], sched.item_steps[1]);
+  EXPECT_EQ(sched.duplicates_eliminated, 0);
+  EXPECT_FALSE(sched.HasSharing());
+}
+
+TEST(ExprCseTest, DuplicateSubtreeEvaluatedOnce) {
+  // X = (A+B)*(A+B), Y = (A+B)*C: the (A+B) step must appear once and be
+  // referenced three times.
+  auto a = ScalarExpr::Column(1);
+  auto b = ScalarExpr::Column(2);
+  auto c = ScalarExpr::Column(3);
+  auto ab = ScalarExpr::Binary(BinOp::kAdd, a, b);
+  auto x = ScalarExpr::Binary(BinOp::kMul, ab, ab);
+  auto ab2 = ScalarExpr::Binary(BinOp::kAdd, a, b);  // distinct tree object
+  auto y = ScalarExpr::Binary(BinOp::kMul, ab2, c);
+  ExprSchedule sched = BuildExprSchedule({Item(x, 10), Item(y, 11)});
+
+  // Binary steps: one (A+B), one *, one * — the three duplicate uses of
+  // (A+B) fold into one step.
+  EXPECT_EQ(CountBinarySteps(sched), 3);
+  // Memo hits: x's rhs (A+B), and y's lhs (A+B) = 2. (x's lhs built it.)
+  EXPECT_EQ(sched.duplicates_eliminated, 2);
+  EXPECT_TRUE(sched.HasSharing());
+
+  // The two items map to distinct multiply steps sharing one operand.
+  ASSERT_EQ(sched.item_steps.size(), 2u);
+  const ExprStep& sx = sched.steps[sched.item_steps[0]];
+  const ExprStep& sy = sched.steps[sched.item_steps[1]];
+  EXPECT_EQ(sx.lhs, sx.rhs);      // (A+B)*(A+B): both operands one step
+  EXPECT_EQ(sy.lhs, sx.lhs);      // y reuses the same (A+B) step
+  EXPECT_NE(sched.item_steps[0], sched.item_steps[1]);
+}
+
+TEST(ExprCseTest, CommutativeOperandsCanonicalize) {
+  // B+A shares A+B's step; B-A must NOT share A-B's.
+  auto a = ScalarExpr::Column(1);
+  auto b = ScalarExpr::Column(2);
+  auto ab = ScalarExpr::Binary(BinOp::kAdd, a, b);
+  auto ba = ScalarExpr::Binary(BinOp::kAdd, b, a);
+  ExprSchedule add = BuildExprSchedule({Item(ab, 10), Item(ba, 11)});
+  EXPECT_EQ(add.item_steps[0], add.item_steps[1]);
+  EXPECT_EQ(add.duplicates_eliminated, 1);
+
+  ExprSchedule mul = BuildExprSchedule(
+      {Item(ScalarExpr::Binary(BinOp::kMul, a, b), 10),
+       Item(ScalarExpr::Binary(BinOp::kMul, b, a), 11)});
+  EXPECT_EQ(mul.item_steps[0], mul.item_steps[1]);
+
+  ExprSchedule sub = BuildExprSchedule(
+      {Item(ScalarExpr::Binary(BinOp::kSub, a, b), 10),
+       Item(ScalarExpr::Binary(BinOp::kSub, b, a), 11)});
+  EXPECT_NE(sub.item_steps[0], sub.item_steps[1]);
+  EXPECT_EQ(sub.duplicates_eliminated, 0);
+
+  ExprSchedule div = BuildExprSchedule(
+      {Item(ScalarExpr::Binary(BinOp::kDiv, a, b), 10),
+       Item(ScalarExpr::Binary(BinOp::kDiv, b, a), 11)});
+  EXPECT_NE(div.item_steps[0], div.item_steps[1]);
+}
+
+TEST(ExprCseTest, LiteralsDedupByValueAndType) {
+  // A+2 twice shares everything; Int(2) and Real(2.0) stay distinct steps
+  // (different runtime types produce different arithmetic).
+  auto a = ScalarExpr::Column(1);
+  auto two_int = ScalarExpr::Literal(Value::Int(2));
+  auto two_real = ScalarExpr::Literal(Value::Real(2.0));
+  ExprSchedule same = BuildExprSchedule(
+      {Item(ScalarExpr::Binary(BinOp::kAdd, a, two_int), 10),
+       Item(ScalarExpr::Binary(BinOp::kAdd, a, two_int), 11)});
+  EXPECT_EQ(same.item_steps[0], same.item_steps[1]);
+  EXPECT_EQ(same.duplicates_eliminated, 1);
+
+  ExprSchedule mixed = BuildExprSchedule(
+      {Item(ScalarExpr::Binary(BinOp::kAdd, a, two_int), 10),
+       Item(ScalarExpr::Binary(BinOp::kAdd, a, two_real), 11)});
+  EXPECT_NE(mixed.item_steps[0], mixed.item_steps[1]);
+  EXPECT_EQ(mixed.duplicates_eliminated, 0);
+}
+
+TEST(ExprCseTest, StepsAreInDependencyOrder) {
+  auto a = ScalarExpr::Column(1);
+  auto b = ScalarExpr::Column(2);
+  auto ab = ScalarExpr::Binary(BinOp::kAdd, a, b);
+  auto nested = ScalarExpr::Binary(
+      BinOp::kMul, ScalarExpr::Binary(BinOp::kSub, ab, a), ab);
+  ExprSchedule sched = BuildExprSchedule({Item(nested, 10)});
+  for (size_t i = 0; i < sched.steps.size(); ++i) {
+    const ExprStep& s = sched.steps[i];
+    if (s.kind == ScalarExpr::Kind::kBinary) {
+      EXPECT_GE(s.lhs, 0);
+      EXPECT_GE(s.rhs, 0);
+      EXPECT_LT(s.lhs, static_cast<int>(i));
+      EXPECT_LT(s.rhs, static_cast<int>(i));
+    }
+  }
+}
+
+// --- End-to-end: the pass must never change results, only work done ------
+
+/// A script whose Compute stage repeats (A+B) three times — once operand-
+/// swapped — so the CSE schedule has real duplicates to merge.
+constexpr char kDupScript[] = R"(E = EXTRACT A,B,C,D FROM "t.log" USING LogExtractor;
+P = SELECT A,(A+B)*(A+B) AS X,(B+A)*C AS Y,(A+B)*C AS Z FROM E;
+G = SELECT A,Sum(X) AS SX,Min(Y) AS MY,Max(Z) AS MZ FROM P GROUP BY A;
+OUTPUT G TO "dup.out";
+)";
+
+Catalog DupCatalog() {
+  Catalog catalog;
+  Status s = catalog.RegisterLog("t.log", {"A", "B", "C", "D"}, 4000,
+                                 {8, 25, 4, 200}, /*data_seed=*/7);
+  EXPECT_TRUE(s.ok());
+  return catalog;
+}
+
+ExecMetrics RunDupScript(int batch_size, int exec_threads) {
+  Catalog catalog = DupCatalog();
+  OptimizerConfig config;
+  config.cluster.machines = 4;
+  config.num_threads = 1;
+  Engine engine(catalog, config);
+  auto compiled = engine.Compile(kDupScript);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto optimized = engine.Optimize(*compiled, OptimizerMode::kCse);
+  EXPECT_TRUE(optimized.ok()) << optimized.status().ToString();
+
+  ClusterConfig cluster;
+  cluster.machines = 4;
+  cluster.exec_threads = exec_threads;
+  cluster.batch_size = batch_size;
+  Executor executor(cluster);
+  auto metrics = executor.Execute(optimized->plan());
+  EXPECT_TRUE(metrics.ok()) << metrics.status().ToString();
+  return std::move(metrics.value());
+}
+
+TEST(ExprCseExecutionTest, BatchedRunCountsDedupedExprsAndBatches) {
+  ExecMetrics batched = RunDupScript(/*batch_size=*/256, /*exec_threads=*/1);
+  // (B+A) and the second (A+B) hit the memo in every Compute invocation.
+  EXPECT_GT(batched.exprs_deduped, 0);
+  EXPECT_GT(batched.batches_evaluated, 0);
+
+  // The batch_size=1 legacy row path reports 0 for both by definition.
+  ExecMetrics rows = RunDupScript(/*batch_size=*/1, /*exec_threads=*/1);
+  EXPECT_EQ(rows.exprs_deduped, 0);
+  EXPECT_EQ(rows.batches_evaluated, 0);
+}
+
+TEST(ExprCseExecutionTest, BatchedExecutionBitIdenticalToRowPath) {
+  ExecMetrics rows = RunDupScript(/*batch_size=*/1, /*exec_threads=*/1);
+  for (int batch_size : {2, 3, 256, 4096}) {
+    ExecMetrics batched = RunDupScript(batch_size, /*exec_threads=*/1);
+    EXPECT_EQ(batched.outputs, rows.outputs) << "batch " << batch_size;
+    EXPECT_EQ(batched.rows_output, rows.rows_output) << batch_size;
+    EXPECT_EQ(batched.rows_shuffled, rows.rows_shuffled) << batch_size;
+    EXPECT_EQ(batched.operator_invocations, rows.operator_invocations)
+        << batch_size;
+  }
+}
+
+TEST(ExprCseExecutionTest, BatchCountersDeterministicAcrossThreads) {
+  ExecMetrics serial = RunDupScript(/*batch_size=*/256, /*exec_threads=*/1);
+  ExecMetrics parallel = RunDupScript(/*batch_size=*/256, /*exec_threads=*/4);
+  EXPECT_EQ(serial.batches_evaluated, parallel.batches_evaluated);
+  EXPECT_EQ(serial.exprs_deduped, parallel.exprs_deduped);
+  EXPECT_EQ(serial.outputs, parallel.outputs);
+}
+
+}  // namespace
+}  // namespace scx

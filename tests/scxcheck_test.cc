@@ -1,8 +1,9 @@
 // scxcheck tier-1 smoke: the generative differential-testing harness runs
-// >= 200 seeded random scripts through all four oracles (conventional ==
+// >= 200 seeded random scripts through all five oracles (conventional ==
 // cse outputs; cse cost <= conventional; serial == parallel optimize +
-// execute; plan validity + JSON round-trip), plus targeted generator edge
-// cases and replay of the checked-in fuzz corpus. Every failure message
+// execute; plan validity + JSON round-trip; columnar-batch == batch_size=1
+// row execution), plus targeted generator edge cases and replay of the
+// checked-in fuzz corpus. Every failure message
 // carries the script seed, so a red run reproduces with
 //   scx_fuzz --iters 1 ... (or GenerateScript(seed) directly).
 
@@ -73,6 +74,15 @@ TEST(ScxCheckEdgeCases, EmptyInputTablesPass) {
   ScriptGenOptions gen = SmokeGenOptions();
   gen.force_empty_inputs = true;
   CheckSeeds(91001, 12, gen, "empty-input");
+}
+
+TEST(ScxCheckEdgeCases, ExprConsumerScriptsPass) {
+  // Every consumer computes deep arithmetic with deliberately repeated
+  // subterms: exercises the expression-CSE pass, the typed batch kernels
+  // (incl. double division), and the batch-vs-row identity oracle.
+  ScriptGenOptions gen = SmokeGenOptions();
+  gen.force_expr_consumers = true;
+  CheckSeeds(93001, 12, gen, "expr-consumer");
 }
 
 TEST(ScxCheckEdgeCases, DuplicateOutputScriptsPass) {

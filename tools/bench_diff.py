@@ -3,6 +3,7 @@
 
 Usage:
     tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 0.10]
+    tools/bench_diff.py --fast-vs-traced BENCH_opt_cache.json [--threshold 0.10]
 
 Both files must come from the same benchmark binary (bench/opt_parallel,
 bench/opt_cache, or bench/exec_throughput). Every rate metric (keys ending in
@@ -10,6 +11,11 @@ bench/opt_cache, or bench/exec_throughput). Every rate metric (keys ending in
 drop of more than ``--threshold`` (default 10%) is a regression. Exits 1 when
 any regression is found, 0 otherwise, so the CI perf-smoke job can gate on
 it. Stdlib only.
+
+``--fast-vs-traced`` gates within a single BENCH_opt_cache.json instead: the
+untraced (fast) optimizer path must not round-process slower than the traced
+path on any workload, beyond ``--threshold`` (the workloads run sub-second on
+small scripts, so a noise margin is required for a meaningful gate).
 """
 
 import argparse
@@ -50,16 +56,66 @@ def load_rates(path):
     return rates
 
 
+def fast_vs_traced(path, threshold):
+    """Gate: fast (untraced) phase-2 must keep up with traced per script."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"bench_diff: cannot read {path}: {err}")
+    scripts = doc.get("scripts")
+    if not isinstance(scripts, list) or not scripts:
+        sys.exit(f"bench_diff: {path} has no 'scripts' array "
+                 "(expected a BENCH_opt_cache.json)")
+
+    regressions = []
+    print(f"{'script':<10} {'traced r/s':>12} {'fast r/s':>12} {'delta':>8}")
+    for entry in scripts:
+        name = entry.get("name", "?")
+        traced = entry.get("traced", {}).get("phase2_rounds_per_sec")
+        fast = entry.get("fast", {}).get("phase2_rounds_per_sec")
+        if not traced or not fast:
+            sys.exit(f"bench_diff: script {name} lacks traced/fast "
+                     "phase2_rounds_per_sec")
+        delta = (fast - traced) / traced
+        marker = ""
+        if delta < -threshold:
+            regressions.append((name, traced, fast, delta))
+            marker = "  << REGRESSION"
+        print(f"{name:<10} {traced:>12.1f} {fast:>12.1f} {delta:>+7.1%}"
+              f"{marker}")
+
+    if regressions:
+        print(f"\nfast path slower than traced beyond {threshold:.0%} on "
+              f"{len(regressions)} workload(s):")
+        for name, traced, fast, delta in regressions:
+            print(f"  {name}: {traced:.1f} -> {fast:.1f} ({delta:+.1%})")
+        return 1
+    print(f"\nfast >= traced (within {threshold:.0%}) on all "
+          f"{len(scripts)} workloads")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="flag >threshold throughput regressions between two "
                     "bench JSONs")
     parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("current", nargs="?")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="fractional drop that counts as a regression "
                              "(default 0.10)")
+    parser.add_argument("--fast-vs-traced", action="store_true",
+                        help="gate fast vs traced phase-2 rates within one "
+                             "BENCH_opt_cache.json")
     args = parser.parse_args()
+
+    if args.fast_vs_traced:
+        if args.current is not None:
+            parser.error("--fast-vs-traced takes exactly one JSON file")
+        return fast_vs_traced(args.baseline, args.threshold)
+    if args.current is None:
+        parser.error("two files required unless --fast-vs-traced is given")
 
     base = load_rates(args.baseline)
     cur = load_rates(args.current)

@@ -5,7 +5,12 @@
 // Usage:
 //   scx_cli --catalog CATFILE --script SCRIPTFILE
 //           [--mode conv|naive|cse] [--machines N] [--budget SECONDS]
-//           [--threads N] [--compare] [--execute] [--quiet]
+//           [--threads N] [--batch N] [--compare] [--execute] [--quiet]
+//
+// --batch sets the executor's rows-per-batch (0 = default / SCX_BATCH_SIZE
+// env; 1 = the exact legacy row-at-a-time path). With --json --execute the
+// output gains an "execution" object carrying every ExecMetrics counter,
+// including batches_evaluated and exprs_deduped.
 //
 // Catalog file format (one file per line, '#' comments; see
 // testing/catalog_text.h):
@@ -103,6 +108,13 @@ int Main(int argc, char** argv) {
       }
       config.num_threads = n;
       config.cluster.exec_threads = n;
+    } else if (arg == "--batch") {
+      int n = std::atoi(next());
+      if (n < 0) {
+        std::fprintf(stderr, "scx: --batch needs a non-negative integer\n");
+        return 2;
+      }
+      config.cluster.batch_size = n;
     } else if (arg == "--compare") {
       compare = true;
     } else if (arg == "--execute") {
@@ -115,7 +127,8 @@ int Main(int argc, char** argv) {
       std::printf(
           "usage: scx_cli --catalog FILE --script FILE [--mode conv|naive|"
           "cse]\n              [--machines N] [--budget S] [--threads N] "
-          "[--compare] [--execute]\n              [--quiet] [--json]\n");
+          "[--batch N]\n              [--compare] [--execute] [--quiet] "
+          "[--json]\n");
       return 0;
     } else {
       std::fprintf(stderr, "scx: unknown flag %s (try --help)\n",
@@ -167,9 +180,16 @@ int Main(int argc, char** argv) {
   auto optimized = engine.Optimize(*compiled, mode);
   if (!optimized.ok()) return Fail(optimized.status());
   if (json) {
-    std::printf("{\"plan\":%s,\"diagnostics\":%s}\n",
+    std::string execution;
+    if (execute) {
+      auto metrics = engine.Execute(*optimized);
+      if (!metrics.ok()) return Fail(metrics.status());
+      execution = ",\"execution\":" + ExecMetricsToJson(*metrics);
+    }
+    std::printf("{\"plan\":%s,\"diagnostics\":%s%s}\n",
                 PlanToJson(optimized->plan()).c_str(),
-                DiagnosticsToJson(optimized->result.diagnostics).c_str());
+                DiagnosticsToJson(optimized->result.diagnostics).c_str(),
+                execution.c_str());
     return 0;
   }
   std::printf("mode            : %s\n", mode_name.c_str());
@@ -194,6 +214,9 @@ int Main(int argc, char** argv) {
     std::printf("  spool reads    : %lld (%lld from cache)\n",
                 static_cast<long long>(metrics->spool_reads),
                 static_cast<long long>(metrics->spool_cache_hits));
+    std::printf("  batches        : %lld evaluated, %lld exprs deduped\n",
+                static_cast<long long>(metrics->batches_evaluated),
+                static_cast<long long>(metrics->exprs_deduped));
     for (const auto& [path, rows] : metrics->outputs) {
       std::printf("  %-14s : %zu rows\n", path.c_str(), rows.size());
     }

@@ -1,10 +1,11 @@
 // scxcheck driver: generative differential testing of the CSE optimizer.
 //
 // Generates seeded random multi-output DAG scripts with deliberate
-// structural sharing and checks each against four oracles (conventional ==
+// structural sharing and checks each against five oracles (conventional ==
 // cse executed outputs; cse cost <= conventional; serial == parallel
-// optimize + execute; plan validity + JSON round-trip). On failure the
-// script is greedily minimized and the repro written to a corpus directory.
+// optimize + execute; plan validity + JSON round-trip; columnar-batch ==
+// batch_size=1 row execution). On failure the script is greedily minimized
+// and the repro written to a corpus directory.
 //
 // Usage:
 //   scx_fuzz [--seed N] [--iters N] [--threads N] [--machines N]
@@ -14,7 +15,8 @@
 // --iters defaults to $SCX_FUZZ_ITERS when set (so nightly CI can scale the
 // same job up), else 200. --profile pins a generator edge case:
 // default | single (single-consumer, no sharing) | empty (rows=0 inputs) |
-// dup (duplicated OUTPUTs).
+// dup (duplicated OUTPUTs) | expr (every consumer computes duplicated
+// arithmetic, stressing expression-CSE and the batch kernels).
 //
 // Exit code: 0 when every iteration and replay passed, 1 on any oracle
 // failure, 2 on usage errors.
@@ -101,6 +103,8 @@ int Main(int argc, char** argv) {
         gen_opts.force_empty_inputs = true;
       } else if (profile == "dup") {
         gen_opts.force_duplicate_outputs = true;
+      } else if (profile == "expr") {
+        gen_opts.force_expr_consumers = true;
       } else if (profile != "default") {
         std::fprintf(stderr, "scx_fuzz: unknown profile '%s'\n",
                      profile.c_str());
@@ -113,8 +117,8 @@ int Main(int argc, char** argv) {
           "usage: scx_fuzz [--seed N] [--iters N] [--threads N] "
           "[--machines N]\n                [--minimize|--no-minimize] "
           "[--corpus DIR]\n                [--profile default|single|empty|"
-          "dup] [--replay FILE]...\n                [--replay-seed N]... "
-          "[--quiet]\n");
+          "dup|expr] [--replay FILE]...\n                [--replay-seed N]"
+          "... [--quiet]\n");
       return 0;
     } else {
       std::fprintf(stderr, "scx_fuzz: unknown flag %s (try --help)\n",
