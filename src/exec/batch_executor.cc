@@ -1,0 +1,973 @@
+// The batch-native execution pipeline (cluster.batch_size > 1): operators
+// consume and produce BatchData — immutable shared columns plus selection
+// vectors — end to end. Rows exist only at Output (the sanctioned sink
+// conversion) and at operators that explicitly bridge back to the row path
+// (ExecMetrics::batch_pipeline_breaks). The legacy row pipeline in
+// executor.cc stays verbatim at batch_size 1 as the differential anchor;
+// every loop here is constructed to yield bit-identical raw outputs and
+// legacy counters — see docs/architecture.md §14 for the argument.
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+#include "common/hash.h"
+#include "exec/exec_detail.h"
+#include "exec/executor.h"
+#include "exec/row_key_table.h"
+#include "exec/vector_kernels.h"
+#include "plan/expr_cse.h"
+
+namespace scx {
+
+namespace {
+
+using exec_detail::AggState;
+using exec_detail::FinalizeAggCell;
+using exec_detail::SyntheticValue;
+
+/// Total batch_size-chunks needed to process every partition's live rows —
+/// the batch pipeline's batches_evaluated accounting (the pipeline operates
+/// on whole partitions, so this is bookkeeping, not a physical chunking).
+int64_t LiveBatches(const BatchData& d, size_t batch_size) {
+  int64_t n = 0;
+  for (const BatchPartition& p : d.partitions) {
+    n += NumBatches(p.LiveRows(), batch_size);
+  }
+  return n;
+}
+
+ColumnPtr MakeColumn(ColumnVector&& col) {
+  return std::make_shared<ColumnVector>(std::move(col));
+}
+
+/// The partition's column at `pos` with only live rows: shared as-is when
+/// the partition is unfiltered, gathered through the selection otherwise.
+ColumnPtr DenseColumn(const BatchPartition& part, int pos) {
+  const ColumnPtr& col = part.columns[static_cast<size_t>(pos)];
+  if (!part.filtered) return col;
+  return MakeColumn(GatherColumn(*col, part.sel));
+}
+
+/// All partitions' live rows concatenated (partition order, live-row order)
+/// into one dense partition — the columnar TakeGathered.
+BatchPartition ConcatLive(const BatchData& in) {
+  BatchPartition out;
+  const size_t width = in.schema.columns().size();
+  size_t total = 0;
+  for (const BatchPartition& p : in.partitions) total += p.LiveRows();
+  out.rows = total;
+  out.columns.reserve(width);
+  for (size_t j = 0; j < width; ++j) {
+    ColumnVector acc;
+    acc.Reserve(total);
+    for (const BatchPartition& p : in.partitions) {
+      acc.AppendColumn(*p.columns[j], p.Selection());
+    }
+    out.columns.push_back(MakeColumn(std::move(acc)));
+  }
+  return out;
+}
+
+/// The partition's live rows sorted on `positions` (all ascending), as a
+/// dense partition. Sorts a permutation of live physical indices with the
+/// exact cell comparator of the row path's SortRows: std::sort's control
+/// flow depends only on the comparator outcomes and the element count,
+/// both identical to sorting the materialized rows, so the resulting row
+/// order is bit-identical to the legacy path's.
+BatchPartition SortedPartition(const BatchPartition& part,
+                               const std::vector<int>& positions) {
+  SelectionVector perm;
+  if (part.filtered) {
+    perm = part.sel;
+  } else {
+    perm.resize(part.rows);
+    for (uint32_t i = 0; i < static_cast<uint32_t>(part.rows); ++i) {
+      perm[i] = i;
+    }
+  }
+  std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    for (int p : positions) {
+      const ColumnVector& col = *part.columns[static_cast<size_t>(p)];
+      int c = CompareCells(col, a, col, b);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  });
+  BatchPartition out;
+  out.rows = perm.size();
+  out.columns.reserve(part.columns.size());
+  for (const ColumnPtr& col : part.columns) {
+    out.columns.push_back(MakeColumn(GatherColumn(*col, perm)));
+  }
+  return out;
+}
+
+/// Cell as double with ScalarExpr/Value::AsNumeric semantics (typed fast
+/// paths; the kValue fallback aborts on strings exactly like the row path).
+inline double NumericCell(const ColumnVector& col, size_t r) {
+  switch (col.rep()) {
+    case ColumnRep::kInt64:
+      return static_cast<double>(col.ints()[r]);
+    case ColumnRep::kDouble:
+      return col.doubles()[r];
+    default:
+      return col.ValueAt(r).AsNumeric();
+  }
+}
+
+/// Column-major aggregate update: folds one whole argument column into the
+/// per-group states of aggregate `agg_index`. `ids[r]` is row r's dense
+/// group id. Per (group, aggregate) pair the update order is the column's
+/// row order — exactly the row-at-a-time loop's order, so every partial
+/// (including float sums) is bit-identical to the legacy path.
+void UpdateAggColumnar(const AggregateDesc& a, bool global,
+                       const ColumnVector* arg, const ColumnVector* hidden,
+                       const std::vector<size_t>& ids, size_t naggs,
+                       size_t agg_index, std::vector<AggState>* states) {
+  const size_t n = ids.size();
+  auto state = [&](size_t r) -> AggState& {
+    return (*states)[ids[r] * naggs + agg_index];
+  };
+  switch (a.fn) {
+    case AggFn::kSum:
+      // Same in the merge (global) and raw-row cases: partial sums were
+      // rewritten to kSum by the split rule.
+      switch (arg->rep()) {
+        case ColumnRep::kInt64: {
+          const int64_t* v = arg->ints().data();
+          for (size_t r = 0; r < n; ++r) {
+            AggState& s = state(r);
+            s.isum += v[r];
+            s.seen = true;
+          }
+          break;
+        }
+        case ColumnRep::kDouble: {
+          const double* v = arg->doubles().data();
+          for (size_t r = 0; r < n; ++r) {
+            AggState& s = state(r);
+            s.dsum += v[r];
+            s.seen = true;
+          }
+          break;
+        }
+        default:
+          for (size_t r = 0; r < n; ++r) {
+            Value v = arg->ValueAt(r);
+            AggState& s = state(r);
+            if (v.is_int()) {
+              s.isum += v.as_int();
+            } else {
+              s.dsum += v.AsNumeric();
+            }
+            s.seen = true;
+          }
+          break;
+      }
+      break;
+    case AggFn::kCount:
+      if (global) {
+        // Merging partial counts: sum the int column.
+        if (arg->rep() == ColumnRep::kInt64) {
+          const int64_t* v = arg->ints().data();
+          for (size_t r = 0; r < n; ++r) {
+            AggState& s = state(r);
+            s.isum += v[r];
+            s.seen = true;
+          }
+        } else {
+          for (size_t r = 0; r < n; ++r) {
+            AggState& s = state(r);
+            s.isum += arg->ValueAt(r).as_int();
+            s.seen = true;
+          }
+        }
+      } else {
+        for (size_t r = 0; r < n; ++r) {
+          AggState& s = state(r);
+          ++s.count;
+          s.seen = true;
+        }
+      }
+      break;
+    case AggFn::kMin:
+      for (size_t r = 0; r < n; ++r) {
+        Value v = arg->ValueAt(r);
+        AggState& s = state(r);
+        if (!s.seen || v < s.minv) s.minv = v;
+        s.seen = true;
+      }
+      break;
+    case AggFn::kMax:
+      for (size_t r = 0; r < n; ++r) {
+        Value v = arg->ValueAt(r);
+        AggState& s = state(r);
+        if (!s.seen || v > s.maxv) s.maxv = v;
+        s.seen = true;
+      }
+      break;
+    case AggFn::kAvg:
+      for (size_t r = 0; r < n; ++r) {
+        AggState& s = state(r);
+        s.dsum += NumericCell(*arg, r);
+        if (global) {
+          s.count += hidden->rep() == ColumnRep::kInt64
+                         ? hidden->ints()[r]
+                         : hidden->ValueAt(r).as_int();
+        } else {
+          ++s.count;
+        }
+        s.seen = true;
+      }
+      break;
+  }
+}
+
+/// Runs one partition through a fused chain schedule. Filter stages narrow
+/// the selection over the current physical row space without touching a
+/// column; a compute stage that actually evaluates (has_eval) first
+/// compacts the live rows — gathering every still-needed column through
+/// the selection — so expressions run densely over exactly the rows the
+/// row-at-a-time path evaluates them on (never on filtered-out rows, which
+/// could abort on type errors the legacy path never sees).
+BatchPartition RunChain(const PipelineSchedule& sched,
+                        const std::vector<int>& col_pos,
+                        const BatchPartition& in, size_t batch_size,
+                        int64_t* batches) {
+  const size_t nsteps = sched.steps.size();
+  std::vector<ColumnPtr> cols(nsteps);
+  for (size_t s = 0; s < nsteps; ++s) {
+    if (col_pos[s] >= 0) {
+      cols[s] = in.columns[static_cast<size_t>(col_pos[s])];
+    }
+  }
+  size_t rows = in.rows;
+  SelectionVector sel = in.sel;
+  bool filtered = in.filtered;
+  for (size_t si = 0; si < sched.stages.size(); ++si) {
+    const PipelineStage& stage = sched.stages[si];
+    *batches += NumBatches(filtered ? sel.size() : rows, batch_size);
+    if (stage.is_filter) {
+      for (const PredStep& ps : stage.preds) {
+        SelectByPredicate(*cols[static_cast<size_t>(ps.lhs)],
+                          ps.rhs >= 0 ? cols[static_cast<size_t>(ps.rhs)].get()
+                                      : nullptr,
+                          ps.literal, ps.op, rows, /*first=*/!filtered, &sel);
+        filtered = true;
+        // Later predicates of this stage select from an empty set; the row
+        // path never evaluates them on any row either.
+        if (sel.empty()) break;
+      }
+      continue;
+    }
+    if (stage.has_eval && filtered) {
+      for (size_t s = 0; s < nsteps; ++s) {
+        if (cols[s] == nullptr) continue;
+        if (sched.last_use[s] < static_cast<int>(si)) {
+          cols[s].reset();  // dead beyond this point; stop copying it
+          continue;
+        }
+        cols[s] = MakeColumn(GatherColumn(*cols[s], sel));
+      }
+      rows = sel.size();
+      sel.clear();
+      filtered = false;
+    }
+    for (int e : stage.eval_steps) {
+      const ExprStep& step = sched.steps[static_cast<size_t>(e)];
+      switch (step.kind) {
+        case ScalarExpr::Kind::kColumn:
+          break;  // bound from the chain input above
+        case ScalarExpr::Kind::kLiteral:
+          cols[static_cast<size_t>(e)] =
+              MakeColumn(SplatColumn(step.literal, rows));
+          break;
+        case ScalarExpr::Kind::kBinary: {
+          auto col = std::make_shared<ColumnVector>();
+          EvalBinaryColumns(step.op, *cols[static_cast<size_t>(step.lhs)],
+                            *cols[static_cast<size_t>(step.rhs)], rows,
+                            col.get());
+          cols[static_cast<size_t>(e)] = std::move(col);
+          break;
+        }
+      }
+    }
+  }
+  BatchPartition out;
+  out.rows = rows;
+  out.sel = std::move(sel);
+  out.filtered = filtered;
+  if (sched.reshaped) {
+    out.columns.reserve(sched.output_steps.size());
+    for (int s : sched.output_steps) {
+      out.columns.push_back(cols[static_cast<size_t>(s)]);
+    }
+  } else {
+    out.columns = in.columns;  // filters only: share, just narrow the sel
+  }
+  return out;
+}
+
+bool IsChainOp(PhysicalOpKind kind) {
+  return kind == PhysicalOpKind::kFilter || kind == PhysicalOpKind::kCompute ||
+         kind == PhysicalOpKind::kProject;
+}
+
+}  // namespace
+
+Result<BatchData> Executor::EvalBatch(const PhysicalNodePtr& node,
+                                      ExecMetrics* metrics) {
+  ++metrics->operator_invocations;
+  switch (node->kind) {
+    case PhysicalOpKind::kExtract:
+      return EvalExtractBatch(*node, metrics);
+
+    case PhysicalOpKind::kFilter:
+    case PhysicalOpKind::kProject:
+    case PhysicalOpKind::kCompute:
+      return EvalChainBatch(node, metrics);
+
+    case PhysicalOpKind::kHashAgg:
+    case PhysicalOpKind::kStreamAgg: {
+      SCX_ASSIGN_OR_RETURN(BatchData in, EvalBatch(node->children[0], metrics));
+      return EvalAggregateBatch(*node, std::move(in), metrics);
+    }
+
+    case PhysicalOpKind::kHashJoin:
+    case PhysicalOpKind::kMergeJoin: {
+      SCX_ASSIGN_OR_RETURN(BatchData l, EvalBatch(node->children[0], metrics));
+      SCX_ASSIGN_OR_RETURN(BatchData r, EvalBatch(node->children[1], metrics));
+      return EvalJoinBatch(*node, std::move(l), std::move(r), metrics);
+    }
+
+    case PhysicalOpKind::kUnionAll: {
+      BatchData out;
+      out.schema = node->proto->schema();
+      const size_t machines = static_cast<size_t>(cluster_.machines);
+      const size_t width = out.schema.columns().size();
+      std::vector<std::vector<ColumnVector>> acc(machines);
+      for (auto& a : acc) a.resize(width);
+      std::vector<size_t> rows_acc(machines, 0);
+      for (const PhysicalNodePtr& child : node->children) {
+        SCX_ASSIGN_OR_RETURN(BatchData in, EvalBatch(child, metrics));
+        for (size_t p = 0; p < in.partitions.size(); ++p) {
+          const BatchPartition& part = in.partitions[p];
+          size_t dest = p % machines;
+          rows_acc[dest] += part.LiveRows();
+          for (size_t j = 0; j < width; ++j) {
+            acc[dest][j].AppendColumn(*part.columns[j], part.Selection());
+          }
+        }
+      }
+      out.partitions.resize(machines);
+      for (size_t d = 0; d < machines; ++d) {
+        BatchPartition& part = out.partitions[d];
+        part.rows = rows_acc[d];
+        part.columns.reserve(width);
+        for (size_t j = 0; j < width; ++j) {
+          part.columns.push_back(MakeColumn(std::move(acc[d][j])));
+        }
+      }
+      return out;
+    }
+
+    case PhysicalOpKind::kSpool: {
+      auto it = batch_spool_cache_.find(node.get());
+      if (it != batch_spool_cache_.end()) {
+        ++metrics->spool_reads;
+        ++metrics->spool_cache_hits;
+        // A hit copies shared_ptrs: every reader shares the materialized
+        // immutable columns; no row (or cell) is ever copied.
+        return it->second;
+      }
+      SCX_ASSIGN_OR_RETURN(BatchData in, EvalBatch(node->children[0], metrics));
+      // Materialize compacted so every consumer reads dense columns.
+      RunPartitions(in.partitions.size(), [&](size_t p) {
+        in.partitions[p] = CompactPartition(in.partitions[p]);
+      });
+      metrics->bytes_spooled += in.TotalLiveBytes();
+      metrics->rows_spooled += in.TotalLiveRows();
+      ++metrics->spool_executions;
+      ++metrics->spool_reads;
+      batch_spool_cache_[node.get()] = in;
+      return in;
+    }
+
+    case PhysicalOpKind::kSpoolScan:
+      // Rejected by ValidatePlan before execution; kept only so the
+      // operator switch stays exhaustive.
+      break;
+
+    case PhysicalOpKind::kOutput: {
+      SCX_ASSIGN_OR_RETURN(BatchData in, EvalBatch(node->children[0], metrics));
+      // The one sanctioned columns->rows conversion: the output sink is a
+      // row container.
+      size_t machines = in.partitions.size();
+      std::vector<Row> rows;
+      rows.reserve(static_cast<size_t>(in.TotalLiveRows()));
+      for (const BatchPartition& part : in.partitions) {
+        AppendPartitionRows(part, &rows);
+      }
+      metrics->rows_converted += static_cast<int64_t>(rows.size());
+      metrics->rows_output += static_cast<int64_t>(rows.size());
+      auto& sink = metrics->outputs[node->proto->output_path];
+      sink.insert(sink.end(), std::make_move_iterator(rows.begin()),
+                  std::make_move_iterator(rows.end()));
+      BatchData out;
+      out.schema = std::move(in.schema);
+      out.partitions.resize(machines);
+      return out;
+    }
+
+    case PhysicalOpKind::kSequence: {
+      for (const PhysicalNodePtr& c : node->children) {
+        SCX_ASSIGN_OR_RETURN(BatchData ignored, EvalBatch(c, metrics));
+        (void)ignored;
+      }
+      BatchData out;
+      out.partitions.resize(static_cast<size_t>(cluster_.machines));
+      return out;
+    }
+
+    case PhysicalOpKind::kHashExchange: {
+      SCX_ASSIGN_OR_RETURN(BatchData in, EvalBatch(node->children[0], metrics));
+      return ExchangeBatch(*node, std::move(in), metrics,
+                           /*preserve_order=*/false);
+    }
+    case PhysicalOpKind::kMergeExchange: {
+      SCX_ASSIGN_OR_RETURN(BatchData in, EvalBatch(node->children[0], metrics));
+      return ExchangeBatch(*node, std::move(in), metrics,
+                           /*preserve_order=*/true);
+    }
+
+    case PhysicalOpKind::kRangeExchange: {
+      SCX_ASSIGN_OR_RETURN(BatchData in, EvalBatch(node->children[0], metrics));
+      // The quantile boundary scan and range scatter stay row-based: this
+      // is the pipeline's one genuine break, and what rows_converted /
+      // batch_pipeline_breaks exist to make visible.
+      ++metrics->batch_pipeline_breaks;
+      const int64_t live = in.TotalLiveRows();
+      PartitionedData rin;
+      rin.schema = in.schema;
+      rin.partitions.resize(in.partitions.size());
+      RunPartitions(in.partitions.size(), [&](size_t p) {
+        AppendPartitionRows(in.partitions[p], &rin.partitions[p]);
+      });
+      metrics->rows_converted += live;
+
+      size_t machines = static_cast<size_t>(cluster_.machines);
+      std::vector<int> positions = rin.schema.PositionsOf(
+          node->delivered.partitioning.range_cols);
+      // Boundary computation by exact quantiles over the key multiset —
+      // the simulation stand-in for SCOPE's sampling pass. Verbatim from
+      // the row path.
+      std::vector<std::vector<std::vector<Value>>> part_keys(
+          rin.partitions.size());
+      RunPartitions(rin.partitions.size(), [&](size_t p) {
+        part_keys[p].reserve(rin.partitions[p].size());
+        for (const Row& r : rin.partitions[p]) {
+          std::vector<Value> key;
+          key.reserve(positions.size());
+          for (int pos : positions) key.push_back(r[static_cast<size_t>(pos)]);
+          part_keys[p].push_back(std::move(key));
+        }
+      });
+      std::vector<std::vector<Value>> keys;
+      keys.reserve(static_cast<size_t>(live));
+      for (auto& pk : part_keys) {
+        keys.insert(keys.end(), std::make_move_iterator(pk.begin()),
+                    std::make_move_iterator(pk.end()));
+      }
+      std::sort(keys.begin(), keys.end());
+      std::vector<std::vector<Value>> boundaries;
+      for (size_t i = 1; i < machines && !keys.empty(); ++i) {
+        boundaries.push_back(keys[i * keys.size() / machines]);
+      }
+      metrics->bytes_shuffled += rin.TotalBytes();
+      metrics->rows_shuffled += live;
+      PartitionedData shuffled = ScatterByDest(
+          std::move(rin),
+          [&](const std::vector<Row>& rows, std::vector<uint32_t>* dest) {
+            for (size_t i = 0; i < rows.size(); ++i) {
+              std::vector<Value> key;
+              key.reserve(positions.size());
+              for (int pos : positions) {
+                key.push_back(rows[i][static_cast<size_t>(pos)]);
+              }
+              (*dest)[i] = static_cast<uint32_t>(
+                  std::upper_bound(boundaries.begin(), boundaries.end(),
+                                   key) -
+                  boundaries.begin());
+            }
+          });
+      // Bridge back into columns.
+      BatchData out;
+      out.schema = std::move(shuffled.schema);
+      out.partitions.resize(shuffled.partitions.size());
+      const size_t width = out.schema.columns().size();
+      RunPartitions(shuffled.partitions.size(), [&](size_t p) {
+        out.partitions[p] = PartitionFromRows(shuffled.partitions[p], width);
+      });
+      metrics->rows_converted += live;
+      return out;
+    }
+
+    case PhysicalOpKind::kBroadcastExchange: {
+      SCX_ASSIGN_OR_RETURN(BatchData in, EvalBatch(node->children[0], metrics));
+      size_t machines = static_cast<size_t>(cluster_.machines);
+      metrics->bytes_shuffled +=
+          in.TotalLiveBytes() * static_cast<int64_t>(machines);
+      metrics->rows_shuffled +=
+          in.TotalLiveRows() * static_cast<int64_t>(machines);
+      // One dense gathered copy; every machine shares its columns. The row
+      // path copies the gathered rows machine-1 times — here the fan-out
+      // is machines shared_ptr copies.
+      BatchPartition all = ConcatLive(in);
+      BatchData out;
+      out.schema = std::move(in.schema);
+      out.partitions.assign(machines, all);
+      return out;
+    }
+
+    case PhysicalOpKind::kGather: {
+      SCX_ASSIGN_OR_RETURN(BatchData in, EvalBatch(node->children[0], metrics));
+      metrics->bytes_shuffled += in.TotalLiveBytes();
+      metrics->rows_shuffled += in.TotalLiveRows();
+      BatchData out;
+      out.schema = std::move(in.schema);
+      out.partitions.resize(1);
+      in.schema = out.schema;  // ConcatLive reads the schema width
+      out.partitions[0] = ConcatLive(in);
+      if (!node->delivered.sort.Empty()) {
+        out.partitions[0] = SortedPartition(
+            out.partitions[0],
+            out.schema.PositionsOf(node->delivered.sort.cols));
+      }
+      return out;
+    }
+
+    case PhysicalOpKind::kSort: {
+      SCX_ASSIGN_OR_RETURN(BatchData in, EvalBatch(node->children[0], metrics));
+      std::vector<int> positions =
+          in.schema.PositionsOf(node->sort_spec.cols);
+      RunPartitions(in.partitions.size(), [&](size_t p) {
+        in.partitions[p] = SortedPartition(in.partitions[p], positions);
+      });
+      return in;
+    }
+  }
+  return Status::Internal("unhandled physical operator " +
+                          std::string(PhysicalOpKindName(node->kind)));
+}
+
+Result<BatchData> Executor::EvalExtractBatch(const PhysicalNode& node,
+                                             ExecMetrics* metrics) {
+  const FileDef& file = node.proto->file;
+  BatchData out;
+  out.schema = node.proto->schema();
+  size_t machines = static_cast<size_t>(cluster_.machines);
+  out.partitions.resize(machines);
+
+  std::vector<int> file_cols;
+  for (const ColumnInfo& c : out.schema.columns()) {
+    int idx = file.ColumnIndex(c.name);
+    if (idx < 0) {
+      return Status::ExecutionError("extract column " + c.name +
+                                    " missing from file " + file.path);
+    }
+    file_cols.push_back(idx);
+  }
+  // Row i lands on machine i % machines; machine m synthesizes rows
+  // m, m + machines, ... straight into columns — cell-for-cell the rows
+  // the legacy extract builds, without ever materializing one.
+  int64_t rows = file.row_count;
+  RunPartitions(machines, [&](size_t m) {
+    BatchPartition& part = out.partitions[m];
+    const size_t width = file_cols.size();
+    std::vector<ColumnVector> cols(width);
+    int64_t count =
+        rows > static_cast<int64_t>(m)
+            ? (rows - static_cast<int64_t>(m) +
+               static_cast<int64_t>(machines) - 1) /
+                  static_cast<int64_t>(machines)
+            : 0;
+    for (size_t j = 0; j < width; ++j) {
+      cols[j].Reserve(static_cast<size_t>(count));
+      for (int64_t i = static_cast<int64_t>(m); i < rows;
+           i += static_cast<int64_t>(machines)) {
+        cols[j].AppendValue(SyntheticValue(file, file_cols[j], i));
+      }
+    }
+    part.rows = static_cast<size_t>(count);
+    part.columns.reserve(width);
+    for (size_t j = 0; j < width; ++j) {
+      part.columns.push_back(MakeColumn(std::move(cols[j])));
+    }
+  });
+  metrics->rows_extracted += rows;
+  return out;
+}
+
+Result<BatchData> Executor::EvalChainBatch(const PhysicalNodePtr& head,
+                                           ExecMetrics* metrics) {
+  // Collect the maximal Filter/Compute/Project chain below (and including)
+  // the head, top-down.
+  std::vector<const PhysicalNode*> chain;
+  PhysicalNodePtr cur = head;
+  while (IsChainOp(cur->kind)) {
+    chain.push_back(cur.get());
+    cur = cur->children[0];
+  }
+  // EvalBatch already counted the head; the interior nodes are operator
+  // invocations of their own, exactly as the per-node row path counts them.
+  metrics->operator_invocations += static_cast<int64_t>(chain.size()) - 1;
+  SCX_ASSIGN_OR_RETURN(BatchData in, EvalBatch(cur, metrics));
+
+  // Lower the chain bottom-up (execution order) into one fused schedule.
+  std::vector<PipelineStageDesc> descs;
+  descs.reserve(chain.size());
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    PipelineStageDesc desc;
+    switch ((*it)->kind) {
+      case PhysicalOpKind::kFilter:
+        desc.predicates = &(*it)->proto->predicates;
+        break;
+      case PhysicalOpKind::kCompute:
+        desc.items = &(*it)->proto->compute_items;
+        break;
+      default:
+        desc.project = &(*it)->proto->project_map;
+        break;
+    }
+    descs.push_back(desc);
+  }
+  PipelineSchedule sched = BuildPipelineSchedule(descs);
+  metrics->exprs_deduped += sched.duplicates_eliminated;
+
+  std::vector<int> col_pos(sched.steps.size(), -1);
+  for (size_t s = 0; s < sched.steps.size(); ++s) {
+    if (sched.steps[s].kind == ScalarExpr::Kind::kColumn) {
+      col_pos[s] = in.schema.PositionOf(sched.steps[s].column);
+    }
+  }
+
+  BatchData out;
+  out.schema = chain.front()->proto->schema();
+  out.partitions.resize(in.partitions.size());
+  // batches_evaluated depends on per-stage selectivity, so workers count
+  // into their own slot and the master sums in partition order.
+  std::vector<int64_t> part_batches(in.partitions.size(), 0);
+  RunPartitions(in.partitions.size(), [&](size_t p) {
+    out.partitions[p] = RunChain(sched, col_pos, in.partitions[p],
+                                 batch_size_, &part_batches[p]);
+  });
+  for (int64_t b : part_batches) metrics->batches_evaluated += b;
+  return out;
+}
+
+Result<BatchData> Executor::EvalAggregateBatch(const PhysicalNode& node,
+                                               BatchData in,
+                                               ExecMetrics* metrics) {
+  const LogicalNode& proto = *node.proto;
+  const bool local = proto.kind() == LogicalOpKind::kLocalGbAgg;
+  const bool global = proto.kind() == LogicalOpKind::kGlobalGbAgg;
+
+  std::vector<int> group_pos = in.schema.PositionsOf(proto.group_cols);
+  struct AggIo {
+    int arg_pos = -1;
+    int hidden_pos = -1;  // global-Avg partial-count input
+  };
+  const size_t naggs = proto.aggregates.size();
+  std::vector<AggIo> io(naggs);
+  for (size_t i = 0; i < naggs; ++i) {
+    const AggregateDesc& a = proto.aggregates[i];
+    if (!a.count_star) io[i].arg_pos = in.schema.PositionOf(a.arg);
+    if (global && a.fn == AggFn::kAvg && a.hidden_count != 0) {
+      io[i].hidden_pos = in.schema.PositionOf(a.hidden_count);
+    }
+  }
+
+  BatchData out;
+  out.schema = proto.schema();
+  out.partitions.resize(in.partitions.size());
+  metrics->batches_evaluated += LiveBatches(in, batch_size_);
+
+  const size_t in_width = in.schema.columns().size();
+  RunPartitions(in.partitions.size(), [&](size_t p) {
+    const BatchPartition& part = in.partitions[p];
+    const size_t n = part.LiveRows();
+    // Live (dense) views of the referenced columns only: shared when the
+    // partition is unfiltered, gathered through the selection otherwise.
+    std::vector<ColumnPtr> dense(in_width);
+    auto live = [&](int pos) -> const ColumnVector* {
+      if (pos < 0) return nullptr;
+      ColumnPtr& col = dense[static_cast<size_t>(pos)];
+      if (col == nullptr) col = DenseColumn(part, pos);
+      return col.get();
+    };
+    for (int gp : group_pos) live(gp);
+
+    // Group-id assignment: hash whole key columns, then probe in row order
+    // — the dense ids and insertion order of the legacy per-row loop.
+    std::vector<uint64_t> hashes(n, kRowKeySeed);
+    for (int gp : group_pos) {
+      HashColumnCells(*live(gp), n, hashes.data());
+    }
+    RowKeyTable table(n);
+    std::vector<AggState> states;  // naggs states per group, group-major
+    std::vector<size_t> ids(n);
+    for (size_t r = 0; r < n; ++r) {
+      auto [id, inserted] = table.FindOrInsertHashed(
+          hashes[r],
+          [&](const Row& key) {
+            for (size_t j = 0; j < group_pos.size(); ++j) {
+              if (!live(group_pos[j])->CellEquals(r, key[j])) return false;
+            }
+            return true;
+          },
+          [&] {
+            Row key;
+            key.reserve(group_pos.size());
+            for (int gp : group_pos) key.push_back(live(gp)->ValueAt(r));
+            return key;
+          });
+      if (inserted) states.resize(states.size() + naggs);
+      ids[r] = id;
+    }
+    for (size_t i = 0; i < naggs; ++i) {
+      UpdateAggColumnar(proto.aggregates[i], global, live(io[i].arg_pos),
+                        live(io[i].hidden_pos), ids, naggs, i, &states);
+    }
+
+    // Finalize straight into columns: key cells, then per aggregate the
+    // output cell (plus a local Avg's hidden partial count) — the legacy
+    // row layout, column-major.
+    BatchPartition& sink = out.partitions[p];
+    const size_t ngroups = table.size();
+    sink.rows = ngroups;
+    for (size_t j = 0; j < group_pos.size(); ++j) {
+      ColumnVector col;
+      col.Reserve(ngroups);
+      for (size_t id = 0; id < ngroups; ++id) {
+        col.AppendValue(table.KeyAt(id)[j]);
+      }
+      sink.columns.push_back(MakeColumn(std::move(col)));
+    }
+    for (size_t i = 0; i < naggs; ++i) {
+      const AggregateDesc& a = proto.aggregates[i];
+      ColumnVector col;
+      col.Reserve(ngroups);
+      for (size_t id = 0; id < ngroups; ++id) {
+        col.AppendValue(
+            FinalizeAggCell(a, states[id * naggs + i], global, local));
+      }
+      sink.columns.push_back(MakeColumn(std::move(col)));
+      if (local && a.hidden_count != 0) {
+        ColumnVector hid;
+        hid.Reserve(ngroups);
+        for (size_t id = 0; id < ngroups; ++id) {
+          hid.AppendValue(Value::Int(states[id * naggs + i].count));
+        }
+        sink.columns.push_back(MakeColumn(std::move(hid)));
+      }
+    }
+  });
+
+  // Stream aggregates deliver rows ordered on their chosen sort order.
+  if (node.kind == PhysicalOpKind::kStreamAgg && !node.sort_spec.Empty()) {
+    std::vector<int> positions = out.schema.PositionsOf(node.sort_spec.cols);
+    RunPartitions(out.partitions.size(), [&](size_t p) {
+      out.partitions[p] = SortedPartition(out.partitions[p], positions);
+    });
+  }
+  return out;
+}
+
+Result<BatchData> Executor::EvalJoinBatch(const PhysicalNode& node,
+                                          BatchData left, BatchData right,
+                                          ExecMetrics* metrics) {
+  const LogicalNode& proto = *node.proto;
+  if (left.partitions.size() != right.partitions.size()) {
+    return Status::ExecutionError(
+        "join inputs have different partition counts (" +
+        std::to_string(left.partitions.size()) + " vs " +
+        std::to_string(right.partitions.size()) + ")");
+  }
+  std::vector<int> lpos, rpos;
+  for (const auto& [l, r] : proto.join_keys) {
+    lpos.push_back(left.schema.PositionOf(l));
+    rpos.push_back(right.schema.PositionOf(r));
+  }
+  BatchData out;
+  out.schema = proto.schema();
+  out.partitions.resize(left.partitions.size());
+  metrics->batches_evaluated +=
+      LiveBatches(right, batch_size_) + LiveBatches(left, batch_size_);
+
+  const size_t nleft = left.schema.columns().size();
+  const size_t nright = right.schema.columns().size();
+  // Residual predicate positions in the joined (left ++ right) schema.
+  struct ResidualIo {
+    int lhs_pos = -1;
+    int rhs_pos = -1;  // -1: literal side
+  };
+  std::vector<ResidualIo> rio;
+  for (const BoundPredicate& pred : proto.predicates) {
+    ResidualIo r;
+    r.lhs_pos = out.schema.PositionOf(pred.lhs);
+    if (pred.rhs_is_column) r.rhs_pos = out.schema.PositionOf(pred.rhs);
+    rio.push_back(r);
+  }
+
+  RunPartitions(left.partitions.size(), [&](size_t p) {
+    // Dense live views of both sides (all columns: the output gathers
+    // every cell of each surviving pair).
+    std::vector<ColumnPtr> bcols(nright), pcols(nleft);
+    for (size_t j = 0; j < nright; ++j) {
+      bcols[j] = DenseColumn(right.partitions[p], static_cast<int>(j));
+    }
+    for (size_t j = 0; j < nleft; ++j) {
+      pcols[j] = DenseColumn(left.partitions[p], static_cast<int>(j));
+    }
+    const size_t bn = right.partitions[p].LiveRows();
+    const size_t pn = left.partitions[p].LiveRows();
+
+    RowKeyTable table(bn);
+    std::vector<std::vector<uint32_t>> rows_by_key;  // build row indices
+    std::vector<uint64_t> hashes(bn, kRowKeySeed);
+    for (int rp : rpos) HashColumnCells(*bcols[rp], bn, hashes.data());
+    for (size_t r = 0; r < bn; ++r) {
+      auto [id, inserted] = table.FindOrInsertHashed(
+          hashes[r],
+          [&](const Row& key) {
+            for (size_t j = 0; j < rpos.size(); ++j) {
+              if (!bcols[rpos[j]]->CellEquals(r, key[j])) return false;
+            }
+            return true;
+          },
+          [&] {
+            Row key;
+            key.reserve(rpos.size());
+            for (int rp : rpos) key.push_back(bcols[rp]->ValueAt(r));
+            return key;
+          });
+      if (inserted) rows_by_key.emplace_back();
+      rows_by_key[id].push_back(static_cast<uint32_t>(r));
+    }
+
+    hashes.assign(pn, kRowKeySeed);
+    for (int lp : lpos) HashColumnCells(*pcols[lp], pn, hashes.data());
+    // Surviving (probe, build) pairs, in the legacy emit order: probe row
+    // order outer, build insertion order within a key group.
+    SelectionVector li, bi;
+    auto cell = [&](int pos, uint32_t pi, uint32_t bri) {
+      return pos < static_cast<int>(nleft)
+                 ? pcols[static_cast<size_t>(pos)]->ValueAt(pi)
+                 : bcols[static_cast<size_t>(pos) - nleft]->ValueAt(bri);
+    };
+    for (size_t i = 0; i < pn; ++i) {
+      size_t id = table.FindHashed(hashes[i], [&](const Row& key) {
+        for (size_t j = 0; j < lpos.size(); ++j) {
+          if (!pcols[lpos[j]]->CellEquals(i, key[j])) return false;
+        }
+        return true;
+      });
+      if (id == RowKeyTable::kNotFound) continue;
+      for (uint32_t b : rows_by_key[id]) {
+        bool pass = true;
+        for (size_t k = 0; k < rio.size(); ++k) {
+          const BoundPredicate& pred = proto.predicates[k];
+          Value lv = cell(rio[k].lhs_pos, static_cast<uint32_t>(i), b);
+          Value rv = rio[k].rhs_pos >= 0
+                         ? cell(rio[k].rhs_pos, static_cast<uint32_t>(i), b)
+                         : pred.literal;
+          if (!PredicatePassCells(pred.op, lv, rv)) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) {
+          li.push_back(static_cast<uint32_t>(i));
+          bi.push_back(b);
+        }
+      }
+    }
+
+    BatchPartition& sink = out.partitions[p];
+    sink.rows = li.size();
+    sink.columns.reserve(nleft + nright);
+    for (size_t j = 0; j < nleft; ++j) {
+      sink.columns.push_back(MakeColumn(GatherColumn(*pcols[j], li)));
+    }
+    for (size_t j = 0; j < nright; ++j) {
+      sink.columns.push_back(MakeColumn(GatherColumn(*bcols[j], bi)));
+    }
+  });
+  return out;
+}
+
+BatchData Executor::ExchangeBatch(const PhysicalNode& node, BatchData in,
+                                  ExecMetrics* metrics, bool preserve_order) {
+  size_t machines = static_cast<size_t>(cluster_.machines);
+  std::vector<int> positions =
+      in.schema.PositionsOf(node.exchange_cols.ToVector());
+  metrics->bytes_shuffled += in.TotalLiveBytes();
+  metrics->rows_shuffled += in.TotalLiveRows();
+  metrics->batches_evaluated += LiveBatches(in, batch_size_);
+
+  const size_t nsrc = in.partitions.size();
+  const size_t width = in.schema.columns().size();
+  // Phase 1: per source, hash the precomputed key columns and bin live
+  // physical row indices per destination (live-row order).
+  std::vector<std::vector<SelectionVector>> dsel(nsrc);
+  RunPartitions(nsrc, [&](size_t s) {
+    const BatchPartition& part = in.partitions[s];
+    dsel[s].resize(machines);
+    const size_t n = part.LiveRows();
+    if (n == 0) return;
+    std::vector<ColumnPtr> key_cols(width);
+    std::vector<uint64_t> hashes(n, kRowKeySeed);
+    for (int pos : positions) {
+      ColumnPtr& col = key_cols[static_cast<size_t>(pos)];
+      if (col == nullptr) col = DenseColumn(part, pos);
+      HashColumnCells(*col, n, hashes.data());
+    }
+    for (size_t k = 0; k < n; ++k) {
+      size_t d = hashes[k] % machines;
+      dsel[s][d].push_back(part.filtered ? part.sel[k]
+                                         : static_cast<uint32_t>(k));
+    }
+  });
+  // Phase 2: per destination, concatenate the column slices source-major —
+  // the exact row order of the legacy two-phase move scatter.
+  BatchData out;
+  out.schema = std::move(in.schema);
+  out.partitions.resize(machines);
+  RunPartitions(machines, [&](size_t d) {
+    size_t total = 0;
+    for (size_t s = 0; s < nsrc; ++s) total += dsel[s][d].size();
+    BatchPartition& sink = out.partitions[d];
+    sink.rows = total;
+    sink.columns.reserve(width);
+    for (size_t j = 0; j < width; ++j) {
+      ColumnVector acc;
+      acc.Reserve(total);
+      for (size_t s = 0; s < nsrc; ++s) {
+        if (dsel[s][d].empty()) continue;
+        acc.AppendColumn(*in.partitions[s].columns[j], &dsel[s][d]);
+      }
+      sink.columns.push_back(MakeColumn(std::move(acc)));
+    }
+  });
+  if (preserve_order && !node.delivered.sort.Empty()) {
+    std::vector<int> sort_pos =
+        out.schema.PositionsOf(node.delivered.sort.cols);
+    RunPartitions(out.partitions.size(), [&](size_t p) {
+      out.partitions[p] = SortedPartition(out.partitions[p], sort_pos);
+    });
+  }
+  return out;
+}
+
+}  // namespace scx

@@ -231,18 +231,201 @@ void AppendRowsFromColumns(const std::vector<const ColumnVector*>& cols,
   }
 }
 
+void ColumnVector::AppendColumn(const ColumnVector& src,
+                                const SelectionVector* sel) {
+  const size_t n = sel != nullptr ? sel->size() : src.size();
+  if (n == 0) return;
+  // Per-cell fallback keeps adopt/demote and null semantics exact whenever
+  // a bulk copy is not obviously equivalent.
+  const bool bulk = src.nulls_.empty() && nulls_.empty() &&
+                    (!adopted_ || rep_ == src.rep_);
+  if (!bulk) {
+    for (size_t k = 0; k < n; ++k) {
+      size_t i = sel != nullptr ? (*sel)[k] : k;
+      if (src.IsNull(i)) {
+        AppendNull();
+      } else {
+        AppendValue(src.ValueAt(i));
+      }
+    }
+    return;
+  }
+  if (!adopted_) {
+    rep_ = src.rep_;
+    adopted_ = true;
+  }
+  auto copy = [&](auto& dst, const auto& from) {
+    if (sel == nullptr) {
+      dst.insert(dst.end(), from.begin(), from.end());
+      return;
+    }
+    dst.reserve(dst.size() + n);
+    for (uint32_t i : *sel) dst.push_back(from[i]);
+  };
+  switch (rep_) {
+    case ColumnRep::kInt64:
+      copy(ints_, src.ints_);
+      break;
+    case ColumnRep::kDouble:
+      copy(doubles_, src.doubles_);
+      break;
+    case ColumnRep::kString:
+      copy(strings_, src.strings_);
+      break;
+    case ColumnRep::kValue:
+      copy(values_, src.values_);
+      break;
+  }
+}
+
 ColumnVector GatherColumn(const ColumnVector& col,
                           const SelectionVector& sel) {
   ColumnVector out(col.rep());
   out.Reserve(sel.size());
-  for (uint32_t i : sel) {
-    if (col.IsNull(i)) {
-      out.AppendNull();
-    } else {
-      out.AppendValue(col.ValueAt(i));
+  out.AppendColumn(col, &sel);
+  return out;
+}
+
+int CompareCells(const ColumnVector& a, size_t i, const ColumnVector& b,
+                 size_t j) {
+  if (a.rep() == b.rep()) {
+    switch (a.rep()) {
+      case ColumnRep::kInt64: {
+        int64_t x = a.ints()[i], y = b.ints()[j];
+        return (x > y) - (x < y);
+      }
+      case ColumnRep::kDouble: {
+        double x = a.doubles()[i], y = b.doubles()[j];
+        return (x > y) - (x < y);
+      }
+      case ColumnRep::kString: {
+        int c = a.strings()[i].compare(b.strings()[j]);
+        return (c > 0) - (c < 0);
+      }
+      case ColumnRep::kValue: {
+        auto c = a.values()[i] <=> b.values()[j];
+        return c < 0 ? -1 : (c > 0 ? 1 : 0);
+      }
     }
   }
+  auto c = a.ValueAt(i) <=> b.ValueAt(j);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+int64_t ColumnLiveBytes(const ColumnVector& col, const SelectionVector* sel) {
+  const size_t n = sel != nullptr ? sel->size() : col.size();
+  switch (col.rep()) {
+    case ColumnRep::kInt64:
+    case ColumnRep::kDouble:
+      return static_cast<int64_t>(n) * 8;
+    case ColumnRep::kString: {
+      int64_t total = 0;
+      if (sel != nullptr) {
+        for (uint32_t i : *sel) {
+          total += static_cast<int64_t>(col.strings()[i].size()) + 4;
+        }
+      } else {
+        for (const std::string& s : col.strings()) {
+          total += static_cast<int64_t>(s.size()) + 4;
+        }
+      }
+      return total;
+    }
+    case ColumnRep::kValue: {
+      int64_t total = 0;
+      if (sel != nullptr) {
+        for (uint32_t i : *sel) total += col.values()[i].ByteWidth();
+      } else {
+        for (const Value& v : col.values()) total += v.ByteWidth();
+      }
+      return total;
+    }
+  }
+  return 0;
+}
+
+ColumnBatchView ViewOf(const ColumnBatch& batch) {
+  ColumnBatchView view;
+  view.rows = batch.rows;
+  view.columns.reserve(batch.columns.size());
+  for (const ColumnVector& col : batch.columns) view.columns.push_back(&col);
+  return view;
+}
+
+ColumnBatchView BatchPartition::View() const {
+  ColumnBatchView view;
+  view.rows = rows;
+  view.columns.reserve(columns.size());
+  for (const ColumnPtr& col : columns) view.columns.push_back(col.get());
+  return view;
+}
+
+int64_t BatchData::TotalLiveRows() const {
+  int64_t n = 0;
+  for (const BatchPartition& p : partitions) {
+    n += static_cast<int64_t>(p.LiveRows());
+  }
+  return n;
+}
+
+int64_t BatchData::TotalLiveBytes() const {
+  int64_t n = 0;
+  for (const BatchPartition& p : partitions) {
+    for (const ColumnPtr& col : p.columns) {
+      if (col != nullptr) n += ColumnLiveBytes(*col, p.Selection());
+    }
+  }
+  return n;
+}
+
+BatchPartition CompactPartition(const BatchPartition& part) {
+  if (!part.filtered) return part;
+  BatchPartition out;
+  out.rows = part.sel.size();
+  out.columns.reserve(part.columns.size());
+  for (const ColumnPtr& col : part.columns) {
+    if (col == nullptr) {
+      out.columns.push_back(nullptr);
+      continue;
+    }
+    out.columns.push_back(
+        std::make_shared<ColumnVector>(GatherColumn(*col, part.sel)));
+  }
   return out;
+}
+
+BatchPartition PartitionFromRows(const std::vector<Row>& rows,
+                                 size_t num_columns) {
+  BatchPartition out;
+  out.rows = rows.size();
+  out.columns.reserve(num_columns);
+  for (size_t pos = 0; pos < num_columns; ++pos) {
+    auto col = std::make_shared<ColumnVector>();
+    col->Reserve(rows.size());
+    for (const Row& r : rows) col->AppendValue(r[pos]);
+    out.columns.push_back(std::move(col));
+  }
+  return out;
+}
+
+void AppendPartitionRows(const BatchPartition& part, std::vector<Row>* out) {
+  const size_t n = part.LiveRows();
+  out->reserve(out->size() + n);
+  for (size_t k = 0; k < n; ++k) {
+    size_t i = part.filtered ? part.sel[k] : k;
+    Row row;
+    row.reserve(part.columns.size());
+    for (const ColumnPtr& col : part.columns) {
+      if (col->IsNull(i)) {
+        std::fprintf(stderr,
+                     "scx: fatal: null cell in row conversion (rows cannot "
+                     "represent nulls)\n");
+        std::abort();
+      }
+      row.push_back(col->ValueAt(i));
+    }
+    out->push_back(std::move(row));
+  }
 }
 
 }  // namespace scx

@@ -2,6 +2,7 @@
 #define SCX_EXEC_COLUMN_BATCH_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,12 @@ class ColumnVector {
   /// Hash of cell i, identical to ValueAt(i).Hash().
   uint64_t CellHash(size_t i) const;
 
+  /// Appends all of `src`'s cells (or only `sel`'s, in selection order).
+  /// Bulk typed copy when the reps line up; falls back to per-cell
+  /// AppendValue (with its adopt/demote semantics) otherwise, so the result
+  /// is always cell-for-cell identical to an AppendValue loop.
+  void AppendColumn(const ColumnVector& src, const SelectionVector* sel);
+
   /// Typed payloads; valid only for the matching rep.
   const std::vector<int64_t>& ints() const { return ints_; }
   const std::vector<double>& doubles() const { return doubles_; }
@@ -120,6 +127,90 @@ void AppendRowsFromColumns(const std::vector<const ColumnVector*>& cols,
 /// Gathers sel's cells of `col` into a new column (same rep, nulls kept).
 ColumnVector GatherColumn(const ColumnVector& col,
                           const SelectionVector& sel);
+
+/// Exact Value::operator<=> of cell i of `a` vs cell j of `b` as -1/0/+1
+/// (cross-type orders by type index, the canonical Value ordering), with
+/// typed fast paths when both columns share a non-kValue rep. The columnar
+/// sort comparator.
+int CompareCells(const ColumnVector& a, size_t i, const ColumnVector& b,
+                 size_t j);
+
+/// Sum of Value::ByteWidth over the column's cells (or only `sel`'s) —
+/// the executor's shuffle/spool byte accounting, computed without
+/// materializing Values.
+int64_t ColumnLiveBytes(const ColumnVector& col, const SelectionVector* sel);
+
+// ---------------------------------------------------------------------------
+// Batch-native operator boundaries (docs/architecture.md §14).
+//
+// When batch_size > 1 the executor's operators exchange BatchData instead of
+// row vectors: one BatchPartition per simulated machine, each a set of
+// immutable, shareable columns plus an optional selection vector. Columns
+// are reference-counted so a spool cache hit or a broadcast hands consumers
+// the same physical column storage instead of copying rows; a filter's
+// output shares its input's columns and only narrows the selection.
+
+/// An immutable, shareable column. Every producer finishes a column before
+/// publishing it and no consumer ever mutates one in place, so sharing
+/// across operators, spool readers, and worker threads is safe.
+using ColumnPtr = std::shared_ptr<const ColumnVector>;
+
+/// A borrowed, non-owning view of a batch: `rows` physical rows and one
+/// column pointer per schema position (positions a caller never asks for
+/// may be null). The common argument type of the vectorized kernels.
+struct ColumnBatchView {
+  size_t rows = 0;
+  std::vector<const ColumnVector*> columns;
+
+  const ColumnVector& col(int pos) const {
+    return *columns[static_cast<size_t>(pos)];
+  }
+};
+
+/// Returns the borrowed view of an owning ColumnBatch.
+ColumnBatchView ViewOf(const ColumnBatch& batch);
+
+/// One machine's slice of an operator's output in columnar form. `columns`
+/// are aligned with the producing operator's schema positions and all
+/// materialized. When `filtered`, only the `sel` rows (ascending) are live;
+/// the physical columns may be shared with the unfiltered producer.
+struct BatchPartition {
+  size_t rows = 0;  ///< physical rows in every column
+  std::vector<ColumnPtr> columns;
+  SelectionVector sel;
+  bool filtered = false;
+
+  size_t LiveRows() const { return filtered ? sel.size() : rows; }
+  const SelectionVector* Selection() const {
+    return filtered ? &sel : nullptr;
+  }
+  ColumnBatchView View() const;
+};
+
+/// A whole operator output, split across the simulated cluster's machines —
+/// the columnar analogue of PartitionedData.
+struct BatchData {
+  Schema schema;
+  std::vector<BatchPartition> partitions;
+
+  int64_t TotalLiveRows() const;
+  int64_t TotalLiveBytes() const;  ///< Value::ByteWidth sum over live cells
+};
+
+/// Densifies a partition: gathers the selected rows of every column. A
+/// partition that is not filtered is returned as-is (columns shared, no
+/// copy) — the spool materialization fast path.
+BatchPartition CompactPartition(const BatchPartition& part);
+
+/// Full-width rows -> columns conversion for one partition (the bridge into
+/// the batch pipeline; the caller accounts rows_converted).
+BatchPartition PartitionFromRows(const std::vector<Row>& rows,
+                                 size_t num_columns);
+
+/// Appends the partition's live rows (selection order) to `out` — the
+/// bridge out of the batch pipeline, used at Output and by row-only
+/// operators (the caller accounts rows_converted).
+void AppendPartitionRows(const BatchPartition& part, std::vector<Row>* out);
 
 /// Splits [0, n) into batches of at most `batch_size` rows and returns the
 /// number of batches (the executor's batches_evaluated accounting).

@@ -6,9 +6,8 @@
 #include <utility>
 
 #include "common/hash.h"
+#include "exec/exec_detail.h"
 #include "exec/row_key_table.h"
-#include "exec/vector_kernels.h"
-#include "plan/expr_cse.h"
 
 namespace scx {
 
@@ -87,24 +86,14 @@ std::string ExecMetricsToJson(const ExecMetrics& m) {
      << ",\"operator_invocations\":" << m.operator_invocations
      << ",\"rows_output\":" << m.rows_output
      << ",\"batches_evaluated\":" << m.batches_evaluated
-     << ",\"exprs_deduped\":" << m.exprs_deduped << "}";
+     << ",\"exprs_deduped\":" << m.exprs_deduped
+     << ",\"rows_converted\":" << m.rows_converted
+     << ",\"batch_pipeline_breaks\":" << m.batch_pipeline_breaks << "}";
   return os.str();
 }
 
-namespace {
+namespace exec_detail {
 
-/// Sorts rows in place by the given column positions (all ascending).
-void SortRows(std::vector<Row>* rows, const std::vector<int>& positions) {
-  std::sort(rows->begin(), rows->end(), [&](const Row& a, const Row& b) {
-    for (int p : positions) {
-      auto c = a[static_cast<size_t>(p)] <=> b[static_cast<size_t>(p)];
-      if (c != 0) return c < 0;
-    }
-    return false;
-  });
-}
-
-/// Deterministic synthetic cell value for (file, column, row).
 Value SyntheticValue(const FileDef& file, int col_index, int64_t row_index) {
   const ColumnStats& cs = file.columns[static_cast<size_t>(col_index)];
   uint64_t h = Mix64(file.data_seed ^
@@ -124,142 +113,65 @@ Value SyntheticValue(const FileDef& file, int col_index, int64_t row_index) {
   return Value::Int(0);
 }
 
-/// Running state for one aggregate over one group.
-struct AggState {
-  double dsum = 0;
-  int64_t isum = 0;
-  int64_t count = 0;
-  Value minv;
-  Value maxv;
-  bool seen = false;
-};
-
-/// Total column batches needed to process every partition of `d`.
-int64_t CountBatches(const PartitionedData& d, size_t batch_size) {
-  int64_t n = 0;
-  for (const auto& p : d.partitions) n += NumBatches(p.size(), batch_size);
-  return n;
-}
-
-/// Cell as double with ScalarExpr/Value::AsNumeric semantics (typed fast
-/// paths; the kValue fallback aborts on strings exactly like the row path).
-inline double NumericCell(const ColumnVector& col, size_t r) {
-  switch (col.rep()) {
-    case ColumnRep::kInt64:
-      return static_cast<double>(col.ints()[r]);
-    case ColumnRep::kDouble:
-      return col.doubles()[r];
-    default:
-      return col.ValueAt(r).AsNumeric();
+Value FinalizeAggCell(const AggregateDesc& a, const AggState& s, bool global,
+                      bool local) {
+  if (global) {
+    switch (a.fn) {
+      case AggFn::kSum:
+      case AggFn::kCount:
+        if (a.out_type == DataType::kDouble) {
+          return Value::Real(s.dsum);
+        }
+        return Value::Int(s.isum);
+      case AggFn::kMin:
+        return s.minv;
+      case AggFn::kMax:
+        return s.maxv;
+      case AggFn::kAvg:
+        return Value::Real(
+            s.count > 0 ? s.dsum / static_cast<double>(s.count) : 0);
+    }
+    return Value::Int(0);
   }
-}
-
-/// Column-major aggregate update: folds one whole argument column into the
-/// per-group states of aggregate `agg_index`. `ids[r]` is row r's dense
-/// group id. Per (group, aggregate) pair the update order is the batch's
-/// row order — exactly the row-at-a-time loop's order, so every partial
-/// (including float sums) is bit-identical to the legacy path.
-void UpdateAggColumnar(const AggregateDesc& a, bool global,
-                       const ColumnVector* arg, const ColumnVector* hidden,
-                       const std::vector<size_t>& ids, size_t naggs,
-                       size_t agg_index, std::vector<AggState>* states) {
-  const size_t n = ids.size();
-  auto state = [&](size_t r) -> AggState& {
-    return (*states)[ids[r] * naggs + agg_index];
-  };
   switch (a.fn) {
     case AggFn::kSum:
-      // Same in the merge (global) and raw-row cases: partial sums were
-      // rewritten to kSum by the split rule.
-      switch (arg->rep()) {
-        case ColumnRep::kInt64: {
-          const int64_t* v = arg->ints().data();
-          for (size_t r = 0; r < n; ++r) {
-            AggState& s = state(r);
-            s.isum += v[r];
-            s.seen = true;
-          }
-          break;
-        }
-        case ColumnRep::kDouble: {
-          const double* v = arg->doubles().data();
-          for (size_t r = 0; r < n; ++r) {
-            AggState& s = state(r);
-            s.dsum += v[r];
-            s.seen = true;
-          }
-          break;
-        }
-        default:
-          for (size_t r = 0; r < n; ++r) {
-            Value v = arg->ValueAt(r);
-            AggState& s = state(r);
-            if (v.is_int()) {
-              s.isum += v.as_int();
-            } else {
-              s.dsum += v.AsNumeric();
-            }
-            s.seen = true;
-          }
-          break;
+      if (a.out_type == DataType::kDouble) {
+        return Value::Real(s.dsum);
       }
-      break;
+      return Value::Int(s.isum);
     case AggFn::kCount:
-      if (global) {
-        // Merging partial counts: sum the int column.
-        if (arg->rep() == ColumnRep::kInt64) {
-          const int64_t* v = arg->ints().data();
-          for (size_t r = 0; r < n; ++r) {
-            AggState& s = state(r);
-            s.isum += v[r];
-            s.seen = true;
-          }
-        } else {
-          for (size_t r = 0; r < n; ++r) {
-            AggState& s = state(r);
-            s.isum += arg->ValueAt(r).as_int();
-            s.seen = true;
-          }
-        }
-      } else {
-        for (size_t r = 0; r < n; ++r) {
-          AggState& s = state(r);
-          ++s.count;
-          s.seen = true;
-        }
-      }
-      break;
+      return Value::Int(s.count);
     case AggFn::kMin:
-      for (size_t r = 0; r < n; ++r) {
-        Value v = arg->ValueAt(r);
-        AggState& s = state(r);
-        if (!s.seen || v < s.minv) s.minv = v;
-        s.seen = true;
-      }
-      break;
+      return s.minv;
     case AggFn::kMax:
-      for (size_t r = 0; r < n; ++r) {
-        Value v = arg->ValueAt(r);
-        AggState& s = state(r);
-        if (!s.seen || v > s.maxv) s.maxv = v;
-        s.seen = true;
-      }
-      break;
+      return s.maxv;
     case AggFn::kAvg:
-      for (size_t r = 0; r < n; ++r) {
-        AggState& s = state(r);
-        s.dsum += NumericCell(*arg, r);
-        if (global) {
-          s.count += hidden->rep() == ColumnRep::kInt64
-                         ? hidden->ints()[r]
-                         : hidden->ValueAt(r).as_int();
-        } else {
-          ++s.count;
-        }
-        s.seen = true;
+      if (local) {
+        return Value::Real(s.dsum);  // partial sum (out)
       }
-      break;
+      return Value::Real(
+          s.count > 0 ? s.dsum / static_cast<double>(s.count) : 0);
   }
+  return Value::Int(0);
+}
+
+}  // namespace exec_detail
+
+namespace {
+
+using exec_detail::AggState;
+using exec_detail::FinalizeAggCell;
+using exec_detail::SyntheticValue;
+
+/// Sorts rows in place by the given column positions (all ascending).
+void SortRows(std::vector<Row>* rows, const std::vector<int>& positions) {
+  std::sort(rows->begin(), rows->end(), [&](const Row& a, const Row& b) {
+    for (int p : positions) {
+      auto c = a[static_cast<size_t>(p)] <=> b[static_cast<size_t>(p)];
+      if (c != 0) return c < 0;
+    }
+    return false;
+  });
 }
 
 }  // namespace
@@ -273,47 +185,14 @@ void Executor::RunPartitions(size_t n, const std::function<void(size_t)>& fn) {
   pool_->Run(n, fn);
 }
 
-template <typename DestFillFn>
-PartitionedData Executor::ScatterByDest(PartitionedData in,
-                                        DestFillFn dest_fill) {
-  size_t machines = static_cast<size_t>(cluster_.machines);
-  size_t nsrc = in.partitions.size();
-  // Phase 1: each source partition moves its rows into per-destination
-  // buffers with exact reserved capacity.
-  std::vector<std::vector<std::vector<Row>>> buckets(nsrc);
-  RunPartitions(nsrc, [&](size_t s) {
-    std::vector<Row>& rows = in.partitions[s];
-    std::vector<uint32_t> dest(rows.size());
-    dest_fill(rows, &dest);
-    std::vector<size_t> count(machines, 0);
-    for (size_t i = 0; i < rows.size(); ++i) ++count[dest[i]];
-    std::vector<std::vector<Row>>& b = buckets[s];
-    b.resize(machines);
-    for (size_t d = 0; d < machines; ++d) b[d].reserve(count[d]);
-    for (size_t i = 0; i < rows.size(); ++i) {
-      b[dest[i]].push_back(std::move(rows[i]));
-    }
-  });
-  // Phase 2: each destination concatenates its buffers source-major —
-  // exactly the row order the serial per-row push_back loop produced.
-  PartitionedData out;
-  out.schema = std::move(in.schema);
-  out.partitions.resize(machines);
-  RunPartitions(machines, [&](size_t d) {
-    size_t total = 0;
-    for (size_t s = 0; s < nsrc; ++s) total += buckets[s][d].size();
-    std::vector<Row>& sink = out.partitions[d];
-    sink.reserve(total);
-    for (size_t s = 0; s < nsrc; ++s) {
-      sink.insert(sink.end(), std::make_move_iterator(buckets[s][d].begin()),
-                  std::make_move_iterator(buckets[s][d].end()));
-    }
-  });
-  return out;
-}
-
 Result<ExecMetrics> Executor::Execute(const PhysicalNodePtr& plan) {
   ExecMetrics metrics;
+  if (batch_size_ > 1) {
+    batch_spool_cache_.clear();
+    SCX_ASSIGN_OR_RETURN(BatchData ignored, EvalBatch(plan, &metrics));
+    (void)ignored;
+    return metrics;
+  }
   spool_cache_.clear();
   SCX_ASSIGN_OR_RETURN(PartitionedData ignored, Eval(plan, &metrics));
   (void)ignored;
@@ -333,41 +212,6 @@ Result<PartitionedData> Executor::Eval(const PhysicalNodePtr& node,
       out.schema = in.schema;
       out.partitions.resize(in.partitions.size());
       const std::vector<BoundPredicate>& preds = node->proto->predicates;
-      if (batch_size_ > 1 && !preds.empty()) {
-        // Batched path: evaluate each predicate over whole columns,
-        // narrowing one selection vector, then move the surviving rows in
-        // selection (= row) order — the exact legacy result set and order.
-        const size_t nschema = in.schema.columns().size();
-        std::vector<std::pair<int, int>> ppos;  // lhs/rhs schema positions
-        std::vector<int> wanted;
-        for (const BoundPredicate& pred : preds) {
-          int lhs = in.schema.PositionOf(pred.lhs);
-          int rhs = pred.rhs_is_column ? in.schema.PositionOf(pred.rhs) : -1;
-          ppos.emplace_back(lhs, rhs);
-          wanted.push_back(lhs);
-          if (rhs >= 0) wanted.push_back(rhs);
-        }
-        metrics->batches_evaluated += CountBatches(in, batch_size_);
-        RunPartitions(in.partitions.size(), [&](size_t p) {
-          std::vector<Row>& rows = in.partitions[p];
-          std::vector<Row>& sink = out.partitions[p];
-          SelectionVector sel;
-          for (size_t begin = 0; begin < rows.size(); begin += batch_size_) {
-            size_t end = std::min(rows.size(), begin + batch_size_);
-            ColumnBatch batch = BatchFromRows(rows, begin, end, nschema,
-                                              wanted);
-            bool first = true;
-            for (size_t k = 0; k < preds.size(); ++k) {
-              ApplyPredicate(batch, preds[k], ppos[k].first, ppos[k].second,
-                             first, &sel);
-              first = false;
-              if (sel.empty()) break;
-            }
-            for (uint32_t i : sel) sink.push_back(std::move(rows[begin + i]));
-          }
-        });
-        return out;
-      }
       RunPartitions(in.partitions.size(), [&](size_t p) {
         for (Row& r : in.partitions[p]) {
           bool pass = true;
@@ -393,28 +237,6 @@ Result<PartitionedData> Executor::Eval(const PhysicalNodePtr& node,
         (void)dst;
         positions.push_back(in.schema.PositionOf(src));
       }
-      if (batch_size_ > 1) {
-        // Batched path: materialize the projected columns once per chunk
-        // and re-emit rows from them (duplicate source positions share one
-        // materialized column).
-        const size_t nschema = in.schema.columns().size();
-        metrics->batches_evaluated += CountBatches(in, batch_size_);
-        RunPartitions(in.partitions.size(), [&](size_t p) {
-          const std::vector<Row>& rows = in.partitions[p];
-          out.partitions[p].reserve(rows.size());
-          std::vector<const ColumnVector*> cols(positions.size());
-          for (size_t begin = 0; begin < rows.size(); begin += batch_size_) {
-            size_t end = std::min(rows.size(), begin + batch_size_);
-            ColumnBatch batch = BatchFromRows(rows, begin, end, nschema,
-                                              positions);
-            for (size_t j = 0; j < positions.size(); ++j) {
-              cols[j] = &batch.col(positions[j]);
-            }
-            AppendRowsFromColumns(cols, batch.rows, &out.partitions[p]);
-          }
-        });
-        return out;
-      }
       RunPartitions(in.partitions.size(), [&](size_t p) {
         out.partitions[p].reserve(in.partitions[p].size());
         for (const Row& r : in.partitions[p]) {
@@ -435,40 +257,6 @@ Result<PartitionedData> Executor::Eval(const PhysicalNodePtr& node,
       out.schema = node->proto->schema();
       out.partitions.resize(in.partitions.size());
       const auto& items = node->proto->compute_items;
-      if (batch_size_ > 1) {
-        // Batched path with expression-level CSE: lower the stage's items
-        // into a shared-slot schedule once, then evaluate each step over
-        // whole columns — duplicate subtrees compute once per batch.
-        ExprSchedule sched = BuildExprSchedule(items);
-        const size_t nschema = in.schema.columns().size();
-        std::vector<int> step_pos(sched.steps.size(), -1);
-        std::vector<int> wanted;
-        for (size_t s = 0; s < sched.steps.size(); ++s) {
-          if (sched.steps[s].kind == ScalarExpr::Kind::kColumn) {
-            step_pos[s] = in.schema.PositionOf(sched.steps[s].column);
-            wanted.push_back(step_pos[s]);
-          }
-        }
-        metrics->exprs_deduped += sched.duplicates_eliminated;
-        metrics->batches_evaluated += CountBatches(in, batch_size_);
-        RunPartitions(in.partitions.size(), [&](size_t p) {
-          const std::vector<Row>& rows = in.partitions[p];
-          out.partitions[p].reserve(rows.size());
-          EvaluatedSchedule ev;
-          std::vector<const ColumnVector*> cols(sched.item_steps.size());
-          for (size_t begin = 0; begin < rows.size(); begin += batch_size_) {
-            size_t end = std::min(rows.size(), begin + batch_size_);
-            ColumnBatch batch = BatchFromRows(rows, begin, end, nschema,
-                                              wanted);
-            EvalExprSchedule(sched, batch, step_pos, &ev);
-            for (size_t j = 0; j < sched.item_steps.size(); ++j) {
-              cols[j] = ev.cols[static_cast<size_t>(sched.item_steps[j])];
-            }
-            AppendRowsFromColumns(cols, batch.rows, &out.partitions[p]);
-          }
-        });
-        return out;
-      }
       RunPartitions(in.partitions.size(), [&](size_t p) {
         out.partitions[p].reserve(in.partitions[p].size());
         for (const Row& r : in.partitions[p]) {
@@ -710,6 +498,7 @@ Result<PartitionedData> Executor::EvalAggregate(const PhysicalNode& node,
   const LogicalNode& proto = *node.proto;
   const bool local = proto.kind() == LogicalOpKind::kLocalGbAgg;
   const bool global = proto.kind() == LogicalOpKind::kGlobalGbAgg;
+  (void)metrics;
 
   std::vector<int> group_pos = in.schema.PositionsOf(proto.group_cols);
   struct AggIo {
@@ -730,68 +519,11 @@ Result<PartitionedData> Executor::EvalAggregate(const PhysicalNode& node,
   out.schema = proto.schema();
   out.partitions.resize(in.partitions.size());
 
-  const bool batched = batch_size_ > 1;
-  const size_t nschema = in.schema.columns().size();
-  std::vector<int> wanted;
-  if (batched) {
-    wanted = group_pos;
-    for (const AggIo& w : io) {
-      if (w.arg_pos >= 0) wanted.push_back(w.arg_pos);
-      if (w.hidden_pos >= 0) wanted.push_back(w.hidden_pos);
-    }
-    metrics->batches_evaluated += CountBatches(in, batch_size_);
-  }
-
   RunPartitions(in.partitions.size(), [&](size_t p) {
     const std::vector<Row>& rows = in.partitions[p];
     // Pre-sized for the worst case (all keys distinct): no rehash ever.
     RowKeyTable table(rows.size());
     std::vector<AggState> states;  // naggs states per group, group-major
-    if (batched) {
-      // Batched path: hash whole key columns per chunk, assign dense group
-      // ids row by row (the legacy insertion order), then fold each
-      // aggregate's argument column group-wise. Update order per
-      // (group, aggregate) is the batch row order, so every partial is
-      // bit-identical to the row loop's.
-      std::vector<uint64_t> hashes;
-      std::vector<size_t> ids;
-      for (size_t begin = 0; begin < rows.size(); begin += batch_size_) {
-        size_t end = std::min(rows.size(), begin + batch_size_);
-        ColumnBatch batch = BatchFromRows(rows, begin, end, nschema, wanted);
-        HashColumns(batch, group_pos, &hashes);
-        ids.resize(batch.rows);
-        for (size_t r = 0; r < batch.rows; ++r) {
-          auto [id, inserted] = table.FindOrInsertHashed(
-              hashes[r],
-              [&](const Row& key) {
-                for (size_t j = 0; j < group_pos.size(); ++j) {
-                  if (!batch.col(group_pos[j]).CellEquals(r, key[j])) {
-                    return false;
-                  }
-                }
-                return true;
-              },
-              [&] {
-                Row key;
-                key.reserve(group_pos.size());
-                for (int gp : group_pos) {
-                  key.push_back(batch.col(gp).ValueAt(r));
-                }
-                return key;
-              });
-          if (inserted) states.resize(states.size() + naggs);
-          ids[r] = id;
-        }
-        for (size_t i = 0; i < naggs; ++i) {
-          const ColumnVector* arg =
-              io[i].arg_pos >= 0 ? &batch.col(io[i].arg_pos) : nullptr;
-          const ColumnVector* hidden =
-              io[i].hidden_pos >= 0 ? &batch.col(io[i].hidden_pos) : nullptr;
-          UpdateAggColumnar(proto.aggregates[i], global, arg, hidden, ids,
-                            naggs, i, &states);
-        }
-      }
-    } else {
     for (const Row& r : rows) {
       auto [id, inserted] = table.FindOrInsert(r, group_pos);
       if (inserted) states.resize(states.size() + naggs);
@@ -865,7 +597,6 @@ Result<PartitionedData> Executor::EvalAggregate(const PhysicalNode& node,
         s.seen = true;
       }
     }
-    }  // legacy row path
 
     out.partitions[p].reserve(table.size());
     for (size_t id = 0; id < table.size(); ++id) {
@@ -874,56 +605,8 @@ Result<PartitionedData> Executor::EvalAggregate(const PhysicalNode& node,
       for (size_t i = 0; i < naggs; ++i) {
         const AggregateDesc& a = proto.aggregates[i];
         const AggState& s = group_states[i];
-        if (global) {
-          switch (a.fn) {
-            case AggFn::kSum:
-            case AggFn::kCount:
-              if (a.out_type == DataType::kDouble) {
-                row.push_back(Value::Real(s.dsum));
-              } else {
-                row.push_back(Value::Int(s.isum));
-              }
-              break;
-            case AggFn::kMin:
-              row.push_back(s.minv);
-              break;
-            case AggFn::kMax:
-              row.push_back(s.maxv);
-              break;
-            case AggFn::kAvg:
-              row.push_back(Value::Real(
-                  s.count > 0 ? s.dsum / static_cast<double>(s.count) : 0));
-              break;
-          }
-          continue;
-        }
-        switch (a.fn) {
-          case AggFn::kSum:
-            if (a.out_type == DataType::kDouble) {
-              row.push_back(Value::Real(s.dsum));
-            } else {
-              row.push_back(Value::Int(s.isum));
-            }
-            break;
-          case AggFn::kCount:
-            row.push_back(Value::Int(s.count));
-            break;
-          case AggFn::kMin:
-            row.push_back(s.minv);
-            break;
-          case AggFn::kMax:
-            row.push_back(s.maxv);
-            break;
-          case AggFn::kAvg:
-            if (local) {
-              row.push_back(Value::Real(s.dsum));  // partial sum (out)
-            } else {
-              row.push_back(Value::Real(
-                  s.count > 0 ? s.dsum / static_cast<double>(s.count) : 0));
-            }
-            break;
-        }
-        if (local && a.hidden_count != 0) {
+        row.push_back(FinalizeAggCell(a, s, global, local));
+        if (!global && local && a.hidden_count != 0) {
           row.push_back(Value::Int(s.count));  // partial count (hidden)
         }
       }
@@ -945,6 +628,7 @@ Result<PartitionedData> Executor::EvalJoin(const PhysicalNode& node,
                                            PartitionedData right,
                                            ExecMetrics* metrics) {
   const LogicalNode& proto = *node.proto;
+  (void)metrics;
   if (left.partitions.size() != right.partitions.size()) {
     return Status::ExecutionError(
         "join inputs have different partition counts (" +
@@ -960,20 +644,12 @@ Result<PartitionedData> Executor::EvalJoin(const PhysicalNode& node,
   out.schema = proto.schema();
   out.partitions.resize(left.partitions.size());
 
-  const bool batched = batch_size_ > 1;
-  const size_t nlschema = left.schema.columns().size();
-  const size_t nrschema = right.schema.columns().size();
-  if (batched) {
-    metrics->batches_evaluated += CountBatches(right, batch_size_) +
-                                  CountBatches(left, batch_size_);
-  }
-
   RunPartitions(left.partitions.size(), [&](size_t p) {
     const std::vector<Row>& build = right.partitions[p];
     RowKeyTable table(build.size());
     std::vector<std::vector<const Row*>> rows_by_key;
     // Emits the joined rows of probe row `l` against build group `id`,
-    // applying the residual predicates — shared by both paths.
+    // applying the residual predicates.
     auto emit = [&](const Row& l, size_t id) {
       for (const Row* r : rows_by_key[id]) {
         Row joined = l;
@@ -988,52 +664,6 @@ Result<PartitionedData> Executor::EvalJoin(const PhysicalNode& node,
         if (pass) out.partitions[p].push_back(std::move(joined));
       }
     };
-    if (batched) {
-      // Batched path: hash whole key columns of the build and probe sides
-      // per chunk; ids, probe order, and emitted row order all match the
-      // legacy per-row loops exactly.
-      std::vector<uint64_t> hashes;
-      for (size_t begin = 0; begin < build.size(); begin += batch_size_) {
-        size_t end = std::min(build.size(), begin + batch_size_);
-        ColumnBatch batch = BatchFromRows(build, begin, end, nrschema, rpos);
-        HashColumns(batch, rpos, &hashes);
-        for (size_t r = 0; r < batch.rows; ++r) {
-          auto [id, inserted] = table.FindOrInsertHashed(
-              hashes[r],
-              [&](const Row& key) {
-                for (size_t j = 0; j < rpos.size(); ++j) {
-                  if (!batch.col(rpos[j]).CellEquals(r, key[j])) return false;
-                }
-                return true;
-              },
-              [&] {
-                Row key;
-                key.reserve(rpos.size());
-                for (int rp : rpos) key.push_back(batch.col(rp).ValueAt(r));
-                return key;
-              });
-          if (inserted) rows_by_key.emplace_back();
-          rows_by_key[id].push_back(&build[begin + r]);
-        }
-      }
-      const std::vector<Row>& probe = left.partitions[p];
-      for (size_t begin = 0; begin < probe.size(); begin += batch_size_) {
-        size_t end = std::min(probe.size(), begin + batch_size_);
-        ColumnBatch batch = BatchFromRows(probe, begin, end, nlschema, lpos);
-        HashColumns(batch, lpos, &hashes);
-        for (size_t i = 0; i < batch.rows; ++i) {
-          size_t id = table.FindHashed(hashes[i], [&](const Row& key) {
-            for (size_t j = 0; j < lpos.size(); ++j) {
-              if (!batch.col(lpos[j]).CellEquals(i, key[j])) return false;
-            }
-            return true;
-          });
-          if (id == RowKeyTable::kNotFound) continue;
-          emit(probe[begin + i], id);
-        }
-      }
-      return;
-    }
     for (const Row& r : build) {
       auto [id, inserted] = table.FindOrInsert(r, rpos);
       if (inserted) rows_by_key.emplace_back();
@@ -1054,32 +684,14 @@ PartitionedData Executor::Exchange(const PhysicalNode& node,
   size_t machines = static_cast<size_t>(cluster_.machines);
   std::vector<int> positions =
       in.schema.PositionsOf(node.exchange_cols.ToVector());
-  const size_t nschema = in.schema.columns().size();
   metrics->bytes_shuffled += in.TotalBytes();
   metrics->rows_shuffled += in.TotalRows();
-  const bool batched = batch_size_ > 1;
-  if (batched) metrics->batches_evaluated += CountBatches(in, batch_size_);
   PartitionedData out = ScatterByDest(
       std::move(in),
       [&](const std::vector<Row>& rows, std::vector<uint32_t>* dest) {
-        if (!batched) {
-          for (size_t i = 0; i < rows.size(); ++i) {
-            (*dest)[i] = static_cast<uint32_t>(HashRowKey(rows[i], positions) %
-                                               machines);
-          }
-          return;
-        }
-        // Batched key hashing: hash whole key columns per chunk; the
-        // per-row HashCombine chain is HashRowKey's exactly.
-        std::vector<uint64_t> hashes;
-        for (size_t begin = 0; begin < rows.size(); begin += batch_size_) {
-          size_t end = std::min(rows.size(), begin + batch_size_);
-          ColumnBatch batch =
-              BatchFromRows(rows, begin, end, nschema, positions);
-          HashColumns(batch, positions, &hashes);
-          for (size_t i = 0; i < batch.rows; ++i) {
-            (*dest)[begin + i] = static_cast<uint32_t>(hashes[i] % machines);
-          }
+        for (size_t i = 0; i < rows.size(); ++i) {
+          (*dest)[i] = static_cast<uint32_t>(HashRowKey(rows[i], positions) %
+                                             machines);
         }
       });
   if (preserve_order && !node.delivered.sort.Empty()) {

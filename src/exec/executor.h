@@ -50,6 +50,15 @@ struct ExecMetrics {
   /// Structurally duplicate scalar subtrees eliminated by the
   /// expression-CSE pass, summed over Compute operator invocations.
   int64_t exprs_deduped = 0;
+  /// Rows that crossed a row<->column conversion inside the batch pipeline,
+  /// counted per direction: Output's sanctioned columns->rows conversion
+  /// plus both sides of any operator that bridged back to the row path.
+  /// 0 at batch_size 1 (the row path never converts).
+  int64_t rows_converted = 0;
+  /// Operators where the batch pipeline fell back to the legacy row
+  /// implementation (currently only the range exchange's quantile shuffle).
+  /// 0 at batch_size 1.
+  int64_t batch_pipeline_breaks = 0;
   /// Output rows per OUTPUT path.
   std::map<std::string, std::vector<Row>> outputs;
 };
@@ -87,12 +96,17 @@ bool SameOutputs(const ExecMetrics& a, const ExecMetrics& b);
 /// merge/concatenation happens in fixed partition order, so counters and
 /// output rows are bit-identical for every thread count.
 ///
-/// Within a partition, the relational operators evaluate columnar batches
-/// of cluster.batch_size rows (1 = the exact legacy row-at-a-time loops)
-/// through the type-specialized kernels in exec/vector_kernels.h; Compute
-/// stages additionally run their expressions through the expression-CSE
-/// shared-slot schedule (plan/expr_cse.h). Both paths are bit-identical by
-/// construction — see docs/architecture.md §14.
+/// When cluster.batch_size > 1 the plan runs on the batch-native pipeline:
+/// operators exchange BatchData (immutable shared columns + selection
+/// vectors) end to end, Filter/Compute/Project chains fuse into one
+/// cross-stage expression schedule (plan/expr_cse.h), spools cache column
+/// batches whose readers share storage, and exchanges scatter column
+/// slices by a precomputed hash column. Rows exist only at Output and at
+/// explicitly bridged operators (ExecMetrics::rows_converted /
+/// batch_pipeline_breaks). batch_size 1 keeps the exact legacy
+/// row-at-a-time loops as the differential anchor; both pipelines are
+/// bit-identical in raw outputs and legacy counters by construction — see
+/// docs/architecture.md §14.
 class Executor {
  public:
   explicit Executor(ClusterConfig cluster)
@@ -122,13 +136,31 @@ class Executor {
   PartitionedData Exchange(const PhysicalNode& node, PartitionedData in,
                            ExecMetrics* metrics, bool preserve_order);
 
+  // --- Batch-native pipeline (batch_executor.cc), used at batch_size > 1.
+
+  Result<BatchData> EvalBatch(const PhysicalNodePtr& node,
+                              ExecMetrics* metrics);
+  Result<BatchData> EvalExtractBatch(const PhysicalNode& node,
+                                     ExecMetrics* metrics);
+  /// Evaluates the maximal Filter/Compute/Project chain headed at `head`
+  /// through one fused cross-stage expression schedule.
+  Result<BatchData> EvalChainBatch(const PhysicalNodePtr& head,
+                                   ExecMetrics* metrics);
+  Result<BatchData> EvalAggregateBatch(const PhysicalNode& node, BatchData in,
+                                       ExecMetrics* metrics);
+  Result<BatchData> EvalJoinBatch(const PhysicalNode& node, BatchData left,
+                                  BatchData right, ExecMetrics* metrics);
+  BatchData ExchangeBatch(const PhysicalNode& node, BatchData in,
+                          ExecMetrics* metrics, bool preserve_order);
+
   /// Re-buckets `in` into `machines` partitions. `dest_fill(rows, dest)`
   /// computes every row's destination for one source partition (so the hash
   /// exchange can vectorize the key hashing per batch). Two-phase move
   /// scatter: each source partition fills per-destination buffers with
   /// exact reserved capacity, then each destination concatenates them
   /// source-major — the exact row order of the serial push_back loop.
-  /// Defined in executor.cc (only instantiated there).
+  /// Defined inline below so both the legacy path (executor.cc) and the
+  /// batch pipeline's row bridge (batch_executor.cc) can instantiate it.
   template <typename DestFillFn>
   PartitionedData ScatterByDest(PartitionedData in, DestFillFn dest_fill);
 
@@ -144,7 +176,50 @@ class Executor {
   /// Spool materializations, keyed by plan node identity so a shared spool
   /// executes once per plan DAG. Pointer keys, no ordering needed.
   std::unordered_map<const PhysicalNode*, PartitionedData> spool_cache_;
+  /// Batch-pipeline spool materializations: partitions are compacted once
+  /// at write time, and every read hands back the same shared immutable
+  /// columns (a cache hit copies shared_ptrs, never rows).
+  std::unordered_map<const PhysicalNode*, BatchData> batch_spool_cache_;
 };
+
+template <typename DestFillFn>
+PartitionedData Executor::ScatterByDest(PartitionedData in,
+                                        DestFillFn dest_fill) {
+  size_t machines = static_cast<size_t>(cluster_.machines);
+  size_t nsrc = in.partitions.size();
+  // Phase 1: each source partition moves its rows into per-destination
+  // buffers with exact reserved capacity.
+  std::vector<std::vector<std::vector<Row>>> buckets(nsrc);
+  RunPartitions(nsrc, [&](size_t s) {
+    std::vector<Row>& rows = in.partitions[s];
+    std::vector<uint32_t> dest(rows.size());
+    dest_fill(rows, &dest);
+    std::vector<size_t> count(machines, 0);
+    for (size_t i = 0; i < rows.size(); ++i) ++count[dest[i]];
+    std::vector<std::vector<Row>>& b = buckets[s];
+    b.resize(machines);
+    for (size_t d = 0; d < machines; ++d) b[d].reserve(count[d]);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      b[dest[i]].push_back(std::move(rows[i]));
+    }
+  });
+  // Phase 2: each destination concatenates its buffers source-major —
+  // exactly the row order the serial per-row push_back loop produced.
+  PartitionedData out;
+  out.schema = std::move(in.schema);
+  out.partitions.resize(machines);
+  RunPartitions(machines, [&](size_t d) {
+    size_t total = 0;
+    for (size_t s = 0; s < nsrc; ++s) total += buckets[s][d].size();
+    std::vector<Row>& sink = out.partitions[d];
+    sink.reserve(total);
+    for (size_t s = 0; s < nsrc; ++s) {
+      sink.insert(sink.end(), std::make_move_iterator(buckets[s][d].begin()),
+                  std::make_move_iterator(buckets[s][d].end()));
+    }
+  });
+  return out;
+}
 
 }  // namespace scx
 

@@ -8,8 +8,6 @@ namespace scx {
 
 namespace {
 
-constexpr uint64_t kRowKeySeed = 0x2545f4914f6cdd1dULL;
-
 bool NumericRep(ColumnRep r) {
   return r == ColumnRep::kInt64 || r == ColumnRep::kDouble;
 }
@@ -102,15 +100,144 @@ Value EvalBinaryValue(ScalarExpr::BinOp op, const Value& l, const Value& r) {
   return Value::Real(0);
 }
 
-ColumnVector Splat(const Value& v, size_t n) {
+}  // namespace
+
+void HashColumnCells(const ColumnVector& col, size_t n, uint64_t* h) {
+  switch (col.rep()) {
+    case ColumnRep::kInt64: {
+      const int64_t* d = col.ints().data();
+      for (size_t i = 0; i < n; ++i) {
+        h[i] = HashCombine(h[i], Mix64(static_cast<uint64_t>(d[i])));
+      }
+      break;
+    }
+    case ColumnRep::kDouble: {
+      const double* d = col.doubles().data();
+      for (size_t i = 0; i < n; ++i) {
+        double v = d[i];
+        if (v == 0.0) v = 0.0;  // -0.0 normalization, as Value::Hash
+        uint64_t bits;
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        h[i] = HashCombine(h[i], Mix64(bits ^ 0x5555555555555555ULL));
+      }
+      break;
+    }
+    case ColumnRep::kString: {
+      const std::vector<std::string>& d = col.strings();
+      for (size_t i = 0; i < n; ++i) {
+        h[i] = HashCombine(h[i], Fnv1a64(d[i]));
+      }
+      break;
+    }
+    case ColumnRep::kValue: {
+      const std::vector<Value>& d = col.values();
+      for (size_t i = 0; i < n; ++i) {
+        h[i] = HashCombine(h[i], d[i].Hash());
+      }
+      break;
+    }
+  }
+}
+
+void HashColumns(const ColumnBatch& batch, const std::vector<int>& positions,
+                 std::vector<uint64_t>* hashes) {
+  hashes->assign(batch.rows, kRowKeySeed);
+  for (int pos : positions) {
+    HashColumnCells(batch.col(pos), batch.rows, hashes->data());
+  }
+}
+
+bool PredicatePassCells(CompareOp op, const Value& l, const Value& r) {
+  return PassOp(op, CmpPredicateValues(l, r));
+}
+
+void SelectByPredicate(const ColumnVector& lhs, const ColumnVector* rhs,
+                       const Value& literal, CompareOp op, size_t rows,
+                       bool first, SelectionVector* sel) {
+  const ColumnVector& l = lhs;
+  const ColumnVector* rcol = rhs;
+  const Value& lit = literal;
+  const ColumnRep lr = l.rep();
+  const ColumnRep rr = rcol != nullptr
+                           ? rcol->rep()
+                           : (lit.is_int() ? ColumnRep::kInt64
+                              : lit.is_double() ? ColumnRep::kDouble
+                                                : ColumnRep::kString);
+
+  // Both sides int64: the canonical integer ordering.
+  if (lr == ColumnRep::kInt64 && rr == ColumnRep::kInt64) {
+    const int64_t* a = l.ints().data();
+    if (rcol != nullptr) {
+      const int64_t* b = rcol->ints().data();
+      RunSelect(rows, first, sel, [&](uint32_t i) {
+        return PassOp(op, (a[i] > b[i]) - (a[i] < b[i]));
+      });
+    } else {
+      const int64_t b = lit.as_int();
+      RunSelect(rows, first, sel, [&](uint32_t i) {
+        return PassOp(op, (a[i] > b) - (a[i] < b));
+      });
+    }
+    return;
+  }
+  // Numeric pair with at least one double: numeric comparison (both the
+  // mixed-type rule and the all-double Value ordering reduce to Cmp3).
+  if (NumericRep(lr) && NumericRep(rr)) {
+    if (rcol != nullptr) {
+      RunSelect(rows, first, sel, [&](uint32_t i) {
+        return PassOp(op, Cmp3(NumericAt(l, i), NumericAt(*rcol, i)));
+      });
+    } else {
+      const double b = lit.AsNumeric();
+      RunSelect(rows, first, sel, [&](uint32_t i) {
+        return PassOp(op, Cmp3(NumericAt(l, i), b));
+      });
+    }
+    return;
+  }
+  // Both sides strings: plain string ordering.
+  if (lr == ColumnRep::kString && rr == ColumnRep::kString) {
+    const std::vector<std::string>& a = l.strings();
+    if (rcol != nullptr) {
+      const std::vector<std::string>& b = rcol->strings();
+      RunSelect(rows, first, sel, [&](uint32_t i) {
+        int c = a[i].compare(b[i]);
+        return PassOp(op, (c > 0) - (c < 0));
+      });
+    } else {
+      const std::string& b = lit.as_string();
+      RunSelect(rows, first, sel, [&](uint32_t i) {
+        int c = a[i].compare(b);
+        return PassOp(op, (c > 0) - (c < 0));
+      });
+    }
+    return;
+  }
+  // Mixed-rep columns or string/numeric pairs: the generic Value rules.
+  RunSelect(rows, first, sel, [&](uint32_t i) {
+    Value lv = l.ValueAt(i);
+    Value rv = rcol != nullptr ? rcol->ValueAt(i) : lit;
+    return PassOp(op, CmpPredicateValues(lv, rv));
+  });
+}
+
+void ApplyPredicate(const ColumnBatch& batch, const BoundPredicate& pred,
+                    int lhs_pos, int rhs_pos, bool first,
+                    SelectionVector* sel) {
+  SelectByPredicate(batch.col(lhs_pos),
+                    rhs_pos >= 0 ? &batch.col(rhs_pos) : nullptr,
+                    pred.literal, pred.op, batch.rows, first, sel);
+}
+
+ColumnVector SplatColumn(const Value& v, size_t n) {
   ColumnVector out;
   out.Reserve(n);
   for (size_t i = 0; i < n; ++i) out.AppendValue(v);
   return out;
 }
 
-void EvalBinary(ScalarExpr::BinOp op, const ColumnVector& l,
-                const ColumnVector& r, size_t n, ColumnVector* out) {
+void EvalBinaryColumns(ScalarExpr::BinOp op, const ColumnVector& l,
+                       const ColumnVector& r, size_t n, ColumnVector* out) {
   const ColumnRep lr = l.rep(), rr = r.rep();
   // Mixed-runtime-type columns fall back to cell-at-a-time Values — the
   // dynamic dispatch of the row path, reproduced verbatim.
@@ -176,123 +303,6 @@ void EvalBinary(ScalarExpr::BinOp op, const ColumnVector& l,
   *out = std::move(res);
 }
 
-}  // namespace
-
-void HashColumns(const ColumnBatch& batch, const std::vector<int>& positions,
-                 std::vector<uint64_t>* hashes) {
-  hashes->assign(batch.rows, kRowKeySeed);
-  uint64_t* h = hashes->data();
-  const size_t n = batch.rows;
-  for (int pos : positions) {
-    const ColumnVector& col = batch.col(pos);
-    switch (col.rep()) {
-      case ColumnRep::kInt64: {
-        const int64_t* d = col.ints().data();
-        for (size_t i = 0; i < n; ++i) {
-          h[i] = HashCombine(h[i], Mix64(static_cast<uint64_t>(d[i])));
-        }
-        break;
-      }
-      case ColumnRep::kDouble: {
-        const double* d = col.doubles().data();
-        for (size_t i = 0; i < n; ++i) {
-          double v = d[i];
-          if (v == 0.0) v = 0.0;  // -0.0 normalization, as Value::Hash
-          uint64_t bits;
-          __builtin_memcpy(&bits, &v, sizeof(bits));
-          h[i] = HashCombine(h[i], Mix64(bits ^ 0x5555555555555555ULL));
-        }
-        break;
-      }
-      case ColumnRep::kString: {
-        const std::vector<std::string>& d = col.strings();
-        for (size_t i = 0; i < n; ++i) {
-          h[i] = HashCombine(h[i], Fnv1a64(d[i]));
-        }
-        break;
-      }
-      case ColumnRep::kValue: {
-        const std::vector<Value>& d = col.values();
-        for (size_t i = 0; i < n; ++i) {
-          h[i] = HashCombine(h[i], d[i].Hash());
-        }
-        break;
-      }
-    }
-  }
-}
-
-void ApplyPredicate(const ColumnBatch& batch, const BoundPredicate& pred,
-                    int lhs_pos, int rhs_pos, bool first,
-                    SelectionVector* sel) {
-  const ColumnVector& l = batch.col(lhs_pos);
-  const ColumnVector* rcol = rhs_pos >= 0 ? &batch.col(rhs_pos) : nullptr;
-  const Value& lit = pred.literal;
-  const CompareOp op = pred.op;
-  const ColumnRep lr = l.rep();
-  const ColumnRep rr = rcol != nullptr
-                           ? rcol->rep()
-                           : (lit.is_int() ? ColumnRep::kInt64
-                              : lit.is_double() ? ColumnRep::kDouble
-                                                : ColumnRep::kString);
-
-  // Both sides int64: the canonical integer ordering.
-  if (lr == ColumnRep::kInt64 && rr == ColumnRep::kInt64) {
-    const int64_t* a = l.ints().data();
-    if (rcol != nullptr) {
-      const int64_t* b = rcol->ints().data();
-      RunSelect(batch.rows, first, sel, [&](uint32_t i) {
-        return PassOp(op, (a[i] > b[i]) - (a[i] < b[i]));
-      });
-    } else {
-      const int64_t b = lit.as_int();
-      RunSelect(batch.rows, first, sel, [&](uint32_t i) {
-        return PassOp(op, (a[i] > b) - (a[i] < b));
-      });
-    }
-    return;
-  }
-  // Numeric pair with at least one double: numeric comparison (both the
-  // mixed-type rule and the all-double Value ordering reduce to Cmp3).
-  if (NumericRep(lr) && NumericRep(rr)) {
-    if (rcol != nullptr) {
-      RunSelect(batch.rows, first, sel, [&](uint32_t i) {
-        return PassOp(op, Cmp3(NumericAt(l, i), NumericAt(*rcol, i)));
-      });
-    } else {
-      const double b = lit.AsNumeric();
-      RunSelect(batch.rows, first, sel, [&](uint32_t i) {
-        return PassOp(op, Cmp3(NumericAt(l, i), b));
-      });
-    }
-    return;
-  }
-  // Both sides strings: plain string ordering.
-  if (lr == ColumnRep::kString && rr == ColumnRep::kString) {
-    const std::vector<std::string>& a = l.strings();
-    if (rcol != nullptr) {
-      const std::vector<std::string>& b = rcol->strings();
-      RunSelect(batch.rows, first, sel, [&](uint32_t i) {
-        int c = a[i].compare(b[i]);
-        return PassOp(op, (c > 0) - (c < 0));
-      });
-    } else {
-      const std::string& b = lit.as_string();
-      RunSelect(batch.rows, first, sel, [&](uint32_t i) {
-        int c = a[i].compare(b);
-        return PassOp(op, (c > 0) - (c < 0));
-      });
-    }
-    return;
-  }
-  // Mixed-rep columns or string/numeric pairs: the generic Value rules.
-  RunSelect(batch.rows, first, sel, [&](uint32_t i) {
-    Value lv = l.ValueAt(i);
-    Value rv = rcol != nullptr ? rcol->ValueAt(i) : lit;
-    return PassOp(op, CmpPredicateValues(lv, rv));
-  });
-}
-
 void EvalExprSchedule(const ExprSchedule& sched, const ColumnBatch& batch,
                       const std::vector<int>& step_pos,
                       EvaluatedSchedule* out) {
@@ -307,13 +317,13 @@ void EvalExprSchedule(const ExprSchedule& sched, const ColumnBatch& batch,
         out->cols[s] = &batch.col(step_pos[s]);
         break;
       case ScalarExpr::Kind::kLiteral:
-        out->computed[s] = Splat(step.literal, batch.rows);
+        out->computed[s] = SplatColumn(step.literal, batch.rows);
         out->cols[s] = &out->computed[s];
         break;
       case ScalarExpr::Kind::kBinary:
-        EvalBinary(step.op, *out->cols[static_cast<size_t>(step.lhs)],
-                   *out->cols[static_cast<size_t>(step.rhs)], batch.rows,
-                   &out->computed[s]);
+        EvalBinaryColumns(step.op, *out->cols[static_cast<size_t>(step.lhs)],
+                          *out->cols[static_cast<size_t>(step.rhs)],
+                          batch.rows, &out->computed[s]);
         out->cols[s] = &out->computed[s];
         break;
     }

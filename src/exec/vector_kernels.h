@@ -10,6 +10,15 @@
 
 namespace scx {
 
+/// The seed of the per-row HashRowKey chain; exposed so batch kernels can
+/// start a hash accumulator identically to the row path.
+inline constexpr uint64_t kRowKeySeed = 0x2545f4914f6cdd1dULL;
+
+/// Combines column `col`'s first `n` cells into the per-row hash
+/// accumulators `h[0..n)` — one HashCombine link of the HashRowKey chain,
+/// typed loops per rep, bit-identical to HashCombine(h[i], ValueAt(i).Hash()).
+void HashColumnCells(const ColumnVector& col, size_t n, uint64_t* h);
+
 /// Key hash of every batch row over the `positions` columns — bit-identical
 /// to HashRowKey(row, positions) on the source rows. Columns are hashed
 /// whole (column-major), typed loops per rep; the per-row HashCombine chain
@@ -17,15 +26,39 @@ namespace scx {
 void HashColumns(const ColumnBatch& batch, const std::vector<int>& positions,
                  std::vector<uint64_t>* hashes);
 
-/// Applies `pred` over the batch, intersecting into `sel`: when `first`,
-/// fills sel with all passing row indices; otherwise keeps only the already
-/// selected rows that also pass. Positions are pre-resolved by the caller
-/// (rhs_pos < 0 means the literal side). Comparison semantics are exactly
+/// BoundPredicate::Evaluate's comparison on two cells: mixed non-string
+/// types compare numerically, otherwise the canonical Value ordering.
+/// Used for residual join predicates evaluated per candidate pair.
+bool PredicatePassCells(CompareOp op, const Value& l, const Value& r);
+
+/// Applies `lhs op (rhs | literal)` over `rows` physical rows, narrowing
+/// `sel`: when `first`, fills sel with all passing row indices; otherwise
+/// keeps only the already selected rows that also pass (so a pre-seeded sel
+/// from an upstream filter is intersected, never widened). `rhs == nullptr`
+/// selects the literal side. Comparison semantics are exactly
 /// BoundPredicate::Evaluate's: mixed int/double compares numerically,
 /// otherwise the canonical Value ordering applies.
+void SelectByPredicate(const ColumnVector& lhs, const ColumnVector* rhs,
+                       const Value& literal, CompareOp op, size_t rows,
+                       bool first, SelectionVector* sel);
+
+/// Applies `pred` over the batch, intersecting into `sel`. Positions are
+/// pre-resolved by the caller (rhs_pos < 0 means the literal side). A thin
+/// wrapper over SelectByPredicate.
 void ApplyPredicate(const ColumnBatch& batch, const BoundPredicate& pred,
                     int lhs_pos, int rhs_pos, bool first,
                     SelectionVector* sel);
+
+/// `v` splatted into an n-cell column (the kLiteral step kernel).
+ColumnVector SplatColumn(const Value& v, size_t n);
+
+/// One binary expression step over whole columns, reproducing
+/// ScalarExpr::Evaluate's dynamic semantics bit-for-bit: kDiv always yields
+/// doubles with the divide-by-zero-is-zero rule; +,-,* stay int64 only when
+/// both cells are int64; mixed-rep columns fall back to cell-at-a-time
+/// Values.
+void EvalBinaryColumns(ScalarExpr::BinOp op, const ColumnVector& l,
+                       const ColumnVector& r, size_t n, ColumnVector* out);
 
 /// Evaluated shared-slot schedule: one column per step. kColumn steps
 /// borrow the input batch's column; computed steps own their storage in
@@ -37,10 +70,8 @@ struct EvaluatedSchedule {
 
 /// Runs `sched` over the batch: each step evaluated once, in order, with
 /// type-specialized binary kernels reproducing ScalarExpr::Evaluate's
-/// dynamic semantics bit-for-bit (kDiv always yields doubles with the
-/// divide-by-zero-is-zero rule; +,-,* stay int64 only when both cells are
-/// int64). `step_pos[i]` is the schema position of a kColumn step, -1
-/// otherwise.
+/// dynamic semantics bit-for-bit. `step_pos[i]` is the schema position of a
+/// kColumn step, -1 otherwise.
 void EvalExprSchedule(const ExprSchedule& sched, const ColumnBatch& batch,
                       const std::vector<int>& step_pos,
                       EvaluatedSchedule* out);

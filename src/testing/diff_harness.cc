@@ -52,6 +52,8 @@ bool MetricsEqual(const ExecMetrics& a, const ExecMetrics& b,
   if (same_batch_size) {
     SCX_CMP(batches_evaluated)
     SCX_CMP(exprs_deduped)
+    SCX_CMP(rows_converted)
+    SCX_CMP(batch_pipeline_breaks)
   }
 #undef SCX_CMP
   if (a.outputs != b.outputs) {

@@ -59,8 +59,11 @@ struct OracleReport {
 ///      parse -> serialize round-trip byte for byte;
 ///   5. columnar-batch execution (the default) is bit-identical to the
 ///      batch_size=1 legacy row path: same raw output rows and same legacy
-///      counters (batches_evaluated/exprs_deduped are excluded — they count
-///      batch-path work and are 0 by definition on the row path).
+///      counters (batch-only counters — batches_evaluated, exprs_deduped,
+///      rows_converted, batch_pipeline_breaks — are excluded from this
+///      oracle: they count batch-pipeline work and are 0 by definition on
+///      the row path; the determinism oracle still compares them between
+///      same-batch-size runs).
 /// On failure it greedily minimizes the script (drop outputs -> drop
 /// operators -> shrink WHERE/ORDER BY/GROUP BY clauses), re-checking the
 /// failing oracle at every step, and optionally writes the shrunken repro

@@ -203,6 +203,10 @@ class Generator {
       EmitExprConsumer(base, sink, shared, keys, vals);
       return;
     }
+    if (opts_.force_pipeline_consumers) {
+      EmitPipelineConsumer(base, sink, shared, keys, vals);
+      return;
+    }
     double roll = static_cast<double>(rng_.Next() >> 11) * 0x1.0p-53;
 
     if (roll < opts_.union_consumer_prob) {
@@ -271,6 +275,12 @@ class Generator {
       EmitExprConsumer(base, sink, shared, keys, vals);
       return;
     }
+    roll -= opts_.expr_consumer_prob;
+
+    if (roll < opts_.pipeline_consumer_prob) {
+      EmitPipelineConsumer(base, sink, shared, keys, vals);
+      return;
+    }
 
     // Plain (optionally two-level) aggregation chain.
     std::vector<std::string> gb = RandomSubset(rng_, keys);
@@ -335,6 +345,58 @@ class Generator {
     if (with_div) aggs += ",Max(Q) AS R";
     Line(base + " = SELECT " + gk + "," + aggs + " FROM " + compute +
          " GROUP BY " + gk + ";");
+    Output(base, sink);
+  }
+
+  /// Consumer that runs the shared node through a deep alternating chain —
+  /// filter, compute, filter, compute, ... — before aggregating. The
+  /// filters keep a full column list (pure kFilter), the computes repeat a
+  /// parenthesized subterm across items (sometimes operand-swapped), so the
+  /// batch pipeline sees maximal fusable chains with real cross-stage
+  /// duplicates, fed through a shared spool whenever the module has >= 2
+  /// consumers.
+  void EmitPipelineConsumer(const std::string& base, const std::string& sink,
+                            const std::string& shared,
+                            const std::vector<std::string>& keys,
+                            const std::vector<std::string>& vals) {
+    std::vector<std::string> cols = keys;
+    cols.insert(cols.end(), vals.begin(), vals.end());
+    const std::string gk = rng_.Pick(keys);
+
+    std::string src = shared;
+    int stages = rng_.Int(opts_.min_chain_stages, opts_.max_chain_stages);
+    for (int s = 0; s < stages; ++s) {
+      std::string name = base + "P" + std::to_string(s);
+      if (s % 2 == 0) {
+        // Filter stage: full column list, one predicate. Thresholds are
+        // small so key filters genuinely cut while filters over computed
+        // (squared, hence large) columns mostly pass — both selectivities
+        // matter for the fused schedules.
+        const std::string& c = rng_.Pick(cols);
+        Line(name + " = SELECT " + JoinNames(cols) + " FROM " + src +
+             " WHERE " + c + " > " + std::to_string(rng_.Int(0, 3)) + ";");
+      } else {
+        // Compute stage: keep the group key, replace the rest with
+        // arithmetic over the current schema that repeats subterm `t`.
+        const std::string a = rng_.Pick(cols);
+        const std::string b = rng_.Pick(cols);
+        const std::string m = rng_.Pick(cols);
+        std::string t = "(" + a + "+" + b + ")";
+        std::string dup =
+            rng_.Chance(0.5) ? "(" + b + "+" + a + ")" : t;
+        std::string sx = "X" + std::to_string(s);
+        std::string sy = "Y" + std::to_string(s);
+        Line(name + " = SELECT " + gk + "," + t + "*" + t + " AS " + sx +
+             "," + dup + "-" + m + " AS " + sy + " FROM " + src + ";");
+        cols = {gk, sx, sy};
+      }
+      src = name;
+    }
+    // All chain columns are int64 (+,-,* only), so Sum stays exact and
+    // order-independent across plan shapes.
+    const std::string& v = cols.back();
+    Line(base + " = SELECT " + gk + ",Sum(" + v + ") AS V,Min(" + v +
+         ") AS W FROM " + src + " GROUP BY " + gk + ";");
     Output(base, sink);
   }
 

@@ -36,6 +36,13 @@ struct ScriptGenOptions {
   /// a subterm (sometimes operand-swapped), so the executor's
   /// expression-CSE pass and the batch-vs-row oracle see real duplicates.
   double expr_consumer_prob = 0.2;
+  /// Consumer runs the shared node through a deep alternating
+  /// filter -> compute -> filter ... chain before aggregating — the shape
+  /// the batch pipeline fuses into one cross-stage expression schedule, and
+  /// (with >= 2 consumers) reads through a shared spool.
+  double pipeline_consumer_prob = 0.15;
+  int min_chain_stages = 3;  ///< stages per pipeline-consumer chain
+  int max_chain_stages = 6;
   double filler_prob = 0.3;        ///< append an unshared filler pipeline
   double empty_input_prob = 0.05;  ///< a module's file has rows=0
   double duplicate_output_prob = 0.08;
@@ -45,6 +52,7 @@ struct ScriptGenOptions {
   bool force_empty_inputs = false;      ///< every input file: rows=0
   bool force_duplicate_outputs = false; ///< every consumer output duplicated
   bool force_expr_consumers = false;    ///< every consumer: arithmetic shape
+  bool force_pipeline_consumers = false; ///< every consumer: deep chain
 };
 
 /// One generated differential-testing case: a SCOPE-dialect script with

@@ -165,6 +165,95 @@ TEST(ColumnBatchTest, AppendRowsFromColumnsZipsColumns) {
   EXPECT_EQ(dup[1], (Row{Value::Int(1), Value::Int(1)}));
 }
 
+TEST(ColumnBatchTest, AppendColumnBulkCopyMatchesPerCellFallback) {
+  // Typed source into typed accumulator: the bulk memcpy-style path.
+  ColumnVector src;
+  for (int64_t i = 0; i < 5; ++i) src.AppendValue(Value::Int(i * 3));
+  ColumnVector all;
+  all.AppendColumn(src, nullptr);
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all.rep(), ColumnRep::kInt64);
+  EXPECT_EQ(all.ValueAt(4), Value::Int(12));
+
+  // With a selection: only the selected cells, in selection order.
+  SelectionVector sel = {4, 0};
+  ColumnVector some;
+  some.AppendColumn(src, &sel);
+  ASSERT_EQ(some.size(), 2u);
+  EXPECT_EQ(some.ValueAt(0), Value::Int(12));
+  EXPECT_EQ(some.ValueAt(1), Value::Int(0));
+
+  // Mixed-rep append (int column into an accumulator that already adopted
+  // kValue): per-cell fallback, still cell-for-cell identical.
+  ColumnVector mixed;
+  mixed.AppendValue(Value::Str("s"));
+  mixed.AppendColumn(src, &sel);
+  ASSERT_EQ(mixed.size(), 3u);
+  EXPECT_EQ(mixed.rep(), ColumnRep::kValue);
+  EXPECT_EQ(mixed.ValueAt(1), Value::Int(12));
+}
+
+TEST(ColumnBatchTest, CompareCellsMatchesValueOrdering) {
+  // Cross-type ordering is Value's: int < double < string by type index.
+  ColumnVector a, b;
+  a.AppendValue(Value::Int(5));
+  a.AppendValue(Value::Str("abc"));
+  b.AppendValue(Value::Int(7));
+  b.AppendValue(Value::Real(0.5));
+  EXPECT_LT(CompareCells(a, 0, b, 0), 0);  // 5 < 7
+  EXPECT_GT(CompareCells(b, 0, a, 0), 0);
+  EXPECT_GT(CompareCells(a, 1, b, 1), 0);  // string > double
+  EXPECT_EQ(CompareCells(a, 0, a, 0), 0);
+  // Same-rep typed fast path agrees with the generic Value path.
+  ColumnVector c, d;
+  c.AppendValue(Value::Int(-1));
+  d.AppendValue(Value::Int(2));
+  EXPECT_LT(CompareCells(c, 0, d, 0), 0);
+}
+
+TEST(ColumnBatchTest, CompactPartitionGathersSurvivorsOnce) {
+  BatchPartition part;
+  part.rows = 4;
+  ColumnVector col;
+  for (int64_t i = 0; i < 4; ++i) col.AppendValue(Value::Int(i));
+  part.columns.push_back(std::make_shared<ColumnVector>(std::move(col)));
+  part.sel = {1, 3};
+  part.filtered = true;
+
+  BatchPartition dense = CompactPartition(part);
+  EXPECT_FALSE(dense.filtered);
+  EXPECT_EQ(dense.rows, 2u);
+  EXPECT_EQ(dense.LiveRows(), 2u);
+  ASSERT_EQ(dense.columns.size(), 1u);
+  EXPECT_EQ(dense.columns[0]->ValueAt(0), Value::Int(1));
+  EXPECT_EQ(dense.columns[0]->ValueAt(1), Value::Int(3));
+
+  // Unfiltered partitions pass through sharing the same columns.
+  BatchPartition through = CompactPartition(dense);
+  EXPECT_EQ(through.columns[0].get(), dense.columns[0].get());
+}
+
+TEST(ColumnBatchTest, PartitionRowConvertersRoundTrip) {
+  std::vector<Row> rows = MixedRows();
+  BatchPartition part = PartitionFromRows(rows, 3);
+  EXPECT_EQ(part.rows, rows.size());
+  EXPECT_FALSE(part.filtered);
+  ASSERT_EQ(part.columns.size(), 3u);
+
+  std::vector<Row> back;
+  AppendPartitionRows(part, &back);
+  EXPECT_EQ(back, rows);
+
+  // With a selection, only live rows convert, in selection order.
+  part.sel = {2, 0};
+  part.filtered = true;
+  std::vector<Row> live;
+  AppendPartitionRows(part, &live);
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0], rows[2]);
+  EXPECT_EQ(live[1], rows[0]);
+}
+
 TEST(NumBatchesTest, CeilDivisionAndEdgeCases) {
   EXPECT_EQ(NumBatches(0, 4096), 0);
   EXPECT_EQ(NumBatches(1, 4096), 1);

@@ -77,8 +77,9 @@ TEST(EngineTest, DiagnosticsExposed) {
 
 TEST(EngineTest, ExecMetricsToJsonCarriesEveryCounter) {
   // Regression for the scx_cli --json --execute surface: the JSON must
-  // carry every ExecMetrics counter, including the batch-path pair
-  // (batches_evaluated / exprs_deduped) next to the spool counters.
+  // carry every ExecMetrics counter, including the batch-pipeline ones
+  // (batches_evaluated / exprs_deduped / rows_converted /
+  // batch_pipeline_breaks) next to the spool counters.
   OptimizerConfig config;
   config.cluster.machines = 4;
   config.cluster.batch_size = 256;  // pinned: SCX_BATCH_SIZE must not leak in
@@ -96,7 +97,8 @@ TEST(EngineTest, ExecMetricsToJsonCarriesEveryCounter) {
         "\"bytes_spooled\":", "\"rows_spooled\":", "\"spool_executions\":",
         "\"spool_reads\":", "\"spool_cache_hits\":",
         "\"operator_invocations\":", "\"rows_output\":",
-        "\"batches_evaluated\":", "\"exprs_deduped\":"}) {
+        "\"batches_evaluated\":", "\"exprs_deduped\":",
+        "\"rows_converted\":", "\"batch_pipeline_breaks\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
   EXPECT_EQ(json.front(), '{');
@@ -110,6 +112,9 @@ TEST(EngineTest, ExecMetricsToJsonCarriesEveryCounter) {
                       std::to_string(metrics->exprs_deduped)),
             std::string::npos);
   EXPECT_GT(metrics->batches_evaluated, 0);
+  // S1 has no range exchange: the only row conversion is Output's.
+  EXPECT_EQ(metrics->rows_converted, metrics->rows_output);
+  EXPECT_EQ(metrics->batch_pipeline_breaks, 0);
 }
 
 TEST(EngineTest, BatchSizeConfigSelectsRowPath) {
@@ -137,6 +142,8 @@ TEST(EngineTest, BatchSizeConfigSelectsRowPath) {
   EXPECT_GT(b.batches_evaluated, 0);
   EXPECT_EQ(r.batches_evaluated, 0);
   EXPECT_EQ(r.exprs_deduped, 0);
+  EXPECT_EQ(r.rows_converted, 0);
+  EXPECT_EQ(r.batch_pipeline_breaks, 0);
   EXPECT_EQ(b.outputs, r.outputs);
   EXPECT_EQ(b.rows_output, r.rows_output);
 }

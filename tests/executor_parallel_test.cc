@@ -66,9 +66,13 @@ void ExpectBitIdentical(const PlanUnderTest& t, const ExecMetrics& serial,
       << t.name;
   EXPECT_EQ(serial.rows_output, parallel.rows_output) << t.name;
   // The batch-path counters are accounted on the master from partition
-  // sizes alone, so they too are thread-count invariant.
+  // sizes alone (per-partition accumulator slots merged in partition
+  // order), so they too are thread-count invariant.
   EXPECT_EQ(serial.batches_evaluated, parallel.batches_evaluated) << t.name;
   EXPECT_EQ(serial.exprs_deduped, parallel.exprs_deduped) << t.name;
+  EXPECT_EQ(serial.rows_converted, parallel.rows_converted) << t.name;
+  EXPECT_EQ(serial.batch_pipeline_breaks, parallel.batch_pipeline_breaks)
+      << t.name;
   // Raw row-for-row equality — not just canonical equivalence. The merge
   // order is part of the determinism contract.
   EXPECT_EQ(serial.outputs, parallel.outputs) << t.name;
@@ -156,6 +160,69 @@ TEST(ExecutorParallelTest, BatchSizeSweepBitIdenticalToRowPath) {
           << batch_size;
       EXPECT_GT(serial.batches_evaluated, 0)
           << name << " batch " << batch_size;
+    }
+  }
+}
+
+TEST(ExecutorParallelTest, SpoolHeavyBatchSweepPreservesSpoolCounters) {
+  // A shared aggregate with three consumers: in kCse mode the optimizer
+  // spools it, so the batch pipeline's column-batch spool cache must
+  // reproduce the row path's spool accounting exactly — one execution,
+  // three reads, two cache hits worth of sharing — at every batch size.
+  PlanUnderTest t = OptimizeOnce("S2-spool", MakeExecutionCatalog(4000),
+                                 kScriptS2, OptimizerMode::kCse,
+                                 /*machines=*/4);
+  ASSERT_NE(t.plan, nullptr);
+  ExecMetrics rows = RunWithThreads(t, /*threads=*/1, /*batch_size=*/1);
+  ASSERT_GT(rows.spool_cache_hits, 0) << "S2 kCse must share via a spool";
+  EXPECT_EQ(rows.rows_converted, 0);
+  EXPECT_EQ(rows.batch_pipeline_breaks, 0);
+  for (int batch_size : {2, 61, 4096}) {
+    ExecMetrics serial = RunWithThreads(t, 1, batch_size);
+    ExecMetrics parallel = RunWithThreads(t, 4, batch_size);
+    ExpectBitIdentical(t, serial, parallel);
+    EXPECT_EQ(serial.outputs, rows.outputs) << "batch " << batch_size;
+    EXPECT_EQ(serial.bytes_spooled, rows.bytes_spooled) << batch_size;
+    EXPECT_EQ(serial.rows_spooled, rows.rows_spooled) << batch_size;
+    EXPECT_EQ(serial.spool_executions, rows.spool_executions) << batch_size;
+    EXPECT_EQ(serial.spool_reads, rows.spool_reads) << batch_size;
+    EXPECT_EQ(serial.spool_cache_hits, rows.spool_cache_hits) << batch_size;
+    // Spools and exchanges are batch-native: the only conversion is the
+    // sanctioned one at Output.
+    EXPECT_EQ(serial.rows_converted, serial.rows_output) << batch_size;
+    EXPECT_EQ(serial.batch_pipeline_breaks, 0) << batch_size;
+  }
+}
+
+TEST(ExecutorParallelTest, ExchangeHeavyBatchSweepPreservesShuffleCounters) {
+  // Hash exchanges (group-bys over a shared spool) plus a range exchange
+  // (the ORDER BY) — the one operator where the batch pipeline bridges
+  // through rows. Shuffle accounting and raw rows must match the row path
+  // at every batch size, and the bridge must be visible in
+  // batch_pipeline_breaks / rows_converted.
+  const char* script =
+      "R0 = EXTRACT A,B,C,D FROM \"test.log\" USING LogExtractor;\n"
+      "R  = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;\n"
+      "R1 = SELECT A,B,Sum(S) AS S1 FROM R GROUP BY A,B ORDER BY A,B;\n"
+      "R2 = SELECT B,C,Sum(S) AS S2 FROM R GROUP BY B,C;\n"
+      "OUTPUT R1 TO \"result1.out\";\n"
+      "OUTPUT R2 TO \"result2.out\";\n";
+  PlanUnderTest t = OptimizeOnce("orderby", MakeExecutionCatalog(4000),
+                                 script, OptimizerMode::kCse, /*machines=*/4);
+  ASSERT_NE(t.plan, nullptr);
+  ExecMetrics rows = RunWithThreads(t, /*threads=*/1, /*batch_size=*/1);
+  ASSERT_GT(rows.rows_shuffled, 0);
+  for (int batch_size : {2, 61, 4096}) {
+    ExecMetrics serial = RunWithThreads(t, 1, batch_size);
+    ExecMetrics parallel = RunWithThreads(t, 4, batch_size);
+    ExpectBitIdentical(t, serial, parallel);
+    EXPECT_EQ(serial.outputs, rows.outputs) << "batch " << batch_size;
+    EXPECT_EQ(serial.rows_shuffled, rows.rows_shuffled) << batch_size;
+    EXPECT_EQ(serial.bytes_shuffled, rows.bytes_shuffled) << batch_size;
+    if (serial.batch_pipeline_breaks > 0) {
+      // The range-exchange bridge converts its input twice (to rows and
+      // back), on top of Output's sanctioned conversion.
+      EXPECT_GT(serial.rows_converted, serial.rows_output) << batch_size;
     }
   }
 }

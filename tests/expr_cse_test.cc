@@ -141,6 +141,131 @@ TEST(ExprCseTest, StepsAreInDependencyOrder) {
   }
 }
 
+// --- Cross-stage pipeline schedules (BuildPipelineSchedule) --------------
+
+TEST(PipelineScheduleTest, SharesSubtreesAcrossStages) {
+  // Stage 0 computes X=(A+B)*(A+B); stage 1 computes Y=X+A... in pipeline
+  // terms: a second compute whose expression re-lowers (A+B) must hit the
+  // first stage's step, because stage outputs are lowered into the SAME
+  // value-numbering space.
+  auto a = ScalarExpr::Column(1);
+  auto b = ScalarExpr::Column(2);
+  auto ab = ScalarExpr::Binary(BinOp::kAdd, a, b);
+  std::vector<ComputeItem> stage0 = {
+      Item(ScalarExpr::Binary(BinOp::kMul, ab, ab), 10),
+      Item(a, 11)};
+  // Stage 1 sees the schema {10, 11}: X=10 squared again (passthrough step
+  // reuse) plus a swapped (B+A)-style reference is impossible here (A and B
+  // are out of scope), so reference the stage-0 outputs only.
+  std::vector<ComputeItem> stage1 = {
+      Item(ScalarExpr::Binary(BinOp::kMul, ScalarExpr::Column(10),
+                              ScalarExpr::Column(10)),
+           20),
+      Item(ScalarExpr::Column(11), 21)};
+  PipelineStageDesc d0, d1;
+  d0.items = &stage0;
+  d1.items = &stage1;
+  PipelineSchedule sched = BuildPipelineSchedule({d0, d1});
+
+  ASSERT_EQ(sched.stages.size(), 2u);
+  // Stage 1's X*X lowers ColumnId 10 THROUGH the scope to stage 0's
+  // multiply step — no fresh kColumn step for 10 and no re-evaluation.
+  ASSERT_EQ(sched.stages[1].out_steps.size(), 2u);
+  const ExprStep& xsq = sched.steps[sched.stages[1].out_steps[0]];
+  EXPECT_EQ(xsq.kind, ScalarExpr::Kind::kBinary);
+  EXPECT_EQ(xsq.lhs, sched.stages[0].out_steps[0]);
+  EXPECT_EQ(xsq.rhs, sched.stages[0].out_steps[0]);
+  // Stage 1's passthrough of 11 IS stage 0's step for 11.
+  EXPECT_EQ(sched.stages[1].out_steps[1], sched.stages[0].out_steps[1]);
+  // Final outputs are stage 1's, marked live forever.
+  EXPECT_TRUE(sched.reshaped);
+  ASSERT_EQ(sched.output_steps.size(), 2u);
+  for (int s : sched.output_steps) {
+    EXPECT_EQ(sched.last_use[static_cast<size_t>(s)], kPipelineOutputUse);
+  }
+}
+
+TEST(PipelineScheduleTest, PredicatesShareStepsWithItems) {
+  // WHERE A > 3 then compute (A+B), A: the predicate's kColumn step for A
+  // and the items' A references must be one step, and the filter stage must
+  // not count as evaluating anything (has_eval false — selection only).
+  std::vector<BoundPredicate> preds(1);
+  preds[0].lhs = 1;
+  preds[0].op = CompareOp::kGt;
+  preds[0].literal = Value::Int(3);
+  std::vector<ComputeItem> items = {
+      Item(ScalarExpr::Binary(BinOp::kAdd, ScalarExpr::Column(1),
+                              ScalarExpr::Column(2)),
+           10),
+      Item(ScalarExpr::Column(1), 11)};
+  PipelineStageDesc d0, d1;
+  d0.predicates = &preds;
+  d1.items = &items;
+  PipelineSchedule sched = BuildPipelineSchedule({d0, d1});
+
+  ASSERT_EQ(sched.stages.size(), 2u);
+  EXPECT_TRUE(sched.stages[0].is_filter);
+  EXPECT_FALSE(sched.stages[0].has_eval);
+  ASSERT_EQ(sched.stages[0].preds.size(), 1u);
+  int pred_a = sched.stages[0].preds[0].lhs;
+  EXPECT_LT(sched.stages[0].preds[0].rhs, 0);  // literal side
+  // The compute stage's A+B lhs and passthrough both resolve to the SAME
+  // kColumn step the predicate loaded.
+  const ExprStep& add = sched.steps[sched.stages[1].out_steps[0]];
+  EXPECT_EQ(add.lhs, pred_a);
+  EXPECT_EQ(sched.stages[1].out_steps[1], pred_a);
+  // The input column A stays live through the compute stage.
+  EXPECT_GE(sched.last_use[static_cast<size_t>(pred_a)], 1);
+}
+
+TEST(PipelineScheduleTest, ProjectIsScopeRemapOnly) {
+  // compute {10: A+B} then project 10 -> 20: the project stage introduces
+  // no new steps and keeps reshaped outputs pointing at the compute step.
+  std::vector<ComputeItem> items = {
+      Item(ScalarExpr::Binary(BinOp::kAdd, ScalarExpr::Column(1),
+                              ScalarExpr::Column(2)),
+           10)};
+  std::vector<std::pair<ColumnId, ColumnId>> remap = {{10, 20}};
+  PipelineStageDesc d0, d1;
+  d0.items = &items;
+  d1.project = &remap;
+  PipelineSchedule sched = BuildPipelineSchedule({d0, d1});
+
+  ASSERT_EQ(sched.stages.size(), 2u);
+  EXPECT_TRUE(sched.stages[1].eval_steps.empty());  // nothing interned
+  EXPECT_FALSE(sched.stages[1].has_eval);
+  ASSERT_EQ(sched.output_steps.size(), 1u);
+  EXPECT_EQ(sched.output_steps[0], sched.stages[0].out_steps[0]);
+}
+
+TEST(PipelineScheduleTest, StageOutputsShadowChainInputs) {
+  // After compute {10: A+B}, a later stage's reference to ColumnId 1 (A)
+  // must intern a FRESH kColumn step only if 1 is genuinely a chain input
+  // again — but the scope was replaced, so a stage referencing 10 gets the
+  // compute step while a reference to 1 would be a new load. Liveness: the
+  // dead input columns drop at the compute stage's index.
+  std::vector<ComputeItem> s0 = {
+      Item(ScalarExpr::Binary(BinOp::kAdd, ScalarExpr::Column(1),
+                              ScalarExpr::Column(2)),
+           10)};
+  std::vector<ComputeItem> s1 = {
+      Item(ScalarExpr::Binary(BinOp::kMul, ScalarExpr::Column(10),
+                              ScalarExpr::Column(10)),
+           20)};
+  PipelineStageDesc d0, d1;
+  d0.items = &s0;
+  d1.items = &s1;
+  PipelineSchedule sched = BuildPipelineSchedule({d0, d1});
+  // The kColumn loads of A and B die at stage 0 (the compute that consumed
+  // them): their last_use is 0, so the runner's compaction stops copying
+  // them past that stage.
+  for (size_t s = 0; s < sched.steps.size(); ++s) {
+    if (sched.steps[s].kind == ScalarExpr::Kind::kColumn) {
+      EXPECT_EQ(sched.last_use[s], 0) << "step " << s;
+    }
+  }
+}
+
 // --- End-to-end: the pass must never change results, only work done ------
 
 /// A script whose Compute stage repeats (A+B) three times — once operand-

@@ -4,6 +4,7 @@
 Usage:
     tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 0.10]
     tools/bench_diff.py --fast-vs-traced BENCH_opt_cache.json [--threshold 0.10]
+    tools/bench_diff.py --batch-vs-row BENCH_exec.json [--threshold 0.10]
 
 Both files must come from the same benchmark binary (bench/opt_parallel,
 bench/opt_cache, or bench/exec_throughput). Every rate metric (keys ending in
@@ -16,6 +17,11 @@ it. Stdlib only.
 untraced (fast) optimizer path must not round-process slower than the traced
 path on any workload, beyond ``--threshold`` (the workloads run sub-second on
 small scripts, so a noise margin is required for a meaningful gate).
+
+``--batch-vs-row`` gates within a single BENCH_exec.json: per script, the
+batched serial pipeline must not run slower than the batch_size=1 row
+pipeline beyond ``--threshold``, and the two must have been bit-identical
+(``batch_identical``) — the end-to-end payoff gate of the columnar executor.
 """
 
 import argparse
@@ -96,6 +102,49 @@ def fast_vs_traced(path, threshold):
     return 0
 
 
+def batch_vs_row(path, threshold):
+    """Gate: the batched pipeline must keep up with the row path per script."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"bench_diff: cannot read {path}: {err}")
+    scripts = doc.get("scripts")
+    if not isinstance(scripts, list) or not scripts:
+        sys.exit(f"bench_diff: {path} has no 'scripts' array "
+                 "(expected a BENCH_exec.json)")
+
+    failures = []
+    print(f"{'script':<10} {'row r/s':>12} {'batch r/s':>12} {'delta':>8}")
+    for entry in scripts:
+        name = entry.get("name", "?")
+        row = entry.get("row", {}).get("rows_per_sec")
+        batch = entry.get("serial", {}).get("rows_per_sec")
+        if not row or not batch:
+            sys.exit(f"bench_diff: script {name} lacks row/serial "
+                     "rows_per_sec (rerun bench/exec_throughput)")
+        delta = (batch - row) / row
+        marker = ""
+        if delta < -threshold:
+            failures.append((name, f"{delta:+.1%} slower than row path"))
+            marker = "  << REGRESSION"
+        if not entry.get("batch_identical", False):
+            failures.append((name, "batched output diverged from row path"))
+            marker += "  << DIVERGED"
+        print(f"{name:<10} {row:>12.1f} {batch:>12.1f} {delta:>+7.1%}"
+              f"{marker}")
+
+    if failures:
+        print(f"\nbatched pipeline failed the row-path gate on "
+              f"{len(failures)} count(s):")
+        for name, why in failures:
+            print(f"  {name}: {why}")
+        return 1
+    print(f"\nbatched >= row path (within {threshold:.0%}) and bit-identical "
+          f"on all {len(scripts)} scripts")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="flag >threshold throughput regressions between two "
@@ -108,14 +157,21 @@ def main():
     parser.add_argument("--fast-vs-traced", action="store_true",
                         help="gate fast vs traced phase-2 rates within one "
                              "BENCH_opt_cache.json")
+    parser.add_argument("--batch-vs-row", action="store_true",
+                        help="gate batched vs row-path script rates within "
+                             "one BENCH_exec.json")
     args = parser.parse_args()
 
-    if args.fast_vs_traced:
+    if args.fast_vs_traced and args.batch_vs_row:
+        parser.error("--fast-vs-traced and --batch-vs-row are exclusive")
+    if args.fast_vs_traced or args.batch_vs_row:
         if args.current is not None:
-            parser.error("--fast-vs-traced takes exactly one JSON file")
-        return fast_vs_traced(args.baseline, args.threshold)
+            parser.error("single-file gates take exactly one JSON file")
+        if args.fast_vs_traced:
+            return fast_vs_traced(args.baseline, args.threshold)
+        return batch_vs_row(args.baseline, args.threshold)
     if args.current is None:
-        parser.error("two files required unless --fast-vs-traced is given")
+        parser.error("two files required unless a single-file gate is given")
 
     base = load_rates(args.baseline)
     cur = load_rates(args.current)

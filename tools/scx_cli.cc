@@ -217,6 +217,10 @@ int Main(int argc, char** argv) {
     std::printf("  batches        : %lld evaluated, %lld exprs deduped\n",
                 static_cast<long long>(metrics->batches_evaluated),
                 static_cast<long long>(metrics->exprs_deduped));
+    std::printf("  row bridges    : %lld rows converted, %lld pipeline "
+                "breaks\n",
+                static_cast<long long>(metrics->rows_converted),
+                static_cast<long long>(metrics->batch_pipeline_breaks));
     for (const auto& [path, rows] : metrics->outputs) {
       std::printf("  %-14s : %zu rows\n", path.c_str(), rows.size());
     }

@@ -16,7 +16,10 @@
 // same job up), else 200. --profile pins a generator edge case:
 // default | single (single-consumer, no sharing) | empty (rows=0 inputs) |
 // dup (duplicated OUTPUTs) | expr (every consumer computes duplicated
-// arithmetic, stressing expression-CSE and the batch kernels).
+// arithmetic, stressing expression-CSE and the batch kernels) | pipeline
+// (every consumer is a deep filter->compute->...->aggregate chain over the
+// shared node, stressing the batch pipeline's fused cross-stage schedules
+// and shared spool reads through all five oracles).
 //
 // Exit code: 0 when every iteration and replay passed, 1 on any oracle
 // failure, 2 on usage errors.
@@ -105,6 +108,8 @@ int Main(int argc, char** argv) {
         gen_opts.force_duplicate_outputs = true;
       } else if (profile == "expr") {
         gen_opts.force_expr_consumers = true;
+      } else if (profile == "pipeline") {
+        gen_opts.force_pipeline_consumers = true;
       } else if (profile != "default") {
         std::fprintf(stderr, "scx_fuzz: unknown profile '%s'\n",
                      profile.c_str());
@@ -117,8 +122,8 @@ int Main(int argc, char** argv) {
           "usage: scx_fuzz [--seed N] [--iters N] [--threads N] "
           "[--machines N]\n                [--minimize|--no-minimize] "
           "[--corpus DIR]\n                [--profile default|single|empty|"
-          "dup|expr] [--replay FILE]...\n                [--replay-seed N]"
-          "... [--quiet]\n");
+          "dup|expr|pipeline] [--replay FILE]...\n                "
+          "[--replay-seed N]... [--quiet]\n");
       return 0;
     } else {
       std::fprintf(stderr, "scx_fuzz: unknown flag %s (try --help)\n",
