@@ -22,7 +22,9 @@ int DefaultNumThreads();
 ///
 /// Run is not reentrant — a job must never call Run on the same pool (the
 /// optimizer guarantees this by keeping nested-LCA rounds serial, the
-/// executor by parallelizing only leaf-level per-partition loops).
+/// executor by structuring each operator as a sequence of flat job lists —
+/// per-partition passes and (partition, morsel) passes — with all fan-out
+/// decided before the Run call, never from inside a job).
 class WorkerPool {
  public:
   /// `threads` is the total parallelism including the calling thread;

@@ -24,6 +24,12 @@ struct ClusterConfig {
   /// row-at-a-time path. Results are bit-identical for every value (see
   /// docs/architecture.md §14). Ignored by the cost model.
   int batch_size = 0;
+  /// Live rows per morsel when one partition's work is split across worker
+  /// threads (batch pipeline only). 0 = DefaultMorselSize() (SCX_MORSEL_SIZE
+  /// or 16384); values at or above the partition size degenerate to one
+  /// whole-partition job. Results are bit-identical for every value (see
+  /// docs/architecture.md §15). Ignored by the cost model.
+  int morsel_size = 0;
 };
 
 /// Per-byte cost constants. Units are abstract "cost units" (the paper also

@@ -15,6 +15,14 @@ int DefaultBatchSize() {
   return 4096;
 }
 
+int DefaultMorselSize() {
+  if (const char* env = std::getenv("SCX_MORSEL_SIZE")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 16384;
+}
+
 namespace {
 
 ColumnRep RepOf(const Value& v) {
@@ -286,6 +294,36 @@ ColumnVector GatherColumn(const ColumnVector& col,
   return out;
 }
 
+ColumnVector SliceColumn(const ColumnVector& col, size_t begin, size_t end) {
+  ColumnVector out(col.rep());
+  const size_t n = end - begin;
+  out.Reserve(n);
+  if (col.null_count() > 0) {
+    for (size_t i = begin; i < end; ++i) {
+      if (col.IsNull(i)) {
+        out.AppendNull();
+      } else {
+        out.AppendValue(col.ValueAt(i));
+      }
+    }
+    return out;
+  }
+  switch (col.rep()) {
+    case ColumnRep::kInt64:
+      out.mutable_ints()->assign(col.ints().begin() + begin,
+                                 col.ints().begin() + end);
+      break;
+    case ColumnRep::kDouble:
+      out.mutable_doubles()->assign(col.doubles().begin() + begin,
+                                    col.doubles().begin() + end);
+      break;
+    default:
+      for (size_t i = begin; i < end; ++i) out.AppendValue(col.ValueAt(i));
+      break;
+  }
+  return out;
+}
+
 int CompareCells(const ColumnVector& a, size_t i, const ColumnVector& b,
                  size_t j) {
   if (a.rep() == b.rep()) {
@@ -309,6 +347,33 @@ int CompareCells(const ColumnVector& a, size_t i, const ColumnVector& b,
     }
   }
   auto c = a.ValueAt(i) <=> b.ValueAt(j);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+int CompareCellValue(const ColumnVector& a, size_t i, const Value& v) {
+  switch (a.rep()) {
+    case ColumnRep::kInt64:
+      if (v.is_int()) {
+        int64_t x = a.ints()[i], y = v.as_int();
+        return (x > y) - (x < y);
+      }
+      break;
+    case ColumnRep::kDouble:
+      if (v.is_double()) {
+        double x = a.doubles()[i], y = v.as_double();
+        return (x > y) - (x < y);
+      }
+      break;
+    case ColumnRep::kString:
+      if (v.is_string()) {
+        int c = a.strings()[i].compare(v.as_string());
+        return (c > 0) - (c < 0);
+      }
+      break;
+    case ColumnRep::kValue:
+      break;
+  }
+  auto c = a.ValueAt(i) <=> v;
   return c < 0 ? -1 : (c > 0 ? 1 : 0);
 }
 

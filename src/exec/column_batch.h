@@ -17,6 +17,12 @@ namespace scx {
 /// loops (the differential-testing anchor).
 int DefaultBatchSize();
 
+/// Default live rows per intra-partition morsel: the SCX_MORSEL_SIZE
+/// environment variable when set to a positive integer, otherwise 16384.
+/// Every value yields bit-identical results (docs/architecture.md §15);
+/// small values only add scheduling overhead.
+int DefaultMorselSize();
+
 /// Physical representation of one column of a batch. Typed reps store the
 /// raw payloads contiguously; kValue is the mixed-type fallback that keeps
 /// the executor's dynamic-typing semantics exact when a column's cells do
@@ -128,12 +134,22 @@ void AppendRowsFromColumns(const std::vector<const ColumnVector*>& cols,
 ColumnVector GatherColumn(const ColumnVector& col,
                           const SelectionVector& sel);
 
+/// Cells [begin, end) of `col` as a new dense column — a contiguous typed
+/// copy (same rep, nulls kept), the morsel analogue of GatherColumn without
+/// the indirection.
+ColumnVector SliceColumn(const ColumnVector& col, size_t begin, size_t end);
+
 /// Exact Value::operator<=> of cell i of `a` vs cell j of `b` as -1/0/+1
 /// (cross-type orders by type index, the canonical Value ordering), with
 /// typed fast paths when both columns share a non-kValue rep. The columnar
 /// sort comparator.
 int CompareCells(const ColumnVector& a, size_t i, const ColumnVector& b,
                  size_t j);
+
+/// Exact Value::operator<=> of cell i of `a` vs `v` as -1/0/+1, with typed
+/// fast paths when the rep matches v's runtime type. Used by the range
+/// exchange to compare key cells against quantile boundary Values.
+int CompareCellValue(const ColumnVector& a, size_t i, const Value& v);
 
 /// Sum of Value::ByteWidth over the column's cells (or only `sel`'s) —
 /// the executor's shuffle/spool byte accounting, computed without

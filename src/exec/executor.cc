@@ -88,7 +88,9 @@ std::string ExecMetricsToJson(const ExecMetrics& m) {
      << ",\"batches_evaluated\":" << m.batches_evaluated
      << ",\"exprs_deduped\":" << m.exprs_deduped
      << ",\"rows_converted\":" << m.rows_converted
-     << ",\"batch_pipeline_breaks\":" << m.batch_pipeline_breaks << "}";
+     << ",\"batch_pipeline_breaks\":" << m.batch_pipeline_breaks
+     << ",\"morsels_evaluated\":" << m.morsels_evaluated
+     << ",\"morsel_steal_count\":" << m.morsel_steal_count << "}";
   return os.str();
 }
 
@@ -183,6 +185,30 @@ void Executor::RunPartitions(size_t n, const std::function<void(size_t)>& fn) {
   }
   if (pool_ == nullptr) pool_ = std::make_unique<WorkerPool>(threads_);
   pool_->Run(n, fn);
+}
+
+void Executor::RunMorsels(const std::vector<size_t>& live, ExecMetrics* metrics,
+                          const std::function<void(size_t, size_t, size_t)>& fn) {
+  struct MorselJob {
+    size_t part, begin, end;
+  };
+  std::vector<MorselJob> jobs;
+  size_t nonempty = 0;
+  for (size_t p = 0; p < live.size(); ++p) {
+    if (live[p] == 0) continue;
+    ++nonempty;
+    for (size_t b = 0; b < live[p]; b += morsel_size_) {
+      jobs.push_back({p, b, std::min(live[p], b + morsel_size_)});
+    }
+  }
+  // Both counters depend on `live` and morsel_size_ only, never on the
+  // thread count or execution order.
+  metrics->morsels_evaluated += static_cast<int64_t>(jobs.size());
+  metrics->morsel_steal_count += static_cast<int64_t>(jobs.size() - nonempty);
+  RunPartitions(jobs.size(), [&](size_t j) {
+    const MorselJob& job = jobs[j];
+    fn(job.part, job.begin, job.end);
+  });
 }
 
 Result<ExecMetrics> Executor::Execute(const PhysicalNodePtr& plan) {

@@ -50,15 +50,26 @@ struct ExecMetrics {
   /// Structurally duplicate scalar subtrees eliminated by the
   /// expression-CSE pass, summed over Compute operator invocations.
   int64_t exprs_deduped = 0;
-  /// Rows that crossed a row<->column conversion inside the batch pipeline,
-  /// counted per direction: Output's sanctioned columns->rows conversion
-  /// plus both sides of any operator that bridged back to the row path.
-  /// 0 at batch_size 1 (the row path never converts).
+  /// Rows that crossed an unsanctioned row<->column conversion inside the
+  /// batch pipeline, counted per direction (both sides of any operator that
+  /// bridged back to the row path). Output's columns->rows sink conversion
+  /// is not counted — it would only restate rows_output now that every
+  /// operator is batch-native. 0 when the pipeline never leaves columns,
+  /// and 0 at batch_size 1 (the row path never converts).
   int64_t rows_converted = 0;
   /// Operators where the batch pipeline fell back to the legacy row
-  /// implementation (currently only the range exchange's quantile shuffle).
-  /// 0 at batch_size 1.
+  /// implementation. 0 since the range exchange went batch-native; kept as
+  /// a tripwire for future bridges. 0 at batch_size 1.
   int64_t batch_pipeline_breaks = 0;
+  /// Morsel jobs scheduled by the intra-partition parallel stages (fused
+  /// chain evaluation, aggregate/join input scans, exchange key hashing).
+  /// A function of the data and morsel_size only — never of the thread
+  /// count. 0 at batch_size 1.
+  int64_t morsels_evaluated = 0;
+  /// Morsels beyond the first of their partition, summed over the same
+  /// stages: the jobs that partition-granularity scheduling could not have
+  /// overlapped with another thread. Deterministic for any thread count.
+  int64_t morsel_steal_count = 0;
   /// Output rows per OUTPUT path.
   std::map<std::string, std::vector<Row>> outputs;
 };
@@ -94,7 +105,12 @@ bool SameOutputs(const ExecMetrics& a, const ExecMetrics& b);
 /// on a WorkerPool of cluster.exec_threads threads (1 = the exact serial
 /// path). Every partition job writes only its own output slot and all
 /// merge/concatenation happens in fixed partition order, so counters and
-/// output rows are bit-identical for every thread count.
+/// output rows are bit-identical for every thread count. Inside the batch
+/// pipeline the hot scans additionally split each partition into
+/// cluster.morsel_size-row morsels scheduled as one flat job list, with
+/// per-morsel output slots merged in fixed morsel order — so a skewed
+/// partition no longer serializes its stage, at any morsel size and thread
+/// count bit-identically (docs/architecture.md §15).
 ///
 /// When cluster.batch_size > 1 the plan runs on the batch-native pipeline:
 /// operators exchange BatchData (immutable shared columns + selection
@@ -115,7 +131,10 @@ class Executor {
                                           : DefaultNumThreads()),
         batch_size_(cluster.batch_size > 0
                         ? static_cast<size_t>(cluster.batch_size)
-                        : static_cast<size_t>(DefaultBatchSize())) {}
+                        : static_cast<size_t>(DefaultBatchSize())),
+        morsel_size_(cluster.morsel_size > 0
+                         ? static_cast<size_t>(cluster.morsel_size)
+                         : static_cast<size_t>(DefaultMorselSize())) {}
 
   /// Runs the plan; returns counters and the produced outputs.
   Result<ExecMetrics> Execute(const PhysicalNodePtr& plan);
@@ -152,6 +171,11 @@ class Executor {
                                   BatchData right, ExecMetrics* metrics);
   BatchData ExchangeBatch(const PhysicalNode& node, BatchData in,
                           ExecMetrics* metrics, bool preserve_order);
+  /// Batch-native range repartitioning: columnar quantile boundaries plus a
+  /// morsel-binned scatter, with no row bridge (batch_pipeline_breaks and
+  /// rows_converted stay 0).
+  BatchData RangeExchangeBatch(const PhysicalNode& node, BatchData in,
+                               ExecMetrics* metrics);
 
   /// Re-buckets `in` into `machines` partitions. `dest_fill(rows, dest)`
   /// computes every row's destination for one source partition (so the hash
@@ -168,10 +192,23 @@ class Executor {
   /// otherwise. fn must write only to state owned by its index.
   void RunPartitions(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Splits each partition's live[p] rows into morsel_size_-row ranges and
+  /// runs fn(p, begin, end) for every range in one flat pool pass, so a
+  /// single hot partition spreads across all threads. Ranges index the live
+  /// row sequence (the selection when filtered, physical rows otherwise);
+  /// morsel m of partition p covers [m*morsel_size_, ...), so a job can
+  /// derive its slot as begin / morsel_size_. fn must write only to state
+  /// owned by its (partition, morsel) slot. Accounts morsels_evaluated and
+  /// morsel_steal_count — both functions of `live` alone.
+  void RunMorsels(const std::vector<size_t>& live, ExecMetrics* metrics,
+                  const std::function<void(size_t, size_t, size_t)>& fn);
+
   ClusterConfig cluster_;
   int threads_;
   /// Rows per column batch; 1 = the exact legacy row-at-a-time loops.
   size_t batch_size_;
+  /// Live rows per intra-partition morsel (batch pipeline only).
+  size_t morsel_size_;
   std::unique_ptr<WorkerPool> pool_;  ///< created lazily by RunPartitions
   /// Spool materializations, keyed by plan node identity so a shared spool
   /// executes once per plan DAG. Pointer keys, no ordering needed.

@@ -1,5 +1,6 @@
 #include "exec/vector_kernels.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/hash.h"
@@ -41,14 +42,91 @@ inline bool PassOp(CompareOp op, int cmp) {
   return false;
 }
 
-/// Runs `pass(i)` over all rows (first predicate) or over the current
-/// selection, compacting it in place.
+/// Which three-way compare outcomes (<, ==, >) an operator accepts, hoisted
+/// out of the inner loops: the per-lane mask is then pure arithmetic —
+/// no operator switch, no branch — which is what lets the compiler
+/// auto-vectorize the dense compare loops.
+struct CmpWants {
+  uint8_t lt, eq, gt;
+};
+
+inline CmpWants WantsOf(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return {0, 1, 0};
+    case CompareOp::kNe:
+      return {1, 0, 1};
+    case CompareOp::kLt:
+      return {1, 0, 0};
+    case CompareOp::kLe:
+      return {1, 1, 0};
+    case CompareOp::kGt:
+      return {0, 0, 1};
+    case CompareOp::kGe:
+      return {0, 1, 1};
+  }
+  return {0, 0, 0};
+}
+
+/// `PassOp(op, c)` for a three-way compare c in {-1, 0, +1}, branch-free.
+inline uint8_t MaskCmp3(const CmpWants& w, int c) {
+  return static_cast<uint8_t>((w.lt & (c < 0)) | (w.eq & (c == 0)) |
+                              (w.gt & (c > 0)));
+}
+
+/// Rows per compare-mask block of the dense selection path: small enough to
+/// stay in L1 alongside the key column, large enough to amortize the call.
+constexpr size_t kSelectBlock = 1024;
+
+/// First-predicate selection over physical rows [begin, rows): `fill` writes
+/// a 0/1 byte mask for one block (the auto-vectorized compare loop), then
+/// the passing indices are appended branchlessly — sel[w] = i; w += mask[i]
+/// — so a selectivity-dependent branch never enters the hot loop.
+template <typename MaskFill>
+void DenseSelect(size_t begin, size_t rows, SelectionVector* sel,
+                 const MaskFill& fill) {
+  sel->clear();
+  sel->resize(rows - begin);
+  uint32_t* out = sel->data();
+  size_t w = 0;
+  uint8_t mask[kSelectBlock];
+  for (size_t base = begin; base < rows; base += kSelectBlock) {
+    const size_t n = std::min(rows - base, kSelectBlock);
+    fill(base, n, mask);
+    for (size_t i = 0; i < n; ++i) {
+      out[w] = static_cast<uint32_t>(base + i);
+      w += mask[i];
+    }
+  }
+  sel->resize(w);
+}
+
+/// Re-filter of an existing selection: compacts it in place, branch-free
+/// on the predicate outcome (`pass` returns 0 or 1).
 template <typename PassFn>
-void RunSelect(size_t rows, bool first, SelectionVector* sel, PassFn pass) {
+void SparseSelect(SelectionVector* sel, const PassFn& pass) {
+  uint32_t* data = sel->data();
+  const size_t m = sel->size();
+  size_t w = 0;
+  for (size_t k = 0; k < m; ++k) {
+    const uint32_t i = data[k];
+    data[w] = i;
+    w += pass(i);
+  }
+  sel->resize(w);
+}
+
+/// Generic fallback: runs `pass(i)` over rows [begin, rows) (first
+/// predicate) or over the current selection, compacting it in place. Used
+/// by the string and mixed-rep paths that cannot vectorize anyway.
+template <typename PassFn>
+void RunSelect(size_t begin, size_t rows, bool first, SelectionVector* sel,
+               PassFn pass) {
   if (first) {
     sel->clear();
-    sel->reserve(rows);
-    for (uint32_t i = 0; i < static_cast<uint32_t>(rows); ++i) {
+    sel->reserve(rows - begin);
+    for (uint32_t i = static_cast<uint32_t>(begin);
+         i < static_cast<uint32_t>(rows); ++i) {
       if (pass(i)) sel->push_back(i);
     }
     return;
@@ -102,20 +180,22 @@ Value EvalBinaryValue(ScalarExpr::BinOp op, const Value& l, const Value& r) {
 
 }  // namespace
 
-void HashColumnCells(const ColumnVector& col, size_t n, uint64_t* h) {
+void HashColumnCells(const ColumnVector& col, size_t begin, size_t end,
+                     uint64_t* h) {
   switch (col.rep()) {
     case ColumnRep::kInt64: {
       const int64_t* d = col.ints().data();
-      for (size_t i = 0; i < n; ++i) {
+      // simd-guard: hash-mix-int64
+      for (size_t i = begin; i < end; ++i) {
         h[i] = HashCombine(h[i], Mix64(static_cast<uint64_t>(d[i])));
       }
       break;
     }
     case ColumnRep::kDouble: {
       const double* d = col.doubles().data();
-      for (size_t i = 0; i < n; ++i) {
-        double v = d[i];
-        if (v == 0.0) v = 0.0;  // -0.0 normalization, as Value::Hash
+      // simd-guard: hash-mix-double
+      for (size_t i = begin; i < end; ++i) {
+        double v = d[i] == 0.0 ? 0.0 : d[i];  // -0.0 normalize, as Value::Hash
         uint64_t bits;
         __builtin_memcpy(&bits, &v, sizeof(bits));
         h[i] = HashCombine(h[i], Mix64(bits ^ 0x5555555555555555ULL));
@@ -124,14 +204,14 @@ void HashColumnCells(const ColumnVector& col, size_t n, uint64_t* h) {
     }
     case ColumnRep::kString: {
       const std::vector<std::string>& d = col.strings();
-      for (size_t i = 0; i < n; ++i) {
+      for (size_t i = begin; i < end; ++i) {
         h[i] = HashCombine(h[i], Fnv1a64(d[i]));
       }
       break;
     }
     case ColumnRep::kValue: {
       const std::vector<Value>& d = col.values();
-      for (size_t i = 0; i < n; ++i) {
+      for (size_t i = begin; i < end; ++i) {
         h[i] = HashCombine(h[i], d[i].Hash());
       }
       break;
@@ -153,7 +233,7 @@ bool PredicatePassCells(CompareOp op, const Value& l, const Value& r) {
 
 void SelectByPredicate(const ColumnVector& lhs, const ColumnVector* rhs,
                        const Value& literal, CompareOp op, size_t rows,
-                       bool first, SelectionVector* sel) {
+                       bool first, SelectionVector* sel, size_t begin) {
   const ColumnVector& l = lhs;
   const ColumnVector* rcol = rhs;
   const Value& lit = literal;
@@ -163,33 +243,123 @@ void SelectByPredicate(const ColumnVector& lhs, const ColumnVector* rhs,
                            : (lit.is_int() ? ColumnRep::kInt64
                               : lit.is_double() ? ColumnRep::kDouble
                                                 : ColumnRep::kString);
+  const CmpWants w = WantsOf(op);
 
   // Both sides int64: the canonical integer ordering.
   if (lr == ColumnRep::kInt64 && rr == ColumnRep::kInt64) {
     const int64_t* a = l.ints().data();
     if (rcol != nullptr) {
       const int64_t* b = rcol->ints().data();
-      RunSelect(rows, first, sel, [&](uint32_t i) {
-        return PassOp(op, (a[i] > b[i]) - (a[i] < b[i]));
-      });
+      if (first) {
+        DenseSelect(begin, rows, sel,
+                    [&](size_t base, size_t n, uint8_t* mask) {
+                      const int64_t* pa = a + base;
+                      const int64_t* pb = b + base;
+                      // simd-guard: predicate-mask-int64-col
+                      for (size_t i = 0; i < n; ++i) {
+                        mask[i] = MaskCmp3(w, (pa[i] > pb[i]) - (pa[i] < pb[i]));
+                      }
+                    });
+      } else {
+        SparseSelect(sel, [&](uint32_t i) {
+          return MaskCmp3(w, (a[i] > b[i]) - (a[i] < b[i]));
+        });
+      }
     } else {
       const int64_t b = lit.as_int();
-      RunSelect(rows, first, sel, [&](uint32_t i) {
-        return PassOp(op, (a[i] > b) - (a[i] < b));
+      if (first) {
+        DenseSelect(begin, rows, sel,
+                    [&](size_t base, size_t n, uint8_t* mask) {
+                      const int64_t* pa = a + base;
+                      // simd-guard: predicate-mask-int64-lit
+                      for (size_t i = 0; i < n; ++i) {
+                        mask[i] = MaskCmp3(w, (pa[i] > b) - (pa[i] < b));
+                      }
+                    });
+      } else {
+        SparseSelect(sel, [&](uint32_t i) {
+          return MaskCmp3(w, (a[i] > b) - (a[i] < b));
+        });
+      }
+    }
+    return;
+  }
+  // int64 column vs double literal: the mixed-type numeric rule, with the
+  // int lane cast to double (exactly Value::AsNumeric).
+  if (lr == ColumnRep::kInt64 && rr == ColumnRep::kDouble && rcol == nullptr) {
+    const int64_t* a = l.ints().data();
+    const double b = lit.AsNumeric();
+    if (first) {
+      DenseSelect(begin, rows, sel, [&](size_t base, size_t n, uint8_t* mask) {
+        const int64_t* pa = a + base;
+        // Branchless but unguarded: the s64->f64 lane convert needs
+        // AVX-512DQ, which the CI vectorization baseline does not assume.
+        for (size_t i = 0; i < n; ++i) {
+          const double x = static_cast<double>(pa[i]);
+          mask[i] = MaskCmp3(w, (x > b) - (x < b));
+        }
+      });
+    } else {
+      SparseSelect(sel, [&](uint32_t i) {
+        const double x = static_cast<double>(a[i]);
+        return MaskCmp3(w, (x > b) - (x < b));
       });
     }
     return;
   }
-  // Numeric pair with at least one double: numeric comparison (both the
-  // mixed-type rule and the all-double Value ordering reduce to Cmp3).
+  // Double column vs double column or numeric literal: Cmp3's three-way
+  // outcome computed per lane (NaN lands on the cmp==0 case, exactly as
+  // the row path's Cmp3 does).
+  if (lr == ColumnRep::kDouble &&
+      (rcol == nullptr ? NumericRep(rr) : rr == ColumnRep::kDouble)) {
+    const double* a = l.doubles().data();
+    if (rcol != nullptr) {
+      const double* b = rcol->doubles().data();
+      if (first) {
+        DenseSelect(begin, rows, sel,
+                    [&](size_t base, size_t n, uint8_t* mask) {
+                      const double* pa = a + base;
+                      const double* pb = b + base;
+                      // simd-guard: predicate-mask-double-col
+                      for (size_t i = 0; i < n; ++i) {
+                        mask[i] = MaskCmp3(w, (pa[i] > pb[i]) - (pa[i] < pb[i]));
+                      }
+                    });
+      } else {
+        SparseSelect(sel, [&](uint32_t i) {
+          return MaskCmp3(w, (a[i] > b[i]) - (a[i] < b[i]));
+        });
+      }
+    } else {
+      const double b = lit.AsNumeric();
+      if (first) {
+        DenseSelect(begin, rows, sel,
+                    [&](size_t base, size_t n, uint8_t* mask) {
+                      const double* pa = a + base;
+                      // simd-guard: predicate-mask-double-lit
+                      for (size_t i = 0; i < n; ++i) {
+                        mask[i] = MaskCmp3(w, (pa[i] > b) - (pa[i] < b));
+                      }
+                    });
+      } else {
+        SparseSelect(sel, [&](uint32_t i) {
+          return MaskCmp3(w, (a[i] > b) - (a[i] < b));
+        });
+      }
+    }
+    return;
+  }
+  // Remaining numeric pairs (mixed int64/double columns): numeric
+  // comparison cell-at-a-time — both the mixed-type rule and the all-double
+  // Value ordering reduce to Cmp3.
   if (NumericRep(lr) && NumericRep(rr)) {
     if (rcol != nullptr) {
-      RunSelect(rows, first, sel, [&](uint32_t i) {
+      RunSelect(begin, rows, first, sel, [&](uint32_t i) {
         return PassOp(op, Cmp3(NumericAt(l, i), NumericAt(*rcol, i)));
       });
     } else {
       const double b = lit.AsNumeric();
-      RunSelect(rows, first, sel, [&](uint32_t i) {
+      RunSelect(begin, rows, first, sel, [&](uint32_t i) {
         return PassOp(op, Cmp3(NumericAt(l, i), b));
       });
     }
@@ -200,13 +370,13 @@ void SelectByPredicate(const ColumnVector& lhs, const ColumnVector* rhs,
     const std::vector<std::string>& a = l.strings();
     if (rcol != nullptr) {
       const std::vector<std::string>& b = rcol->strings();
-      RunSelect(rows, first, sel, [&](uint32_t i) {
+      RunSelect(begin, rows, first, sel, [&](uint32_t i) {
         int c = a[i].compare(b[i]);
         return PassOp(op, (c > 0) - (c < 0));
       });
     } else {
       const std::string& b = lit.as_string();
-      RunSelect(rows, first, sel, [&](uint32_t i) {
+      RunSelect(begin, rows, first, sel, [&](uint32_t i) {
         int c = a[i].compare(b);
         return PassOp(op, (c > 0) - (c < 0));
       });
@@ -214,7 +384,7 @@ void SelectByPredicate(const ColumnVector& lhs, const ColumnVector* rhs,
     return;
   }
   // Mixed-rep columns or string/numeric pairs: the generic Value rules.
-  RunSelect(rows, first, sel, [&](uint32_t i) {
+  RunSelect(begin, rows, first, sel, [&](uint32_t i) {
     Value lv = l.ValueAt(i);
     Value rv = rcol != nullptr ? rcol->ValueAt(i) : lit;
     return PassOp(op, CmpPredicateValues(lv, rv));
@@ -255,9 +425,20 @@ void EvalBinaryColumns(ScalarExpr::BinOp op, const ColumnVector& l,
     ColumnVector res(ColumnRep::kDouble);
     std::vector<double>* d = res.mutable_doubles();
     d->resize(n);
-    for (size_t i = 0; i < n; ++i) {
-      double b = NumericAt(r, i);
-      (*d)[i] = b == 0 ? 0.0 : NumericAt(l, i) / b;
+    if (lr == ColumnRep::kDouble && rr == ColumnRep::kDouble) {
+      const double* a = l.doubles().data();
+      const double* b = r.doubles().data();
+      double* o = d->data();
+      // Not if-converted under default trapping-math (the zero-divisor
+      // guard is semantic, not speculation-safe), so no simd-guard here.
+      for (size_t i = 0; i < n; ++i) {
+        o[i] = b[i] == 0 ? 0.0 : a[i] / b[i];
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        double b = NumericAt(r, i);
+        (*d)[i] = b == 0 ? 0.0 : NumericAt(l, i) / b;
+      }
     }
     *out = std::move(res);
     return;
@@ -266,17 +447,21 @@ void EvalBinaryColumns(ScalarExpr::BinOp op, const ColumnVector& l,
     const int64_t* a = l.ints().data();
     const int64_t* b = r.ints().data();
     ColumnVector res(ColumnRep::kInt64);
-    std::vector<int64_t>* o = res.mutable_ints();
-    o->resize(n);
+    std::vector<int64_t>* ov = res.mutable_ints();
+    ov->resize(n);
+    int64_t* o = ov->data();
     switch (op) {
       case ScalarExpr::BinOp::kAdd:
-        for (size_t i = 0; i < n; ++i) (*o)[i] = a[i] + b[i];
+        // simd-guard: arith-int64-add
+        for (size_t i = 0; i < n; ++i) o[i] = a[i] + b[i];
         break;
       case ScalarExpr::BinOp::kSub:
-        for (size_t i = 0; i < n; ++i) (*o)[i] = a[i] - b[i];
+        // simd-guard: arith-int64-sub
+        for (size_t i = 0; i < n; ++i) o[i] = a[i] - b[i];
         break;
       case ScalarExpr::BinOp::kMul:
-        for (size_t i = 0; i < n; ++i) (*o)[i] = a[i] * b[i];
+        // simd-guard: arith-int64-mul
+        for (size_t i = 0; i < n; ++i) o[i] = a[i] * b[i];
         break;
       case ScalarExpr::BinOp::kDiv:
         break;  // handled above
@@ -285,17 +470,41 @@ void EvalBinaryColumns(ScalarExpr::BinOp op, const ColumnVector& l,
     return;
   }
   ColumnVector res(ColumnRep::kDouble);
-  std::vector<double>* o = res.mutable_doubles();
-  o->resize(n);
+  std::vector<double>* ov = res.mutable_doubles();
+  ov->resize(n);
+  double* o = ov->data();
+  if (lr == ColumnRep::kDouble && rr == ColumnRep::kDouble) {
+    const double* a = l.doubles().data();
+    const double* b = r.doubles().data();
+    switch (op) {
+      case ScalarExpr::BinOp::kAdd:
+        // simd-guard: arith-double-add
+        for (size_t i = 0; i < n; ++i) o[i] = a[i] + b[i];
+        break;
+      case ScalarExpr::BinOp::kSub:
+        // simd-guard: arith-double-sub
+        for (size_t i = 0; i < n; ++i) o[i] = a[i] - b[i];
+        break;
+      case ScalarExpr::BinOp::kMul:
+        // simd-guard: arith-double-mul
+        for (size_t i = 0; i < n; ++i) o[i] = a[i] * b[i];
+        break;
+      case ScalarExpr::BinOp::kDiv:
+        break;  // handled above
+    }
+    *out = std::move(res);
+    return;
+  }
+  // One int64 side: cast that lane to double (Value::AsNumeric), cell-major.
   switch (op) {
     case ScalarExpr::BinOp::kAdd:
-      for (size_t i = 0; i < n; ++i) (*o)[i] = NumericAt(l, i) + NumericAt(r, i);
+      for (size_t i = 0; i < n; ++i) o[i] = NumericAt(l, i) + NumericAt(r, i);
       break;
     case ScalarExpr::BinOp::kSub:
-      for (size_t i = 0; i < n; ++i) (*o)[i] = NumericAt(l, i) - NumericAt(r, i);
+      for (size_t i = 0; i < n; ++i) o[i] = NumericAt(l, i) - NumericAt(r, i);
       break;
     case ScalarExpr::BinOp::kMul:
-      for (size_t i = 0; i < n; ++i) (*o)[i] = NumericAt(l, i) * NumericAt(r, i);
+      for (size_t i = 0; i < n; ++i) o[i] = NumericAt(l, i) * NumericAt(r, i);
       break;
     case ScalarExpr::BinOp::kDiv:
       break;  // handled above

@@ -17,22 +17,27 @@ namespace scx {
 namespace {
 
 Result<ExecMetrics> RunPlan(const PhysicalNodePtr& plan, int machines,
-                            int exec_threads, int batch_size = 0) {
+                            int exec_threads, int batch_size = 0,
+                            int morsel_size = 0) {
   ClusterConfig cluster;
   cluster.machines = machines;
   cluster.exec_threads = exec_threads;
   cluster.batch_size = batch_size;
+  cluster.morsel_size = morsel_size;
   Executor executor(cluster);
   return executor.Execute(plan);
 }
 
 /// Full bitwise comparison of two executions (counters AND raw rows — the
-/// determinism contract of docs/architecture.md §12). The batch-path
+/// determinism contract of docs/architecture.md §12/§15). The batch-path
 /// counters are compared only when both runs used the same batch size
 /// (`same_batch_size`): they count batch-path work, so a batch_size=1 run
-/// legitimately reports 0 for both while producing identical rows.
+/// legitimately reports 0 for both while producing identical rows. The
+/// morsel counters additionally need the same morsel size
+/// (`same_morsel_size`); every other counter is invariant to both knobs.
 bool MetricsEqual(const ExecMetrics& a, const ExecMetrics& b,
-                  bool same_batch_size, std::string* why) {
+                  bool same_batch_size, bool same_morsel_size,
+                  std::string* why) {
 #define SCX_CMP(field)                                                  \
   if (a.field != b.field) {                                             \
     *why = #field ": " + std::to_string(a.field) + " vs " +             \
@@ -54,6 +59,10 @@ bool MetricsEqual(const ExecMetrics& a, const ExecMetrics& b,
     SCX_CMP(exprs_deduped)
     SCX_CMP(rows_converted)
     SCX_CMP(batch_pipeline_breaks)
+  }
+  if (same_batch_size && same_morsel_size) {
+    SCX_CMP(morsels_evaluated)
+    SCX_CMP(morsel_steal_count)
   }
 #undef SCX_CMP
   if (a.outputs != b.outputs) {
@@ -405,10 +414,48 @@ std::optional<DiffHarness::Failure> DiffHarness::RunOracles(
     }
     std::string why;
     if (!MetricsEqual(*cse_run, *cse_par_run, /*same_batch_size=*/true,
-                      &why)) {
+                      /*same_morsel_size=*/true, &why)) {
       return Failure{"exec-determinism",
                      std::to_string(opts_.threads) +
                          "-thread execution diverged from serial: " + why};
+    }
+  }
+
+  // Oracle 3c: the morsel size never changes results — outputs and every
+  // non-morsel counter match the default-morsel serial run at degenerate
+  // (1), adversarial (prime), and whole-partition (huge) morsel sizes, at
+  // one and at opts_.threads threads.
+  for (int morsel_size : {1, 61, 1 << 30}) {
+    auto morsel_run = RunPlan(cse->plan(), opts_.machines,
+                              /*exec_threads=*/1, /*batch_size=*/0,
+                              morsel_size);
+    if (!morsel_run.ok()) {
+      return Failure{"execute", "cse morsel_size=" +
+                                    std::to_string(morsel_size) + ": " +
+                                    morsel_run.status().ToString()};
+    }
+    std::string why;
+    if (!MetricsEqual(*cse_run, *morsel_run, /*same_batch_size=*/true,
+                      /*same_morsel_size=*/false, &why)) {
+      return Failure{"morsel-identity",
+                     "morsel_size=" + std::to_string(morsel_size) +
+                         " diverged from the default morsel size: " + why};
+    }
+    if (opts_.threads > 1) {
+      auto morsel_par = RunPlan(cse->plan(), opts_.machines, opts_.threads,
+                                /*batch_size=*/0, morsel_size);
+      if (!morsel_par.ok()) {
+        return Failure{"execute", "cse parallel morsel_size=" +
+                                      std::to_string(morsel_size) + ": " +
+                                      morsel_par.status().ToString()};
+      }
+      if (!MetricsEqual(*morsel_run, *morsel_par, /*same_batch_size=*/true,
+                        /*same_morsel_size=*/true, &why)) {
+        return Failure{"exec-determinism",
+                       "morsel_size=" + std::to_string(morsel_size) + ", " +
+                           std::to_string(opts_.threads) +
+                           "-thread execution diverged from serial: " + why};
+      }
     }
   }
 
@@ -422,7 +469,8 @@ std::optional<DiffHarness::Failure> DiffHarness::RunOracles(
                      "cse batch_size=1: " + row_run.status().ToString()};
     }
     std::string why;
-    if (!MetricsEqual(*cse_run, *row_run, /*same_batch_size=*/false, &why)) {
+    if (!MetricsEqual(*cse_run, *row_run, /*same_batch_size=*/false,
+                      /*same_morsel_size=*/false, &why)) {
       return Failure{"batch-identity",
                      "batched execution diverged from the batch_size=1 row "
                      "path: " + why};

@@ -98,7 +98,8 @@ TEST(EngineTest, ExecMetricsToJsonCarriesEveryCounter) {
         "\"spool_reads\":", "\"spool_cache_hits\":",
         "\"operator_invocations\":", "\"rows_output\":",
         "\"batches_evaluated\":", "\"exprs_deduped\":",
-        "\"rows_converted\":", "\"batch_pipeline_breaks\":"}) {
+        "\"rows_converted\":", "\"batch_pipeline_breaks\":",
+        "\"morsels_evaluated\":", "\"morsel_steal_count\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
   EXPECT_EQ(json.front(), '{');
@@ -112,9 +113,11 @@ TEST(EngineTest, ExecMetricsToJsonCarriesEveryCounter) {
                       std::to_string(metrics->exprs_deduped)),
             std::string::npos);
   EXPECT_GT(metrics->batches_evaluated, 0);
-  // S1 has no range exchange: the only row conversion is Output's.
-  EXPECT_EQ(metrics->rows_converted, metrics->rows_output);
+  // The pipeline is batch-native end to end: no unsanctioned row bridge
+  // anywhere (Output's sink conversion is sanctioned and not counted).
+  EXPECT_EQ(metrics->rows_converted, 0);
   EXPECT_EQ(metrics->batch_pipeline_breaks, 0);
+  EXPECT_GT(metrics->morsels_evaluated, 0);
 }
 
 TEST(EngineTest, BatchSizeConfigSelectsRowPath) {

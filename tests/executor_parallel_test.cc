@@ -1,10 +1,11 @@
-// Partition-parallel determinism: executing the SAME physical plan with a
+// Intra-query parallel determinism: executing the SAME physical plan with a
 // worker pool must be bit-identical to the serial run — every ExecMetrics
 // counter AND the raw (uncanonicalized) output rows. This is the contract
-// documented in docs/architecture.md §12: partition jobs write only their
-// own output slot and all merges happen in fixed partition order, so thread
-// count can never change results. Runs under tsan in CI with
-// SCX_NUM_THREADS=4.
+// documented in docs/architecture.md §12/§15: partition and (partition,
+// morsel) jobs write only their own output slot and all merges happen in
+// fixed partition/morsel order, so neither thread count nor morsel size can
+// ever change results. Runs under tsan in CI with SCX_NUM_THREADS=4 and an
+// odd SCX_MORSEL_SIZE.
 
 #include <gtest/gtest.h>
 
@@ -40,11 +41,12 @@ PlanUnderTest OptimizeOnce(const std::string& name, const Catalog& catalog,
 }
 
 ExecMetrics RunWithThreads(const PlanUnderTest& t, int threads,
-                           int batch_size = 0) {
+                           int batch_size = 0, int morsel_size = 0) {
   ClusterConfig cluster;
   cluster.machines = t.machines;
   cluster.exec_threads = threads;
   cluster.batch_size = batch_size;
+  cluster.morsel_size = morsel_size;
   Executor executor(cluster);
   auto metrics = executor.Execute(t.plan);
   EXPECT_TRUE(metrics.ok()) << t.name << ": "
@@ -72,6 +74,11 @@ void ExpectBitIdentical(const PlanUnderTest& t, const ExecMetrics& serial,
   EXPECT_EQ(serial.exprs_deduped, parallel.exprs_deduped) << t.name;
   EXPECT_EQ(serial.rows_converted, parallel.rows_converted) << t.name;
   EXPECT_EQ(serial.batch_pipeline_breaks, parallel.batch_pipeline_breaks)
+      << t.name;
+  // The morsel counters are functions of partition live counts and the
+  // morsel size only — never of the thread schedule.
+  EXPECT_EQ(serial.morsels_evaluated, parallel.morsels_evaluated) << t.name;
+  EXPECT_EQ(serial.morsel_steal_count, parallel.morsel_steal_count)
       << t.name;
   // Raw row-for-row equality — not just canonical equivalence. The merge
   // order is part of the determinism contract.
@@ -187,19 +194,19 @@ TEST(ExecutorParallelTest, SpoolHeavyBatchSweepPreservesSpoolCounters) {
     EXPECT_EQ(serial.spool_executions, rows.spool_executions) << batch_size;
     EXPECT_EQ(serial.spool_reads, rows.spool_reads) << batch_size;
     EXPECT_EQ(serial.spool_cache_hits, rows.spool_cache_hits) << batch_size;
-    // Spools and exchanges are batch-native: the only conversion is the
-    // sanctioned one at Output.
-    EXPECT_EQ(serial.rows_converted, serial.rows_output) << batch_size;
+    // The pipeline is batch-native end to end: no unsanctioned row bridge
+    // (Output's sink conversion is sanctioned and not counted).
+    EXPECT_EQ(serial.rows_converted, 0) << batch_size;
     EXPECT_EQ(serial.batch_pipeline_breaks, 0) << batch_size;
   }
 }
 
 TEST(ExecutorParallelTest, ExchangeHeavyBatchSweepPreservesShuffleCounters) {
   // Hash exchanges (group-bys over a shared spool) plus a range exchange
-  // (the ORDER BY) — the one operator where the batch pipeline bridges
-  // through rows. Shuffle accounting and raw rows must match the row path
-  // at every batch size, and the bridge must be visible in
-  // batch_pipeline_breaks / rows_converted.
+  // (the ORDER BY) — formerly the one operator that bridged through rows,
+  // now batch-native (columnar quantile boundaries + morsel-binned
+  // scatter). Shuffle accounting and raw rows must match the row path at
+  // every batch size, with zero bridges.
   const char* script =
       "R0 = EXTRACT A,B,C,D FROM \"test.log\" USING LogExtractor;\n"
       "R  = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;\n"
@@ -219,10 +226,62 @@ TEST(ExecutorParallelTest, ExchangeHeavyBatchSweepPreservesShuffleCounters) {
     EXPECT_EQ(serial.outputs, rows.outputs) << "batch " << batch_size;
     EXPECT_EQ(serial.rows_shuffled, rows.rows_shuffled) << batch_size;
     EXPECT_EQ(serial.bytes_shuffled, rows.bytes_shuffled) << batch_size;
-    if (serial.batch_pipeline_breaks > 0) {
-      // The range-exchange bridge converts its input twice (to rows and
-      // back), on top of Output's sanctioned conversion.
-      EXPECT_GT(serial.rows_converted, serial.rows_output) << batch_size;
+    EXPECT_EQ(serial.batch_pipeline_breaks, 0) << batch_size;
+    EXPECT_EQ(serial.rows_converted, 0) << batch_size;
+  }
+}
+
+TEST(ExecutorParallelTest, MorselSizeSweepBitIdenticalToRowPath) {
+  // The tentpole contract: outputs and legacy counters are bit-identical
+  // across every morsel size x thread count combination, and match the
+  // batch_size=1 row anchor. At a fixed (batch, morsel) size the batch and
+  // morsel counters are thread-invariant too (ExpectBitIdentical); across
+  // morsel sizes the batch counters stay fixed (they are functions of live
+  // counts and batch_size alone) while the morsel counters move.
+  const char* script =
+      "R0 = EXTRACT A,B,C,D FROM \"test.log\" USING LogExtractor;\n"
+      "R  = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;\n"
+      "R1 = SELECT A,B,Sum(S) AS S1 FROM R GROUP BY A,B ORDER BY A,B;\n"
+      "R2 = SELECT B,C,Sum(S) AS S2 FROM R WHERE S > 10 GROUP BY B,C;\n"
+      "OUTPUT R1 TO \"result1.out\";\n"
+      "OUTPUT R2 TO \"result2.out\";\n";
+  for (auto [name, text] : {std::make_pair("S4", kScriptS4),
+                            std::make_pair("orderby-filter", script)}) {
+    PlanUnderTest t = OptimizeOnce(name, MakeExecutionCatalog(4000), text,
+                                   OptimizerMode::kCse, /*machines=*/4);
+    ASSERT_NE(t.plan, nullptr) << name;
+    ExecMetrics rows = RunWithThreads(t, /*threads=*/1, /*batch_size=*/1);
+    const int batch_size = 64;
+    ExecMetrics anchor;  // morsel size 1: maximal morsel fan-out
+    bool have_anchor = false;
+    for (int morsel_size : {1, 61, 4096, 1 << 30}) {
+      ExecMetrics serial = RunWithThreads(t, 1, batch_size, morsel_size);
+      ExecMetrics parallel = RunWithThreads(t, 4, batch_size, morsel_size);
+      ExpectBitIdentical(t, serial, parallel);
+      EXPECT_EQ(serial.outputs, rows.outputs)
+          << name << " morsel " << morsel_size;
+      EXPECT_EQ(serial.rows_shuffled, rows.rows_shuffled) << morsel_size;
+      EXPECT_EQ(serial.bytes_shuffled, rows.bytes_shuffled) << morsel_size;
+      EXPECT_EQ(serial.rows_output, rows.rows_output) << morsel_size;
+      EXPECT_EQ(serial.rows_converted, 0) << morsel_size;
+      EXPECT_EQ(serial.batch_pipeline_breaks, 0) << morsel_size;
+      EXPECT_GT(serial.morsels_evaluated, 0) << morsel_size;
+      if (!have_anchor) {
+        anchor = std::move(serial);
+        have_anchor = true;
+      } else {
+        // Batch counters do not depend on the morsel size.
+        EXPECT_EQ(serial.batches_evaluated, anchor.batches_evaluated)
+            << name << " morsel " << morsel_size;
+        EXPECT_EQ(serial.exprs_deduped, anchor.exprs_deduped) << morsel_size;
+        // One-row morsels maximize the job count; whole-partition morsels
+        // collapse to one job per non-empty partition (steal count 0).
+        EXPECT_LE(serial.morsels_evaluated, anchor.morsels_evaluated)
+            << morsel_size;
+      }
+      if (morsel_size == 1 << 30) {
+        EXPECT_EQ(serial.morsel_steal_count, 0) << name;
+      }
     }
   }
 }

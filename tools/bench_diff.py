@@ -5,6 +5,7 @@ Usage:
     tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 0.10]
     tools/bench_diff.py --fast-vs-traced BENCH_opt_cache.json [--threshold 0.10]
     tools/bench_diff.py --batch-vs-row BENCH_exec.json [--threshold 0.10]
+    tools/bench_diff.py --morsel-vs-partition BENCH_exec.json [--threshold 0.10]
 
 Both files must come from the same benchmark binary (bench/opt_parallel,
 bench/opt_cache, or bench/exec_throughput). Every rate metric (keys ending in
@@ -22,6 +23,12 @@ small scripts, so a noise margin is required for a meaningful gate).
 batched serial pipeline must not run slower than the batch_size=1 row
 pipeline beyond ``--threshold``, and the two must have been bit-identical
 (``batch_identical``) — the end-to-end payoff gate of the columnar executor.
+
+``--morsel-vs-partition`` gates within a single BENCH_exec.json: per script,
+the morsel-grained run must not run slower than the one-morsel-per-partition
+baseline beyond ``--threshold``, and the two must have been bit-identical
+(``morsel_identical``) — the determinism-plus-overhead gate of the morsel
+scheduler.
 """
 
 import argparse
@@ -145,6 +152,51 @@ def batch_vs_row(path, threshold):
     return 0
 
 
+def morsel_vs_partition(path, threshold):
+    """Gate: morsel scheduling must keep up with whole-partition jobs."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"bench_diff: cannot read {path}: {err}")
+    scripts = doc.get("scripts")
+    if not isinstance(scripts, list) or not scripts:
+        sys.exit(f"bench_diff: {path} has no 'scripts' array "
+                 "(expected a BENCH_exec.json)")
+
+    failures = []
+    print(f"{'script':<10} {'part r/s':>12} {'morsel r/s':>12} {'delta':>8}")
+    for entry in scripts:
+        name = entry.get("name", "?")
+        part = entry.get("partition", {}).get("rows_per_sec")
+        morsel = entry.get("parallel", {}).get("rows_per_sec")
+        if not part or not morsel:
+            sys.exit(f"bench_diff: script {name} lacks partition/parallel "
+                     "rows_per_sec (rerun bench/exec_throughput)")
+        delta = (morsel - part) / part
+        marker = ""
+        if delta < -threshold:
+            failures.append((name, f"{delta:+.1%} slower than "
+                             "one-morsel-per-partition"))
+            marker = "  << REGRESSION"
+        if not entry.get("morsel_identical", False):
+            failures.append((name, "morsel output diverged from "
+                             "whole-partition run"))
+            marker += "  << DIVERGED"
+        print(f"{name:<10} {part:>12.1f} {morsel:>12.1f} {delta:>+7.1%}"
+              f"{marker}")
+
+    if failures:
+        print(f"\nmorsel scheduling failed the partition-granularity gate "
+              f"on {len(failures)} count(s):")
+        for name, why in failures:
+            print(f"  {name}: {why}")
+        return 1
+    print(f"\nmorsel >= partition granularity (within {threshold:.0%}) and "
+          f"bit-identical on all {len(scripts)} scripts")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="flag >threshold throughput regressions between two "
@@ -160,16 +212,23 @@ def main():
     parser.add_argument("--batch-vs-row", action="store_true",
                         help="gate batched vs row-path script rates within "
                              "one BENCH_exec.json")
+    parser.add_argument("--morsel-vs-partition", action="store_true",
+                        help="gate morsel vs whole-partition script rates "
+                             "within one BENCH_exec.json")
     args = parser.parse_args()
 
-    if args.fast_vs_traced and args.batch_vs_row:
-        parser.error("--fast-vs-traced and --batch-vs-row are exclusive")
-    if args.fast_vs_traced or args.batch_vs_row:
+    gates = [args.fast_vs_traced, args.batch_vs_row, args.morsel_vs_partition]
+    if sum(gates) > 1:
+        parser.error("--fast-vs-traced, --batch-vs-row and "
+                     "--morsel-vs-partition are exclusive")
+    if any(gates):
         if args.current is not None:
             parser.error("single-file gates take exactly one JSON file")
         if args.fast_vs_traced:
             return fast_vs_traced(args.baseline, args.threshold)
-        return batch_vs_row(args.baseline, args.threshold)
+        if args.batch_vs_row:
+            return batch_vs_row(args.baseline, args.threshold)
+        return morsel_vs_partition(args.baseline, args.threshold)
     if args.current is None:
         parser.error("two files required unless a single-file gate is given")
 

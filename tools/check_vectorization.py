@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Verify that every simd-guard-marked loop in a source file vectorized.
+
+Usage:
+    tools/check_vectorization.py SOURCE REMARKS
+
+SOURCE is a C++ file carrying ``// simd-guard: NAME`` markers immediately
+above loops that the executor's throughput depends on staying
+auto-vectorized. REMARKS is the compiler's vectorizer report for that file,
+produced with::
+
+    g++ -O3 -march=x86-64-v3 -fopt-info-vec-optimized=REMARKS -c SOURCE
+
+Each remark line carries the source location of a vectorized loop
+(``path:line:col: optimized: loop vectorized ...``). A marker passes when a
+"loop vectorized" remark lands within a few lines below it — the loop the
+marker guards. Exits 1 listing every marker without a matching remark, so
+the CI perf-smoke job fails the moment a refactor silently turns a guarded
+kernel loop back into scalar code. Stdlib only.
+"""
+
+import re
+import sys
+
+# A guarded loop's `for` header must begin within this many lines below its
+# marker comment (markers sit directly above the loop, but a wrapped
+# condition or an intervening local can push the header down a bit).
+MARKER_WINDOW = 6
+
+MARKER_RE = re.compile(r"//\s*simd-guard:\s*([A-Za-z0-9_-]+)")
+REMARK_RE = re.compile(r":(\d+):\d+:\s+optimized:.*loop vectorized")
+
+
+def read_markers(source_path):
+    markers = []
+    try:
+        with open(source_path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                m = MARKER_RE.search(line)
+                if m:
+                    markers.append((m.group(1), lineno))
+    except OSError as err:
+        sys.exit(f"check_vectorization: cannot read {source_path}: {err}")
+    if not markers:
+        sys.exit(f"check_vectorization: no '// simd-guard:' markers in "
+                 f"{source_path} — wrong file?")
+    return markers
+
+
+def read_vectorized_lines(remarks_path):
+    lines = set()
+    try:
+        with open(remarks_path, encoding="utf-8") as f:
+            for line in f:
+                m = REMARK_RE.search(line)
+                if m:
+                    lines.add(int(m.group(1)))
+    except OSError as err:
+        sys.exit(f"check_vectorization: cannot read {remarks_path}: {err}")
+    return lines
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} SOURCE REMARKS")
+    source_path, remarks_path = sys.argv[1], sys.argv[2]
+    markers = read_markers(source_path)
+    vectorized = read_vectorized_lines(remarks_path)
+    if not vectorized:
+        sys.exit(f"check_vectorization: no 'loop vectorized' remarks in "
+                 f"{remarks_path} — was it produced with "
+                 "-fopt-info-vec-optimized on an -O3 build?")
+
+    missing = []
+    for name, lineno in markers:
+        window = range(lineno + 1, lineno + 1 + MARKER_WINDOW)
+        hit = next((v for v in window if v in vectorized), None)
+        status = f"vectorized (line {hit})" if hit else "NOT VECTORIZED"
+        print(f"  {name:<28} marker at line {lineno:<5} {status}")
+        if hit is None:
+            missing.append((name, lineno))
+
+    if missing:
+        print(f"\n{len(missing)} guarded loop(s) no longer vectorize:")
+        for name, lineno in missing:
+            print(f"  {name} ({source_path}:{lineno})")
+        return 1
+    print(f"\nall {len(markers)} guarded loops vectorized")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

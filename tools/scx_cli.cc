@@ -115,6 +115,13 @@ int Main(int argc, char** argv) {
         return 2;
       }
       config.cluster.batch_size = n;
+    } else if (arg == "--morsel") {
+      int n = std::atoi(next());
+      if (n < 0) {
+        std::fprintf(stderr, "scx: --morsel needs a non-negative integer\n");
+        return 2;
+      }
+      config.cluster.morsel_size = n;
     } else if (arg == "--compare") {
       compare = true;
     } else if (arg == "--execute") {
@@ -127,8 +134,8 @@ int Main(int argc, char** argv) {
       std::printf(
           "usage: scx_cli --catalog FILE --script FILE [--mode conv|naive|"
           "cse]\n              [--machines N] [--budget S] [--threads N] "
-          "[--batch N]\n              [--compare] [--execute] [--quiet] "
-          "[--json]\n");
+          "[--batch N] [--morsel N]\n              [--compare] [--execute] "
+          "[--quiet] [--json]\n");
       return 0;
     } else {
       std::fprintf(stderr, "scx: unknown flag %s (try --help)\n",
@@ -221,6 +228,10 @@ int Main(int argc, char** argv) {
                 "breaks\n",
                 static_cast<long long>(metrics->rows_converted),
                 static_cast<long long>(metrics->batch_pipeline_breaks));
+    std::printf("  morsels        : %lld evaluated, %lld beyond "
+                "one-per-partition\n",
+                static_cast<long long>(metrics->morsels_evaluated),
+                static_cast<long long>(metrics->morsel_steal_count));
     for (const auto& [path, rows] : metrics->outputs) {
       std::printf("  %-14s : %zu rows\n", path.c_str(), rows.size());
     }
