@@ -18,16 +18,39 @@ Result<CompiledScript> Engine::Compile(const std::string& source) const {
   return out;
 }
 
-Result<OptimizedScript> Engine::Optimize(const CompiledScript& script,
-                                         OptimizerMode mode) const {
-  Memo memo = Memo::FromLogicalDag(script.bound.root);
+namespace {
+
+/// Builds a single-shot Optimizer over a fresh memo for `bound`, declaring
+/// the memo groups of `script_roots` when batching.
+std::shared_ptr<Optimizer> MakeOptimizer(
+    const BoundScript& bound, const std::vector<LogicalNodePtr>& script_roots,
+    const OptimizerConfig& config) {
+  std::map<const LogicalNode*, GroupId> node_groups;
+  Memo memo = Memo::FromLogicalDag(
+      bound.root, script_roots.empty() ? nullptr : &node_groups);
   // Each run gets a private copy of the registry: exploration rules mint
   // columns (aggregate split), and one CompiledScript may be optimized from
   // several threads at once.
-  auto columns = std::make_shared<ColumnRegistry>(*script.bound.columns);
-  auto optimizer =
-      std::make_shared<Optimizer>(std::move(memo), std::move(columns),
-                                  config_);
+  auto columns = std::make_shared<ColumnRegistry>(*bound.columns);
+  auto optimizer = std::make_shared<Optimizer>(std::move(memo),
+                                               std::move(columns), config);
+  if (!script_roots.empty()) {
+    std::vector<GroupId> roots;
+    roots.reserve(script_roots.size());
+    for (const LogicalNodePtr& r : script_roots) {
+      roots.push_back(node_groups.at(r.get()));
+    }
+    optimizer->SetScriptRoots(std::move(roots));
+  }
+  return optimizer;
+}
+
+}  // namespace
+
+Result<OptimizedScript> Engine::OptimizeBound(
+    const BoundScript& bound, OptimizerMode mode,
+    const std::vector<LogicalNodePtr>& script_roots) const {
+  auto optimizer = MakeOptimizer(bound, script_roots, config_);
   SCX_ASSIGN_OR_RETURN(OptimizeResult result, optimizer->Run(mode));
   SCX_RETURN_IF_ERROR(ValidatePlan(result.plan));
 
@@ -38,11 +61,7 @@ Result<OptimizedScript> Engine::Optimize(const CompiledScript& script,
   // spool's fixed overhead exceeds the recompute saving), so compare
   // against the conventional plan and keep the cheaper of the two.
   if (mode == OptimizerMode::kCse) {
-    Memo conv_memo = Memo::FromLogicalDag(script.bound.root);
-    auto conv_columns =
-        std::make_shared<ColumnRegistry>(*script.bound.columns);
-    auto conv_optimizer = std::make_shared<Optimizer>(
-        std::move(conv_memo), std::move(conv_columns), config_);
+    auto conv_optimizer = MakeOptimizer(bound, script_roots, config_);
     SCX_ASSIGN_OR_RETURN(OptimizeResult conv,
                          conv_optimizer->Run(OptimizerMode::kConventional));
     if (conv.cost < result.cost) {
@@ -60,6 +79,11 @@ Result<OptimizedScript> Engine::Optimize(const CompiledScript& script,
   out.result = std::move(result);
   out.optimizer = std::move(optimizer);
   return out;
+}
+
+Result<OptimizedScript> Engine::Optimize(const CompiledScript& script,
+                                         OptimizerMode mode) const {
+  return OptimizeBound(script.bound, mode, {});
 }
 
 Result<Engine::Comparison> Engine::Compare(const std::string& source) const {
@@ -90,6 +114,56 @@ Result<Engine::Comparison> Engine::Compare(const std::string& source) const {
 Result<ExecMetrics> Engine::Execute(const OptimizedScript& optimized) const {
   Executor executor(config_.cluster);
   return executor.Execute(optimized.plan());
+}
+
+Result<CompiledBatch> Engine::CompileBatch(
+    const std::vector<std::string>& sources) const {
+  SCX_ASSIGN_OR_RETURN(std::vector<AstScript> asts, ParseScriptBatch(sources));
+  SCX_ASSIGN_OR_RETURN(BoundBatch bound, BindScriptBatch(asts, catalog_));
+  CompiledBatch out;
+  out.sources = sources;
+  out.bound = std::move(bound);
+  return out;
+}
+
+Result<OptimizedScript> Engine::OptimizeBatch(const CompiledBatch& batch,
+                                              OptimizerMode mode) const {
+  return OptimizeBound(batch.bound.merged, mode, batch.bound.script_roots);
+}
+
+CrossQuerySpoolCache& Engine::spool_cache() {
+  if (cross_cache_ == nullptr) {
+    cross_cache_ = std::make_shared<CrossQuerySpoolCache>(
+        config_.cluster.spool_cache_bytes);
+  }
+  return *cross_cache_;
+}
+
+Result<BatchExecution> Engine::ExecuteBatch(const CompiledBatch& batch,
+                                            OptimizerMode mode) {
+  BatchExecution out;
+  SCX_ASSIGN_OR_RETURN(out.optimized, OptimizeBatch(batch, mode));
+  Executor executor(config_.cluster, &spool_cache(), catalog_.version());
+  SCX_ASSIGN_OR_RETURN(out.metrics, executor.Execute(out.optimized.plan()));
+  // Demultiplex the merged run's sinks back to per-script outputs keyed by
+  // each script's original paths.
+  out.script_outputs.reserve(batch.bound.outputs.size());
+  for (const auto& prov : batch.bound.outputs) {
+    std::map<std::string, std::vector<Row>> script;
+    for (const auto& [merged_path, original] : prov) {
+      auto it = out.metrics.outputs.find(merged_path);
+      script[original] =
+          it != out.metrics.outputs.end() ? it->second : std::vector<Row>{};
+    }
+    out.script_outputs.push_back(std::move(script));
+  }
+  return out;
+}
+
+Result<BatchExecution> Engine::SubmitBatch(
+    const std::vector<std::string>& sources, OptimizerMode mode) {
+  SCX_ASSIGN_OR_RETURN(CompiledBatch batch, CompileBatch(sources));
+  return ExecuteBatch(batch, mode);
 }
 
 }  // namespace scx

@@ -1,0 +1,47 @@
+#include "api/submission_queue.h"
+
+#include <utility>
+
+namespace scx {
+
+size_t SubmissionQueue::Enqueue(std::string source) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (pending_.size() >= max_batch_) {
+    // Overflow: flush what has accumulated before admitting the newcomer,
+    // so no batch ever exceeds max_batch scripts.
+    std::vector<std::string> batch = std::move(pending_);
+    pending_.clear();
+    lock.unlock();
+    Result<BatchExecution> flushed = engine_->SubmitBatch(batch);
+    lock.lock();
+    auto_flushed_.push_back(std::move(flushed));
+  }
+  pending_.push_back(std::move(source));
+  return pending_.size() - 1;
+}
+
+size_t SubmissionQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+Result<BatchExecution> SubmissionQueue::Flush(OptimizerMode mode) {
+  std::vector<std::string> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_.empty()) {
+      return Status::FailedPrecondition(
+          "SubmissionQueue::Flush: nothing pending");
+    }
+    batch = std::move(pending_);
+    pending_.clear();
+  }
+  return engine_->SubmitBatch(batch, mode);
+}
+
+std::vector<Result<BatchExecution>> SubmissionQueue::TakeAutoFlushed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::exchange(auto_flushed_, {});
+}
+
+}  // namespace scx

@@ -1,0 +1,53 @@
+#ifndef SCX_API_SUBMISSION_QUEUE_H_
+#define SCX_API_SUBMISSION_QUEUE_H_
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+
+namespace scx {
+
+/// A small front-door queue that collects concurrently arriving scripts and
+/// flushes them to Engine::SubmitBatch as one merged run. Arrival order is
+/// submission order: the k-th Enqueue's results are Flush().script_outputs[k].
+///
+/// Flushing is explicit (or automatic when the queue reaches `max_batch`
+/// pending scripts), which keeps batching deterministic — no timers, no
+/// thread-dependent cut points. Thread-safe for concurrent Enqueue calls;
+/// Flush drains whatever has arrived so far.
+class SubmissionQueue {
+ public:
+  explicit SubmissionQueue(Engine* engine, size_t max_batch = 32)
+      : engine_(engine), max_batch_(max_batch) {}
+
+  /// Adds a script to the pending batch; returns its ticket (index into the
+  /// next Flush's script_outputs). When the queue reaches max_batch pending
+  /// scripts the NEXT Enqueue flushes first, so a ticket stays valid until
+  /// the flush that consumes it.
+  size_t Enqueue(std::string source);
+
+  size_t pending() const;
+  size_t max_batch() const { return max_batch_; }
+
+  /// Optimizes + executes everything pending as one merged batch and clears
+  /// the queue. Fails on an empty queue.
+  Result<BatchExecution> Flush(OptimizerMode mode = OptimizerMode::kCse);
+
+  /// Result of the flush the last Enqueue triggered on overflow (empty
+  /// unless an auto-flush happened since the last TakeAutoFlushed call).
+  std::vector<Result<BatchExecution>> TakeAutoFlushed();
+
+ private:
+  Engine* engine_;
+  size_t max_batch_;
+  mutable std::mutex mu_;
+  std::vector<std::string> pending_;
+  std::vector<Result<BatchExecution>> auto_flushed_;
+};
+
+}  // namespace scx
+
+#endif  // SCX_API_SUBMISSION_QUEUE_H_

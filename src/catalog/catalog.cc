@@ -24,6 +24,7 @@ Status Catalog::RegisterFile(FileDef def) {
     def.data_seed = static_cast<uint64_t>(def.file_id) * 0x9e3779b9u + 1;
   }
   files_.emplace(def.path, std::move(def));
+  ++version_;
   return Status::OK();
 }
 

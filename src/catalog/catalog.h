@@ -62,9 +62,16 @@ class Catalog {
 
   const std::map<std::string, FileDef>& files() const { return files_; }
 
+  /// Monotonic catalog version. Bumped on every registration (and manually
+  /// via BumpVersion); part of the cross-query spool cache key, so cached
+  /// results can never outlive the catalog state they were computed from.
+  uint64_t version() const { return version_; }
+  void BumpVersion() { ++version_; }
+
  private:
   std::map<std::string, FileDef> files_;
   int64_t next_file_id_ = 1;
+  uint64_t version_ = 1;
 };
 
 }  // namespace scx

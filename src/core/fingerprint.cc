@@ -344,6 +344,35 @@ CseIdentifyResult IdentifyCommonSubexpressions(Memo* memo,
     }
   }
 
+  // Maximal-subexpression cleanup: a spool whose group is referenced by
+  // fewer than two live consumers buys no reuse — bypass it. This arises
+  // when a whole duplicated chain merged: each interior node was
+  // multi-parent before the merge (one parent per copy) but its parents
+  // merged too, leaving one consumer behind a mandatory spool.
+  if (opts.prune_single_consumer_spools) {
+    std::vector<GroupId> topo = memo->TopologicalOrder();
+    std::map<GroupId, int> refs;
+    for (GroupId g : topo) {
+      for (const GroupExpr& e : memo->group(g).exprs()) {
+        for (GroupId c : e.children) ++refs[c];
+      }
+    }
+    for (GroupId g : topo) {
+      Group& grp = memo->group(g);
+      if (!grp.is_shared()) continue;
+      const GroupExpr& e = grp.initial_expr();
+      if (e.op->kind() != LogicalOpKind::kSpool || e.children.size() != 1) {
+        continue;
+      }
+      if (refs[g] > 1) continue;
+      // Re-point the lone consumer at the spool's child; the spool group
+      // goes dead (unreachable) and is skipped by every topological walk.
+      memo->RedirectChildReferencesExcept(g, e.children[0], g);
+      grp.set_shared(false);
+      ++result.pruned_spools;
+    }
+  }
+
   for (GroupId g = 0; g < memo->num_groups(); ++g) {
     if (memo->group(g).is_shared()) result.spool_groups.push_back(g);
   }

@@ -20,12 +20,22 @@ struct CseIdentifyOptions {
   /// enabling this reduces hash-bucket collisions without changing results
   /// (colliding entries are structurally compared either way).
   bool include_payload_hash = false;
+  /// Keep only MAXIMAL common subexpressions: after the merge pass, drop
+  /// any shared spool that feeds fewer than two consumers. When an entire
+  /// duplicated chain merges (the common case for identical scripts in a
+  /// batch), every interior node was multi-parent *before* the merge but
+  /// feeds exactly one merged consumer *after* it — its spool would
+  /// materialize bytes nothing reuses. Off by default so single-script
+  /// optimization stays bit-identical to its historical plans; the batch
+  /// path (merged multi-script memos) turns it on.
+  bool prune_single_consumer_spools = false;
 };
 
 /// Outcome statistics of Algorithm 1.
 struct CseIdentifyResult {
   int explicit_shared = 0;  ///< spools inserted over multi-parent groups
   int merged = 0;           ///< duplicate subexpressions merged by fingerprint
+  int pruned_spools = 0;    ///< single-consumer spools removed post-merge
   std::vector<GroupId> spool_groups;  ///< all shared SPOOL groups
 };
 

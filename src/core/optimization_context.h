@@ -108,6 +108,12 @@ struct OptimizeDiagnostics {
   int explicit_shared = 0;
   int merged_subexpressions = 0;
   int reachable_groups = 0;
+  /// Scripts merged into this memo (1 for an ordinary single-script run).
+  int num_scripts = 1;
+  /// Shared groups reachable from two or more script roots — sub-DAGs whose
+  /// spool decision amortizes across script boundaries. 0 when num_scripts
+  /// is 1 or in conventional mode (no shared-info pass).
+  int cross_script_shared_groups = 0;
   double optimize_seconds = 0;
   double phase2_seconds = 0;  ///< wall time of the phase-2 walk alone
   bool budget_exhausted = false;
@@ -149,6 +155,11 @@ class OptimizationContext {
 
   Memo& mutable_memo() { return memo_; }
   void set_mode(OptimizerMode mode) { mode_ = mode; }
+  /// Declares the memo groups holding each merged script's root (batch
+  /// compilation). Empty (the default) means a single-script memo.
+  void set_script_roots(std::vector<GroupId> roots) {
+    script_roots_ = std::move(roots);
+  }
   /// (Re-)estimates stats of all groups reachable from the root.
   void EstimateMemo() { estimator_.EstimateMemo(memo_); }
   /// Applies transformation rules (join commutativity, aggregate split) to
@@ -177,6 +188,7 @@ class OptimizationContext {
   const SharedInfo* shared_info() const {
     return shared_.has_value() ? &*shared_ : nullptr;
   }
+  const std::vector<GroupId>& script_roots() const { return script_roots_; }
   const PropertyHistory* HistoryOf(GroupId g) const;
   /// Interns a property set to its dense run-local id (thread-safe; the
   /// interner is the one mutable member that stays live after Freeze —
@@ -218,6 +230,7 @@ class OptimizationContext {
   mutable PropsInterner props_interner_;
   std::vector<std::vector<GroupId>> shared_below_sorted_;
   std::optional<SharedInfo> shared_;
+  std::vector<GroupId> script_roots_;
   std::set<GroupId> explored_;
   std::set<GroupId> nested_lcas_;
   bool frozen_ = false;

@@ -1,6 +1,8 @@
 #include "core/optimizer.h"
 
+#include <algorithm>
 #include <chrono>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -21,10 +23,17 @@ Result<OptimizeResult> Optimizer::Run(OptimizerMode mode) {
 
   auto t0 = std::chrono::steady_clock::now();
   ctx_->set_mode(mode);
+  diag_.num_scripts = std::max<int>(
+      1, static_cast<int>(ctx_->script_roots().size()));
 
   if (mode != OptimizerMode::kConventional) {
-    CseIdentifyResult id = IdentifyCommonSubexpressions(
-        &ctx_->mutable_memo(), ctx_->config().cse);
+    CseIdentifyOptions cse_opts = ctx_->config().cse;
+    // Merged multi-script memos duplicate whole chains; keep only the
+    // maximal common subexpressions there. Single-script memos keep the
+    // historical behaviour bit for bit.
+    cse_opts.prune_single_consumer_spools = ctx_->script_roots().size() >= 2;
+    CseIdentifyResult id =
+        IdentifyCommonSubexpressions(&ctx_->mutable_memo(), cse_opts);
     diag_.explicit_shared = id.explicit_shared;
     diag_.merged_subexpressions = id.merged;
   }
@@ -56,6 +65,7 @@ Result<OptimizeResult> Optimizer::Run(OptimizerMode mode) {
       const PropertyHistory* h = ctx_->HistoryOf(s);
       diag_.history_sizes[s] = h != nullptr ? h->size() : 0;
     }
+    ComputeCrossScriptSharing();
     ctx_->Freeze();  // ranks histories, explores to fixpoint, immutable now
     master_->BeginPhase2();
     scheduler_->StartPhase2();
@@ -89,6 +99,37 @@ Result<OptimizeResult> Optimizer::Run(OptimizerMode mode) {
   result.cost = best_cost;
   result.diagnostics = diag_;
   return result;
+}
+
+void Optimizer::ComputeCrossScriptSharing() {
+  const std::vector<GroupId>& roots = ctx_->script_roots();
+  if (roots.size() < 2 || ctx_->shared_info() == nullptr) return;
+  // A shared group reachable from two or more script roots is a sub-DAG the
+  // fingerprint merge unified across script boundaries (or a spool whose
+  // consumers happen to span scripts): its one spool decision amortizes over
+  // all of them. Reachability runs over every memo expression of every
+  // group, matching how phase 2 can wire any alternative.
+  const Memo& memo = ctx_->memo();
+  std::map<GroupId, int> reached_by;
+  for (GroupId root : roots) {
+    std::set<GroupId> seen;
+    std::vector<GroupId> stack{root};
+    while (!stack.empty()) {
+      GroupId g = stack.back();
+      stack.pop_back();
+      if (!seen.insert(g).second) continue;
+      for (const GroupExpr& expr : memo.group(g).exprs()) {
+        for (GroupId child : expr.children) stack.push_back(child);
+      }
+    }
+    for (GroupId g : seen) ++reached_by[g];
+  }
+  for (GroupId s : ctx_->shared_info()->shared_groups()) {
+    auto it = reached_by.find(s);
+    if (it != reached_by.end() && it->second >= 2) {
+      ++diag_.cross_script_shared_groups;
+    }
+  }
 }
 
 }  // namespace scx

@@ -32,6 +32,13 @@ class Optimizer {
  public:
   Optimizer(Memo memo, ColumnRegistryPtr columns, OptimizerConfig config);
 
+  /// Declares the memo groups holding each merged script's root, for
+  /// batch optimization (Engine::SubmitBatch). Must be called before Run;
+  /// feeds the num_scripts / cross_script_shared_groups diagnostics.
+  void SetScriptRoots(std::vector<GroupId> roots) {
+    ctx_->set_script_roots(std::move(roots));
+  }
+
   /// Runs the optimizer. Single-shot: a second call returns
   /// FailedPrecondition (the context is frozen and the memo restructured by
   /// then — build a fresh Optimizer to re-optimize).
@@ -45,6 +52,10 @@ class Optimizer {
   }
 
  private:
+  /// Fills diag_.cross_script_shared_groups: shared groups reachable from
+  /// two or more script roots. No-op for single-script runs.
+  void ComputeCrossScriptSharing();
+
   // Declaration order is destruction-critical: the scheduler's pool threads
   // and the master task both reference the context, so they are destroyed
   // first (members are destroyed in reverse order).

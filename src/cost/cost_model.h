@@ -30,6 +30,12 @@ struct ClusterConfig {
   /// whole-partition job. Results are bit-identical for every value (see
   /// docs/architecture.md §15). Ignored by the cost model.
   int morsel_size = 0;
+  /// Byte budget for spooled intermediate results — bounds both the run-local
+  /// spool cache and the engine's cross-query spool cache. 0 =
+  /// DefaultSpoolCacheBytes() (SCX_SPOOL_CACHE_BYTES or 256 MiB); negative =
+  /// unlimited. Eviction is cost-aware and deterministic (see
+  /// docs/architecture.md §16). Ignored by the cost model.
+  int64_t spool_cache_bytes = 0;
 };
 
 /// Per-byte cost constants. Units are abstract "cost units" (the paper also

@@ -25,6 +25,7 @@
 #include "exec/exec_detail.h"
 #include "exec/executor.h"
 #include "exec/row_key_table.h"
+#include "exec/spool_cache.h"
 #include "exec/vector_kernels.h"
 #include "plan/expr_cse.h"
 
@@ -492,9 +493,24 @@ Result<BatchData> Executor::EvalBatch(const PhysicalNodePtr& node,
       if (it != batch_spool_cache_.end()) {
         ++metrics->spool_reads;
         ++metrics->spool_cache_hits;
+        TrackSpoolRead(node.get());
         // A hit copies shared_ptrs: every reader shares the materialized
         // immutable columns; no row (or cell) is ever copied.
         return it->second;
+      }
+      if (cross_cache_ != nullptr) {
+        SpoolCacheKey key = CrossKeyFor(*node, /*batch=*/true);
+        if (auto hit = cross_cache_->LookupBatch(key)) {
+          // Served by an earlier execution (shared immutable columns): no
+          // materialization work, no bytes_spooled.
+          ++metrics->spool_reads;
+          ++metrics->spool_cache_hits;
+          ++metrics->cross_query_spool_hits;
+          BatchData data = std::move(*hit);
+          batch_spool_cache_[node.get()] = data;
+          TrackSpoolInsert(node.get(), data.TotalLiveBytes(), metrics);
+          return data;
+        }
       }
       SCX_ASSIGN_OR_RETURN(BatchData in, EvalBatch(node->children[0], metrics));
       // Materialize compacted so every consumer reads dense columns.
@@ -505,7 +521,13 @@ Result<BatchData> Executor::EvalBatch(const PhysicalNodePtr& node,
       metrics->rows_spooled += in.TotalLiveRows();
       ++metrics->spool_executions;
       ++metrics->spool_reads;
+      if (cross_cache_ != nullptr) {
+        cross_cache_->InsertBatch(CrossKeyFor(*node, /*batch=*/true), in,
+                                  DagCost(node->children[0]),
+                                  &metrics->spool_bytes_evicted);
+      }
       batch_spool_cache_[node.get()] = in;
+      TrackSpoolInsert(node.get(), in.TotalLiveBytes(), metrics);
       return in;
     }
 
@@ -654,6 +676,7 @@ Result<BatchData> Executor::EvalExtractBatch(const PhysicalNode& node,
     }
   });
   metrics->rows_extracted += rows;
+  metrics->bytes_extracted += out.TotalLiveBytes();
   return out;
 }
 

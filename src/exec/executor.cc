@@ -8,6 +8,7 @@
 #include "common/hash.h"
 #include "exec/exec_detail.h"
 #include "exec/row_key_table.h"
+#include "exec/spool_cache.h"
 
 namespace scx {
 
@@ -76,6 +77,7 @@ bool SameOutputs(const ExecMetrics& a, const ExecMetrics& b) {
 std::string ExecMetricsToJson(const ExecMetrics& m) {
   std::ostringstream os;
   os << "{\"rows_extracted\":" << m.rows_extracted
+     << ",\"bytes_extracted\":" << m.bytes_extracted
      << ",\"rows_shuffled\":" << m.rows_shuffled
      << ",\"bytes_shuffled\":" << m.bytes_shuffled
      << ",\"bytes_spooled\":" << m.bytes_spooled
@@ -83,6 +85,8 @@ std::string ExecMetricsToJson(const ExecMetrics& m) {
      << ",\"spool_executions\":" << m.spool_executions
      << ",\"spool_reads\":" << m.spool_reads
      << ",\"spool_cache_hits\":" << m.spool_cache_hits
+     << ",\"cross_query_spool_hits\":" << m.cross_query_spool_hits
+     << ",\"spool_bytes_evicted\":" << m.spool_bytes_evicted
      << ",\"operator_invocations\":" << m.operator_invocations
      << ",\"rows_output\":" << m.rows_output
      << ",\"batches_evaluated\":" << m.batches_evaluated
@@ -213,6 +217,10 @@ void Executor::RunMorsels(const std::vector<size_t>& live, ExecMetrics* metrics,
 
 Result<ExecMetrics> Executor::Execute(const PhysicalNodePtr& plan) {
   ExecMetrics metrics;
+  spool_meta_.clear();
+  run_spool_bytes_ = 0;
+  spool_seq_ = 0;
+  spool_budget_ = ResolveSpoolBudget(cluster_.spool_cache_bytes);
   if (batch_size_ > 1) {
     batch_spool_cache_.clear();
     SCX_ASSIGN_OR_RETURN(BatchData ignored, EvalBatch(plan, &metrics));
@@ -223,6 +231,55 @@ Result<ExecMetrics> Executor::Execute(const PhysicalNodePtr& plan) {
   SCX_ASSIGN_OR_RETURN(PartitionedData ignored, Eval(plan, &metrics));
   (void)ignored;
   return metrics;
+}
+
+SpoolCacheKey Executor::CrossKeyFor(const PhysicalNode& node,
+                                    bool batch) const {
+  SpoolCacheKey key;
+  key.canon = CanonicalSubDagDescription(node.children[0]);
+  key.catalog_version = catalog_version_;
+  key.machines = cluster_.machines;
+  key.batch = batch;
+  return key;
+}
+
+void Executor::TrackSpoolInsert(const PhysicalNode* node, int64_t bytes,
+                                ExecMetrics* metrics) {
+  RunSpoolMeta meta;
+  meta.bytes = bytes;
+  meta.recompute_cost = DagCost(node->children[0]);
+  meta.seq = spool_seq_++;
+  run_spool_bytes_ += bytes;
+  spool_meta_[node] = meta;
+  // Evict the least valuable materializations until the budget holds. The
+  // (benefit, seq) order is a strict total order (seq is unique), so the
+  // victim choice does not depend on unordered_map iteration order.
+  while (run_spool_bytes_ > spool_budget_ && !spool_meta_.empty()) {
+    auto victim = spool_meta_.end();
+    for (auto it = spool_meta_.begin(); it != spool_meta_.end(); ++it) {
+      if (victim == spool_meta_.end()) {
+        victim = it;
+        continue;
+      }
+      double benefit = it->second.recompute_cost * (1.0 + it->second.reads);
+      double best =
+          victim->second.recompute_cost * (1.0 + victim->second.reads);
+      if (benefit < best ||
+          (benefit == best && it->second.seq < victim->second.seq)) {
+        victim = it;
+      }
+    }
+    run_spool_bytes_ -= victim->second.bytes;
+    metrics->spool_bytes_evicted += victim->second.bytes;
+    spool_cache_.erase(victim->first);
+    batch_spool_cache_.erase(victim->first);
+    spool_meta_.erase(victim);
+  }
+}
+
+void Executor::TrackSpoolRead(const PhysicalNode* node) {
+  auto it = spool_meta_.find(node);
+  if (it != spool_meta_.end()) ++it->second.reads;
 }
 
 Result<PartitionedData> Executor::Eval(const PhysicalNodePtr& node,
@@ -332,14 +389,36 @@ Result<PartitionedData> Executor::Eval(const PhysicalNodePtr& node,
       if (it != spool_cache_.end()) {
         ++metrics->spool_reads;
         ++metrics->spool_cache_hits;
+        TrackSpoolRead(node.get());
         return it->second;
+      }
+      if (cross_cache_ != nullptr) {
+        SpoolCacheKey key = CrossKeyFor(*node, /*batch=*/false);
+        if (auto hit = cross_cache_->LookupRows(key)) {
+          // Served by an earlier execution: no materialization work, no
+          // bytes_spooled. Keep a run-local copy so sibling consumers stay
+          // on the ordinary in-run path (and within the byte budget).
+          ++metrics->spool_reads;
+          ++metrics->spool_cache_hits;
+          ++metrics->cross_query_spool_hits;
+          PartitionedData data = std::move(*hit);
+          spool_cache_[node.get()] = data;
+          TrackSpoolInsert(node.get(), data.TotalBytes(), metrics);
+          return data;
+        }
       }
       SCX_ASSIGN_OR_RETURN(PartitionedData in, Eval(node->children[0], metrics));
       metrics->bytes_spooled += in.TotalBytes();
       metrics->rows_spooled += in.TotalRows();
       ++metrics->spool_executions;
       ++metrics->spool_reads;
+      if (cross_cache_ != nullptr) {
+        cross_cache_->InsertRows(CrossKeyFor(*node, /*batch=*/false), in,
+                                 DagCost(node->children[0]),
+                                 &metrics->spool_bytes_evicted);
+      }
       spool_cache_[node.get()] = in;
+      TrackSpoolInsert(node.get(), in.TotalBytes(), metrics);
       return in;
     }
 
@@ -515,6 +594,7 @@ Result<PartitionedData> Executor::EvalExtract(const PhysicalNode& node,
     }
   });
   metrics->rows_extracted += rows;
+  metrics->bytes_extracted += out.TotalBytes();
   return out;
 }
 

@@ -16,6 +16,9 @@
 
 namespace scx {
 
+class CrossQuerySpoolCache;
+struct SpoolCacheKey;
+
 /// Rows of one operator's output, split across the simulated cluster's
 /// machines. Row vectors are positionally aligned with the producing
 /// operator's schema.
@@ -34,6 +37,10 @@ struct PartitionedData {
 /// Counters accumulated while executing a plan on the simulated cluster.
 struct ExecMetrics {
   int64_t rows_extracted = 0;
+  /// Bytes read from the simulated store by Extract operators. Together
+  /// with bytes_shuffled and bytes_spooled this is the run's total data
+  /// movement — the quantity the batch-vs-sequential oracle bounds.
+  int64_t bytes_extracted = 0;
   int64_t rows_shuffled = 0;
   int64_t bytes_shuffled = 0;   ///< exchanged over the simulated network
   int64_t bytes_spooled = 0;    ///< materialized by Spool operators
@@ -41,6 +48,15 @@ struct ExecMetrics {
   int64_t spool_executions = 0; ///< distinct spool materializations
   int64_t spool_reads = 0;      ///< total consumer reads of spools
   int64_t spool_cache_hits = 0; ///< spool_reads served from the cache
+  /// spool_cache_hits served by the engine's cross-query spool cache (a
+  /// sub-DAG materialized by an earlier execution). 0 unless the executor
+  /// was built with a cross-query cache (Engine::SubmitBatch path).
+  int64_t cross_query_spool_hits = 0;
+  /// Bytes of spooled intermediates dropped to keep spool storage within
+  /// the ClusterConfig::spool_cache_bytes budget (run-local evictions plus
+  /// cross-query evictions triggered by this run's insertions). Evicted
+  /// spools recompute on their next read, so results are unaffected.
+  int64_t spool_bytes_evicted = 0;
   int64_t operator_invocations = 0;
   int64_t rows_output = 0;
   /// Column batches processed by the vectorized kernels (filter, project,
@@ -136,6 +152,18 @@ class Executor {
                          ? static_cast<size_t>(cluster.morsel_size)
                          : static_cast<size_t>(DefaultMorselSize())) {}
 
+  /// As above, but spool reads may additionally be served by (and fresh
+  /// materializations inserted into) `cross_cache`, the engine-owned
+  /// cross-query spool cache. `catalog_version` becomes part of every cache
+  /// key, so entries never survive a catalog change. `cross_cache` may be
+  /// nullptr (identical to the single-argument constructor).
+  Executor(ClusterConfig cluster, CrossQuerySpoolCache* cross_cache,
+           uint64_t catalog_version)
+      : Executor(cluster) {
+    cross_cache_ = cross_cache;
+    catalog_version_ = catalog_version;
+  }
+
   /// Runs the plan; returns counters and the produced outputs.
   Result<ExecMetrics> Execute(const PhysicalNodePtr& plan);
 
@@ -217,6 +245,35 @@ class Executor {
   /// at write time, and every read hands back the same shared immutable
   /// columns (a cache hit copies shared_ptrs, never rows).
   std::unordered_map<const PhysicalNode*, BatchData> batch_spool_cache_;
+
+  // --- Spool byte budget + cross-query cache (spool_cache.h) ---
+
+  /// Registers a fresh run-local spool materialization of `bytes` bytes for
+  /// `node`, then evicts run-local entries (lowest recompute-cost x reuse
+  /// benefit first, oldest on ties) until the budget holds. Runs only on the
+  /// master DAG-walk thread; eviction order depends only on the plan and the
+  /// walk order, so it is bit-identical across thread/batch/morsel settings.
+  void TrackSpoolInsert(const PhysicalNode* node, int64_t bytes,
+                        ExecMetrics* metrics);
+  /// Bumps the run-local reuse counter of `node`'s spool entry.
+  void TrackSpoolRead(const PhysicalNode* node);
+  /// Cross-query cache key of the sub-DAG materialized by spool `node`.
+  SpoolCacheKey CrossKeyFor(const PhysicalNode& node, bool batch) const;
+
+  /// Per-entry bookkeeping behind the run-local spool byte budget.
+  struct RunSpoolMeta {
+    int64_t bytes = 0;
+    double recompute_cost = 0;
+    int64_t reads = 0;
+    int64_t seq = 0;
+  };
+  std::unordered_map<const PhysicalNode*, RunSpoolMeta> spool_meta_;
+  int64_t run_spool_bytes_ = 0;
+  int64_t spool_seq_ = 0;
+  /// Effective budget (resolved from cluster_.spool_cache_bytes at Execute).
+  int64_t spool_budget_ = 0;
+  CrossQuerySpoolCache* cross_cache_ = nullptr;
+  uint64_t catalog_version_ = 0;
 };
 
 template <typename DestFillFn>

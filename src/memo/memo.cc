@@ -114,7 +114,8 @@ bool Group::AddExpr(GroupExpr expr) {
   return true;
 }
 
-Memo Memo::FromLogicalDag(const LogicalNodePtr& root) {
+Memo Memo::FromLogicalDag(const LogicalNodePtr& root,
+                          std::map<const LogicalNode*, GroupId>* node_groups) {
   Memo memo;
   std::map<const LogicalNode*, GroupId> group_of;
   for (const LogicalNodePtr& node : TopologicalNodes(root)) {
@@ -127,6 +128,7 @@ Memo Memo::FromLogicalDag(const LogicalNodePtr& root) {
     group_of[node.get()] = id;
   }
   memo.root_ = group_of.at(root.get());
+  if (node_groups != nullptr) *node_groups = std::move(group_of);
   return memo;
 }
 

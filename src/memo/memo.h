@@ -2,6 +2,7 @@
 #define SCX_MEMO_MEMO_H_
 
 #include <deque>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -73,7 +74,12 @@ class Memo {
  public:
   /// Builds a memo isomorphic to the logical DAG rooted at `root`.
   /// Shared logical nodes (multiple parents) become multi-referenced groups.
-  static Memo FromLogicalDag(const LogicalNodePtr& root);
+  /// When `node_groups` is non-null it receives the logical-node -> group
+  /// mapping, which batch compilation uses to locate each script's root
+  /// group inside the merged memo.
+  static Memo FromLogicalDag(const LogicalNodePtr& root,
+                             std::map<const LogicalNode*, GroupId>*
+                                 node_groups = nullptr);
 
   GroupId root() const { return root_; }
   int num_groups() const { return static_cast<int>(groups_.size()); }

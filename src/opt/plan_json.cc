@@ -117,6 +117,9 @@ std::string DiagnosticsToJson(const OptimizeDiagnostics& d) {
   out += ",\"merged_subexpressions\":" +
          std::to_string(d.merged_subexpressions);
   out += ",\"reachable_groups\":" + std::to_string(d.reachable_groups);
+  out += ",\"num_scripts\":" + std::to_string(d.num_scripts);
+  out += ",\"cross_script_shared_groups\":" +
+         std::to_string(d.cross_script_shared_groups);
   out += ",\"optimize_seconds\":" + Num(d.optimize_seconds);
   out += ",\"phase2_seconds\":" + Num(d.phase2_seconds);
   out += std::string(",\"budget_exhausted\":") +

@@ -39,6 +39,8 @@ DataType AggOutputType(AggFn fn, DataType arg_type) {
 class Binder {
  public:
   explicit Binder(const Catalog& catalog) : catalog_(catalog) {}
+  Binder(const Catalog& catalog, ColumnRegistryPtr columns)
+      : catalog_(catalog), columns_(std::move(columns)) {}
 
   Result<BoundScript> Bind(const AstScript& ast) {
     std::vector<LogicalNodePtr> outputs;
@@ -864,6 +866,68 @@ class Binder {
 Result<BoundScript> BindScript(const AstScript& ast, const Catalog& catalog) {
   Binder binder(catalog);
   return binder.Bind(ast);
+}
+
+Result<BoundScript> BindScript(const AstScript& ast, const Catalog& catalog,
+                               ColumnRegistryPtr columns) {
+  Binder binder(catalog, std::move(columns));
+  return binder.Bind(ast);
+}
+
+Result<BoundBatch> BindScriptBatch(const std::vector<AstScript>& asts,
+                                   const Catalog& catalog) {
+  if (asts.empty()) {
+    return Status::InvalidArgument("BindScriptBatch: empty batch");
+  }
+  auto columns = std::make_shared<ColumnRegistry>();
+  BoundBatch batch;
+  const bool tag = asts.size() > 1;
+  for (size_t i = 0; i < asts.size(); ++i) {
+    Result<BoundScript> bound = BindScript(asts[i], catalog, columns);
+    if (!bound.ok()) {
+      return Status::BindError("script " + std::to_string(i) + ": " +
+                               bound.status().message());
+    }
+    BoundScript& script = bound.value();
+    // Retarget this script's Output sinks to provenance-tagged paths so the
+    // merged execution keeps each script's results separate even when two
+    // scripts (or two statements) write the same path.
+    std::vector<LogicalNodePtr> outs;
+    if (script.root->kind() == LogicalOpKind::kSequence) {
+      outs = script.root->children();
+    } else {
+      outs = {script.root};
+    }
+    std::vector<std::pair<std::string, std::string>> prov;
+    for (const LogicalNodePtr& out : outs) {
+      std::string original = out->output_path;
+      if (tag) {
+        out->output_path = "q" + std::to_string(i) + "::" + original;
+      }
+      bool seen = false;
+      for (const auto& [merged_path, orig] : prov) {
+        if (merged_path == out->output_path) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) prov.emplace_back(out->output_path, original);
+    }
+    batch.outputs.push_back(std::move(prov));
+    batch.script_roots.push_back(script.root);
+    for (auto& [name, node] : script.results) {
+      std::string key = tag ? "q" + std::to_string(i) + "::" + name : name;
+      batch.merged.results.emplace(std::move(key), node);
+    }
+  }
+  batch.merged.columns = columns;
+  if (batch.script_roots.size() == 1) {
+    batch.merged.root = batch.script_roots[0];
+  } else {
+    batch.merged.root = std::make_shared<LogicalNode>(
+        LogicalOpKind::kSequence, Schema(), batch.script_roots);
+  }
+  return batch;
 }
 
 }  // namespace scx

@@ -3,6 +3,8 @@
 
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "common/status.h"
@@ -27,6 +29,35 @@ struct BoundScript {
 /// subexpressions. Multiple OUTPUT statements are connected by a Sequence
 /// node (one OUTPUT needs none).
 Result<BoundScript> BindScript(const AstScript& ast, const Catalog& catalog);
+
+/// As above, but mints column ids from the caller-supplied registry — the
+/// building block of batch binding, where every script in a batch must draw
+/// from one id space so their DAGs can share a single memo.
+Result<BoundScript> BindScript(const AstScript& ast, const Catalog& catalog,
+                               ColumnRegistryPtr columns);
+
+/// A batch of scripts bound into one merged multi-root DAG. The per-script
+/// roots hang under a shared Sequence root (`merged.root`), and every output
+/// path carries per-script provenance so the merged execution's sinks can be
+/// demultiplexed back to the submitting scripts.
+struct BoundBatch {
+  /// The merged DAG: one Sequence over the per-script roots (a single-script
+  /// batch is passed through untouched — no wrapper, no tagging).
+  BoundScript merged;
+  /// Root of each script's own sub-DAG, in submission order.
+  std::vector<LogicalNodePtr> script_roots;
+  /// Per script: distinct (merged output path, original output path) pairs.
+  /// For multi-script batches the merged path is "q<i>::<original>", which
+  /// keeps two scripts writing the same path in separate sinks.
+  std::vector<std::vector<std::pair<std::string, std::string>>> outputs;
+};
+
+/// Binds every script of a batch against `catalog` into one merged DAG
+/// sharing a single column registry. Scripts stay semantically independent
+/// (names never resolve across scripts); structural sharing between them is
+/// discovered later by the optimizer's fingerprint merge, not by binding.
+Result<BoundBatch> BindScriptBatch(const std::vector<AstScript>& asts,
+                                   const Catalog& catalog);
 
 }  // namespace scx
 

@@ -386,4 +386,22 @@ Result<AstScript> ParseScript(const std::string& source) {
   return parser.Parse();
 }
 
+Result<std::vector<AstScript>> ParseScriptBatch(
+    const std::vector<std::string>& sources) {
+  if (sources.empty()) {
+    return Status::InvalidArgument("ParseScriptBatch: empty batch");
+  }
+  std::vector<AstScript> scripts;
+  scripts.reserve(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    Result<AstScript> parsed = ParseScript(sources[i]);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("script " + std::to_string(i) + ": " +
+                                     parsed.status().message());
+    }
+    scripts.push_back(std::move(parsed.value()));
+  }
+  return scripts;
+}
+
 }  // namespace scx

@@ -2,6 +2,7 @@
 #define SCX_SCRIPT_PARSER_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "script/ast.h"
@@ -25,6 +26,12 @@ namespace scx {
 ///   factor  := number | string | colref | '(' scalar ')'
 ///   colref  := ident ('.' ident)?
 Result<AstScript> ParseScript(const std::string& source);
+
+/// Parses a batch of independently authored scripts (one AST each). Scripts
+/// are completely separate compilation units — names do not resolve across
+/// them — so a parse error in script i is reported as "script <i>: ...".
+Result<std::vector<AstScript>> ParseScriptBatch(
+    const std::vector<std::string>& sources);
 
 }  // namespace scx
 

@@ -45,6 +45,7 @@ bool MetricsEqual(const ExecMetrics& a, const ExecMetrics& b,
     return false;                                                       \
   }
   SCX_CMP(rows_extracted)
+  SCX_CMP(bytes_extracted)
   SCX_CMP(rows_shuffled)
   SCX_CMP(bytes_shuffled)
   SCX_CMP(bytes_spooled)
@@ -52,9 +53,11 @@ bool MetricsEqual(const ExecMetrics& a, const ExecMetrics& b,
   SCX_CMP(spool_executions)
   SCX_CMP(spool_reads)
   SCX_CMP(spool_cache_hits)
+  SCX_CMP(spool_bytes_evicted)
   SCX_CMP(operator_invocations)
   SCX_CMP(rows_output)
   if (same_batch_size) {
+    SCX_CMP(cross_query_spool_hits)
     SCX_CMP(batches_evaluated)
     SCX_CMP(exprs_deduped)
     SCX_CMP(rows_converted)
@@ -559,6 +562,159 @@ OracleReport DiffHarness::Check(const Catalog& catalog,
     if (out) {
       out << CorpusCaseToText(c);
       report.corpus_path = path;
+    }
+  }
+  return report;
+}
+
+namespace {
+
+/// Total data movement of one run: store reads + network + spool writes.
+/// This is the quantity batching can only shrink — a merged sub-DAG trades
+/// (K-1) repeated extractions/shuffles for one spool write of its result.
+int64_t BytesMoved(const ExecMetrics& m) {
+  return m.bytes_extracted + m.bytes_shuffled + m.bytes_spooled;
+}
+
+/// Per-path row-sorted copy of one script's demultiplexed outputs. The
+/// merged plan may legally reorder rows within an (unordered) sink — the
+/// sharing decisions change exchange shapes — so the sequential-equivalence
+/// comparison is canonical, like oracle 1; raw order is still pinned by the
+/// knob and resubmission probes, which compare merged runs to merged runs.
+std::map<std::string, std::vector<Row>> CanonicalScriptOutputs(
+    const std::map<std::string, std::vector<Row>>& outputs) {
+  std::map<std::string, std::vector<Row>> out;
+  for (const auto& [path, rows] : outputs) {
+    std::vector<Row> sorted = rows;
+    std::sort(sorted.begin(), sorted.end());
+    out.emplace(path, std::move(sorted));
+  }
+  return out;
+}
+
+}  // namespace
+
+OracleReport DiffHarness::CheckBatch(const Catalog& catalog,
+                                     const std::vector<std::string>& scripts,
+                                     uint64_t seed) const {
+  OracleReport report;
+  report.seed = seed;
+  for (size_t i = 0; i < scripts.size(); ++i) {
+    report.script +=
+        "---- script " + std::to_string(i) + " ----\n" + scripts[i];
+  }
+  auto fail = [&](const std::string& oracle, const std::string& detail) {
+    report.ok = false;
+    report.oracle = oracle;
+    report.detail = detail;
+    return report;
+  };
+
+  OptimizerConfig cfg;
+  cfg.cluster.machines = opts_.machines;
+  cfg.cluster.exec_threads = 1;
+  cfg.num_threads = 1;
+  cfg.budget_seconds = 1e9;  // see RunOracles
+
+  // Sequential arm: each script compiled, optimized (kCse), and executed
+  // alone. Engine::Execute never touches the cross-query cache, so this is
+  // exactly the single-script behaviour batching must reproduce.
+  Engine seq_engine(catalog, cfg);
+  std::vector<std::map<std::string, std::vector<Row>>> seq_outputs;
+  int64_t seq_bytes = 0;
+  for (size_t i = 0; i < scripts.size(); ++i) {
+    std::string tag = "script " + std::to_string(i) + ": ";
+    auto compiled = seq_engine.Compile(scripts[i]);
+    if (!compiled.ok()) {
+      return fail("batch-compile", tag + compiled.status().ToString());
+    }
+    auto cse = seq_engine.Optimize(*compiled, OptimizerMode::kCse);
+    if (!cse.ok()) {
+      return fail("batch-optimize", tag + cse.status().ToString());
+    }
+    auto run = seq_engine.Execute(*cse);
+    if (!run.ok()) {
+      return fail("batch-execute", tag + run.status().ToString());
+    }
+    seq_bytes += BytesMoved(*run);
+    seq_outputs.push_back(CanonicalScriptOutputs(run->outputs));
+  }
+
+  // Batched arm: one merged submission on a fresh engine (cold cache).
+  Engine batch_engine(catalog, cfg);
+  auto batch = batch_engine.SubmitBatch(scripts, OptimizerMode::kCse);
+  if (!batch.ok()) {
+    return fail("batch-execute", "merged: " + batch.status().ToString());
+  }
+  if (batch->script_outputs.size() != scripts.size()) {
+    return fail("batch-vs-sequential",
+                "merged run demultiplexed " +
+                    std::to_string(batch->script_outputs.size()) +
+                    " scripts, submitted " + std::to_string(scripts.size()));
+  }
+  for (size_t i = 0; i < scripts.size(); ++i) {
+    if (CanonicalScriptOutputs(batch->script_outputs[i]) != seq_outputs[i]) {
+      return fail("batch-vs-sequential",
+                  "script " + std::to_string(i) +
+                      ": batched outputs differ from running it alone");
+    }
+  }
+  int64_t batch_bytes = BytesMoved(batch->metrics);
+  if (batch_bytes > seq_bytes) {
+    return fail("batch-vs-sequential",
+                "batched run moved " + std::to_string(batch_bytes) +
+                    " bytes, sequential runs moved " +
+                    std::to_string(seq_bytes));
+  }
+
+  // Determinism probe: the merged run is bit-identical (outputs and every
+  // knob-invariant counter) under thread count and batch/morsel changes.
+  {
+    OptimizerConfig kcfg = cfg;
+    kcfg.cluster.exec_threads = opts_.threads;
+    kcfg.cluster.batch_size = 61;
+    kcfg.cluster.morsel_size = 53;
+    Engine knob_engine(catalog, kcfg);
+    auto knob = knob_engine.SubmitBatch(scripts, OptimizerMode::kCse);
+    if (!knob.ok()) {
+      return fail("batch-execute",
+                  "merged knob run: " + knob.status().ToString());
+    }
+    std::string why;
+    if (!MetricsEqual(batch->metrics, knob->metrics,
+                      /*same_batch_size=*/false, /*same_morsel_size=*/false,
+                      &why)) {
+      return fail("batch-determinism",
+                  "merged run diverged at threads=" +
+                      std::to_string(opts_.threads) +
+                      " batch_size=61 morsel_size=53: " + why);
+    }
+    if (knob->script_outputs != batch->script_outputs) {
+      return fail("batch-determinism",
+                  "per-script outputs diverged under knob changes");
+    }
+  }
+
+  // Resubmission probe: the same batch through the now-warm cross-query
+  // spool cache reproduces identical outputs, and actually hits the cache
+  // whenever the merged plan spools anything.
+  {
+    auto again = batch_engine.SubmitBatch(scripts, OptimizerMode::kCse);
+    if (!again.ok()) {
+      return fail("batch-execute",
+                  "resubmission: " + again.status().ToString());
+    }
+    if (again->script_outputs != batch->script_outputs) {
+      return fail("batch-vs-sequential",
+                  "resubmission through the warm cross-query cache changed "
+                  "per-script outputs");
+    }
+    if (batch->metrics.spool_executions > 0 &&
+        again->metrics.cross_query_spool_hits == 0) {
+      return fail("batch-vs-sequential",
+                  "resubmission missed the cross-query spool cache (" +
+                      std::to_string(batch->metrics.spool_executions) +
+                      " spools executed in the cold run)");
     }
   }
   return report;

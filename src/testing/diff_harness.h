@@ -76,6 +76,18 @@ class DiffHarness {
   OracleReport Check(const Catalog& catalog, const std::string& script,
                      uint64_t seed = 0) const;
 
+  /// Oracle 7, "batch-vs-sequential": submitting `scripts` through
+  /// Engine::SubmitBatch as one merged run must (a) produce per-script raw
+  /// outputs bit-identical to executing each script alone in kCse mode, (b)
+  /// move no more bytes (shuffled + spooled) than the sequential runs
+  /// combined, (c) stay bit-identical under thread-count and batch/morsel
+  /// knob changes, and (d) reproduce identical outputs on resubmission
+  /// through the warmed cross-query spool cache. Failures are reproducible
+  /// from the seed alone (no multi-script minimizer / corpus writer).
+  OracleReport CheckBatch(const Catalog& catalog,
+                          const std::vector<std::string>& scripts,
+                          uint64_t seed = 0) const;
+
   /// Minimizes `script` so that it still fails `oracle` (used by Check;
   /// exposed for replaying corpus entries and for tests).
   std::string Minimize(const Catalog& catalog, const std::string& script,

@@ -1,6 +1,7 @@
 #include "testing/script_gen.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 namespace scx {
@@ -417,10 +418,213 @@ class Generator {
   GeneratedCase out_;
 };
 
+/// Generator state for one multi-script batch. Library modules are decided
+/// once (text + input file) and spliced verbatim into every member script,
+/// so the merged memo's fingerprint pass sees structurally identical
+/// sub-DAGs across scripts. All arithmetic stays in int64 (+,-,* and
+/// Sum/Min/Max/Count), so per-script outputs are bit-exact regardless of
+/// the row order the merged plan feeds consumers in.
+class BatchGenerator {
+ public:
+  BatchGenerator(uint64_t seed, const BatchGenOptions& opts)
+      : rng_(seed ^ 0xb47cb47cb47cb47cull), opts_(opts) {
+    out_.seed = seed;
+  }
+
+  GeneratedBatch Run() {
+    int k = rng_.Int(opts_.min_scripts, opts_.max_scripts);
+    out_.scripts.assign(static_cast<size_t>(k), "");
+
+    int modules =
+        rng_.Int(opts_.min_library_modules, opts_.max_library_modules);
+    std::vector<bool> has_library(static_cast<size_t>(k), false);
+    for (int l = 0; l < modules; ++l) {
+      EmitLibraryModule(l, k, &has_library);
+    }
+    for (int i = 0; i < k; ++i) {
+      // Every script must produce at least one output; scripts outside all
+      // library member sets always get a private module.
+      if (!has_library[i] || rng_.Chance(opts_.private_module_prob)) {
+        EmitPrivateModule(i);
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void Line(int script, const std::string& s) {
+    out_.scripts[static_cast<size_t>(script)] += s + "\n";
+  }
+
+  std::string NewFile(const std::string& path, int64_t rows) {
+    std::vector<int64_t> ndvs = {
+        rng_.Pick<int64_t>({2, 4, 8, 16}),
+        rng_.Pick<int64_t>({10, 25, 50}),
+        rng_.Pick<int64_t>({2, 4, 8}),
+        rng_.Pick<int64_t>({50, 200, 500}),
+    };
+    Status s = out_.catalog.RegisterLog(path, {"A", "B", "C", "D"}, rows,
+                                        ndvs, /*data_seed=*/rng_.Next());
+    (void)s;  // paths are unique by construction
+    return path;
+  }
+
+  /// The member scripts of one library module: a deterministic shuffle of
+  /// [0, k), truncated to max(1, ceil(k * overlap)).
+  std::vector<int> PickMembers(int k) {
+    std::vector<int> order(static_cast<size_t>(k));
+    for (int i = 0; i < k; ++i) order[i] = i;
+    for (int i = k - 1; i > 0; --i) {
+      std::swap(order[i], order[rng_.Int(0, i)]);
+    }
+    int members = static_cast<int>(
+        std::ceil(static_cast<double>(k) * opts_.overlap));
+    members = std::max(1, std::min(members, k));
+    order.resize(static_cast<size_t>(members));
+    std::sort(order.begin(), order.end());
+    return order;
+  }
+
+  /// One library module: module text decided once, emitted verbatim into
+  /// every member script, followed by per-script consumers.
+  void EmitLibraryModule(int l, int k, std::vector<bool>* has_library) {
+    std::string m = "L" + std::to_string(l);
+    std::string file =
+        NewFile("lib" + std::to_string(l) + ".log", opts_.library_rows);
+
+    std::vector<std::string> keys = RandomSubset(rng_, {"A", "B", "C"});
+    if (keys.size() < 2) keys.push_back(keys[0] == "A" ? "B" : "A");
+    std::string ks = JoinNames(keys);
+    std::string fn = rng_.Pick(IntAggFns());
+    bool filtered = rng_.Chance(0.5);
+    std::string fcol = rng_.Chance(0.5) ? "D" : "C";
+    int fthresh = rng_.Int(0, 3);
+
+    std::vector<std::string> module_text;
+    module_text.push_back(m + "E = EXTRACT A,B,C,D FROM \"" + file +
+                          "\" USING LogExtractor;");
+    std::string src = m + "E";
+    if (filtered) {
+      module_text.push_back(m + "F = SELECT A,B,C,D FROM " + src +
+                            " WHERE " + fcol + " > " +
+                            std::to_string(fthresh) + ";");
+      src = m + "F";
+    }
+    std::string shared = m + "S";
+    module_text.push_back(shared + " = SELECT " + ks + "," + fn +
+                          "(D) AS S FROM " + src + " GROUP BY " + ks + ";");
+
+    for (int i : PickMembers(k)) {
+      (*has_library)[static_cast<size_t>(i)] = true;
+      for (const std::string& stmt : module_text) Line(i, stmt);
+      int consumers = rng_.Int(opts_.min_consumers, opts_.max_consumers);
+      for (int c = 0; c < consumers; ++c) {
+        EmitConsumer(i, m + "C" + std::to_string(c),
+                     "s" + std::to_string(i) + "_l" + std::to_string(l) +
+                         "_" + std::to_string(c) + ".out",
+                     shared, keys);
+      }
+    }
+  }
+
+  /// One private module for script `i`: same shape as a library module but
+  /// over a per-script file, so it can never merge across scripts.
+  void EmitPrivateModule(int i) {
+    std::string m = "P" + std::to_string(i);
+    std::string file = NewFile("p" + std::to_string(i) + ".log",
+                               rng_.Int64(opts_.min_rows, opts_.max_rows));
+    Line(i, m + "E = EXTRACT A,B,C,D FROM \"" + file +
+                "\" USING LogExtractor;");
+    std::string src = m + "E";
+    if (rng_.Chance(0.5)) {
+      Line(i, m + "F = SELECT A,B,C,D FROM " + src + " WHERE D > " +
+                  std::to_string(rng_.Int(0, 3)) + ";");
+      src = m + "F";
+    }
+    std::vector<std::string> keys = RandomSubset(rng_, {"A", "B"});
+    if (keys.empty()) keys = {"A"};
+    std::string ks = JoinNames(keys);
+    std::string shared = m + "S";
+    Line(i, shared + " = SELECT " + ks + "," + rng_.Pick(IntAggFns()) +
+                "(D) AS S FROM " + src + " GROUP BY " + ks + ";");
+    int consumers = rng_.Int(opts_.min_consumers, opts_.max_consumers);
+    for (int c = 0; c < consumers; ++c) {
+      EmitConsumer(i, m + "C" + std::to_string(c),
+                   "s" + std::to_string(i) + "_p" + std::to_string(c) +
+                       ".out",
+                   shared, keys);
+    }
+  }
+
+  /// One consumer of `shared` (schema: keys ++ {S}, all int64) in script
+  /// `i`. Three shapes: plain (optionally two-level) aggregation, repeated-
+  /// subterm arithmetic, or two aggregations joined back on their keys.
+  void EmitConsumer(int i, const std::string& base, const std::string& sink,
+                    const std::string& shared,
+                    const std::vector<std::string>& keys) {
+    double roll = static_cast<double>(rng_.Next() >> 11) * 0x1.0p-53;
+    std::vector<std::string> gb = RandomSubset(rng_, keys);
+    std::string ks = JoinNames(gb);
+
+    if (roll < 0.25) {
+      // Arithmetic consumer: a compute stage that repeats subterm `t`
+      // (sometimes operand-swapped), then integer aggregates.
+      std::vector<std::string> cols = keys;
+      cols.push_back("S");
+      const std::string a = rng_.Pick(cols);
+      const std::string b = rng_.Pick(cols);
+      const std::string gk = rng_.Pick(keys);
+      std::string t = "(" + a + "+" + b + ")";
+      std::string dup = rng_.Chance(0.5) ? "(" + b + "+" + a + ")" : t;
+      Line(i, base + "E = SELECT " + gk + "," + t + "*" + t + " AS X," +
+                  dup + "-S AS Y FROM " + shared + ";");
+      Line(i, base + " = SELECT " + gk +
+                  ",Sum(X) AS V,Min(Y) AS W FROM " + base + "E GROUP BY " +
+                  gk + ";");
+    } else if (roll < 0.45) {
+      // Join-back consumer (the S4 shape: non-independent sharing).
+      Line(i, base + "A = SELECT " + ks + ",Sum(S) AS P FROM " + shared +
+                  " GROUP BY " + ks + ";");
+      Line(i, base + "B = SELECT " + ks + ",Max(S) AS Q FROM " + shared +
+                  " GROUP BY " + ks + ";");
+      std::string sel, where;
+      for (size_t j = 0; j < gb.size(); ++j) {
+        sel += base + "A." + gb[j] + ",";
+        if (j > 0) where += " AND ";
+        where += base + "A." + gb[j] + "=" + base + "B." + gb[j];
+      }
+      Line(i, base + " = SELECT " + sel + "P,Q FROM " + base + "A," + base +
+                  "B WHERE " + where + ";");
+    } else {
+      std::string fn = rng_.Pick(IntAggFns());
+      Line(i, base + " = SELECT " + ks + "," + fn + "(S) AS V FROM " +
+                  shared + " GROUP BY " + ks + ";");
+      if (gb.size() > 1 && rng_.Chance(0.35)) {
+        std::string deep = base + "X";
+        Line(i, deep + " = SELECT " + gb[0] + ",Sum(V) AS W FROM " + base +
+                    " GROUP BY " + gb[0] + ";");
+        Line(i, "OUTPUT " + deep + " TO \"" + sink + "\";");
+        return;
+      }
+    }
+    Line(i, "OUTPUT " + base + " TO \"" + sink + "\";");
+  }
+
+  Rng rng_;
+  const BatchGenOptions& opts_;
+  GeneratedBatch out_;
+};
+
 }  // namespace
 
 GeneratedCase GenerateScript(uint64_t seed, const ScriptGenOptions& options) {
   Generator gen(seed, options);
+  return gen.Run();
+}
+
+GeneratedBatch GenerateScriptBatch(uint64_t seed,
+                                   const BatchGenOptions& options) {
+  BatchGenerator gen(seed, options);
   return gen.Run();
 }
 

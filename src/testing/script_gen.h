@@ -63,6 +63,47 @@ struct GeneratedCase {
   Catalog catalog;
 };
 
+/// Knobs of the multi-script batch generator (the cross-query CSE profile).
+/// A batch is K scripts over ONE shared catalog: some "library" modules —
+/// identical statement text in every member script, over a shared input
+/// file — plus per-script private modules. Batched submission merges the
+/// library sub-DAGs across scripts (docs/architecture.md §16).
+struct BatchGenOptions {
+  int min_scripts = 2;
+  int max_scripts = 5;
+  /// Fraction of the batch's scripts that include each library module
+  /// (members = max(1, ceil(K * overlap)); 0.0 pins each module to a single
+  /// script — no cross-script sharing, the sequential-equivalence baseline).
+  double overlap = 0.5;
+  /// Consumers of each library module WITHIN each member script. Keep >= 2:
+  /// then single-script kCse already spools the module, and batching can
+  /// only remove work (fewer spool executions and extracts), which is what
+  /// the batch-vs-sequential byte oracle asserts. With 1 in-script consumer
+  /// the merged batch may introduce a spool the per-script plans lack, and
+  /// "batched moves no more bytes" stops being a theorem.
+  int min_consumers = 2;
+  int max_consumers = 3;
+  int min_library_modules = 1;
+  int max_library_modules = 2;
+  /// Library files are bigger than private ones so the shared work is worth
+  /// sharing (the cost model must *choose* the spool, not be forced).
+  int64_t library_rows = 8000;
+  int64_t min_rows = 400;
+  int64_t max_rows = 2000;
+  /// Chance that a script gets a private (unshared) module in addition to
+  /// its library memberships. Scripts with no membership always get one
+  /// (every script must produce at least one output).
+  double private_module_prob = 0.6;
+};
+
+/// One generated batch case: K scripts plus the one catalog they all bind
+/// against.
+struct GeneratedBatch {
+  uint64_t seed = 0;
+  Catalog catalog;
+  std::vector<std::string> scripts;
+};
+
 /// Deterministically generates a valid multi-output DAG script from `seed`.
 /// The same (seed, options) pair always produces the same case, on every
 /// platform (the generator uses its own splitmix64, not std distributions).
@@ -74,6 +115,14 @@ struct GeneratedCase {
 /// tracks every intermediate result's schema and only references columns
 /// that exist.
 GeneratedCase GenerateScript(uint64_t seed, const ScriptGenOptions& options = {});
+
+/// Deterministically generates a batch of scripts sharing identical library
+/// modules, for the batch-vs-sequential oracle and the multi-query bench.
+/// All value types stay int64 (Sum/Min/Max/Count over +,-,* arithmetic), so
+/// per-script outputs are bit-exact across any plan shape the merged
+/// optimization picks.
+GeneratedBatch GenerateScriptBatch(uint64_t seed,
+                                   const BatchGenOptions& options = {});
 
 }  // namespace scx
 

@@ -1,0 +1,304 @@
+// Cross-query spool cache and batched-submission tests: resubmission hits,
+// catalog-version invalidation, eviction under byte pressure, the run-local
+// spool budget, knob-invariance of batched execution, per-script output
+// demultiplexing, and the SubmissionQueue front door.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/submission_queue.h"
+#include "exec/spool_cache.h"
+#include "testing/script_gen.h"
+#include "workload/paper_scripts.h"
+
+namespace scx {
+namespace {
+
+OptimizerConfig SmallCluster() {
+  OptimizerConfig config;
+  config.cluster.machines = 8;
+  config.cluster.exec_threads = 1;
+  config.num_threads = 1;
+  return config;
+}
+
+// Two scripts sharing the S1 aggregate's text, plus per-script private
+// consumers, so a merged submission has real cross-script sharing.
+std::vector<std::string> SharedPairScripts() {
+  return {
+      R"(
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R  = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;
+R1 = SELECT A,B,Sum(S) AS S1 FROM R GROUP BY A,B;
+R2 = SELECT B,C,Sum(S) AS S2 FROM R GROUP BY B,C;
+OUTPUT R1 TO "a1.out";
+OUTPUT R2 TO "a2.out";
+)",
+      R"(
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R  = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;
+R3 = SELECT A,C,Max(S) AS S3 FROM R GROUP BY A,C;
+R4 = SELECT A,Sum(S) AS S4 FROM R GROUP BY A;
+OUTPUT R3 TO "b1.out";
+OUTPUT R4 TO "b2.out";
+)"};
+}
+
+// Row order within unordered sinks is plan-dependent, so sequential-vs-
+// batched comparisons sort rows per path (merged-run-to-merged-run
+// comparisons stay raw).
+std::map<std::string, std::vector<Row>> Canonical(
+    const std::map<std::string, std::vector<Row>>& outputs) {
+  std::map<std::string, std::vector<Row>> canon = outputs;
+  for (auto& [path, rows] : canon) std::sort(rows.begin(), rows.end());
+  return canon;
+}
+
+TEST(CrossQueryCacheTest, ResubmissionServesFromCache) {
+  Engine engine(MakeExecutionCatalog(5000), SmallCluster());
+  auto first = engine.SubmitBatch(SharedPairScripts());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->metrics.cross_query_spool_hits, 0)
+      << "nothing was cached before the first submission";
+  EXPECT_GT(first->metrics.spool_executions, 0)
+      << "the shared aggregate should be spooled";
+
+  auto again = engine.SubmitBatch(SharedPairScripts());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_GT(again->metrics.cross_query_spool_hits, 0)
+      << "resubmitting the identical batch must hit the cross-query cache";
+  // Same engine, same merged plan: the resubmission is bit-identical.
+  ASSERT_EQ(again->script_outputs.size(), first->script_outputs.size());
+  for (size_t i = 0; i < first->script_outputs.size(); ++i) {
+    EXPECT_EQ(again->script_outputs[i], first->script_outputs[i]);
+  }
+}
+
+TEST(CrossQueryCacheTest, SingleScriptExecuteNeverTouchesCache) {
+  Engine engine(MakeExecutionCatalog(5000), SmallCluster());
+  auto batch = engine.SubmitBatch(SharedPairScripts());
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_GT(engine.spool_cache().stats().insertions, 0);
+
+  auto compiled = engine.Compile(SharedPairScripts()[0]);
+  ASSERT_TRUE(compiled.ok());
+  auto optimized = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(optimized.ok());
+  SpoolCacheStats before = engine.spool_cache().stats();
+  auto metrics = engine.Execute(*optimized);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->cross_query_spool_hits, 0);
+  SpoolCacheStats after = engine.spool_cache().stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.insertions, before.insertions)
+      << "Engine::Execute must stay bit-identical to a fresh engine, so it "
+         "can neither read nor fill the cross-query cache";
+}
+
+TEST(CrossQueryCacheTest, CatalogVersionInvalidatesEntries) {
+  OptimizerConfig config = SmallCluster();
+  Engine engine(MakeExecutionCatalog(5000), config);
+  auto compiled = engine.Compile(kScriptS1);
+  ASSERT_TRUE(compiled.ok());
+  auto optimized = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(optimized.ok());
+
+  CrossQuerySpoolCache cache(-1);  // unlimited
+  Executor warm(config.cluster, &cache, /*catalog_version=*/1);
+  auto first = warm.Execute(optimized->plan());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->cross_query_spool_hits, 0);
+  ASSERT_GT(cache.stats().insertions, 0);
+
+  // Same catalog version: served from cache.
+  Executor same(config.cluster, &cache, /*catalog_version=*/1);
+  auto hit = same.Execute(optimized->plan());
+  ASSERT_TRUE(hit.ok());
+  EXPECT_GT(hit->cross_query_spool_hits, 0);
+
+  // Bumped catalog version: every lookup misses — stale data must never
+  // serve a run against a changed catalog.
+  Executor bumped(config.cluster, &cache, /*catalog_version=*/2);
+  auto miss = bumped.Execute(optimized->plan());
+  ASSERT_TRUE(miss.ok());
+  EXPECT_EQ(miss->cross_query_spool_hits, 0);
+
+  EXPECT_EQ(hit->outputs, first->outputs);
+  EXPECT_EQ(miss->outputs, first->outputs);
+}
+
+TEST(CrossQueryCacheTest, EvictionUnderPressureKeepsResultsCorrect) {
+  OptimizerConfig config = SmallCluster();
+  Engine engine(MakeExecutionCatalog(5000), config);
+  auto compiled = engine.Compile(kScriptS1);
+  ASSERT_TRUE(compiled.ok());
+  auto optimized = engine.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(optimized.ok());
+
+  Executor reference(config.cluster);
+  auto expected = reference.Execute(optimized->plan());
+  ASSERT_TRUE(expected.ok());
+
+  CrossQuerySpoolCache tiny(1);  // one byte: every insertion must evict
+  Executor pressured(config.cluster, &tiny, /*catalog_version=*/1);
+  auto run = pressured.Execute(optimized->plan());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(tiny.stats().evictions, 0);
+  EXPECT_GT(tiny.stats().bytes_evicted, 0);
+  EXPECT_LE(tiny.stats().bytes_used, tiny.budget_bytes());
+  EXPECT_EQ(run->outputs, expected->outputs)
+      << "a cache under pressure may forget, never corrupt";
+}
+
+TEST(CrossQueryCacheTest, RunLocalBudgetDropsSpoolsNotResults) {
+  OptimizerConfig unlimited = SmallCluster();
+  unlimited.cluster.spool_cache_bytes = -1;
+  Engine reference(MakeExecutionCatalog(5000), unlimited);
+  auto compiled = reference.Compile(kScriptS2);
+  ASSERT_TRUE(compiled.ok());
+  auto optimized = reference.Optimize(*compiled, OptimizerMode::kCse);
+  ASSERT_TRUE(optimized.ok());
+  auto roomy = reference.Execute(*optimized);
+  ASSERT_TRUE(roomy.ok());
+  EXPECT_EQ(roomy->spool_bytes_evicted, 0);
+
+  OptimizerConfig strapped = SmallCluster();
+  strapped.cluster.spool_cache_bytes = 1;
+  Engine engine(MakeExecutionCatalog(5000), strapped);
+  auto c2 = engine.Compile(kScriptS2);
+  ASSERT_TRUE(c2.ok());
+  auto o2 = engine.Optimize(*c2, OptimizerMode::kCse);
+  ASSERT_TRUE(o2.ok());
+  auto squeezed = engine.Execute(*o2);
+  ASSERT_TRUE(squeezed.ok()) << squeezed.status().ToString();
+  EXPECT_GT(squeezed->spool_bytes_evicted, 0)
+      << "a one-byte run-local budget cannot retain any spool";
+  EXPECT_EQ(squeezed->outputs, roomy->outputs);
+}
+
+TEST(CrossQueryCacheTest, BatchedOutputsInvariantAcrossExecutionKnobs) {
+  GeneratedBatch batch = GenerateScriptBatch(3);
+  ASSERT_GE(batch.scripts.size(), 2u);
+
+  // Sequential reference at the default knobs, canonical per-script.
+  std::vector<std::map<std::string, std::vector<Row>>> expected;
+  {
+    Engine engine(batch.catalog, SmallCluster());
+    for (const std::string& script : batch.scripts) {
+      auto compiled = engine.Compile(script);
+      ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+      auto optimized = engine.Optimize(*compiled, OptimizerMode::kCse);
+      ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+      auto metrics = engine.Execute(*optimized);
+      ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+      expected.push_back(Canonical(metrics->outputs));
+    }
+  }
+
+  for (int threads : {1, 4}) {
+    for (int batch_size : {1, 64}) {
+      for (int morsel : {0, 7}) {
+        OptimizerConfig config = SmallCluster();
+        config.cluster.exec_threads = threads;
+        config.cluster.batch_size = batch_size;
+        config.cluster.morsel_size = morsel;
+        Engine engine(batch.catalog, config);
+        auto merged = engine.SubmitBatch(batch.scripts);
+        ASSERT_TRUE(merged.ok())
+            << "threads=" << threads << " batch=" << batch_size
+            << " morsel=" << morsel << ": " << merged.status().ToString();
+        ASSERT_EQ(merged->script_outputs.size(), expected.size());
+        for (size_t i = 0; i < expected.size(); ++i) {
+          EXPECT_EQ(Canonical(merged->script_outputs[i]), expected[i])
+              << "script " << i << " diverged at threads=" << threads
+              << " batch=" << batch_size << " morsel=" << morsel;
+        }
+      }
+    }
+  }
+}
+
+TEST(CrossQueryCacheTest, CollidingOutputPathsDemuxPerScript) {
+  // Both scripts write "report.out", with different contents. Provenance
+  // tagging must keep the sinks separate and demux each back to its script.
+  std::vector<std::string> scripts = {
+      R"(
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R  = SELECT A,Sum(D) AS S FROM R0 GROUP BY A;
+OUTPUT R TO "report.out";
+)",
+      R"(
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R  = SELECT B,Max(D) AS M FROM R0 GROUP BY B;
+OUTPUT R TO "report.out";
+)"};
+  Engine engine(MakeExecutionCatalog(5000), SmallCluster());
+  auto merged = engine.SubmitBatch(scripts);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ASSERT_EQ(merged->script_outputs.size(), 2u);
+  ASSERT_EQ(merged->script_outputs[0].count("report.out"), 1u);
+  ASSERT_EQ(merged->script_outputs[1].count("report.out"), 1u);
+
+  for (size_t i = 0; i < scripts.size(); ++i) {
+    Engine alone(MakeExecutionCatalog(5000), SmallCluster());
+    auto compiled = alone.Compile(scripts[i]);
+    ASSERT_TRUE(compiled.ok());
+    auto optimized = alone.Optimize(*compiled, OptimizerMode::kCse);
+    ASSERT_TRUE(optimized.ok());
+    auto metrics = alone.Execute(*optimized);
+    ASSERT_TRUE(metrics.ok());
+    EXPECT_EQ(Canonical(merged->script_outputs[i]),
+              Canonical(metrics->outputs))
+        << "script " << i;
+  }
+}
+
+TEST(CrossQueryCacheTest, SubmissionQueueFlushPreservesTicketOrder) {
+  Engine engine(MakeExecutionCatalog(5000), SmallCluster());
+  SubmissionQueue queue(&engine, /*max_batch=*/32);
+  std::vector<std::string> scripts = SharedPairScripts();
+  EXPECT_EQ(queue.Enqueue(scripts[0]), 0u);
+  EXPECT_EQ(queue.Enqueue(scripts[1]), 1u);
+  EXPECT_EQ(queue.pending(), 2u);
+
+  auto flushed = queue.Flush();
+  ASSERT_TRUE(flushed.ok()) << flushed.status().ToString();
+  EXPECT_EQ(queue.pending(), 0u);
+  ASSERT_EQ(flushed->script_outputs.size(), 2u);
+  // Ticket k's outputs carry script k's paths.
+  EXPECT_EQ(flushed->script_outputs[0].count("a1.out"), 1u);
+  EXPECT_EQ(flushed->script_outputs[1].count("b1.out"), 1u);
+
+  auto empty = queue.Flush();
+  EXPECT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CrossQueryCacheTest, SubmissionQueueAutoFlushesAtCapacity) {
+  Engine engine(MakeExecutionCatalog(5000), SmallCluster());
+  SubmissionQueue queue(&engine, /*max_batch=*/2);
+  std::vector<std::string> scripts = SharedPairScripts();
+  queue.Enqueue(scripts[0]);
+  queue.Enqueue(scripts[1]);
+  EXPECT_EQ(queue.pending(), 2u);
+  EXPECT_TRUE(queue.TakeAutoFlushed().empty());
+
+  // The enqueue that would exceed max_batch flushes the full queue first,
+  // then admits the newcomer with a fresh ticket 0.
+  EXPECT_EQ(queue.Enqueue(scripts[0]), 0u);
+  EXPECT_EQ(queue.pending(), 1u);
+  auto flushed = queue.TakeAutoFlushed();
+  ASSERT_EQ(flushed.size(), 1u);
+  ASSERT_TRUE(flushed[0].ok()) << flushed[0].status().ToString();
+  EXPECT_EQ(flushed[0]->script_outputs.size(), 2u);
+  EXPECT_TRUE(queue.TakeAutoFlushed().empty());
+}
+
+}  // namespace
+}  // namespace scx

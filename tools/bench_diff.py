@@ -6,6 +6,7 @@ Usage:
     tools/bench_diff.py --fast-vs-traced BENCH_opt_cache.json [--threshold 0.10]
     tools/bench_diff.py --batch-vs-row BENCH_exec.json [--threshold 0.10]
     tools/bench_diff.py --morsel-vs-partition BENCH_exec.json [--threshold 0.10]
+    tools/bench_diff.py --batched-vs-sequential BENCH_multiquery.json
 
 Both files must come from the same benchmark binary (bench/opt_parallel,
 bench/opt_cache, or bench/exec_throughput). Every rate metric (keys ending in
@@ -29,6 +30,15 @@ the morsel-grained run must not run slower than the one-morsel-per-partition
 baseline beyond ``--threshold``, and the two must have been bit-identical
 (``morsel_identical``) — the determinism-plus-overhead gate of the morsel
 scheduler.
+
+``--batched-vs-sequential`` gates within a single BENCH_multiquery.json: per
+grid cell, the batched submission must never move more bytes
+(extracted + shuffled + spooled) than running the same scripts one at a
+time, per-script outputs must match running alone (``outputs_identical``),
+and where library overlap is >= 70% the summed sequential plan cost must be
+at least 1.3x the merged plan's — the payoff gate of cross-query CSE. The
+byte and identity checks ignore ``--threshold``: they are theorems of the
+merged optimization, not noisy rates.
 """
 
 import argparse
@@ -197,6 +207,56 @@ def morsel_vs_partition(path, threshold):
     return 0
 
 
+def batched_vs_sequential(path):
+    """Gate: one merged batch must beat running its scripts one at a time."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"bench_diff: cannot read {path}: {err}")
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        sys.exit(f"bench_diff: {path} has no 'cells' array "
+                 "(expected a BENCH_multiquery.json)")
+
+    failures = []
+    print(f"{'cell':<10} {'seq bytes':>14} {'batch bytes':>14} "
+          f"{'cost ratio':>11}")
+    for entry in cells:
+        name = entry.get("name", "?")
+        seq = entry.get("sequential", {}).get("bytes_moved")
+        batch = entry.get("batched", {}).get("bytes_moved")
+        ratio = entry.get("cost_ratio")
+        overlap = entry.get("overlap", 0.0)
+        if seq is None or batch is None or ratio is None:
+            sys.exit(f"bench_diff: cell {name} lacks bytes_moved/cost_ratio "
+                     "(rerun bench/multi_query)")
+        marker = ""
+        if batch > seq:
+            failures.append((name, f"batched moved {batch - seq} more bytes "
+                             "than sequential"))
+            marker = "  << MORE-BYTES"
+        if not entry.get("outputs_identical", False):
+            failures.append((name, "batched outputs diverged from running "
+                             "each script alone"))
+            marker += "  << DIVERGED"
+        if overlap >= 0.7 and ratio < 1.3:
+            failures.append((name, f"cost ratio {ratio:.2f}x < 1.3x at "
+                             f"{overlap:.0%} overlap"))
+            marker += "  << NO-PAYOFF"
+        print(f"{name:<10} {seq:>14} {batch:>14} {ratio:>10.2f}x{marker}")
+
+    if failures:
+        print(f"\nbatched submission failed the sequential-baseline gate on "
+              f"{len(failures)} count(s):")
+        for name, why in failures:
+            print(f"  {name}: {why}")
+        return 1
+    print(f"\nbatched <= sequential bytes, identical outputs, and >= 1.3x "
+          f"cheaper at high overlap on all {len(cells)} cells")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="flag >threshold throughput regressions between two "
@@ -215,12 +275,18 @@ def main():
     parser.add_argument("--morsel-vs-partition", action="store_true",
                         help="gate morsel vs whole-partition script rates "
                              "within one BENCH_exec.json")
+    parser.add_argument("--batched-vs-sequential", action="store_true",
+                        help="gate batched vs per-script-sequential bytes, "
+                             "identity and cost within one "
+                             "BENCH_multiquery.json")
     args = parser.parse_args()
 
-    gates = [args.fast_vs_traced, args.batch_vs_row, args.morsel_vs_partition]
+    gates = [args.fast_vs_traced, args.batch_vs_row, args.morsel_vs_partition,
+             args.batched_vs_sequential]
     if sum(gates) > 1:
-        parser.error("--fast-vs-traced, --batch-vs-row and "
-                     "--morsel-vs-partition are exclusive")
+        parser.error("--fast-vs-traced, --batch-vs-row, "
+                     "--morsel-vs-partition and --batched-vs-sequential "
+                     "are exclusive")
     if any(gates):
         if args.current is not None:
             parser.error("single-file gates take exactly one JSON file")
@@ -228,6 +294,8 @@ def main():
             return fast_vs_traced(args.baseline, args.threshold)
         if args.batch_vs_row:
             return batch_vs_row(args.baseline, args.threshold)
+        if args.batched_vs_sequential:
+            return batched_vs_sequential(args.baseline)
         return morsel_vs_partition(args.baseline, args.threshold)
     if args.current is None:
         parser.error("two files required unless a single-file gate is given")

@@ -5,12 +5,16 @@
 // Usage:
 //   scx_cli --catalog CATFILE --script SCRIPTFILE
 //           [--mode conv|naive|cse] [--machines N] [--budget SECONDS]
-//           [--threads N] [--batch N] [--compare] [--execute] [--quiet]
+//           [--threads N] [--batch N] [--spool-cache BYTES]
+//           [--compare] [--execute] [--quiet]
 //
 // --batch sets the executor's rows-per-batch (0 = default / SCX_BATCH_SIZE
-// env; 1 = the exact legacy row-at-a-time path). With --json --execute the
-// output gains an "execution" object carrying every ExecMetrics counter,
-// including batches_evaluated and exprs_deduped.
+// env; 1 = the exact legacy row-at-a-time path). --spool-cache bounds the
+// bytes held for spooled intermediates (0 = default / SCX_SPOOL_CACHE_BYTES
+// env / 256 MiB; negative = unlimited); evictions surface as
+// spool_bytes_evicted. With --json --execute the output gains an
+// "execution" object carrying every ExecMetrics counter, including
+// batches_evaluated, exprs_deduped, and spool_bytes_evicted.
 //
 // Catalog file format (one file per line, '#' comments; see
 // testing/catalog_text.h):
@@ -122,6 +126,11 @@ int Main(int argc, char** argv) {
         return 2;
       }
       config.cluster.morsel_size = n;
+    } else if (arg == "--spool-cache") {
+      // Byte budget for spooled intermediates (run-local and cross-query).
+      // 0 = default (SCX_SPOOL_CACHE_BYTES or 256 MiB), negative =
+      // unlimited.
+      config.cluster.spool_cache_bytes = std::atoll(next());
     } else if (arg == "--compare") {
       compare = true;
     } else if (arg == "--execute") {
@@ -134,8 +143,8 @@ int Main(int argc, char** argv) {
       std::printf(
           "usage: scx_cli --catalog FILE --script FILE [--mode conv|naive|"
           "cse]\n              [--machines N] [--budget S] [--threads N] "
-          "[--batch N] [--morsel N]\n              [--compare] [--execute] "
-          "[--quiet] [--json]\n");
+          "[--batch N] [--morsel N]\n              [--spool-cache BYTES] "
+          "[--compare] [--execute] [--quiet] [--json]\n");
       return 0;
     } else {
       std::fprintf(stderr, "scx: unknown flag %s (try --help)\n",
@@ -218,9 +227,13 @@ int Main(int argc, char** argv) {
                 static_cast<long long>(metrics->bytes_spooled));
     std::printf("  rows spooled   : %lld\n",
                 static_cast<long long>(metrics->rows_spooled));
-    std::printf("  spool reads    : %lld (%lld from cache)\n",
+    std::printf("  spool reads    : %lld (%lld from cache, %lld cross-"
+                "query)\n",
                 static_cast<long long>(metrics->spool_reads),
-                static_cast<long long>(metrics->spool_cache_hits));
+                static_cast<long long>(metrics->spool_cache_hits),
+                static_cast<long long>(metrics->cross_query_spool_hits));
+    std::printf("  spool evicted  : %lld bytes\n",
+                static_cast<long long>(metrics->spool_bytes_evicted));
     std::printf("  batches        : %lld evaluated, %lld exprs deduped\n",
                 static_cast<long long>(metrics->batches_evaluated),
                 static_cast<long long>(metrics->exprs_deduped));

@@ -19,7 +19,11 @@
 // arithmetic, stressing expression-CSE and the batch kernels) | pipeline
 // (every consumer is a deep filter->compute->...->aggregate chain over the
 // shared node, stressing the batch pipeline's fused cross-stage schedules
-// and shared spool reads through all five oracles).
+// and shared spool reads through all five oracles) | multiquery (each
+// iteration generates a BATCH of scripts with shared library modules and
+// checks the batch-vs-sequential oracle: merged submission is bit-identical
+// per script to running each alone, moves no more bytes, and is invariant
+// to thread/batch/morsel knobs and to cross-query cache warmth).
 //
 // Exit code: 0 when every iteration and replay passed, 1 on any oracle
 // failure, 2 on usage errors.
@@ -71,6 +75,8 @@ int Main(int argc, char** argv) {
   HarnessOptions harness_opts;
   harness_opts.machines = 8;
   ScriptGenOptions gen_opts;
+  BatchGenOptions batch_opts;
+  bool multiquery = false;
   std::vector<std::string> replays;
   std::vector<uint64_t> replay_seeds;
   bool quiet = false;
@@ -110,6 +116,8 @@ int Main(int argc, char** argv) {
         gen_opts.force_expr_consumers = true;
       } else if (profile == "pipeline") {
         gen_opts.force_pipeline_consumers = true;
+      } else if (profile == "multiquery") {
+        multiquery = true;
       } else if (profile != "default") {
         std::fprintf(stderr, "scx_fuzz: unknown profile '%s'\n",
                      profile.c_str());
@@ -122,8 +130,8 @@ int Main(int argc, char** argv) {
           "usage: scx_fuzz [--seed N] [--iters N] [--threads N] "
           "[--machines N]\n                [--minimize|--no-minimize] "
           "[--corpus DIR]\n                [--profile default|single|empty|"
-          "dup|expr|pipeline] [--replay FILE]...\n                "
-          "[--replay-seed N]... [--quiet]\n");
+          "dup|expr|pipeline|multiquery]\n                [--replay FILE]..."
+          " [--replay-seed N]... [--quiet]\n");
       return 0;
     } else {
       std::fprintf(stderr, "scx_fuzz: unknown flag %s (try --help)\n",
@@ -166,12 +174,21 @@ int Main(int argc, char** argv) {
 
   DiffHarness harness(harness_opts);
 
+  // One multiquery iteration = one generated batch through the
+  // batch-vs-sequential oracle (reproducible from the seed alone).
+  auto check_one = [&](uint64_t seed) {
+    if (multiquery) {
+      GeneratedBatch batch = GenerateScriptBatch(seed, batch_opts);
+      return harness.CheckBatch(batch.catalog, batch.scripts, seed);
+    }
+    GeneratedCase generated = GenerateScript(seed, gen_opts);
+    return harness.Check(generated.catalog, generated.script, seed);
+  };
+
   // Re-run exact per-script seeds (the values printed in failure reports),
   // bypassing DeriveSeed.
   for (uint64_t seed : replay_seeds) {
-    GeneratedCase generated = GenerateScript(seed, gen_opts);
-    OracleReport report =
-        harness.Check(generated.catalog, generated.script, seed);
+    OracleReport report = check_one(seed);
     if (!report.ok) {
       PrintFailure(report);
       ++failures;
@@ -183,16 +200,15 @@ int Main(int argc, char** argv) {
 
   for (long i = 0; i < iters; ++i) {
     uint64_t seed = DeriveSeed(base_seed, static_cast<uint64_t>(i));
-    GeneratedCase generated = GenerateScript(seed, gen_opts);
-    OracleReport report =
-        harness.Check(generated.catalog, generated.script, seed);
+    OracleReport report = check_one(seed);
     if (!report.ok) {
       PrintFailure(report);
       ++failures;
     }
     if (!quiet && iters >= 20 && (i + 1) % (iters / 10) == 0) {
-      std::printf("scx_fuzz: %ld/%ld scripts checked, %d failure%s\n",
-                  i + 1, iters, failures, failures == 1 ? "" : "s");
+      std::printf("scx_fuzz: %ld/%ld %s checked, %d failure%s\n",
+                  i + 1, iters, multiquery ? "batches" : "scripts",
+                  failures, failures == 1 ? "" : "s");
       std::fflush(stdout);
     }
   }
