@@ -20,6 +20,12 @@ struct ColumnStats {
   int64_t distinct_count = 1000;
   /// Average serialized width in bytes.
   int64_t avg_width = 8;
+  /// Power-law key skew of the synthetic data: 0 (default) keeps the exact
+  /// legacy uniform draw (hash % distinct_count); alpha > 0 draws key
+  /// floor(distinct_count * u^(1+alpha)) so low-numbered keys are hot and
+  /// hash-partitioned work piles onto a few machines (hostile-cluster
+  /// simulation, docs/architecture.md §17). Seed-deterministic either way.
+  double skew_alpha = 0;
 };
 
 /// Metadata and statistics for a registered input file. The paper's scripts

@@ -1,14 +1,82 @@
 #ifndef SCX_COST_COST_MODEL_H_
 #define SCX_COST_COST_MODEL_H_
 
+#include <cstdint>
 #include <map>
 #include <vector>
 
+#include "common/hash.h"
 #include "memo/memo.h"
 #include "plan/column_registry.h"
 #include "props/physical_props.h"
 
 namespace scx {
+
+/// One deterministic machine-failure event: partition `machine` of the
+/// operator pass with id `pass` (the value of
+/// ExecMetrics::operator_invocations when the pass starts, 1-based) loses its
+/// output and must be recovered.
+struct FaultEvent {
+  int64_t pass = 0;
+  int machine = 0;
+};
+
+/// Seeded adversarial-cluster description carried by ClusterConfig. All
+/// decisions are pure functions of (seed, pass, machine), so a FaultPlan is
+/// bit-reproducible across thread counts, batch sizes and morsel sizes. The
+/// executor's recovery contract (docs/architecture.md §17): for any FaultPlan
+/// the outputs and every pre-existing ExecMetrics counter are bit-identical
+/// to the clean run — faults only add to the fault/recovery counters.
+/// Ignored by the cost model and the optimizer.
+struct FaultPlan {
+  /// Seed for the probabilistic failure / straggler draws. The plan is
+  /// inert unless Enabled().
+  uint64_t seed = 0;
+  /// Per-(pass, machine) probability that the partition's output is lost.
+  double failure_prob = 0;
+  /// Cap on injected failures per execution (probabilistic and explicit
+  /// combined); 0 = unlimited. Applied in deterministic DAG-walk order.
+  int max_failures = 0;
+  /// Explicit deterministic failures, checked before the probabilistic draw.
+  std::vector<FaultEvent> failures;
+  /// Per-machine probability of being a straggler for the whole run.
+  double straggler_prob = 0;
+  /// Simulated-time delay multiplier applied to straggler machines
+  /// (feeds ExecMetrics::sim_makespan_ticks only; never changes results).
+  double straggler_factor = 1.0;
+  /// Forbid recovery from re-reading surviving spools (run-local or
+  /// cross-query): every recovery recomputes the lost sub-DAG from scratch.
+  /// The pure-recomputation arm of scxcheck oracle 9.
+  bool disable_recovery_spool_reads = false;
+
+  bool Enabled() const {
+    return failure_prob > 0 || !failures.empty() || straggler_prob > 0 ||
+           disable_recovery_spool_reads;
+  }
+
+  /// True iff partition `machine` of pass `pass` fails (before the
+  /// executor's max_failures cap). Explicit events win; otherwise a
+  /// deterministic Bernoulli draw on (seed, pass, machine).
+  bool FailsAt(int64_t pass, int machine) const {
+    for (const FaultEvent& e : failures) {
+      if (e.pass == pass && e.machine == machine) return true;
+    }
+    if (failure_prob <= 0) return false;
+    uint64_t h = Mix64(seed ^ Mix64(static_cast<uint64_t>(pass) * 0x517cc1b727220a95ULL ^
+                                    (static_cast<uint64_t>(machine) + 1)));
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return u < failure_prob;
+  }
+
+  /// Simulated-delay multiplier of `machine` (>= 1.0; constant per run).
+  double StragglerMultiplier(int machine) const {
+    if (straggler_prob <= 0 || straggler_factor <= 1.0) return 1.0;
+    uint64_t h = Mix64(seed ^ 0x2545f4914f6cdd1dULL ^
+                       Mix64(static_cast<uint64_t>(machine) + 1));
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return u < straggler_prob ? straggler_factor : 1.0;
+  }
+};
 
 /// Static cluster description used by the cost model and the simulator.
 struct ClusterConfig {
@@ -36,6 +104,11 @@ struct ClusterConfig {
   /// unlimited. Eviction is cost-aware and deterministic (see
   /// docs/architecture.md §16). Ignored by the cost model.
   int64_t spool_cache_bytes = 0;
+  /// Adversarial-cluster simulation: seeded machine failures and stragglers
+  /// with spool-based recovery. Inert (and free) unless fault_plan.Enabled().
+  /// Never changes outputs or pre-existing counters — see
+  /// docs/architecture.md §17. Ignored by the cost model.
+  FaultPlan fault_plan;
 };
 
 /// Per-byte cost constants. Units are abstract "cost units" (the paper also

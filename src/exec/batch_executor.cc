@@ -434,6 +434,123 @@ bool IsChainOp(PhysicalOpKind kind) {
 
 Result<BatchData> Executor::EvalBatch(const PhysicalNodePtr& node,
                                       ExecMetrics* metrics) {
+  if (!fault_enabled_ || in_recovery_) return EvalBatchInner(node, metrics);
+  // Pass ids are pre-order, captured before the children consume ids —
+  // mirrors Eval (executor.cc). Fused chain interiors share their head's
+  // pass: the chain is one failure domain, like one SCOPE stage.
+  int64_t pass = metrics->operator_invocations + 1;
+  SCX_ASSIGN_OR_RETURN(BatchData out, EvalBatchInner(node, metrics));
+  SCX_RETURN_IF_ERROR(InjectFaultsBatch(node, pass, &out, metrics));
+  return out;
+}
+
+Status Executor::InjectFaultsBatch(const PhysicalNodePtr& node, int64_t pass,
+                                   BatchData* out, ExecMetrics* metrics) {
+  const FaultPlan& plan = cluster_.fault_plan;
+  int64_t slowest = 0;
+  for (size_t m = 0; m < out->partitions.size(); ++m) {
+    double ticks = static_cast<double>(out->partitions[m].LiveRows()) *
+                   plan.StragglerMultiplier(static_cast<int>(m));
+    slowest = std::max(slowest, static_cast<int64_t>(ticks));
+  }
+  metrics->sim_makespan_ticks += slowest;
+  if (node->kind == PhysicalOpKind::kOutput ||
+      node->kind == PhysicalOpKind::kSequence) {
+    return Status();
+  }
+  for (size_t m = 0; m < out->partitions.size(); ++m) {
+    if (!plan.FailsAt(pass, static_cast<int>(m))) continue;
+    if (plan.max_failures > 0 &&
+        metrics->machine_failures_injected >= plan.max_failures) {
+      break;
+    }
+    ++metrics->machine_failures_injected;
+    out->partitions[m] = BatchPartition();  // the machine's output is gone
+    SCX_RETURN_IF_ERROR(RecoverPartitionBatch(node, m, out, metrics));
+  }
+  return Status();
+}
+
+Status Executor::RecoverPartitionBatch(const PhysicalNodePtr& node, size_t m,
+                                       BatchData* out, ExecMetrics* metrics) {
+  const FaultPlan& plan = cluster_.fault_plan;
+  ++metrics->partitions_recovered;
+  if (node->kind == PhysicalOpKind::kSpool &&
+      !plan.disable_recovery_spool_reads) {
+    // Re-read the surviving spool (durable storage): sharing the entry's
+    // immutable columns restores the partition without copying a cell. The
+    // cross-query peek pins its entry so a concurrent insertion cannot
+    // evict it mid-read, and bumps no reuse count (fault-vs-clean identity).
+    auto it = batch_spool_cache_.find(node.get());
+    if (it != batch_spool_cache_.end() && m < it->second.partitions.size()) {
+      out->partitions[m] = it->second.partitions[m];
+      ++metrics->recovery_spool_hits;
+      return Status();
+    }
+    if (cross_cache_ != nullptr) {
+      CrossQuerySpoolCache::PinnedEntry pin =
+          cross_cache_->Pin(CrossKeyFor(*node, /*batch=*/true));
+      if (pin && m < pin.batch().partitions.size()) {
+        out->partitions[m] = pin.batch().partitions[m];
+        ++metrics->recovery_spool_hits;
+        return Status();
+      }
+    }
+  }
+  // Deterministic side-effect-free recomputation — see RecoverPartition
+  // (executor.cc) for the contract.
+  ExecMetrics scratch;
+  in_recovery_ = true;
+  auto recomputed = EvalBatchInner(node, &scratch);
+  in_recovery_ = false;
+  recovery_overlay_.clear();
+  recovery_batch_overlay_.clear();
+  if (!recomputed.ok()) return recomputed.status();
+  metrics->rows_recomputed += recomputed->TotalLiveRows();
+  metrics->recovery_spool_hits += scratch.spool_cache_hits;
+  metrics->recovery_bytes_moved += scratch.bytes_extracted +
+                                   scratch.bytes_shuffled +
+                                   scratch.bytes_spooled;
+  if (m < recomputed->partitions.size()) {
+    out->partitions[m] = std::move(recomputed->partitions[m]);
+  }
+  return Status();
+}
+
+Result<BatchData> Executor::RecoverySpoolBatch(const PhysicalNodePtr& node,
+                                               ExecMetrics* scratch) {
+  const bool allow_reads = !cluster_.fault_plan.disable_recovery_spool_reads;
+  if (allow_reads) {
+    auto it = batch_spool_cache_.find(node.get());
+    if (it != batch_spool_cache_.end()) {
+      ++scratch->spool_reads;
+      ++scratch->spool_cache_hits;  // folded into recovery_spool_hits
+      return it->second;
+    }
+  }
+  auto ov = recovery_batch_overlay_.find(node.get());
+  if (ov != recovery_batch_overlay_.end()) {
+    ++scratch->spool_reads;
+    return ov->second;
+  }
+  if (allow_reads && cross_cache_ != nullptr) {
+    CrossQuerySpoolCache::PinnedEntry pin =
+        cross_cache_->Pin(CrossKeyFor(*node, /*batch=*/true));
+    if (pin) {
+      ++scratch->spool_reads;
+      ++scratch->spool_cache_hits;
+      BatchData data = pin.batch();  // shares immutable columns
+      recovery_batch_overlay_[node.get()] = data;
+      return data;
+    }
+  }
+  SCX_ASSIGN_OR_RETURN(BatchData in, EvalBatch(node->children[0], scratch));
+  recovery_batch_overlay_[node.get()] = in;
+  return in;
+}
+
+Result<BatchData> Executor::EvalBatchInner(const PhysicalNodePtr& node,
+                                           ExecMetrics* metrics) {
   ++metrics->operator_invocations;
   switch (node->kind) {
     case PhysicalOpKind::kExtract:
@@ -489,6 +606,9 @@ Result<BatchData> Executor::EvalBatch(const PhysicalNodePtr& node,
     }
 
     case PhysicalOpKind::kSpool: {
+      // Recovery recomputation must not mutate spool bookkeeping (caches,
+      // reuse counts, budget): reroute to the read-only recovery path.
+      if (in_recovery_) return RecoverySpoolBatch(node, metrics);
       auto it = batch_spool_cache_.find(node.get());
       if (it != batch_spool_cache_.end()) {
         ++metrics->spool_reads;

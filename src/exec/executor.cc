@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <iterator>
 #include <sstream>
 #include <utility>
@@ -94,7 +95,13 @@ std::string ExecMetricsToJson(const ExecMetrics& m) {
      << ",\"rows_converted\":" << m.rows_converted
      << ",\"batch_pipeline_breaks\":" << m.batch_pipeline_breaks
      << ",\"morsels_evaluated\":" << m.morsels_evaluated
-     << ",\"morsel_steal_count\":" << m.morsel_steal_count << "}";
+     << ",\"morsel_steal_count\":" << m.morsel_steal_count
+     << ",\"machine_failures_injected\":" << m.machine_failures_injected
+     << ",\"partitions_recovered\":" << m.partitions_recovered
+     << ",\"rows_recomputed\":" << m.rows_recomputed
+     << ",\"recovery_spool_hits\":" << m.recovery_spool_hits
+     << ",\"recovery_bytes_moved\":" << m.recovery_bytes_moved
+     << ",\"sim_makespan_ticks\":" << m.sim_makespan_ticks << "}";
   return os.str();
 }
 
@@ -108,6 +115,16 @@ Value SyntheticValue(const FileDef& file, int col_index, int64_t row_index) {
                      static_cast<uint64_t>(row_index));
   uint64_t domain = static_cast<uint64_t>(std::max<int64_t>(1, cs.distinct_count));
   uint64_t k = h % domain;
+  if (cs.skew_alpha > 0) {
+    // Power-law draw: key floor(domain * u^(1+alpha)) for u uniform in
+    // [0, 1) — low keys are hot, and hotter the larger alpha. alpha == 0
+    // keeps the exact legacy modulo draw above (bit-identity for every
+    // pre-existing catalog).
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    double scaled =
+        std::pow(u, 1.0 + cs.skew_alpha) * static_cast<double>(domain);
+    k = std::min(domain - 1, static_cast<uint64_t>(scaled));
+  }
   switch (cs.type) {
     case DataType::kInt64:
       return Value::Int(static_cast<int64_t>(k) + 1);
@@ -221,6 +238,10 @@ Result<ExecMetrics> Executor::Execute(const PhysicalNodePtr& plan) {
   run_spool_bytes_ = 0;
   spool_seq_ = 0;
   spool_budget_ = ResolveSpoolBudget(cluster_.spool_cache_bytes);
+  fault_enabled_ = cluster_.fault_plan.Enabled();
+  in_recovery_ = false;
+  recovery_overlay_.clear();
+  recovery_batch_overlay_.clear();
   if (batch_size_ > 1) {
     batch_spool_cache_.clear();
     SCX_ASSIGN_OR_RETURN(BatchData ignored, EvalBatch(plan, &metrics));
@@ -284,6 +305,131 @@ void Executor::TrackSpoolRead(const PhysicalNode* node) {
 
 Result<PartitionedData> Executor::Eval(const PhysicalNodePtr& node,
                                        ExecMetrics* metrics) {
+  if (!fault_enabled_ || in_recovery_) return EvalInner(node, metrics);
+  // Pass ids are pre-order: the id EvalInner assigns to this node before it
+  // descends into its children. Captured here so the failure decision never
+  // depends on how many passes the children consumed.
+  int64_t pass = metrics->operator_invocations + 1;
+  SCX_ASSIGN_OR_RETURN(PartitionedData out, EvalInner(node, metrics));
+  SCX_RETURN_IF_ERROR(InjectFaults(node, pass, &out, metrics));
+  return out;
+}
+
+Status Executor::InjectFaults(const PhysicalNodePtr& node, int64_t pass,
+                              PartitionedData* out, ExecMetrics* metrics) {
+  const FaultPlan& plan = cluster_.fault_plan;
+  // Simulated makespan of this pass: the slowest machine, with stragglers
+  // running straggler_factor x slower. A function of the plan, the data and
+  // the pass structure only — identical across threads and morsel sizes.
+  int64_t slowest = 0;
+  for (size_t m = 0; m < out->partitions.size(); ++m) {
+    double ticks = static_cast<double>(out->partitions[m].size()) *
+                   plan.StragglerMultiplier(static_cast<int>(m));
+    slowest = std::max(slowest, static_cast<int64_t>(ticks));
+  }
+  metrics->sim_makespan_ticks += slowest;
+  // Output has already moved its rows into the metrics sink and Sequence
+  // carries no data: nothing a machine failure could lose.
+  if (node->kind == PhysicalOpKind::kOutput ||
+      node->kind == PhysicalOpKind::kSequence) {
+    return Status();
+  }
+  for (size_t m = 0; m < out->partitions.size(); ++m) {
+    if (!plan.FailsAt(pass, static_cast<int>(m))) continue;
+    if (plan.max_failures > 0 &&
+        metrics->machine_failures_injected >= plan.max_failures) {
+      break;
+    }
+    ++metrics->machine_failures_injected;
+    out->partitions[m].clear();  // the machine's output is gone
+    SCX_RETURN_IF_ERROR(RecoverPartition(node, m, out, metrics));
+  }
+  return Status();
+}
+
+Status Executor::RecoverPartition(const PhysicalNodePtr& node, size_t m,
+                                  PartitionedData* out, ExecMetrics* metrics) {
+  const FaultPlan& plan = cluster_.fault_plan;
+  ++metrics->partitions_recovered;
+  if (node->kind == PhysicalOpKind::kSpool &&
+      !plan.disable_recovery_spool_reads) {
+    // The spool's materialization is durable storage: the failed machine
+    // only lost its in-flight copy. Re-read the surviving spool — run-local
+    // first, then the cross-query cache via a pinned zero-copy peek (the pin
+    // keeps concurrent insertions from evicting the entry mid-read; no reuse
+    // bump, so future eviction victims match the clean run).
+    auto it = spool_cache_.find(node.get());
+    if (it != spool_cache_.end() && m < it->second.partitions.size()) {
+      out->partitions[m] = it->second.partitions[m];
+      ++metrics->recovery_spool_hits;
+      return Status();
+    }
+    if (cross_cache_ != nullptr) {
+      CrossQuerySpoolCache::PinnedEntry pin =
+          cross_cache_->Pin(CrossKeyFor(*node, /*batch=*/false));
+      if (pin && m < pin.rows().partitions.size()) {
+        out->partitions[m] = pin.rows().partitions[m];
+        ++metrics->recovery_spool_hits;
+        return Status();
+      }
+    }
+  }
+  // No surviving spool: deterministically recompute the lost sub-DAG.
+  // Recovery mode is side-effect-free — scratch metrics, read-only spool
+  // lookups, recomputed spools memoized in a recovery-local overlay — so
+  // every legacy counter stays bit-identical to the clean run.
+  ExecMetrics scratch;
+  in_recovery_ = true;
+  auto recomputed = EvalInner(node, &scratch);
+  in_recovery_ = false;
+  recovery_overlay_.clear();
+  recovery_batch_overlay_.clear();
+  if (!recomputed.ok()) return recomputed.status();
+  metrics->rows_recomputed += recomputed->TotalRows();
+  metrics->recovery_spool_hits += scratch.spool_cache_hits;
+  metrics->recovery_bytes_moved += scratch.bytes_extracted +
+                                   scratch.bytes_shuffled +
+                                   scratch.bytes_spooled;
+  if (m < recomputed->partitions.size()) {
+    out->partitions[m] = std::move(recomputed->partitions[m]);
+  }
+  return Status();
+}
+
+Result<PartitionedData> Executor::RecoverySpoolRows(const PhysicalNodePtr& node,
+                                                    ExecMetrics* scratch) {
+  const bool allow_reads = !cluster_.fault_plan.disable_recovery_spool_reads;
+  if (allow_reads) {
+    auto it = spool_cache_.find(node.get());
+    if (it != spool_cache_.end()) {
+      ++scratch->spool_reads;
+      ++scratch->spool_cache_hits;  // folded into recovery_spool_hits
+      return it->second;
+    }
+  }
+  auto ov = recovery_overlay_.find(node.get());
+  if (ov != recovery_overlay_.end()) {
+    ++scratch->spool_reads;
+    return ov->second;
+  }
+  if (allow_reads && cross_cache_ != nullptr) {
+    CrossQuerySpoolCache::PinnedEntry pin =
+        cross_cache_->Pin(CrossKeyFor(*node, /*batch=*/false));
+    if (pin) {
+      ++scratch->spool_reads;
+      ++scratch->spool_cache_hits;
+      PartitionedData data = pin.rows();
+      recovery_overlay_[node.get()] = data;
+      return data;
+    }
+  }
+  SCX_ASSIGN_OR_RETURN(PartitionedData in, Eval(node->children[0], scratch));
+  recovery_overlay_[node.get()] = in;
+  return in;
+}
+
+Result<PartitionedData> Executor::EvalInner(const PhysicalNodePtr& node,
+                                            ExecMetrics* metrics) {
   ++metrics->operator_invocations;
   switch (node->kind) {
     case PhysicalOpKind::kExtract:
@@ -385,6 +531,9 @@ Result<PartitionedData> Executor::Eval(const PhysicalNodePtr& node,
     }
 
     case PhysicalOpKind::kSpool: {
+      // Recovery recomputation must not mutate spool bookkeeping (caches,
+      // reuse counts, budget): reroute to the read-only recovery path.
+      if (in_recovery_) return RecoverySpoolRows(node, metrics);
       auto it = spool_cache_.find(node.get());
       if (it != spool_cache_.end()) {
         ++metrics->spool_reads;

@@ -86,6 +86,34 @@ struct ExecMetrics {
   /// stages: the jobs that partition-granularity scheduling could not have
   /// overlapped with another thread. Deterministic for any thread count.
   int64_t morsel_steal_count = 0;
+
+  // --- Fault-injection / recovery counters (docs/architecture.md §17). All
+  // stay 0 unless ClusterConfig::fault_plan is enabled; none of the counters
+  // above may ever change when a FaultPlan is armed (the fault-vs-clean
+  // identity contract, scxcheck oracle 8).
+
+  /// Partition outputs lost to injected machine failures.
+  int64_t machine_failures_injected = 0;
+  /// Failed partitions restored (always equals machine_failures_injected
+  /// after a successful run: every failure is recovered).
+  int64_t partitions_recovered = 0;
+  /// Rows produced by recovery recomputation of lost sub-DAGs. 0 when every
+  /// recovery was served by a surviving spool.
+  int64_t rows_recomputed = 0;
+  /// Recovery reads served by a surviving spool (run-local or cross-query)
+  /// instead of recomputation.
+  int64_t recovery_spool_hits = 0;
+  /// Bytes extracted/shuffled/spooled while recomputing lost sub-DAGs —
+  /// recovery's own data movement, kept separate so the legacy byte counters
+  /// stay clean-run-identical. Oracle 9 bounds it by the pure-recomputation
+  /// arm (FaultPlan::disable_recovery_spool_reads).
+  int64_t recovery_bytes_moved = 0;
+  /// Simulated makespan: per operator pass, the maximum over machines of
+  /// (live rows x FaultPlan::StragglerMultiplier), summed over passes. Only
+  /// accounted while a FaultPlan is enabled; a function of the plan, the
+  /// data, and the batch size — never of threads or morsels.
+  int64_t sim_makespan_ticks = 0;
+
   /// Output rows per OUTPUT path.
   std::map<std::string, std::vector<Row>> outputs;
 };
@@ -168,8 +196,15 @@ class Executor {
   Result<ExecMetrics> Execute(const PhysicalNodePtr& plan);
 
  private:
+  /// Evaluates `node`, then (when a FaultPlan is armed) injects this pass's
+  /// machine failures and recovers each lost partition — from a surviving
+  /// spool when possible, by deterministic side-effect-free recomputation
+  /// otherwise. One branch when no plan is armed.
   Result<PartitionedData> Eval(const PhysicalNodePtr& node,
                                ExecMetrics* metrics);
+  /// The operator switch proper (no fault handling).
+  Result<PartitionedData> EvalInner(const PhysicalNodePtr& node,
+                                    ExecMetrics* metrics);
 
   Result<PartitionedData> EvalExtract(const PhysicalNode& node,
                                       ExecMetrics* metrics);
@@ -185,8 +220,11 @@ class Executor {
 
   // --- Batch-native pipeline (batch_executor.cc), used at batch_size > 1.
 
+  /// Fault-injection wrapper around EvalBatchInner, mirroring Eval.
   Result<BatchData> EvalBatch(const PhysicalNodePtr& node,
                               ExecMetrics* metrics);
+  Result<BatchData> EvalBatchInner(const PhysicalNodePtr& node,
+                                   ExecMetrics* metrics);
   Result<BatchData> EvalExtractBatch(const PhysicalNode& node,
                                      ExecMetrics* metrics);
   /// Evaluates the maximal Filter/Compute/Project chain headed at `head`
@@ -274,6 +312,47 @@ class Executor {
   int64_t spool_budget_ = 0;
   CrossQuerySpoolCache* cross_cache_ = nullptr;
   uint64_t catalog_version_ = 0;
+
+  // --- Fault injection + spool-based recovery (docs/architecture.md §17) ---
+  //
+  // Injection runs on the master DAG-walk thread after each pass: partition m
+  // of the pass with id `pass` (operator_invocations at pass entry, 1-based)
+  // is dropped when cluster_.fault_plan.FailsAt(pass, m). Recovery restores
+  // the partition from a surviving spool (run-local cache, or cross-query
+  // cache via a pinned zero-copy peek) or recomputes the lost sub-DAG in
+  // recovery mode: scratch metrics, no spool bookkeeping mutation, no cache
+  // insertion, no reuse bumps — so every pre-existing counter and all output
+  // rows are bit-identical to the clean run (oracle 8). Recovery work is
+  // accounted only in the recovery_* counters.
+
+  /// Injects failures for the pass that produced `out` and recovers them.
+  Status InjectFaults(const PhysicalNodePtr& node, int64_t pass,
+                      PartitionedData* out, ExecMetrics* metrics);
+  Status InjectFaultsBatch(const PhysicalNodePtr& node, int64_t pass,
+                           BatchData* out, ExecMetrics* metrics);
+  /// Restores partition m of `out` after an injected failure.
+  Status RecoverPartition(const PhysicalNodePtr& node, size_t m,
+                          PartitionedData* out, ExecMetrics* metrics);
+  Status RecoverPartitionBatch(const PhysicalNodePtr& node, size_t m,
+                               BatchData* out, ExecMetrics* metrics);
+  /// Recovery-mode kSpool evaluation: read-only lookup (run-local cache ->
+  /// recovery overlay -> pinned cross-query peek) or recomputation into the
+  /// overlay. Never mutates run spool state.
+  Result<PartitionedData> RecoverySpoolRows(const PhysicalNodePtr& node,
+                                            ExecMetrics* scratch);
+  Result<BatchData> RecoverySpoolBatch(const PhysicalNodePtr& node,
+                                       ExecMetrics* scratch);
+
+  /// cluster_.fault_plan.Enabled(), resolved once per Execute.
+  bool fault_enabled_ = false;
+  /// True while recomputing a lost sub-DAG: disables nested injection and
+  /// reroutes kSpool to the read-only recovery path.
+  bool in_recovery_ = false;
+  /// Within-recovery memo of recomputed spool sub-DAGs, so a shared spool
+  /// whose materialization was evicted is recomputed once per recovery
+  /// event, not once per appearance. Cleared after each recovery.
+  std::unordered_map<const PhysicalNode*, PartitionedData> recovery_overlay_;
+  std::unordered_map<const PhysicalNode*, BatchData> recovery_batch_overlay_;
 };
 
 template <typename DestFillFn>

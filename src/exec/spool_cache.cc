@@ -122,6 +122,12 @@ class CanonicalWriter {
           Num(static_cast<int64_t>(c.type));
           Num(c.distinct_count);
           Num(c.avg_width);
+          // Skew changes the synthetic data, so it must split cache keys.
+          // Emitted only when set, keeping unskewed canon strings unchanged.
+          if (c.skew_alpha != 0) {
+            out_ += 's';
+            Str(std::to_string(c.skew_alpha));
+          }
         }
         break;
       }
@@ -265,11 +271,44 @@ void CrossQuerySpoolCache::InsertBatch(const SpoolCacheKey& key,
   InsertLocked(key, std::move(entry), evicted_bytes);
 }
 
+const PartitionedData& CrossQuerySpoolCache::PinnedEntry::rows() const {
+  return entry_->rows;
+}
+
+const BatchData& CrossQuerySpoolCache::PinnedEntry::batch() const {
+  return entry_->batch;
+}
+
+void CrossQuerySpoolCache::PinnedEntry::Release() {
+  if (entry_ != nullptr) cache_->Unpin(entry_);
+  cache_ = nullptr;
+  entry_ = nullptr;
+}
+
+CrossQuerySpoolCache::PinnedEntry CrossQuerySpoolCache::Pin(
+    const SpoolCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return PinnedEntry();
+  ++it->second.pins;
+  return PinnedEntry(this, &it->second);
+}
+
+void CrossQuerySpoolCache::Unpin(Entry* entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --entry->pins;
+}
+
 void CrossQuerySpoolCache::InsertLocked(const SpoolCacheKey& key, Entry entry,
                                         int64_t* evicted_bytes) {
   entry.seq = next_seq_++;
   auto it = entries_.find(key);
   if (it != entries_.end()) {
+    // A pinned entry must stay where it is (a recovery re-read may hold a
+    // pointer into it). Same-key data is identical by construction — the key
+    // is the exact canonical sub-DAG plus catalog version — so keeping the
+    // old materialization is not just safe but equivalent.
+    if (it->second.pins > 0) return;
     bytes_used_ -= it->second.bytes;
     entries_.erase(it);
   }
@@ -281,17 +320,20 @@ void CrossQuerySpoolCache::InsertLocked(const SpoolCacheKey& key, Entry entry,
 
 void CrossQuerySpoolCache::EnforceBudgetLocked(int64_t* evicted_bytes) {
   while (bytes_used_ > budget_ && !entries_.empty()) {
-    auto victim = entries_.begin();
-    double victim_benefit =
-        victim->second.recompute_cost * (1.0 + victim->second.reuse);
-    for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it) {
+    auto victim = entries_.end();
+    double victim_benefit = 0;
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.pins > 0) continue;  // pinned: not evictable
       double benefit = it->second.recompute_cost * (1.0 + it->second.reuse);
-      if (benefit < victim_benefit ||
+      if (victim == entries_.end() || benefit < victim_benefit ||
           (benefit == victim_benefit && it->second.seq < victim->second.seq)) {
         victim = it;
         victim_benefit = benefit;
       }
     }
+    // Every entry pinned: stay over budget until a pin drops (the next
+    // insertion re-enforces the budget).
+    if (victim == entries_.end()) break;
     bytes_used_ -= victim->second.bytes;
     ++stats_.evictions;
     stats_.bytes_evicted += victim->second.bytes;

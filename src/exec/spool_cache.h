@@ -76,6 +76,9 @@ struct SpoolCacheStats {
 /// benefit = recompute_cost x (1 + observed reuse), ties broken by smallest
 /// insertion sequence (oldest first), until the budget holds again.
 class CrossQuerySpoolCache {
+ private:
+  struct Entry;  // declared ahead of PinnedEntry, defined below
+
  public:
   /// `budget_bytes` as configured (ClusterConfig semantics: 0 = default,
   /// negative = unlimited).
@@ -86,6 +89,58 @@ class CrossQuerySpoolCache {
   /// observed-reuse count (raising its eviction benefit).
   std::optional<PartitionedData> LookupRows(const SpoolCacheKey& key);
   std::optional<BatchData> LookupBatch(const SpoolCacheKey& key);
+
+  /// Zero-copy read handle on one cache entry, used by fault recovery
+  /// (docs/architecture.md §17). While the handle lives the entry is pinned:
+  /// eviction skips it and a same-key insert keeps the pinned entry in
+  /// place, so the referenced data stays valid even while concurrent
+  /// executions insert into (and shrink) the cache — the eviction-racing-a-
+  /// recovery-re-read bug class. Pinning deliberately bumps neither the
+  /// entry's observed reuse nor the hit/miss stats: a recovery re-read must
+  /// not change future eviction victims (fault-vs-clean identity, oracle 8).
+  class PinnedEntry {
+   public:
+    PinnedEntry() = default;
+    PinnedEntry(PinnedEntry&& o) noexcept : cache_(o.cache_), entry_(o.entry_) {
+      o.cache_ = nullptr;
+      o.entry_ = nullptr;
+    }
+    PinnedEntry& operator=(PinnedEntry&& o) noexcept {
+      if (this != &o) {
+        Release();
+        cache_ = o.cache_;
+        entry_ = o.entry_;
+        o.cache_ = nullptr;
+        o.entry_ = nullptr;
+      }
+      return *this;
+    }
+    PinnedEntry(const PinnedEntry&) = delete;
+    PinnedEntry& operator=(const PinnedEntry&) = delete;
+    ~PinnedEntry() { Release(); }
+
+    /// False on a cache miss (nothing pinned).
+    explicit operator bool() const { return entry_ != nullptr; }
+    /// The pinned row materialization (row-format entries only).
+    const PartitionedData& rows() const;
+    /// The pinned batch materialization (batch-format entries only).
+    const BatchData& batch() const;
+
+    /// Unpins early (idempotent; also run by the destructor).
+    void Release();
+
+   private:
+    friend class CrossQuerySpoolCache;
+    PinnedEntry(CrossQuerySpoolCache* cache, Entry* entry)
+        : cache_(cache), entry_(entry) {}
+    CrossQuerySpoolCache* cache_ = nullptr;
+    Entry* entry_ = nullptr;
+  };
+
+  /// Pins the entry under `key` for zero-copy reading, or returns an empty
+  /// handle on miss (wrong-format entries miss too). No reuse bump, no
+  /// hit/miss accounting — see PinnedEntry.
+  PinnedEntry Pin(const SpoolCacheKey& key);
 
   /// Inserts (replacing any same-key entry), then enforces the byte budget.
   /// Bytes dropped by eviction are added to *evicted_bytes when non-null.
@@ -105,7 +160,13 @@ class CrossQuerySpoolCache {
     double recompute_cost = 0;
     int64_t reuse = 0;  ///< hits since insertion
     int64_t seq = 0;    ///< insertion order (eviction tie-break)
+    /// Live PinnedEntry handles. While > 0 the entry can be neither evicted
+    /// nor replaced (map nodes are address-stable, so the handle's pointer
+    /// stays valid for its whole lifetime).
+    int64_t pins = 0;
   };
+
+  void Unpin(Entry* entry);
 
   void InsertLocked(const SpoolCacheKey& key, Entry entry,
                     int64_t* evicted_bytes);

@@ -1,5 +1,6 @@
 #include "testing/catalog_text.h"
 
+#include <cstdio>
 #include <sstream>
 
 namespace scx {
@@ -34,7 +35,7 @@ Result<Catalog> ParseCatalogText(const std::string& text) {
         def.data_seed = std::stoull(word.substr(5));
         continue;
       }
-      // <name>:<ndv>[:<type>]
+      // <name>:<ndv>[:<type>][:skew=<alpha>]
       size_t c1 = word.find(':');
       if (c1 == std::string::npos) {
         return Status::ParseError("catalog line " + std::to_string(lineno) +
@@ -49,17 +50,26 @@ Result<Catalog> ParseCatalogText(const std::string& text) {
       cs.distinct_count = std::stoll(ndv);
       cs.type = DataType::kInt64;
       cs.avg_width = 8;
-      if (c2 != std::string::npos) {
-        std::string type = word.substr(c2 + 1);
-        if (type == "double") {
+      while (c2 != std::string::npos) {
+        size_t c3 = word.find(':', c2 + 1);
+        std::string part = word.substr(
+            c2 + 1, c3 == std::string::npos ? std::string::npos : c3 - c2 - 1);
+        if (part == "double") {
           cs.type = DataType::kDouble;
-        } else if (type == "string") {
+        } else if (part == "string") {
           cs.type = DataType::kString;
           cs.avg_width = 12;
-        } else if (type != "int64") {
+        } else if (part.rfind("skew=", 0) == 0) {
+          cs.skew_alpha = std::stod(part.substr(5));
+          if (cs.skew_alpha < 0) {
+            return Status::ParseError("catalog line " + std::to_string(lineno) +
+                                      ": skew must be >= 0");
+          }
+        } else if (part != "int64") {
           return Status::ParseError("catalog line " + std::to_string(lineno) +
-                                    ": unknown type '" + type + "'");
+                                    ": unknown type '" + part + "'");
         }
+        c2 = c3;
       }
       def.columns.push_back(std::move(cs));
     }
@@ -91,6 +101,14 @@ std::string CatalogToText(const Catalog& catalog) {
         case DataType::kString:
           out += ":string";
           break;
+      }
+      if (cs.skew_alpha > 0) {
+        // %g keeps the value round-trip stable for the fractional alphas
+        // the generator emits (no trailing zeros).
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%g", cs.skew_alpha);
+        out += ":skew=";
+        out += buf;
       }
     }
     out += "\n";

@@ -11,7 +11,7 @@ namespace scx {
 /// Textual catalog format shared by scx_cli, scx_fuzz, and the fuzz corpus.
 /// One file per line, '#' comments:
 ///
-///   file <path> rows=<n> [seed=<n>] <col>:<ndv>[:int64|double|string] ...
+///   file <path> rows=<n> [seed=<n>] <col>:<ndv>[:int64|double|string][:skew=<alpha>] ...
 ///
 /// Example:
 ///   file test.log rows=2000000 seed=11 A:40 B:400 C:40 D:10000

@@ -1,6 +1,7 @@
 #include "testing/diff_harness.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -18,12 +19,14 @@ namespace {
 
 Result<ExecMetrics> RunPlan(const PhysicalNodePtr& plan, int machines,
                             int exec_threads, int batch_size = 0,
-                            int morsel_size = 0) {
+                            int morsel_size = 0,
+                            const FaultPlan* fault = nullptr) {
   ClusterConfig cluster;
   cluster.machines = machines;
   cluster.exec_threads = exec_threads;
   cluster.batch_size = batch_size;
   cluster.morsel_size = morsel_size;
+  if (fault != nullptr) cluster.fault_plan = *fault;
   Executor executor(cluster);
   return executor.Execute(plan);
 }
@@ -35,9 +38,15 @@ Result<ExecMetrics> RunPlan(const PhysicalNodePtr& plan, int machines,
 /// legitimately reports 0 for both while producing identical rows. The
 /// morsel counters additionally need the same morsel size
 /// (`same_morsel_size`); every other counter is invariant to both knobs.
+/// The fault counters are compared only when both runs used the same
+/// FaultPlan AND the same pipeline kind (`same_fault_plan`): pass ids are
+/// pipeline-structural (the batch path fuses operator chains into one
+/// failure domain), so a faulted row-path run legitimately injects a
+/// different failure set than the batch path while still recovering to
+/// identical outputs and legacy counters.
 bool MetricsEqual(const ExecMetrics& a, const ExecMetrics& b,
                   bool same_batch_size, bool same_morsel_size,
-                  std::string* why) {
+                  bool same_fault_plan, std::string* why) {
 #define SCX_CMP(field)                                                  \
   if (a.field != b.field) {                                             \
     *why = #field ": " + std::to_string(a.field) + " vs " +             \
@@ -66,6 +75,14 @@ bool MetricsEqual(const ExecMetrics& a, const ExecMetrics& b,
   if (same_batch_size && same_morsel_size) {
     SCX_CMP(morsels_evaluated)
     SCX_CMP(morsel_steal_count)
+  }
+  if (same_fault_plan) {
+    SCX_CMP(machine_failures_injected)
+    SCX_CMP(partitions_recovered)
+    SCX_CMP(rows_recomputed)
+    SCX_CMP(recovery_spool_hits)
+    SCX_CMP(recovery_bytes_moved)
+    SCX_CMP(sim_makespan_ticks)
   }
 #undef SCX_CMP
   if (a.outputs != b.outputs) {
@@ -417,7 +434,8 @@ std::optional<DiffHarness::Failure> DiffHarness::RunOracles(
     }
     std::string why;
     if (!MetricsEqual(*cse_run, *cse_par_run, /*same_batch_size=*/true,
-                      /*same_morsel_size=*/true, &why)) {
+                      /*same_morsel_size=*/true, /*same_fault_plan=*/true,
+                      &why)) {
       return Failure{"exec-determinism",
                      std::to_string(opts_.threads) +
                          "-thread execution diverged from serial: " + why};
@@ -439,7 +457,8 @@ std::optional<DiffHarness::Failure> DiffHarness::RunOracles(
     }
     std::string why;
     if (!MetricsEqual(*cse_run, *morsel_run, /*same_batch_size=*/true,
-                      /*same_morsel_size=*/false, &why)) {
+                      /*same_morsel_size=*/false, /*same_fault_plan=*/true,
+                      &why)) {
       return Failure{"morsel-identity",
                      "morsel_size=" + std::to_string(morsel_size) +
                          " diverged from the default morsel size: " + why};
@@ -453,7 +472,8 @@ std::optional<DiffHarness::Failure> DiffHarness::RunOracles(
                                       morsel_par.status().ToString()};
       }
       if (!MetricsEqual(*morsel_run, *morsel_par, /*same_batch_size=*/true,
-                        /*same_morsel_size=*/true, &why)) {
+                        /*same_morsel_size=*/true, /*same_fault_plan=*/true,
+                        &why)) {
         return Failure{"exec-determinism",
                        "morsel_size=" + std::to_string(morsel_size) + ", " +
                            std::to_string(opts_.threads) +
@@ -473,10 +493,116 @@ std::optional<DiffHarness::Failure> DiffHarness::RunOracles(
     }
     std::string why;
     if (!MetricsEqual(*cse_run, *row_run, /*same_batch_size=*/false,
-                      /*same_morsel_size=*/false, &why)) {
+                      /*same_morsel_size=*/false, /*same_fault_plan=*/true,
+                      &why)) {
       return Failure{"batch-identity",
                      "batched execution diverged from the batch_size=1 row "
                      "path: " + why};
+    }
+  }
+
+  // Fault-oracle family (oracles 8-9, docs/architecture.md §17). Only runs
+  // when the harness is armed with a FaultPlan; everything above ran clean.
+  if (opts_.fault_plan.Enabled()) {
+    const FaultPlan& fp = opts_.fault_plan;
+
+    // Oracle 8, "fault-identity": a faulted run recovers every lost
+    // partition and stays bit-identical to the clean baseline — raw output
+    // rows and every legacy counter (recovery is side-effect-free; the new
+    // fault counters are strictly additive).
+    auto fault_run = RunPlan(cse->plan(), opts_.machines, /*exec_threads=*/1,
+                             /*batch_size=*/0, /*morsel_size=*/0, &fp);
+    if (!fault_run.ok()) {
+      return Failure{"execute",
+                     "cse faulted: " + fault_run.status().ToString()};
+    }
+    std::string why;
+    if (!MetricsEqual(*cse_run, *fault_run, /*same_batch_size=*/true,
+                      /*same_morsel_size=*/true, /*same_fault_plan=*/false,
+                      &why)) {
+      return Failure{"fault-identity",
+                     "faulted run diverged from the clean run: " + why};
+    }
+    if (fault_run->partitions_recovered !=
+        fault_run->machine_failures_injected) {
+      return Failure{
+          "fault-identity",
+          "injected " +
+              std::to_string(fault_run->machine_failures_injected) +
+              " machine failures but recovered " +
+              std::to_string(fault_run->partitions_recovered) +
+              " partitions"};
+    }
+
+    // Oracle 8b, "fault-determinism": the faulted run itself — fault
+    // counters included — is bit-identical across the thread knob, and at
+    // adversarial batch/morsel knobs it still reproduces the clean
+    // baseline's legacy counters and raw outputs.
+    if (opts_.threads > 1) {
+      auto fault_par = RunPlan(cse->plan(), opts_.machines, opts_.threads,
+                               /*batch_size=*/0, /*morsel_size=*/0, &fp);
+      if (!fault_par.ok()) {
+        return Failure{"execute", "cse faulted parallel: " +
+                                      fault_par.status().ToString()};
+      }
+      if (!MetricsEqual(*fault_run, *fault_par, /*same_batch_size=*/true,
+                        /*same_morsel_size=*/true, /*same_fault_plan=*/true,
+                        &why)) {
+        return Failure{"fault-determinism",
+                       std::to_string(opts_.threads) +
+                           "-thread faulted execution diverged from the "
+                           "serial faulted run: " + why};
+      }
+    }
+    {
+      auto fault_knob = RunPlan(cse->plan(), opts_.machines, opts_.threads,
+                                /*batch_size=*/61, /*morsel_size=*/53, &fp);
+      if (!fault_knob.ok()) {
+        return Failure{"execute", "cse faulted knob run: " +
+                                      fault_knob.status().ToString()};
+      }
+      if (!MetricsEqual(*cse_run, *fault_knob, /*same_batch_size=*/false,
+                        /*same_morsel_size=*/false, /*same_fault_plan=*/false,
+                        &why)) {
+        return Failure{"fault-identity",
+                       "faulted run at batch_size=61 morsel_size=53 "
+                       "diverged from the clean baseline: " + why};
+      }
+    }
+
+    // Oracle 9, "recovery-cost": recovery through surviving spools must
+    // never recompute more rows or move more bytes than the pure-recompute
+    // strategy (the disable_recovery_spool_reads arm), while both arms stay
+    // output-identical. The failure sets of the two arms are equal by
+    // construction — FailsAt() ignores the recovery strategy.
+    {
+      FaultPlan pure = fp;
+      pure.disable_recovery_spool_reads = true;
+      auto pure_run = RunPlan(cse->plan(), opts_.machines,
+                              /*exec_threads=*/1, /*batch_size=*/0,
+                              /*morsel_size=*/0, &pure);
+      if (!pure_run.ok()) {
+        return Failure{"execute", "cse faulted pure-recompute: " +
+                                      pure_run.status().ToString()};
+      }
+      if (!MetricsEqual(*cse_run, *pure_run, /*same_batch_size=*/true,
+                        /*same_morsel_size=*/true, /*same_fault_plan=*/false,
+                        &why)) {
+        return Failure{"recovery-cost",
+                       "pure-recompute recovery diverged from the clean "
+                       "run: " + why};
+      }
+      if (fault_run->rows_recomputed > pure_run->rows_recomputed ||
+          fault_run->recovery_bytes_moved > pure_run->recovery_bytes_moved) {
+        return Failure{
+            "recovery-cost",
+            "spool-assisted recovery recomputed " +
+                std::to_string(fault_run->rows_recomputed) + " rows / " +
+                std::to_string(fault_run->recovery_bytes_moved) +
+                " bytes, pure recomputation needed " +
+                std::to_string(pure_run->rows_recomputed) + " rows / " +
+                std::to_string(pure_run->recovery_bytes_moved) + " bytes"};
+      }
     }
   }
   return std::nullopt;
@@ -552,6 +678,7 @@ OracleReport DiffHarness::Check(const Catalog& catalog,
     c.oracle = failure->oracle;
     c.machines = opts_.machines;
     c.threads = opts_.threads;
+    c.fault_plan = opts_.fault_plan;
     c.catalog = PruneCatalog(catalog, repro);
     c.script = repro;
     std::error_code ec;
@@ -683,7 +810,7 @@ OracleReport DiffHarness::CheckBatch(const Catalog& catalog,
     std::string why;
     if (!MetricsEqual(batch->metrics, knob->metrics,
                       /*same_batch_size=*/false, /*same_morsel_size=*/false,
-                      &why)) {
+                      /*same_fault_plan=*/false, &why)) {
       return fail("batch-determinism",
                   "merged run diverged at threads=" +
                       std::to_string(opts_.threads) +
@@ -717,8 +844,48 @@ OracleReport DiffHarness::CheckBatch(const Catalog& catalog,
                       " spools executed in the cold run)");
     }
   }
+
+  // Fault probe (oracle 8 over merged runs): a machine failure in the
+  // middle of a cross-query batched run — where a lost partition may be
+  // recoverable from the run-local spools of the merged plan or from the
+  // cross-query cache — must still demultiplex per-script outputs
+  // bit-identical to the clean merged run, with identical legacy counters.
+  if (opts_.fault_plan.Enabled()) {
+    OptimizerConfig fcfg = cfg;
+    fcfg.cluster.fault_plan = opts_.fault_plan;
+    Engine fault_engine(catalog, fcfg);
+    auto faulted = fault_engine.SubmitBatch(scripts, OptimizerMode::kCse);
+    if (!faulted.ok()) {
+      return fail("batch-execute",
+                  "merged faulted run: " + faulted.status().ToString());
+    }
+    std::string why;
+    if (!MetricsEqual(batch->metrics, faulted->metrics,
+                      /*same_batch_size=*/true, /*same_morsel_size=*/true,
+                      /*same_fault_plan=*/false, &why)) {
+      return fail("fault-identity",
+                  "merged faulted run diverged from the clean merged run: " +
+                      why);
+    }
+    if (faulted->script_outputs != batch->script_outputs) {
+      return fail("fault-identity",
+                  "merged faulted run changed per-script outputs");
+    }
+  }
   return report;
 }
+
+namespace {
+
+/// %g keeps probabilities/factors round-trip stable without trailing zeros
+/// (the harness only ever arms short decimal literals).
+std::string FormatG(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
 
 std::string CorpusCaseToText(const CorpusCase& c) {
   std::string out = "# scxcheck repro\n";
@@ -726,6 +893,23 @@ std::string CorpusCaseToText(const CorpusCase& c) {
   if (!c.oracle.empty()) out += "# oracle: " + c.oracle + "\n";
   out += "# machines: " + std::to_string(c.machines) +
          " threads: " + std::to_string(c.threads) + "\n";
+  if (c.fault_plan.Enabled()) {
+    const FaultPlan& f = c.fault_plan;
+    out += "# fault: seed=" + std::to_string(f.seed) +
+           " prob=" + FormatG(f.failure_prob) +
+           " max=" + std::to_string(f.max_failures) + " straggler=" +
+           FormatG(f.straggler_prob) + "x" + FormatG(f.straggler_factor);
+    if (f.disable_recovery_spool_reads) out += " norecovery";
+    if (!f.failures.empty()) {
+      out += " events=";
+      for (size_t i = 0; i < f.failures.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(f.failures[i].pass) + "@" +
+               std::to_string(f.failures[i].machine);
+      }
+    }
+    out += "\n";
+  }
   out += CatalogToText(c.catalog);
   out += "---\n";
   out += c.script;
@@ -759,6 +943,51 @@ Result<CorpusCase> ParseCorpusText(const std::string& text) {
       while (words >> word) {
         if (word == "machines:") words >> c.machines;
         if (word == "threads:") words >> c.threads;
+      }
+    } else if (line.rfind("# fault:", 0) == 0) {
+      std::istringstream words(line.substr(8));
+      std::string word;
+      FaultPlan& f = c.fault_plan;
+      while (words >> word) {
+        if (word.rfind("seed=", 0) == 0) {
+          f.seed = std::stoull(word.substr(5));
+        } else if (word.rfind("prob=", 0) == 0) {
+          f.failure_prob = std::stod(word.substr(5));
+        } else if (word.rfind("max=", 0) == 0) {
+          f.max_failures = std::stoi(word.substr(4));
+        } else if (word.rfind("straggler=", 0) == 0) {
+          std::string spec = word.substr(10);
+          size_t x = spec.find('x');
+          if (x == std::string::npos) {
+            return Status::ParseError("fault straggler spec '" + spec +
+                                      "' needs <prob>x<factor>");
+          }
+          f.straggler_prob = std::stod(spec.substr(0, x));
+          f.straggler_factor = std::stod(spec.substr(x + 1));
+        } else if (word == "norecovery") {
+          f.disable_recovery_spool_reads = true;
+        } else if (word.rfind("events=", 0) == 0) {
+          std::string list = word.substr(7);
+          size_t pos = 0;
+          while (pos < list.size()) {
+            size_t comma = list.find(',', pos);
+            std::string ev = list.substr(
+                pos, comma == std::string::npos ? std::string::npos
+                                                : comma - pos);
+            size_t at = ev.find('@');
+            if (at == std::string::npos) {
+              return Status::ParseError("fault event '" + ev +
+                                        "' needs <pass>@<machine>");
+            }
+            FaultEvent e;
+            e.pass = std::stoll(ev.substr(0, at));
+            e.machine = std::stoi(ev.substr(at + 1));
+            f.failures.push_back(e);
+            pos = comma == std::string::npos ? list.size() : comma + 1;
+          }
+        } else {
+          return Status::ParseError("unknown fault field '" + word + "'");
+        }
       }
     } else if (!line.empty() && line[0] != '#') {
       catalog_text += line + "\n";

@@ -8,6 +8,7 @@
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "cost/cost_model.h"
 
 namespace scx {
 
@@ -24,6 +25,13 @@ struct HarnessOptions {
   /// When nonempty, failing (minimized) repros are written here as corpus
   /// files named seed<seed>_<oracle>.scx.
   std::string corpus_dir;
+  /// When Enabled(), the fault-oracle family (8 and 9) also runs: faulted
+  /// executions of the CSE plan must be bit-identical to the clean runs in
+  /// outputs and every legacy counter, at any thread/batch/morsel knobs
+  /// ("fault-identity" / "fault-determinism"), and recovery served by
+  /// surviving spools must never move more bytes than pure recomputation
+  /// ("recovery-cost"). Oracles 1-7 always run clean.
+  FaultPlan fault_plan;
 };
 
 /// Result of checking one script against the oracles. `oracle` is one of
@@ -115,6 +123,9 @@ struct CorpusCase {
   std::string oracle;  ///< empty for pass-regression entries
   int machines = 8;
   int threads = 4;
+  /// Replayed into HarnessOptions::fault_plan; default-constructed (and the
+  /// `# fault:` line absent) for clean repros.
+  FaultPlan fault_plan;
   Catalog catalog;
   std::string script;
 };
@@ -124,6 +135,8 @@ struct CorpusCase {
 ///   # seed: <n>
 ///   # oracle: <tag>
 ///   # machines: <n> threads: <n>
+///   # fault: seed=<n> prob=<p> max=<n> straggler=<p>x<f> [norecovery]
+///            [events=<pass>@<machine>,...]        (only when fault-armed)
 ///   file <path> rows=<n> seed=<n> <col>:<ndv> ...
 ///   ---
 ///   <script>

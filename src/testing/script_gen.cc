@@ -106,8 +106,30 @@ class Generator {
         rng_.Pick<int64_t>({2, 4, 8}),
         rng_.Pick<int64_t>({50, 200, 500}),
     };
+    uint64_t data_seed = rng_.Next();
+    if (opts_.key_skew_alpha > 0) {
+      // Skew the key columns (A and C — the low-NDV join/group keys) so the
+      // data piles onto a few hash partitions. Registered directly: the
+      // RegisterLog convenience has no skew parameter.
+      FileDef def;
+      def.path = path;
+      def.row_count = rows;
+      def.data_seed = data_seed;
+      for (size_t i = 0; i < 4; ++i) {
+        ColumnStats cs;
+        cs.name = std::string(1, static_cast<char>('A' + i));
+        cs.distinct_count = ndvs[i];
+        if (cs.name == "A" || cs.name == "C") {
+          cs.skew_alpha = opts_.key_skew_alpha;
+        }
+        def.columns.push_back(std::move(cs));
+      }
+      Status s = out_.catalog.RegisterFile(std::move(def));
+      (void)s;  // paths are unique by construction
+      return path;
+    }
     Status s = out_.catalog.RegisterLog(path, {"A", "B", "C", "D"}, rows,
-                                        ndvs, /*data_seed=*/rng_.Next());
+                                        ndvs, /*data_seed=*/data_seed);
     (void)s;  // paths are unique by construction
     return path;
   }

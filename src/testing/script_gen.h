@@ -46,6 +46,13 @@ struct ScriptGenOptions {
   double filler_prob = 0.3;        ///< append an unshared filler pipeline
   double empty_input_prob = 0.05;  ///< a module's file has rows=0
   double duplicate_output_prob = 0.08;
+  /// Power-law skew applied to the key columns (A and C) of every generated
+  /// input file: ColumnStats::skew_alpha, so low-numbered keys are hot and
+  /// hash partitions pile up on a few machines. 0 = uniform (the legacy
+  /// draw, bit-identical to before the knob existed). The histogram is a
+  /// pure function of (file seed, alpha) — seed-deterministic by
+  /// construction. The hostile fuzz profile sets this.
+  double key_skew_alpha = 0;
 
   /// Edge-case pins.
   bool force_single_consumer = false;   ///< every shared node: 1 consumer

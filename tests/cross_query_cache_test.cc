@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/engine.h"
@@ -278,6 +280,125 @@ TEST(CrossQueryCacheTest, SubmissionQueueFlushPreservesTicketOrder) {
   auto empty = queue.Flush();
   EXPECT_FALSE(empty.ok());
   EXPECT_EQ(empty.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// --- Pin API (fault-recovery re-reads vs eviction) ------------------------
+
+PartitionedData TaggedRows(int64_t tag, int rows) {
+  PartitionedData data;
+  data.schema.AddColumn({/*id=*/1, "A", "", DataType::kInt64});
+  data.partitions.resize(1);
+  for (int i = 0; i < rows; ++i) {
+    data.partitions[0].push_back({Value::Int(tag * 1000 + i)});
+  }
+  return data;
+}
+
+SpoolCacheKey KeyFor(const std::string& canon) {
+  SpoolCacheKey key;
+  key.canon = canon;
+  key.catalog_version = 1;
+  key.machines = 1;
+  return key;
+}
+
+TEST(CrossQueryCacheTest, PinnedEntrySurvivesEvictionPressure) {
+  // Budget admits the 32-byte entry below, and nothing more.
+  CrossQuerySpoolCache cache(50);
+  // Cheapest possible entry: the eviction policy's first victim.
+  cache.InsertRows(KeyFor("pinned"), TaggedRows(1, 4), /*recompute_cost=*/1);
+
+  auto pin = cache.Pin(KeyFor("pinned"));
+  ASSERT_TRUE(pin);
+  const PartitionedData& held = pin.rows();
+  ASSERT_EQ(held.TotalRows(), 4);
+
+  // Budget pressure while pinned: the recovery re-read (this is the
+  // eviction-racing-a-recovery bug) must keep reading valid data.
+  for (int64_t i = 0; i < 8; ++i) {
+    cache.InsertRows(KeyFor("filler" + std::to_string(i)),
+                     TaggedRows(100 + i, 64), /*recompute_cost=*/1e9);
+  }
+  EXPECT_EQ(held.partitions[0][0][0], Value::Int(1000))
+      << "pinned data must stay readable under eviction pressure";
+  EXPECT_TRUE(cache.LookupRows(KeyFor("pinned")).has_value())
+      << "a pinned entry must never be evicted";
+
+  // Released, the entry is an ordinary (cheap) victim again.
+  pin.Release();
+  EXPECT_FALSE(pin);
+  cache.InsertRows(KeyFor("last"), TaggedRows(999, 64),
+                   /*recompute_cost=*/1e9);
+  EXPECT_FALSE(cache.LookupRows(KeyFor("pinned")).has_value())
+      << "after Release the budget pressure must evict it";
+}
+
+TEST(CrossQueryCacheTest, InsertOverPinnedEntryKeepsPinnedData) {
+  CrossQuerySpoolCache cache(-1);  // unlimited
+  cache.InsertRows(KeyFor("k"), TaggedRows(1, 3), /*recompute_cost=*/10);
+  auto pin = cache.Pin(KeyFor("k"));
+  ASSERT_TRUE(pin);
+
+  // In real use a same-key insert carries identical data (the key is the
+  // exact canonical sub-DAG); distinct rows here make "old entry kept"
+  // observable.
+  cache.InsertRows(KeyFor("k"), TaggedRows(2, 3), /*recompute_cost=*/10);
+  EXPECT_EQ(pin.rows().partitions[0][0][0], Value::Int(1000))
+      << "replacing a pinned entry would dangle the recovery read";
+  auto lookup = cache.LookupRows(KeyFor("k"));
+  ASSERT_TRUE(lookup.has_value());
+  EXPECT_EQ(lookup->partitions[0][0][0], Value::Int(1000));
+
+  pin.Release();
+  cache.InsertRows(KeyFor("k"), TaggedRows(3, 3), /*recompute_cost=*/10);
+  lookup = cache.LookupRows(KeyFor("k"));
+  ASSERT_TRUE(lookup.has_value());
+  EXPECT_EQ(lookup->partitions[0][0][0], Value::Int(3000))
+      << "unpinned entries are replaceable again";
+}
+
+TEST(CrossQueryCacheTest, PinMissesAreEmptyAndHarmless) {
+  CrossQuerySpoolCache cache(-1);
+  auto miss = cache.Pin(KeyFor("absent"));
+  EXPECT_FALSE(miss);
+  miss.Release();  // idempotent on empty handles
+  SpoolCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 0)
+      << "pinning bypasses hit/miss accounting (oracle 8: a recovery "
+         "re-read must not perturb eviction state)";
+}
+
+// tsan target: concurrent inserts under a tiny budget (eviction storms)
+// racing pinned reads must neither tear data nor deadlock.
+TEST(CrossQueryCacheTest, ConcurrentEvictionNeverInvalidatesPins) {
+  // Budget admits the 128-byte hot entry; every 256-byte insert below
+  // overflows it and triggers an eviction pass.
+  CrossQuerySpoolCache cache(200);
+  cache.InsertRows(KeyFor("hot"), TaggedRows(7, 16), /*recompute_cost=*/1);
+
+  // Long-lived anchor pin: the cheapest entry would otherwise be the first
+  // victim of every insertion below.
+  auto anchor = cache.Pin(KeyFor("hot"));
+  ASSERT_TRUE(anchor);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      cache.InsertRows(KeyFor("w" + std::to_string(i % 13)),
+                       TaggedRows(i, 32), /*recompute_cost=*/1e9);
+    }
+  });
+  for (int iter = 0; iter < 200; ++iter) {
+    auto pin = cache.Pin(KeyFor("hot"));  // nested pin, as two recoveries
+    ASSERT_TRUE(pin) << "pinned entry evicted at iteration " << iter;
+    const PartitionedData& rows = pin.rows();
+    ASSERT_EQ(rows.TotalRows(), 16);
+    EXPECT_EQ(rows.partitions[0][0][0], Value::Int(7000));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  anchor.Release();
 }
 
 TEST(CrossQueryCacheTest, SubmissionQueueAutoFlushesAtCapacity) {

@@ -7,6 +7,7 @@ Usage:
     tools/bench_diff.py --batch-vs-row BENCH_exec.json [--threshold 0.10]
     tools/bench_diff.py --morsel-vs-partition BENCH_exec.json [--threshold 0.10]
     tools/bench_diff.py --batched-vs-sequential BENCH_multiquery.json
+    tools/bench_diff.py --faulty-vs-clean BENCH_fault.json [--threshold 0.02]
 
 Both files must come from the same benchmark binary (bench/opt_parallel,
 bench/opt_cache, or bench/exec_throughput). Every rate metric (keys ending in
@@ -39,6 +40,16 @@ and where library overlap is >= 70% the summed sequential plan cost must be
 at least 1.3x the merged plan's — the payoff gate of cross-query CSE. The
 byte and identity checks ignore ``--threshold``: they are theorems of the
 merged optimization, not noisy rates.
+
+``--faulty-vs-clean`` gates within a single BENCH_fault.json: every armed and
+faulty arm must have reproduced the clean arm's outputs and legacy counters
+(``identical``, the tentpole bit-identity contract), the faulty sweep must
+have injected at least one failure (an inert sweep proves nothing), the armed
+arms must never inject, and the *aggregate* armed runtime (sum of per-script
+best-of-K times) must stay within ``--threshold`` (default here 2%) of the
+aggregate clean runtime — the always-on price of carrying the fault
+machinery. The overhead gate is aggregate rather than per-script because
+individual sub-20ms runs are noise-dominated even at best-of-K.
 """
 
 import argparse
@@ -257,6 +268,75 @@ def batched_vs_sequential(path):
     return 0
 
 
+def faulty_vs_clean(path, threshold):
+    """Gate: fault machinery is free when idle and invisible when firing."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"bench_diff: cannot read {path}: {err}")
+    scripts = doc.get("scripts")
+    if not isinstance(scripts, list) or not scripts:
+        sys.exit(f"bench_diff: {path} has no 'scripts' array "
+                 "(expected a BENCH_fault.json)")
+
+    failures = []
+    clean_total = 0.0
+    armed_total = 0.0
+    injected_total = 0
+    print(f"{'script':<10} {'clean ms':>10} {'armed ms':>10} "
+          f"{'faulty ms':>10} {'killed':>7} {'recovered':>10}")
+    for entry in scripts:
+        name = entry.get("name", "?")
+        clean = entry.get("clean", {})
+        armed = entry.get("armed", {})
+        faulty = entry.get("faulty", {})
+        for arm_name, arm in (("clean", clean), ("armed", armed),
+                              ("faulty", faulty)):
+            if arm.get("seconds") is None:
+                sys.exit(f"bench_diff: script {name} lacks a '{arm_name}' "
+                         "arm (rerun bench/fault_recovery)")
+        marker = ""
+        for arm_name, arm in (("armed", armed), ("faulty", faulty)):
+            if not arm.get("identical", False):
+                failures.append((name, f"{arm_name} arm diverged from the "
+                                 "clean run"))
+                marker += f"  << {arm_name.upper()}-DIVERGED"
+        if armed.get("failures_injected", 0) != 0:
+            failures.append((name, "the inert armed plan injected a "
+                             "failure"))
+            marker += "  << INERT-PLAN-FIRED"
+        clean_total += clean["seconds"]
+        armed_total += armed["seconds"]
+        injected_total += faulty.get("failures_injected", 0)
+        print(f"{name:<10} {clean['seconds'] * 1e3:>10.2f} "
+              f"{armed['seconds'] * 1e3:>10.2f} "
+              f"{faulty['seconds'] * 1e3:>10.2f} "
+              f"{faulty.get('failures_injected', 0):>7} "
+              f"{faulty.get('partitions_recovered', 0):>10}{marker}")
+
+    overhead = (armed_total / clean_total - 1.0) if clean_total > 0 else 0.0
+    if overhead > threshold:
+        failures.append(("aggregate",
+                         f"armed-but-inert runtime {overhead:+.1%} over "
+                         f"clean exceeds {threshold:.0%}"))
+    if injected_total == 0:
+        failures.append(("aggregate", "the faulty sweep injected zero "
+                         "failures — recovery was never exercised"))
+
+    print(f"\narmed-vs-clean aggregate overhead: {overhead:+.2%} "
+          f"(threshold {threshold:.0%}), {injected_total} failures injected")
+    if failures:
+        print(f"fault machinery failed the clean-baseline gate on "
+              f"{len(failures)} count(s):")
+        for name, why in failures:
+            print(f"  {name}: {why}")
+        return 1
+    print(f"fault-armed runs bit-identical and idle overhead within "
+          f"{threshold:.0%} on all {len(scripts)} scripts")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="flag >threshold throughput regressions between two "
@@ -279,14 +359,18 @@ def main():
                         help="gate batched vs per-script-sequential bytes, "
                              "identity and cost within one "
                              "BENCH_multiquery.json")
+    parser.add_argument("--faulty-vs-clean", action="store_true",
+                        help="gate fault-armed vs clean identity and "
+                             "armed-but-inert overhead within one "
+                             "BENCH_fault.json")
     args = parser.parse_args()
 
     gates = [args.fast_vs_traced, args.batch_vs_row, args.morsel_vs_partition,
-             args.batched_vs_sequential]
+             args.batched_vs_sequential, args.faulty_vs_clean]
     if sum(gates) > 1:
         parser.error("--fast-vs-traced, --batch-vs-row, "
-                     "--morsel-vs-partition and --batched-vs-sequential "
-                     "are exclusive")
+                     "--morsel-vs-partition, --batched-vs-sequential and "
+                     "--faulty-vs-clean are exclusive")
     if any(gates):
         if args.current is not None:
             parser.error("single-file gates take exactly one JSON file")
@@ -296,6 +380,8 @@ def main():
             return batch_vs_row(args.baseline, args.threshold)
         if args.batched_vs_sequential:
             return batched_vs_sequential(args.baseline)
+        if args.faulty_vs_clean:
+            return faulty_vs_clean(args.baseline, args.threshold)
         return morsel_vs_partition(args.baseline, args.threshold)
     if args.current is None:
         parser.error("two files required unless a single-file gate is given")

@@ -6,15 +6,23 @@
 //   scx_cli --catalog CATFILE --script SCRIPTFILE
 //           [--mode conv|naive|cse] [--machines N] [--budget SECONDS]
 //           [--threads N] [--batch N] [--spool-cache BYTES]
+//           [--fault-seed N] [--fault-prob P] [--fault-max N]
+//           [--straggler-prob P] [--straggler-factor F] [--no-recovery-spools]
 //           [--compare] [--execute] [--quiet]
 //
 // --batch sets the executor's rows-per-batch (0 = default / SCX_BATCH_SIZE
 // env; 1 = the exact legacy row-at-a-time path). --spool-cache bounds the
 // bytes held for spooled intermediates (0 = default / SCX_SPOOL_CACHE_BYTES
 // env / 256 MiB; negative = unlimited); evictions surface as
-// spool_bytes_evicted. With --json --execute the output gains an
-// "execution" object carrying every ExecMetrics counter, including
-// batches_evaluated, exprs_deduped, and spool_bytes_evicted.
+// spool_bytes_evicted. The --fault-*/--straggler-* flags arm a FaultPlan
+// (hostile-cluster simulation, docs/architecture.md §17): seeded machine
+// failures are injected at operator-pass granularity and recovered from
+// surviving spools or by recomputation — outputs stay bit-identical to the
+// clean run; --no-recovery-spools forces pure recomputation. With --json
+// --execute the output gains an "execution" object carrying every
+// ExecMetrics counter, including the fault family (machine_failures_
+// injected, partitions_recovered, rows_recomputed, recovery_spool_hits,
+// recovery_bytes_moved, sim_makespan_ticks).
 //
 // Catalog file format (one file per line, '#' comments; see
 // testing/catalog_text.h):
@@ -131,6 +139,18 @@ int Main(int argc, char** argv) {
       // 0 = default (SCX_SPOOL_CACHE_BYTES or 256 MiB), negative =
       // unlimited.
       config.cluster.spool_cache_bytes = std::atoll(next());
+    } else if (arg == "--fault-seed") {
+      config.cluster.fault_plan.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--fault-prob") {
+      config.cluster.fault_plan.failure_prob = std::atof(next());
+    } else if (arg == "--fault-max") {
+      config.cluster.fault_plan.max_failures = std::atoi(next());
+    } else if (arg == "--straggler-prob") {
+      config.cluster.fault_plan.straggler_prob = std::atof(next());
+    } else if (arg == "--straggler-factor") {
+      config.cluster.fault_plan.straggler_factor = std::atof(next());
+    } else if (arg == "--no-recovery-spools") {
+      config.cluster.fault_plan.disable_recovery_spool_reads = true;
     } else if (arg == "--compare") {
       compare = true;
     } else if (arg == "--execute") {
@@ -144,7 +164,10 @@ int Main(int argc, char** argv) {
           "usage: scx_cli --catalog FILE --script FILE [--mode conv|naive|"
           "cse]\n              [--machines N] [--budget S] [--threads N] "
           "[--batch N] [--morsel N]\n              [--spool-cache BYTES] "
-          "[--compare] [--execute] [--quiet] [--json]\n");
+          "[--fault-seed N] [--fault-prob P]\n              [--fault-max N] "
+          "[--straggler-prob P] [--straggler-factor F]\n              "
+          "[--no-recovery-spools] [--compare] [--execute] [--quiet] "
+          "[--json]\n");
       return 0;
     } else {
       std::fprintf(stderr, "scx: unknown flag %s (try --help)\n",
@@ -245,6 +268,19 @@ int Main(int argc, char** argv) {
                 "one-per-partition\n",
                 static_cast<long long>(metrics->morsels_evaluated),
                 static_cast<long long>(metrics->morsel_steal_count));
+    if (config.cluster.fault_plan.Enabled()) {
+      std::printf("  faults         : %lld machines killed, %lld "
+                  "partitions recovered\n",
+                  static_cast<long long>(metrics->machine_failures_injected),
+                  static_cast<long long>(metrics->partitions_recovered));
+      std::printf("  recovery       : %lld rows recomputed, %lld spool "
+                  "re-reads, %lld bytes moved\n",
+                  static_cast<long long>(metrics->rows_recomputed),
+                  static_cast<long long>(metrics->recovery_spool_hits),
+                  static_cast<long long>(metrics->recovery_bytes_moved));
+      std::printf("  makespan       : %lld simulated ticks\n",
+                  static_cast<long long>(metrics->sim_makespan_ticks));
+    }
     for (const auto& [path, rows] : metrics->outputs) {
       std::printf("  %-14s : %zu rows\n", path.c_str(), rows.size());
     }

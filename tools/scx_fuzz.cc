@@ -23,7 +23,12 @@
 // iteration generates a BATCH of scripts with shared library modules and
 // checks the batch-vs-sequential oracle: merged submission is bit-identical
 // per script to running each alone, moves no more bytes, and is invariant
-// to thread/batch/morsel knobs and to cross-query cache warmth).
+// to thread/batch/morsel knobs and to cross-query cache warmth) | hostile
+// (hostile-cluster simulation: power-law key skew piles rows onto a few
+// machines, stragglers stretch the simulated makespan, and a per-seed
+// FaultPlan kills machines mid-run at operator-pass granularity; the fault
+// oracles then require the recovered run to stay bit-identical to the clean
+// one and recovery to never beat pure recomputation on bytes moved).
 //
 // Exit code: 0 when every iteration and replay passed, 1 on any oracle
 // failure, 2 on usage errors.
@@ -49,6 +54,20 @@ uint64_t DeriveSeed(uint64_t base, uint64_t index) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
   return z ^ (z >> 31);
+}
+
+/// The hostile profile's per-script FaultPlan: a modest failure rate capped
+/// at a handful of kills (so even pass-heavy scripts stay recoverable-fast)
+/// plus aggressive stragglers. Seeded from the script seed, so every
+/// failure reproduces from --replay-seed alone.
+FaultPlan HostileFaultPlan(uint64_t seed) {
+  FaultPlan fp;
+  fp.seed = seed;
+  fp.failure_prob = 0.02;
+  fp.max_failures = 4;
+  fp.straggler_prob = 0.25;
+  fp.straggler_factor = 8.0;
+  return fp;
 }
 
 void PrintFailure(const OracleReport& report) {
@@ -77,6 +96,7 @@ int Main(int argc, char** argv) {
   ScriptGenOptions gen_opts;
   BatchGenOptions batch_opts;
   bool multiquery = false;
+  bool hostile = false;
   std::vector<std::string> replays;
   std::vector<uint64_t> replay_seeds;
   bool quiet = false;
@@ -118,6 +138,9 @@ int Main(int argc, char** argv) {
         gen_opts.force_pipeline_consumers = true;
       } else if (profile == "multiquery") {
         multiquery = true;
+      } else if (profile == "hostile") {
+        hostile = true;
+        gen_opts.key_skew_alpha = 1.2;
       } else if (profile != "default") {
         std::fprintf(stderr, "scx_fuzz: unknown profile '%s'\n",
                      profile.c_str());
@@ -130,8 +153,8 @@ int Main(int argc, char** argv) {
           "usage: scx_fuzz [--seed N] [--iters N] [--threads N] "
           "[--machines N]\n                [--minimize|--no-minimize] "
           "[--corpus DIR]\n                [--profile default|single|empty|"
-          "dup|expr|pipeline|multiquery]\n                [--replay FILE]..."
-          " [--replay-seed N]... [--quiet]\n");
+          "dup|expr|pipeline|multiquery|hostile]\n                "
+          "[--replay FILE]... [--replay-seed N]... [--quiet]\n");
       return 0;
     } else {
       std::fprintf(stderr, "scx_fuzz: unknown flag %s (try --help)\n",
@@ -159,6 +182,7 @@ int Main(int argc, char** argv) {
     HarnessOptions replay_opts = harness_opts;
     replay_opts.machines = corpus->machines;
     replay_opts.threads = corpus->threads;
+    replay_opts.fault_plan = corpus->fault_plan;
     replay_opts.corpus_dir.clear();  // never re-write while replaying
     DiffHarness harness(replay_opts);
     OracleReport report =
@@ -182,6 +206,14 @@ int Main(int argc, char** argv) {
       return harness.CheckBatch(batch.catalog, batch.scripts, seed);
     }
     GeneratedCase generated = GenerateScript(seed, gen_opts);
+    if (hostile) {
+      // Per-seed fault plan: rebuilt per script so the failure pattern
+      // varies across the sweep while staying a pure function of the seed.
+      HarnessOptions hopts = harness_opts;
+      hopts.fault_plan = HostileFaultPlan(seed);
+      return DiffHarness(hopts).Check(generated.catalog, generated.script,
+                                      seed);
+    }
     return harness.Check(generated.catalog, generated.script, seed);
   };
 
